@@ -1,0 +1,189 @@
+//! Flash-ADC-style linearity metrics for the thermometer.
+//!
+//! The paper likens the array to "a flash A/D converter", which makes
+//! converter metrics the natural quality measures for ladder designs:
+//!
+//! * **DNL** (differential non-linearity) — per-code deviation of the
+//!   threshold step from the ideal LSB;
+//! * **INL** (integral non-linearity) — cumulative deviation from the
+//!   endpoint-fit line;
+//! * **code-density test** — drive the sensor with a slow ramp and check
+//!   each code occupies a bin proportional to its width.
+//!
+//! These drive the ladder-design ablation (`xp_ladder`): the paper's
+//! published thresholds have a wide bottom step (DNL ≈ +1 LSB at the
+//! first code), while a uniform-threshold design trades dynamic range
+//! for linearity.
+
+use psnt_cells::units::Voltage;
+use serde::{Deserialize, Serialize};
+
+/// Linearity report of a threshold ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearityReport {
+    /// The ideal step (LSB): endpoint span over step count.
+    pub lsb: Voltage,
+    /// Per-step DNL in LSB units (length = thresholds − 1).
+    pub dnl: Vec<f64>,
+    /// Per-threshold INL in LSB units (endpoint-fit; first and last are 0).
+    pub inl: Vec<f64>,
+}
+
+impl LinearityReport {
+    /// Largest absolute DNL.
+    pub fn max_dnl(&self) -> f64 {
+        self.dnl.iter().fold(0.0, |acc, &x| acc.max(x.abs()))
+    }
+
+    /// Largest absolute INL.
+    pub fn max_inl(&self) -> f64 {
+        self.inl.iter().fold(0.0, |acc, &x| acc.max(x.abs()))
+    }
+}
+
+/// Computes DNL/INL for an ascending threshold ladder.
+///
+/// # Panics
+///
+/// Panics when fewer than two thresholds are supplied or they are not
+/// strictly increasing.
+pub fn linearity(thresholds: &[Voltage]) -> LinearityReport {
+    assert!(thresholds.len() >= 2, "need at least two thresholds");
+    assert!(
+        thresholds.windows(2).all(|w| w[1] > w[0]),
+        "thresholds must be strictly increasing"
+    );
+    let n = thresholds.len();
+    let span = thresholds[n - 1] - thresholds[0];
+    let lsb = span / (n - 1) as f64;
+    let dnl: Vec<f64> = thresholds
+        .windows(2)
+        .map(|w| ((w[1] - w[0]) / lsb) - 1.0)
+        .collect();
+    let inl: Vec<f64> = thresholds
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let ideal = thresholds[0] + lsb * i as f64;
+            (t - ideal) / lsb
+        })
+        .collect();
+    LinearityReport { lsb, dnl, inl }
+}
+
+/// Code-density test: given per-code hit counts from a uniform-ramp
+/// stimulus, estimates each code's width in LSB units (ratio of its hit
+/// share to the ideal share). Saturation codes (first/last) are excluded.
+///
+/// Returns `None` when there are fewer than three codes or no interior
+/// hits.
+pub fn code_density_widths(hits: &[u64]) -> Option<Vec<f64>> {
+    if hits.len() < 3 {
+        return None;
+    }
+    let interior = &hits[1..hits.len() - 1];
+    let total: u64 = interior.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let ideal = total as f64 / interior.len() as f64;
+    Some(interior.iter().map(|&h| h as f64 / ideal).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(x: f64) -> Voltage {
+        Voltage::from_v(x)
+    }
+
+    #[test]
+    fn perfect_ladder_has_zero_nonlinearity() {
+        let th: Vec<Voltage> = (0..8).map(|i| v(0.8 + 0.03 * i as f64)).collect();
+        let rep = linearity(&th);
+        assert!((rep.lsb.volts() - 0.03).abs() < 1e-12);
+        assert!(rep.max_dnl() < 1e-9);
+        assert!(rep.max_inl() < 1e-9);
+    }
+
+    #[test]
+    fn wide_first_step_shows_in_dnl() {
+        // The paper's published thresholds: first gap 69 mV, rest ~30 mV.
+        let th = [0.827, 0.896, 0.929, 0.961, 0.992, 1.021, 1.053]
+            .map(v)
+            .to_vec();
+        let rep = linearity(&th);
+        // First step DNL strongly positive; max DNL is that step.
+        assert!(rep.dnl[0] > 0.5, "dnl[0] = {}", rep.dnl[0]);
+        assert!((rep.max_dnl() - rep.dnl[0].abs()).abs() < 1e-12);
+        // Endpoint-fit INL: zero at both ends.
+        assert!(rep.inl[0].abs() < 1e-12);
+        assert!(rep.inl[6].abs() < 1e-12);
+        assert!(rep.max_inl() > 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_thresholds_panic() {
+        let _ = linearity(&[v(1.0), v(0.9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_threshold_panics() {
+        let _ = linearity(&[v(1.0)]);
+    }
+
+    #[test]
+    fn code_density_uniform() {
+        // 5 interior codes with equal hits → all widths 1.
+        let hits = [100, 40, 40, 40, 40, 40, 100];
+        let widths = code_density_widths(&hits).unwrap();
+        assert_eq!(widths.len(), 5);
+        assert!(widths.iter().all(|w| (w - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn code_density_detects_wide_code() {
+        let hits = [10, 80, 40, 40, 40, 40, 10];
+        let widths = code_density_widths(&hits).unwrap();
+        assert!(widths[0] > 1.5);
+        assert!(widths[1] < 1.0);
+    }
+
+    #[test]
+    fn code_density_degenerate_cases() {
+        assert!(code_density_widths(&[1, 2]).is_none());
+        assert!(code_density_widths(&[5, 0, 0, 0, 5]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn dnl_sums_to_zero(steps in proptest::collection::vec(0.01..0.1f64, 2..10)) {
+            // By construction, DNL over the endpoint-normalised ladder
+            // sums to ~0.
+            let mut th = vec![0.8f64];
+            for s in &steps {
+                th.push(th.last().unwrap() + s);
+            }
+            let th: Vec<Voltage> = th.into_iter().map(v).collect();
+            let rep = linearity(&th);
+            let sum: f64 = rep.dnl.iter().sum();
+            prop_assert!(sum.abs() < 1e-9);
+        }
+
+        #[test]
+        fn inl_endpoints_zero(steps in proptest::collection::vec(0.01..0.1f64, 2..10)) {
+            let mut th = vec![0.8f64];
+            for s in &steps {
+                th.push(th.last().unwrap() + s);
+            }
+            let th: Vec<Voltage> = th.into_iter().map(v).collect();
+            let rep = linearity(&th);
+            prop_assert!(rep.inl.first().unwrap().abs() < 1e-9);
+            prop_assert!(rep.inl.last().unwrap().abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text table formatting for the reproduction binaries.
+//!
+//! Every `psnt-bench` target prints its figure/table through these
+//! helpers, so `EXPERIMENTS.md` and the console output share one format.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} vs header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a voltage in millivolt precision, e.g. `0.936 V`.
+pub fn fmt_v(volts: f64) -> String {
+    format!("{volts:.3} V")
+}
+
+/// Formats a time in picoseconds, e.g. `119.0 ps`.
+pub fn fmt_ps(ps: f64) -> String {
+    format!("{ps:.1} ps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["code", "range"]);
+        t.row(["011", "0.827-1.053 V"]).row(["010", "0.951-1.237 V"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("code"));
+        assert!(s.contains("0.951-1.237 V"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // Header separator present.
+        assert!(s.lines().nth(2).unwrap().contains("--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_v(0.9356), "0.936 V");
+        assert_eq!(fmt_ps(119.04), "119.0 ps");
+    }
+}

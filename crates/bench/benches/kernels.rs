@@ -1,0 +1,125 @@
+//! Micro-benchmarks of the hot kernels underneath the experiments:
+//! element measurement, array measurement, PDN transients, grid solve,
+//! event-driven simulation and STA.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use psnt_cells::process::Pvt;
+use psnt_cells::units::{Capacitance, Resistance, Time, Voltage};
+use psnt_core::control::{build_control_netlist, CtrlNetlistConfig};
+use psnt_core::element::{RailMode, SenseElement};
+use psnt_core::thermometer::ThermometerArray;
+use psnt_netlist::sim::Simulator;
+use psnt_netlist::sta::{analyze, StaConfig};
+use psnt_pdn::grid::PowerGrid;
+use psnt_pdn::rlc::LumpedPdn;
+use psnt_pdn::waveform::Waveform;
+
+fn bench_kernels(c: &mut Criterion) {
+    let pvt = Pvt::typical();
+    let skew = Time::from_ps(149.0);
+
+    c.bench_function("mismatch_monte_carlo_50", |b| {
+        use psnt_core::element::RailMode;
+        use psnt_core::mismatch::{monte_carlo_yield, MismatchModel};
+        let array = ThermometerArray::paper(RailMode::Supply);
+        let model = MismatchModel::local_90nm();
+        b.iter(|| monte_carlo_yield(&array, skew, &pvt, &model, 50, 1).unwrap())
+    });
+
+    c.bench_function("spectrum_dominant_400pts", |b| {
+        use psnt_analysis::spectrum::dominant_frequency;
+        use psnt_cells::units::Frequency;
+        let samples: Vec<(Time, f64)> = (0..400)
+            .map(|k| {
+                let t = Time::from_ns(23.0 * k as f64);
+                (t, 0.94 + 0.03 * (std::f64::consts::TAU * 5.0e7 * t.seconds()).sin())
+            })
+            .collect();
+        b.iter(|| {
+            dominant_frequency(
+                &samples,
+                Frequency::from_mhz(10.0),
+                Frequency::from_mhz(200.0),
+                200,
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("gate_level_system_measure", |b| {
+        use psnt_core::gate_level::GateLevelSystem;
+        use psnt_core::pulsegen::DelayCode;
+        let sys = GateLevelSystem::paper().unwrap();
+        let code = DelayCode::new(3).unwrap();
+        b.iter(|| sys.run_measures(code, &[Voltage::from_v(1.0)]).unwrap())
+    });
+
+    c.bench_function("element_measure", |b| {
+        let e = SenseElement::paper(Capacitance::from_pf(2.0), RailMode::Supply);
+        b.iter(|| e.measure(std::hint::black_box(Voltage::from_v(0.97)), skew, &pvt))
+    });
+
+    c.bench_function("array_measure_7bit", |b| {
+        let a = ThermometerArray::paper(RailMode::Supply);
+        b.iter(|| a.measure(std::hint::black_box(Voltage::from_v(0.97)), skew, &pvt))
+    });
+
+    c.bench_function("element_threshold_bisection", |b| {
+        let e = SenseElement::paper(Capacitance::from_pf(2.0), RailMode::Supply);
+        b.iter(|| e.threshold(skew, &pvt).unwrap())
+    });
+
+    c.bench_function("rlc_transient_400ns", |b| {
+        let pdn = LumpedPdn::typical_90nm_package();
+        let load = Waveform::from_points(vec![
+            (Time::ZERO, 0.5),
+            (Time::from_ns(100.0), 0.5),
+            (Time::from_ns(100.1), 2.0),
+        ])
+        .unwrap();
+        b.iter(|| {
+            pdn.transient(&load, Time::from_ps(200.0), Time::from_ns(400.0))
+                .unwrap()
+        })
+    });
+
+    c.bench_function("grid_solve_8x8", |b| {
+        let grid = PowerGrid::corner_fed(
+            8,
+            Voltage::from_v(1.0),
+            Resistance::from_milliohms(40.0),
+            Resistance::from_milliohms(10.0),
+        )
+        .unwrap();
+        let loads = vec![0.05f64; 64];
+        b.iter(|| grid.solve(&loads).unwrap())
+    });
+
+    c.bench_function("cntr_sta", |b| {
+        let netlist = build_control_netlist(&CtrlNetlistConfig::default());
+        b.iter(|| analyze(&netlist, &StaConfig::default()).unwrap())
+    });
+
+    c.bench_function("cntr_gate_sim_10_cycles", |b| {
+        let netlist = build_control_netlist(&CtrlNetlistConfig::default());
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(&netlist, Voltage::from_v(1.0)).unwrap();
+                let clk = netlist.net_by_name("clk").unwrap();
+                let enable = netlist.net_by_name("enable").unwrap();
+                let start = netlist.net_by_name("start").unwrap();
+                sim.drive(enable, psnt_cells::logic::Logic::One, Time::ZERO).unwrap();
+                sim.drive(start, psnt_cells::logic::Logic::One, Time::ZERO).unwrap();
+                sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 10).unwrap();
+                sim
+            },
+            |mut sim| {
+                sim.run_until(Time::from_ns(50.0));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

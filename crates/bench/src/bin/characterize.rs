@@ -1,0 +1,120 @@
+//! Dumps the sensor's characterisation datasets as CSV for external
+//! plotting — the data behind Figs. 4 and 5, the LS (ground) mirror, the
+//! PDN impedance profile, and the per-corner trim table.
+//!
+//! ```text
+//! characterize <out-dir>
+//! ```
+//!
+//! Writes `fig4_sensitivity.csv`, `fig5_characteristic.csv`,
+//! `gnd_characteristic.csv`, `impedance.csv` and `trim.csv`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use psnt_cells::process::{ProcessCorner, Pvt};
+use psnt_cells::units::{Capacitance, Frequency, Temperature, Voltage};
+use psnt_core::calibration::{array_characteristic, sensitivity_characteristic, trim_for_corner};
+use psnt_core::element::RailMode;
+use psnt_core::pulsegen::{DelayCode, PulseGenerator};
+use psnt_core::thermometer::ThermometerArray;
+use psnt_pdn::impedance::impedance_profile;
+use psnt_pdn::rlc::LumpedPdn;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: characterize <out-dir>");
+        std::process::exit(2);
+    });
+    let out = Path::new(&out);
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    let pvt = Pvt::typical();
+    let pg = PulseGenerator::paper_table();
+    let code011 = DelayCode::new(3).expect("static code");
+
+    // Fig. 4: threshold vs load.
+    let mut csv = String::from("load_pf,threshold_v\n");
+    let loads: Vec<Capacitance> = (20..=400)
+        .map(|i| Capacitance::from_ff(i as f64 * 10.0))
+        .collect();
+    let points = sensitivity_characteristic(
+        RailMode::Supply,
+        pg.skew(code011, &pvt),
+        &pvt,
+        loads,
+    )
+    .expect("thresholds in range");
+    for p in points {
+        let _ = writeln!(csv, "{},{}", p.load.picofarads(), p.threshold.volts());
+    }
+    write(out, "fig4_sensitivity.csv", &csv);
+
+    // Fig. 5: per-code thresholds (HS).
+    let array = ThermometerArray::paper(RailMode::Supply);
+    let mut csv = String::from("delay_code,element,threshold_v\n");
+    for code in DelayCode::all() {
+        let ch = array_characteristic(&array, &pg, code, &pvt).expect("in range");
+        for (i, t) in ch.thresholds.iter().enumerate() {
+            let _ = writeln!(csv, "{code},{},{}", i + 1, t.volts());
+        }
+    }
+    write(out, "fig5_characteristic.csv", &csv);
+
+    // Ground mirror (LS).
+    let ls = ThermometerArray::paper(RailMode::Ground);
+    let mut csv = String::from("delay_code,element,bounce_threshold_v\n");
+    for code in DelayCode::all() {
+        let ch = array_characteristic(&ls, &pg, code, &pvt).expect("in range");
+        for (i, t) in ch.thresholds.iter().enumerate() {
+            let _ = writeln!(csv, "{code},{},{}", i + 1, t.volts());
+        }
+    }
+    write(out, "gnd_characteristic.csv", &csv);
+
+    // PDN impedance profile.
+    let pdn = LumpedPdn::typical_90nm_package();
+    let mut csv = String::from("frequency_hz,impedance_ohm\n");
+    for p in impedance_profile(
+        &pdn,
+        Frequency::from_mhz(1.0),
+        Frequency::from_ghz(1.0),
+        181,
+    ) {
+        let _ = writeln!(csv, "{},{}", p.frequency.hertz(), p.magnitude.ohms());
+    }
+    write(out, "impedance.csv", &csv);
+
+    // Per-corner trim table.
+    let mut csv =
+        String::from("corner,untrimmed_error_mv,trimmed_code,residual_mv\n");
+    for corner in ProcessCorner::ALL {
+        let corner_pvt = Pvt::new(corner, Voltage::from_v(1.0), Temperature::from_celsius(25.0));
+        let trim = trim_for_corner(&array, &pg, code011, &pvt, &corner_pvt).expect("in range");
+        let _ = writeln!(
+            csv,
+            "{corner},{:.2},{},{:.2}",
+            trim.untrimmed_residual.millivolts(),
+            trim.code,
+            trim.residual.millivolts()
+        );
+    }
+    write(out, "trim.csv", &csv);
+
+    println!("wrote 5 CSV datasets to {}", out.display());
+}
+
+fn write(dir: &Path, name: &str, content: &str) {
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "  {} ({} rows)",
+        path.display(),
+        content.lines().count().saturating_sub(1)
+    );
+}

@@ -1,0 +1,74 @@
+//! Prints the reproduction of every figure/table in the paper (or a
+//! selected subset).
+//!
+//! ```text
+//! repro [--<id> ...] [--out <dir>] [--list]
+//! ```
+//!
+//! * `--<id>` — run one experiment (e.g. `--fig5 --tab1`); no ids runs
+//!   everything;
+//! * `--out <dir>` — additionally write each report to `<dir>/<id>.txt`;
+//! * `--list` — print the known ids and exit.
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--list" => {
+                for (id, _) in psnt_bench::all_experiments() {
+                    println!("--{id}");
+                }
+                return;
+            }
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            other => match other.strip_prefix("--") {
+                Some(id) => wanted.push(id.to_owned()),
+                None => {
+                    eprintln!("unrecognised argument {other:?} (ids start with --)");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let mut matched = false;
+    for (id, run) in psnt_bench::all_experiments() {
+        if wanted.is_empty() || wanted.iter().any(|w| w == id) {
+            matched = true;
+            let report = run();
+            println!("{report}");
+            if let Some(dir) = &out_dir {
+                let path = dir.join(format!("{id}.txt"));
+                if let Err(e) = std::fs::write(&path, &report) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if !matched {
+        eprintln!("no experiment matched; known ids:");
+        for (id, _) in psnt_bench::all_experiments() {
+            eprintln!("  --{id}");
+        }
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,679 @@
+//! One reproduction function per paper figure/table.
+//!
+//! Each function computes the artifact's data and renders it in the
+//! paper's own terms; the `repro` binary prints them and the Criterion
+//! benches time them. `EXPERIMENTS.md` records the printed values
+//! against the published ones.
+
+use psnt_analysis::report::{fmt_ps, fmt_v, Table};
+use psnt_cells::process::{ProcessCorner, Pvt};
+use psnt_cells::units::{Capacitance, Temperature, Time, Voltage};
+use psnt_core::baseline::{ErrorProbabilityMonitor, RazorOutcome, RazorStage, RingOscillatorSensor};
+use psnt_core::calibration::{array_characteristic, sensitivity_characteristic, trim_for_corner};
+use psnt_core::control::{build_control_netlist, Controller, CtrlInputs, CtrlNetlistConfig};
+use psnt_core::element::{RailMode, SenseElement};
+use psnt_core::pulsegen::{DelayCode, PulseGenerator};
+use psnt_core::system::{SensorConfig, SensorSystem};
+use psnt_core::thermometer::ThermometerArray;
+use psnt_netlist::sta::{analyze, StaConfig};
+use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};
+use psnt_pdn::waveform::Waveform;
+use psnt_scan::campaign::Campaign;
+use psnt_scan::floorplan::{Floorplan, Placement};
+use psnt_scan::sampler::EquivalentTimeSampler;
+
+fn code011() -> DelayCode {
+    DelayCode::new(3).expect("static code")
+}
+
+fn skew(code: DelayCode) -> Time {
+    PulseGenerator::paper_table().skew(code, &Pvt::typical())
+}
+
+/// Fig. 2 — DS delay growth and OUT sampling across four linearly spaced
+/// VDD-n cases.
+pub fn fig2() -> String {
+    // C = 2.03 pF puts the element threshold at ≈ 0.950 V, so cases 1–3
+    // sample correctly (with visibly growing OUT delay) and case 4 fails,
+    // exactly as the figure shows.
+    let elem = SenseElement::paper(Capacitance::from_pf(2.03), RailMode::Supply);
+    let pvt = Pvt::typical();
+    let sk = skew(code011());
+    let mut t = Table::new(
+        "Fig. 2 — noise sensor detail (C = 2.03 pF, delay code 011)",
+        &["case", "VDD-n", "DS delay", "OUT delay", "OUT sample"],
+    );
+    for (i, mv) in [1000.0, 980.0, 960.0, 940.0].into_iter().enumerate() {
+        let r = elem.measure(Voltage::from_mv(mv), sk, &pvt);
+        t.row([
+            format!("{}", i + 1),
+            fmt_v(mv / 1000.0),
+            fmt_ps(r.ds_delay.picoseconds()),
+            fmt_ps(r.out_delay.picoseconds()),
+            if r.passed { "correct (1)".into() } else { "WRONG (0)".to_string() },
+        ]);
+    }
+    t.render()
+}
+
+/// Fig. 3 — two PREPARE/SENSE sequences: nominal 1.00 V then 0.95 V.
+pub fn fig3() -> String {
+    // C = 2.1 pF puts the threshold at ≈ 0.983 V: the nominal 1.00 V
+    // measure samples correctly, the 0.95 V one violates setup — the
+    // figure's two outcomes.
+    let elem = SenseElement::paper(Capacitance::from_pf(2.1), RailMode::Supply);
+    let pvt = Pvt::typical();
+    let sk = skew(code011());
+    let mut t = Table::new(
+        "Fig. 3 — PREPARE/SENSE sequence (C = 2.1 pF, delay code 011)",
+        &["measure", "phase", "P", "DS", "OUT"],
+    );
+    for (i, v) in [1.00, 0.95].into_iter().enumerate() {
+        t.row([
+            format!("{}", i + 1),
+            "PREPARE".into(),
+            "1".into(),
+            "forced low".into(),
+            "0".into(),
+        ]);
+        let r = elem.measure(Voltage::from_v(v), sk, &pvt);
+        t.row([
+            format!("{}", i + 1),
+            format!("SENSE @ {}", fmt_v(v)),
+            "0".into(),
+            format!("rises after {}", fmt_ps(r.ds_delay.picoseconds())),
+            if r.passed { "1 (set-up met)".into() } else { "0 (set-up violated)".to_string() },
+        ]);
+    }
+    t.render()
+}
+
+/// Fig. 4 — failure-threshold voltage vs load capacitance.
+pub fn fig4() -> String {
+    let sk = skew(code011());
+    let loads: Vec<Capacitance> = (2..=16).map(|i| Capacitance::from_pf(i as f64 * 0.25)).collect();
+    let points = sensitivity_characteristic(RailMode::Supply, sk, &Pvt::typical(), loads)
+        .expect("thresholds in range");
+    let mut t = Table::new(
+        "Fig. 4 — sensor sensitivity: VDD threshold vs capacitance at DS (code 011)",
+        &["C [pF]", "threshold"],
+    );
+    for p in &points {
+        t.row([format!("{:.2}", p.load.picofarads()), fmt_v(p.threshold.volts())]);
+    }
+    let mut s = t.render();
+    let at_2pf = points
+        .iter()
+        .find(|p| (p.load.picofarads() - 2.0).abs() < 1e-9)
+        .expect("2 pF in sweep");
+    s.push_str(&format!(
+        "paper @ 2 pF: 0.9360 V | measured: {}\n",
+        fmt_v(at_2pf.threshold.volts())
+    ));
+    s
+}
+
+/// Fig. 5 — 7-bit array characteristic for three delay codes.
+pub fn fig5() -> String {
+    let array = ThermometerArray::paper(RailMode::Supply);
+    let pg = PulseGenerator::paper_table();
+    let pvt = Pvt::typical();
+    let mut t = Table::new(
+        "Fig. 5 — multibit characteristic (per-element thresholds and dynamic range)",
+        &["delay code", "T1..T7 [V]", "range"],
+    );
+    for code_val in [1u8, 2, 3] {
+        let code = DelayCode::new(code_val).expect("static");
+        let ch = array_characteristic(&array, &pg, code, &pvt).expect("in range");
+        let ths = ch
+            .thresholds
+            .iter()
+            .map(|v| format!("{:.3}", v.volts()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        t.row([
+            code.to_string(),
+            ths,
+            format!("{} – {}", fmt_v(ch.range.0.volts()), fmt_v(ch.range.1.volts())),
+        ]);
+    }
+    let mut s = t.render();
+    s.push_str("paper: code 011 range 0.827–1.053 V; code 010 range 0.951–1.237 V\n");
+    s.push_str("paper: code 011, 0011111 ⇔ 0.992–1.021 V; 0000011 ⇔ 0.896–0.929 V\n");
+    s
+}
+
+/// Table 1 — the delay-code table of the pulse generator (with Fig. 7's
+/// matched-MUX skew check).
+pub fn tab1() -> String {
+    let pg = PulseGenerator::paper_table();
+    let pvt = Pvt::typical();
+    let mut s = String::from("== Table 1 — pulse generator delay codes ==\n");
+    s.push_str(&pg.table_report());
+    s.push('\n');
+    let t = pg.emit(code011(), &pvt);
+    s.push_str(&format!(
+        "matched-MUX check (Fig. 7): P→CP skew for 011 = {} (insertion {} + tap {})\n",
+        fmt_ps(t.skew().picoseconds()),
+        fmt_ps(pg.insertion_at(&pvt).picoseconds()),
+        fmt_ps(pg.cp_delay(code011()).picoseconds()),
+    ));
+    s
+}
+
+/// Fig. 6 — the assembled system measuring both rails under composite
+/// noise.
+pub fn fig6() -> String {
+    let mut system = SensorSystem::new(SensorConfig::default()).expect("default config");
+    let vdd = SupplyNoiseBuilder::new(Voltage::from_v(0.98))
+        .span(Time::ZERO, Time::from_us(2.0))
+        .resolution(Time::from_ps(250.0))
+        .resonance(
+            psnt_cells::units::Frequency::from_mhz(50.0),
+            Voltage::from_mv(30.0),
+            0.0,
+        )
+        .build()
+        .expect("valid noise");
+    let gnd = psnt_pdn::sources::ground_bounce(
+        Time::from_us(2.0),
+        psnt_cells::units::Frequency::from_mhz(50.0),
+        Voltage::from_mv(25.0),
+        7,
+    )
+    .expect("valid bounce");
+    let measures = system.run(&vdd, &gnd, Time::ZERO, 10).expect("measures");
+    let mut t = Table::new(
+        "Fig. 6 — system measuring VDD-n (HS) and GND-n (LS) independently",
+        &["t [ns]", "HS code", "VDD-n est.", "LS code", "GND-n est."],
+    );
+    for m in &measures {
+        t.row([
+            format!("{:.1}", m.at.nanoseconds()),
+            m.hs_code.to_string(),
+            m.hs_interval
+                .midpoint()
+                .map_or("saturated".into(), |v| fmt_v(v.volts())),
+            m.ls_code.to_string(),
+            m.ls_interval
+                .midpoint()
+                .map_or("saturated".into(), |v| fmt_v(v.volts())),
+        ]);
+    }
+    t.render()
+}
+
+/// Fig. 8 — the control FSM walk and the gate-level critical path (the
+/// paper's 1.22 ns claim).
+pub fn fig8() -> String {
+    let mut ctrl = Controller::new(None);
+    let mut t = Table::new(
+        "Fig. 8 — control FSM sequence",
+        &["cycle", "state", "P", "CP", "capture"],
+    );
+    for cycle in 0..7 {
+        let out = ctrl.step(CtrlInputs {
+            enable: true,
+            start: true,
+        });
+        t.row([
+            cycle.to_string(),
+            format!("{:?}", ctrl.state()),
+            out.p.to_string(),
+            out.cp.to_string(),
+            out.capture.to_string(),
+        ]);
+    }
+    let mut s = t.render();
+    let netlist = build_control_netlist(&CtrlNetlistConfig::default());
+    let report = analyze(&netlist, &StaConfig::default()).expect("valid netlist");
+    s.push_str(&format!(
+        "gate-level CNTR ({}): critical path {} (paper: 1.22 ns), max clock {:.0} MHz\n",
+        netlist.summary(),
+        fmt_ps(report.critical_delay().picoseconds()),
+        report.max_frequency().hertz() / 1e6,
+    ));
+    s
+}
+
+/// Fig. 9 — the full two-measure system run (1.0 V then 0.9 V).
+pub fn fig9() -> String {
+    let mut system = SensorSystem::new(SensorConfig::default()).expect("default config");
+    let vdd = supply_step(
+        Voltage::from_v(1.0),
+        Voltage::from_v(0.9),
+        Time::from_ns(15.0),
+        Time::from_us(1.0),
+    )
+    .expect("valid step");
+    let gnd = Waveform::constant(0.0);
+    let measures = system.run(&vdd, &gnd, Time::ZERO, 2).expect("measures");
+    let mut t = Table::new(
+        "Fig. 9 — two measures, delay code 011",
+        &["phase", "t [ns]", "sensor output", "decoded VDD-n"],
+    );
+    t.row([
+        "PREPARE".to_string(),
+        "-".into(),
+        system.hs_prepare_code().to_string(),
+        "(forced)".into(),
+    ]);
+    for m in &measures {
+        let interval = match (m.hs_interval.lower, m.hs_interval.upper) {
+            (Some(lo), Some(hi)) => format!("{} – {}", fmt_v(lo.volts()), fmt_v(hi.volts())),
+            _ => "saturated".into(),
+        };
+        t.row([
+            "SENSE".to_string(),
+            format!("{:.2}", m.at.nanoseconds()),
+            m.hs_code.to_string(),
+            interval,
+        ]);
+    }
+    let mut s = t.render();
+    s.push_str("paper: 0011111 ⇔ 0.992–1.021 V, then 0000011 ⇔ 0.896–0.929 V\n");
+    s
+}
+
+/// XP-GND — the LOW-SENSE (ground) characteristic the paper generated
+/// "but not reported for sake of brevity".
+pub fn gnd() -> String {
+    let array = ThermometerArray::paper(RailMode::Ground);
+    let pg = PulseGenerator::paper_table();
+    let pvt = Pvt::typical();
+    let mut t = Table::new(
+        "XP-GND — LOW-SENSE array: ground-bounce thresholds per delay code",
+        &["delay code", "G1..G7 [mV bounce]", "measurable bounce"],
+    );
+    for code_val in [3u8, 4, 5] {
+        let code = DelayCode::new(code_val).expect("static");
+        let ch = array_characteristic(&array, &pg, code, &pvt).expect("in range");
+        let ths = ch
+            .thresholds
+            .iter()
+            .map(|v| format!("{:.0}", v.millivolts()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        t.row([
+            code.to_string(),
+            ths,
+            format!(
+                "{:.0} – {:.0} mV",
+                ch.range.0.millivolts().max(0.0),
+                ch.range.1.millivolts()
+            ),
+        ]);
+    }
+    t.render()
+}
+
+/// XP-PV — process-variation trim: per-corner delay-code choice.
+pub fn pv() -> String {
+    let array = ThermometerArray::paper(RailMode::Supply);
+    let pg = PulseGenerator::paper_table();
+    let reference = Pvt::typical();
+    let mut t = Table::new(
+        "XP-PV — delay-code trim across process corners (reference: TT, code 011)",
+        &["corner", "untrimmed midpoint error", "trimmed code", "residual error"],
+    );
+    for corner in ProcessCorner::ALL {
+        let pvt = Pvt::new(corner, Voltage::from_v(1.0), Temperature::from_celsius(25.0));
+        let trim =
+            trim_for_corner(&array, &pg, code011(), &reference, &pvt).expect("in range");
+        t.row([
+            corner.to_string(),
+            format!("{:.1} mV", trim.untrimmed_residual.millivolts()),
+            trim.code.to_string(),
+            format!("{:.1} mV", trim.residual.millivolts()),
+        ]);
+    }
+    t.render()
+}
+
+/// XP-BASE — thermometer vs the related-work baselines on the
+/// droop-vs-bounce discrimination task.
+pub fn baseline() -> String {
+    let pvt = Pvt::typical();
+    let system = SensorSystem::new(SensorConfig::default()).expect("default config");
+    let ro = RingOscillatorSensor::paper_31_stage();
+    let razor = RazorStage::typical_pipeline();
+    let monitor = ErrorProbabilityMonitor::typical();
+    let window = Time::from_us(1.0);
+    let period = Time::from_ns(2.0);
+
+    let scenarios: [(&str, f64, f64); 3] = [
+        ("quiet", 1.00, 0.0),
+        ("60 mV VDD droop", 0.94, 0.0),
+        ("60 mV GND bounce", 1.00, 0.06),
+    ];
+    let mut t = Table::new(
+        "XP-BASE — what each sensor reports (droop vs bounce discrimination)",
+        &["scenario", "thermometer HS/LS", "RO count", "Razor", "err-rate"],
+    );
+    for (name, v, g) in scenarios {
+        let vdd = Waveform::constant(v);
+        let gnd = Waveform::constant(g);
+        let m = system
+            .measure_at(&vdd, &gnd, Time::from_ns(100.0))
+            .expect("in range");
+        let count = ro.count(&vdd, &gnd, Time::ZERO, window, &pvt);
+        let rz = match razor.evaluate(Voltage::from_v(v - g), true, period) {
+            RazorOutcome::NoError => "no error",
+            RazorOutcome::Detected => "error detected",
+            RazorOutcome::Missed => "SILENT CORRUPTION",
+            RazorOutcome::NotExercised => "blind",
+        };
+        let rate = monitor.expected_rate(&[Voltage::from_v(v - g)]);
+        t.row([
+            name.to_string(),
+            format!("{}/{}", m.hs_code, m.ls_code),
+            count.to_string(),
+            rz.to_string(),
+            format!("{rate:.3}"),
+        ]);
+    }
+    let mut s = t.render();
+    s.push_str(
+        "note: the RO count is identical for droop and bounce (paper's critique of ref. [7]);\n\
+         the thermometer's HS/LS pair separates them.\n",
+    );
+    s
+}
+
+/// XP-SCAN — the PSN scan chain over a loaded power grid, plus an
+/// equivalent-time capture of a resonance.
+pub fn scan() -> String {
+    // Spatial noise map.
+    let grid = psnt_pdn::grid::PowerGrid::corner_fed(
+        4,
+        Voltage::from_v(1.05),
+        psnt_cells::units::Resistance::from_milliohms(60.0),
+        psnt_cells::units::Resistance::from_milliohms(20.0),
+    )
+    .expect("valid grid");
+    let fp = Floorplan::new(grid, Placement::EveryTile).expect("valid placement");
+    let campaign = Campaign::new(fp, SensorConfig::default()).expect("valid config");
+    let mut loads = vec![Waveform::constant(0.03); 16];
+    for hot in [5usize, 6, 9, 10] {
+        loads[hot] = Waveform::from_points(vec![
+            (Time::ZERO, 0.1),
+            (Time::from_ns(100.0), 0.5),
+            (Time::from_ns(200.0), 0.25),
+        ])
+        .expect("valid load");
+    }
+    let result = campaign
+        .run(&loads, Time::from_ns(10.0), Time::from_ns(25.0), 8)
+        .expect("campaign");
+    let mut t = Table::new(
+        "XP-SCAN — spatial noise map (4×4 grid, centre loaded)",
+        &["tile", "site", "worst level", "mean level", "worst VDD est."],
+    );
+    for s in &result.sites {
+        t.row([
+            s.tile.to_string(),
+            s.name.clone(),
+            s.worst_level().to_string(),
+            format!("{:.2}", s.mean_level()),
+            s.worst_voltage()
+                .map_or("saturated".into(), |v| fmt_v(v.volts())),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "scan chain: {} sites × 7 bits = {} shift cycles per frame\n",
+        result.sites.len(),
+        campaign.chain().shift_cycles()
+    ));
+
+    // Equivalent-time capture.
+    let system = SensorSystem::new(SensorConfig::default()).expect("default config");
+    let f = psnt_cells::units::Frequency::from_mhz(50.0);
+    let vdd = SupplyNoiseBuilder::new(Voltage::from_v(0.94))
+        .span(Time::ZERO, Time::from_us(10.0))
+        .resolution(Time::from_ps(250.0))
+        .resonance(f, Voltage::from_mv(35.0), 0.0)
+        .build()
+        .expect("valid noise");
+    let sampler = EquivalentTimeSampler::new(Time::period_of(f), 20).expect("valid sampler");
+    let recon = sampler
+        .capture_periodic(&system, &vdd, &Waveform::constant(0.0), Time::from_ns(100.0), 400)
+        .expect("capture");
+    out.push_str(&format!(
+        "equivalent-time capture of 50 MHz resonance: coverage {:.0}%, p2p {} (true 70 mV)\n",
+        recon.coverage() * 100.0,
+        recon
+            .peak_to_peak()
+            .map_or("n/a".into(), |v| format!("{:.0} mV", v.millivolts())),
+    ));
+    out
+}
+
+
+
+/// XP-GATE — the gate-level twin: netlist measures vs the behavioural
+/// array, and the noisy-domain droop seen by STA.
+pub fn gate_level() -> String {
+    use psnt_core::gate_level::GateLevelArray;
+    use psnt_netlist::sta::{analyze_with_domain_supplies, StaConfig};
+
+    let gate = GateLevelArray::paper().expect("valid netlist");
+    let behavioural = ThermometerArray::paper(RailMode::Supply);
+    let pvt = Pvt::typical();
+    let sk = skew(code011());
+
+    let mut t = Table::new(
+        "XP-GATE — event-driven netlist twin vs behavioural model (delay code 011)",
+        &["VDD-n", "gate-level code", "behavioural code", "agree"],
+    );
+    let mut all_agree = true;
+    for mv in (820..=1080).step_by(40) {
+        let v = Voltage::from_mv(mv as f64 + 3.0);
+        let a = gate.measure(v, sk).expect("simulates");
+        let b = behavioural.measure(v, sk, &pvt);
+        let agree = a == b;
+        all_agree &= agree;
+        t.row([
+            fmt_v(v.volts()),
+            a.to_string(),
+            b.to_string(),
+            if agree { "yes".to_string() } else { "NO".into() },
+        ]);
+    }
+    let mut s = t.render();
+    s.push_str(&format!(
+        "bit-exact agreement across the sweep: {}\n",
+        if all_agree { "yes" } else { "NO" }
+    ));
+
+    let cfg = StaConfig::default();
+    let nominal = analyze_with_domain_supplies(gate.netlist(), &cfg, &[]).expect("sta");
+    let droop = analyze_with_domain_supplies(
+        gate.netlist(),
+        &cfg,
+        &[(gate.noisy_domain(), Voltage::from_v(0.9))],
+    )
+    .expect("sta");
+    s.push_str(&format!(
+        "per-domain STA: worst DS path {} at nominal, {} with the noisy rail at 0.90 V\n",
+        fmt_ps(nominal.critical_delay().picoseconds()),
+        fmt_ps(droop.critical_delay().picoseconds()),
+    ));
+
+    // The flattened CNTR + PG + array system running Fig. 9 in gates.
+    let sys = psnt_core::gate_level::GateLevelSystem::paper().expect("system composes");
+    let measures = sys
+        .run_measures(code011(), &[Voltage::from_v(1.0), Voltage::from_v(0.9)])
+        .expect("system runs");
+    s.push_str(&format!(
+        "full gate-level system ({}): measures {} then {} at pin skew {} — Fig. 9 in gates\n",
+        sys.netlist().summary(),
+        measures[0].code,
+        measures[1].code,
+        fmt_ps(measures[0].skew().picoseconds()),
+    ));
+    s
+}
+
+
+
+/// XP-OVERHEAD — the paper's "very low overhead in terms of power and
+/// area" claim, quantified from the gate-level netlists.
+pub fn overhead() -> String {
+    use psnt_cells::gates::GE_AREA_90NM_UM2;
+    use psnt_core::gate_level::GateLevelSystem;
+    use psnt_netlist::sim::Simulator;
+
+    let sys = GateLevelSystem::paper().expect("system composes");
+    let one_array_system = sys.netlist();
+
+    // Area: the composed netlist carries one HS array; the paper's full
+    // system adds the LS array and the ENC (≈ one more array plus ~15 GE
+    // of encoder logic).
+    let array = psnt_core::gate_level::GateLevelArray::paper().expect("array");
+    let array_ge = array.netlist().area_ge();
+    let system_ge = one_array_system.area_ge() + array_ge + 15.0;
+    let system_um2 = system_ge * GE_AREA_90NM_UM2;
+    let leakage_nw = one_array_system.leakage_nw()
+        + array.netlist().leakage_nw()
+        + 15.0 * psnt_cells::gates::LEAKAGE_NW_PER_GE;
+
+    // Dynamic power: run the gate-level system flat out (one measure per
+    // five 4 ns cycles) and read the accumulated switching energy.
+    let mut sim = Simulator::new(one_array_system, Voltage::from_v(1.0)).expect("valid");
+    let clk = one_array_system.net_by_name("clk").expect("clk");
+    let enable = one_array_system.net_by_name("enable").expect("enable");
+    let start = one_array_system.net_by_name("start").expect("start");
+    sim.drive(enable, psnt_cells::logic::Logic::One, Time::ZERO).expect("drive");
+    sim.drive(start, psnt_cells::logic::Logic::One, Time::ZERO).expect("drive");
+    for i in 0..3u8 {
+        let sel = one_array_system.net_by_name(&format!("sel{i}")).expect("sel");
+        sim.drive(sel, psnt_cells::logic::Logic::from(3 >> i & 1 == 1), Time::ZERO)
+            .expect("drive");
+    }
+    sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 50).expect("clock");
+    sim.run_until(Time::from_ns(202.0));
+    // Both arrays switch: double the array share ≈ double total (the
+    // arrays dominate the switched capacitance through the big DS caps).
+    let dyn_uw = 2.0 * sim.dynamic_power_watts() * 1e6;
+    let total_uw = dyn_uw + leakage_nw * 1e-3;
+
+    let mut t = Table::new(
+        "XP-OVERHEAD — sensor cost vs representative CUTs (90 nm)",
+        &["quantity", "value"],
+    );
+    t.row([
+        "sensor system area".to_string(),
+        format!("{system_ge:.0} GE ≈ {system_um2:.0} µm²"),
+    ]);
+    t.row(["  of which one 7-bit array".to_string(), format!("{array_ge:.0} GE")]);
+    t.row(["leakage".to_string(), format!("{:.2} µW", leakage_nw * 1e-3)]);
+    t.row([
+        "dynamic power (continuous measures, 4 ns clock)".to_string(),
+        format!("{dyn_uw:.1} µW"),
+    ]);
+    t.row(["total power".to_string(), format!("{total_uw:.1} µW")]);
+    for cut_kge in [50.0, 200.0, 1000.0] {
+        t.row([
+            format!("area overhead vs a {cut_kge:.0}k-GE CUT"),
+            format!("{:.3} %", system_ge / (cut_kge * 1000.0) * 100.0),
+        ]);
+    }
+    let mut s = t.render();
+    s.push_str(&format!(
+        "dynamic power is dominated by the pF-scale DS capacitors the paper specifies; duty-cycled\n\
+         measurement (e.g. one burst per 100 clock cycles) reduces it to {:.0} µW.\n\
+         per extra measure point only one more array (+ its share of the scan chain) is added;\n\
+         the CNTR, PG and ENC are shared — the paper's \"only a control system is required\".\n",
+        dyn_uw / 100.0 + leakage_nw * 1e-3,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_report_shows_failure_at_case_4() {
+        let s = fig2();
+        assert!(s.contains("WRONG (0)"));
+        assert_eq!(s.matches("correct (1)").count(), 3);
+    }
+
+    #[test]
+    fn fig3_report_shows_both_outcomes() {
+        let s = fig3();
+        assert!(s.contains("1 (set-up met)"));
+        assert!(s.contains("0 (set-up violated)"));
+    }
+
+    #[test]
+    fn fig4_report_contains_published_point() {
+        let s = fig4();
+        assert!(s.contains("paper @ 2 pF: 0.9360 V"));
+        assert!(s.contains("0.93"), "{s}");
+    }
+
+    #[test]
+    fn fig5_report_contains_ranges() {
+        let s = fig5();
+        assert!(s.contains("011"));
+        assert!(s.contains("0.827"));
+    }
+
+    #[test]
+    fn tab1_report_contains_taps() {
+        let s = tab1();
+        assert!(s.contains("107"));
+        assert!(s.contains("149.0 ps"));
+    }
+
+    #[test]
+    fn fig6_report_has_ten_measures() {
+        let s = fig6();
+        assert!(s.matches("0.9").count() >= 1);
+        assert!(s.lines().count() >= 13, "{s}");
+    }
+
+    #[test]
+    fn fig8_report_contains_critical_path() {
+        let s = fig8();
+        assert!(s.contains("critical path"));
+        assert!(s.contains("Sense"));
+    }
+
+    #[test]
+    fn fig9_report_matches_paper_codes() {
+        let s = fig9();
+        assert!(s.contains("0011111"));
+        assert!(s.contains("0000011"));
+        assert!(s.contains("0000000"));
+    }
+
+    #[test]
+    fn gate_level_report_agrees() {
+        let s = gate_level();
+        assert!(s.contains("bit-exact agreement across the sweep: yes"), "{s}");
+        assert!(s.contains("per-domain STA"));
+    }
+
+    #[test]
+    fn overhead_report_quantifies_the_claim() {
+        let s = overhead();
+        assert!(s.contains("GE"), "{s}");
+        assert!(s.contains("area overhead vs a 200k-GE CUT"));
+        assert!(s.contains("dynamic power"));
+    }
+
+    #[test]
+    fn gnd_pv_baseline_scan_render() {
+        assert!(gnd().contains("LOW-SENSE"));
+        assert!(pv().contains("SS"));
+        let b = baseline();
+        assert!(b.contains("60 mV VDD droop"));
+        let sc = scan();
+        assert!(sc.contains("shift cycles"));
+        assert!(sc.contains("equivalent-time"));
+    }
+}

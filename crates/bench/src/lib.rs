@@ -1,0 +1,55 @@
+//! # psnt-bench — reproduction harness
+//!
+//! One function per paper figure/table ([`figures`]) and per design
+//! ablation ([`ablations`]). The `repro` binary prints them; the
+//! Criterion benches in `benches/` time them. See `EXPERIMENTS.md` at
+//! the workspace root for measured-vs-published values.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+
+/// An experiment entry: a stable id and the function that renders it.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Every experiment as `(id, runner)`, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("fig2", figures::fig2 as fn() -> String),
+        ("fig3", figures::fig3),
+        ("fig4", figures::fig4),
+        ("fig5", figures::fig5),
+        ("tab1", figures::tab1),
+        ("fig6", figures::fig6),
+        ("fig8", figures::fig8),
+        ("fig9", figures::fig9),
+        ("gnd", figures::gnd),
+        ("pv", figures::pv),
+        ("baseline", figures::baseline),
+        ("scan", figures::scan),
+        ("gate-level", figures::gate_level),
+        ("overhead", figures::overhead),
+        ("delay-model", ablations::delay_model),
+        ("ladder", ablations::ladder),
+        ("encoding", ablations::encoding),
+        ("sampling", ablations::sampling),
+        ("mismatch", ablations::mismatch),
+        ("impedance", ablations::impedance),
+        ("temperature", ablations::temperature),
+        ("code-density", ablations::code_density),
+        ("oversampling", ablations::oversampling),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_experiments_run_and_render() {
+        for (id, run) in super::all_experiments() {
+            let out = run();
+            assert!(!out.is_empty(), "{id} produced no output");
+            assert!(out.contains("=="), "{id} missing a table title");
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Edge-triggered D flip-flop with setup/hold windows and metastability.
+//!
+//! The paper's sensor works by *deliberately* running a flip-flop into a
+//! setup violation: when the noisy supply sags, the delay-sense node `DS`
+//! arrives after `CP − t_setup` and the FF "fails the evaluation"
+//! (captures the stale value). Fig. 2 additionally shows the tell-tale
+//! metastability signature — "OUT delay increases in a not linear way" as
+//! the data edge approaches the failure boundary, on *both* sides of it.
+//!
+//! [`Dff::sample`] models three orthogonal aspects of a capture:
+//!
+//! * **captured value** — deterministic and spec-accurate: the new value
+//!   is captured iff the data edge settles at least `t_setup` before the
+//!   clock edge; any later arrival keeps the old value (this is the
+//!   boundary the sensor's thresholds are calibrated against);
+//! * **violation flag** — raised whenever the data edge falls inside the
+//!   spec setup/hold window `(−t_setup, +t_hold)`;
+//! * **resolution delay** — the clock-to-output delay is amplified by the
+//!   classic `τ·ln(w/Δ)` law as the arrival approaches the capture
+//!   boundary within the metastability window `w`, whichever side it is
+//!   on. A passing-but-barely capture therefore resolves late, exactly as
+//!   the paper's Fig. 2 cases 1–3 show.
+//!
+//! [`Dff::sample_with_rng`] additionally randomises the captured value
+//! inside the metastability window (probability of the new value falling
+//! linearly from 1 at `boundary − w` to 0 at `boundary + w`).
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::dff::Dff;
+//! use psnt_cells::logic::Logic;
+//! use psnt_cells::units::Time;
+//!
+//! let ff = Dff::standard_90nm();
+//! // Data arrived 50 ps before the clock edge: comfortably captured.
+//! let ok = ff.sample(Time::from_ps(-50.0), Logic::One, Logic::Zero);
+//! assert_eq!(ok.value, Logic::One);
+//! assert!(!ok.metastable);
+//! // Data arrived 10 ps after the edge: the old value is retained.
+//! let late = ff.sample(Time::from_ps(10.0), Logic::One, Logic::Zero);
+//! assert_eq!(late.value, Logic::Zero);
+//! ```
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CellError;
+use crate::logic::Logic;
+use crate::units::{Capacitance, Time};
+
+/// Result of a flip-flop sampling event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleOutcome {
+    /// The captured output value.
+    pub value: Logic,
+    /// Delay from the active clock edge to a settled output.
+    pub clk_to_out: Time,
+    /// `true` when the data edge violated the spec setup/hold window.
+    pub metastable: bool,
+    /// Proximity to the capture boundary in `[0, 1]`: 0 outside the
+    /// metastability window, 1 exactly at the boundary (longest
+    /// resolution).
+    pub severity: f64,
+}
+
+impl SampleOutcome {
+    fn clean(value: Logic, clk_to_out: Time) -> SampleOutcome {
+        SampleOutcome {
+            value,
+            clk_to_out,
+            metastable: false,
+            severity: 0.0,
+        }
+    }
+}
+
+/// A positive-edge-triggered D flip-flop timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dff {
+    setup: Time,
+    hold: Time,
+    clk_to_q: Time,
+    /// Metastability resolution time constant τ.
+    tau: Time,
+    /// Half-width of the metastability region around the capture
+    /// boundary; arrivals within it resolve slowly.
+    meta_window: Time,
+    /// Upper bound on the resolution-time amplification, to keep the
+    /// model finite exactly at the boundary.
+    max_resolution: Time,
+    d_capacitance: Capacitance,
+    clk_capacitance: Capacitance,
+}
+
+impl Dff {
+    /// Creates a flip-flop model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidParameter`] when any duration is
+    /// negative, `clk_to_q`, `tau` or `meta_window` is non-positive, or
+    /// `max_resolution < clk_to_q`.
+    pub fn new(
+        setup: Time,
+        hold: Time,
+        clk_to_q: Time,
+        tau: Time,
+        meta_window: Time,
+        max_resolution: Time,
+    ) -> Result<Dff, CellError> {
+        if setup < Time::ZERO || hold < Time::ZERO {
+            return Err(CellError::InvalidParameter {
+                name: "setup/hold",
+                reason: "setup and hold must be non-negative".into(),
+            });
+        }
+        if clk_to_q <= Time::ZERO {
+            return Err(CellError::InvalidParameter {
+                name: "clk_to_q",
+                reason: "clock-to-Q must be positive".into(),
+            });
+        }
+        if tau <= Time::ZERO || meta_window <= Time::ZERO {
+            return Err(CellError::InvalidParameter {
+                name: "tau/meta_window",
+                reason: "metastability constants must be positive".into(),
+            });
+        }
+        if max_resolution < clk_to_q {
+            return Err(CellError::InvalidParameter {
+                name: "max_resolution",
+                reason: "resolution bound must be at least clk_to_q".into(),
+            });
+        }
+        Ok(Dff {
+            setup,
+            hold,
+            clk_to_q,
+            tau,
+            meta_window,
+            max_resolution,
+            d_capacitance: Capacitance::from_ff(2.2),
+            clk_capacitance: Capacitance::from_ff(1.6),
+        })
+    }
+
+    /// The 90 nm library flip-flop used by the sensor: 30 ps setup,
+    /// 15 ps hold, 90 ps clock-to-Q, τ = 12 ps, 8 ps metastability
+    /// half-window, resolution capped at 600 ps. The 30 ps setup together
+    /// with the PG's 84 ps clock-path offset yields the 54 ps base sense
+    /// window of `DESIGN.md` §2.
+    pub fn standard_90nm() -> Dff {
+        Dff {
+            setup: Time::from_ps(30.0),
+            hold: Time::from_ps(15.0),
+            clk_to_q: Time::from_ps(90.0),
+            tau: Time::from_ps(12.0),
+            meta_window: Time::from_ps(8.0),
+            max_resolution: Time::from_ps(600.0),
+            d_capacitance: Capacitance::from_ff(2.2),
+            clk_capacitance: Capacitance::from_ff(1.6),
+        }
+    }
+
+    /// Setup time.
+    pub fn setup(&self) -> Time {
+        self.setup
+    }
+
+    /// Hold time.
+    pub fn hold(&self) -> Time {
+        self.hold
+    }
+
+    /// Nominal clock-to-Q delay.
+    pub fn clk_to_q(&self) -> Time {
+        self.clk_to_q
+    }
+
+    /// Metastability resolution time constant τ.
+    pub fn tau(&self) -> Time {
+        self.tau
+    }
+
+    /// Half-width of the metastability region around the capture boundary.
+    pub fn meta_window(&self) -> Time {
+        self.meta_window
+    }
+
+    /// Flip-flop area in gate equivalents (a 90 nm D-FF is ≈ 4.5 NAND2
+    /// footprints).
+    pub fn area_ge(&self) -> f64 {
+        4.5
+    }
+
+    /// Leakage power estimate in nanowatts.
+    pub fn leakage_nw(&self) -> f64 {
+        self.area_ge() * crate::gates::LEAKAGE_NW_PER_GE
+    }
+
+    /// Capacitance of the D pin.
+    pub fn d_capacitance(&self) -> Capacitance {
+        self.d_capacitance
+    }
+
+    /// Capacitance of the CLK pin.
+    pub fn clk_capacitance(&self) -> Capacitance {
+        self.clk_capacitance
+    }
+
+    /// The capture boundary relative to the clock edge: data settling at
+    /// or before `−t_setup` is captured, anything later is not.
+    pub fn capture_boundary(&self) -> Time {
+        -self.setup
+    }
+
+    /// Samples a data edge arriving at `arrival_after_edge` relative to the
+    /// active clock edge (negative = before the edge). `new_value` is the
+    /// level the data settles to; `old_value` is the level it had before.
+    ///
+    /// Deterministic: the new value is captured iff the arrival respects
+    /// the setup time. Use [`Dff::sample_with_rng`] for a stochastic
+    /// boundary.
+    pub fn sample(&self, arrival_after_edge: Time, new_value: Logic, old_value: Logic) -> SampleOutcome {
+        let boundary = self.capture_boundary();
+        let value = if arrival_after_edge <= boundary {
+            new_value
+        } else {
+            old_value
+        };
+        let violation =
+            arrival_after_edge > -self.setup && arrival_after_edge < self.hold;
+        let severity = self.severity(arrival_after_edge);
+        if !violation && severity == 0.0 {
+            return SampleOutcome::clean(value, self.clk_to_q);
+        }
+        SampleOutcome {
+            value,
+            clk_to_out: self.resolution_delay(severity),
+            metastable: violation,
+            severity,
+        }
+    }
+
+    /// Like [`Dff::sample`], but resolving captures inside the
+    /// metastability window randomly: the probability of capturing the new
+    /// value falls linearly from 1 at `boundary − w` to 0 at
+    /// `boundary + w`.
+    pub fn sample_with_rng<R: Rng + ?Sized>(
+        &self,
+        arrival_after_edge: Time,
+        new_value: Logic,
+        old_value: Logic,
+        rng: &mut R,
+    ) -> SampleOutcome {
+        let base = self.sample(arrival_after_edge, new_value, old_value);
+        if base.severity == 0.0 {
+            return base;
+        }
+        let p_new = self.capture_probability(arrival_after_edge);
+        let value = if rng.gen_bool(p_new.clamp(0.0, 1.0)) {
+            new_value
+        } else {
+            old_value
+        };
+        SampleOutcome { value, ..base }
+    }
+
+    /// Probability of capturing the *new* value for a data edge at the
+    /// given arrival: 1 below `boundary − w`, 0 above `boundary + w`,
+    /// linear in between (0.5 exactly at the capture boundary).
+    pub fn capture_probability(&self, arrival_after_edge: Time) -> f64 {
+        let boundary = self.capture_boundary();
+        let w = self.meta_window;
+        let x = (arrival_after_edge - (boundary - w)) / (w * 2.0);
+        (1.0 - x).clamp(0.0, 1.0)
+    }
+
+    /// Proximity to the capture boundary: 1 at the boundary, falling
+    /// linearly to 0 at `±meta_window`.
+    fn severity(&self, arrival_after_edge: Time) -> f64 {
+        let delta = (arrival_after_edge - self.capture_boundary()).abs();
+        if delta >= self.meta_window {
+            0.0
+        } else {
+            1.0 - delta / self.meta_window
+        }
+    }
+
+    /// Resolution delay for a given severity: `clk_to_q` away from the
+    /// boundary, growing as `τ·ln(1/(1−severity))`, capped at the model's
+    /// resolution bound.
+    fn resolution_delay(&self, severity: f64) -> Time {
+        if severity >= 1.0 {
+            return self.max_resolution;
+        }
+        let extra = self.tau * (1.0 / (1.0 - severity)).ln();
+        (self.clk_to_q + extra).min(self.max_resolution)
+    }
+}
+
+impl Default for Dff {
+    fn default() -> Dff {
+        Dff::standard_90nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ff() -> Dff {
+        Dff::standard_90nm()
+    }
+
+    fn ps(t: f64) -> Time {
+        Time::from_ps(t)
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Dff::new(ps(30.0), ps(15.0), ps(90.0), ps(12.0), ps(8.0), ps(600.0)).is_ok());
+        assert!(Dff::new(ps(-1.0), ps(15.0), ps(90.0), ps(12.0), ps(8.0), ps(600.0)).is_err());
+        assert!(Dff::new(ps(30.0), ps(15.0), Time::ZERO, ps(12.0), ps(8.0), ps(600.0)).is_err());
+        assert!(Dff::new(ps(30.0), ps(15.0), ps(90.0), Time::ZERO, ps(8.0), ps(600.0)).is_err());
+        assert!(Dff::new(ps(30.0), ps(15.0), ps(90.0), ps(12.0), Time::ZERO, ps(600.0)).is_err());
+        assert!(Dff::new(ps(30.0), ps(15.0), ps(90.0), ps(12.0), ps(8.0), ps(10.0)).is_err());
+    }
+
+    #[test]
+    fn clean_capture_well_before_setup() {
+        let out = ff().sample(ps(-60.0), Logic::One, Logic::Zero);
+        assert_eq!(out.value, Logic::One);
+        assert!(!out.metastable);
+        assert_eq!(out.clk_to_out, ff().clk_to_q());
+        assert_eq!(out.severity, 0.0);
+    }
+
+    #[test]
+    fn capture_flips_exactly_at_setup_boundary() {
+        // The sensor's thresholds are calibrated against this boundary.
+        let at = ff().sample(ps(-30.0), Logic::One, Logic::Zero);
+        assert_eq!(at.value, Logic::One, "arrival == −t_setup still captures");
+        let just_late = ff().sample(ps(-29.999), Logic::One, Logic::Zero);
+        assert_eq!(just_late.value, Logic::Zero, "any setup violation fails");
+    }
+
+    #[test]
+    fn clean_retention_after_hold() {
+        let out = ff().sample(ps(20.0), Logic::One, Logic::Zero);
+        assert_eq!(out.value, Logic::Zero);
+        assert!(!out.metastable);
+        assert_eq!(out.clk_to_out, ff().clk_to_q());
+    }
+
+    #[test]
+    fn spec_window_flags_violation() {
+        for a in [-29.0, -10.0, 0.0, 14.0] {
+            let out = ff().sample(ps(a), Logic::One, Logic::Zero);
+            assert!(out.metastable, "arrival {a} ps should violate the window");
+            assert_eq!(out.value, Logic::Zero, "violations keep the old value");
+        }
+        for a in [-31.0, 15.0, 50.0] {
+            let out = ff().sample(ps(a), Logic::One, Logic::Zero);
+            assert!(!out.metastable, "arrival {a} ps is outside the window");
+        }
+    }
+
+    #[test]
+    fn resolution_delay_amplified_on_both_sides_of_boundary() {
+        // Paper Fig. 2: OUT delay grows non-linearly as DS approaches the
+        // failure point — including for captures that still pass.
+        let f = ff();
+        let passing_near = f.sample(ps(-31.0), Logic::One, Logic::Zero);
+        assert_eq!(passing_near.value, Logic::One);
+        assert!(passing_near.clk_to_out > f.clk_to_q());
+        let failing_near = f.sample(ps(-29.0), Logic::One, Logic::Zero);
+        assert_eq!(failing_near.value, Logic::Zero);
+        assert!(failing_near.clk_to_out > f.clk_to_q());
+        // Symmetric proximity → symmetric amplification.
+        assert!((passing_near.clk_to_out - failing_near.clk_to_out).abs() < ps(1e-9));
+    }
+
+    #[test]
+    fn resolution_delay_grows_nonlinearly_toward_boundary() {
+        let f = ff();
+        let mut prev = Time::ZERO;
+        let mut deltas = Vec::new();
+        for a in [-37.0, -35.0, -33.0, -31.5, -30.5, -30.1] {
+            let out = f.sample(ps(a), Logic::One, Logic::Zero);
+            assert!(out.clk_to_out >= prev, "resolution must grow toward the boundary");
+            deltas.push(out.clk_to_out - prev);
+            prev = out.clk_to_out;
+        }
+        // Non-linear growth: the last increment dominates the first.
+        assert!(deltas[deltas.len() - 1] > deltas[1]);
+    }
+
+    #[test]
+    fn boundary_hits_resolution_cap() {
+        let f = ff();
+        let out = f.sample(f.capture_boundary(), Logic::One, Logic::Zero);
+        assert!((out.severity - 1.0).abs() < 1e-9);
+        assert_eq!(out.clk_to_out, ps(600.0));
+    }
+
+    #[test]
+    fn capture_probability_profile() {
+        let f = ff();
+        // Far before the window: certain capture.
+        assert_eq!(f.capture_probability(ps(-100.0)), 1.0);
+        // Far after: certain failure.
+        assert_eq!(f.capture_probability(ps(100.0)), 0.0);
+        // At the capture boundary: 50/50.
+        let mid = f.capture_probability(f.capture_boundary());
+        assert!((mid - 0.5).abs() < 1e-9);
+        // Monotone decreasing across the region.
+        let mut prev = 1.0;
+        for i in -45..=-15 {
+            let p = f.capture_probability(ps(i as f64));
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn stochastic_sampling_respects_probability() {
+        let f = ff();
+        let mut rng = StdRng::seed_from_u64(42);
+        // 1 ps inside the capture side of the metastability window:
+        // p(new) ≈ 0.94.
+        let mut new_count = 0;
+        for _ in 0..1000 {
+            let out = f.sample_with_rng(ps(-37.0), Logic::One, Logic::Zero, &mut rng);
+            if out.value == Logic::One {
+                new_count += 1;
+            }
+        }
+        assert!((880..=990).contains(&new_count), "expected ~94 % new captures, got {new_count}");
+
+        // At the boundary: close to 50/50.
+        let mut new_count = 0;
+        for _ in 0..2000 {
+            let out = f.sample_with_rng(f.capture_boundary(), Logic::One, Logic::Zero, &mut rng);
+            if out.value == Logic::One {
+                new_count += 1;
+            }
+        }
+        assert!((800..=1200).contains(&new_count), "boundary biased: {new_count}");
+    }
+
+    #[test]
+    fn stochastic_equals_deterministic_outside_window() {
+        let f = ff();
+        let mut rng = StdRng::seed_from_u64(7);
+        for a in [-200.0, -50.0, 0.0, 50.0] {
+            let out = f.sample_with_rng(ps(a), Logic::One, Logic::Zero, &mut rng);
+            assert_eq!(out, f.sample(ps(a), Logic::One, Logic::Zero), "arrival {a}");
+        }
+    }
+
+    #[test]
+    fn pin_capacitances_positive() {
+        assert!(ff().d_capacitance() > Capacitance::ZERO);
+        assert!(ff().clk_capacitance() > Capacitance::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn outcome_value_is_one_of_inputs(arrival in -100.0..100.0f64) {
+            let out = ff().sample(ps(arrival), Logic::One, Logic::Zero);
+            prop_assert!(out.value == Logic::One || out.value == Logic::Zero);
+        }
+
+        #[test]
+        fn severity_bounded(arrival in -100.0..100.0f64) {
+            let out = ff().sample(ps(arrival), Logic::One, Logic::Zero);
+            prop_assert!((0.0..=1.0).contains(&out.severity));
+        }
+
+        #[test]
+        fn clk_to_out_bounded(arrival in -100.0..100.0f64) {
+            let f = ff();
+            let out = f.sample(ps(arrival), Logic::One, Logic::Zero);
+            prop_assert!(out.clk_to_out >= f.clk_to_q());
+            prop_assert!(out.clk_to_out <= ps(600.0));
+        }
+
+        #[test]
+        fn violation_iff_inside_spec_window(arrival in -100.0..100.0f64) {
+            let f = ff();
+            let a = ps(arrival);
+            let out = f.sample(a, Logic::One, Logic::Zero);
+            let inside = a > -f.setup() && a < f.hold();
+            prop_assert_eq!(out.metastable, inside);
+        }
+
+        #[test]
+        fn capture_deterministic_at_boundary(arrival in -100.0..100.0f64) {
+            let f = ff();
+            let a = ps(arrival);
+            let out = f.sample(a, Logic::One, Logic::Zero);
+            if a <= f.capture_boundary() {
+                prop_assert_eq!(out.value, Logic::One);
+            } else {
+                prop_assert_eq!(out.value, Logic::Zero);
+            }
+        }
+    }
+}

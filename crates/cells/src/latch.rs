@@ -1,0 +1,133 @@
+//! Level-sensitive D latch.
+//!
+//! Used by the Razor-style baseline in `psnt-core::baseline`: Razor pairs
+//! each pipeline flip-flop with a *shadow latch* that stays transparent
+//! after the clock edge, so late (setup-violating) data still reaches the
+//! shadow and the main/shadow disagreement flags a timing error.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::latch::Latch;
+//! use psnt_cells::logic::Logic;
+//!
+//! let mut latch = Latch::new();
+//! latch.update(Logic::One, Logic::One);  // enable high: transparent
+//! assert_eq!(latch.q(), Logic::One);
+//! latch.update(Logic::Zero, Logic::Zero); // enable low: opaque, holds
+//! assert_eq!(latch.q(), Logic::One);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::logic::Logic;
+use crate::units::Time;
+
+/// A transparent-high level-sensitive latch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Latch {
+    q: Logic,
+    d_to_q: Time,
+}
+
+impl Latch {
+    /// Creates a latch with unknown initial state and a typical 90 nm
+    /// data-to-output delay of 60 ps.
+    pub fn new() -> Latch {
+        Latch {
+            q: Logic::X,
+            d_to_q: Time::from_ps(60.0),
+        }
+    }
+
+    /// Creates a latch with a specific transparent-path delay.
+    pub fn with_delay(d_to_q: Time) -> Latch {
+        Latch {
+            q: Logic::X,
+            d_to_q,
+        }
+    }
+
+    /// Current output value.
+    pub fn q(&self) -> Logic {
+        self.q
+    }
+
+    /// Data-to-output delay while transparent.
+    pub fn d_to_q(&self) -> Time {
+        self.d_to_q
+    }
+
+    /// Applies the data and enable levels. While `enable` is high the
+    /// latch is transparent (`Q` follows `D`); while low it holds. An
+    /// unknown enable poisons the state unless `D` already equals `Q`.
+    pub fn update(&mut self, d: Logic, enable: Logic) {
+        match enable {
+            Logic::One => self.q = d,
+            Logic::Zero => {}
+            Logic::X | Logic::Z => {
+                if self.q != d {
+                    self.q = Logic::X;
+                }
+            }
+        }
+    }
+
+    /// Forces the stored state (model reset).
+    pub fn set(&mut self, value: Logic) {
+        self.q = value;
+    }
+}
+
+impl Default for Latch {
+    fn default() -> Latch {
+        Latch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_unknown() {
+        assert_eq!(Latch::new().q(), Logic::X);
+    }
+
+    #[test]
+    fn transparent_when_enabled() {
+        let mut l = Latch::new();
+        l.update(Logic::One, Logic::One);
+        assert_eq!(l.q(), Logic::One);
+        l.update(Logic::Zero, Logic::One);
+        assert_eq!(l.q(), Logic::Zero);
+    }
+
+    #[test]
+    fn opaque_when_disabled() {
+        let mut l = Latch::new();
+        l.update(Logic::One, Logic::One);
+        l.update(Logic::Zero, Logic::Zero);
+        assert_eq!(l.q(), Logic::One);
+        l.update(Logic::X, Logic::Zero);
+        assert_eq!(l.q(), Logic::One);
+    }
+
+    #[test]
+    fn unknown_enable_poisons_on_disagreement() {
+        let mut l = Latch::new();
+        l.update(Logic::One, Logic::One);
+        l.update(Logic::One, Logic::X); // D agrees with Q: state survives
+        assert_eq!(l.q(), Logic::One);
+        l.update(Logic::Zero, Logic::X); // disagreement: unknown
+        assert_eq!(l.q(), Logic::X);
+    }
+
+    #[test]
+    fn set_and_delay() {
+        let mut l = Latch::with_delay(Time::from_ps(45.0));
+        assert_eq!(l.d_to_q(), Time::from_ps(45.0));
+        l.set(Logic::Zero);
+        assert_eq!(l.q(), Logic::Zero);
+    }
+}

@@ -1,0 +1,173 @@
+//! A named collection of standard cells — the software analogue of a
+//! Liberty `.lib`.
+//!
+//! The default [`CellLibrary::typical_90nm`] mirrors the 90 nm library the
+//! paper characterised its sensor against: inverters, basic gates and
+//! MUXes at drive strengths X1/X2/X4, plus the sensor flip-flop.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::library::CellLibrary;
+//!
+//! let lib = CellLibrary::typical_90nm();
+//! let inv = lib.cell("INVX1")?;
+//! assert_eq!(inv.num_inputs(), 1);
+//! assert!(lib.cell_names().count() > 20);
+//! # Ok::<(), psnt_cells::error::CellError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dff::Dff;
+use crate::error::CellError;
+use crate::gates::StdCell;
+
+/// A library of combinational cells plus a sequential (DFF) model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    name: String,
+    cells: BTreeMap<String, StdCell>,
+    dff: Dff,
+}
+
+impl CellLibrary {
+    /// Creates an empty library with the given name and flip-flop model.
+    pub fn new(name: impl Into<String>, dff: Dff) -> CellLibrary {
+        CellLibrary {
+            name: name.into(),
+            cells: BTreeMap::new(),
+            dff,
+        }
+    }
+
+    /// The representative 90 nm library: every gate family at drive
+    /// strengths X1, X2 and X4, plus [`Dff::standard_90nm`].
+    pub fn typical_90nm() -> CellLibrary {
+        let mut lib = CellLibrary::new("typ90", Dff::standard_90nm());
+        for drive in [1.0, 2.0, 4.0] {
+            lib.add(StdCell::inverter(drive));
+            lib.add(StdCell::buffer(drive));
+            lib.add(StdCell::nand2(drive));
+            lib.add(StdCell::nor2(drive));
+            lib.add(StdCell::and2(drive));
+            lib.add(StdCell::or2(drive));
+            lib.add(StdCell::xor2(drive));
+            lib.add(StdCell::xnor2(drive));
+            lib.add(StdCell::nand3(drive));
+            lib.add(StdCell::nor3(drive));
+            lib.add(StdCell::and3(drive));
+            lib.add(StdCell::or3(drive));
+            lib.add(StdCell::mux2(drive));
+            lib.add(StdCell::aoi21(drive));
+            lib.add(StdCell::oai21(drive));
+        }
+        lib
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds (or replaces) a cell, returning the previous cell with the
+    /// same name if any.
+    pub fn add(&mut self, cell: StdCell) -> Option<StdCell> {
+        self.cells.insert(cell.name().to_owned(), cell)
+    }
+
+    /// Looks a cell up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::UnknownCell`] when absent.
+    pub fn cell(&self, name: &str) -> Result<&StdCell, CellError> {
+        self.cells
+            .get(name)
+            .ok_or_else(|| CellError::UnknownCell(name.to_owned()))
+    }
+
+    /// `true` when the library contains `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.cells.contains_key(name)
+    }
+
+    /// The sequential cell model.
+    pub fn dff(&self) -> &Dff {
+        &self.dff
+    }
+
+    /// Iterates over cell names in sorted order.
+    pub fn cell_names(&self) -> impl Iterator<Item = &str> {
+        self.cells.keys().map(String::as_str)
+    }
+
+    /// Iterates over all cells in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &StdCell> {
+        self.cells.values()
+    }
+
+    /// Number of combinational cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the library holds no combinational cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::GateFunction;
+
+    #[test]
+    fn typical_library_contents() {
+        let lib = CellLibrary::typical_90nm();
+        assert_eq!(lib.name(), "typ90");
+        assert_eq!(lib.len(), 45); // 15 families × 3 drives
+        for name in ["INVX1", "NAND2X2", "MUX2X4", "AOI21X1", "XNOR2X2"] {
+            assert!(lib.contains(name), "missing {name}");
+        }
+        assert!(!lib.contains("INVX9"));
+    }
+
+    #[test]
+    fn lookup_known_and_unknown() {
+        let lib = CellLibrary::typical_90nm();
+        let cell = lib.cell("NOR2X1").unwrap();
+        assert_eq!(cell.function(), GateFunction::Nor2);
+        let err = lib.cell("FOO").unwrap_err();
+        assert_eq!(err, CellError::UnknownCell("FOO".into()));
+    }
+
+    #[test]
+    fn add_replaces_and_returns_previous() {
+        let mut lib = CellLibrary::new("t", Dff::standard_90nm());
+        assert!(lib.is_empty());
+        assert!(lib.add(StdCell::inverter(1.0)).is_none());
+        let prev = lib.add(StdCell::inverter(1.0));
+        assert!(prev.is_some());
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let lib = CellLibrary::typical_90nm();
+        let names: Vec<&str> = lib.cell_names().collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), lib.iter().count());
+    }
+
+    #[test]
+    fn dff_accessible() {
+        let lib = CellLibrary::typical_90nm();
+        assert_eq!(lib.dff(), &Dff::standard_90nm());
+    }
+}

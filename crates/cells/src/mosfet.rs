@@ -1,0 +1,295 @@
+//! Alpha-power-law MOSFET drive model (Sakurai–Newton).
+//!
+//! The paper's sensing principle rests on one physical fact: the
+//! propagation delay of a CMOS inverter grows as its supply voltage drops,
+//! approximately linearly within the range of interest (the paper cites its
+//! ref. \[9\] for the in-range linearity). The alpha-power law
+//!
+//! ```text
+//! I_dsat = K · (V_gs − V_th)^α
+//! ```
+//!
+//! captures exactly that behaviour for short-channel devices (α ≈ 1.3 at
+//! 90 nm, versus the long-channel square law α = 2). The gate delay for a
+//! full-swing transition driving capacitance `C` is then
+//!
+//! ```text
+//! t_pd ≈ C · V_dd / (2 · I_dsat) ∝ C · V_dd / (V_dd − V_th)^α
+//! ```
+//!
+//! which is monotone decreasing in `V_dd` above threshold and near-linear
+//! in the 0.9–1.1 V window the paper measures — the property that makes
+//! the INV+FF element a voltage sensor.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::mosfet::AlphaPowerModel;
+//! use psnt_cells::units::Voltage;
+//!
+//! let m = AlphaPowerModel::typical_90nm();
+//! let hi = m.drive_current(Voltage::from_v(1.1));
+//! let lo = m.drive_current(Voltage::from_v(0.9));
+//! assert!(hi > lo); // more headroom, more drive
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CellError;
+use crate::process::Pvt;
+use crate::units::{Capacitance, Current, Time, Voltage};
+
+/// Sakurai–Newton alpha-power-law transistor model.
+///
+/// All values describe the *typical* (TT, 25 °C) device; corner and
+/// temperature effects are applied through [`Pvt`] at evaluation time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaPowerModel {
+    /// Transconductance coefficient `K` in A/V^α.
+    k: f64,
+    /// Typical threshold voltage.
+    vth: Voltage,
+    /// Velocity-saturation index α (2.0 long-channel … ~1.1 highly
+    /// velocity-saturated).
+    alpha: f64,
+}
+
+impl AlphaPowerModel {
+    /// Creates a model from raw parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidParameter`] when `k <= 0`, `vth <= 0`
+    /// or `alpha` is outside `(1.0, 2.0]`.
+    // The `!(x > 0.0)` forms below are deliberate NaN-rejecting guards.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn new(k: f64, vth: Voltage, alpha: f64) -> Result<AlphaPowerModel, CellError> {
+        if !(k > 0.0) {
+            return Err(CellError::InvalidParameter {
+                name: "k",
+                reason: format!("transconductance must be positive, got {k}"),
+            });
+        }
+        if !(vth > Voltage::ZERO) {
+            return Err(CellError::InvalidParameter {
+                name: "vth",
+                reason: format!("threshold must be positive, got {vth}"),
+            });
+        }
+        if !(alpha > 1.0 && alpha <= 2.0) {
+            return Err(CellError::InvalidParameter {
+                name: "alpha",
+                reason: format!("alpha must be in (1, 2], got {alpha}"),
+            });
+        }
+        Ok(AlphaPowerModel { k, vth, alpha })
+    }
+
+    /// A representative 90 nm general-purpose device: `V_th` = 0.30 V,
+    /// α = 1.3. `K` is normalised so that a unit-drive inverter charging
+    /// 1 pF at 1.0 V takes ≈ 32 ps — the calibration that places the
+    /// paper's Fig. 4/5 thresholds correctly (see `DESIGN.md` §2).
+    pub fn typical_90nm() -> AlphaPowerModel {
+        // t = C·V/(2·K·(V−Vth)^α)  ⇒  K = C·V/(2·t·(V−Vth)^α).
+        // With C = 1 pF, V = 1.0, Vth = 0.3, α = 1.3, t = 32 ps:
+        // (0.7)^1.3 = 0.6294, K = 1e-12 / (2·32e-12·0.6294) = 0.02483 A/V^α.
+        AlphaPowerModel {
+            k: 1.0e-12 / (2.0 * 32.0e-12 * 0.7f64.powf(1.3)),
+            vth: Voltage::from_v(0.30),
+            alpha: 1.3,
+        }
+    }
+
+    /// The typical threshold voltage.
+    pub fn vth(&self) -> Voltage {
+        self.vth
+    }
+
+    /// The velocity-saturation index α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The transconductance coefficient `K` in A/V^α.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// Saturation drive current at gate overdrive `vdd − vth`, at the
+    /// typical corner. Zero at or below threshold (sub-threshold leakage
+    /// is irrelevant at the time scales modelled here).
+    pub fn drive_current(&self, vdd: Voltage) -> Current {
+        self.drive_current_at(vdd, &Pvt::typical())
+    }
+
+    /// Saturation drive current including corner/temperature effects.
+    pub fn drive_current_at(&self, vdd: Voltage, pvt: &Pvt) -> Current {
+        let vth = pvt.effective_vth(self.vth);
+        let overdrive = vdd - vth;
+        if overdrive <= Voltage::ZERO {
+            return Current::ZERO;
+        }
+        let i = self.k * overdrive.volts().powf(self.alpha) * pvt.drive_factor();
+        Current::from_a(i)
+    }
+
+    /// Full-swing switching delay driving `load` from supply `vdd`,
+    /// `t = C·V / (2·I_dsat)`, at the typical corner.
+    ///
+    /// Returns an effectively infinite delay (1 s) when the device has no
+    /// overdrive, modelling a stalled transition.
+    pub fn switching_delay(&self, vdd: Voltage, load: Capacitance) -> Time {
+        self.switching_delay_at(vdd, load, &Pvt::typical())
+    }
+
+    /// Full-swing switching delay including corner/temperature effects.
+    pub fn switching_delay_at(&self, vdd: Voltage, load: Capacitance, pvt: &Pvt) -> Time {
+        let i = self.drive_current_at(vdd, pvt);
+        if i.amps() <= 0.0 {
+            return Time::from_seconds(1.0);
+        }
+        Time::from_seconds(load.farads() * vdd.volts() / (2.0 * i.amps()))
+    }
+
+    /// Effective switching resistance `V / (2·I)` at the given supply —
+    /// useful for RC-style estimates.
+    pub fn effective_resistance(&self, vdd: Voltage, pvt: &Pvt) -> Option<f64> {
+        let i = self.drive_current_at(vdd, pvt);
+        if i.amps() <= 0.0 {
+            None
+        } else {
+            Some(vdd.volts() / (2.0 * i.amps()))
+        }
+    }
+}
+
+impl Default for AlphaPowerModel {
+    fn default() -> AlphaPowerModel {
+        AlphaPowerModel::typical_90nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessCorner;
+    use crate::units::Temperature;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(AlphaPowerModel::new(0.01, Voltage::from_v(0.3), 1.3).is_ok());
+        assert!(AlphaPowerModel::new(0.0, Voltage::from_v(0.3), 1.3).is_err());
+        assert!(AlphaPowerModel::new(0.01, Voltage::ZERO, 1.3).is_err());
+        assert!(AlphaPowerModel::new(0.01, Voltage::from_v(0.3), 1.0).is_err());
+        assert!(AlphaPowerModel::new(0.01, Voltage::from_v(0.3), 2.5).is_err());
+    }
+
+    #[test]
+    fn calibration_point_32ps_per_pf() {
+        let m = AlphaPowerModel::typical_90nm();
+        let t = m.switching_delay(Voltage::from_v(1.0), Capacitance::from_pf(1.0));
+        assert!(
+            (t.picoseconds() - 32.0).abs() < 0.01,
+            "expected 32 ps, got {t}"
+        );
+    }
+
+    #[test]
+    fn delay_decreases_with_supply() {
+        let m = AlphaPowerModel::typical_90nm();
+        let c = Capacitance::from_pf(2.0);
+        let mut prev = Time::from_seconds(10.0);
+        for mv in (850..=1200).step_by(25) {
+            let t = m.switching_delay(Voltage::from_mv(mv as f64), c);
+            assert!(t < prev, "delay not monotone at {mv} mV");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn delay_scales_linearly_with_load() {
+        let m = AlphaPowerModel::typical_90nm();
+        let v = Voltage::from_v(1.0);
+        let t1 = m.switching_delay(v, Capacitance::from_pf(1.0));
+        let t3 = m.switching_delay(v, Capacitance::from_pf(3.0));
+        assert!((t3 / t1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_threshold_stalls() {
+        let m = AlphaPowerModel::typical_90nm();
+        assert_eq!(m.drive_current(Voltage::from_v(0.25)), Current::ZERO);
+        let t = m.switching_delay(Voltage::from_v(0.25), Capacitance::from_pf(1.0));
+        assert!(t >= Time::from_seconds(1.0));
+        assert!(m
+            .effective_resistance(Voltage::from_v(0.25), &Pvt::typical())
+            .is_none());
+    }
+
+    #[test]
+    fn slow_corner_is_slower() {
+        let m = AlphaPowerModel::typical_90nm();
+        let v = Voltage::from_v(1.0);
+        let c = Capacitance::from_pf(1.0);
+        let tt = m.switching_delay_at(v, c, &Pvt::typical());
+        let ss = m.switching_delay_at(
+            v,
+            c,
+            &Pvt::new(ProcessCorner::SS, v, Temperature::from_celsius(25.0)),
+        );
+        let ff = m.switching_delay_at(
+            v,
+            c,
+            &Pvt::new(ProcessCorner::FF, v, Temperature::from_celsius(25.0)),
+        );
+        assert!(ss > tt, "SS should be slower than TT");
+        assert!(ff < tt, "FF should be faster than TT");
+    }
+
+    #[test]
+    fn hot_is_slower_than_cold() {
+        let m = AlphaPowerModel::typical_90nm();
+        let v = Voltage::from_v(1.0);
+        let c = Capacitance::from_pf(1.0);
+        let hot = Pvt::new(ProcessCorner::TT, v, Temperature::from_celsius(125.0));
+        let cold = Pvt::new(ProcessCorner::TT, v, Temperature::from_celsius(-40.0));
+        assert!(m.switching_delay_at(v, c, &hot) > m.switching_delay_at(v, c, &cold));
+    }
+
+    #[test]
+    fn near_linear_in_range_of_interest() {
+        // The paper (via its ref. [9]) relies on delay-vs-VDD being
+        // approximately linear within 0.9–1.1 V. Check the max deviation
+        // from the chord is small (< 3 %).
+        let m = AlphaPowerModel::typical_90nm();
+        let c = Capacitance::from_pf(2.0);
+        let t_lo = m.switching_delay(Voltage::from_v(0.9), c).picoseconds();
+        let t_hi = m.switching_delay(Voltage::from_v(1.1), c).picoseconds();
+        for i in 0..=20 {
+            let v = 0.9 + 0.01 * i as f64;
+            let t = m.switching_delay(Voltage::from_v(v), c).picoseconds();
+            let chord = t_lo + (t_hi - t_lo) * (v - 0.9) / 0.2;
+            let rel = ((t - chord) / t).abs();
+            assert!(rel < 0.03, "deviation {rel:.4} at {v} V");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn drive_monotone_in_vdd(a in 0.35..1.5f64, d in 0.001..0.5f64) {
+            let m = AlphaPowerModel::typical_90nm();
+            let lo = m.drive_current(Voltage::from_v(a));
+            let hi = m.drive_current(Voltage::from_v(a + d));
+            prop_assert!(hi > lo);
+        }
+
+        #[test]
+        fn delay_positive_and_finite(v in 0.4..1.5f64, c in 0.01..10.0f64) {
+            let m = AlphaPowerModel::typical_90nm();
+            let t = m.switching_delay(Voltage::from_v(v), Capacitance::from_pf(c));
+            prop_assert!(t > Time::ZERO);
+            prop_assert!(t.is_finite());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Process corners, temperature derating and PVT operating points.
+//!
+//! The paper notes that the sensor characteristic shifts with process
+//! variations ("in slow conditions, the INV is slower and thus the VDD-n
+//! threshold value is lower") and proposes compensating via the delay code.
+//! This module provides the corner model that drives that behaviour: each
+//! [`ProcessCorner`] scales cell drive strength and threshold voltage, and
+//! temperature applies a first-order mobility derating.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::process::{ProcessCorner, Pvt};
+//! use psnt_cells::units::{Temperature, Voltage};
+//!
+//! let slow = Pvt::new(ProcessCorner::SS, Voltage::from_v(1.0), Temperature::from_celsius(125.0));
+//! let typ = Pvt::typical();
+//! // Slow silicon + hot corner has weaker drive than typical.
+//! assert!(slow.drive_factor() < typ.drive_factor());
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Temperature, Voltage};
+
+/// A manufacturing process corner.
+///
+/// The two letters give the NMOS and PMOS speed respectively, following
+/// foundry convention: `SS` = slow/slow, `FF` = fast/fast, `SF` = slow
+/// NMOS / fast PMOS, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ProcessCorner {
+    /// Slow NMOS, slow PMOS — worst-case delay.
+    SS,
+    /// Typical NMOS, typical PMOS — nominal.
+    #[default]
+    TT,
+    /// Fast NMOS, fast PMOS — best-case delay.
+    FF,
+    /// Slow NMOS, fast PMOS.
+    SF,
+    /// Fast NMOS, slow PMOS.
+    FS,
+}
+
+impl ProcessCorner {
+    /// All five corners.
+    pub const ALL: [ProcessCorner; 5] = [
+        ProcessCorner::SS,
+        ProcessCorner::TT,
+        ProcessCorner::FF,
+        ProcessCorner::SF,
+        ProcessCorner::FS,
+    ];
+
+    /// NMOS drive-current multiplier relative to typical.
+    pub fn nmos_drive(self) -> f64 {
+        match self {
+            ProcessCorner::SS => 0.85,
+            ProcessCorner::TT => 1.0,
+            ProcessCorner::FF => 1.15,
+            ProcessCorner::SF => 0.85,
+            ProcessCorner::FS => 1.15,
+        }
+    }
+
+    /// PMOS drive-current multiplier relative to typical.
+    pub fn pmos_drive(self) -> f64 {
+        match self {
+            ProcessCorner::SS => 0.85,
+            ProcessCorner::TT => 1.0,
+            ProcessCorner::FF => 1.15,
+            ProcessCorner::SF => 1.15,
+            ProcessCorner::FS => 0.85,
+        }
+    }
+
+    /// Threshold-voltage shift relative to typical, in volts. Slow devices
+    /// have a higher `V_th`, fast devices a lower one (±60 mV is a
+    /// representative 90 nm global-corner spread).
+    pub fn vth_shift(self) -> Voltage {
+        match self {
+            ProcessCorner::SS => Voltage::from_mv(60.0),
+            ProcessCorner::TT => Voltage::ZERO,
+            ProcessCorner::FF => Voltage::from_mv(-60.0),
+            // Cross corners: the inverter switching point shifts but the
+            // average threshold stays near typical.
+            ProcessCorner::SF | ProcessCorner::FS => Voltage::ZERO,
+        }
+    }
+
+    /// Combined (geometric-mean) drive multiplier, used for symmetric
+    /// CMOS stages such as an inverter with balanced rise/fall.
+    pub fn drive(self) -> f64 {
+        (self.nmos_drive() * self.pmos_drive()).sqrt()
+    }
+}
+
+impl fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProcessCorner::SS => "SS",
+            ProcessCorner::TT => "TT",
+            ProcessCorner::FF => "FF",
+            ProcessCorner::SF => "SF",
+            ProcessCorner::FS => "FS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Reference temperature at which drive factors are 1.0.
+pub const NOMINAL_TEMPERATURE: Temperature = Temperature::from_celsius(25.0);
+
+/// First-order mobility derating: drive current drops ~0.2 %/°C above the
+/// 25 °C reference (and rises below it). Clamped to stay positive.
+pub fn temperature_drive_factor(t: Temperature) -> f64 {
+    const SLOPE_PER_C: f64 = 0.002;
+    let delta = t.celsius() - NOMINAL_TEMPERATURE.celsius();
+    (1.0 - SLOPE_PER_C * delta).max(0.1)
+}
+
+/// A complete process/voltage/temperature operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pvt {
+    /// Manufacturing corner.
+    pub corner: ProcessCorner,
+    /// Nominal supply voltage of the clean (non-noisy) domain.
+    pub nominal_vdd: Voltage,
+    /// Junction temperature.
+    pub temperature: Temperature,
+}
+
+impl Pvt {
+    /// Creates an operating point.
+    pub fn new(corner: ProcessCorner, nominal_vdd: Voltage, temperature: Temperature) -> Pvt {
+        Pvt {
+            corner,
+            nominal_vdd,
+            temperature,
+        }
+    }
+
+    /// The typical 90 nm operating point used throughout the paper:
+    /// TT corner, 1.0 V, 25 °C.
+    pub fn typical() -> Pvt {
+        Pvt::new(ProcessCorner::TT, Voltage::from_v(1.0), NOMINAL_TEMPERATURE)
+    }
+
+    /// Worst-case-delay sign-off point: SS, 0.9 V, 125 °C.
+    pub fn slow() -> Pvt {
+        Pvt::new(
+            ProcessCorner::SS,
+            Voltage::from_v(0.9),
+            Temperature::from_celsius(125.0),
+        )
+    }
+
+    /// Best-case-delay sign-off point: FF, 1.1 V, −40 °C.
+    pub fn fast() -> Pvt {
+        Pvt::new(
+            ProcessCorner::FF,
+            Voltage::from_v(1.1),
+            Temperature::from_celsius(-40.0),
+        )
+    }
+
+    /// Combined drive factor from corner and temperature (voltage enters
+    /// the delay equation directly, not through this factor).
+    pub fn drive_factor(&self) -> f64 {
+        self.corner.drive() * temperature_drive_factor(self.temperature)
+    }
+
+    /// Effective threshold voltage for a device with typical threshold
+    /// `vth_tt` at this operating point.
+    pub fn effective_vth(&self, vth_tt: Voltage) -> Voltage {
+        vth_tt + self.corner.vth_shift()
+    }
+}
+
+impl Default for Pvt {
+    fn default() -> Pvt {
+        Pvt::typical()
+    }
+}
+
+impl fmt::Display for Pvt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {:.2} / {:.0}",
+            self.corner, self.nominal_vdd, self.temperature
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_ordering_of_drive() {
+        assert!(ProcessCorner::SS.drive() < ProcessCorner::TT.drive());
+        assert!(ProcessCorner::TT.drive() < ProcessCorner::FF.drive());
+    }
+
+    #[test]
+    fn cross_corners_balance() {
+        // SF and FS have the same geometric-mean drive as each other.
+        let sf = ProcessCorner::SF.drive();
+        let fs = ProcessCorner::FS.drive();
+        assert!((sf - fs).abs() < 1e-12);
+        // And sit between SS and FF.
+        assert!(sf > ProcessCorner::SS.drive());
+        assert!(sf < ProcessCorner::FF.drive());
+    }
+
+    #[test]
+    fn vth_shift_signs() {
+        assert!(ProcessCorner::SS.vth_shift() > Voltage::ZERO);
+        assert!(ProcessCorner::FF.vth_shift() < Voltage::ZERO);
+        assert_eq!(ProcessCorner::TT.vth_shift(), Voltage::ZERO);
+    }
+
+    #[test]
+    fn temperature_derating_monotone() {
+        let cold = temperature_drive_factor(Temperature::from_celsius(-40.0));
+        let nom = temperature_drive_factor(NOMINAL_TEMPERATURE);
+        let hot = temperature_drive_factor(Temperature::from_celsius(125.0));
+        assert!(cold > nom);
+        assert!((nom - 1.0).abs() < 1e-12);
+        assert!(hot < nom);
+        assert!(hot > 0.0);
+    }
+
+    #[test]
+    fn extreme_temperature_clamped_positive() {
+        assert!(temperature_drive_factor(Temperature::from_celsius(1.0e6)) > 0.0);
+    }
+
+    #[test]
+    fn pvt_presets() {
+        let t = Pvt::typical();
+        assert_eq!(t.corner, ProcessCorner::TT);
+        assert!((t.drive_factor() - 1.0).abs() < 1e-12);
+        assert!(Pvt::slow().drive_factor() < 1.0);
+        assert!(Pvt::fast().drive_factor() > 1.0);
+        assert_eq!(Pvt::default(), Pvt::typical());
+    }
+
+    #[test]
+    fn effective_vth_shifts_with_corner() {
+        let vth = Voltage::from_v(0.30);
+        assert_eq!(Pvt::typical().effective_vth(vth), vth);
+        assert!(Pvt::slow().effective_vth(vth) > vth);
+        assert!(Pvt::fast().effective_vth(vth) < vth);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessCorner::SS.to_string(), "SS");
+        let p = Pvt::typical();
+        let s = p.to_string();
+        assert!(s.contains("TT"), "{s}");
+        assert!(s.contains("1.00 V"), "{s}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Self-checking error-probability monitor (paper ref. \[6\], Metra et al.).
+//!
+//! The scheme watches replicated critical-path replicas with self-checking
+//! checkers; over many cycles it yields "a general information on the on
+//! chip general error probability due to PSN". The paper's critique:
+//! that aggregate probability "is difficult to be used, especially in
+//! power-aware architectures" — it tells you *that* the supply is
+//! marginal, not *what* the voltage is or *when* it sagged.
+//!
+//! The model: each monitored replica fails a cycle with a probability
+//! that rises smoothly as the cycle's supply sample crosses the replica's
+//! timing threshold (a logistic curve whose width reflects data-dependent
+//! path selection); the monitor reports the failure fraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::units::Voltage;
+//! use psnt_core::baseline::ErrorProbabilityMonitor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let monitor = ErrorProbabilityMonitor::typical();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let quiet = monitor.observe(&[Voltage::from_v(1.0); 2000], &mut rng);
+//! assert!(quiet < 0.01);
+//! ```
+
+use psnt_cells::units::Voltage;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Metra-style aggregate error-probability monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorProbabilityMonitor {
+    /// Supply at which half the monitored cycles fail.
+    threshold: Voltage,
+    /// Logistic width (volts): data-dependent spread of exercised paths.
+    spread: f64,
+}
+
+impl ErrorProbabilityMonitor {
+    /// Creates a monitor with an explicit threshold and spread.
+    pub fn new(threshold: Voltage, spread: Voltage) -> ErrorProbabilityMonitor {
+        ErrorProbabilityMonitor {
+            threshold,
+            spread: spread.volts().max(1e-6),
+        }
+    }
+
+    /// A monitor tuned to a CUT whose paths start failing around 0.9 V
+    /// with a 20 mV data-dependent spread.
+    pub fn typical() -> ErrorProbabilityMonitor {
+        ErrorProbabilityMonitor::new(Voltage::from_v(0.9), Voltage::from_mv(20.0))
+    }
+
+    /// The 50 %-failure supply.
+    pub fn threshold(&self) -> Voltage {
+        self.threshold
+    }
+
+    /// Per-cycle failure probability at a supply sample.
+    pub fn failure_probability(&self, supply: Voltage) -> f64 {
+        let x = (self.threshold - supply).volts() / self.spread;
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    /// Observes a cycle-by-cycle supply trace and returns the measured
+    /// failure fraction — all the scheme exposes.
+    pub fn observe<R: Rng + ?Sized>(&self, supplies: &[Voltage], rng: &mut R) -> f64 {
+        if supplies.is_empty() {
+            return 0.0;
+        }
+        let failures = supplies
+            .iter()
+            .filter(|v| rng.gen_bool(self.failure_probability(**v).clamp(0.0, 1.0)))
+            .count();
+        failures as f64 / supplies.len() as f64
+    }
+
+    /// The analytic (infinite-sample) failure fraction for a trace.
+    pub fn expected_rate(&self, supplies: &[Voltage]) -> f64 {
+        if supplies.is_empty() {
+            return 0.0;
+        }
+        supplies
+            .iter()
+            .map(|v| self.failure_probability(*v))
+            .sum::<f64>()
+            / supplies.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probability_is_sigmoid() {
+        let m = ErrorProbabilityMonitor::typical();
+        assert!(m.failure_probability(Voltage::from_v(1.0)) < 0.01);
+        assert!((m.failure_probability(Voltage::from_v(0.9)) - 0.5).abs() < 1e-9);
+        assert!(m.failure_probability(Voltage::from_v(0.8)) > 0.99);
+        // Monotone decreasing in supply.
+        let mut prev = 1.0;
+        for mv in (800..=1000).step_by(10) {
+            let p = m.failure_probability(Voltage::from_mv(mv as f64));
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn observed_rate_matches_expectation() {
+        let m = ErrorProbabilityMonitor::typical();
+        let mut rng = StdRng::seed_from_u64(9);
+        let trace: Vec<Voltage> = (0..4000)
+            .map(|i| Voltage::from_mv(880.0 + 40.0 * ((i % 10) as f64 / 10.0)))
+            .collect();
+        let observed = m.observe(&trace, &mut rng);
+        let expected = m.expected_rate(&trace);
+        assert!(
+            (observed - expected).abs() < 0.03,
+            "observed {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn aggregate_hides_when_and_what() {
+        // Two very different noise situations with identical aggregate
+        // rate — the information the thermometer preserves and this
+        // scheme destroys.
+        let m = ErrorProbabilityMonitor::typical();
+        // (a) constant marginal supply.
+        let steady = vec![Voltage::from_v(0.9); 1000];
+        // (b) clean supply with deep but rare droops, tuned to the same
+        // expected rate: p(1.0 V) ≈ 0, p(0.8 V) ≈ 1 → 50 % duty of droop.
+        let mut bursty = vec![Voltage::from_v(1.0); 500];
+        bursty.extend(vec![Voltage::from_v(0.8); 500]);
+        let ra = m.expected_rate(&steady);
+        let rb = m.expected_rate(&bursty);
+        assert!((ra - rb).abs() < 0.01, "rates {ra} vs {rb} should collide");
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let m = ErrorProbabilityMonitor::typical();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.observe(&[], &mut rng), 0.0);
+        assert_eq!(m.expected_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn spread_floor_guards_division() {
+        let m = ErrorProbabilityMonitor::new(Voltage::from_v(0.9), Voltage::ZERO);
+        // Degenerates to a step function without NaNs.
+        assert!(m.failure_probability(Voltage::from_v(0.899)) > 0.99);
+        assert!(m.failure_probability(Voltage::from_v(0.901)) < 0.01);
+    }
+}

@@ -1,0 +1,26 @@
+//! Comparison systems from the paper's related work.
+//!
+//! The introduction positions the thermometer against three digital
+//! alternatives; each is implemented here so the `xp_baseline` experiment
+//! can reproduce the qualitative comparison:
+//!
+//! * [`ring_oscillator`] — the standard-cell RO capture circuit of
+//!   Ogasahara et al. (paper ref. \[7\]): powerful for verification, but
+//!   "as it is based on a ring oscillator, it cannot distinguish between
+//!   power and ground voltage variations" — demonstrated by test and
+//!   bench;
+//! * [`razor`] — the Razor shadow-latch scheme of Ernst et al. (ref.
+//!   \[8\]): detects PSN-induced *timing errors* in a pipeline, but only
+//!   where and when the datapath is exercised, and gives no voltage
+//!   value;
+//! * [`error_monitor`] — the self-checking scheme of Metra et al. (ref.
+//!   \[6\]): yields "a general information on the on chip general error
+//!   probability due to PSN", i.e. a rate, not a waveform.
+
+pub mod error_monitor;
+pub mod razor;
+pub mod ring_oscillator;
+
+pub use error_monitor::ErrorProbabilityMonitor;
+pub use razor::{RazorOutcome, RazorStage};
+pub use ring_oscillator::RingOscillatorSensor;

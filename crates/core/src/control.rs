@@ -1,0 +1,638 @@
+//! The control block (CNTR) — paper Fig. 8 and the 1.22 ns claim.
+//!
+//! The controller sequences the sensor through PREPARE and SENSE phases:
+//! after RESET it idles until enabled, then cycles
+//!
+//! ```text
+//! IDLE → READY → S_PRP0 → S_PRP → S_SNS0 → SENSE → READY → …
+//!        (P=1, CP falls) (CP rises) (P=0, CP falls) (CP rises: FF samples)
+//! ```
+//!
+//! so that "each measure is repeated always in the same conditions, and
+//! an error can be caused only by the current PS value". Measures are
+//! iterated under a counter so noise is captured at many instants of the
+//! CUT transient.
+//!
+//! Two views are provided:
+//!
+//! * [`Controller`] — the cycle-accurate behavioural FSM used by the
+//!   system model;
+//! * [`build_control_netlist`] — a hand-mapped standard-cell netlist of
+//!   the same FSM plus its iteration counter/comparator, on which
+//!   [`psnt_netlist::sta`] reproduces the paper's "critical path of the
+//!   whole control system at 90 nm is 1.22 ns" claim, and which the
+//!   event-driven simulator can execute directly (the equivalence test
+//!   checks it against the behavioural FSM).
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_core::control::{Controller, CtrlInputs, CtrlState};
+//!
+//! let mut ctrl = Controller::new(None);
+//! assert_eq!(ctrl.state(), CtrlState::Idle);
+//! let go = CtrlInputs { enable: true, start: true };
+//! ctrl.step(go); // IDLE → READY
+//! ctrl.step(go); // READY → S_PRP0
+//! assert_eq!(ctrl.state(), CtrlState::Prepare0);
+//! ```
+
+use psnt_cells::dff::Dff;
+use psnt_cells::gates::StdCell;
+use psnt_cells::logic::Logic;
+use psnt_cells::units::Capacitance;
+use psnt_netlist::graph::{NetId, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// The FSM states of Fig. 8 (with the two clock-phase sub-states of the
+/// SENSE sequence made explicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CtrlState {
+    /// Waiting for the measure enable after reset.
+    #[default]
+    Idle,
+    /// Armed; a start (external or auto-iterate) launches a measure.
+    Ready,
+    /// PREPARE, negative CP edge (`P = 1`).
+    Prepare0,
+    /// PREPARE, positive CP edge (`P = 1`): the FF captures the PREPARE
+    /// value.
+    Prepare,
+    /// SENSE setup, negative CP edge (`P` falls to 0, `DS` launches).
+    Sense0,
+    /// SENSE, positive CP edge: the FF samples `DS` — the measurement.
+    Sense,
+}
+
+impl CtrlState {
+    /// The 3-bit state encoding used by the gate-level netlist
+    /// (`s2 s1 s0`).
+    pub fn encoding(self) -> u8 {
+        match self {
+            CtrlState::Idle => 0b000,
+            CtrlState::Ready => 0b001,
+            CtrlState::Prepare0 => 0b010,
+            CtrlState::Prepare => 0b011,
+            CtrlState::Sense0 => 0b100,
+            CtrlState::Sense => 0b101,
+        }
+    }
+
+    /// Inverse of [`CtrlState::encoding`]; `None` for the two unused
+    /// encodings.
+    pub fn from_encoding(bits: u8) -> Option<CtrlState> {
+        Some(match bits {
+            0b000 => CtrlState::Idle,
+            0b001 => CtrlState::Ready,
+            0b010 => CtrlState::Prepare0,
+            0b011 => CtrlState::Prepare,
+            0b100 => CtrlState::Sense0,
+            0b101 => CtrlState::Sense,
+            _ => return None,
+        })
+    }
+}
+
+/// External control bits sampled each clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CtrlInputs {
+    /// Measure-enable from the external blocks.
+    pub enable: bool,
+    /// Start one measure sequence.
+    pub start: bool,
+}
+
+/// Controller outputs for the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlOutputs {
+    /// The raw `P` level handed to the PG (`1` in PREPARE, `0` in SENSE;
+    /// polarity is inverted inside the LOW-SENSE array).
+    pub p: Logic,
+    /// The raw `CP` level handed to the PG.
+    pub cp: Logic,
+    /// `true` exactly in the SENSE state: the array outputs are valid to
+    /// latch this cycle.
+    pub capture: bool,
+    /// `true` while a measure sequence is in flight.
+    pub busy: bool,
+}
+
+/// The behavioural CNTR finite-state machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Controller {
+    state: CtrlState,
+    /// Completed SENSE phases.
+    measures_done: u64,
+    /// When set, READY auto-starts until this many measures completed
+    /// (the paper's internally-defined iteration policy).
+    auto_iterations: Option<u64>,
+}
+
+impl Controller {
+    /// Creates a controller in IDLE. With `auto_iterations = Some(n)` the
+    /// FSM self-restarts from READY until `n` measures have completed;
+    /// with `None` each measure needs an external start.
+    pub fn new(auto_iterations: Option<u64>) -> Controller {
+        Controller {
+            state: CtrlState::Idle,
+            measures_done: 0,
+            auto_iterations,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CtrlState {
+        self.state
+    }
+
+    /// Completed measures since reset.
+    pub fn measures_done(&self) -> u64 {
+        self.measures_done
+    }
+
+    /// Returns to IDLE and clears the measure counter.
+    pub fn reset(&mut self) {
+        self.state = CtrlState::Idle;
+        self.measures_done = 0;
+    }
+
+    /// Advances one clock cycle and returns the outputs of the *new*
+    /// state.
+    pub fn step(&mut self, inputs: CtrlInputs) -> CtrlOutputs {
+        self.state = match self.state {
+            CtrlState::Idle => {
+                if inputs.enable {
+                    CtrlState::Ready
+                } else {
+                    CtrlState::Idle
+                }
+            }
+            CtrlState::Ready => {
+                let auto_more = self
+                    .auto_iterations
+                    .is_some_and(|n| inputs.enable && self.measures_done < n);
+                if inputs.start || auto_more {
+                    CtrlState::Prepare0
+                } else {
+                    CtrlState::Ready
+                }
+            }
+            CtrlState::Prepare0 => CtrlState::Prepare,
+            CtrlState::Prepare => CtrlState::Sense0,
+            CtrlState::Sense0 => CtrlState::Sense,
+            CtrlState::Sense => {
+                self.measures_done += 1;
+                CtrlState::Ready
+            }
+        };
+        self.outputs()
+    }
+
+    /// Outputs for the current state.
+    pub fn outputs(&self) -> CtrlOutputs {
+        let (p, cp) = match self.state {
+            // P rests high; CP idles low outside the pulse states.
+            CtrlState::Idle | CtrlState::Ready => (Logic::One, Logic::Zero),
+            CtrlState::Prepare0 => (Logic::One, Logic::Zero),
+            CtrlState::Prepare => (Logic::One, Logic::One),
+            CtrlState::Sense0 => (Logic::Zero, Logic::Zero),
+            CtrlState::Sense => (Logic::Zero, Logic::One),
+        };
+        CtrlOutputs {
+            p,
+            cp,
+            capture: self.state == CtrlState::Sense,
+            busy: !matches!(self.state, CtrlState::Idle | CtrlState::Ready),
+        }
+    }
+}
+
+/// Configuration for the gate-level CNTR netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CtrlNetlistConfig {
+    /// Width of the iteration counter/comparator (the paper's COUNTER).
+    pub counter_bits: usize,
+    /// Wire-load-model capacitance added to every internal net.
+    pub wire_load: Capacitance,
+}
+
+impl Default for CtrlNetlistConfig {
+    fn default() -> CtrlNetlistConfig {
+        CtrlNetlistConfig {
+            counter_bits: 32,
+            wire_load: Capacitance::from_ff(60.0),
+        }
+    }
+}
+
+/// Hand-mapped standard-cell netlist of the CNTR block: the 3-bit state
+/// register with its next-state logic, the iteration counter with a
+/// ripple carry chain, the iteration-target comparator whose result
+/// auto-restarts the FSM, and the `P`/`CP`/`capture` output decode.
+///
+/// Primary inputs: `clk`, `enable`, `start`. Primary outputs: `p`, `cp`,
+/// `capture`, `s0..s2`. The comparator target is tied to the constant
+/// pattern `1010…`, standing in for a config register.
+pub fn build_control_netlist(cfg: &CtrlNetlistConfig) -> Netlist {
+    let mut n = Netlist::new("cntr");
+    let ff = Dff::standard_90nm();
+    let clk = n.add_input("clk");
+    let enable = n.add_input("enable");
+    let start = n.add_input("start");
+
+    // State registers (declared first with placeholder D inputs; rewired
+    // below once the next-state cones exist).
+    let d0_tmp = n.add_net("d0_tmp");
+    let d1_tmp = n.add_net("d1_tmp");
+    let d2_tmp = n.add_net("d2_tmp");
+    let s0 = n.add_dff("state0", ff, d0_tmp, clk, Logic::Zero);
+    let s1 = n.add_dff("state1", ff, d1_tmp, clk, Logic::Zero);
+    let s2 = n.add_dff("state2", ff, d2_tmp, clk, Logic::Zero);
+
+    let wire = |n: &mut Netlist, net: NetId| {
+        n.add_wire_capacitance(net, cfg.wire_load);
+        net
+    };
+
+    let ns0 = {
+        let g = n.add_gate("inv_s0", StdCell::inverter(1.0), &[s0]).unwrap();
+        wire(&mut n, g)
+    };
+    let ns1 = {
+        let g = n.add_gate("inv_s1", StdCell::inverter(1.0), &[s1]).unwrap();
+        wire(&mut n, g)
+    };
+    let ns2 = {
+        let g = n.add_gate("inv_s2", StdCell::inverter(1.0), &[s2]).unwrap();
+        wire(&mut n, g)
+    };
+
+    // Iteration counter: q_i toggles under a ripple carry; count enable is
+    // the SENSE state decode (one count per completed measure).
+    let capture = {
+        let g = n
+            .add_gate("dec_sense", StdCell::and3(1.0), &[s2, ns1, s0])
+            .unwrap();
+        wire(&mut n, g)
+    };
+    let mut carry = capture;
+    let mut q_bits = Vec::with_capacity(cfg.counter_bits);
+    let mut d_nets = Vec::with_capacity(cfg.counter_bits);
+    for i in 0..cfg.counter_bits {
+        let d_tmp = n.add_net(format!("cnt_d{i}_tmp"));
+        let q = n.add_dff(format!("cnt{i}"), ff, d_tmp, clk, Logic::Zero);
+        q_bits.push(q);
+        d_nets.push(d_tmp);
+    }
+    #[allow(clippy::needless_range_loop)]
+    for (i, &q_bit) in q_bits.iter().enumerate() {
+        let d = {
+            let g = n
+                .add_gate(format!("cnt_xor{i}"), StdCell::xor2(1.0), &[q_bit, carry])
+                .unwrap();
+            wire(&mut n, g)
+        };
+        // Rewire the FF's D from the placeholder to the real cone.
+        let dff_index = 3 + i; // after the three state FFs
+        rewire_dff_d(&mut n, dff_index, d);
+        tie_placeholder(&mut n, d_nets[i]);
+        if i + 1 < cfg.counter_bits {
+            let g = n
+                .add_gate(format!("cnt_carry{i}"), StdCell::and2(1.0), &[carry, q_bit])
+                .unwrap();
+            carry = wire(&mut n, g);
+        }
+    }
+
+    // Comparator: serial equality chain against the constant target
+    // pattern 1010… ; `done` auto-parks the FSM once the iteration budget
+    // is spent.
+    let mut chain: Option<NetId> = None;
+    for (i, &q_bit) in q_bits.iter().enumerate() {
+        let t = n.add_const(format!("tgt{i}"), Logic::from(i % 2 == 1));
+        let eq = {
+            let g = n
+                .add_gate(format!("cmp_xnor{i}"), StdCell::xnor2(1.0), &[q_bit, t])
+                .unwrap();
+            wire(&mut n, g)
+        };
+        chain = Some(match chain {
+            None => eq,
+            Some(prev) => {
+                let g = n
+                    .add_gate(format!("cmp_and{i}"), StdCell::and2(1.0), &[prev, eq])
+                    .unwrap();
+                wire(&mut n, g)
+            }
+        });
+    }
+    let done = chain.expect("counter_bits >= 1");
+    let not_done = {
+        let g = n.add_gate("inv_done", StdCell::inverter(1.0), &[done]).unwrap();
+        wire(&mut n, g)
+    };
+    let auto_more = {
+        let g = n
+            .add_gate("auto_more", StdCell::and2(1.0), &[enable, not_done])
+            .unwrap();
+        wire(&mut n, g)
+    };
+    let start_eff = {
+        let g = n
+            .add_gate("start_eff", StdCell::or2(1.0), &[start, auto_more])
+            .unwrap();
+        wire(&mut n, g)
+    };
+
+    // Next-state logic (see CtrlState::encoding):
+    //   d0 = (!s2·!s1·s0·!start_eff) + (!s2·s1·!s0) + (s2·!s1) + (!s2·!s1·!s0·en)
+    //   d1 = (!s2·!s1·s0·start_eff) + (!s2·s1·!s0)
+    //   d2 = (!s2·s1·s0) + (s2·!s1·!s0)
+    let t_ready = {
+        let g = n.add_gate("t_ready", StdCell::and3(1.0), &[ns2, ns1, s0]).unwrap();
+        wire(&mut n, g)
+    };
+    let t_prp0 = {
+        let g = n.add_gate("t_prp0", StdCell::and3(1.0), &[ns2, s1, ns0]).unwrap();
+        wire(&mut n, g)
+    };
+    let t_prp = {
+        let g = n.add_gate("t_prp", StdCell::and3(1.0), &[ns2, s1, s0]).unwrap();
+        wire(&mut n, g)
+    };
+    let t_sns0 = {
+        let g = n.add_gate("t_sns0", StdCell::and3(1.0), &[s2, ns1, ns0]).unwrap();
+        wire(&mut n, g)
+    };
+    let t_idle = {
+        let g = n.add_gate("t_idle", StdCell::and3(1.0), &[ns2, ns1, ns0]).unwrap();
+        wire(&mut n, g)
+    };
+    let s2_nns1 = {
+        let g = n.add_gate("t_sense_any", StdCell::and2(1.0), &[s2, ns1]).unwrap();
+        wire(&mut n, g)
+    };
+    let idle_en = {
+        let g = n.add_gate("idle_en", StdCell::and2(1.0), &[t_idle, enable]).unwrap();
+        wire(&mut n, g)
+    };
+    let n_start = {
+        let g = n.add_gate("n_start", StdCell::inverter(1.0), &[start_eff]).unwrap();
+        wire(&mut n, g)
+    };
+    let ready_hold = {
+        let g = n
+            .add_gate("ready_hold", StdCell::and2(1.0), &[t_ready, n_start])
+            .unwrap();
+        wire(&mut n, g)
+    };
+    let d0_a = {
+        let g = n.add_gate("d0_a", StdCell::or3(1.0), &[ready_hold, t_prp0, s2_nns1]).unwrap();
+        wire(&mut n, g)
+    };
+    let d0 = {
+        let g = n.add_gate("d0", StdCell::or2(1.0), &[d0_a, idle_en]).unwrap();
+        wire(&mut n, g)
+    };
+    let ready_start = {
+        let g = n
+            .add_gate("ready_start", StdCell::and2(1.0), &[t_ready, start_eff])
+            .unwrap();
+        wire(&mut n, g)
+    };
+    let d1 = {
+        let g = n.add_gate("d1", StdCell::or2(1.0), &[ready_start, t_prp0]).unwrap();
+        wire(&mut n, g)
+    };
+    let d2 = {
+        let g = n.add_gate("d2", StdCell::or2(1.0), &[t_prp, t_sns0]).unwrap();
+        wire(&mut n, g)
+    };
+    rewire_dff_d(&mut n, 0, d0);
+    rewire_dff_d(&mut n, 1, d1);
+    rewire_dff_d(&mut n, 2, d2);
+    tie_placeholder(&mut n, d0_tmp);
+    tie_placeholder(&mut n, d1_tmp);
+    tie_placeholder(&mut n, d2_tmp);
+
+    // Output decode: P = !s2, CP = s0·(s1+s2).
+    let p_out = {
+        let g = n.add_gate("p_dec", StdCell::inverter(2.0), &[s2]).unwrap();
+        wire(&mut n, g)
+    };
+    let s1_or_s2 = {
+        let g = n.add_gate("cp_or", StdCell::or2(1.0), &[s1, s2]).unwrap();
+        wire(&mut n, g)
+    };
+    let cp_out = {
+        let g = n.add_gate("cp_dec", StdCell::and2(2.0), &[s0, s1_or_s2]).unwrap();
+        wire(&mut n, g)
+    };
+
+    // Pulse-form P for the integrated system: falls exactly on the clock
+    // edge that raises CP for the SENSE capture (state 101), so the
+    // sensor-pin skew is set by the PG alone. The block-level `p` output
+    // (= !s2) keeps the Fig. 8 per-state levels.
+    let p_pulse = {
+        let g = n.add_gate("p_pulse_dec", StdCell::nand2(2.0), &[s2, s0]).unwrap();
+        wire(&mut n, g)
+    };
+    n.mark_output("p", p_out);
+    n.mark_output("p_pulse", p_pulse);
+    n.mark_output("cp", cp_out);
+    n.mark_output("capture", capture);
+    n.mark_output("s0", s0);
+    n.mark_output("s1", s1);
+    n.mark_output("s2", s2);
+    n
+}
+
+/// Replaces the D net of the `index`-th flip-flop. The graph API keeps
+/// DFF pins immutable post-construction; the builder pattern here first
+/// declares registers (so their `Q` nets exist for the logic cones) and
+/// then closes the loops.
+fn rewire_dff_d(n: &mut Netlist, index: usize, d: NetId) {
+    // Safety of the approach: Netlist exposes dffs() read-only; we rebuild
+    // the instance in place via the public surface.
+    n.rewire_dff_d(index, d);
+}
+
+/// Gives an orphaned placeholder net a constant driver so validation
+/// passes (the placeholder has no readers once rewired).
+fn tie_placeholder(n: &mut Netlist, net: NetId) {
+    n.tie_net(net, Logic::Zero);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psnt_cells::units::{Time, Voltage};
+    use psnt_netlist::sim::Simulator;
+    use psnt_netlist::sta::{analyze, StaConfig};
+
+    fn go() -> CtrlInputs {
+        CtrlInputs {
+            enable: true,
+            start: true,
+        }
+    }
+
+    #[test]
+    fn fsm_walks_the_fig8_sequence() {
+        let mut c = Controller::new(None);
+        let seq: Vec<CtrlState> = (0..7).map(|_| {
+            c.step(go());
+            c.state()
+        })
+        .collect();
+        assert_eq!(
+            seq,
+            vec![
+                CtrlState::Ready,
+                CtrlState::Prepare0,
+                CtrlState::Prepare,
+                CtrlState::Sense0,
+                CtrlState::Sense,
+                CtrlState::Ready,
+                CtrlState::Prepare0,
+            ]
+        );
+        assert_eq!(c.measures_done(), 1);
+    }
+
+    #[test]
+    fn idle_until_enabled() {
+        let mut c = Controller::new(None);
+        for _ in 0..3 {
+            c.step(CtrlInputs::default());
+            assert_eq!(c.state(), CtrlState::Idle);
+        }
+        c.step(CtrlInputs { enable: true, start: false });
+        assert_eq!(c.state(), CtrlState::Ready);
+        // READY holds without a start.
+        c.step(CtrlInputs { enable: true, start: false });
+        assert_eq!(c.state(), CtrlState::Ready);
+    }
+
+    #[test]
+    fn auto_iteration_policy() {
+        let mut c = Controller::new(Some(3));
+        let en = CtrlInputs { enable: true, start: false };
+        // Enable only: the controller self-runs 3 measures then parks.
+        for _ in 0..40 {
+            c.step(en);
+        }
+        assert_eq!(c.measures_done(), 3);
+        assert_eq!(c.state(), CtrlState::Ready);
+    }
+
+    #[test]
+    fn outputs_per_state() {
+        let mut c = Controller::new(None);
+        c.step(go()); // READY
+        let out = c.outputs();
+        assert_eq!((out.p, out.cp), (Logic::One, Logic::Zero));
+        assert!(!out.busy && !out.capture);
+        c.step(go()); // PRP0
+        assert_eq!(c.outputs().cp, Logic::Zero);
+        assert!(c.outputs().busy);
+        c.step(go()); // PRP: positive CP edge with P=1
+        let out = c.outputs();
+        assert_eq!((out.p, out.cp), (Logic::One, Logic::One));
+        c.step(go()); // SENSE0: P falls, CP falls
+        let out = c.outputs();
+        assert_eq!((out.p, out.cp), (Logic::Zero, Logic::Zero));
+        c.step(go()); // SENSE: CP rises with P=0
+        let out = c.outputs();
+        assert_eq!((out.p, out.cp), (Logic::Zero, Logic::One));
+        assert!(out.capture);
+    }
+
+    #[test]
+    fn reset_returns_to_idle() {
+        let mut c = Controller::new(None);
+        for _ in 0..4 {
+            c.step(go());
+        }
+        c.reset();
+        assert_eq!(c.state(), CtrlState::Idle);
+        assert_eq!(c.measures_done(), 0);
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        for s in [
+            CtrlState::Idle,
+            CtrlState::Ready,
+            CtrlState::Prepare0,
+            CtrlState::Prepare,
+            CtrlState::Sense0,
+            CtrlState::Sense,
+        ] {
+            assert_eq!(CtrlState::from_encoding(s.encoding()), Some(s));
+        }
+        assert_eq!(CtrlState::from_encoding(0b110), None);
+        assert_eq!(CtrlState::from_encoding(0b111), None);
+    }
+
+    #[test]
+    fn netlist_validates_and_has_expected_shape() {
+        let n = build_control_netlist(&CtrlNetlistConfig::default());
+        n.validate().unwrap();
+        // 3 state FFs + 32 counter FFs.
+        assert_eq!(n.dffs().len(), 35);
+        assert!(n.gates().len() > 100);
+    }
+
+    #[test]
+    fn critical_path_reproduces_the_1_22ns_claim() {
+        // Paper §III-B: "The critical path of the whole control system at
+        // 90 nm is 1.22 ns". Our hand-mapped netlist must land in the same
+        // regime (the exact figure is recorded in EXPERIMENTS.md).
+        let n = build_control_netlist(&CtrlNetlistConfig::default());
+        let report = analyze(&n, &StaConfig::default()).unwrap();
+        let t = report.critical_delay();
+        assert!(
+            t > Time::from_ns(1.0) && t < Time::from_ns(1.45),
+            "critical path {t} outside the expected regime"
+        );
+        // And it comfortably meets a typical 2 ns system clock, the
+        // paper's "can work with most of the typical CUT system clocks".
+        assert!(report.meets_timing());
+    }
+
+    #[test]
+    fn gate_level_fsm_matches_behavioural_model() {
+        let n = build_control_netlist(&CtrlNetlistConfig::default());
+        let mut sim = Simulator::new(&n, Voltage::from_v(1.0)).unwrap();
+        let clk = n.net_by_name("clk").unwrap();
+        let enable = n.net_by_name("enable").unwrap();
+        let start = n.net_by_name("start").unwrap();
+        let s0 = n.dffs()[0].q();
+        let s1 = n.dffs()[1].q();
+        let s2 = n.dffs()[2].q();
+
+        sim.drive(enable, Logic::One, Time::ZERO).unwrap();
+        sim.drive(start, Logic::One, Time::ZERO).unwrap();
+        let period = Time::from_ns(4.0);
+        sim.drive_clock(clk, Time::from_ns(2.0), period, 12).unwrap();
+
+        let mut behavioural = Controller::new(None);
+        for cycle in 0..12 {
+            // Sample just before the next rising edge: the state after
+            // `cycle+1` captures.
+            let t = Time::from_ns(2.0) + period * cycle as f64 + period * 0.9;
+            sim.run_until(t);
+            behavioural.step(go());
+            let bits = [sim.value(s2), sim.value(s1), sim.value(s0)];
+            let enc = bits
+                .iter()
+                .fold(0u8, |acc, b| (acc << 1) | u8::from(*b == Logic::One));
+            assert_eq!(
+                CtrlState::from_encoding(enc),
+                Some(behavioural.state()),
+                "cycle {cycle}: gate-level state {enc:03b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! The single-bit noise sensor — paper Fig. 1 (left).
+//!
+//! One element is an inverter powered from the rail under test, a load
+//! capacitor `C` on its output node `DS`, and a flip-flop powered from
+//! the clean supply. During PREPARE the element is forced to a known
+//! state; at SENSE the input `P` toggles, `DS` follows after the
+//! inverter's **voltage-dependent** propagation delay, and the FF clock
+//! `CP` rises a fixed skew later. If the rail sagged, `DS` is late, the
+//! FF setup time is violated and the FF keeps the stale PREPARE value —
+//! a `0` in the output vector.
+//!
+//! The element therefore converts a voltage into a pass/fail bit with a
+//! sharp threshold; [`SenseElement::threshold`] solves for it.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::process::Pvt;
+//! use psnt_cells::units::{Capacitance, Time, Voltage};
+//! use psnt_core::element::{RailMode, SenseElement};
+//!
+//! let elem = SenseElement::paper(Capacitance::from_pf(2.0), RailMode::Supply);
+//! let pvt = Pvt::typical();
+//! let skew = Time::from_ps(149.0); // delay code 011: 84 ps insertion + 65 ps tap
+//! assert!(elem.measure(Voltage::from_v(1.00), skew, &pvt).passed);
+//! assert!(!elem.measure(Voltage::from_v(0.90), skew, &pvt).passed);
+//! ```
+
+use psnt_cells::delay::{AlphaPowerDelay, DelayModel};
+use psnt_cells::dff::Dff;
+use psnt_cells::logic::Logic;
+use psnt_cells::process::Pvt;
+use psnt_cells::units::{Capacitance, Time, Voltage};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SensorError;
+
+/// Which rail the element observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RailMode {
+    /// HIGH-SENSE: the inverter is powered from noisy `VDD-n` against
+    /// nominal ground; a *drop* in the rail delays `DS`.
+    Supply,
+    /// LOW-SENSE: the inverter is powered from nominal `VDD` against
+    /// noisy `GND-n`; a *bounce* (rise) in the rail delays `DS`. PREPARE
+    /// and SENSE polarities are opposite to HIGH-SENSE, as the paper
+    /// notes.
+    Ground,
+}
+
+/// One element's sampling result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElementReading {
+    /// `true` when the FF captured the SENSE transition (no error).
+    pub passed: bool,
+    /// The captured output level (mode-dependent polarity).
+    pub out: Logic,
+    /// The DS propagation delay from the `P` edge.
+    pub ds_delay: Time,
+    /// Setup margin: positive means `DS` settled before `CP − t_setup`.
+    pub slack: Time,
+    /// `true` when the capture fell inside the setup/hold window.
+    pub metastable: bool,
+    /// Clock-edge-to-settled-output delay (grows near the boundary —
+    /// paper Fig. 2's non-linear OUT delay).
+    pub out_delay: Time,
+}
+
+/// A single INV + C + FF noise sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SenseElement {
+    inv: AlphaPowerDelay,
+    ff: Dff,
+    load: Capacitance,
+    mode: RailMode,
+}
+
+impl SenseElement {
+    /// Assembles an element from explicit models.
+    pub fn new(inv: AlphaPowerDelay, ff: Dff, load: Capacitance, mode: RailMode) -> SenseElement {
+        SenseElement {
+            inv,
+            ff,
+            load,
+            mode,
+        }
+    }
+
+    /// The paper's element: calibrated 90 nm sense inverter
+    /// ([`AlphaPowerDelay::paper_sense_inverter`]) and library FF
+    /// ([`Dff::standard_90nm`]) with the given added load.
+    pub fn paper(load: Capacitance, mode: RailMode) -> SenseElement {
+        SenseElement {
+            inv: AlphaPowerDelay::paper_sense_inverter(),
+            ff: Dff::standard_90nm(),
+            load,
+            mode,
+        }
+    }
+
+    /// The added load capacitance at `DS`.
+    pub fn load(&self) -> Capacitance {
+        self.load
+    }
+
+    /// The rail mode.
+    pub fn mode(&self) -> RailMode {
+        self.mode
+    }
+
+    /// The inverter model.
+    pub fn inverter(&self) -> &AlphaPowerDelay {
+        &self.inv
+    }
+
+    /// The flip-flop model.
+    pub fn flip_flop(&self) -> &Dff {
+        &self.ff
+    }
+
+    /// The effective inverter supply for a rail level: the rail itself in
+    /// HIGH-SENSE, `VDD_nominal − rail` in LOW-SENSE (ground bounce eats
+    /// into the swing).
+    pub fn effective_supply(&self, rail: Voltage, pvt: &Pvt) -> Voltage {
+        match self.mode {
+            RailMode::Supply => rail,
+            RailMode::Ground => pvt.nominal_vdd - rail,
+        }
+    }
+
+    /// The SENSE transition values (new, old) at the FF input for this
+    /// mode: HIGH-SENSE drives `DS` high (PREPARE held it low), LOW-SENSE
+    /// the opposite.
+    fn sense_values(&self) -> (Logic, Logic) {
+        match self.mode {
+            RailMode::Supply => (Logic::One, Logic::Zero),
+            RailMode::Ground => (Logic::Zero, Logic::One),
+        }
+    }
+
+    /// DS propagation delay for a rail level.
+    pub fn ds_delay(&self, rail: Voltage, pvt: &Pvt) -> Time {
+        self.inv
+            .propagation_delay(self.effective_supply(rail, pvt), self.load, pvt)
+    }
+
+    /// Performs one PREPARE/SENSE measurement with the `P`→`CP` pin skew
+    /// produced by the pulse generator. Deterministic metastability
+    /// resolution (see [`Dff::sample`]).
+    pub fn measure(&self, rail: Voltage, skew: Time, pvt: &Pvt) -> ElementReading {
+        let ds_delay = self.ds_delay(rail, pvt);
+        let arrival_after_edge = ds_delay - skew;
+        let (new, old) = self.sense_values();
+        let outcome = self.ff.sample(arrival_after_edge, new, old);
+        ElementReading {
+            passed: outcome.value == new,
+            out: outcome.value,
+            ds_delay,
+            slack: skew - self.ff.setup() - ds_delay,
+            metastable: outcome.metastable,
+            out_delay: outcome.clk_to_out,
+        }
+    }
+
+    /// Like [`SenseElement::measure`] but resolving metastable captures
+    /// stochastically.
+    pub fn measure_with_rng<R: Rng + ?Sized>(
+        &self,
+        rail: Voltage,
+        skew: Time,
+        pvt: &Pvt,
+        rng: &mut R,
+    ) -> ElementReading {
+        let ds_delay = self.ds_delay(rail, pvt);
+        let arrival_after_edge = ds_delay - skew;
+        let (new, old) = self.sense_values();
+        let outcome = self.ff.sample_with_rng(arrival_after_edge, new, old, rng);
+        ElementReading {
+            passed: outcome.value == new,
+            out: outcome.value,
+            ds_delay,
+            slack: skew - self.ff.setup() - ds_delay,
+            metastable: outcome.metastable,
+            out_delay: outcome.clk_to_out,
+        }
+    }
+
+    /// Solves for the rail value at the pass/fail boundary
+    /// (`ds_delay == skew − t_setup`): HIGH-SENSE fails *below* the
+    /// returned voltage, LOW-SENSE fails *above* it. Bisection to 10 µV.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::ThresholdOutOfRange`] when the boundary is
+    /// not bracketed inside the physical search range.
+    pub fn threshold(&self, skew: Time, pvt: &Pvt) -> Result<Voltage, SensorError> {
+        // Search over the effective supply, then convert back to a rail
+        // value (identical for HIGH-SENSE; mirrored for LOW-SENSE).
+        let window = skew - self.ff.setup();
+        let vth = pvt.effective_vth(self.inv.vth());
+        let lo = vth + Voltage::from_mv(10.0);
+        let hi = Voltage::from_v(3.0);
+        let fails =
+            |v: Voltage| self.inv.propagation_delay(v, self.load, pvt) > window;
+        if !fails(lo) || fails(hi) {
+            return Err(SensorError::ThresholdOutOfRange {
+                lo: lo.volts(),
+                hi: hi.volts(),
+            });
+        }
+        let (mut lo, mut hi) = (lo, hi);
+        while (hi - lo) > Voltage::from_mv(0.01) {
+            let mid = lo.lerp(hi, 0.5);
+            if fails(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let v_eff = lo.lerp(hi, 0.5);
+        Ok(match self.mode {
+            RailMode::Supply => v_eff,
+            RailMode::Ground => pvt.nominal_vdd - v_eff,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pvt() -> Pvt {
+        Pvt::typical()
+    }
+
+    /// Delay code 011 at the sensor pins: 84 ps insertion + 65 ps tap.
+    fn skew011() -> Time {
+        Time::from_ps(149.0)
+    }
+
+    fn elem(pf: f64) -> SenseElement {
+        SenseElement::paper(Capacitance::from_pf(pf), RailMode::Supply)
+    }
+
+    #[test]
+    fn nominal_supply_passes_droop_fails() {
+        let e = elem(2.0);
+        let ok = e.measure(Voltage::from_v(1.0), skew011(), &pvt());
+        assert!(ok.passed);
+        assert_eq!(ok.out, Logic::One);
+        assert!(ok.slack > Time::ZERO);
+        let bad = e.measure(Voltage::from_v(0.90), skew011(), &pvt());
+        assert!(!bad.passed);
+        assert_eq!(bad.out, Logic::Zero);
+        assert!(bad.slack < Time::ZERO);
+    }
+
+    #[test]
+    fn fig4_calibration_threshold_at_2pf() {
+        // Paper Fig. 4: C = 2 pF ⇒ threshold 0.9360 V (delay code 011).
+        let e = elem(2.0);
+        let t = e.threshold(skew011(), &pvt()).unwrap();
+        assert!(
+            (t.volts() - 0.936).abs() < 0.004,
+            "threshold {t} vs paper 0.9360 V"
+        );
+    }
+
+    #[test]
+    fn threshold_grows_with_load() {
+        // Paper: "the greater the load, the slower DS … the higher the
+        // VDD-n causing [the error]".
+        let mut prev = Voltage::ZERO;
+        for pf in [1.0, 1.5, 2.0, 2.5, 3.0] {
+            let t = elem(pf).threshold(skew011(), &pvt()).unwrap();
+            assert!(t > prev, "not monotone at {pf} pF");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn threshold_separates_pass_fail() {
+        let e = elem(2.2);
+        let t = e.threshold(skew011(), &pvt()).unwrap();
+        let above = e.measure(t + Voltage::from_mv(10.0), skew011(), &pvt());
+        let below = e.measure(t - Voltage::from_mv(10.0), skew011(), &pvt());
+        assert!(above.passed);
+        assert!(!below.passed);
+    }
+
+    #[test]
+    fn ds_delay_increases_as_supply_drops() {
+        // Paper Fig. 2: DS delay grows through cases 1→4 as VDD-n steps
+        // down linearly.
+        let e = elem(2.0);
+        let cases = [1.00, 0.98, 0.96, 0.94];
+        let delays: Vec<Time> = cases
+            .iter()
+            .map(|&v| e.ds_delay(Voltage::from_v(v), &pvt()))
+            .collect();
+        for w in delays.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn out_delay_grows_nonlinearly_near_failure() {
+        // Paper Fig. 2: OUT delay grows non-linearly into metastability.
+        let e = elem(2.0);
+        let t = e.threshold(skew011(), &pvt()).unwrap();
+        // Far above threshold: clean capture at the nominal clk-to-Q.
+        let far = e.measure(t + Voltage::from_mv(120.0), skew011(), &pvt());
+        assert!(far.passed && !far.metastable);
+        // Barely above: still passes, but resolves late.
+        let near_pass = e.measure(t + Voltage::from_mv(5.0), skew011(), &pvt());
+        assert!(near_pass.passed);
+        assert!(near_pass.out_delay > far.out_delay);
+        // Barely below: fails, flagged as a window violation, resolves
+        // even later.
+        let near_fail = e.measure(t - Voltage::from_mv(1.0), skew011(), &pvt());
+        assert!(!near_fail.passed);
+        assert!(near_fail.metastable);
+        assert!(near_fail.out_delay > near_pass.out_delay);
+    }
+
+    #[test]
+    fn ground_mode_mirrors_supply_mode() {
+        let e = SenseElement::paper(Capacitance::from_pf(2.0), RailMode::Ground);
+        // Quiet ground: effective supply = 1.0 V → pass (captures the
+        // falling SENSE transition).
+        let ok = e.measure(Voltage::ZERO, skew011(), &pvt());
+        assert!(ok.passed);
+        assert_eq!(ok.out, Logic::Zero);
+        // 100 mV bounce: effective supply 0.9 V → fail (stale 1).
+        let bad = e.measure(Voltage::from_mv(100.0), skew011(), &pvt());
+        assert!(!bad.passed);
+        assert_eq!(bad.out, Logic::One);
+    }
+
+    #[test]
+    fn ground_threshold_is_complementary() {
+        let hs = SenseElement::paper(Capacitance::from_pf(2.0), RailMode::Supply);
+        let ls = SenseElement::paper(Capacitance::from_pf(2.0), RailMode::Ground);
+        let tv = hs.threshold(skew011(), &pvt()).unwrap();
+        let tg = ls.threshold(skew011(), &pvt()).unwrap();
+        // G* = VDD_nom − V*: bounce above ~64 mV fails.
+        assert!((tg.volts() - (1.0 - tv.volts())).abs() < 1e-6);
+        assert!(ls.measure(tg - Voltage::from_mv(10.0), skew011(), &pvt()).passed);
+        assert!(!ls.measure(tg + Voltage::from_mv(10.0), skew011(), &pvt()).passed);
+    }
+
+    #[test]
+    fn slow_corner_raises_threshold_requirement() {
+        // Paper §III-A: "in slow conditions the INV is slower and thus the
+        // VDD-n threshold value is lower" — wait: slower INV means the
+        // element fails at *higher* VDD, i.e. the dynamic shifts up; the
+        // compensating CP−P delay should then be *larger*. Verify the
+        // shift direction our trim logic relies on: at SS the element
+        // needs more voltage to pass the same window.
+        let e = elem(2.0);
+        let tt = e.threshold(skew011(), &pvt()).unwrap();
+        let ss_pvt = Pvt::new(
+            psnt_cells::process::ProcessCorner::SS,
+            Voltage::from_v(1.0),
+            psnt_cells::units::Temperature::from_celsius(25.0),
+        );
+        let ss = e.threshold(skew011(), &ss_pvt).unwrap();
+        assert!(ss > tt, "SS threshold {ss} should exceed TT {tt}");
+    }
+
+    #[test]
+    fn stochastic_measurement_matches_deterministic_away_from_boundary() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let e = elem(2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let det = e.measure(Voltage::from_v(1.05), skew011(), &pvt());
+        let sto = e.measure_with_rng(Voltage::from_v(1.05), skew011(), &pvt(), &mut rng);
+        assert_eq!(det, sto);
+    }
+
+    #[test]
+    fn threshold_out_of_range_detected() {
+        // A tiny load with a huge window never fails in-range.
+        let e = elem(0.01);
+        let err = e.threshold(Time::from_ns(100.0), &pvt()).unwrap_err();
+        assert!(matches!(err, SensorError::ThresholdOutOfRange { .. }));
+    }
+
+    proptest! {
+        #[test]
+        fn pass_fail_is_monotone_in_rail(v1 in 0.5..1.4f64, v2 in 0.5..1.4f64) {
+            // If the element passes at the lower voltage it must pass at
+            // the higher one (HIGH-SENSE).
+            prop_assume!(v1 < v2);
+            let e = elem(2.0);
+            let lo = e.measure(Voltage::from_v(v1), skew011(), &pvt());
+            let hi = e.measure(Voltage::from_v(v2), skew011(), &pvt());
+            prop_assert!(!lo.passed || hi.passed);
+        }
+
+        #[test]
+        fn larger_skew_never_hurts(v in 0.7..1.3f64, s1 in 100.0..200.0f64, ds in 1.0..100.0f64) {
+            let e = elem(2.0);
+            let a = e.measure(Voltage::from_v(v), Time::from_ps(s1), &pvt());
+            let b = e.measure(Voltage::from_v(v), Time::from_ps(s1 + ds), &pvt());
+            prop_assert!(!a.passed || b.passed);
+        }
+
+        #[test]
+        fn threshold_within_search_range(pf in 1.0..3.5f64) {
+            let t = elem(pf).threshold(skew011(), &pvt()).unwrap();
+            prop_assert!(t.volts() > 0.31);
+            prop_assert!(t.volts() < 3.0);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for the sensor core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `psnt-core` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SensorError {
+    /// A delay code outside `0..=7` (or the configured table size).
+    InvalidDelayCode {
+        /// The offending code value.
+        code: u8,
+        /// Number of entries in the delay table.
+        table_len: usize,
+    },
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A threshold search did not bracket a solution inside the search
+    /// interval (the element never fails, or always fails, in range).
+    ThresholdOutOfRange {
+        /// Lower search bound, volts.
+        lo: f64,
+        /// Upper search bound, volts.
+        hi: f64,
+    },
+    /// A waveform did not cover the requested measurement instant.
+    WaveformGap {
+        /// The uncovered instant, picoseconds.
+        at_ps: f64,
+    },
+    /// An error bubbled up from a substrate crate.
+    Netlist(psnt_netlist::NetlistError),
+}
+
+impl fmt::Display for SensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorError::InvalidDelayCode { code, table_len } => {
+                write!(f, "delay code {code} outside table of {table_len} entries")
+            }
+            SensorError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration {name}: {reason}")
+            }
+            SensorError::ThresholdOutOfRange { lo, hi } => {
+                write!(f, "no failure threshold inside [{lo} V, {hi} V]")
+            }
+            SensorError::WaveformGap { at_ps } => {
+                write!(f, "supply waveform does not cover t = {at_ps} ps")
+            }
+            SensorError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for SensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SensorError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<psnt_netlist::NetlistError> for SensorError {
+    fn from(e: psnt_netlist::NetlistError) -> SensorError {
+        SensorError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SensorError::InvalidDelayCode { code: 9, table_len: 8 }
+            .to_string()
+            .contains("9"));
+        assert!(SensorError::InvalidConfig { name: "bits", reason: "zero".into() }
+            .to_string()
+            .contains("bits"));
+        assert!(SensorError::ThresholdOutOfRange { lo: 0.5, hi: 1.5 }
+            .to_string()
+            .contains("0.5"));
+        assert!(SensorError::WaveformGap { at_ps: 10.0 }.to_string().contains("10"));
+    }
+
+    #[test]
+    fn netlist_error_wraps_with_source() {
+        let inner = psnt_netlist::NetlistError::UnknownNet("x".into());
+        let e = SensorError::from(inner.clone());
+        assert!(e.to_string().contains("netlist"));
+        assert!(Error::source(&e).is_some());
+        assert_eq!(e, SensorError::Netlist(inner));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SensorError>();
+    }
+}

@@ -1,0 +1,816 @@
+//! Gate-level twin of the sensor array.
+//!
+//! The paper's strongest claim is that the sensor is "fully digital and
+//! standard cell based". This module takes that literally: it builds the
+//! 7-element array as an actual [`Netlist`] — sense inverters in a
+//! separate *noisy* power domain, load capacitors as wire parasitics on
+//! the `DS-i` nets, library flip-flops clocked by a shared `CP` — and
+//! runs complete PREPARE/SENSE measures through the event-driven
+//! simulator. No sensor-specific behaviour is scripted: the setup
+//! violations emerge from event timing and the flip-flop model, exactly
+//! as they would in silicon.
+//!
+//! The equivalence tests check the gate-level twin bit-for-bit against
+//! the behavioural [`ThermometerArray`](crate::thermometer::ThermometerArray) across the dynamic range — the
+//! strongest internal-consistency evidence this reproduction offers.
+//!
+//! Edge asymmetry is modelled faithfully: the sense inverter's
+//! falling-DS (PREPARE) transition is driven by a pull-down with full
+//! gate drive from the clean-domain `P` signal, so it completes at a
+//! fixed nominal rate no matter how deep the noisy rail droops; only the
+//! rising (SENSE) transition is rail-limited. The cells carry distinct
+//! edge models ([`StdCell::with_fall_model`]) to capture exactly that.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::units::{Time, Voltage};
+//! use psnt_core::gate_level::GateLevelArray;
+//!
+//! let array = GateLevelArray::paper()?;
+//! let code = array.measure(Voltage::from_v(1.0), Time::from_ps(149.0))?;
+//! assert_eq!(code.to_string(), "0011111"); // Fig. 9's first measure
+//! # Ok::<(), psnt_core::error::SensorError>(())
+//! ```
+
+use psnt_cells::delay::AlphaPowerDelay;
+use psnt_cells::dff::Dff;
+use psnt_cells::gates::{GateFunction, StdCell};
+use psnt_cells::logic::{Logic, LogicVector};
+use psnt_cells::process::Pvt;
+use psnt_cells::units::{Capacitance, Time, Voltage};
+use psnt_netlist::graph::{DomainId, NetId, Netlist};
+use psnt_netlist::sim::Simulator;
+
+use crate::code::ThermometerCode;
+use crate::error::SensorError;
+use crate::thermometer::CapacitorLadder;
+
+/// Timing of the stimulus applied for one gate-level measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MeasurePlan {
+    /// PREPARE capture edge (CP rising with P = 1).
+    prepare_edge: Time,
+    /// SENSE launch (P falls).
+    sense_launch: Time,
+    /// SENSE capture edge (CP rising), `sense_launch + skew`.
+    sense_edge: Time,
+    /// When the outputs are read.
+    read_at: Time,
+}
+
+/// The sensor array as a standard-cell netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLevelArray {
+    netlist: Netlist,
+    noisy: DomainId,
+    p: NetId,
+    cp: NetId,
+    /// FF output nets, ascending-load order.
+    outs: Vec<NetId>,
+    pvt: Pvt,
+}
+
+impl GateLevelArray {
+    /// Builds the paper's 7-element array over the Fig. 5 ladder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn paper() -> Result<GateLevelArray, SensorError> {
+        GateLevelArray::new(&CapacitorLadder::paper_fig5(), Pvt::typical())
+    }
+
+    /// Builds a gate-level array over an arbitrary ladder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn new(ladder: &CapacitorLadder, pvt: Pvt) -> Result<GateLevelArray, SensorError> {
+        let mut n = Netlist::new("sensor_array");
+        let noisy = n.add_domain("vdd_noisy");
+        let p = n.add_input("P");
+        let cp = n.add_input("CP");
+        let ff = Dff::standard_90nm();
+        // The calibrated sense inverter as a library cell. Its intrinsic
+        // output capacitance lives in the delay model; the ladder
+        // capacitor becomes wire parasitic on DS-i (minus the FF D-pin
+        // load the netlist adds back). The rising (SENSE) edge is powered
+        // from the noisy rail; the falling (PREPARE) edge discharges at a
+        // fixed nominal rate — its NMOS gate is driven by the
+        // clean-domain `P` — modelled per element as a constant-delay
+        // fall arc.
+        let rise_model = AlphaPowerDelay::paper_sense_inverter();
+        let mut outs = Vec::with_capacity(ladder.len());
+        for (i, &c) in ladder.caps().iter().enumerate() {
+            let t_fall = {
+                use psnt_cells::delay::DelayModel as _;
+                rise_model.propagation_delay(pvt.nominal_vdd, c, &pvt)
+            };
+            let fall_model = AlphaPowerDelay::new(
+                1.0e-6, // negligible load sensitivity: the arc is the intrinsic
+                Capacitance::from_ff(1.0),
+                t_fall,
+                Voltage::from_v(0.05),
+                1.3,
+            )
+            .expect("static fall-arc parameters are valid");
+            let sense_inv = StdCell::new(
+                format!("SENSE_INV_{i}"),
+                GateFunction::Inv,
+                rise_model,
+                Capacitance::from_ff(2.0),
+            )
+            .with_fall_model(fall_model);
+            let ds = n
+                .add_gate(format!("inv{i}"), sense_inv, &[p])
+                .map_err(SensorError::from)?;
+            let wire = c - ff.d_capacitance();
+            n.add_wire_capacitance(ds, wire);
+            // The sense inverter draws from the noisy rail.
+            let gate_id = psnt_netlist::graph::GateId::from_index(i);
+            n.set_gate_domain(gate_id, noisy);
+            let q = n.add_dff(format!("ff{i}"), ff, ds, cp, Logic::Zero);
+            n.mark_output(format!("out{i}"), q);
+            outs.push(q);
+        }
+        n.validate().map_err(SensorError::from)?;
+        Ok(GateLevelArray {
+            netlist: n,
+            noisy,
+            p,
+            cp,
+            outs,
+            pvt,
+        })
+    }
+
+    /// The underlying netlist (e.g. for STA or VCD export).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The noisy power domain id.
+    pub fn noisy_domain(&self) -> DomainId {
+        self.noisy
+    }
+
+    /// Number of elements.
+    pub fn bits(&self) -> usize {
+        self.outs.len()
+    }
+
+    fn plan(skew: Time) -> MeasurePlan {
+        let prepare_edge = Time::from_ns(2.0);
+        let sense_launch = Time::from_ns(5.0);
+        MeasurePlan {
+            prepare_edge,
+            sense_launch,
+            sense_edge: sense_launch + skew,
+            read_at: sense_launch + skew + Time::from_ns(1.0),
+        }
+    }
+
+    /// Runs one full PREPARE/SENSE measure with the noisy rail at
+    /// `rail` and the P→CP pin skew `skew`, returning the thermometer
+    /// code (most-loaded element first, as the paper prints it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn measure(&self, rail: Voltage, skew: Time) -> Result<ThermometerCode, SensorError> {
+        Ok(self.measure_detailed(rail, skew)?.0)
+    }
+
+    /// Like [`GateLevelArray::measure`], but also returning the PREPARE
+    /// code read just before the SENSE launch (the paper's Fig. 9 shows
+    /// it as `0000000`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn measure_detailed(
+        &self,
+        rail: Voltage,
+        skew: Time,
+    ) -> Result<(ThermometerCode, ThermometerCode), SensorError> {
+        let plan = GateLevelArray::plan(skew);
+        let mut sim = Simulator::with_pvt(&self.netlist, self.pvt.nominal_vdd, self.pvt)
+            .map_err(SensorError::from)?;
+        sim.set_domain_supply(self.noisy, rail);
+
+        // PREPARE: P = 1 forces every DS low; a CP edge captures the 0s.
+        sim.drive(self.p, Logic::One, Time::ZERO).map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::Zero, Time::ZERO).map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::One, plan.prepare_edge).map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::Zero, plan.prepare_edge + Time::from_ns(1.0))
+            .map_err(SensorError::from)?;
+
+        // SENSE: P falls; CP rises `skew` later; the FFs race the DS
+        // transitions against their setup windows.
+        sim.drive(self.p, Logic::Zero, plan.sense_launch).map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::One, plan.sense_edge).map_err(SensorError::from)?;
+
+        // Read the PREPARE code just before the SENSE launch…
+        sim.run_until(plan.sense_launch - Time::from_ps(1.0));
+        let prepare = self.pack(&sim);
+        // …and the measure after everything settles.
+        sim.run_until(plan.read_at);
+        let sense = self.pack(&sim);
+        Ok((sense, prepare))
+    }
+
+    fn pack(&self, sim: &Simulator<'_>) -> ThermometerCode {
+        let bits: LogicVector = self.outs.iter().rev().map(|&q| sim.value(q)).collect();
+        ThermometerCode::new(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::RailMode;
+    use crate::pulsegen::{DelayCode, PulseGenerator};
+    use crate::thermometer::ThermometerArray;
+
+    fn skew011() -> Time {
+        PulseGenerator::paper_table().skew(DelayCode::new(3).unwrap(), &Pvt::typical())
+    }
+
+    #[test]
+    fn netlist_shape() {
+        let a = GateLevelArray::paper().unwrap();
+        assert_eq!(a.bits(), 7);
+        assert_eq!(a.netlist().gates().len(), 7);
+        assert_eq!(a.netlist().dffs().len(), 7);
+        assert_eq!(a.netlist().domains().len(), 2);
+        // Every sense inverter sits in the noisy domain.
+        for g in a.netlist().gates() {
+            assert_eq!(g.domain(), a.noisy_domain());
+        }
+    }
+
+    #[test]
+    fn prepare_code_is_all_zero() {
+        let a = GateLevelArray::paper().unwrap();
+        let (_, prepare) = a.measure_detailed(Voltage::from_v(1.0), skew011()).unwrap();
+        assert_eq!(prepare.to_string(), "0000000");
+    }
+
+    #[test]
+    fn fig9_codes_from_the_gate_level_twin() {
+        let a = GateLevelArray::paper().unwrap();
+        let first = a.measure(Voltage::from_v(1.0), skew011()).unwrap();
+        assert_eq!(first.to_string(), "0011111");
+        let second = a.measure(Voltage::from_v(0.9), skew011()).unwrap();
+        assert_eq!(second.to_string(), "0000011");
+    }
+
+    #[test]
+    fn gate_level_matches_behavioural_across_the_range() {
+        // The central consistency check: the netlist twin and the
+        // behavioural array agree bit-for-bit over a dense voltage sweep
+        // (voltages chosen off the exact threshold points, where float
+        // association order could legitimately differ).
+        let gate = GateLevelArray::paper().unwrap();
+        let behavioural = ThermometerArray::paper(RailMode::Supply);
+        let pvt = Pvt::typical();
+        let sk = skew011();
+        for i in 0..=60 {
+            let v = Voltage::from_v(0.8013 + 0.005 * i as f64);
+            let a = gate.measure(v, sk).unwrap();
+            let b = behavioural.measure(v, sk, &pvt);
+            assert_eq!(a, b, "divergence at {v}");
+        }
+    }
+
+    #[test]
+    fn gate_level_matches_behavioural_for_other_delay_codes() {
+        let gate = GateLevelArray::paper().unwrap();
+        let behavioural = ThermometerArray::paper(RailMode::Supply);
+        let pvt = Pvt::typical();
+        let pg = PulseGenerator::paper_table();
+        for code_val in [0u8, 2, 5, 7] {
+            let sk = pg.skew(DelayCode::new(code_val).unwrap(), &pvt);
+            for mv in [880.0, 960.0, 1040.0, 1120.0, 1200.0] {
+                let v = Voltage::from_mv(mv + 3.0);
+                let a = gate.measure(v, sk).unwrap();
+                let b = behavioural.measure(v, sk, &pvt);
+                assert_eq!(a, b, "divergence at {v}, code {code_val:03b}");
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            /// The netlist twin and the behavioural array agree on random
+            /// rail voltages across (and beyond) the dynamic range.
+            #[test]
+            fn gate_level_equals_behavioural_on_random_rails(mv in 780.0..1100.0f64) {
+                let gate = GateLevelArray::paper().unwrap();
+                let behavioural = crate::thermometer::ThermometerArray::paper(
+                    crate::element::RailMode::Supply,
+                );
+                let v = Voltage::from_mv(mv);
+                let sk = Time::from_ps(149.0);
+                let a = gate.measure(v, sk).unwrap();
+                let b = behavioural.measure(v, sk, &Pvt::typical());
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn control_domain_unaffected_by_noisy_rail() {
+        // The FFs live in the clean domain and the PREPARE pull-down has
+        // full gate drive: even a collapsed noisy rail (0.2 V, below the
+        // device threshold) must not corrupt the PREPARE capture — only
+        // the rail-limited SENSE transition stalls, failing every
+        // element.
+        let a = GateLevelArray::paper().unwrap();
+        for rail in [0.2, 0.5] {
+            let (sense, prepare) =
+                a.measure_detailed(Voltage::from_v(rail), skew011()).unwrap();
+            assert_eq!(prepare.to_string(), "0000000", "rail {rail} V");
+            assert!(sense.is_underflow(), "rail {rail} V");
+        }
+    }
+
+    #[test]
+    fn sta_shows_noisy_domain_droop_on_ds_paths() {
+        use psnt_netlist::sta::{analyze_with_domain_supplies, StaConfig};
+        let a = GateLevelArray::paper().unwrap();
+        let cfg = StaConfig::default();
+        let nominal = analyze_with_domain_supplies(a.netlist(), &cfg, &[]).unwrap();
+        let droopy = analyze_with_domain_supplies(
+            a.netlist(),
+            &cfg,
+            &[(a.noisy_domain(), Voltage::from_v(0.9))],
+        )
+        .unwrap();
+        assert!(droopy.critical_delay() > nominal.critical_delay());
+    }
+}
+
+/// A pure-delay standard cell for the PG delay line (`t_intrinsic`
+/// dominates; the load term is negligible by construction).
+fn dly_cell(name: &str, ps: f64) -> StdCell {
+    StdCell::new(
+        name,
+        GateFunction::Buf,
+        AlphaPowerDelay::new(
+            1.0,
+            Capacitance::from_ff(1.0),
+            Time::from_ps(ps),
+            Voltage::from_v(0.30),
+            1.3,
+        )
+        .expect("static delay-cell parameters are valid"),
+        Capacitance::from_ff(1.5),
+    )
+}
+
+/// The pulse generator as a netlist — paper Fig. 7.
+///
+/// The CP branch runs through an insertion buffer and an 8-tap delay
+/// line (cumulative tap delays matching the published table) into an
+/// 8:1 MUX tree; the P branch carries an *identical* 3-level MUX chain
+/// so the mux delays cancel in the P→CP skew, exactly the trick the
+/// paper describes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLevelPulseGen {
+    netlist: Netlist,
+    p_in: NetId,
+    cp_in: NetId,
+    sel: [NetId; 3],
+    p_out: NetId,
+    cp_out: NetId,
+}
+
+impl GateLevelPulseGen {
+    /// Builds the PG with the paper's tap table and the 84 ps insertion
+    /// delay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn paper() -> Result<GateLevelPulseGen, SensorError> {
+        let mut n = Netlist::new("pulsegen");
+        let p_in = n.add_input("p_in");
+        let cp_in = n.add_input("cp_in");
+        let sel = [
+            n.add_input("sel0"),
+            n.add_input("sel1"),
+            n.add_input("sel2"),
+        ];
+
+        // CP branch: insertion + tap ladder (deltas sum to the table).
+        let insertion = n
+            .add_gate("ins", dly_cell("DLY84", 84.0), &[cp_in])
+            .map_err(SensorError::from)?;
+        let deltas = [26.0, 14.0, 10.0, 15.0, 12.0, 15.0, 8.0, 7.0];
+        let mut taps = Vec::with_capacity(8);
+        let mut prev = insertion;
+        for (i, d) in deltas.into_iter().enumerate() {
+            prev = n
+                .add_gate(format!("tap{i}"), dly_cell(&format!("DLY{d}"), d), &[prev])
+                .map_err(SensorError::from)?;
+            taps.push(prev);
+        }
+
+        // 8:1 MUX tree on CP.
+        let mux = StdCell::mux2(2.0);
+        let mut level: Vec<NetId> = taps;
+        for (li, s_net) in sel.iter().enumerate() {
+            let mut next = Vec::with_capacity(level.len() / 2);
+            for (pi, pair) in level.chunks(2).enumerate() {
+                let m = n
+                    .add_gate(
+                        format!("cpmux{li}_{pi}"),
+                        mux.clone(),
+                        &[pair[0], pair[1], *s_net],
+                    )
+                    .map_err(SensorError::from)?;
+                next.push(m);
+            }
+            level = next;
+        }
+        let cp_out = level[0];
+
+        // Matched MUX chain on P (both data pins tied together: the cell
+        // passes P through with the same delay regardless of the select).
+        let mut p = p_in;
+        for (li, s_net) in sel.iter().enumerate() {
+            p = n
+                .add_gate(format!("pmux{li}"), mux.clone(), &[p, p, *s_net])
+                .map_err(SensorError::from)?;
+        }
+        let p_out = p;
+
+        n.mark_output("p_out", p_out);
+        n.mark_output("cp_out", cp_out);
+        n.validate().map_err(SensorError::from)?;
+        Ok(GateLevelPulseGen {
+            netlist: n,
+            p_in,
+            cp_in,
+            sel,
+            p_out,
+            cp_out,
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The input/select/output net ids:
+    /// `(p_in, cp_in, [sel0, sel1, sel2], p_out, cp_out)`.
+    pub fn ports(&self) -> (NetId, NetId, [NetId; 3], NetId, NetId) {
+        (self.p_in, self.cp_in, self.sel, self.p_out, self.cp_out)
+    }
+
+    /// Simulates one simultaneous P/CP edge pair through the PG and
+    /// returns the measured output skew for a delay code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn measured_skew(&self, code: crate::pulsegen::DelayCode) -> Result<Time, SensorError> {
+        let mut sim = Simulator::new(&self.netlist, Voltage::from_v(1.0))
+            .map_err(SensorError::from)?;
+        for (bit, &net) in self.sel.iter().enumerate() {
+            let level = Logic::from(code.value() >> bit & 1 == 1);
+            sim.drive(net, level, Time::ZERO).map_err(SensorError::from)?;
+        }
+        sim.drive(self.p_in, Logic::Zero, Time::ZERO).map_err(SensorError::from)?;
+        sim.drive(self.cp_in, Logic::Zero, Time::ZERO).map_err(SensorError::from)?;
+        sim.run_until(Time::from_ns(2.0));
+        let launch = Time::from_ns(3.0);
+        sim.drive(self.p_in, Logic::One, launch).map_err(SensorError::from)?;
+        sim.drive(self.cp_in, Logic::One, launch).map_err(SensorError::from)?;
+        sim.run_until(Time::from_ns(6.0));
+        let p_edge = sim
+            .trace()
+            .first_edge_to(sim.signal(self.p_out), Logic::One, launch)
+            .ok_or(SensorError::InvalidConfig {
+                name: "p_out",
+                reason: "P edge never reached the output".into(),
+            })?;
+        let cp_edge = sim
+            .trace()
+            .first_edge_to(sim.signal(self.cp_out), Logic::One, launch)
+            .ok_or(SensorError::InvalidConfig {
+                name: "cp_out",
+                reason: "CP edge never reached the output".into(),
+            })?;
+        Ok(cp_edge - p_edge)
+    }
+}
+
+/// The complete sensor system — CNTR, PG and array — flattened into one
+/// standard-cell netlist and executed by the event-driven simulator.
+/// This is the paper's Fig. 6 running in gates: the FSM sequences
+/// PREPARE/SENSE, the PG sets the P→CP skew, and the array's flip-flops
+/// race the DS transitions, with the sense inverters on their own noisy
+/// power domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLevelSystem {
+    netlist: Netlist,
+    noisy: DomainId,
+    clk: NetId,
+    enable: NetId,
+    start: NetId,
+    sel: [NetId; 3],
+    array_p: NetId,
+    array_cp: NetId,
+    outs: Vec<NetId>,
+}
+
+/// One measure extracted from a gate-level system run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLevelMeasure {
+    /// The thermometer code read after the SENSE capture.
+    pub code: ThermometerCode,
+    /// When `P` fell at the array pins.
+    pub p_fall: Time,
+    /// When `CP` rose at the array pins.
+    pub cp_rise: Time,
+}
+
+impl GateLevelMeasure {
+    /// The effective P→CP skew of this measure at the sensor pins.
+    pub fn skew(&self) -> Time {
+        self.cp_rise - self.p_fall
+    }
+}
+
+impl GateLevelSystem {
+    /// Composes the paper's system (8-bit iteration counter keeps the
+    /// simulation light; the timing-critical 32-bit variant is analysed
+    /// separately by [`crate::control::build_control_netlist`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn paper() -> Result<GateLevelSystem, SensorError> {
+        let cntr = crate::control::build_control_netlist(&crate::control::CtrlNetlistConfig {
+            counter_bits: 8,
+            ..Default::default()
+        });
+        let pg = GateLevelPulseGen::paper()?;
+        let array = GateLevelArray::paper()?;
+
+        let mut top = Netlist::new("sensor_system");
+        let clk = top.add_input("clk");
+        let enable = top.add_input("enable");
+        let start = top.add_input("start");
+        let sel = [
+            top.add_input("sel0"),
+            top.add_input("sel1"),
+            top.add_input("sel2"),
+        ];
+
+        // CNTR instance.
+        let cntr_clk = cntr.net_by_name("clk").map_err(SensorError::from)?;
+        let cntr_en = cntr.net_by_name("enable").map_err(SensorError::from)?;
+        let cntr_st = cntr.net_by_name("start").map_err(SensorError::from)?;
+        let cntr_map = top.instantiate(
+            &cntr,
+            "cntr",
+            &[(cntr_clk, clk), (cntr_en, enable), (cntr_st, start)],
+        );
+        let out_net = |child: &Netlist, map: &[NetId], port: &str| -> NetId {
+            let (_, net) = child
+                .outputs()
+                .iter()
+                .find(|(name, _)| name == port)
+                .expect("known port");
+            map[net.index()]
+        };
+        let p_pulse = out_net(&cntr, &cntr_map, "p_pulse");
+        let cp_raw = out_net(&cntr, &cntr_map, "cp");
+        // The CP output decode (OR + AND) lags the P decode (NAND) by
+        // ≈9.7 ps; a balancing delay cell on P restores the PG-defined
+        // skew — the "accurate routing … as a differential pair" the
+        // paper prescribes for the P/CP pair.
+        let p_balanced = top
+            .add_gate("p_balance", dly_cell("DLY9P7", 9.7), &[p_pulse])
+            .map_err(SensorError::from)?;
+
+        // PG instance.
+        let (pg_p_in, pg_cp_in, pg_sel, pg_p_out, pg_cp_out) = pg.ports();
+        let pg_map = top.instantiate(
+            &pg.netlist,
+            "pg",
+            &[
+                (pg_p_in, p_balanced),
+                (pg_cp_in, cp_raw),
+                (pg_sel[0], sel[0]),
+                (pg_sel[1], sel[1]),
+                (pg_sel[2], sel[2]),
+            ],
+        );
+        let array_p = pg_map[pg_p_out.index()];
+        let array_cp = pg_map[pg_cp_out.index()];
+
+        // Array instance.
+        let arr_map = top.instantiate(
+            &array.netlist,
+            "array",
+            &[(array.p, array_p), (array.cp, array_cp)],
+        );
+        let noisy = top
+            .domain_by_name("array.vdd_noisy")
+            .expect("array domain recreated by instantiate");
+        let outs: Vec<NetId> = array.outs.iter().map(|q| arr_map[q.index()]).collect();
+        for (i, &q) in outs.iter().enumerate() {
+            top.mark_output(format!("out{i}"), q);
+        }
+        top.validate().map_err(SensorError::from)?;
+        Ok(GateLevelSystem {
+            netlist: top,
+            noisy,
+            clk,
+            enable,
+            start,
+            sel,
+            array_p,
+            array_cp,
+            outs,
+        })
+    }
+
+    /// The flattened netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The noisy (sense-inverter) power domain.
+    pub fn noisy_domain(&self) -> DomainId {
+        self.noisy
+    }
+
+    /// Runs the system for `measures` complete sequences with the noisy
+    /// rail stepped through `rails` (one level per measure), delay code
+    /// on the `sel` pins, clock period 4 ns. Returns one
+    /// [`GateLevelMeasure`] per rail level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures, and reports a missing pulse if a
+    /// sequence did not produce P/CP edges.
+    pub fn run_measures(
+        &self,
+        code: crate::pulsegen::DelayCode,
+        rails: &[Voltage],
+    ) -> Result<Vec<GateLevelMeasure>, SensorError> {
+        let period = Time::from_ns(4.0);
+        let mut sim = Simulator::new(&self.netlist, Voltage::from_v(1.0))
+            .map_err(SensorError::from)?;
+        sim.drive(self.enable, Logic::One, Time::ZERO).map_err(SensorError::from)?;
+        sim.drive(self.start, Logic::One, Time::ZERO).map_err(SensorError::from)?;
+        for (bit, &net) in self.sel.iter().enumerate() {
+            let level = Logic::from(code.value() >> bit & 1 == 1);
+            sim.drive(net, level, Time::ZERO).map_err(SensorError::from)?;
+        }
+        let cycles = rails.len() * 5 + 6;
+        sim.drive_clock(self.clk, Time::from_ns(2.0), period, cycles)
+            .map_err(SensorError::from)?;
+
+        let mut measures = Vec::with_capacity(rails.len());
+        let mut cursor = Time::ZERO;
+        for (k, &rail) in rails.iter().enumerate() {
+            sim.set_domain_supply(self.noisy, rail);
+            // One measure occupies 5 cycles; run to just past its SENSE
+            // capture (the sequence begins after 1 fill cycle).
+            let sense_cycle = 4 + 5 * k; // clock edges counted from the first
+            let sense_edge = Time::from_ns(2.0) + period * sense_cycle as f64;
+            sim.run_until(sense_edge + period / 2.0);
+            let p_fall = sim
+                .trace()
+                .first_edge_to(sim.signal(self.array_p), Logic::Zero, cursor)
+                .ok_or(SensorError::InvalidConfig {
+                    name: "array_p",
+                    reason: format!("no P pulse for measure {k}"),
+                })?;
+            let cp_rise = sim
+                .trace()
+                .first_edge_to(sim.signal(self.array_cp), Logic::One, p_fall)
+                .ok_or(SensorError::InvalidConfig {
+                    name: "array_cp",
+                    reason: format!("no CP edge for measure {k}"),
+                })?;
+            let bits: LogicVector = self.outs.iter().rev().map(|&q| sim.value(q)).collect();
+            measures.push(GateLevelMeasure {
+                code: ThermometerCode::new(bits),
+                p_fall,
+                cp_rise,
+            });
+            cursor = sense_edge + period / 2.0;
+        }
+        Ok(measures)
+    }
+}
+
+#[cfg(test)]
+mod system_tests {
+    use super::*;
+    use crate::element::RailMode;
+    use crate::pulsegen::{DelayCode, PulseGenerator};
+    use crate::thermometer::ThermometerArray;
+
+    #[test]
+    fn pulsegen_netlist_reproduces_the_tap_table() {
+        // The standalone PG netlist must emit the published skews:
+        // insertion (84 ps) + tap, independent of the matched MUXes.
+        let pg = GateLevelPulseGen::paper().unwrap();
+        let model = PulseGenerator::paper_table();
+        let pvt = Pvt::typical();
+        for code in DelayCode::all() {
+            let measured = pg.measured_skew(code).unwrap();
+            let expected = model.skew(code, &pvt);
+            let err = (measured - expected).abs();
+            assert!(
+                err < Time::from_ps(3.0),
+                "code {code}: measured {measured} vs model {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn pulsegen_netlist_shape() {
+        let pg = GateLevelPulseGen::paper().unwrap();
+        // 1 insertion + 8 taps + 7 CP muxes + 3 P muxes.
+        assert_eq!(pg.netlist().gates().len(), 19);
+        pg.netlist().validate().unwrap();
+    }
+
+    #[test]
+    fn full_system_composes_and_validates() {
+        let sys = GateLevelSystem::paper().unwrap();
+        let n = sys.netlist();
+        // CNTR (8-bit counter) + PG + array.
+        assert_eq!(n.dffs().len(), 3 + 8 + 7);
+        assert!(n.gates().len() > 60);
+        assert!(n.domain_by_name("array.vdd_noisy").is_some());
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn full_system_runs_the_fig9_sequence_in_gates() {
+        // The flattened CNTR+PG+array netlist executes two measures with
+        // the noisy rail stepped 1.0 V → 0.9 V. Codes must match the
+        // behavioural array evaluated at the *measured* pin skew (the
+        // FSM output decode adds a few ps the behavioural PG model folds
+        // into its insertion constant).
+        let sys = GateLevelSystem::paper().unwrap();
+        let code011 = DelayCode::new(3).unwrap();
+        let rails = [Voltage::from_v(1.0), Voltage::from_v(0.9)];
+        let measures = sys.run_measures(code011, &rails).unwrap();
+        assert_eq!(measures.len(), 2);
+
+        let behavioural = ThermometerArray::paper(RailMode::Supply);
+        let pvt = Pvt::typical();
+        for (m, &rail) in measures.iter().zip(&rails) {
+            // The balanced decode restores the PG-defined skew.
+            let skew = m.skew();
+            assert!(
+                (skew - Time::from_ps(149.0)).abs() < Time::from_ps(5.0),
+                "pin skew {skew} off the 149 ps model"
+            );
+            let expect = behavioural.measure(rail, skew, &pvt);
+            assert_eq!(m.code, expect, "rail {rail}: skew {skew}");
+        }
+        // And the headline: the gate-level system reads the paper's
+        // Fig. 9 codes.
+        assert_eq!(measures[0].code.to_string(), "0011111");
+        assert_eq!(measures[1].code.to_string(), "0000011");
+    }
+
+    #[test]
+    fn full_system_skew_tracks_the_delay_code() {
+        let sys = GateLevelSystem::paper().unwrap();
+        let rails = [Voltage::from_v(1.0)];
+        let skew_for = |code_val: u8| {
+            sys.run_measures(DelayCode::new(code_val).unwrap(), &rails)
+                .unwrap()[0]
+                .skew()
+        };
+        let s0 = skew_for(0);
+        let s3 = skew_for(3);
+        let s7 = skew_for(7);
+        assert!(s3 > s0 && s7 > s3, "{s0} / {s3} / {s7}");
+        // Tap differences survive the composition: 107 − 26 = 81 ps.
+        let spread = s7 - s0;
+        assert!(
+            (spread - Time::from_ps(81.0)).abs() < Time::from_ps(6.0),
+            "tap spread {spread}"
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! Local (within-die) mismatch Monte-Carlo for the sensor array.
+//!
+//! The paper's corner trim handles *global* process shifts; the remaining
+//! risk is *local* mismatch between the seven supposedly identical
+//! INV+FF elements: random drive-strength, load and threshold-voltage
+//! variation scatters the per-element thresholds and can even invert
+//! their order, breaking the thermometer property (a static bubble no
+//! delay code can trim out — the "fine tuning" the paper alludes to).
+//!
+//! [`monte_carlo_yield`] quantifies that: it draws `n` mismatched arrays
+//! and reports how many keep strictly monotone thresholds, plus the
+//! threshold scatter — the data behind the `xp_mismatch` ablation.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::process::Pvt;
+//! use psnt_cells::units::Time;
+//! use psnt_core::element::RailMode;
+//! use psnt_core::mismatch::{monte_carlo_yield, MismatchModel};
+//! use psnt_core::thermometer::ThermometerArray;
+//!
+//! let array = ThermometerArray::paper(RailMode::Supply);
+//! let report = monte_carlo_yield(
+//!     &array, Time::from_ps(149.0), &Pvt::typical(),
+//!     &MismatchModel::local_90nm(), 50, 7,
+//! )?;
+//! assert_eq!(report.trials, 50);
+//! # Ok::<(), psnt_core::error::SensorError>(())
+//! ```
+
+use psnt_cells::delay::AlphaPowerDelay;
+use psnt_cells::process::Pvt;
+use psnt_cells::units::{Time, Voltage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::element::SenseElement;
+use crate::error::SensorError;
+use crate::thermometer::ThermometerArray;
+
+/// Relative/absolute sigmas of local device variation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MismatchModel {
+    /// Relative sigma of the inverter drive (current factor).
+    pub sigma_drive: f64,
+    /// Relative sigma of the load capacitor value.
+    pub sigma_load: f64,
+    /// Absolute sigma of the device threshold voltage.
+    pub sigma_vth: Voltage,
+}
+
+impl MismatchModel {
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] for negative sigmas.
+    pub fn new(
+        sigma_drive: f64,
+        sigma_load: f64,
+        sigma_vth: Voltage,
+    ) -> Result<MismatchModel, SensorError> {
+        if sigma_drive < 0.0 || sigma_load < 0.0 || sigma_vth < Voltage::ZERO {
+            return Err(SensorError::InvalidConfig {
+                name: "sigma",
+                reason: "mismatch sigmas must be non-negative".into(),
+            });
+        }
+        Ok(MismatchModel {
+            sigma_drive,
+            sigma_load,
+            sigma_vth,
+        })
+    }
+
+    /// Representative 90 nm local mismatch for small devices: 2 % drive,
+    /// 1 % capacitor matching, 8 mV threshold sigma.
+    pub fn local_90nm() -> MismatchModel {
+        MismatchModel {
+            sigma_drive: 0.02,
+            sigma_load: 0.01,
+            sigma_vth: Voltage::from_mv(8.0),
+        }
+    }
+
+    /// A copy with every sigma scaled by `k` (for sigma sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 0`.
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> MismatchModel {
+        assert!(k >= 0.0, "scale must be non-negative");
+        MismatchModel {
+            sigma_drive: self.sigma_drive * k,
+            sigma_load: self.sigma_load * k,
+            sigma_vth: self.sigma_vth * k,
+        }
+    }
+
+    /// Draws a mismatched copy of one element.
+    pub fn perturb_element<R: Rng + ?Sized>(
+        &self,
+        element: &SenseElement,
+        rng: &mut R,
+    ) -> SenseElement {
+        let inv = element.inverter();
+        // Drive error scales A inversely; clamp factors to stay physical.
+        let drive = (1.0 + self.sigma_drive * gaussian(rng)).max(0.5);
+        let load_f = (1.0 + self.sigma_load * gaussian(rng)).max(0.5);
+        let vth = inv.vth() + self.sigma_vth * gaussian(rng);
+        let perturbed = AlphaPowerDelay::new(
+            inv.a_ps_per_pf() / drive,
+            inv.c_intrinsic(),
+            inv.t_intrinsic(),
+            vth.max(Voltage::from_mv(50.0)),
+            inv.alpha(),
+        )
+        .expect("perturbed parameters stay in the valid domain");
+        SenseElement::new(
+            perturbed,
+            *element.flip_flop(),
+            element.load() * load_f,
+            element.mode(),
+        )
+    }
+
+    /// Draws a mismatched copy of a whole array (independent elements).
+    pub fn perturb_array<R: Rng + ?Sized>(
+        &self,
+        array: &ThermometerArray,
+        rng: &mut R,
+    ) -> ThermometerArray {
+        ThermometerArray::from_elements(
+            array
+                .elements()
+                .iter()
+                .map(|e| self.perturb_element(e, rng))
+                .collect(),
+            array.mode(),
+        )
+    }
+}
+
+/// Standard normal deviate by Box–Muller (avoids a `rand_distr`
+/// dependency).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The result of a mismatch Monte-Carlo.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YieldReport {
+    /// Arrays drawn.
+    pub trials: usize,
+    /// Arrays whose thresholds stayed strictly monotone (thermometer
+    /// property preserved for every input voltage).
+    pub monotone: usize,
+    /// Mean absolute per-element threshold shift from nominal, volts.
+    pub mean_abs_shift: f64,
+    /// Worst per-element threshold shift seen, volts.
+    pub worst_shift: f64,
+}
+
+impl YieldReport {
+    /// The fraction of arrays preserving the thermometer property.
+    pub fn yield_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.monotone as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Draws `n` mismatched copies of `array` and scores their threshold
+/// ladders against the nominal one.
+///
+/// # Errors
+///
+/// Propagates threshold-search failures.
+pub fn monte_carlo_yield(
+    array: &ThermometerArray,
+    skew: Time,
+    pvt: &Pvt,
+    model: &MismatchModel,
+    n: usize,
+    seed: u64,
+) -> Result<YieldReport, SensorError> {
+    let nominal = array.thresholds(skew, pvt)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut monotone = 0usize;
+    let mut abs_sum = 0.0f64;
+    let mut worst = 0.0f64;
+    let mut samples = 0usize;
+    for _ in 0..n {
+        let drawn = model.perturb_array(array, &mut rng);
+        let th = drawn.thresholds(skew, pvt)?;
+        if th.windows(2).all(|w| w[1] > w[0]) {
+            monotone += 1;
+        }
+        for (t, t0) in th.iter().zip(&nominal) {
+            let shift = (*t - *t0).volts().abs();
+            abs_sum += shift;
+            worst = worst.max(shift);
+            samples += 1;
+        }
+    }
+    Ok(YieldReport {
+        trials: n,
+        monotone,
+        mean_abs_shift: if samples == 0 { 0.0 } else { abs_sum / samples as f64 },
+        worst_shift: worst,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::RailMode;
+
+    fn array() -> ThermometerArray {
+        ThermometerArray::paper(RailMode::Supply)
+    }
+
+    fn skew() -> Time {
+        Time::from_ps(149.0)
+    }
+
+    #[test]
+    fn model_validation() {
+        assert!(MismatchModel::new(0.02, 0.01, Voltage::from_mv(8.0)).is_ok());
+        assert!(MismatchModel::new(-0.1, 0.01, Voltage::from_mv(8.0)).is_err());
+        assert!(MismatchModel::new(0.02, 0.01, Voltage::from_mv(-1.0)).is_err());
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let model = MismatchModel::new(0.0, 0.0, Voltage::ZERO).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let drawn = model.perturb_array(&array(), &mut rng);
+        let a = array().thresholds(skew(), &Pvt::typical()).unwrap();
+        let b = drawn.thresholds(skew(), &Pvt::typical()).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((*x - *y).abs() < Voltage::from_mv(0.02));
+        }
+        let report =
+            monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 10, 3).unwrap();
+        assert_eq!(report.monotone, 10);
+        assert!(report.worst_shift < 1e-4);
+    }
+
+    #[test]
+    fn gaussian_is_roughly_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn mismatch_scatters_thresholds() {
+        let model = MismatchModel::local_90nm();
+        let report =
+            monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 100, 9).unwrap();
+        assert_eq!(report.trials, 100);
+        // 2 % drive sigma ⇒ threshold sigma ~20 mV: shifts are visible…
+        assert!(report.mean_abs_shift > 0.005, "mean {}", report.mean_abs_shift);
+        assert!(report.worst_shift > report.mean_abs_shift);
+        // …and with ~30 mV element spacing some arrays lose monotonicity,
+        // but not all.
+        assert!(report.monotone > 0);
+        assert!(report.monotone < 100, "expected some order inversions");
+    }
+
+    #[test]
+    fn yield_degrades_with_sigma() {
+        let base = MismatchModel::local_90nm();
+        let mut prev = usize::MAX;
+        for k in [0.25, 1.0, 3.0] {
+            let report = monte_carlo_yield(
+                &array(),
+                skew(),
+                &Pvt::typical(),
+                &base.scaled(k),
+                120,
+                11,
+            )
+            .unwrap();
+            assert!(
+                report.monotone <= prev,
+                "yield should not improve with more mismatch (k={k})"
+            );
+            prev = report.monotone;
+        }
+        assert!(prev < 60, "large mismatch should break most arrays");
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let model = MismatchModel::local_90nm();
+        let a = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 30, 5).unwrap();
+        let b = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 30, 5).unwrap();
+        assert_eq!(a, b);
+        let c = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 30, 6).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn yield_fraction_math() {
+        let r = YieldReport {
+            trials: 40,
+            monotone: 30,
+            mean_abs_shift: 0.01,
+            worst_shift: 0.03,
+        };
+        assert!((r.yield_fraction() - 0.75).abs() < 1e-12);
+        let empty = YieldReport {
+            trials: 0,
+            monotone: 0,
+            mean_abs_shift: 0.0,
+            worst_shift: 0.0,
+        };
+        assert_eq!(empty.yield_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn scaled_rejects_negative() {
+        let _ = MismatchModel::local_90nm().scaled(-1.0);
+    }
+}

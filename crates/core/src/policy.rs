@@ -1,0 +1,576 @@
+//! Power-aware policies driven by the sensor — the paper's second use
+//! case ("used by a control block within the circuit under test for the
+//! activation of power aware policies").
+//!
+//! Three policy blocks are provided:
+//!
+//! * [`AutoRanger`] — the delay-code policy the paper mentions but leaves
+//!   unpublished ("the control … can define and set them internally
+//!   according to a policy"): when measures saturate at either end of
+//!   the dynamic range for several cycles, step the delay code so the
+//!   range slides back over the rail.
+//! * [`NoiseAlarm`] — a debounced threshold watchdog: raise an alarm when
+//!   the measured level stays at or below a trip level for `n`
+//!   consecutive measures (and clear it after `n` clean ones). This is
+//!   the minimal "activate a countermeasure" hook: clock-gate a burst
+//!   unit, stretch the clock, or veto a DVFS step.
+//! * [`DvfsGovernor`] — a guard-banded voltage-scaling governor: it walks
+//!   the supply setpoint down while the *measured worst-case* rail keeps
+//!   a margin above the logic's minimum operating voltage, and backs off
+//!   when the margin is eaten — Razor-style energy saving, but driven by
+//!   a voltage measurement instead of error recovery.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_core::policy::{NoiseAlarm};
+//!
+//! let mut alarm = NoiseAlarm::new(2, 3)?; // trip at level ≤ 2 for 3 measures
+//! assert!(!alarm.observe(5));
+//! assert!(!alarm.observe(1));
+//! assert!(!alarm.observe(2));
+//! assert!(alarm.observe(0)); // third consecutive bad measure: alarm
+//! # Ok::<(), psnt_core::error::SensorError>(())
+//! ```
+
+use psnt_cells::units::Voltage;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SensorError;
+use crate::pulsegen::DelayCode;
+use crate::system::Measurement;
+
+/// A debounced low-level watchdog over the HS noise word.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoiseAlarm {
+    trip_level: usize,
+    debounce: usize,
+    consecutive_bad: usize,
+    consecutive_good: usize,
+    active: bool,
+    trips: u64,
+}
+
+impl NoiseAlarm {
+    /// Creates an alarm tripping when `level <= trip_level` persists for
+    /// `debounce` consecutive measures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] when `debounce` is zero.
+    pub fn new(trip_level: usize, debounce: usize) -> Result<NoiseAlarm, SensorError> {
+        if debounce == 0 {
+            return Err(SensorError::InvalidConfig {
+                name: "debounce",
+                reason: "debounce must be at least one measure".into(),
+            });
+        }
+        Ok(NoiseAlarm {
+            trip_level,
+            debounce,
+            consecutive_bad: 0,
+            consecutive_good: 0,
+            active: false,
+            trips: 0,
+        })
+    }
+
+    /// Whether the alarm is currently raised.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Total raise events since construction.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Feeds one measured level; returns the (possibly updated) alarm
+    /// state.
+    pub fn observe(&mut self, level: usize) -> bool {
+        if level <= self.trip_level {
+            self.consecutive_bad += 1;
+            self.consecutive_good = 0;
+            if !self.active && self.consecutive_bad >= self.debounce {
+                self.active = true;
+                self.trips += 1;
+            }
+        } else {
+            self.consecutive_good += 1;
+            self.consecutive_bad = 0;
+            if self.active && self.consecutive_good >= self.debounce {
+                self.active = false;
+            }
+        }
+        self.active
+    }
+
+    /// Convenience: feeds a full measurement (HS word level).
+    pub fn observe_measurement(&mut self, m: &Measurement) -> bool {
+        self.observe(m.hs_word.level)
+    }
+}
+
+/// The paper's on-chip delay-code policy: auto re-ranging.
+///
+/// Saturated codes carry one bit of information — "the rail is beyond
+/// this edge of the range". After `debounce` consecutive saturations on
+/// the same side, the ranger steps the HS delay code: a *smaller* tap
+/// moves the dynamic range **up** (for overflow), a *larger* tap moves
+/// it **down** (for underflow) — the direction relation of Fig. 5.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AutoRanger {
+    code: DelayCode,
+    debounce: usize,
+    over_streak: usize,
+    under_streak: usize,
+    retunes: u64,
+}
+
+impl AutoRanger {
+    /// Creates a ranger starting from `initial` with the given debounce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] for a zero debounce.
+    pub fn new(initial: DelayCode, debounce: usize) -> Result<AutoRanger, SensorError> {
+        if debounce == 0 {
+            return Err(SensorError::InvalidConfig {
+                name: "debounce",
+                reason: "debounce must be at least one measure".into(),
+            });
+        }
+        Ok(AutoRanger {
+            code: initial,
+            debounce,
+            over_streak: 0,
+            under_streak: 0,
+            retunes: 0,
+        })
+    }
+
+    /// The currently selected delay code.
+    pub fn code(&self) -> DelayCode {
+        self.code
+    }
+
+    /// Number of re-ranging steps taken.
+    pub fn retunes(&self) -> u64 {
+        self.retunes
+    }
+
+    /// Feeds one measurement; returns `Some(new_code)` when the policy
+    /// decides to re-range (the caller applies it with
+    /// [`crate::system::SensorSystem::set_delay_codes`]).
+    pub fn observe(&mut self, m: &Measurement) -> Option<DelayCode> {
+        if m.hs_word.overflow {
+            self.over_streak += 1;
+            self.under_streak = 0;
+        } else if m.hs_word.underflow {
+            self.under_streak += 1;
+            self.over_streak = 0;
+        } else {
+            self.over_streak = 0;
+            self.under_streak = 0;
+            return None;
+        }
+        if self.over_streak >= self.debounce {
+            // Rail above the range: shorter tap shifts the range up.
+            self.over_streak = 0;
+            return self.step(-1);
+        }
+        if self.under_streak >= self.debounce {
+            // Rail below the range: longer tap shifts the range down.
+            self.under_streak = 0;
+            return self.step(1);
+        }
+        None
+    }
+
+    fn step(&mut self, dir: i8) -> Option<DelayCode> {
+        let next = self.code.value() as i8 + dir;
+        let next = DelayCode::new(u8::try_from(next).ok()?).ok()?;
+        if next == self.code {
+            return None;
+        }
+        self.code = next;
+        self.retunes += 1;
+        Some(next)
+    }
+}
+
+/// The command a governor issues after a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GovernorAction {
+    /// Margin comfortable: lower the setpoint by the configured step.
+    StepDown,
+    /// Margin eaten: raise the setpoint by the configured step.
+    StepUp,
+    /// Inside the hysteresis band: hold.
+    Hold,
+}
+
+/// A guard-banded DVFS governor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsGovernor {
+    /// The logic's minimum operating voltage (e.g. from
+    /// [`crate::baseline::RazorStage::min_supply`]).
+    v_min: Voltage,
+    /// Required margin of the *measured worst-case* rail above `v_min`.
+    guard_band: Voltage,
+    /// Extra margin (beyond the guard band) before stepping down —
+    /// hysteresis against limit cycling.
+    hysteresis: Voltage,
+    /// Setpoint step size.
+    step: Voltage,
+    /// Setpoint bounds.
+    v_lo: Voltage,
+    v_hi: Voltage,
+    setpoint: Voltage,
+}
+
+impl DvfsGovernor {
+    /// Creates a governor starting at `v_hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] for non-positive step/
+    /// guard band, inverted bounds, or a guard band that can never be
+    /// met inside the bounds.
+    pub fn new(
+        v_min: Voltage,
+        guard_band: Voltage,
+        hysteresis: Voltage,
+        step: Voltage,
+        v_lo: Voltage,
+        v_hi: Voltage,
+    ) -> Result<DvfsGovernor, SensorError> {
+        if step <= Voltage::ZERO || guard_band <= Voltage::ZERO || hysteresis < Voltage::ZERO {
+            return Err(SensorError::InvalidConfig {
+                name: "step/guard_band/hysteresis",
+                reason: "step and guard band must be positive, hysteresis non-negative".into(),
+            });
+        }
+        if v_lo >= v_hi {
+            return Err(SensorError::InvalidConfig {
+                name: "bounds",
+                reason: format!("v_lo {v_lo} must be below v_hi {v_hi}"),
+            });
+        }
+        if v_min + guard_band >= v_hi {
+            return Err(SensorError::InvalidConfig {
+                name: "guard_band",
+                reason: "guard band unreachable below the upper setpoint bound".into(),
+            });
+        }
+        Ok(DvfsGovernor {
+            v_min,
+            guard_band,
+            hysteresis,
+            step,
+            v_lo,
+            v_hi,
+            setpoint: v_hi,
+        })
+    }
+
+    /// A reasonable default around a 2 ns-cycle pipeline: 30 mV guard
+    /// band, 35 mV hysteresis, 25 mV steps between 0.7 V and 1.05 V.
+    ///
+    /// The hysteresis deliberately exceeds the sensor's LSB (≈30 mV for
+    /// the paper's 7-bit array): with a smaller value the quantised
+    /// margin reading cannot distinguish adjacent setpoints and the
+    /// governor limit-cycles between "step down" and "sensor underflow".
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor validation (cannot fail for the defaults).
+    pub fn with_v_min(v_min: Voltage) -> Result<DvfsGovernor, SensorError> {
+        DvfsGovernor::new(
+            v_min,
+            Voltage::from_mv(30.0),
+            Voltage::from_mv(35.0),
+            Voltage::from_mv(25.0),
+            Voltage::from_v(0.7),
+            Voltage::from_v(1.05),
+        )
+    }
+
+    /// The current setpoint command.
+    pub fn setpoint(&self) -> Voltage {
+        self.setpoint
+    }
+
+    /// The minimum operating voltage being guarded.
+    pub fn v_min(&self) -> Voltage {
+        self.v_min
+    }
+
+    /// Decides on a window of measurements: the governing quantity is the
+    /// worst (lowest) decoded rail estimate; an underflowing code (rail
+    /// below the sensor range) always forces a step up.
+    pub fn decide(&mut self, window: &[Measurement]) -> GovernorAction {
+        let mut worst: Option<Voltage> = None;
+        let mut underflow = false;
+        for m in window {
+            if m.hs_word.underflow {
+                underflow = true;
+            }
+            if let Some(mid) = m.hs_interval.midpoint() {
+                worst = Some(worst.map_or(mid, |w: Voltage| w.min(mid)));
+            }
+        }
+        let action = match (underflow, worst) {
+            (true, _) | (false, None) => GovernorAction::StepUp,
+            (false, Some(w)) => {
+                let margin = w - self.v_min;
+                if margin < self.guard_band {
+                    GovernorAction::StepUp
+                } else if margin > self.guard_band + self.hysteresis + self.step {
+                    GovernorAction::StepDown
+                } else {
+                    GovernorAction::Hold
+                }
+            }
+        };
+        self.setpoint = match action {
+            GovernorAction::StepDown => (self.setpoint - self.step).max(self.v_lo),
+            GovernorAction::StepUp => (self.setpoint + self.step).min(self.v_hi),
+            GovernorAction::Hold => self.setpoint,
+        };
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{SensorConfig, SensorSystem};
+    use psnt_cells::units::Time;
+    use psnt_pdn::waveform::Waveform;
+
+    fn measure(v: f64) -> Measurement {
+        let sys = SensorSystem::new(SensorConfig::default()).unwrap();
+        sys.measure_at(
+            &Waveform::constant(v),
+            &Waveform::constant(0.0),
+            Time::from_ns(10.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn alarm_validates_and_debounces() {
+        assert!(NoiseAlarm::new(2, 0).is_err());
+        let mut a = NoiseAlarm::new(2, 3).unwrap();
+        // Two bad measures: still quiet.
+        assert!(!a.observe(1));
+        assert!(!a.observe(2));
+        // A good one resets the streak.
+        assert!(!a.observe(5));
+        assert!(!a.observe(0));
+        assert!(!a.observe(0));
+        // Third consecutive bad: trip.
+        assert!(a.observe(1));
+        assert_eq!(a.trips(), 1);
+        // Clearing needs the same debounce of good measures.
+        assert!(a.observe(7));
+        assert!(a.observe(7));
+        assert!(!a.observe(7));
+        assert!(!a.is_active());
+        assert_eq!(a.trips(), 1);
+    }
+
+    #[test]
+    fn alarm_from_measurements() {
+        let mut a = NoiseAlarm::new(3, 1).unwrap();
+        assert!(!a.observe_measurement(&measure(1.0))); // level 5
+        assert!(a.observe_measurement(&measure(0.9))); // level 2
+    }
+
+    #[test]
+    fn auto_ranger_validates_and_follows_the_rail() {
+        use crate::system::{SensorConfig, SensorSystem};
+        assert!(AutoRanger::new(DelayCode::new(3).unwrap(), 0).is_err());
+
+        let mut sensor = SensorSystem::new(SensorConfig::default()).unwrap();
+        let mut ranger = AutoRanger::new(sensor.config().hs_code, 2).unwrap();
+        let gnd = Waveform::constant(0.0);
+        // The rail drifts up to 1.15 V: code 011 saturates; the ranger
+        // must walk the code down (shorter taps) until it resolves.
+        let vdd = Waveform::constant(1.15);
+        let mut resolved = false;
+        for k in 0..12 {
+            let m = sensor
+                .measure_at(&vdd, &gnd, Time::from_ns(10.0 * (k + 1) as f64))
+                .unwrap();
+            if !m.hs_word.overflow && !m.hs_word.underflow {
+                resolved = true;
+                break;
+            }
+            if let Some(code) = ranger.observe(&m) {
+                sensor.set_delay_codes(code, sensor.config().ls_code);
+            }
+        }
+        assert!(resolved, "ranger never brought 1.15 V into range");
+        assert!(ranger.code().value() < 3, "code should have stepped down");
+        assert!(ranger.retunes() >= 1);
+
+        // Now the rail collapses to 0.87 V: the ranger walks back up.
+        let vdd = Waveform::constant(0.87);
+        let mut resolved = false;
+        for k in 0..16 {
+            let m = sensor
+                .measure_at(&vdd, &gnd, Time::from_ns(10.0 * (k + 1) as f64))
+                .unwrap();
+            if !m.hs_word.overflow && !m.hs_word.underflow {
+                resolved = true;
+                break;
+            }
+            if let Some(code) = ranger.observe(&m) {
+                sensor.set_delay_codes(code, sensor.config().ls_code);
+            }
+        }
+        assert!(resolved, "ranger never brought 0.87 V into range");
+    }
+
+    #[test]
+    fn auto_ranger_saturates_at_the_table_ends() {
+        let mut ranger = AutoRanger::new(DelayCode::new(0).unwrap(), 1).unwrap();
+        // A permanently overflowing measurement cannot step below code 0.
+        let sensor = crate::system::SensorSystem::new(crate::system::SensorConfig::default()).unwrap();
+        let m = sensor
+            .measure_at(&Waveform::constant(1.6), &Waveform::constant(0.0), Time::from_ns(10.0))
+            .unwrap();
+        assert!(m.hs_word.overflow);
+        assert_eq!(ranger.observe(&m), None);
+        assert_eq!(ranger.code().value(), 0);
+
+        let mut ranger = AutoRanger::new(DelayCode::new(7).unwrap(), 1).unwrap();
+        let m = sensor
+            .measure_at(&Waveform::constant(0.5), &Waveform::constant(0.0), Time::from_ns(10.0))
+            .unwrap();
+        assert!(m.hs_word.underflow);
+        assert_eq!(ranger.observe(&m), None);
+        assert_eq!(ranger.code().value(), 7);
+    }
+
+    #[test]
+    fn auto_ranger_debounces_single_saturations() {
+        let sensor = crate::system::SensorSystem::new(crate::system::SensorConfig::default()).unwrap();
+        let gnd = Waveform::constant(0.0);
+        let mut ranger = AutoRanger::new(DelayCode::new(3).unwrap(), 3).unwrap();
+        let over = sensor
+            .measure_at(&Waveform::constant(1.2), &gnd, Time::from_ns(10.0))
+            .unwrap();
+        let fine = sensor
+            .measure_at(&Waveform::constant(0.95), &gnd, Time::from_ns(10.0))
+            .unwrap();
+        // Two saturations interrupted by a clean measure: no retune.
+        assert_eq!(ranger.observe(&over), None);
+        assert_eq!(ranger.observe(&over), None);
+        assert_eq!(ranger.observe(&fine), None);
+        assert_eq!(ranger.observe(&over), None);
+        assert_eq!(ranger.retunes(), 0);
+        // Three in a row: retune.
+        assert_eq!(ranger.observe(&over), None);
+        assert!(ranger.observe(&over).is_some());
+    }
+
+    #[test]
+    fn governor_validation() {
+        let v = Voltage::from_v;
+        assert!(DvfsGovernor::new(v(0.8), Voltage::ZERO, Voltage::ZERO, v(0.025), v(0.7), v(1.05)).is_err());
+        assert!(DvfsGovernor::new(v(0.8), v(0.03), Voltage::ZERO, Voltage::ZERO, v(0.7), v(1.05)).is_err());
+        assert!(DvfsGovernor::new(v(0.8), v(0.03), Voltage::ZERO, v(0.025), v(1.05), v(0.7)).is_err());
+        assert!(DvfsGovernor::new(v(1.2), v(0.03), Voltage::ZERO, v(0.025), v(0.7), v(1.05)).is_err());
+        assert!(DvfsGovernor::with_v_min(v(0.8)).is_ok());
+    }
+
+    #[test]
+    fn governor_steps_down_with_comfortable_margin() {
+        let mut g = DvfsGovernor::with_v_min(Voltage::from_v(0.80)).unwrap();
+        let start = g.setpoint();
+        // Rail measured at ~1.0 V: margin 200 mV >> 30 mV guard band.
+        let action = g.decide(&[measure(1.0)]);
+        assert_eq!(action, GovernorAction::StepDown);
+        assert!(g.setpoint() < start);
+    }
+
+    #[test]
+    fn governor_backs_off_when_margin_eaten() {
+        let mut g = DvfsGovernor::with_v_min(Voltage::from_v(0.86)).unwrap();
+        // Rail measured at ~0.88 V: margin 20 mV < 30 mV guard band.
+        let action = g.decide(&[measure(0.88)]);
+        assert_eq!(action, GovernorAction::StepUp);
+        assert_eq!(g.setpoint(), Voltage::from_v(1.05), "clamped at v_hi");
+    }
+
+    #[test]
+    fn governor_holds_inside_hysteresis() {
+        let mut g = DvfsGovernor::with_v_min(Voltage::from_v(0.86)).unwrap();
+        // Margin ≈ 47 mV: above the 30 mV band but below
+        // band + hysteresis + step = 90 mV → hold.
+        let action = g.decide(&[measure(0.907)]);
+        assert_eq!(action, GovernorAction::Hold);
+    }
+
+    #[test]
+    fn hysteresis_covers_the_sensor_lsb() {
+        // The quantisation-limit-cycle guard: the default hold band must
+        // be wider than one thermometer code (~30 mV), so two setpoints
+        // decoded to the same code cannot alternate StepDown/StepUp.
+        let g = DvfsGovernor::with_v_min(Voltage::from_v(0.80)).unwrap();
+        assert!(g.hysteresis >= Voltage::from_mv(30.0));
+    }
+
+    #[test]
+    fn governor_steps_up_on_underflow_or_blindness() {
+        let mut g = DvfsGovernor::with_v_min(Voltage::from_v(0.80)).unwrap();
+        // Below the sensor range: underflow code.
+        assert_eq!(g.decide(&[measure(0.70)]), GovernorAction::StepUp);
+        // No usable measurements at all.
+        assert_eq!(g.decide(&[]), GovernorAction::StepUp);
+    }
+
+    #[test]
+    fn governor_converges_on_a_stable_setpoint() {
+        // Closed loop against an ideal rail (rail == setpoint − 20 mV of
+        // droop): the governor must settle without limit cycling.
+        let mut g = DvfsGovernor::with_v_min(Voltage::from_v(0.80)).unwrap();
+        let mut last_actions = Vec::new();
+        for _ in 0..30 {
+            let rail = g.setpoint() - Voltage::from_mv(20.0);
+            let action = g.decide(&[measure(rail.volts())]);
+            last_actions.push(action);
+        }
+        // The tail must be all Hold (no oscillation).
+        let tail = &last_actions[last_actions.len() - 5..];
+        assert!(
+            tail.iter().all(|a| *a == GovernorAction::Hold),
+            "limit cycle: {tail:?}"
+        );
+        // And the settled margin respects the guard band.
+        let rail = g.setpoint() - Voltage::from_mv(20.0);
+        let m = measure(rail.volts());
+        let worst = m.hs_interval.midpoint().unwrap();
+        assert!(worst - g.v_min() >= Voltage::from_mv(30.0));
+    }
+
+    #[test]
+    fn governor_respects_lower_bound() {
+        let mut g = DvfsGovernor::new(
+            Voltage::from_v(0.40),
+            Voltage::from_mv(30.0),
+            Voltage::from_mv(10.0),
+            Voltage::from_mv(50.0),
+            Voltage::from_v(0.95),
+            Voltage::from_v(1.05),
+        )
+        .unwrap();
+        for _ in 0..10 {
+            let _ = g.decide(&[measure(1.0)]);
+        }
+        assert_eq!(g.setpoint(), Voltage::from_v(0.95));
+    }
+}

@@ -1,0 +1,526 @@
+//! The complete sensor system — paper Fig. 6.
+//!
+//! A [`SensorSystem`] bundles the HIGH-SENSE array (observing `VDD-n`),
+//! the LOW-SENSE array (observing `GND-n`), the pulse generator, the
+//! control FSM and the encoder. It runs the PREPARE/SENSE sequence
+//! against supply and ground *waveforms* (from `psnt-pdn`), producing a
+//! stream of timestamped [`Measurement`]s — the digital noise samples the
+//! paper would ship off-chip for verification or hand to an on-chip
+//! power-aware policy.
+//!
+//! The separation of the two arrays follows the paper: "HS-INV have
+//! nominal Ground, and, viceversa, LS-INV have nominal PS", so the two
+//! rails are measured independently and without interference — the
+//! property the ring-oscillator baseline in [`crate::baseline`]
+//! fundamentally lacks.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::units::Time;
+//! use psnt_core::system::{SensorConfig, SensorSystem};
+//! use psnt_pdn::waveform::Waveform;
+//!
+//! let mut system = SensorSystem::new(SensorConfig::default())?;
+//! let vdd = Waveform::constant(1.0);
+//! let gnd = Waveform::constant(0.0);
+//! let measures = system.run(&vdd, &gnd, Time::ZERO, 2)?;
+//! assert_eq!(measures.len(), 2);
+//! assert_eq!(measures[0].hs_code.to_string(), "0011111"); // Fig. 9
+//! # Ok::<(), psnt_core::error::SensorError>(())
+//! ```
+
+use psnt_cells::process::Pvt;
+use psnt_cells::units::{Time, Voltage};
+use psnt_pdn::waveform::Waveform;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::calibration::{trim_for_corner, TrimResult};
+use crate::code::ThermometerCode;
+use crate::control::{Controller, CtrlInputs, CtrlState};
+use crate::element::RailMode;
+use crate::encoder::{Encoder, EncodingPolicy, OuteWord};
+use crate::error::SensorError;
+use crate::pulsegen::{DelayCode, PulseGenerator};
+use crate::thermometer::{CodeInterval, ThermometerArray};
+
+/// Static configuration of a sensor system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Delay code for the HIGH-SENSE (VDD) array.
+    pub hs_code: DelayCode,
+    /// Delay code for the LOW-SENSE (GND) array.
+    pub ls_code: DelayCode,
+    /// The control-system clock period (must exceed the CNTR critical
+    /// path; the paper's 1.22 ns supports "most typical CUT clocks").
+    pub clock_period: Time,
+    /// Operating point of the clean (control) domain.
+    pub pvt: Pvt,
+    /// Bubble-handling policy of the ENC block.
+    pub encoding: EncodingPolicy,
+}
+
+impl Default for SensorConfig {
+    fn default() -> SensorConfig {
+        SensorConfig {
+            // Delay code 011, the code Fig. 9 demonstrates.
+            hs_code: DelayCode::new(3).expect("static code"),
+            ls_code: DelayCode::new(3).expect("static code"),
+            clock_period: Time::from_ns(2.0),
+            pvt: Pvt::typical(),
+            encoding: EncodingPolicy::BubbleCorrect,
+        }
+    }
+}
+
+/// One complete two-rail measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The SENSE instant (CP edge at the sensor pins).
+    pub at: Time,
+    /// Raw HIGH-SENSE thermometer code.
+    pub hs_code: ThermometerCode,
+    /// Raw LOW-SENSE thermometer code.
+    pub ls_code: ThermometerCode,
+    /// Encoded HS noise word.
+    pub hs_word: OuteWord,
+    /// Encoded LS noise word.
+    pub ls_word: OuteWord,
+    /// Decoded VDD-n interval.
+    pub hs_interval: CodeInterval,
+    /// Decoded GND-n interval.
+    pub ls_interval: CodeInterval,
+}
+
+/// The assembled sensor system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorSystem {
+    hs: ThermometerArray,
+    ls: ThermometerArray,
+    pg: PulseGenerator,
+    #[serde(skip, default = "default_controller")]
+    ctrl: Controller,
+    hs_encoder: Encoder,
+    ls_encoder: Encoder,
+    config: SensorConfig,
+}
+
+fn default_controller() -> Controller {
+    Controller::new(None)
+}
+
+impl SensorSystem {
+    /// Builds the paper's system: two 7-bit arrays over the Fig. 5
+    /// ladder, the published PG table, and the Fig. 8 controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::InvalidConfig`] for a clock period that the
+    /// control system cannot meet (below 1.5 ns).
+    pub fn new(config: SensorConfig) -> Result<SensorSystem, SensorError> {
+        if config.clock_period < Time::from_ps(1500.0) {
+            return Err(SensorError::InvalidConfig {
+                name: "clock_period",
+                reason: format!(
+                    "{} is below the CNTR critical path headroom (1.5 ns floor)",
+                    config.clock_period
+                ),
+            });
+        }
+        let hs = ThermometerArray::paper(RailMode::Supply);
+        let ls = ThermometerArray::paper(RailMode::Ground);
+        let hs_encoder = Encoder::new(hs.bits(), config.encoding)?;
+        let ls_encoder = Encoder::new(ls.bits(), config.encoding)?;
+        Ok(SensorSystem {
+            hs,
+            ls,
+            pg: PulseGenerator::paper_table(),
+            ctrl: Controller::new(None),
+            hs_encoder,
+            ls_encoder,
+            config,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// The HIGH-SENSE array.
+    pub fn hs_array(&self) -> &ThermometerArray {
+        &self.hs
+    }
+
+    /// The LOW-SENSE array.
+    pub fn ls_array(&self) -> &ThermometerArray {
+        &self.ls
+    }
+
+    /// The pulse generator.
+    pub fn pulse_generator(&self) -> &PulseGenerator {
+        &self.pg
+    }
+
+    /// Reprograms the delay codes on-site — the paper's dynamic-range
+    /// adaptation.
+    pub fn set_delay_codes(&mut self, hs: DelayCode, ls: DelayCode) {
+        self.config.hs_code = hs;
+        self.config.ls_code = ls;
+    }
+
+    /// Retrims both arrays' delay codes for a different operating point
+    /// against the current typical characteristic — the paper's
+    /// process-variation-aware configuration. Returns the (HS, LS) trim
+    /// results and applies the codes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation failures.
+    pub fn trim(&mut self, corner: &Pvt) -> Result<(TrimResult, TrimResult), SensorError> {
+        let hs_trim = trim_for_corner(&self.hs, &self.pg, self.config.hs_code, &self.config.pvt, corner)?;
+        let ls_trim = trim_for_corner(&self.ls, &self.pg, self.config.ls_code, &self.config.pvt, corner)?;
+        self.config.hs_code = hs_trim.code;
+        self.config.ls_code = ls_trim.code;
+        self.config.pvt = *corner;
+        Ok((hs_trim, ls_trim))
+    }
+
+    /// The PREPARE-phase output of the HS array — always the all-fail
+    /// pattern (`0000000` in the paper's Fig. 9 annotation).
+    pub fn hs_prepare_code(&self) -> ThermometerCode {
+        ThermometerCode::from_fail_count(self.hs.bits(), self.hs.bits())
+    }
+
+    /// Performs one measurement with the SENSE instant at `at`. The rail
+    /// values are averaged over the P→CP window, modelling the inverter
+    /// integrating the supply across its transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::WaveformGap`] when a waveform does not cover
+    /// the window, and propagates decode failures.
+    pub fn measure_at(
+        &self,
+        vdd: &Waveform,
+        gnd: &Waveform,
+        at: Time,
+    ) -> Result<Measurement, SensorError> {
+        let pvt = &self.config.pvt;
+        let hs_skew = self.pg.skew(self.config.hs_code, pvt);
+        let ls_skew = self.pg.skew(self.config.ls_code, pvt);
+
+        let v = self.window_value(vdd, at, hs_skew)?;
+        let g = self.window_value(gnd, at, ls_skew)?;
+
+        let hs_code = self.hs.measure(v, hs_skew, pvt);
+        let ls_code = self.ls.measure(g, ls_skew, pvt);
+        self.package(at, hs_code, ls_code, hs_skew, ls_skew)
+    }
+
+    /// Stochastic variant of [`SensorSystem::measure_at`] (metastable
+    /// boundary elements resolve randomly).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SensorSystem::measure_at`].
+    pub fn measure_at_with_rng<R: Rng + ?Sized>(
+        &self,
+        vdd: &Waveform,
+        gnd: &Waveform,
+        at: Time,
+        rng: &mut R,
+    ) -> Result<Measurement, SensorError> {
+        let pvt = &self.config.pvt;
+        let hs_skew = self.pg.skew(self.config.hs_code, pvt);
+        let ls_skew = self.pg.skew(self.config.ls_code, pvt);
+        let v = self.window_value(vdd, at, hs_skew)?;
+        let g = self.window_value(gnd, at, ls_skew)?;
+        let hs_code = self.hs.measure_with_rng(v, hs_skew, pvt, rng);
+        let ls_code = self.ls.measure_with_rng(g, ls_skew, pvt, rng);
+        self.package(at, hs_code, ls_code, hs_skew, ls_skew)
+    }
+
+    fn window_value(&self, wave: &Waveform, at: Time, skew: Time) -> Result<Voltage, SensorError> {
+        if at < wave.start() || at + skew > wave.end() {
+            // Constant waveforms extend infinitely by definition.
+            if !wave.is_constant() {
+                return Err(SensorError::WaveformGap {
+                    at_ps: at.picoseconds(),
+                });
+            }
+        }
+        Ok(Voltage::from_v(wave.mean_over(at, at + skew.max(Time::from_ps(1.0)))))
+    }
+
+    fn package(
+        &self,
+        at: Time,
+        hs_code: ThermometerCode,
+        ls_code: ThermometerCode,
+        hs_skew: Time,
+        ls_skew: Time,
+    ) -> Result<Measurement, SensorError> {
+        let pvt = &self.config.pvt;
+        let hs_word = self.hs_encoder.encode(&hs_code);
+        let ls_word = self.ls_encoder.encode(&ls_code);
+        let hs_interval = self.hs.decode(&hs_code, hs_skew, pvt)?;
+        let ls_interval = self.ls.decode(&ls_code, ls_skew, pvt)?;
+        Ok(Measurement {
+            at,
+            hs_code,
+            ls_code,
+            hs_word,
+            ls_word,
+            hs_interval,
+            ls_interval,
+        })
+    }
+
+    /// Runs the control FSM from `from` and collects `count` measurements.
+    /// Each measure occupies the Fig. 8 sequence (READY → S_PRP0 → S_PRP →
+    /// S_SNS0 → SENSE), i.e. one SENSE every five control-clock cycles;
+    /// the SENSE instant includes the PG's CP-path delay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SensorSystem::measure_at`] failures.
+    pub fn run(
+        &mut self,
+        vdd: &Waveform,
+        gnd: &Waveform,
+        from: Time,
+        count: usize,
+    ) -> Result<Vec<Measurement>, SensorError> {
+        self.ctrl.reset();
+        let inputs = CtrlInputs {
+            enable: true,
+            start: true,
+        };
+        let mut out = Vec::with_capacity(count);
+        let mut cycle: u64 = 0;
+        // Divergence guard: 5 cycles per measure plus pipeline fill.
+        let max_cycles = (count as u64 + 2) * 6 + 4;
+        while out.len() < count && cycle < max_cycles {
+            let step = self.ctrl.step(inputs);
+            cycle += 1;
+            if step.capture {
+                let cycle_start = from + self.config.clock_period * (cycle as f64 - 1.0);
+                let sense_at =
+                    cycle_start + self.pg.emit(self.config.hs_code, &self.config.pvt).cp_edge;
+                out.push(self.measure_at(vdd, gnd, sense_at)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The FSM state after the last [`SensorSystem::run`] (diagnostics).
+    pub fn controller_state(&self) -> CtrlState {
+        self.ctrl.state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psnt_pdn::sources::supply_step;
+
+    fn system() -> SensorSystem {
+        SensorSystem::new(SensorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn clock_floor_enforced() {
+        let cfg = SensorConfig {
+            clock_period: Time::from_ns(1.0),
+            ..SensorConfig::default()
+        };
+        assert!(matches!(
+            SensorSystem::new(cfg),
+            Err(SensorError::InvalidConfig { name: "clock_period", .. })
+        ));
+    }
+
+    #[test]
+    fn fig9_two_measure_sequence() {
+        // Paper Fig. 9: delay code 011, first measure at VDD-n = 1 V gives
+        // 0011111 (range 0.992–1.021 V), second at 0.9 V gives 0000011
+        // (range 0.896–0.929 V); PREPARE reads 0000000.
+        let mut sys = system();
+        assert_eq!(sys.hs_prepare_code().to_string(), "0000000");
+        // A supply that steps 1.0 → 0.9 V between the two measures.
+        let end = Time::from_us(1.0);
+        let vdd = supply_step(Voltage::from_v(1.0), Voltage::from_v(0.9), Time::from_ns(15.0), end).unwrap();
+        let gnd = Waveform::constant(0.0);
+        let measures = sys.run(&vdd, &gnd, Time::ZERO, 2).unwrap();
+        assert_eq!(measures.len(), 2);
+
+        let first = &measures[0];
+        assert_eq!(first.hs_code.to_string(), "0011111");
+        assert!((first.hs_interval.lower.unwrap().volts() - 0.992).abs() < 0.003);
+        assert!((first.hs_interval.upper.unwrap().volts() - 1.021).abs() < 0.003);
+
+        let second = &measures[1];
+        assert_eq!(second.hs_code.to_string(), "0000011");
+        assert!((second.hs_interval.lower.unwrap().volts() - 0.896).abs() < 0.003);
+        assert!((second.hs_interval.upper.unwrap().volts() - 0.929).abs() < 0.003);
+
+        // The measures reflect the two "input" noise values.
+        assert!(first.hs_interval.contains(Voltage::from_v(1.0)));
+        assert!(second.hs_interval.contains(Voltage::from_v(0.9)));
+    }
+
+    #[test]
+    fn sense_instants_progress_with_the_fsm() {
+        let mut sys = system();
+        let vdd = Waveform::constant(1.0);
+        let gnd = Waveform::constant(0.0);
+        let measures = sys.run(&vdd, &gnd, Time::ZERO, 3).unwrap();
+        // One SENSE per 5 control cycles.
+        let spacing = measures[1].at - measures[0].at;
+        assert_eq!(spacing, sys.config().clock_period * 5.0);
+        assert_eq!(measures[2].at - measures[1].at, spacing);
+        assert!(measures[0].at > Time::ZERO);
+    }
+
+    #[test]
+    fn both_rails_measured_independently() {
+        // Droop on VDD only: HS reacts, LS stays at its quiet code.
+        let sys = system();
+        let gnd = Waveform::constant(0.0);
+        let quiet = sys
+            .measure_at(&Waveform::constant(1.0), &gnd, Time::from_ns(10.0))
+            .unwrap();
+        let droop = sys
+            .measure_at(&Waveform::constant(0.93), &gnd, Time::from_ns(10.0))
+            .unwrap();
+        assert!(droop.hs_word.level < quiet.hs_word.level);
+        assert_eq!(droop.ls_code, quiet.ls_code);
+
+        // Bounce on GND only: LS reacts, HS unchanged.
+        let bounce = sys
+            .measure_at(
+                &Waveform::constant(1.0),
+                &Waveform::constant(0.08),
+                Time::from_ns(10.0),
+            )
+            .unwrap();
+        assert!(bounce.ls_word.level < quiet.ls_word.level);
+        assert_eq!(bounce.hs_code, quiet.hs_code);
+    }
+
+    #[test]
+    fn window_averaging_smooths_fast_noise() {
+        // A spike far narrower than the sense window is averaged down.
+        let sys = system();
+        let spike = Waveform::from_points(vec![
+            (Time::ZERO, 1.0),
+            (Time::from_ps(10_000.0), 1.0),
+            (Time::from_ps(10_003.0), 0.8),
+            (Time::from_ps(10_006.0), 1.0),
+            (Time::from_ns(40.0), 1.0),
+        ])
+        .unwrap();
+        let gnd = Waveform::constant(0.0);
+        let m = sys.measure_at(&spike, &gnd, Time::from_ps(9_950.0)).unwrap();
+        // Instantaneous sampling at the spike bottom (0.8 V) would read
+        // all-errors; the 6 ps × 0.2 V spike dilutes to ~4 mV over the
+        // 149 ps window, so the nominal code survives.
+        assert_eq!(m.hs_code.to_string(), "0011111");
+    }
+
+    #[test]
+    fn waveform_gap_detected() {
+        let sys = system();
+        let short = supply_step(
+            Voltage::from_v(1.0),
+            Voltage::from_v(0.9),
+            Time::from_ns(5.0),
+            Time::from_ns(10.0),
+        )
+        .unwrap();
+        let gnd = Waveform::constant(0.0);
+        let err = sys
+            .measure_at(&short, &gnd, Time::from_ns(50.0))
+            .unwrap_err();
+        assert!(matches!(err, SensorError::WaveformGap { .. }));
+    }
+
+    #[test]
+    fn dynamic_range_reprogramming() {
+        let mut sys = system();
+        let vdd = Waveform::constant(1.15);
+        let gnd = Waveform::constant(0.0);
+        // With code 011 a 1.15 V rail saturates high.
+        let sat = sys.measure_at(&vdd, &gnd, Time::from_ns(10.0)).unwrap();
+        assert!(sat.hs_word.overflow);
+        // Code 010 shifts the range up ("also overvoltages can be
+        // measured"): the same rail now resolves.
+        sys.set_delay_codes(DelayCode::new(2).unwrap(), DelayCode::new(3).unwrap());
+        let resolved = sys.measure_at(&vdd, &gnd, Time::from_ns(10.0)).unwrap();
+        assert!(!resolved.hs_word.overflow && !resolved.hs_word.underflow);
+        assert!(resolved.hs_interval.contains(Voltage::from_v(1.15)));
+    }
+
+    #[test]
+    fn trim_applies_new_codes() {
+        use psnt_cells::process::ProcessCorner;
+        use psnt_cells::units::Temperature;
+        let mut sys = system();
+        let ss = Pvt::new(ProcessCorner::SS, Voltage::from_v(1.0), Temperature::from_celsius(25.0));
+        let (hs_trim, ls_trim) = sys.trim(&ss).unwrap();
+        assert_eq!(sys.config().hs_code, hs_trim.code);
+        assert_eq!(sys.config().ls_code, ls_trim.code);
+        assert_eq!(sys.config().pvt, ss);
+        assert!(hs_trim.residual <= hs_trim.untrimmed_residual);
+    }
+
+    #[test]
+    fn stochastic_measure_is_seeded() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let sys = system();
+        let vdd = Waveform::constant(0.992); // near a threshold
+        let gnd = Waveform::constant(0.0);
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let a = sys
+            .measure_at_with_rng(&vdd, &gnd, Time::from_ns(10.0), &mut r1)
+            .unwrap();
+        let b = sys
+            .measure_at_with_rng(&vdd, &gnd, Time::from_ns(10.0), &mut r2)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measurement_tracks_a_droop_event() {
+        use psnt_cells::units::Frequency;
+        use psnt_pdn::sources::SupplyNoiseBuilder;
+        let mut sys = system();
+        let vdd = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+            .span(Time::ZERO, Time::from_us(1.0))
+            .resolution(Time::from_ps(100.0))
+            // A slow (overdamped-looking) droop so the 10 ns sampling
+            // cadence cannot alias over it.
+            .droop(
+                Time::from_ns(40.0),
+                Voltage::from_mv(100.0),
+                Time::from_ns(20.0),
+                Frequency::from_mhz(4.0),
+            )
+            .build()
+            .unwrap();
+        let gnd = Waveform::constant(0.0);
+        let measures = sys.run(&vdd, &gnd, Time::ZERO, 40).unwrap();
+        let levels: Vec<usize> = measures.iter().map(|m| m.hs_word.level).collect();
+        let min_level = *levels.iter().min().unwrap();
+        let first = levels[0];
+        let last = *levels.last().unwrap();
+        // The droop pulls some mid-run measures below the steady level,
+        // and the rail recovers by the end.
+        assert!(min_level < first, "droop not captured: {levels:?}");
+        assert_eq!(first, last, "rail should recover: {levels:?}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for netlist construction, simulation and timing analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `psnt-netlist` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net is driven by more than one gate/flip-flop/constant/input.
+    MultipleDrivers {
+        /// The conflicting net's name.
+        net: String,
+    },
+    /// A net has no driver and is not a primary input.
+    Undriven {
+        /// The floating net's name.
+        net: String,
+    },
+    /// The combinational logic contains a cycle (not broken by a
+    /// flip-flop), which makes STA and zero-delay evaluation ill-defined.
+    CombinationalCycle {
+        /// A net participating in the cycle.
+        net: String,
+    },
+    /// A named net was not found.
+    UnknownNet(String),
+    /// A gate was connected with the wrong number of inputs.
+    ArityMismatch {
+        /// The gate instance name.
+        gate: String,
+        /// Pins the cell expects.
+        expected: usize,
+        /// Pins supplied.
+        got: usize,
+    },
+    /// The simulator was asked to drive a net that is not a primary input.
+    NotAnInput(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net {net:?} has multiple drivers")
+            }
+            NetlistError::Undriven { net } => {
+                write!(f, "net {net:?} is undriven and not a primary input")
+            }
+            NetlistError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net {net:?}")
+            }
+            NetlistError::UnknownNet(name) => write!(f, "unknown net {name:?}"),
+            NetlistError::ArityMismatch { gate, expected, got } => {
+                write!(f, "gate {gate:?} expects {expected} inputs, got {got}")
+            }
+            NetlistError::NotAnInput(name) => {
+                write!(f, "net {name:?} is not a primary input and cannot be driven externally")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetlistError::MultipleDrivers { net: "n1".into() }
+            .to_string()
+            .contains("n1"));
+        assert!(NetlistError::Undriven { net: "n2".into() }
+            .to_string()
+            .contains("undriven"));
+        assert!(NetlistError::CombinationalCycle { net: "loop".into() }
+            .to_string()
+            .contains("cycle"));
+        assert!(NetlistError::UnknownNet("x".into()).to_string().contains("unknown"));
+        assert!(NetlistError::ArityMismatch {
+            gate: "g".into(),
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("expects 2"));
+        assert!(NetlistError::NotAnInput("q".into()).to_string().contains("primary"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetlistError>();
+    }
+}

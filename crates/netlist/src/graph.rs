@@ -1,0 +1,942 @@
+//! Gate-level netlist representation and construction.
+//!
+//! A [`Netlist`] is a graph of named nets connected by combinational
+//! [`Gate`]s (any [`StdCell`]), edge-triggered flip-flops, constant
+//! drivers and primary inputs/outputs. It is the structure on which the
+//! event-driven simulator ([`crate::sim`]) and the static timing analyser
+//! ([`crate::sta`]) operate, and the form in which `psnt-core` expresses
+//! the paper's CNTR control block for its critical-path claim.
+//!
+//! # Examples
+//!
+//! Build `q = !(a & b)` and validate it:
+//!
+//! ```
+//! use psnt_cells::gates::StdCell;
+//! use psnt_netlist::graph::Netlist;
+//!
+//! let mut n = Netlist::new("demo");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let q = n.add_gate("g1", StdCell::nand2(1.0), &[a, b])?;
+//! n.mark_output("q", q);
+//! n.validate()?;
+//! # Ok::<(), psnt_netlist::error::NetlistError>(())
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use psnt_cells::dff::Dff;
+use psnt_cells::gates::StdCell;
+use psnt_cells::logic::Logic;
+use psnt_cells::units::Capacitance;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetlistError;
+
+/// Identifier of a net within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a combinational gate instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GateId(pub(crate) usize);
+
+impl GateId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from a raw index (the `i`-th gate added).
+    pub fn from_index(index: usize) -> GateId {
+        GateId(index)
+    }
+}
+
+/// Identifier of a flip-flop instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DffId(pub(crate) usize);
+
+impl DffId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a power domain.
+///
+/// Every gate belongs to a domain; the simulator and STA can supply each
+/// domain at a different voltage. Domain 0 is the default "core"
+/// (clean) domain — the paper's sensor puts its sense inverters on the
+/// noisy CUT rails while the flip-flops and control stay on the nominal
+/// supply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DomainId(pub(crate) usize);
+
+impl DomainId {
+    /// The default clean ("core") domain.
+    pub const CORE: DomainId = DomainId(0);
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A named wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    name: String,
+    /// Extra (wire/parasitic) capacitance beyond connected pins.
+    wire_capacitance: Capacitance,
+}
+
+impl Net {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wire parasitic capacitance.
+    pub fn wire_capacitance(&self) -> Capacitance {
+        self.wire_capacitance
+    }
+}
+
+/// A combinational gate instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    name: String,
+    cell: StdCell,
+    inputs: Vec<NetId>,
+    output: NetId,
+    domain: DomainId,
+}
+
+impl Gate {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The library cell.
+    pub fn cell(&self) -> &StdCell {
+        &self.cell
+    }
+
+    /// Input nets, in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// The power domain supplying this gate.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+}
+
+/// A flip-flop instance (positive edge triggered).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DffInst {
+    name: String,
+    model: Dff,
+    d: NetId,
+    clk: NetId,
+    q: NetId,
+    init: Logic,
+}
+
+impl DffInst {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The timing model.
+    pub fn model(&self) -> &Dff {
+        &self.model
+    }
+
+    /// The data input net.
+    pub fn d(&self) -> NetId {
+        self.d
+    }
+
+    /// The clock net.
+    pub fn clk(&self) -> NetId {
+        self.clk
+    }
+
+    /// The output net.
+    pub fn q(&self) -> NetId {
+        self.q
+    }
+
+    /// Power-on value of `Q`.
+    pub fn init(&self) -> Logic {
+        self.init
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// A primary input pin.
+    Input,
+    /// The output of a combinational gate.
+    Gate(GateId),
+    /// The `Q` pin of a flip-flop.
+    Dff(DffId),
+    /// A constant tie cell.
+    Const(Logic),
+}
+
+/// A gate-level netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    net_names: BTreeMap<String, NetId>,
+    gates: Vec<Gate>,
+    dffs: Vec<DffInst>,
+    inputs: Vec<NetId>,
+    outputs: Vec<(String, NetId)>,
+    consts: Vec<(NetId, Logic)>,
+    domains: Vec<String>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            nets: Vec::new(),
+            net_names: BTreeMap::new(),
+            gates: Vec::new(),
+            dffs: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            consts: Vec::new(),
+            domains: vec!["core".to_owned()],
+        }
+    }
+
+    /// Declares an additional power domain (e.g. the noisy CUT rail) and
+    /// returns its id. Domain names need not be unique.
+    pub fn add_domain(&mut self, name: impl Into<String>) -> DomainId {
+        self.domains.push(name.into());
+        DomainId(self.domains.len() - 1)
+    }
+
+    /// The declared domain names, indexed by [`DomainId`].
+    pub fn domains(&self) -> &[String] {
+        &self.domains
+    }
+
+    /// Finds the first domain with the given name.
+    pub fn domain_by_name(&self, name: &str) -> Option<DomainId> {
+        self.domains.iter().position(|d| d == name).map(DomainId)
+    }
+
+    /// Moves a gate to a power domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate or domain id is out of range.
+    pub fn set_gate_domain(&mut self, gate: GateId, domain: DomainId) {
+        assert!(domain.0 < self.domains.len(), "unknown domain");
+        self.gates[gate.0].domain = domain;
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Creates a new named net. Duplicate names get a `$n` suffix.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let mut name = name.into();
+        if self.net_names.contains_key(&name) {
+            let mut i = 1;
+            while self.net_names.contains_key(&format!("{name}${i}")) {
+                i += 1;
+            }
+            name = format!("{name}${i}");
+        }
+        let id = NetId(self.nets.len());
+        self.net_names.insert(name.clone(), id);
+        self.nets.push(Net {
+            name,
+            wire_capacitance: Capacitance::ZERO,
+        });
+        id
+    }
+
+    /// Creates a net and marks it as a primary input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Marks an existing net as a primary output under `port_name`.
+    pub fn mark_output(&mut self, port_name: impl Into<String>, net: NetId) {
+        self.outputs.push((port_name.into(), net));
+    }
+
+    /// Ties a fresh net to a constant level.
+    pub fn add_const(&mut self, name: impl Into<String>, value: Logic) -> NetId {
+        let id = self.add_net(name);
+        self.consts.push((id, value));
+        id
+    }
+
+    /// Instantiates a combinational gate; returns its (new) output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] when `inputs` does not match
+    /// the cell's pin count.
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        cell: StdCell,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if inputs.len() != cell.num_inputs() {
+            return Err(NetlistError::ArityMismatch {
+                gate: name,
+                expected: cell.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        let output = self.add_net(format!("{name}.out"));
+        self.gates.push(Gate {
+            name,
+            cell,
+            inputs: inputs.to_vec(),
+            output,
+            domain: DomainId::CORE,
+        });
+        Ok(output)
+    }
+
+    /// Instantiates a flip-flop; returns its (new) `Q` net.
+    pub fn add_dff(
+        &mut self,
+        name: impl Into<String>,
+        model: Dff,
+        d: NetId,
+        clk: NetId,
+        init: Logic,
+    ) -> NetId {
+        let name = name.into();
+        let q = self.add_net(format!("{name}.q"));
+        self.dffs.push(DffInst {
+            name,
+            model,
+            d,
+            clk,
+            q,
+            init,
+        });
+        q
+    }
+
+    /// Adds parasitic wire capacitance to a net.
+    pub fn add_wire_capacitance(&mut self, net: NetId, c: Capacitance) {
+        self.nets[net.0].wire_capacitance += c;
+    }
+
+    /// Reconnects the `index`-th flip-flop's `D` pin to `net`. Supports
+    /// the declare-registers-first, close-the-loops-later construction
+    /// pattern used for FSMs whose state feeds its own next-state logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn rewire_dff_d(&mut self, index: usize, net: NetId) {
+        self.dffs[index].d = net;
+    }
+
+    /// Ties an existing net to a constant driver (e.g. an orphaned
+    /// placeholder after [`Netlist::rewire_dff_d`]).
+    pub fn tie_net(&mut self, net: NetId, value: Logic) {
+        self.consts.push((net, value));
+    }
+
+    /// Looks a net up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] when absent.
+    pub fn net_by_name(&self, name: &str) -> Result<NetId, NetlistError> {
+        self.net_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::UnknownNet(name.to_owned()))
+    }
+
+    /// The net metadata.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0]
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All flip-flops.
+    pub fn dffs(&self) -> &[DffInst] {
+        &self.dffs
+    }
+
+    /// Primary input nets.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as (port, net) pairs.
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Constant drivers.
+    pub fn consts(&self) -> &[(NetId, Logic)] {
+        &self.consts
+    }
+
+    /// Computes the driver of every net, checking uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] or
+    /// [`NetlistError::Undriven`] on connectivity violations.
+    pub fn drivers(&self) -> Result<Vec<Driver>, NetlistError> {
+        let mut drivers: Vec<Option<Driver>> = vec![None; self.nets.len()];
+        let mut assign = |net: NetId, d: Driver, nets: &[Net]| -> Result<(), NetlistError> {
+            if drivers[net.0].is_some() {
+                return Err(NetlistError::MultipleDrivers {
+                    net: nets[net.0].name.clone(),
+                });
+            }
+            drivers[net.0] = Some(d);
+            Ok(())
+        };
+        for &i in &self.inputs {
+            assign(i, Driver::Input, &self.nets)?;
+        }
+        for (gi, g) in self.gates.iter().enumerate() {
+            assign(g.output, Driver::Gate(GateId(gi)), &self.nets)?;
+        }
+        for (fi, f) in self.dffs.iter().enumerate() {
+            assign(f.q, Driver::Dff(DffId(fi)), &self.nets)?;
+        }
+        for &(net, value) in &self.consts {
+            assign(net, Driver::Const(value), &self.nets)?;
+        }
+        drivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                d.ok_or_else(|| NetlistError::Undriven {
+                    net: self.nets[i].name.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// The gates reading each net (fanout), indexed by net.
+    pub fn fanout(&self) -> Vec<Vec<GateId>> {
+        let mut fanout = vec![Vec::new(); self.nets.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &i in &g.inputs {
+                fanout[i.0].push(GateId(gi));
+            }
+        }
+        fanout
+    }
+
+    /// The flip-flops whose `D` (first vec) or `CLK` (second vec) pin reads
+    /// each net.
+    pub fn dff_fanout(&self) -> (Vec<Vec<DffId>>, Vec<Vec<DffId>>) {
+        let mut d_fan = vec![Vec::new(); self.nets.len()];
+        let mut c_fan = vec![Vec::new(); self.nets.len()];
+        for (fi, f) in self.dffs.iter().enumerate() {
+            d_fan[f.d.0].push(DffId(fi));
+            c_fan[f.clk.0].push(DffId(fi));
+        }
+        (d_fan, c_fan)
+    }
+
+    /// Total capacitive load seen by the driver of `net`: connected gate
+    /// input pins, flip-flop pins, plus wire parasitics.
+    pub fn load(&self, net: NetId) -> Capacitance {
+        let mut c = self.nets[net.0].wire_capacitance;
+        for g in &self.gates {
+            for &i in &g.inputs {
+                if i == net {
+                    c += g.cell.input_capacitance();
+                }
+            }
+        }
+        for f in &self.dffs {
+            if f.d == net {
+                c += f.model.d_capacitance();
+            }
+            if f.clk == net {
+                c += f.model.clk_capacitance();
+            }
+        }
+        c
+    }
+
+    /// Kahn topological order of the combinational gates (flip-flop
+    /// outputs and primary inputs are sources).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] when gates form a loop
+    /// not broken by a flip-flop.
+    pub fn topo_gates(&self) -> Result<Vec<GateId>, NetlistError> {
+        let fanout = self.fanout();
+        // In-degree = number of gate inputs fed by other gates.
+        let driver_gate: BTreeMap<NetId, GateId> = self
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| (g.output, GateId(gi)))
+            .collect();
+        let mut indeg = vec![0usize; self.gates.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            indeg[gi] = g
+                .inputs
+                .iter()
+                .filter(|i| driver_gate.contains_key(i))
+                .count();
+        }
+        let mut queue: VecDeque<GateId> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| GateId(i))
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(g) = queue.pop_front() {
+            order.push(g);
+            for &succ in &fanout[self.gates[g.0].output.0] {
+                indeg[succ.0] -= 1;
+                if indeg[succ.0] == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        if order.len() != self.gates.len() {
+            // Find a gate stuck in the cycle for the error message.
+            let stuck = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies a gate with positive in-degree");
+            return Err(NetlistError::CombinationalCycle {
+                net: self.nets[self.gates[stuck].output.0].name.clone(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Flattens a copy of `child` into this netlist (hierarchical
+    /// composition). Every child net is recreated as `{prefix}.{name}`
+    /// except child *primary inputs* listed in `bindings`, which are
+    /// merged onto existing nets of `self` (the instance's port
+    /// connections). Unbound child inputs become fresh primary inputs of
+    /// `self`. Child gates, flip-flops, constants and wire parasitics are
+    /// copied; child domains other than [`DomainId::CORE`] are recreated
+    /// (prefixed) so their supplies stay independently controllable.
+    /// Child primary outputs are *not* re-marked — use the returned map
+    /// to mark or connect them.
+    ///
+    /// Returns the child-net → new-net mapping, indexed by the child's
+    /// net index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binding references a child net that is not a primary
+    /// input of `child`.
+    pub fn instantiate(
+        &mut self,
+        child: &Netlist,
+        prefix: &str,
+        bindings: &[(NetId, NetId)],
+    ) -> Vec<NetId> {
+        let is_child_input: Vec<bool> = {
+            let mut m = vec![false; child.nets.len()];
+            for &i in &child.inputs {
+                m[i.0] = true;
+            }
+            m
+        };
+        for &(child_net, _) in bindings {
+            assert!(
+                is_child_input[child_net.0],
+                "binding target {:?} is not a primary input of the child",
+                child.nets[child_net.0].name
+            );
+        }
+        // Net mapping: bound inputs merge, everything else is recreated.
+        let mut map = Vec::with_capacity(child.nets.len());
+        for (i, net) in child.nets.iter().enumerate() {
+            let bound = bindings
+                .iter()
+                .find(|(c, _)| c.0 == i)
+                .map(|&(_, parent)| parent);
+            let new = match bound {
+                Some(parent) => parent,
+                None => {
+                    let id = self.add_net(format!("{prefix}.{}", net.name));
+                    self.nets[id.0].wire_capacitance = net.wire_capacitance;
+                    if is_child_input[i] {
+                        self.inputs.push(id);
+                    }
+                    id
+                }
+            };
+            map.push(new);
+        }
+        // Domain mapping: CORE merges; others are recreated.
+        let mut domain_map = Vec::with_capacity(child.domains.len());
+        domain_map.push(DomainId::CORE);
+        for name in child.domains.iter().skip(1) {
+            domain_map.push(self.add_domain(format!("{prefix}.{name}")));
+        }
+        for g in &child.gates {
+            let output = map[g.output.0];
+            self.gates.push(Gate {
+                name: format!("{prefix}.{}", g.name),
+                cell: g.cell.clone(),
+                inputs: g.inputs.iter().map(|i| map[i.0]).collect(),
+                output,
+                domain: domain_map[g.domain.0],
+            });
+        }
+        for f in &child.dffs {
+            self.dffs.push(DffInst {
+                name: format!("{prefix}.{}", f.name),
+                model: f.model,
+                d: map[f.d.0],
+                clk: map[f.clk.0],
+                q: map[f.q.0],
+                init: f.init,
+            });
+        }
+        for &(net, value) in &child.consts {
+            self.consts.push((map[net.0], value));
+        }
+        map
+    }
+
+    /// Full structural validation: unique drivers, no floating nets, no
+    /// combinational cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        self.drivers()?;
+        self.topo_gates()?;
+        Ok(())
+    }
+
+    /// Total area in gate equivalents (combinational cells plus
+    /// flip-flops).
+    pub fn area_ge(&self) -> f64 {
+        let comb: f64 = self.gates.iter().map(|g| g.cell.area_ge()).sum();
+        let seq: f64 = self.dffs.iter().map(|f| f.model.area_ge()).sum();
+        comb + seq
+    }
+
+    /// Total leakage estimate in nanowatts.
+    pub fn leakage_nw(&self) -> f64 {
+        let comb: f64 = self.gates.iter().map(|g| g.cell.leakage_nw()).sum();
+        let seq: f64 = self.dffs.iter().map(|f| f.model.leakage_nw()).sum();
+        comb + seq
+    }
+
+    /// A one-line summary, e.g. `cntr: 12 gates, 3 FFs, 18 nets`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} gates, {} FFs, {} nets",
+            self.name,
+            self.gates.len(),
+            self.dffs.len(),
+            self.nets.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand_tree() -> (Netlist, NetId, NetId, NetId) {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate("g1", StdCell::nand2(1.0), &[a, b]).unwrap();
+        let q = n.add_gate("g2", StdCell::inverter(1.0), &[x]).unwrap();
+        n.mark_output("q", q);
+        (n, a, b, q)
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let (n, ..) = nand_tree();
+        n.validate().unwrap();
+        assert_eq!(n.gates().len(), 2);
+        assert_eq!(n.net_count(), 4);
+        assert_eq!(n.summary(), "t: 2 gates, 0 FFs, 4 nets");
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let err = n.add_gate("g", StdCell::nand2(1.0), &[a]).unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_net_names_get_suffixed() {
+        let mut n = Netlist::new("t");
+        let a = n.add_net("x");
+        let b = n.add_net("x");
+        assert_ne!(a, b);
+        assert_eq!(n.net(a).name(), "x");
+        assert_eq!(n.net(b).name(), "x$1");
+        assert_eq!(n.net_by_name("x").unwrap(), a);
+        assert_eq!(n.net_by_name("x$1").unwrap(), b);
+    }
+
+    #[test]
+    fn unknown_net_lookup_fails() {
+        let n = Netlist::new("t");
+        assert!(matches!(n.net_by_name("nope"), Err(NetlistError::UnknownNet(_))));
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_net("floating");
+        let _ = a;
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::Undriven { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        // Tie the input net to a constant as well: two drivers.
+        n.consts.push((a, Logic::One));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        // g1 output feeds g2, g2 output feeds g1 via manual rewiring.
+        let x = n.add_gate("g1", StdCell::nand2(1.0), &[a, a]).unwrap();
+        let y = n.add_gate("g2", StdCell::inverter(1.0), &[x]).unwrap();
+        n.gates[0].inputs[1] = y; // close the loop
+        assert!(matches!(
+            n.topo_gates(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn dff_breaks_cycle() {
+        let mut n = Netlist::new("t");
+        let clk = n.add_input("clk");
+        // q feeds an inverter which feeds d: a valid divider-by-two.
+        let d_placeholder = n.add_net("d");
+        let q = n.add_dff("ff", Dff::standard_90nm(), d_placeholder, clk, Logic::Zero);
+        let nq = n.add_gate("inv", StdCell::inverter(1.0), &[q]).unwrap();
+        // Rewire the FF's D to the inverter output by replacing the net use.
+        n.dffs[0].d = nq;
+        n.mark_output("q", q);
+        // The placeholder net is now unused but still undriven; tie it off.
+        n.consts.push((d_placeholder, Logic::Zero));
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn load_accumulates_pins_and_wire() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let _x = n.add_gate("g1", StdCell::inverter(1.0), &[a]).unwrap();
+        let _y = n.add_gate("g2", StdCell::inverter(2.0), &[a]).unwrap();
+        let base = n.load(a);
+        let expected = StdCell::inverter(1.0).input_capacitance()
+            + StdCell::inverter(2.0).input_capacitance();
+        assert!((base.femtofarads() - expected.femtofarads()).abs() < 1e-9);
+        n.add_wire_capacitance(a, Capacitance::from_ff(5.0));
+        assert!((n.load(a).femtofarads() - expected.femtofarads() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dff_pins_contribute_load() {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let clk = n.add_input("clk");
+        let _q = n.add_dff("ff", Dff::standard_90nm(), d, clk, Logic::Zero);
+        assert!(n.load(d) > Capacitance::ZERO);
+        assert!(n.load(clk) > Capacitance::ZERO);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let (n, ..) = nand_tree();
+        let order = n.topo_gates().unwrap();
+        assert_eq!(order.len(), 2);
+        // g1 (NAND) must come before g2 (INV).
+        assert_eq!(order[0].index(), 0);
+        assert_eq!(order[1].index(), 1);
+    }
+
+    #[test]
+    fn drivers_classified() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let k = n.add_const("one", Logic::One);
+        let clk = n.add_input("clk");
+        let g = n.add_gate("g", StdCell::and2(1.0), &[a, k]).unwrap();
+        let q = n.add_dff("ff", Dff::standard_90nm(), g, clk, Logic::Zero);
+        let drivers = n.drivers().unwrap();
+        assert_eq!(drivers[a.index()], Driver::Input);
+        assert_eq!(drivers[k.index()], Driver::Const(Logic::One));
+        assert!(matches!(drivers[g.index()], Driver::Gate(_)));
+        assert!(matches!(drivers[q.index()], Driver::Dff(_)));
+    }
+
+    #[test]
+    fn instantiate_merges_bound_inputs() {
+        // Child: q = !a.
+        let mut child = Netlist::new("inv");
+        let a = child.add_input("a");
+        let q = child.add_gate("g", StdCell::inverter(1.0), &[a]).unwrap();
+        child.mark_output("q", q);
+
+        // Parent: two instances chained.
+        let mut parent = Netlist::new("top");
+        let x = parent.add_input("x");
+        let m1 = parent.instantiate(&child, "u1", &[(a, x)]);
+        let m2 = parent.instantiate(&child, "u2", &[(a, m1[q.index()])]);
+        parent.mark_output("y", m2[q.index()]);
+        parent.validate().unwrap();
+        assert_eq!(parent.gates().len(), 2);
+        assert_eq!(parent.inputs().len(), 1, "bound inputs must not duplicate");
+        assert_eq!(parent.net(m2[q.index()]).name(), "u2.g.out");
+    }
+
+    #[test]
+    fn instantiate_copies_domains_and_parasitics() {
+        let mut child = Netlist::new("c");
+        let a = child.add_input("a");
+        let noisy = child.add_domain("noisy");
+        let q = child.add_gate("g", StdCell::inverter(1.0), &[a]).unwrap();
+        child.set_gate_domain(GateId(0), noisy);
+        child.add_wire_capacitance(q, Capacitance::from_ff(100.0));
+
+        let mut parent = Netlist::new("top");
+        let x = parent.add_input("x");
+        let map = parent.instantiate(&child, "u", &[(a, x)]);
+        assert_eq!(parent.domains().len(), 2);
+        assert_eq!(parent.domains()[1], "u.noisy");
+        assert_eq!(parent.gates()[0].domain().index(), 1);
+        assert!(
+            (parent.net(map[q.index()]).wire_capacitance().femtofarads() - 100.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn instantiate_copies_ffs_and_consts() {
+        let mut child = Netlist::new("c");
+        let clk = child.add_input("clk");
+        let one = child.add_const("one", Logic::One);
+        let q = child.add_dff("ff", Dff::standard_90nm(), one, clk, Logic::Zero);
+        child.mark_output("q", q);
+
+        let mut parent = Netlist::new("top");
+        let pclk = parent.add_input("clk");
+        let map = parent.instantiate(&child, "u", &[(clk, pclk)]);
+        parent.mark_output("q", map[q.index()]);
+        parent.validate().unwrap();
+        assert_eq!(parent.dffs().len(), 1);
+        assert_eq!(parent.dffs()[0].name(), "u.ff");
+        assert_eq!(parent.consts().len(), 1);
+    }
+
+    #[test]
+    fn instantiate_unbound_inputs_become_parent_inputs() {
+        let mut child = Netlist::new("c");
+        let a = child.add_input("a");
+        let b = child.add_input("b");
+        let q = child.add_gate("g", StdCell::nand2(1.0), &[a, b]).unwrap();
+        child.mark_output("q", q);
+        let mut parent = Netlist::new("top");
+        let x = parent.add_input("x");
+        let map = parent.instantiate(&child, "u", &[(a, x)]);
+        parent.mark_output("q", map[q.index()]);
+        parent.validate().unwrap();
+        assert_eq!(parent.inputs().len(), 2); // x plus the unbound u.b
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn instantiate_rejects_non_input_binding() {
+        let mut child = Netlist::new("c");
+        let a = child.add_input("a");
+        let q = child.add_gate("g", StdCell::inverter(1.0), &[a]).unwrap();
+        let mut parent = Netlist::new("top");
+        let x = parent.add_input("x");
+        let _ = parent.instantiate(&child, "u", &[(q, x)]);
+    }
+
+    #[test]
+    fn fanout_maps() {
+        let (n, a, b, _) = nand_tree();
+        let fanout = n.fanout();
+        assert_eq!(fanout[a.index()].len(), 1);
+        assert_eq!(fanout[b.index()].len(), 1);
+        let (d_fan, c_fan) = n.dff_fanout();
+        assert!(d_fan.iter().all(Vec::is_empty));
+        assert!(c_fan.iter().all(Vec::is_empty));
+    }
+}

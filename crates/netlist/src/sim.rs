@@ -1,0 +1,789 @@
+//! Event-driven gate-level logic simulation with voltage-aware timing.
+//!
+//! The [`Simulator`] plays the role of the paper's transient simulation
+//! runs: every gate's propagation delay is computed from its
+//! alpha-power-law model at the simulator's supply voltage, so lowering
+//! the supply slows every path exactly as the silicon would. Flip-flops
+//! are sampled through [`psnt_cells::dff::Dff::sample`], so setup
+//! violations and metastability arise *naturally* from event timing
+//! rather than being scripted.
+//!
+//! The simulator uses inertial delays: when a gate re-evaluates before a
+//! previously scheduled output change has matured, the stale event is
+//! cancelled — narrow glitches shorter than a gate delay do not propagate.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::gates::StdCell;
+//! use psnt_cells::logic::Logic;
+//! use psnt_cells::units::{Time, Voltage};
+//! use psnt_netlist::graph::Netlist;
+//! use psnt_netlist::sim::Simulator;
+//!
+//! let mut n = Netlist::new("inv");
+//! let a = n.add_input("a");
+//! let q = n.add_gate("g", StdCell::inverter(1.0), &[a])?;
+//! n.mark_output("q", q);
+//!
+//! let mut sim = Simulator::new(&n, Voltage::from_v(1.0))?;
+//! sim.drive(a, Logic::Zero, Time::ZERO)?;
+//! sim.run_until(Time::from_ns(1.0));
+//! assert_eq!(sim.value(q), Logic::One);
+//! # Ok::<(), psnt_netlist::error::NetlistError>(())
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use psnt_cells::logic::Logic;
+use psnt_cells::process::Pvt;
+use psnt_cells::units::{Time, Voltage};
+
+use crate::error::NetlistError;
+use crate::graph::{DffId, DomainId, GateId, NetId, Netlist};
+use crate::wave::{SignalId, Trace};
+
+/// A scheduled net transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: Time,
+    seq: u64,
+    net: NetId,
+    value: Logic,
+    version: u64,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> Ordering {
+        // Min-heap via BinaryHeap<Reverse<_>>: order by (time, seq).
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// How a metastable flip-flop capture appears on `Q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetastabilityMode {
+    /// The nearer clean regime's value is captured (deterministic). This
+    /// is what the paper's sensor relies on: a violated FF "fails the
+    /// evaluation" to a definite wrong value.
+    #[default]
+    Deterministic,
+    /// A metastable capture drives `Q` to [`Logic::X`] until the next
+    /// clean capture — the conservative verification view.
+    PropagateX,
+}
+
+/// Statistics collected during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Events applied (net value changes).
+    pub events: u64,
+    /// Events cancelled by inertial filtering.
+    pub cancelled: u64,
+    /// Flip-flop captures performed.
+    pub ff_captures: u64,
+    /// Captures that violated the setup/hold window.
+    pub ff_violations: u64,
+}
+
+/// An event-driven simulator over a borrowed [`Netlist`].
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<Logic>,
+    prev_values: Vec<Logic>,
+    last_change: Vec<Time>,
+    version: Vec<u64>,
+    pending: Vec<Option<Logic>>,
+    loads: Vec<psnt_cells::units::Capacitance>,
+    fanout: Vec<Vec<GateId>>,
+    clk_fanout: Vec<Vec<DffId>>,
+    is_input: Vec<bool>,
+    queue: BinaryHeap<std::cmp::Reverse<Event>>,
+    now: Time,
+    seq: u64,
+    domain_supply: Vec<Voltage>,
+    pvt: Pvt,
+    trace: Trace,
+    signals: Vec<SignalId>,
+    meta_mode: MetastabilityMode,
+    stats: SimStats,
+    /// Accumulated switching energy in joules (½·C·V² per transition).
+    switching_energy_j: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator at the typical PVT point and the given supply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural validation failures from
+    /// [`Netlist::validate`].
+    pub fn new(netlist: &'a Netlist, supply: Voltage) -> Result<Simulator<'a>, NetlistError> {
+        Simulator::with_pvt(netlist, supply, Pvt::typical())
+    }
+
+    /// Creates a simulator at an explicit PVT point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural validation failures from
+    /// [`Netlist::validate`].
+    pub fn with_pvt(
+        netlist: &'a Netlist,
+        supply: Voltage,
+        pvt: Pvt,
+    ) -> Result<Simulator<'a>, NetlistError> {
+        netlist.validate()?;
+        let n = netlist.net_count();
+        let mut trace = Trace::new();
+        let signals = (0..n)
+            .map(|i| trace.add_signal(netlist.net(NetId(i)).name()))
+            .collect();
+        let loads = (0..n).map(|i| netlist.load(NetId(i))).collect();
+        let (_d_fanout, clk_fanout) = netlist.dff_fanout();
+        let mut is_input = vec![false; n];
+        for &i in netlist.inputs() {
+            is_input[i.index()] = true;
+        }
+        let mut sim = Simulator {
+            netlist,
+            values: vec![Logic::X; n],
+            prev_values: vec![Logic::X; n],
+            last_change: vec![Time::from_seconds(-1.0); n],
+            version: vec![0; n],
+            pending: vec![None; n],
+            loads,
+            fanout: netlist.fanout(),
+            clk_fanout,
+            is_input,
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            domain_supply: vec![supply; netlist.domains().len()],
+            pvt,
+            trace,
+            signals,
+            meta_mode: MetastabilityMode::Deterministic,
+            stats: SimStats::default(),
+            switching_energy_j: 0.0,
+        };
+        sim.initialize();
+        Ok(sim)
+    }
+
+    /// Selects how metastable captures are modelled.
+    pub fn set_metastability_mode(&mut self, mode: MetastabilityMode) {
+        self.meta_mode = mode;
+    }
+
+    /// The supply voltage powering the default (core) domain.
+    pub fn supply(&self) -> Voltage {
+        self.domain_supply[DomainId::CORE.index()]
+    }
+
+    /// Changes the supply voltage of every domain for subsequently
+    /// scheduled gate delays (models a slow global supply ramp).
+    pub fn set_supply(&mut self, supply: Voltage) {
+        for s in &mut self.domain_supply {
+            *s = supply;
+        }
+    }
+
+    /// The supply voltage of one domain.
+    pub fn domain_supply(&self, domain: DomainId) -> Voltage {
+        self.domain_supply[domain.index()]
+    }
+
+    /// Changes one domain's supply for subsequently scheduled gate
+    /// delays — how a measurement run steps the noisy rail between
+    /// PREPARE/SENSE sequences while the control domain stays nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` was not declared on the netlist.
+    pub fn set_domain_supply(&mut self, domain: DomainId, supply: Voltage) {
+        self.domain_supply[domain.index()] = supply;
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Switching (dynamic) energy dissipated so far: ½·C·V² per net
+    /// transition, with each net charged from its driver's domain supply.
+    pub fn switching_energy_joules(&self) -> f64 {
+        self.switching_energy_j
+    }
+
+    /// Mean dynamic power over the elapsed simulation time, in watts;
+    /// zero before any time has passed.
+    pub fn dynamic_power_watts(&self) -> f64 {
+        let t = self.now.seconds();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.switching_energy_j / t
+        }
+    }
+
+    /// The current value of a net.
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// The recorded waveform trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The trace signal corresponding to a net.
+    pub fn signal(&self, net: NetId) -> SignalId {
+        self.signals[net.index()]
+    }
+
+    fn initialize(&mut self) {
+        // Constants and FF power-on values are established instantaneously,
+        // then combinational logic settles in topological order
+        // (zero-delay), modelling a circuit that has been stable forever.
+        for &(net, value) in self.netlist.consts() {
+            self.values[net.index()] = value;
+        }
+        for ff in self.netlist.dffs() {
+            self.values[ff.q().index()] = ff.init();
+        }
+        let order = self
+            .netlist
+            .topo_gates()
+            .expect("validated netlist has a topological order");
+        for g in order {
+            let gate = &self.netlist.gates()[g.index()];
+            let ins: Vec<Logic> = gate
+                .inputs()
+                .iter()
+                .map(|i| self.values[i.index()])
+                .collect();
+            self.values[gate.output().index()] = gate.cell().eval(&ins);
+        }
+        for i in 0..self.values.len() {
+            self.prev_values[i] = self.values[i];
+            self.trace
+                .record(self.signals[i], Time::ZERO, self.values[i]);
+        }
+    }
+
+    /// Drives a primary input to `value` at absolute time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotAnInput`] for non-input nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current simulation time.
+    pub fn drive(&mut self, net: NetId, value: Logic, at: Time) -> Result<(), NetlistError> {
+        if !self.is_input[net.index()] {
+            return Err(NetlistError::NotAnInput(
+                self.netlist.net(net).name().to_owned(),
+            ));
+        }
+        assert!(at >= self.now, "cannot drive in the past");
+        // Primary inputs use transport semantics: every queued stimulus
+        // edge applies in time order (no inertial cancellation), so a full
+        // clock waveform can be scheduled up front.
+        self.push_event(at, net, value);
+        Ok(())
+    }
+
+    /// Drives a periodic clock on `net`: rising edges at
+    /// `start, start+period, …` for `cycles` cycles, 50 % duty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotAnInput`] for non-input nets.
+    pub fn drive_clock(
+        &mut self,
+        net: NetId,
+        start: Time,
+        period: Time,
+        cycles: usize,
+    ) -> Result<(), NetlistError> {
+        self.drive(net, Logic::Zero, self.now)?;
+        for k in 0..cycles {
+            let rise = start + period * k as f64;
+            self.drive(net, Logic::One, rise)?;
+            self.drive(net, Logic::Zero, rise + period / 2.0)?;
+        }
+        Ok(())
+    }
+
+    fn push_event(&mut self, time: Time, net: NetId, value: Logic) {
+        self.seq += 1;
+        self.queue.push(std::cmp::Reverse(Event {
+            time,
+            seq: self.seq,
+            net,
+            value,
+            version: self.version[net.index()],
+        }));
+    }
+
+    /// Processes every event scheduled at or before `t`, then advances the
+    /// clock to `t`. Returns the number of applied events.
+    pub fn run_until(&mut self, t: Time) -> u64 {
+        let before = self.stats.events;
+        while let Some(std::cmp::Reverse(ev)) = self.queue.peek().copied() {
+            if ev.time > t {
+                break;
+            }
+            self.queue.pop();
+            self.apply(ev);
+        }
+        self.now = self.now.max(t);
+        self.stats.events - before
+    }
+
+    /// Runs until the event queue drains (or `max` events were applied,
+    /// as a divergence guard). Returns the final time.
+    pub fn run_to_quiescence(&mut self, max: u64) -> Time {
+        let mut applied = 0;
+        while let Some(std::cmp::Reverse(ev)) = self.queue.pop() {
+            let was_applied = self.apply(ev);
+            if was_applied {
+                applied += 1;
+                if applied >= max {
+                    break;
+                }
+            }
+        }
+        self.now
+    }
+
+    fn apply(&mut self, ev: Event) -> bool {
+        let ni = ev.net.index();
+        if ev.version != self.version[ni] {
+            self.stats.cancelled += 1;
+            return false; // superseded by a later evaluation (inertial)
+        }
+        self.pending[ni] = None;
+        self.now = self.now.max(ev.time);
+        if self.values[ni] == ev.value {
+            return false;
+        }
+        self.prev_values[ni] = self.values[ni];
+        self.values[ni] = ev.value;
+        self.last_change[ni] = ev.time;
+        self.trace.record(self.signals[ni], ev.time, ev.value);
+        self.stats.events += 1;
+        // Dynamic energy: ½·C·V² for this transition (V = the default
+        // supply; per-domain attribution would need the driver map and
+        // changes the totals by at most the rail-droop percentage).
+        let v = self.domain_supply[0].volts();
+        self.switching_energy_j += 0.5 * self.loads[ni].farads() * v * v;
+
+        // Re-evaluate combinational fanout (index loop: the fanout list
+        // is immutable during simulation, and indexing re-borrows per
+        // iteration instead of cloning the list on every event).
+        for idx in 0..self.fanout[ni].len() {
+            let gi = self.fanout[ni][idx];
+            self.evaluate_gate(gi, ev.time);
+        }
+        // Clock pins: a rising edge samples the FF.
+        if self.prev_values[ni] == Logic::Zero && ev.value == Logic::One {
+            for idx in 0..self.clk_fanout[ni].len() {
+                let fi = self.clk_fanout[ni][idx];
+                self.capture_ff(fi, ev.time);
+            }
+        }
+        true
+    }
+
+    fn evaluate_gate(&mut self, gi: GateId, at: Time) {
+        let gate = &self.netlist.gates()[gi.index()];
+        let ins: Vec<Logic> = gate
+            .inputs()
+            .iter()
+            .map(|i| self.values[i.index()])
+            .collect();
+        let new_value = gate.cell().eval(&ins);
+        let out = gate.output();
+        let oi = out.index();
+        let effective = self.pending[oi].unwrap_or(self.values[oi]);
+        if new_value == effective {
+            return;
+        }
+        let supply = self.domain_supply[gate.domain().index()];
+        // Pick the edge-specific arc: rising when the output heads to 1
+        // (unknown transitions use the conservative worst arc).
+        let delay = match new_value {
+            Logic::One => gate
+                .cell()
+                .propagation_delay_edge(supply, self.loads[oi], &self.pvt, true),
+            Logic::Zero => gate
+                .cell()
+                .propagation_delay_edge(supply, self.loads[oi], &self.pvt, false),
+            _ => gate.cell().propagation_delay(supply, self.loads[oi], &self.pvt),
+        };
+        self.version[oi] += 1;
+        self.pending[oi] = Some(new_value);
+        self.push_event(at + delay, out, new_value);
+    }
+
+    fn capture_ff(&mut self, fi: DffId, edge: Time) {
+        let ff = &self.netlist.dffs()[fi.index()];
+        let d = ff.d().index();
+        let arrival = self.last_change[d] - edge;
+        let outcome = ff
+            .model()
+            .sample(arrival, self.values[d], self.prev_values[d]);
+        self.stats.ff_captures += 1;
+        let value = if outcome.metastable {
+            self.stats.ff_violations += 1;
+            match self.meta_mode {
+                MetastabilityMode::Deterministic => outcome.value,
+                MetastabilityMode::PropagateX => Logic::X,
+            }
+        } else {
+            outcome.value
+        };
+        let q = ff.q();
+        let qi = q.index();
+        let effective = self.pending[qi].unwrap_or(self.values[qi]);
+        if value == effective {
+            return;
+        }
+        self.version[qi] += 1;
+        self.pending[qi] = Some(value);
+        self.push_event(edge + outcome.clk_to_out, q, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psnt_cells::dff::Dff;
+    use psnt_cells::gates::StdCell;
+
+    fn ps(t: f64) -> Time {
+        Time::from_ps(t)
+    }
+
+    fn v(x: f64) -> Voltage {
+        Voltage::from_v(x)
+    }
+
+    #[test]
+    fn inverter_chain_propagates_with_delay() {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let mut prev = a;
+        for i in 0..4 {
+            prev = n
+                .add_gate(format!("inv{i}"), StdCell::inverter(1.0), &[prev])
+                .unwrap();
+        }
+        n.mark_output("q", prev);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.drive(a, Logic::Zero, Time::ZERO).unwrap();
+        sim.run_until(ps(1.0));
+        // Even number of inversions: q follows a after settling.
+        sim.run_until(Time::from_ns(2.0));
+        assert_eq!(sim.value(prev), Logic::Zero);
+        sim.drive(a, Logic::One, Time::from_ns(2.0)).unwrap();
+        sim.run_until(Time::from_ns(4.0));
+        assert_eq!(sim.value(prev), Logic::One);
+        // The output flipped strictly after the input did.
+        let q_edge = sim
+            .trace()
+            .first_edge_to(sim.signal(prev), Logic::One, Time::from_ns(2.0))
+            .unwrap();
+        assert!(q_edge > Time::from_ns(2.0));
+    }
+
+    #[test]
+    fn lower_supply_slows_propagation() {
+        let delay_at = |supply: f64| {
+            let mut n = Netlist::new("chain");
+            let a = n.add_input("a");
+            let mut prev = a;
+            for i in 0..8 {
+                prev = n
+                    .add_gate(format!("inv{i}"), StdCell::inverter(1.0), &[prev])
+                    .unwrap();
+            }
+            n.mark_output("q", prev);
+            let mut sim = Simulator::new(&n, v(supply)).unwrap();
+            sim.drive(a, Logic::Zero, Time::ZERO).unwrap();
+            sim.run_to_quiescence(10_000);
+            sim.drive(a, Logic::One, Time::from_ns(5.0)).unwrap();
+            sim.run_until(Time::from_ns(50.0));
+            let edge = sim
+                .trace()
+                .first_edge_to(sim.signal(prev), Logic::One, Time::from_ns(5.0))
+                .unwrap();
+            edge - Time::from_ns(5.0)
+        };
+        let fast = delay_at(1.1);
+        let nominal = delay_at(1.0);
+        let slow = delay_at(0.9);
+        assert!(fast < nominal, "{fast} !< {nominal}");
+        assert!(nominal < slow, "{nominal} !< {slow}");
+    }
+
+    #[test]
+    fn initialization_settles_constants() {
+        let mut n = Netlist::new("t");
+        let one = n.add_const("one", Logic::One);
+        let zero = n.add_const("zero", Logic::Zero);
+        let q = n.add_gate("g", StdCell::nand2(1.0), &[one, zero]).unwrap();
+        n.mark_output("q", q);
+        let sim = Simulator::new(&n, v(1.0)).unwrap();
+        assert_eq!(sim.value(q), Logic::One);
+    }
+
+    #[test]
+    fn driving_non_input_rejected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let q = n.add_gate("g", StdCell::inverter(1.0), &[a]).unwrap();
+        n.mark_output("q", q);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        assert!(matches!(
+            sim.drive(q, Logic::One, Time::ZERO),
+            Err(NetlistError::NotAnInput(_))
+        ));
+    }
+
+    #[test]
+    fn dff_captures_on_rising_edge_only() {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let clk = n.add_input("clk");
+        let q = n.add_dff("ff", Dff::standard_90nm(), d, clk, Logic::Zero);
+        n.mark_output("q", q);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.drive(d, Logic::One, ps(0.0)).unwrap();
+        sim.drive(clk, Logic::Zero, ps(0.0)).unwrap();
+        // Falling edge first — no capture.
+        sim.run_until(ps(500.0));
+        assert_eq!(sim.value(q), Logic::Zero);
+        // Rising edge captures the 1 (data settled 500 ps earlier).
+        sim.drive(clk, Logic::One, ps(600.0)).unwrap();
+        sim.run_until(Time::from_ns(2.0));
+        assert_eq!(sim.value(q), Logic::One);
+        assert_eq!(sim.stats().ff_captures, 1);
+        assert_eq!(sim.stats().ff_violations, 0);
+    }
+
+    #[test]
+    fn dff_setup_violation_keeps_old_value() {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let clk = n.add_input("clk");
+        let q = n.add_dff("ff", Dff::standard_90nm(), d, clk, Logic::Zero);
+        n.mark_output("q", q);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.drive(d, Logic::Zero, ps(0.0)).unwrap();
+        sim.drive(clk, Logic::Zero, ps(0.0)).unwrap();
+        sim.run_until(ps(400.0));
+        // Data flips 5 ps before the edge — inside the 30 ps setup window,
+        // close to the hold side of the balance point? No: -5 ps is in the
+        // window and on the "new" side boundary... -5 ps with setup 30 and
+        // hold 15 sits at x = 25/45 ≈ 0.56 → old value retained.
+        sim.drive(d, Logic::One, ps(495.0)).unwrap();
+        sim.drive(clk, Logic::One, ps(500.0)).unwrap();
+        sim.run_until(Time::from_ns(2.0));
+        assert_eq!(sim.value(q), Logic::Zero, "late data must not be captured");
+        assert_eq!(sim.stats().ff_violations, 1);
+    }
+
+    #[test]
+    fn metastability_propagate_x_mode() {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let clk = n.add_input("clk");
+        let q = n.add_dff("ff", Dff::standard_90nm(), d, clk, Logic::Zero);
+        n.mark_output("q", q);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.set_metastability_mode(MetastabilityMode::PropagateX);
+        sim.drive(d, Logic::Zero, ps(0.0)).unwrap();
+        sim.drive(clk, Logic::Zero, ps(0.0)).unwrap();
+        sim.run_until(ps(400.0));
+        sim.drive(d, Logic::One, ps(495.0)).unwrap();
+        sim.drive(clk, Logic::One, ps(500.0)).unwrap();
+        sim.run_until(Time::from_ns(2.0));
+        assert_eq!(sim.value(q), Logic::X);
+    }
+
+    #[test]
+    fn clock_driver_produces_edges() {
+        let mut n = Netlist::new("t");
+        let clk = n.add_input("clk");
+        let d = n.add_input("d");
+        let q = n.add_dff("ff", Dff::standard_90nm(), d, clk, Logic::Zero);
+        n.mark_output("q", q);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.drive(d, Logic::One, ps(0.0)).unwrap();
+        sim.drive_clock(clk, ps(1000.0), Time::from_ns(2.0), 5).unwrap();
+        sim.run_until(Time::from_ns(15.0));
+        assert_eq!(sim.trace().rising_edges(sim.signal(clk)), 5);
+        assert_eq!(sim.stats().ff_captures, 5);
+        assert_eq!(sim.value(q), Logic::One);
+    }
+
+    #[test]
+    fn inertial_filtering_swallows_glitch() {
+        // A pulse much shorter than the gate delay must not appear at the
+        // output.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let q = n.add_gate("g", StdCell::buffer(1.0), &[a]).unwrap();
+        n.mark_output("q", q);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.drive(a, Logic::Zero, ps(0.0)).unwrap();
+        sim.run_to_quiescence(1000);
+        // 1 ps glitch, far below the ~30 ps buffer delay.
+        sim.drive(a, Logic::One, ps(100.0)).unwrap();
+        sim.drive(a, Logic::Zero, ps(101.0)).unwrap();
+        sim.run_until(Time::from_ns(1.0));
+        assert_eq!(sim.value(q), Logic::Zero);
+        assert_eq!(
+            sim.trace().rising_edges(sim.signal(q)),
+            0,
+            "glitch leaked through inertial filter"
+        );
+        assert!(sim.stats().cancelled > 0);
+    }
+
+    #[test]
+    fn run_until_reports_event_count() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let q = n.add_gate("g", StdCell::inverter(1.0), &[a]).unwrap();
+        n.mark_output("q", q);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.drive(a, Logic::One, ps(0.0)).unwrap();
+        let applied = sim.run_until(Time::from_ns(1.0));
+        assert!(applied >= 1);
+        assert_eq!(sim.now(), Time::from_ns(1.0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds a random combinational DAG: each gate reads previously
+        /// created nets only (acyclic by construction).
+        fn random_dag(gate_picks: &[(u8, u8, u8, u8)], n_inputs: usize) -> (Netlist, Vec<NetId>, Vec<NetId>) {
+            let mut n = Netlist::new("dag");
+            let inputs: Vec<NetId> = (0..n_inputs).map(|i| n.add_input(format!("in{i}"))).collect();
+            let mut nets = inputs.clone();
+            let mut outs = Vec::new();
+            for (gi, &(kind, a, b, c)) in gate_picks.iter().enumerate() {
+                let cell = match kind % 6 {
+                    0 => StdCell::inverter(1.0),
+                    1 => StdCell::nand2(1.0),
+                    2 => StdCell::nor2(1.0),
+                    3 => StdCell::xor2(1.0),
+                    4 => StdCell::mux2(1.0),
+                    _ => StdCell::and3(1.0),
+                };
+                let pick = |x: u8| nets[x as usize % nets.len()];
+                let ins: Vec<NetId> = match cell.num_inputs() {
+                    1 => vec![pick(a)],
+                    2 => vec![pick(a), pick(b)],
+                    _ => vec![pick(a), pick(b), pick(c)],
+                };
+                let out = n.add_gate(format!("g{gi}"), cell, &ins).unwrap();
+                nets.push(out);
+                outs.push(out);
+            }
+            (n, inputs, outs)
+        }
+
+        /// Zero-delay functional evaluation in topological order.
+        fn functional_eval(n: &Netlist, input_values: &[(NetId, Logic)]) -> Vec<Logic> {
+            let mut values = vec![Logic::X; n.net_count()];
+            for &(net, v) in input_values {
+                values[net.index()] = v;
+            }
+            for gid in n.topo_gates().unwrap() {
+                let gate = &n.gates()[gid.index()];
+                let ins: Vec<Logic> = gate.inputs().iter().map(|i| values[i.index()]).collect();
+                values[gate.output().index()] = gate.cell().eval(&ins);
+            }
+            values
+        }
+
+        proptest! {
+            /// After the event queue drains, the simulator's state equals
+            /// the functional evaluation of the applied input vector —
+            /// regardless of event ordering, inertial cancellations or
+            /// glitches along the way.
+            #[test]
+            fn quiescent_state_matches_functional_eval(
+                gate_picks in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..25),
+                input_bits in proptest::collection::vec(any::<bool>(), 4),
+                flip_bits in proptest::collection::vec(any::<bool>(), 4),
+            ) {
+                let (n, inputs, _) = random_dag(&gate_picks, input_bits.len());
+                let mut sim = Simulator::new(&n, Voltage::from_v(1.0)).unwrap();
+                // Apply an initial vector, then flip a subset later: the
+                // final state must match the final vector functionally.
+                let mut final_vec = Vec::new();
+                for (i, (&net, &b)) in inputs.iter().zip(&input_bits).enumerate() {
+                    sim.drive(net, Logic::from(b), Time::from_ps(i as f64)).unwrap();
+                }
+                for (i, (&net, (&b, &f))) in inputs
+                    .iter()
+                    .zip(input_bits.iter().zip(&flip_bits))
+                    .enumerate()
+                {
+                    let v = b ^ f;
+                    sim.drive(net, Logic::from(v), Time::from_ns(5.0) + Time::from_ps(i as f64)).unwrap();
+                    final_vec.push((net, Logic::from(v)));
+                }
+                sim.run_to_quiescence(1_000_000);
+                let expect = functional_eval(&n, &final_vec);
+                for (i, &e) in expect.iter().enumerate() {
+                    prop_assert_eq!(
+                        sim.value(NetId(i)),
+                        e,
+                        "net {} diverged", n.net(NetId(i)).name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_records_all_nets() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let q = n.add_gate("g", StdCell::inverter(1.0), &[a]).unwrap();
+        n.mark_output("q", q);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.drive(a, Logic::One, ps(10.0)).unwrap();
+        sim.run_until(Time::from_ns(1.0));
+        let vcd = sim.trace().to_vcd("t");
+        assert!(vcd.contains("g.out"));
+        assert!(vcd.contains("a"));
+    }
+}

@@ -1,0 +1,541 @@
+//! Static timing analysis: arrival propagation, critical path, slack.
+//!
+//! The paper reports "the critical path of the whole control system at
+//! 90 nm is 1.22 ns, thus it can work with most of the typical CUTs
+//! system clock". [`analyze`] reproduces that style of claim from an
+//! actual gate graph: launch points are primary inputs and flip-flop `Q`
+//! pins, delays come from each cell's voltage-aware model at the analysis
+//! supply, and capture points are flip-flop `D` pins (checked against
+//! `period − t_setup`) and primary outputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::gates::StdCell;
+//! use psnt_cells::units::{Time, Voltage};
+//! use psnt_netlist::graph::Netlist;
+//! use psnt_netlist::sta::{analyze, StaConfig};
+//!
+//! let mut n = Netlist::new("demo");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let x = n.add_gate("g1", StdCell::nand2(1.0), &[a, b])?;
+//! let q = n.add_gate("g2", StdCell::inverter(1.0), &[x])?;
+//! n.mark_output("q", q);
+//!
+//! let report = analyze(&n, &StaConfig::default())?;
+//! assert_eq!(report.critical_path().stages().len(), 2);
+//! assert!(report.critical_delay() > Time::ZERO);
+//! # Ok::<(), psnt_netlist::error::NetlistError>(())
+//! ```
+
+use std::fmt;
+
+use psnt_cells::process::Pvt;
+use psnt_cells::units::{Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetlistError;
+use crate::graph::{DomainId, NetId, Netlist};
+
+/// Analysis parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaConfig {
+    /// Supply voltage applied to every cell's delay model.
+    pub supply: Voltage,
+    /// Process/temperature point.
+    pub pvt: Pvt,
+    /// Clock period used for slack at flip-flop `D` endpoints.
+    pub clock_period: Time,
+    /// Arrival time asserted on primary inputs.
+    pub input_arrival: Time,
+}
+
+impl Default for StaConfig {
+    fn default() -> StaConfig {
+        StaConfig {
+            supply: Voltage::from_v(1.0),
+            pvt: Pvt::typical(),
+            clock_period: Time::from_ns(2.0),
+            input_arrival: Time::ZERO,
+        }
+    }
+}
+
+/// One combinational stage along a timing path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStage {
+    /// The gate instance name.
+    pub instance: String,
+    /// The library cell name.
+    pub cell: String,
+    /// The gate's output net name.
+    pub net: String,
+    /// The stage's propagation delay.
+    pub delay: Time,
+    /// Cumulative arrival time at the stage output.
+    pub arrival: Time,
+}
+
+/// Kind of timing endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// A flip-flop `D` pin (instance name).
+    FlipFlopD(String),
+    /// A primary output port.
+    Output(String),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::FlipFlopD(name) => write!(f, "{name}/D"),
+            Endpoint::Output(name) => write!(f, "out:{name}"),
+        }
+    }
+}
+
+/// A reconstructed worst path to one endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingPath {
+    endpoint: Endpoint,
+    stages: Vec<PathStage>,
+    arrival: Time,
+    slack: Time,
+}
+
+impl TimingPath {
+    /// The endpoint this path terminates at.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The combinational stages, launch to capture.
+    pub fn stages(&self) -> &[PathStage] {
+        &self.stages
+    }
+
+    /// Data arrival time at the endpoint.
+    pub fn arrival(&self) -> Time {
+        self.arrival
+    }
+
+    /// Slack against the endpoint's timing requirement.
+    pub fn slack(&self) -> Time {
+        self.slack
+    }
+}
+
+impl fmt::Display for TimingPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "path to {} (arrival {:.2}, slack {:.2}):", self.endpoint, self.arrival, self.slack)?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<24} {:<10} +{:>8.2}  @ {:>8.2}  ({})",
+                s.instance, s.cell, s.delay, s.arrival, s.net
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The full analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaReport {
+    config: StaConfig,
+    critical: TimingPath,
+    endpoint_paths: Vec<TimingPath>,
+}
+
+impl StaReport {
+    /// The analysis configuration.
+    pub fn config(&self) -> &StaConfig {
+        &self.config
+    }
+
+    /// The path with the largest arrival time.
+    pub fn critical_path(&self) -> &TimingPath {
+        &self.critical
+    }
+
+    /// The critical (largest) combinational delay.
+    pub fn critical_delay(&self) -> Time {
+        self.critical.arrival()
+    }
+
+    /// Worst negative slack across endpoints (most negative slack; positive
+    /// when all endpoints meet timing).
+    pub fn worst_slack(&self) -> Time {
+        self.endpoint_paths
+            .iter()
+            .map(TimingPath::slack)
+            .fold(Time::from_seconds(1.0), Time::min)
+    }
+
+    /// Worst path per endpoint.
+    pub fn endpoint_paths(&self) -> &[TimingPath] {
+        &self.endpoint_paths
+    }
+
+    /// `true` when every endpoint meets the clock-period requirement.
+    pub fn meets_timing(&self) -> bool {
+        self.worst_slack() >= Time::ZERO
+    }
+
+    /// The maximum clock frequency implied by the critical delay plus the
+    /// worst endpoint setup time already folded into the requirement.
+    pub fn max_frequency(&self) -> psnt_cells::units::Frequency {
+        // slack = required − arrival, required = period − setup (for FF
+        // endpoints). The minimum workable period shrinks by the worst
+        // slack.
+        let min_period = self.config.clock_period - self.worst_slack();
+        psnt_cells::units::Frequency::from_period(min_period.max(Time::from_ps(1.0)))
+    }
+}
+
+impl fmt::Display for StaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "STA @ {:.2} / {} / period {:.2}",
+            self.config.supply, self.config.pvt, self.config.clock_period
+        )?;
+        writeln!(f, "critical delay: {:.2}", self.critical_delay())?;
+        writeln!(f, "worst slack:    {:.2}", self.worst_slack())?;
+        write!(f, "{}", self.critical)
+    }
+}
+
+/// Runs static timing analysis over a netlist with every domain at
+/// `config.supply`.
+///
+/// # Errors
+///
+/// Propagates structural validation errors ([`Netlist::validate`]).
+pub fn analyze(netlist: &Netlist, config: &StaConfig) -> Result<StaReport, NetlistError> {
+    analyze_with_domain_supplies(netlist, config, &[])
+}
+
+/// Runs static timing analysis with per-domain supply overrides: gates
+/// in a listed domain are timed at the override voltage, everything else
+/// at `config.supply`. This is how the noisy-rail droop's effect on the
+/// sensor paths is analysed while the control logic stays nominal.
+///
+/// # Errors
+///
+/// Propagates structural validation errors ([`Netlist::validate`]).
+pub fn analyze_with_domain_supplies(
+    netlist: &Netlist,
+    config: &StaConfig,
+    overrides: &[(DomainId, Voltage)],
+) -> Result<StaReport, NetlistError> {
+    netlist.validate()?;
+    let order = netlist.topo_gates()?;
+    let supply_of = |d: DomainId| -> Voltage {
+        overrides
+            .iter()
+            .find(|(od, _)| *od == d)
+            .map_or(config.supply, |(_, v)| *v)
+    };
+
+    // Launch arrivals. Constants get a strongly negative arrival so they
+    // never define a path.
+    let never = Time::from_seconds(-1.0);
+    let mut arrival = vec![never; netlist.net_count()];
+    let mut pred: Vec<Option<usize>> = vec![None; netlist.net_count()]; // gate index driving the max-arrival input
+    for &i in netlist.inputs() {
+        arrival[i.index()] = config.input_arrival;
+    }
+    for ff in netlist.dffs() {
+        arrival[ff.q().index()] = ff.model().clk_to_q();
+    }
+
+    let gate_of_net: std::collections::BTreeMap<NetId, usize> = netlist
+        .gates()
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| (g.output(), gi))
+        .collect();
+
+    for gid in order {
+        let gate = &netlist.gates()[gid.index()];
+        let (worst_in, worst_arr) = gate
+            .inputs()
+            .iter()
+            .map(|i| (*i, arrival[i.index()]))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("gates have at least one input");
+        let load = netlist.load(gate.output());
+        let delay =
+            gate.cell()
+                .propagation_delay(supply_of(gate.domain()), load, &config.pvt);
+        arrival[gate.output().index()] = worst_arr + delay;
+        pred[gate.output().index()] = gate_of_net.get(&worst_in).copied().or(None);
+        // Remember the worst input net itself for reconstruction through
+        // launch points: encode via pred of the *gate's output*; walking
+        // stops when the driving net has no gate.
+        let _ = worst_in;
+    }
+
+    // Path reconstruction helper: walk gate predecessors back from a net.
+    let build_path = |end_net: NetId, endpoint: Endpoint, required: Time| -> TimingPath {
+        let mut stages_rev = Vec::new();
+        let mut cur = gate_of_net.get(&end_net).copied();
+        while let Some(gi) = cur {
+            let gate = &netlist.gates()[gi];
+            let load = netlist.load(gate.output());
+            let delay = gate.cell().propagation_delay(
+                supply_of(gate.domain()),
+                load,
+                &config.pvt,
+            );
+            stages_rev.push(PathStage {
+                instance: gate.name().to_owned(),
+                cell: gate.cell().name().to_owned(),
+                net: netlist.net(gate.output()).name().to_owned(),
+                delay,
+                arrival: arrival[gate.output().index()],
+            });
+            // Move to the gate driving the worst input.
+            let worst_in = gate
+                .inputs()
+                .iter()
+                .copied()
+                .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]))
+                .expect("gates have inputs");
+            cur = gate_of_net.get(&worst_in).copied();
+        }
+        stages_rev.reverse();
+        let arr = arrival[end_net.index()].max(Time::ZERO);
+        TimingPath {
+            endpoint,
+            stages: stages_rev,
+            arrival: arr,
+            slack: required - arr,
+        }
+    };
+
+    let mut endpoint_paths = Vec::new();
+    for ff in netlist.dffs() {
+        let required = config.clock_period - ff.model().setup();
+        endpoint_paths.push(build_path(
+            ff.d(),
+            Endpoint::FlipFlopD(ff.name().to_owned()),
+            required,
+        ));
+    }
+    for (port, net) in netlist.outputs() {
+        endpoint_paths.push(build_path(
+            *net,
+            Endpoint::Output(port.clone()),
+            config.clock_period,
+        ));
+    }
+
+    let critical = endpoint_paths
+        .iter()
+        .max_by(|a, b| a.arrival().total_cmp(&b.arrival()))
+        .cloned()
+        .unwrap_or(TimingPath {
+            endpoint: Endpoint::Output("<none>".into()),
+            stages: Vec::new(),
+            arrival: Time::ZERO,
+            slack: config.clock_period,
+        });
+
+    Ok(StaReport {
+        config: *config,
+        critical,
+        endpoint_paths,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psnt_cells::dff::Dff;
+    use psnt_cells::gates::StdCell;
+    use psnt_cells::logic::Logic;
+
+    fn chain(n_gates: usize) -> Netlist {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let mut prev = a;
+        for i in 0..n_gates {
+            prev = n
+                .add_gate(format!("inv{i}"), StdCell::inverter(1.0), &[prev])
+                .unwrap();
+        }
+        n.mark_output("q", prev);
+        n
+    }
+
+    #[test]
+    fn chain_delay_accumulates() {
+        let short = analyze(&chain(2), &StaConfig::default()).unwrap();
+        let long = analyze(&chain(8), &StaConfig::default()).unwrap();
+        assert!(long.critical_delay() > short.critical_delay());
+        assert_eq!(long.critical_path().stages().len(), 8);
+        // Arrivals along the path are strictly increasing.
+        let stages = long.critical_path().stages();
+        for w in stages.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn lower_supply_increases_critical_delay() {
+        let n = chain(6);
+        let nominal = analyze(&n, &StaConfig::default()).unwrap();
+        let droop = analyze(
+            &n,
+            &StaConfig {
+                supply: Voltage::from_v(0.85),
+                ..StaConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(droop.critical_delay() > nominal.critical_delay());
+    }
+
+    #[test]
+    fn ff_endpoint_slack_accounts_for_setup() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let clk = n.add_input("clk");
+        let x = n.add_gate("g", StdCell::inverter(1.0), &[a]).unwrap();
+        let _q = n.add_dff("ff", Dff::standard_90nm(), x, clk, Logic::Zero);
+        let cfg = StaConfig::default();
+        let report = analyze(&n, &cfg).unwrap();
+        let ff_path = report
+            .endpoint_paths()
+            .iter()
+            .find(|p| matches!(p.endpoint(), Endpoint::FlipFlopD(_)))
+            .unwrap();
+        let expected_required = cfg.clock_period - Dff::standard_90nm().setup();
+        assert!(
+            (ff_path.slack() - (expected_required - ff_path.arrival())).abs() < Time::from_ps(1e-9)
+        );
+        assert!(report.meets_timing());
+    }
+
+    #[test]
+    fn register_to_register_path_launches_from_q() {
+        let mut n = Netlist::new("t");
+        let clk = n.add_input("clk");
+        let d0 = n.add_input("d0");
+        let q0 = n.add_dff("ff0", Dff::standard_90nm(), d0, clk, Logic::Zero);
+        let x = n.add_gate("g", StdCell::inverter(1.0), &[q0]).unwrap();
+        let _q1 = n.add_dff("ff1", Dff::standard_90nm(), x, clk, Logic::Zero);
+        let report = analyze(&n, &StaConfig::default()).unwrap();
+        // Critical endpoint is ff1/D; its arrival includes clk-to-q.
+        let ff1 = report
+            .endpoint_paths()
+            .iter()
+            .find(|p| p.endpoint() == &Endpoint::FlipFlopD("ff1".into()))
+            .unwrap();
+        assert!(ff1.arrival() > Dff::standard_90nm().clk_to_q());
+    }
+
+    #[test]
+    fn failing_timing_detected() {
+        let n = chain(30);
+        let report = analyze(
+            &n,
+            &StaConfig {
+                clock_period: Time::from_ps(100.0),
+                ..StaConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!report.meets_timing());
+        assert!(report.worst_slack() < Time::ZERO);
+    }
+
+    #[test]
+    fn max_frequency_consistent_with_critical_delay() {
+        let n = chain(10);
+        let report = analyze(&n, &StaConfig::default()).unwrap();
+        let f = report.max_frequency();
+        // min period = arrival (+ setup at FF endpoints, none here).
+        let expected = 1.0 / report.critical_delay().seconds();
+        assert!((f.hertz() - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn report_display_contains_path() {
+        let n = chain(3);
+        let report = analyze(&n, &StaConfig::default()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("critical delay"));
+        assert!(text.contains("inv2"));
+        assert!(text.contains("INVX1"));
+    }
+
+    #[test]
+    fn constants_do_not_define_paths() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let one = n.add_const("one", Logic::One);
+        let q = n.add_gate("g", StdCell::and2(1.0), &[a, one]).unwrap();
+        n.mark_output("q", q);
+        let report = analyze(&n, &StaConfig::default()).unwrap();
+        // The path must start from input `a`, one stage only, arrival =
+        // gate delay exactly (input arrival 0).
+        assert_eq!(report.critical_path().stages().len(), 1);
+        assert!(report.critical_delay() > Time::ZERO);
+        assert!(report.critical_delay() < Time::from_ps(200.0));
+    }
+
+    #[test]
+    fn domain_overrides_slow_only_the_listed_domain() {
+        use crate::graph::{DomainId, GateId};
+        // Two parallel inverter chains; one moved to a "noisy" domain.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let noisy = n.add_domain("noisy");
+        let mut clean_out = a;
+        let mut noisy_out = a;
+        for i in 0..4 {
+            clean_out = n
+                .add_gate(format!("c{i}"), StdCell::inverter(1.0), &[clean_out])
+                .unwrap();
+            noisy_out = n
+                .add_gate(format!("n{i}"), StdCell::inverter(1.0), &[noisy_out])
+                .unwrap();
+        }
+        for gi in 0..n.gates().len() {
+            if n.gates()[gi].name().starts_with('n') {
+                n.set_gate_domain(GateId::from_index(gi), noisy);
+            }
+        }
+        n.mark_output("clean", clean_out);
+        n.mark_output("noisy", noisy_out);
+
+        let cfg = StaConfig::default();
+        let nominal = analyze_with_domain_supplies(&n, &cfg, &[]).unwrap();
+        let droop =
+            analyze_with_domain_supplies(&n, &cfg, &[(noisy, Voltage::from_v(0.85))]).unwrap();
+        // Only the noisy-domain endpoint slows; the clean one is bit-identical.
+        let arrival = |r: &StaReport, port: &str| {
+            r.endpoint_paths()
+                .iter()
+                .find(|p| matches!(p.endpoint(), Endpoint::Output(name) if name == port))
+                .unwrap()
+                .arrival()
+        };
+        assert_eq!(arrival(&nominal, "clean"), arrival(&droop, "clean"));
+        assert!(arrival(&droop, "noisy") > arrival(&nominal, "noisy"));
+        // The default core domain is untouched by the override list.
+        assert_eq!(DomainId::CORE.index(), 0);
+    }
+
+    #[test]
+    fn empty_netlist_yields_zero_delay() {
+        let n = Netlist::new("empty");
+        let report = analyze(&n, &StaConfig::default()).unwrap();
+        assert_eq!(report.critical_delay(), Time::ZERO);
+        assert!(report.meets_timing());
+    }
+}

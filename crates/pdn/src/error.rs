@@ -1,0 +1,81 @@
+//! Error types for the PDN substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `psnt-pdn` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PdnError {
+    /// A waveform was constructed from invalid breakpoints.
+    InvalidWaveform(String),
+    /// A circuit element value was outside its physical domain.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A grid coordinate was out of bounds.
+    OutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// The iterative grid solver failed to converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at abort.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for PdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdnError::InvalidWaveform(why) => write!(f, "invalid waveform: {why}"),
+            PdnError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            PdnError::OutOfBounds { row, col, rows, cols } => {
+                write!(f, "tile ({row}, {col}) outside {rows}×{cols} grid")
+            }
+            PdnError::NoConvergence { iterations, residual } => {
+                write!(f, "grid solver did not converge after {iterations} iterations (residual {residual:.3e})")
+            }
+        }
+    }
+}
+
+impl Error for PdnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PdnError::InvalidWaveform("x".into()).to_string().contains("x"));
+        assert!(PdnError::OutOfBounds { row: 9, col: 1, rows: 4, cols: 4 }
+            .to_string()
+            .contains("9"));
+        assert!(PdnError::NoConvergence { iterations: 10, residual: 1.0 }
+            .to_string()
+            .contains("converge"));
+        assert!(PdnError::InvalidParameter { name: "r", reason: "neg".into() }
+            .to_string()
+            .contains("r"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<PdnError>();
+    }
+}

@@ -1,0 +1,446 @@
+//! Two-dimensional on-die power grid (IR-drop map).
+//!
+//! The paper's headline architectural claim is that sensor arrays "can be
+//! multiplied, so that measures in many points of the CUT are possible" —
+//! a PSN *scan chain*. Exercising that requires supply voltages that
+//! differ from point to point. [`PowerGrid`] models the on-die grid as a
+//! `rows × cols` resistive mesh fed from pad nodes, with a load current
+//! per tile; solving the nodal equations gives each tile's local supply.
+//!
+//! The solver is a Gauss–Seidel relaxation with successive
+//! over-relaxation — entirely adequate for the few-hundred-node grids the
+//! experiments use, with a convergence guard returning
+//! [`PdnError::NoConvergence`] otherwise.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::units::{Resistance, Voltage};
+//! use psnt_pdn::grid::PowerGrid;
+//!
+//! // A 4×4 grid fed from the four corners.
+//! let grid = PowerGrid::new(4, 4, Voltage::from_v(1.0),
+//!     Resistance::from_milliohms(40.0), Resistance::from_milliohms(10.0),
+//!     vec![(0, 0), (0, 3), (3, 0), (3, 3)])?;
+//! // 100 mA drawn at the centre tiles.
+//! let mut loads = vec![0.0; 16];
+//! loads[5] = 0.1; loads[6] = 0.1; loads[9] = 0.1; loads[10] = 0.1;
+//! let v = grid.solve(&loads)?;
+//! // Centre tiles sag more than the corners next to the pads.
+//! assert!(v[5] < v[0]);
+//! # Ok::<(), psnt_pdn::error::PdnError>(())
+//! ```
+
+use psnt_cells::units::{Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PdnError;
+use crate::waveform::Waveform;
+
+/// A rectangular resistive power grid with pad connections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerGrid {
+    rows: usize,
+    cols: usize,
+    v_pad: Voltage,
+    /// Conductance of each mesh segment between adjacent tiles.
+    g_mesh: f64,
+    /// Conductance from a pad tile up to the package plane.
+    g_pad: f64,
+    /// Pad tile indices (row-major).
+    pads: Vec<usize>,
+}
+
+impl PowerGrid {
+    /// Creates a grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidParameter`] for an empty grid,
+    /// non-positive resistances or no pads, and [`PdnError::OutOfBounds`]
+    /// for pad coordinates outside the grid.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        v_pad: Voltage,
+        r_mesh: Resistance,
+        r_pad: Resistance,
+        pads: Vec<(usize, usize)>,
+    ) -> Result<PowerGrid, PdnError> {
+        if rows == 0 || cols == 0 {
+            return Err(PdnError::InvalidParameter {
+                name: "rows/cols",
+                reason: "grid must be non-empty".into(),
+            });
+        }
+        if r_mesh.ohms() <= 0.0 || r_pad.ohms() <= 0.0 {
+            return Err(PdnError::InvalidParameter {
+                name: "r_mesh/r_pad",
+                reason: "resistances must be positive".into(),
+            });
+        }
+        if pads.is_empty() {
+            return Err(PdnError::InvalidParameter {
+                name: "pads",
+                reason: "at least one pad connection required".into(),
+            });
+        }
+        let mut pad_idx = Vec::with_capacity(pads.len());
+        for (r, c) in pads {
+            if r >= rows || c >= cols {
+                return Err(PdnError::OutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
+            }
+            pad_idx.push(r * cols + c);
+        }
+        pad_idx.sort_unstable();
+        pad_idx.dedup();
+        Ok(PowerGrid {
+            rows,
+            cols,
+            v_pad,
+            g_mesh: 1.0 / r_mesh.ohms(),
+            g_pad: 1.0 / r_pad.ohms(),
+            pads: pad_idx,
+        })
+    }
+
+    /// A square grid with pads on all four corners — the configuration the
+    /// scan-chain experiments use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor validation.
+    pub fn corner_fed(
+        side: usize,
+        v_pad: Voltage,
+        r_mesh: Resistance,
+        r_pad: Resistance,
+    ) -> Result<PowerGrid, PdnError> {
+        let last = side.saturating_sub(1);
+        PowerGrid::new(
+            side,
+            side,
+            v_pad,
+            r_mesh,
+            r_pad,
+            vec![(0, 0), (0, last), (last, 0), (last, last)],
+        )
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The pad (package-side) voltage.
+    pub fn v_pad(&self) -> Voltage {
+        self.v_pad
+    }
+
+    /// Converts a (row, col) coordinate to a tile index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::OutOfBounds`] outside the grid.
+    pub fn tile_index(&self, row: usize, col: usize) -> Result<usize, PdnError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(PdnError::OutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(row * self.cols + col)
+    }
+
+    fn neighbours(&self, idx: usize) -> impl Iterator<Item = usize> + '_ {
+        let (r, c) = (idx / self.cols, idx % self.cols);
+        let mut out = Vec::with_capacity(4);
+        if r > 0 {
+            out.push(idx - self.cols);
+        }
+        if r + 1 < self.rows {
+            out.push(idx + self.cols);
+        }
+        if c > 0 {
+            out.push(idx - 1);
+        }
+        if c + 1 < self.cols {
+            out.push(idx + 1);
+        }
+        out.into_iter()
+    }
+
+    /// Solves the DC nodal equations for the given per-tile load currents
+    /// (amperes, row-major) and returns per-tile voltages (volts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidParameter`] when `loads.len()` does not
+    /// match the tile count and [`PdnError::NoConvergence`] if relaxation
+    /// stalls.
+    pub fn solve(&self, loads: &[f64]) -> Result<Vec<f64>, PdnError> {
+        if loads.len() != self.tiles() {
+            return Err(PdnError::InvalidParameter {
+                name: "loads",
+                reason: format!("expected {} tile currents, got {}", self.tiles(), loads.len()),
+            });
+        }
+        let n = self.tiles();
+        let vp = self.v_pad.volts();
+        let mut v = vec![vp; n];
+        let is_pad: Vec<bool> = {
+            let mut m = vec![false; n];
+            for &p in &self.pads {
+                m[p] = true;
+            }
+            m
+        };
+
+        const MAX_ITER: usize = 20_000;
+        const TOL: f64 = 1e-12;
+        const OMEGA: f64 = 1.6; // SOR factor for a 2-D Laplacian
+
+        for iter in 0..MAX_ITER {
+            let mut max_delta: f64 = 0.0;
+            for i in 0..n {
+                let mut g_sum = 0.0;
+                let mut rhs = -loads[i];
+                for nb in self.neighbours(i) {
+                    g_sum += self.g_mesh;
+                    rhs += self.g_mesh * v[nb];
+                }
+                if is_pad[i] {
+                    g_sum += self.g_pad;
+                    rhs += self.g_pad * vp;
+                }
+                let v_new = rhs / g_sum;
+                let relaxed = v[i] + OMEGA * (v_new - v[i]);
+                max_delta = max_delta.max((relaxed - v[i]).abs());
+                v[i] = relaxed;
+            }
+            if max_delta < TOL {
+                let _ = iter;
+                return Ok(v);
+            }
+        }
+        Err(PdnError::NoConvergence {
+            iterations: MAX_ITER,
+            residual: 0.0,
+        })
+    }
+
+    /// Quasi-static transient: solves the grid at every sample instant of
+    /// the per-tile load waveforms (amperes) and returns one supply
+    /// [`Waveform`] per tile. Valid when the grid's own RC time constants
+    /// are far below the waveform time scale — true for on-die resistive
+    /// meshes against tens-of-ns PSN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PowerGrid::solve`] failures and waveform validation.
+    pub fn quasi_static_transient(
+        &self,
+        loads: &[Waveform],
+        start: Time,
+        end: Time,
+        dt: Time,
+    ) -> Result<Vec<Waveform>, PdnError> {
+        if loads.len() != self.tiles() {
+            return Err(PdnError::InvalidParameter {
+                name: "loads",
+                reason: format!("expected {} tile waveforms, got {}", self.tiles(), loads.len()),
+            });
+        }
+        if dt <= Time::ZERO || end <= start {
+            return Err(PdnError::InvalidParameter {
+                name: "dt/end",
+                reason: "need positive dt and end > start".into(),
+            });
+        }
+        let steps = ((end - start) / dt).ceil() as usize;
+        let mut per_tile: Vec<Vec<(Time, f64)>> = vec![Vec::with_capacity(steps + 1); self.tiles()];
+        for k in 0..=steps {
+            let t = start + dt * k as f64;
+            let instantaneous: Vec<f64> = loads.iter().map(|w| w.sample(t)).collect();
+            let v = self.solve(&instantaneous)?;
+            for (tile, &vi) in v.iter().enumerate() {
+                per_tile[tile].push((t, vi));
+            }
+        }
+        per_tile.into_iter().map(Waveform::from_points).collect()
+    }
+
+    /// The worst (lowest) tile voltage for a load pattern, with its tile
+    /// index — the spatial IR-drop hotspot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PowerGrid::solve`] failures.
+    pub fn hotspot(&self, loads: &[f64]) -> Result<(usize, f64), PdnError> {
+        let v = self.solve(loads)?;
+        let (idx, &worst) = v
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("grid has at least one tile");
+        Ok((idx, worst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(side: usize) -> PowerGrid {
+        PowerGrid::corner_fed(
+            side,
+            Voltage::from_v(1.0),
+            Resistance::from_milliohms(40.0),
+            Resistance::from_milliohms(10.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let v = Voltage::from_v(1.0);
+        let r = Resistance::from_milliohms(40.0);
+        assert!(PowerGrid::new(0, 4, v, r, r, vec![(0, 0)]).is_err());
+        assert!(PowerGrid::new(4, 4, v, Resistance::from_ohms(0.0), r, vec![(0, 0)]).is_err());
+        assert!(PowerGrid::new(4, 4, v, r, r, vec![]).is_err());
+        assert!(matches!(
+            PowerGrid::new(4, 4, v, r, r, vec![(4, 0)]),
+            Err(PdnError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_load_gives_pad_voltage_everywhere() {
+        let grid = mk(5);
+        let v = grid.solve(&[0.0; 25]).unwrap();
+        for &vi in &v {
+            assert!((vi - 1.0).abs() < 1e-9, "{vi}");
+        }
+    }
+
+    #[test]
+    fn wrong_load_length_rejected() {
+        let grid = mk(3);
+        assert!(grid.solve(&[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn single_tile_grid_is_ohms_law() {
+        let grid = PowerGrid::new(
+            1,
+            1,
+            Voltage::from_v(1.0),
+            Resistance::from_milliohms(40.0),
+            Resistance::from_milliohms(10.0),
+            vec![(0, 0)],
+        )
+        .unwrap();
+        let v = grid.solve(&[2.0]).unwrap();
+        // Only the pad resistance carries the 2 A: drop = 20 mV.
+        assert!((v[0] - 0.98).abs() < 1e-9, "{}", v[0]);
+    }
+
+    #[test]
+    fn centre_load_sags_centre_most() {
+        let grid = mk(5);
+        let mut loads = vec![0.0; 25];
+        loads[12] = 0.5; // centre tile
+        let v = grid.solve(&loads).unwrap();
+        let (hot, v_hot) = grid.hotspot(&loads).unwrap();
+        assert_eq!(hot, 12);
+        assert!(v_hot < v[0]);
+        assert!(v_hot < 1.0);
+        // Symmetry: the four corners see identical voltages.
+        assert!((v[0] - v[4]).abs() < 1e-6);
+        assert!((v[0] - v[20]).abs() < 1e-6);
+        assert!((v[0] - v[24]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn current_conservation() {
+        // Sum of pad currents equals total load current.
+        let grid = mk(4);
+        let mut loads = vec![0.01; 16];
+        loads[5] = 0.3;
+        let v = grid.solve(&loads).unwrap();
+        let g_pad = 1.0 / 0.010;
+        let pad_tiles = [0usize, 3, 12, 15];
+        let injected: f64 = pad_tiles.iter().map(|&p| g_pad * (1.0 - v[p])).sum();
+        let drawn: f64 = loads.iter().sum();
+        assert!(
+            (injected - drawn).abs() < 1e-6,
+            "injected {injected} vs drawn {drawn}"
+        );
+    }
+
+    #[test]
+    fn heavier_load_monotonically_lowers_voltages() {
+        let grid = mk(4);
+        let light = grid.solve(&[0.05; 16]).unwrap();
+        let heavy = grid.solve(&[0.10; 16]).unwrap();
+        for (l, h) in light.iter().zip(&heavy) {
+            assert!(h < l);
+        }
+    }
+
+    #[test]
+    fn quasi_static_transient_tracks_load() {
+        let grid = mk(3);
+        let ns = Time::from_ns;
+        // Tile 4 (centre) ramps its draw; others idle.
+        let mut loads = vec![Waveform::constant(0.0); 9];
+        loads[4] = Waveform::from_points(vec![(ns(0.0), 0.0), (ns(100.0), 0.4)]).unwrap();
+        let waves = grid
+            .quasi_static_transient(&loads, Time::ZERO, ns(100.0), ns(10.0))
+            .unwrap();
+        assert_eq!(waves.len(), 9);
+        // Centre tile droops over time.
+        assert!(waves[4].sample(ns(100.0)) < waves[4].sample(ns(0.0)));
+        // And droops more than a corner tile at the end.
+        assert!(waves[4].sample(ns(100.0)) < waves[0].sample(ns(100.0)));
+    }
+
+    #[test]
+    fn transient_argument_validation() {
+        let grid = mk(2);
+        let loads = vec![Waveform::constant(0.0); 4];
+        assert!(grid
+            .quasi_static_transient(&loads, Time::ZERO, Time::ZERO, Time::from_ns(1.0))
+            .is_err());
+        assert!(grid
+            .quasi_static_transient(&loads[..2], Time::ZERO, Time::from_ns(10.0), Time::from_ns(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn tile_index_bounds() {
+        let grid = mk(3);
+        assert_eq!(grid.tile_index(1, 2).unwrap(), 5);
+        assert!(grid.tile_index(3, 0).is_err());
+        assert_eq!(grid.tiles(), 9);
+        assert_eq!(grid.rows(), 3);
+        assert_eq!(grid.cols(), 3);
+    }
+}

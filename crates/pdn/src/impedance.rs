@@ -1,0 +1,271 @@
+//! Frequency-domain PDN impedance analysis.
+//!
+//! The standard way to reason about PSN (the paper's refs. \[1\]\[2\]) is the
+//! impedance profile `|Z(f)|` the die sees looking into its power
+//! delivery: supply noise under a current excitation `I(f)` is
+//! `V(f) = Z(f)·I(f)`, so the *worst* workload is the one whose spectrum
+//! sits on the impedance peak — the package anti-resonance. This module
+//! computes `Z(f)` for the [`LumpedPdn`] network analytically and locates
+//! its peak, which the `xp_impedance` experiment then confirms in the
+//! time domain: a periodic workload swept across frequencies droops the
+//! rail most exactly at the peak.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::units::Frequency;
+//! use psnt_pdn::impedance::impedance_magnitude;
+//! use psnt_pdn::rlc::LumpedPdn;
+//!
+//! let pdn = LumpedPdn::typical_90nm_package();
+//! let at_dc = impedance_magnitude(&pdn, Frequency::from_hz(1.0));
+//! assert!((at_dc.ohms() - pdn.r().ohms()).abs() < 1e-6);
+//! ```
+
+use psnt_cells::units::{Frequency, Resistance};
+use serde::{Deserialize, Serialize};
+
+use crate::rlc::LumpedPdn;
+
+/// Minimal complex arithmetic for the impedance math (kept private to
+/// avoid a dependency for one formula).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Complex {
+    re: f64,
+    im: f64,
+}
+
+impl Complex {
+    fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    fn div(self, o: Complex) -> Complex {
+        let d = o.re * o.re + o.im * o.im;
+        Complex::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+
+    fn magnitude(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// The die-side impedance of the lumped network at frequency `f`:
+/// the series branch `R + jωL` in parallel with the decap `1/jωC`.
+///
+/// At DC this is exactly `R`; it peaks near the tank resonance and rolls
+/// off as `1/ωC` above it.
+pub fn impedance_magnitude(pdn: &LumpedPdn, f: Frequency) -> Resistance {
+    let w = std::f64::consts::TAU * f.hertz();
+    let series = Complex::new(pdn.r().ohms(), w * pdn.l().henries());
+    if w == 0.0 {
+        return pdn.r();
+    }
+    let decap = Complex::new(0.0, -1.0 / (w * pdn.c().farads()));
+    let z = series.mul(decap).div(series.add(decap));
+    Resistance::from_ohms(z.magnitude())
+}
+
+/// One point of an impedance profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImpedancePoint {
+    /// The analysis frequency.
+    pub frequency: Frequency,
+    /// `|Z|` at that frequency.
+    pub magnitude: Resistance,
+}
+
+/// Sweeps `|Z(f)|` over `n` log-spaced points between `lo` and `hi`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the bounds are not positive and increasing.
+pub fn impedance_profile(
+    pdn: &LumpedPdn,
+    lo: Frequency,
+    hi: Frequency,
+    n: usize,
+) -> Vec<ImpedancePoint> {
+    assert!(n >= 2, "need at least two sweep points");
+    assert!(
+        lo.hertz() > 0.0 && hi > lo,
+        "bounds must be positive and increasing"
+    );
+    let (l0, l1) = (lo.hertz().log10(), hi.hertz().log10());
+    (0..n)
+        .map(|i| {
+            let f = Frequency::from_hz(10f64.powf(l0 + (l1 - l0) * i as f64 / (n - 1) as f64));
+            ImpedancePoint {
+                frequency: f,
+                magnitude: impedance_magnitude(pdn, f),
+            }
+        })
+        .collect()
+}
+
+/// Locates the impedance peak by golden-section search inside
+/// `[lo, hi]`; returns `(frequency, |Z|)`.
+///
+/// # Panics
+///
+/// Panics if the bounds are not positive and increasing.
+pub fn impedance_peak(pdn: &LumpedPdn, lo: Frequency, hi: Frequency) -> (Frequency, Resistance) {
+    assert!(lo.hertz() > 0.0 && hi > lo, "bad search bounds");
+    // Golden-section search on -|Z| over log-frequency.
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo.hertz().log10(), hi.hertz().log10());
+    let eval = |x: f64| impedance_magnitude(pdn, Frequency::from_hz(10f64.powf(x))).ohms();
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (eval(c), eval(d));
+    for _ in 0..200 {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = eval(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = eval(d);
+        }
+        if (b - a).abs() < 1e-9 {
+            break;
+        }
+    }
+    let f = Frequency::from_hz(10f64.powf((a + b) / 2.0));
+    (f, impedance_magnitude(pdn, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pdn() -> LumpedPdn {
+        LumpedPdn::typical_90nm_package()
+    }
+
+    #[test]
+    fn dc_impedance_is_series_resistance() {
+        let z = impedance_magnitude(&pdn(), Frequency::from_hz(0.0));
+        assert_eq!(z, pdn().r());
+        let z1 = impedance_magnitude(&pdn(), Frequency::from_hz(10.0));
+        assert!((z1.ohms() - pdn().r().ohms()).abs() / pdn().r().ohms() < 1e-3);
+    }
+
+    #[test]
+    fn peak_sits_at_the_tank_resonance() {
+        let p = pdn();
+        let (f_peak, z_peak) = impedance_peak(
+            &p,
+            Frequency::from_mhz(1.0),
+            Frequency::from_ghz(1.0),
+        );
+        let f_res = p.resonance_frequency();
+        let rel = (f_peak.hertz() - f_res.hertz()).abs() / f_res.hertz();
+        assert!(rel < 0.05, "peak at {:.3e} vs resonance {:.3e}", f_peak.hertz(), f_res.hertz());
+        // Peak magnitude ≈ Q·Z0 for an underdamped tank.
+        let expect = p.q_factor() * p.characteristic_impedance().ohms();
+        assert!(
+            (z_peak.ohms() - expect).abs() / expect < 0.15,
+            "peak {} vs Q·Z0 {:.4}",
+            z_peak,
+            expect
+        );
+    }
+
+    #[test]
+    fn rolls_off_capacitively_above_resonance() {
+        let p = pdn();
+        let f1 = Frequency::from_mhz(500.0);
+        let f2 = Frequency::from_ghz(1.0);
+        let z1 = impedance_magnitude(&p, f1).ohms();
+        let z2 = impedance_magnitude(&p, f2).ohms();
+        assert!(z2 < z1, "must roll off");
+        // Asymptote 1/(ωC): doubling f halves |Z| (within 20 %).
+        assert!((z1 / z2 - 2.0).abs() < 0.4, "ratio {}", z1 / z2);
+    }
+
+    #[test]
+    fn profile_is_log_spaced_and_peaked() {
+        let p = pdn();
+        let profile = impedance_profile(&p, Frequency::from_mhz(1.0), Frequency::from_ghz(1.0), 61);
+        assert_eq!(profile.len(), 61);
+        // Log spacing: constant frequency ratio between points.
+        let r0 = profile[1].frequency.hertz() / profile[0].frequency.hertz();
+        let r1 = profile[40].frequency.hertz() / profile[39].frequency.hertz();
+        assert!((r0 - r1).abs() / r0 < 1e-9);
+        // Single interior maximum near resonance.
+        let max_idx = profile
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.magnitude.total_cmp(&b.1.magnitude))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(max_idx > 0 && max_idx < 60);
+        let f_at_max = profile[max_idx].frequency.hertz();
+        let f_res = p.resonance_frequency().hertz();
+        assert!((f_at_max - f_res).abs() / f_res < 0.15);
+    }
+
+    #[test]
+    fn time_domain_agrees_with_frequency_domain() {
+        // Drive the network with a sinusoidal current at and off the
+        // resonance: the steady-state ripple amplitude must scale with
+        // |Z(f)|.
+        use crate::waveform::Waveform;
+        use psnt_cells::units::Time;
+        let p = pdn();
+        let ripple_at = |f: Frequency| -> f64 {
+            let period = Time::period_of(f);
+            let end = period * 60.0;
+            let load = Waveform::sample_fn(Time::ZERO, end, 4000, |t| {
+                1.0 + 0.5 * (std::f64::consts::TAU * f.hertz() * t.seconds()).sin()
+            })
+            .unwrap();
+            let v = p.transient(&load, period / 40.0, end).unwrap();
+            // Measure over the last 10 periods (steady state).
+            let from = end - period * 10.0;
+            v.max_over(from, end) - v.min_over(from, end)
+        };
+        let f_res = p.resonance_frequency();
+        let on_peak = ripple_at(f_res);
+        let off_peak = ripple_at(Frequency::from_hz(f_res.hertz() * 3.0));
+        let z_ratio = impedance_magnitude(&p, f_res).ohms()
+            / impedance_magnitude(&p, Frequency::from_hz(f_res.hertz() * 3.0)).ohms();
+        let ripple_ratio = on_peak / off_peak;
+        assert!(
+            (ripple_ratio / z_ratio - 1.0).abs() < 0.35,
+            "time-domain ratio {ripple_ratio:.2} vs |Z| ratio {z_ratio:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn profile_needs_points() {
+        impedance_profile(&pdn(), Frequency::from_mhz(1.0), Frequency::from_mhz(2.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad search bounds")]
+    fn peak_bounds_checked() {
+        impedance_peak(&pdn(), Frequency::from_mhz(2.0), Frequency::from_mhz(1.0));
+    }
+}

@@ -1,0 +1,408 @@
+//! Synthetic supply-noise generators.
+//!
+//! The paper measures its sensor against noisy `VDD-n` / `GND-n` rails
+//! produced by a loaded power grid. This module synthesises the standard
+//! PSN ingredients directly, for tests and experiments that need a known
+//! ground truth:
+//!
+//! * **static IR drop** — a constant offset below nominal;
+//! * **resonance** — the mid-frequency (tens–hundreds of MHz) sinusoid of
+//!   the package-L / die-C tank;
+//! * **di/dt droop events** — exponentially damped rings triggered by
+//!   load steps;
+//! * **broadband noise** — seeded uniform jitter.
+//!
+//! All components compose through [`SupplyNoiseBuilder`] into a single
+//! [`Waveform`] in volts.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::units::{Frequency, Time, Voltage};
+//! use psnt_pdn::sources::SupplyNoiseBuilder;
+//!
+//! let vdd = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+//!     .span(Time::ZERO, Time::from_ns(200.0))
+//!     .ir_drop(Voltage::from_mv(20.0))
+//!     .resonance(Frequency::from_mhz(100.0), Voltage::from_mv(30.0), 0.0)
+//!     .build()?;
+//! assert!(vdd.min_value() < 1.0 - 0.019);
+//! # Ok::<(), psnt_pdn::error::PdnError>(())
+//! ```
+
+use std::f64::consts::TAU;
+
+use psnt_cells::units::{Frequency, Time, Voltage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::PdnError;
+use crate::waveform::Waveform;
+
+/// One additive noise component (deviation from nominal, in volts).
+#[derive(Debug, Clone)]
+enum Component {
+    IrDrop(f64),
+    Ramp { to: f64, start: Time, end: Time },
+    Resonance { freq_hz: f64, amp: f64, phase: f64 },
+    Droop { at: Time, depth: f64, tau: Time, ring_hz: f64 },
+    Overshoot { at: Time, height: f64, tau: Time },
+}
+
+impl Component {
+    fn eval(&self, t: Time) -> f64 {
+        match *self {
+            Component::IrDrop(v) => -v,
+            Component::Ramp { to, start, end } => {
+                if t <= start {
+                    0.0
+                } else if t >= end {
+                    to
+                } else {
+                    to * ((t - start) / (end - start))
+                }
+            }
+            Component::Resonance { freq_hz, amp, phase } => {
+                amp * (TAU * freq_hz * t.seconds() + phase).sin()
+            }
+            Component::Droop { at, depth, tau, ring_hz } => {
+                if t < at {
+                    0.0
+                } else {
+                    // Damped ring: full `depth` dip at the event, decaying
+                    // cosine afterwards.
+                    let dt = t - at;
+                    let envelope = (-(dt / tau)).exp();
+                    -depth * envelope * (TAU * ring_hz * dt.seconds()).cos()
+                }
+            }
+            Component::Overshoot { at, height, tau } => {
+                if t < at {
+                    0.0
+                } else {
+                    height * (-((t - at) / tau)).exp()
+                }
+            }
+        }
+    }
+}
+
+/// Builder composing noise components onto a nominal rail voltage.
+#[derive(Debug, Clone)]
+pub struct SupplyNoiseBuilder {
+    nominal: Voltage,
+    start: Time,
+    end: Time,
+    resolution: Time,
+    components: Vec<Component>,
+    white: Option<(f64, u64)>,
+}
+
+impl SupplyNoiseBuilder {
+    /// Starts a builder around a nominal rail level; the default span is
+    /// 0–1 µs at 100 ps resolution.
+    pub fn new(nominal: Voltage) -> SupplyNoiseBuilder {
+        SupplyNoiseBuilder {
+            nominal,
+            start: Time::ZERO,
+            end: Time::from_us(1.0),
+            resolution: Time::from_ps(100.0),
+            components: Vec::new(),
+            white: None,
+        }
+    }
+
+    /// Sets the time span of the generated waveform.
+    pub fn span(mut self, start: Time, end: Time) -> SupplyNoiseBuilder {
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Sets the sampling resolution (breakpoint spacing).
+    pub fn resolution(mut self, dt: Time) -> SupplyNoiseBuilder {
+        self.resolution = dt;
+        self
+    }
+
+    /// Adds a static IR drop (constant reduction).
+    pub fn ir_drop(mut self, drop: Voltage) -> SupplyNoiseBuilder {
+        self.components.push(Component::IrDrop(drop.volts()));
+        self
+    }
+
+    /// Adds a linear drift reaching `delta` (signed) between `start` and
+    /// `end`, held afterwards — models a slow thermal/regulator drift or a
+    /// commanded DVFS ramp.
+    pub fn ramp(mut self, delta: Voltage, start: Time, end: Time) -> SupplyNoiseBuilder {
+        self.components.push(Component::Ramp {
+            to: delta.volts(),
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Adds a sustained sinusoid at the package-resonance frequency.
+    pub fn resonance(mut self, freq: Frequency, amplitude: Voltage, phase: f64) -> SupplyNoiseBuilder {
+        self.components.push(Component::Resonance {
+            freq_hz: freq.hertz(),
+            amp: amplitude.volts(),
+            phase,
+        });
+        self
+    }
+
+    /// Adds an `L·di/dt` droop event: a dip of `depth` at `at`, recovering
+    /// with time constant `tau` while ringing at `ring` (first droop lobe
+    /// modelled; decaying cosine envelope).
+    pub fn droop(
+        mut self,
+        at: Time,
+        depth: Voltage,
+        tau: Time,
+        ring: Frequency,
+    ) -> SupplyNoiseBuilder {
+        self.components.push(Component::Droop {
+            at,
+            depth: depth.volts(),
+            tau,
+            ring_hz: ring.hertz(),
+        });
+        self
+    }
+
+    /// Adds a recovery overshoot (positive exponential pulse) — what a
+    /// sudden load *release* does to the rail.
+    pub fn overshoot(mut self, at: Time, height: Voltage, tau: Time) -> SupplyNoiseBuilder {
+        self.components.push(Component::Overshoot {
+            at,
+            height: height.volts(),
+            tau,
+        });
+        self
+    }
+
+    /// Adds seeded uniform broadband noise in `[-amplitude, +amplitude]`.
+    pub fn white_noise(mut self, amplitude: Voltage, seed: u64) -> SupplyNoiseBuilder {
+        self.white = Some((amplitude.volts(), seed));
+        self
+    }
+
+    /// Generates the composite waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidParameter`] for a non-positive span or
+    /// resolution.
+    pub fn build(self) -> Result<Waveform, PdnError> {
+        if self.end <= self.start {
+            return Err(PdnError::InvalidParameter {
+                name: "span",
+                reason: format!("end {} must exceed start {}", self.end, self.start),
+            });
+        }
+        if self.resolution <= Time::ZERO {
+            return Err(PdnError::InvalidParameter {
+                name: "resolution",
+                reason: "must be positive".into(),
+            });
+        }
+        let n = ((self.end - self.start) / self.resolution).ceil() as usize;
+        let n = n.max(1);
+        let mut rng = self.white.map(|(amp, seed)| (amp, StdRng::seed_from_u64(seed)));
+        let nominal = self.nominal.volts();
+        let components = self.components;
+        Waveform::sample_fn(self.start, self.end, n, move |t| {
+            let mut v = nominal;
+            for c in &components {
+                v += c.eval(t);
+            }
+            if let Some((amp, rng)) = rng.as_mut() {
+                v += rng.gen_range(-*amp..=*amp);
+            }
+            v
+        })
+    }
+}
+
+/// A ground-bounce waveform: nominal 0 V plus a *positive* resonance and
+/// optional bounce events (the LOW-SENSE array of the paper measures this
+/// rail). Returns volts above true ground.
+///
+/// # Errors
+///
+/// Propagates waveform construction failures.
+pub fn ground_bounce(
+    span_end: Time,
+    resonance_freq: Frequency,
+    amplitude: Voltage,
+    seed: u64,
+) -> Result<Waveform, PdnError> {
+    SupplyNoiseBuilder::new(Voltage::ZERO)
+        .span(Time::ZERO, span_end)
+        .resonance(resonance_freq, amplitude, 0.0)
+        .white_noise(amplitude * 0.1, seed)
+        .build()
+        // Ground bounce is referenced upward: |deviation| above 0 V.
+        .map(|w| w.map(f64::abs))
+}
+
+/// A step between two supply levels at `at` — the simplest Fig. 3-style
+/// stimulus (first measure at `v0`, second at `v1`).
+///
+/// # Errors
+///
+/// Returns [`PdnError::InvalidParameter`] when `at` is not inside
+/// `(0, end)`.
+pub fn supply_step(v0: Voltage, v1: Voltage, at: Time, end: Time) -> Result<Waveform, PdnError> {
+    if at <= Time::ZERO || at >= end {
+        return Err(PdnError::InvalidParameter {
+            name: "at",
+            reason: format!("step instant {at} must lie inside (0, {end})"),
+        });
+    }
+    // A 1 ps transition edge keeps the waveform strictly increasing in time.
+    let eps = Time::from_ps(1.0);
+    Waveform::from_points(vec![
+        (Time::ZERO, v0.volts()),
+        (at, v0.volts()),
+        (at + eps, v1.volts()),
+        (end, v1.volts()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(t: f64) -> Time {
+        Time::from_ns(t)
+    }
+
+    fn mv(v: f64) -> Voltage {
+        Voltage::from_mv(v)
+    }
+
+    #[test]
+    fn ir_drop_shifts_mean() {
+        let w = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+            .span(Time::ZERO, ns(100.0))
+            .ir_drop(mv(25.0))
+            .build()
+            .unwrap();
+        assert!((w.sample(ns(50.0)) - 0.975).abs() < 1e-12);
+        assert!(w.is_constant() || w.len() > 1);
+    }
+
+    #[test]
+    fn resonance_oscillates_around_nominal() {
+        let w = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+            .span(Time::ZERO, ns(100.0))
+            .resolution(Time::from_ps(50.0))
+            .resonance(Frequency::from_mhz(100.0), mv(30.0), 0.0)
+            .build()
+            .unwrap();
+        assert!(w.max_value() > 1.025);
+        assert!(w.min_value() < 0.975);
+        let mean = w.mean_over(Time::ZERO, ns(100.0)); // 10 full periods
+        assert!((mean - 1.0).abs() < 2e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn droop_event_dips_then_recovers() {
+        let w = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+            .span(Time::ZERO, ns(200.0))
+            .resolution(Time::from_ps(100.0))
+            .droop(ns(50.0), mv(80.0), ns(10.0), Frequency::from_mhz(150.0))
+            .build()
+            .unwrap();
+        // Before the event: clean nominal.
+        assert!((w.sample(ns(40.0)) - 1.0).abs() < 1e-9);
+        // Right after: a significant dip.
+        assert!(w.min_over(ns(50.0), ns(60.0)) < 0.94);
+        // Long after: recovered.
+        assert!((w.sample(ns(190.0)) - 1.0).abs() < 0.005);
+    }
+
+    #[test]
+    fn overshoot_rises_then_recovers() {
+        let w = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+            .span(Time::ZERO, ns(200.0))
+            .overshoot(ns(50.0), mv(50.0), ns(15.0))
+            .build()
+            .unwrap();
+        assert!(w.max_over(ns(50.0), ns(60.0)) > 1.03);
+        assert!((w.sample(ns(195.0)) - 1.0).abs() < 0.005);
+    }
+
+    #[test]
+    fn ramp_reaches_target_and_holds() {
+        let w = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+            .span(Time::ZERO, ns(100.0))
+            .ramp(mv(-100.0), ns(20.0), ns(60.0))
+            .build()
+            .unwrap();
+        assert!((w.sample(ns(10.0)) - 1.0).abs() < 1e-9);
+        assert!((w.sample(ns(40.0)) - 0.95).abs() < 2e-3);
+        assert!((w.sample(ns(80.0)) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn white_noise_is_seeded_and_bounded() {
+        let build = |seed| {
+            SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+                .span(Time::ZERO, ns(100.0))
+                .white_noise(mv(10.0), seed)
+                .build()
+                .unwrap()
+        };
+        let a = build(1);
+        let b = build(1);
+        let c = build(2);
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_ne!(a, c, "different seeds must differ");
+        assert!(a.max_value() <= 1.010 + 1e-12);
+        assert!(a.min_value() >= 0.990 - 1e-12);
+    }
+
+    #[test]
+    fn components_compose_additively() {
+        let w = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+            .span(Time::ZERO, ns(100.0))
+            .ir_drop(mv(20.0))
+            .ramp(mv(-30.0), ns(0.0), ns(100.0))
+            .build()
+            .unwrap();
+        // At the end: 1.0 − 0.02 − 0.03.
+        assert!((w.sample(ns(100.0)) - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_spans_rejected() {
+        assert!(SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+            .span(ns(10.0), ns(10.0))
+            .build()
+            .is_err());
+        assert!(SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+            .resolution(Time::ZERO)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn supply_step_profile() {
+        let w = supply_step(Voltage::from_v(1.0), Voltage::from_v(0.9), ns(50.0), ns(100.0)).unwrap();
+        assert_eq!(w.sample(ns(25.0)), 1.0);
+        assert_eq!(w.sample(ns(75.0)), 0.9);
+        assert!(supply_step(Voltage::from_v(1.0), Voltage::from_v(0.9), Time::ZERO, ns(100.0)).is_err());
+        assert!(supply_step(Voltage::from_v(1.0), Voltage::from_v(0.9), ns(100.0), ns(100.0)).is_err());
+    }
+
+    #[test]
+    fn ground_bounce_non_negative() {
+        let w = ground_bounce(ns(100.0), Frequency::from_mhz(120.0), mv(40.0), 3).unwrap();
+        assert!(w.min_value() >= 0.0);
+        assert!(w.max_value() > 0.03);
+    }
+}

@@ -1,0 +1,396 @@
+//! Piecewise-linear analog waveforms.
+//!
+//! The sensor under reproduction observes a continuously varying supply
+//! voltage `VDD-n(t)` (or ground `GND-n(t)`). A [`Waveform`] represents
+//! such a signal as time-sorted breakpoints with linear interpolation —
+//! sufficient for every behaviour the paper exercises (IR drop steps,
+//! di/dt droops, package resonance) and cheap to sample at the sensor's
+//! SENSE instants.
+//!
+//! The y-axis is a bare `f64`; its unit is set by context (volts for
+//! supply waveforms, amperes for load-current profiles). Constructors on
+//! higher-level APIs take and return typed quantities at the boundary.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::units::Time;
+//! use psnt_pdn::waveform::Waveform;
+//!
+//! let w = Waveform::from_points(vec![
+//!     (Time::ZERO, 1.0),
+//!     (Time::from_ns(10.0), 0.9),
+//!     (Time::from_ns(20.0), 1.0),
+//! ])?;
+//! assert_eq!(w.sample(Time::from_ns(5.0)), 0.95);
+//! assert_eq!(w.min_over(Time::ZERO, Time::from_ns(20.0)), 0.9);
+//! # Ok::<(), psnt_pdn::error::PdnError>(())
+//! ```
+
+use psnt_cells::units::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PdnError;
+
+/// A piecewise-linear waveform: y(t) interpolated between sorted
+/// breakpoints and clamped to the first/last value outside them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveform {
+    points: Vec<(Time, f64)>,
+}
+
+impl Waveform {
+    /// A constant waveform.
+    pub fn constant(value: f64) -> Waveform {
+        Waveform {
+            points: vec![(Time::ZERO, value)],
+        }
+    }
+
+    /// Builds a waveform from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidWaveform`] when `points` is empty, not
+    /// strictly increasing in time, or contains a non-finite value.
+    pub fn from_points(points: Vec<(Time, f64)>) -> Result<Waveform, PdnError> {
+        if points.is_empty() {
+            return Err(PdnError::InvalidWaveform("no breakpoints".into()));
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(PdnError::InvalidWaveform(format!(
+                    "breakpoints not strictly increasing at {}",
+                    w[1].0
+                )));
+            }
+        }
+        if points.iter().any(|(t, y)| !t.is_finite() || !y.is_finite()) {
+            return Err(PdnError::InvalidWaveform("non-finite breakpoint".into()));
+        }
+        Ok(Waveform { points })
+    }
+
+    /// Samples a closure on a regular grid of `n + 1` points across
+    /// `[start, end]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidWaveform`] when `n == 0`, the interval is
+    /// empty, or `f` produces non-finite values.
+    pub fn sample_fn<F: FnMut(Time) -> f64>(
+        start: Time,
+        end: Time,
+        n: usize,
+        mut f: F,
+    ) -> Result<Waveform, PdnError> {
+        if n == 0 || end <= start {
+            return Err(PdnError::InvalidWaveform(
+                "sampling needs n >= 1 and end > start".into(),
+            ));
+        }
+        let mut points = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let t = start.lerp(end, i as f64 / n as f64);
+            points.push((t, f(t)));
+        }
+        Waveform::from_points(points)
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(Time, f64)] {
+        &self.points
+    }
+
+    /// First breakpoint time.
+    pub fn start(&self) -> Time {
+        self.points[0].0
+    }
+
+    /// Last breakpoint time.
+    pub fn end(&self) -> Time {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Linear interpolation at `t`, clamped outside the breakpoints.
+    pub fn sample(&self, t: Time) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        let last = pts.len() - 1;
+        if t >= pts[last].0 {
+            return pts[last].1;
+        }
+        let idx = pts.partition_point(|(pt, _)| *pt <= t);
+        let (t0, y0) = pts[idx - 1];
+        let (t1, y1) = pts[idx];
+        let frac = (t - t0) / (t1 - t0);
+        y0 + (y1 - y0) * frac
+    }
+
+    /// Minimum over `[from, to]`, considering interior breakpoints and the
+    /// clamped interval ends.
+    pub fn min_over(&self, from: Time, to: Time) -> f64 {
+        self.extreme_over(from, to, f64::min)
+    }
+
+    /// Maximum over `[from, to]`.
+    pub fn max_over(&self, from: Time, to: Time) -> f64 {
+        self.extreme_over(from, to, f64::max)
+    }
+
+    fn extreme_over(&self, from: Time, to: Time, pick: fn(f64, f64) -> f64) -> f64 {
+        assert!(to >= from, "empty interval");
+        let mut acc = pick(self.sample(from), self.sample(to));
+        for &(t, y) in &self.points {
+            if t > from && t < to {
+                acc = pick(acc, y);
+            }
+        }
+        acc
+    }
+
+    /// Mean value over `[from, to]` (exact for the piecewise-linear form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to <= from`.
+    pub fn mean_over(&self, from: Time, to: Time) -> f64 {
+        assert!(to > from, "empty interval");
+        // Integrate trapezoid segments between consecutive knots.
+        let mut knots: Vec<Time> = vec![from];
+        for &(t, _) in &self.points {
+            if t > from && t < to {
+                knots.push(t);
+            }
+        }
+        knots.push(to);
+        let mut area = 0.0;
+        for w in knots.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let dt = (b - a).picoseconds();
+            area += 0.5 * (self.sample(a) + self.sample(b)) * dt;
+        }
+        area / (to - from).picoseconds()
+    }
+
+    /// Applies `f` to every breakpoint value.
+    #[must_use]
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Waveform {
+        Waveform {
+            points: self.points.iter().map(|&(t, y)| (t, f(y))).collect(),
+        }
+    }
+
+    /// Scales all values by `k`.
+    #[must_use]
+    pub fn scale(&self, k: f64) -> Waveform {
+        self.map(|y| y * k)
+    }
+
+    /// Offsets all values by `dy`.
+    #[must_use]
+    pub fn offset(&self, dy: f64) -> Waveform {
+        self.map(|y| y + dy)
+    }
+
+    /// Shifts the waveform in time by `dt`.
+    #[must_use]
+    pub fn shift(&self, dt: Time) -> Waveform {
+        Waveform {
+            points: self.points.iter().map(|&(t, y)| (t + dt, y)).collect(),
+        }
+    }
+
+    /// Point-wise sum with `other`, on the union of both breakpoint sets
+    /// (exact: the sum of two PWL functions is PWL on merged knots).
+    #[must_use]
+    pub fn add(&self, other: &Waveform) -> Waveform {
+        let mut times: Vec<Time> = self
+            .points
+            .iter()
+            .map(|&(t, _)| t)
+            .chain(other.points.iter().map(|&(t, _)| t))
+            .collect();
+        times.sort_by(Time::total_cmp);
+        times.dedup_by(|a, b| a == b);
+        Waveform {
+            points: times
+                .into_iter()
+                .map(|t| (t, self.sample(t) + other.sample(t)))
+                .collect(),
+        }
+    }
+
+    /// Global minimum across all breakpoints.
+    pub fn min_value(&self) -> f64 {
+        self.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Global maximum across all breakpoints.
+    pub fn max_value(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Number of breakpoints.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the waveform has a single breakpoint (constant).
+    pub fn is_constant(&self) -> bool {
+        self.points.len() == 1
+    }
+
+    /// Always `false`: construction guarantees at least one breakpoint.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ns(t: f64) -> Time {
+        Time::from_ns(t)
+    }
+
+    fn vee() -> Waveform {
+        Waveform::from_points(vec![(ns(0.0), 1.0), (ns(10.0), 0.9), (ns(20.0), 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Waveform::from_points(vec![]).is_err());
+        assert!(Waveform::from_points(vec![(ns(1.0), 1.0), (ns(1.0), 2.0)]).is_err());
+        assert!(Waveform::from_points(vec![(ns(2.0), 1.0), (ns(1.0), 2.0)]).is_err());
+        assert!(Waveform::from_points(vec![(ns(0.0), f64::NAN)]).is_err());
+        assert!(Waveform::from_points(vec![(ns(0.0), 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn sampling_interpolates_and_clamps() {
+        let w = vee();
+        assert_eq!(w.sample(ns(-5.0)), 1.0);
+        assert_eq!(w.sample(ns(0.0)), 1.0);
+        assert!((w.sample(ns(5.0)) - 0.95).abs() < 1e-12);
+        assert_eq!(w.sample(ns(10.0)), 0.9);
+        assert!((w.sample(ns(15.0)) - 0.95).abs() < 1e-12);
+        assert_eq!(w.sample(ns(25.0)), 1.0);
+    }
+
+    #[test]
+    fn constant_waveform() {
+        let w = Waveform::constant(0.95);
+        assert!(w.is_constant());
+        assert_eq!(w.sample(ns(-1.0)), 0.95);
+        assert_eq!(w.sample(ns(100.0)), 0.95);
+        assert_eq!(w.min_value(), 0.95);
+        assert_eq!(w.max_value(), 0.95);
+    }
+
+    #[test]
+    fn extremes_over_interval() {
+        let w = vee();
+        assert_eq!(w.min_over(ns(0.0), ns(20.0)), 0.9);
+        assert_eq!(w.max_over(ns(0.0), ns(20.0)), 1.0);
+        // Interval missing the dip bottom: min at clamped ends.
+        assert!((w.min_over(ns(0.0), ns(5.0)) - 0.95).abs() < 1e-12);
+        // Degenerate interval.
+        assert!((w.min_over(ns(5.0), ns(5.0)) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_symmetric_vee_is_midway() {
+        let w = vee();
+        let mean = w.mean_over(ns(0.0), ns(20.0));
+        assert!((mean - 0.95).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn map_scale_offset_shift() {
+        let w = vee();
+        assert!((w.scale(2.0).sample(ns(10.0)) - 1.8).abs() < 1e-12);
+        assert!((w.offset(0.1).sample(ns(10.0)) - 1.0).abs() < 1e-12);
+        let shifted = w.shift(ns(5.0));
+        assert_eq!(shifted.sample(ns(15.0)), 0.9);
+        assert_eq!(shifted.start(), ns(5.0));
+        assert_eq!(shifted.end(), ns(25.0));
+    }
+
+    #[test]
+    fn add_merges_breakpoints_exactly() {
+        let a = Waveform::from_points(vec![(ns(0.0), 1.0), (ns(10.0), 0.0)]).unwrap();
+        let b = Waveform::from_points(vec![(ns(5.0), 0.0), (ns(15.0), 1.0)]).unwrap();
+        let sum = a.add(&b);
+        // Knots from both waveforms are present.
+        assert_eq!(sum.len(), 4);
+        for t in [0.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0] {
+            let expect = a.sample(ns(t)) + b.sample(ns(t));
+            assert!((sum.sample(ns(t)) - expect).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn never_empty_after_construction() {
+        assert!(!Waveform::constant(1.0).is_empty());
+        assert!(!vee().is_empty());
+    }
+
+    #[test]
+    fn sample_fn_grid() {
+        let w = Waveform::sample_fn(ns(0.0), ns(1.0), 10, |t| t.nanoseconds()).unwrap();
+        assert_eq!(w.len(), 11);
+        assert!((w.sample(ns(0.55)) - 0.55).abs() < 1e-9);
+        assert!(Waveform::sample_fn(ns(0.0), ns(1.0), 0, |_| 0.0).is_err());
+        assert!(Waveform::sample_fn(ns(1.0), ns(1.0), 5, |_| 0.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn sample_within_bounds(ts in proptest::collection::vec(0.0..100.0f64, 2..20),
+                                q in 0.0..1.0f64) {
+            let mut times: Vec<f64> = ts;
+            times.sort_by(f64::total_cmp);
+            times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            prop_assume!(times.len() >= 2);
+            let points: Vec<(Time, f64)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (ns(t), (i as f64 * 0.37).sin()))
+                .collect();
+            let w = Waveform::from_points(points).unwrap();
+            let t = w.start().lerp(w.end(), q);
+            let y = w.sample(t);
+            prop_assert!(y >= w.min_value() - 1e-9);
+            prop_assert!(y <= w.max_value() + 1e-9);
+        }
+
+        #[test]
+        fn add_commutes(o in -1.0..1.0f64) {
+            let a = vee();
+            let b = vee().offset(o).shift(ns(3.0));
+            let ab = a.add(&b);
+            let ba = b.add(&a);
+            for t in [0.0, 3.0, 7.0, 13.0, 23.0] {
+                prop_assert!((ab.sample(ns(t)) - ba.sample(ns(t))).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn mean_between_min_and_max(lo in 0.0..9.0f64, span in 1.0..10.0f64) {
+            let w = vee();
+            let from = ns(lo);
+            let to = ns(lo + span);
+            let mean = w.mean_over(from, to);
+            prop_assert!(mean >= w.min_over(from, to) - 1e-9);
+            prop_assert!(mean <= w.max_over(from, to) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Load-current profiles of the circuit under test.
+//!
+//! The PSN a sensor sees is driven by what the CUT *does*: pipelines
+//! issuing bursts, clock gates opening, units powering up. These
+//! generators produce per-time current draws (amperes) to feed
+//! [`crate::rlc::LumpedPdn::transient`] or
+//! [`crate::grid::PowerGrid::quasi_static_transient`].
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::units::{Current, Time};
+//! use psnt_pdn::workload::WorkloadBuilder;
+//!
+//! let load = WorkloadBuilder::new(Current::from_a(0.3))
+//!     .span(Time::ZERO, Time::from_ns(500.0))
+//!     .burst(Time::from_ns(100.0), Time::from_ns(50.0), Current::from_a(1.2))
+//!     .build()?;
+//! assert!(load.sample(Time::from_ns(120.0)) > load.sample(Time::from_ns(50.0)));
+//! # Ok::<(), psnt_pdn::error::PdnError>(())
+//! ```
+
+use psnt_cells::units::{Current, Frequency, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::PdnError;
+use crate::waveform::Waveform;
+
+/// One workload feature over the base draw.
+#[derive(Debug, Clone)]
+enum Feature {
+    Burst { start: Time, duration: Time, peak: f64 },
+    Step { at: Time, to: f64 },
+    Periodic { period: Time, duty: f64, peak: f64 },
+}
+
+/// Builder for synthetic CUT current profiles.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    base: f64,
+    start: Time,
+    end: Time,
+    resolution: Time,
+    features: Vec<Feature>,
+    activity: Option<(f64, u64, Time)>,
+}
+
+impl WorkloadBuilder {
+    /// Starts from a constant base (leakage + idle clocking) draw. The
+    /// default span is 0–1 µs at 500 ps resolution.
+    pub fn new(base: Current) -> WorkloadBuilder {
+        WorkloadBuilder {
+            base: base.amps(),
+            start: Time::ZERO,
+            end: Time::from_us(1.0),
+            resolution: Time::from_ps(500.0),
+            features: Vec::new(),
+            activity: None,
+        }
+    }
+
+    /// Sets the generated span.
+    pub fn span(mut self, start: Time, end: Time) -> WorkloadBuilder {
+        self.start = start;
+        self.end = end;
+        self
+    }
+
+    /// Sets the sample resolution.
+    pub fn resolution(mut self, dt: Time) -> WorkloadBuilder {
+        self.resolution = dt;
+        self
+    }
+
+    /// Adds a rectangular compute burst: the draw rises to `peak` for
+    /// `duration` starting at `start`.
+    pub fn burst(mut self, start: Time, duration: Time, peak: Current) -> WorkloadBuilder {
+        self.features.push(Feature::Burst {
+            start,
+            duration,
+            peak: peak.amps(),
+        });
+        self
+    }
+
+    /// Adds a persistent level change at `at` (e.g. a clock gate opening).
+    pub fn step(mut self, at: Time, to: Current) -> WorkloadBuilder {
+        self.features.push(Feature::Step { at, to: to.amps() });
+        self
+    }
+
+    /// Adds a periodic draw at `freq` with the given duty cycle and peak —
+    /// the signature of a loop executing at a fixed cadence (the stimulus
+    /// that excites package resonance hardest when `freq` matches it).
+    pub fn periodic(mut self, freq: Frequency, duty: f64, peak: Current) -> WorkloadBuilder {
+        self.features.push(Feature::Periodic {
+            period: Time::period_of(freq),
+            duty: duty.clamp(0.0, 1.0),
+            peak: peak.amps(),
+        });
+        self
+    }
+
+    /// Adds per-sample random activity: instruction-level current noise
+    /// uniform in `[0, amplitude]`, re-rolled every `granularity`.
+    pub fn random_activity(
+        mut self,
+        amplitude: Current,
+        granularity: Time,
+        seed: u64,
+    ) -> WorkloadBuilder {
+        self.activity = Some((amplitude.amps(), seed, granularity));
+        self
+    }
+
+    /// Generates the profile (amperes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidParameter`] for a non-positive span or
+    /// resolution.
+    pub fn build(self) -> Result<Waveform, PdnError> {
+        if self.end <= self.start {
+            return Err(PdnError::InvalidParameter {
+                name: "span",
+                reason: "end must exceed start".into(),
+            });
+        }
+        if self.resolution <= Time::ZERO {
+            return Err(PdnError::InvalidParameter {
+                name: "resolution",
+                reason: "must be positive".into(),
+            });
+        }
+        let n = (((self.end - self.start) / self.resolution).ceil() as usize).max(1);
+        let base = self.base;
+        let features = self.features;
+        let mut act = self.activity.map(|(amp, seed, gran)| {
+            (amp, StdRng::seed_from_u64(seed), gran, Time::from_seconds(-1.0), 0.0)
+        });
+        let start = self.start;
+        Waveform::sample_fn(self.start, self.end, n, move |t| {
+            let mut i = base;
+            for f in &features {
+                match *f {
+                    Feature::Burst { start, duration, peak } => {
+                        if t >= start && t < start + duration {
+                            i = i.max(peak);
+                        }
+                    }
+                    Feature::Step { at, to } => {
+                        if t >= at {
+                            i = to.max(i - base + to); // re-base subsequent features
+                        }
+                    }
+                    Feature::Periodic { period, duty, peak } => {
+                        let phase = ((t - start) / period).fract();
+                        if phase < duty {
+                            i = i.max(peak);
+                        }
+                    }
+                }
+            }
+            if let Some((amp, rng, gran, last, held)) = act.as_mut() {
+                if t - *last >= *gran {
+                    *held = rng.gen_range(0.0..=*amp);
+                    *last = t;
+                }
+                i += *held;
+            }
+            i
+        })
+    }
+}
+
+/// A canonical "CPU runs a hot loop" profile: base draw, random
+/// instruction activity, and a periodic burst train at `loop_freq`
+/// (maximally excites the PDN when tuned to its resonance).
+///
+/// # Errors
+///
+/// Propagates builder validation.
+pub fn resonant_loop(
+    base: Current,
+    peak: Current,
+    loop_freq: Frequency,
+    end: Time,
+    seed: u64,
+) -> Result<Waveform, PdnError> {
+    WorkloadBuilder::new(base)
+        .span(Time::ZERO, end)
+        .resolution(Time::period_of(loop_freq) / 20.0)
+        .periodic(loop_freq, 0.5, peak)
+        .random_activity(base * 0.2, Time::from_ns(1.0), seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(t: f64) -> Time {
+        Time::from_ns(t)
+    }
+
+    fn a(x: f64) -> Current {
+        Current::from_a(x)
+    }
+
+    #[test]
+    fn base_level_everywhere_without_features() {
+        let w = WorkloadBuilder::new(a(0.25))
+            .span(Time::ZERO, ns(100.0))
+            .build()
+            .unwrap();
+        assert!((w.min_value() - 0.25).abs() < 1e-12);
+        assert!((w.max_value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_raises_draw_within_interval_only() {
+        let w = WorkloadBuilder::new(a(0.2))
+            .span(Time::ZERO, ns(300.0))
+            .resolution(Time::from_ps(500.0))
+            .burst(ns(100.0), ns(50.0), a(1.0))
+            .build()
+            .unwrap();
+        assert!((w.sample(ns(50.0)) - 0.2).abs() < 1e-9);
+        assert!((w.sample(ns(120.0)) - 1.0).abs() < 1e-9);
+        assert!((w.sample(ns(200.0)) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_changes_level_permanently() {
+        let w = WorkloadBuilder::new(a(0.2))
+            .span(Time::ZERO, ns(200.0))
+            .step(ns(80.0), a(0.9))
+            .build()
+            .unwrap();
+        assert!((w.sample(ns(40.0)) - 0.2).abs() < 1e-9);
+        assert!((w.sample(ns(100.0)) - 0.9).abs() < 1e-9);
+        assert!((w.sample(ns(199.0)) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_duty_cycle() {
+        let w = WorkloadBuilder::new(a(0.1))
+            .span(Time::ZERO, ns(200.0))
+            .resolution(Time::from_ps(250.0))
+            .periodic(Frequency::from_mhz(50.0), 0.5, a(0.8))
+            .build()
+            .unwrap();
+        // Period 20 ns: first 10 ns high, next 10 ns low.
+        assert!((w.sample(ns(4.0)) - 0.8).abs() < 1e-9);
+        assert!((w.sample(ns(15.0)) - 0.1).abs() < 1e-9);
+        assert!((w.sample(ns(24.0)) - 0.8).abs() < 1e-9);
+        // Mean ≈ duty-weighted average.
+        let mean = w.mean_over(Time::ZERO, ns(200.0));
+        assert!((mean - 0.45).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn random_activity_seeded_and_bounded() {
+        let build = |seed| {
+            WorkloadBuilder::new(a(0.3))
+                .span(Time::ZERO, ns(100.0))
+                .random_activity(a(0.2), ns(2.0), seed)
+                .build()
+                .unwrap()
+        };
+        let w1 = build(9);
+        let w2 = build(9);
+        let w3 = build(10);
+        assert_eq!(w1, w2);
+        assert_ne!(w1, w3);
+        assert!(w1.min_value() >= 0.3 - 1e-12);
+        assert!(w1.max_value() <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn resonant_loop_profile() {
+        let w = resonant_loop(a(0.2), a(1.0), Frequency::from_mhz(50.0), ns(400.0), 1).unwrap();
+        assert!(w.max_value() >= 1.0);
+        assert!(w.min_value() >= 0.2 - 1e-12);
+        // It must actually oscillate: many transitions above/below midline.
+        let mid = 0.6;
+        let crossings = w
+            .points()
+            .windows(2)
+            .filter(|p| (p[0].1 < mid) != (p[1].1 < mid))
+            .count();
+        assert!(crossings > 20, "only {crossings} crossings");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(WorkloadBuilder::new(a(0.1))
+            .span(ns(10.0), ns(10.0))
+            .build()
+            .is_err());
+        assert!(WorkloadBuilder::new(a(0.1))
+            .resolution(Time::ZERO)
+            .build()
+            .is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! Measurement campaigns: many sensors, many instants, one noise map.
+//!
+//! A [`Campaign`] wires the pieces together the way the paper's Fig. 6
+//! system would be deployed: per-tile supply waveforms come from the
+//! power grid under a workload, each instrumented site measures them
+//! with its own array at the campaign's sampling cadence, and every
+//! sampling instant's codes are serialized through the scan chain — "a
+//! PSN scan chain" in operation.
+//!
+//! # Examples
+//!
+//! See `examples/noise_map.rs` for the end-to-end flow; unit tests below
+//! exercise the pieces on a small grid.
+
+use psnt_cells::units::{Time, Voltage};
+use psnt_core::code::ThermometerCode;
+use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
+use psnt_pdn::waveform::Waveform;
+use serde::{Deserialize, Serialize};
+
+use crate::chain::ScanChain;
+use crate::error::ScanError;
+use crate::floorplan::Floorplan;
+
+/// One site's measurement series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSeries {
+    /// Tile index of the site.
+    pub tile: usize,
+    /// Site instance name.
+    pub name: String,
+    /// Measurements in time order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl SiteSeries {
+    /// The worst (minimum) HS level observed — the site's deepest droop.
+    pub fn worst_level(&self) -> usize {
+        self.measurements
+            .iter()
+            .map(|m| m.hs_word.level)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Mean HS level across the series.
+    pub fn mean_level(&self) -> f64 {
+        if self.measurements.is_empty() {
+            return 0.0;
+        }
+        self.measurements
+            .iter()
+            .map(|m| m.hs_word.level as f64)
+            .sum::<f64>()
+            / self.measurements.len() as f64
+    }
+
+    /// The lowest decoded supply estimate (interval midpoints only).
+    pub fn worst_voltage(&self) -> Option<Voltage> {
+        self.measurements
+            .iter()
+            .filter_map(|m| m.hs_interval.midpoint())
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// The worst (minimum) LS level observed — the deepest ground bounce.
+    pub fn worst_ls_level(&self) -> usize {
+        self.measurements
+            .iter()
+            .map(|m| m.ls_word.level)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The highest decoded ground-bounce estimate (interval midpoints
+    /// only).
+    pub fn worst_bounce(&self) -> Option<Voltage> {
+        self.measurements
+            .iter()
+            .filter_map(|m| m.ls_interval.midpoint())
+            .max_by(|a, b| a.total_cmp(b))
+    }
+}
+
+/// The result of a campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Per-site series, in floorplan site order.
+    pub sites: Vec<SiteSeries>,
+    /// Sampling instants shared by all sites.
+    pub instants: Vec<Time>,
+    /// One serialized scan frame per instant.
+    pub frames: Vec<psnt_cells::logic::LogicVector>,
+}
+
+impl CampaignResult {
+    /// The spatial noise map: `(tile, worst level, mean level)` per site.
+    pub fn noise_map(&self) -> Vec<(usize, usize, f64)> {
+        self.sites
+            .iter()
+            .map(|s| (s.tile, s.worst_level(), s.mean_level()))
+            .collect()
+    }
+
+    /// The site with the deepest observed droop.
+    pub fn hotspot(&self) -> Option<&SiteSeries> {
+        self.sites.iter().min_by(|a, b| {
+            (a.worst_level(), a.tile).cmp(&(b.worst_level(), b.tile))
+        })
+    }
+}
+
+/// A multi-site measurement campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    floorplan: Floorplan,
+    config: SensorConfig,
+    chain: ScanChain,
+}
+
+impl Campaign {
+    /// Instruments a floorplan with identical sensor systems (the paper:
+    /// identical arrays, "only a control system is required").
+    ///
+    /// # Errors
+    ///
+    /// Propagates sensor-configuration validation.
+    pub fn new(floorplan: Floorplan, config: SensorConfig) -> Result<Campaign, ScanError> {
+        // Validate the configuration once up front.
+        let probe = SensorSystem::new(config.clone())?;
+        let chain = ScanChain::new(
+            floorplan.sites().iter().map(|s| s.name.clone()).collect(),
+            probe.hs_array().bits(),
+        );
+        Ok(Campaign {
+            floorplan,
+            config,
+            chain,
+        })
+    }
+
+    /// The floorplan under measurement.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// The readout chain.
+    pub fn chain(&self) -> &ScanChain {
+        &self.chain
+    }
+
+    /// Runs the campaign: solves the grid under `tile_loads` (amperes per
+    /// tile), measures every site at `samples` instants spaced `dt` from
+    /// `start`, and serializes each instant through the scan chain. The
+    /// ground rail is assumed quiet; see [`Campaign::run_dual`] for
+    /// simultaneous ground-bounce measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::InvalidConfig`] for a load/tile mismatch and
+    /// propagates grid, sensor and chain failures.
+    pub fn run(
+        &self,
+        tile_loads: &[Waveform],
+        start: Time,
+        dt: Time,
+        samples: usize,
+    ) -> Result<CampaignResult, ScanError> {
+        self.run_dual(tile_loads, None, start, dt, samples)
+    }
+
+    /// Like [`Campaign::run`], but with the return current flowing
+    /// through a ground grid: every site's LOW-SENSE array then measures
+    /// the local ground bounce. The ground grid mirrors the supply grid's
+    /// geometry (same placement) with its own mesh/pad resistances; the
+    /// bounce at a tile is its IR rise above the board ground, computed
+    /// from the same per-tile currents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::InvalidConfig`] for load/tile or grid-shape
+    /// mismatches and propagates grid, sensor and chain failures.
+    pub fn run_dual(
+        &self,
+        tile_loads: &[Waveform],
+        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
+        start: Time,
+        dt: Time,
+        samples: usize,
+    ) -> Result<CampaignResult, ScanError> {
+        let grid = self.floorplan.grid();
+        if tile_loads.len() != grid.tiles() {
+            return Err(ScanError::InvalidConfig {
+                name: "tile_loads",
+                reason: format!(
+                    "expected {} tile load waveforms, got {}",
+                    grid.tiles(),
+                    tile_loads.len()
+                ),
+            });
+        }
+        if samples == 0 || dt <= Time::ZERO {
+            return Err(ScanError::InvalidConfig {
+                name: "samples/dt",
+                reason: "need a positive sample count and spacing".into(),
+            });
+        }
+        if let Some(g) = ground_grid {
+            if g.tiles() != grid.tiles() {
+                return Err(ScanError::InvalidConfig {
+                    name: "ground_grid",
+                    reason: format!(
+                        "ground grid has {} tiles, supply grid {}",
+                        g.tiles(),
+                        grid.tiles()
+                    ),
+                });
+            }
+        }
+        let end = start + dt * samples as f64 + Time::from_ns(1.0);
+        let solve_dt = dt / 2.0;
+        let tile_supplies = grid.quasi_static_transient(tile_loads, start, end, solve_dt)?;
+        // Ground bounce: the same tile currents return through the ground
+        // mesh; the bounce is the IR rise above the (0 V-referenced) pad.
+        let tile_bounces: Option<Vec<Waveform>> = match ground_grid {
+            None => None,
+            Some(g) => {
+                let raw = g.quasi_static_transient(tile_loads, start, end, solve_dt)?;
+                let v_pad = g.v_pad().volts();
+                Some(raw.into_iter().map(|w| w.map(|v| v_pad - v)).collect())
+            }
+        };
+        let quiet = Waveform::constant(0.0);
+
+        let instants: Vec<Time> = (0..samples).map(|k| start + dt * (k as f64 + 0.5)).collect();
+        let mut sites = Vec::with_capacity(self.floorplan.sites().len());
+        for site in self.floorplan.sites() {
+            let system = SensorSystem::new(self.config.clone())?;
+            let vdd = &tile_supplies[site.tile];
+            let gnd = tile_bounces
+                .as_ref()
+                .map_or(&quiet, |b| &b[site.tile]);
+            let measurements = instants
+                .iter()
+                .map(|&at| system.measure_at(vdd, gnd, at))
+                .collect::<Result<Vec<_>, _>>()?;
+            sites.push(SiteSeries {
+                tile: site.tile,
+                name: site.name.clone(),
+                measurements,
+            });
+        }
+
+        let mut frames = Vec::with_capacity(samples);
+        for k in 0..samples {
+            let codes: Vec<ThermometerCode> = sites
+                .iter()
+                .map(|s| s.measurements[k].hs_code.clone())
+                .collect();
+            frames.push(self.chain.capture(&codes)?);
+        }
+        Ok(CampaignResult {
+            sites,
+            instants,
+            frames,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Placement;
+    use psnt_cells::units::{Resistance, Time};
+    use psnt_pdn::grid::PowerGrid;
+
+    fn floorplan() -> Floorplan {
+        let grid = PowerGrid::corner_fed(
+            3,
+            Voltage::from_v(1.05),
+            Resistance::from_milliohms(60.0),
+            Resistance::from_milliohms(20.0),
+        )
+        .unwrap();
+        Floorplan::new(grid, Placement::EveryTile).unwrap()
+    }
+
+    fn campaign() -> Campaign {
+        Campaign::new(floorplan(), SensorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn chain_matches_floorplan() {
+        let c = campaign();
+        assert_eq!(c.chain().site_names().len(), 9);
+        assert_eq!(c.chain().len(), 63);
+    }
+
+    #[test]
+    fn run_produces_series_and_frames() {
+        let c = campaign();
+        // The centre tile draws a ramping current; others idle lightly.
+        let mut loads = vec![Waveform::constant(0.02); 9];
+        loads[4] = Waveform::from_points(vec![
+            (Time::ZERO, 0.05),
+            (Time::from_ns(200.0), 0.9),
+        ])
+        .unwrap();
+        let result = c
+            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 8)
+            .unwrap();
+        assert_eq!(result.sites.len(), 9);
+        assert_eq!(result.frames.len(), 8);
+        assert_eq!(result.instants.len(), 8);
+        assert!(result.frames.iter().all(|f| f.len() == 63));
+        // Every series is time-aligned.
+        for s in &result.sites {
+            assert_eq!(s.measurements.len(), 8);
+        }
+    }
+
+    #[test]
+    fn hotspot_is_the_loaded_centre() {
+        let c = campaign();
+        let mut loads = vec![Waveform::constant(0.02); 9];
+        loads[4] = Waveform::constant(1.2);
+        let result = c
+            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 4)
+            .unwrap();
+        let hotspot = result.hotspot().unwrap();
+        assert_eq!(hotspot.tile, 4, "noise map: {:?}", result.noise_map());
+        // The hotspot's worst level is at most the corner tiles'.
+        let corner = result.sites.iter().find(|s| s.tile == 0).unwrap();
+        assert!(hotspot.worst_level() <= corner.worst_level());
+        assert!(hotspot.worst_voltage().unwrap() < Voltage::from_v(1.05));
+    }
+
+    #[test]
+    fn load_mismatch_rejected() {
+        let c = campaign();
+        let loads = vec![Waveform::constant(0.02); 4];
+        assert!(matches!(
+            c.run(&loads, Time::ZERO, Time::from_ns(10.0), 2),
+            Err(ScanError::InvalidConfig { name: "tile_loads", .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_sampling_rejected() {
+        let c = campaign();
+        let loads = vec![Waveform::constant(0.02); 9];
+        assert!(c.run(&loads, Time::ZERO, Time::from_ns(10.0), 0).is_err());
+        assert!(c.run(&loads, Time::ZERO, Time::ZERO, 4).is_err());
+    }
+
+    #[test]
+    fn dual_rail_campaign_measures_ground_bounce() {
+        use psnt_pdn::grid::PowerGrid;
+        let c = campaign();
+        // A stiffer ground grid (typical: more return vias).
+        let gnd_grid = PowerGrid::corner_fed(
+            3,
+            Voltage::ZERO, // the board ground reference
+            Resistance::from_milliohms(120.0),
+            Resistance::from_milliohms(40.0),
+        )
+        .unwrap();
+        let mut loads = vec![Waveform::constant(0.05); 9];
+        loads[4] = Waveform::constant(0.9);
+        let result = c
+            .run_dual(&loads, Some(&gnd_grid), Time::from_ns(10.0), Time::from_ns(20.0), 4)
+            .unwrap();
+        // The centre tile bounces hardest: its LS level is the worst.
+        let centre = result.sites.iter().find(|s| s.tile == 4).unwrap();
+        let corner = result.sites.iter().find(|s| s.tile == 0).unwrap();
+        assert!(
+            centre.worst_ls_level() <= corner.worst_ls_level(),
+            "centre LS {} vs corner LS {}",
+            centre.worst_ls_level(),
+            corner.worst_ls_level()
+        );
+        // And the decoded bounce at the centre is physically plausible
+        // (tens of mV for ~1 A through a 120 mΩ mesh).
+        if let Some(b) = centre.worst_bounce() {
+            assert!(b > Voltage::from_mv(10.0), "bounce {b}");
+            assert!(b < Voltage::from_mv(400.0), "bounce {b}");
+        }
+        // Without a ground grid the LS readings sit at the quiet code.
+        let quiet_run = c
+            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 2)
+            .unwrap();
+        let quiet_centre = quiet_run.sites.iter().find(|s| s.tile == 4).unwrap();
+        assert!(quiet_centre.worst_ls_level() >= centre.worst_ls_level());
+    }
+
+    #[test]
+    fn dual_rail_grid_shape_checked() {
+        use psnt_pdn::grid::PowerGrid;
+        let c = campaign();
+        let wrong = PowerGrid::corner_fed(
+            4,
+            Voltage::ZERO,
+            Resistance::from_milliohms(120.0),
+            Resistance::from_milliohms(40.0),
+        )
+        .unwrap();
+        let loads = vec![Waveform::constant(0.05); 9];
+        assert!(matches!(
+            c.run_dual(&loads, Some(&wrong), Time::ZERO, Time::from_ns(10.0), 2),
+            Err(ScanError::InvalidConfig { name: "ground_grid", .. })
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_through_chain() {
+        let c = campaign();
+        let loads = vec![Waveform::constant(0.1); 9];
+        let result = c.run(&loads, Time::from_ns(5.0), Time::from_ns(15.0), 3).unwrap();
+        for (k, frame) in result.frames.iter().enumerate() {
+            let codes = c.chain().deserialize(frame).unwrap();
+            for (site, code) in result.sites.iter().zip(&codes) {
+                assert_eq!(&site.measurements[k].hs_code, code);
+            }
+        }
+    }
+}

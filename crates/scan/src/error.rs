@@ -1,0 +1,96 @@
+//! Error types for the scan-chain layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `psnt-scan` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScanError {
+    /// A placement selected no tiles or an out-of-range tile.
+    InvalidPlacement {
+        /// Explanation.
+        reason: String,
+    },
+    /// A serialized frame did not match the chain geometry.
+    FrameMismatch {
+        /// Bits expected by the chain.
+        expected: usize,
+        /// Bits supplied.
+        got: usize,
+    },
+    /// A campaign/sampler parameter was invalid.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// An error bubbled up from the sensor core.
+    Sensor(psnt_core::SensorError),
+    /// An error bubbled up from the PDN substrate.
+    Pdn(psnt_pdn::PdnError),
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::InvalidPlacement { reason } => write!(f, "invalid placement: {reason}"),
+            ScanError::FrameMismatch { expected, got } => {
+                write!(f, "scan frame of {got} bits does not match chain length {expected}")
+            }
+            ScanError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration {name}: {reason}")
+            }
+            ScanError::Sensor(e) => write!(f, "sensor error: {e}"),
+            ScanError::Pdn(e) => write!(f, "pdn error: {e}"),
+        }
+    }
+}
+
+impl Error for ScanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScanError::Sensor(e) => Some(e),
+            ScanError::Pdn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<psnt_core::SensorError> for ScanError {
+    fn from(e: psnt_core::SensorError) -> ScanError {
+        ScanError::Sensor(e)
+    }
+}
+
+impl From<psnt_pdn::PdnError> for ScanError {
+    fn from(e: psnt_pdn::PdnError) -> ScanError {
+        ScanError::Pdn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(ScanError::InvalidPlacement { reason: "x".into() }
+            .to_string()
+            .contains("x"));
+        assert!(ScanError::FrameMismatch { expected: 14, got: 7 }
+            .to_string()
+            .contains("14"));
+        let s = ScanError::from(psnt_core::SensorError::WaveformGap { at_ps: 1.0 });
+        assert!(Error::source(&s).is_some());
+        let p = ScanError::from(psnt_pdn::PdnError::InvalidWaveform("w".into()));
+        assert!(Error::source(&p).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ScanError>();
+    }
+}

@@ -1,0 +1,182 @@
+//! CUT floorplans and sensor placement.
+//!
+//! The paper's architectural claim: "the sensor arrays (INVs plus FFs)
+//! can be multiplied, so that measures in many points of the CUT are
+//! possible … whilst only a control system is required". A [`Floorplan`]
+//! ties a `psnt-pdn` power grid to a set of [`SensorSite`]s — the tiles
+//! where a sensor array is dropped in — and placement strategies decide
+//! which tiles those are.
+//!
+//! # Examples
+//!
+//! ```
+//! use psnt_cells::units::{Resistance, Voltage};
+//! use psnt_pdn::grid::PowerGrid;
+//! use psnt_scan::floorplan::{Floorplan, Placement};
+//!
+//! let grid = PowerGrid::corner_fed(4, Voltage::from_v(1.0),
+//!     Resistance::from_milliohms(40.0), Resistance::from_milliohms(10.0))?;
+//! let fp = Floorplan::new(grid, Placement::Checkerboard)?;
+//! assert_eq!(fp.sites().len(), 8); // half of a 4×4 grid
+//! # Ok::<(), psnt_scan::error::ScanError>(())
+//! ```
+
+use psnt_pdn::grid::PowerGrid;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ScanError;
+
+/// Where sensor arrays are instantiated on the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// One array on every tile (maximum observability, maximum cost).
+    EveryTile,
+    /// Every other tile in a checkerboard pattern.
+    Checkerboard,
+    /// The four corners plus the centre.
+    CornersAndCentre,
+    /// Explicit tile list.
+    Tiles(Vec<usize>),
+}
+
+/// One instrumented point of the CUT.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensorSite {
+    /// Tile index on the power grid (row-major).
+    pub tile: usize,
+    /// A stable instance name, e.g. `site_r2c3`.
+    pub name: String,
+}
+
+/// A CUT floorplan: power grid plus instrumented sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    grid: PowerGrid,
+    sites: Vec<SensorSite>,
+}
+
+impl Floorplan {
+    /// Instruments a grid with the given placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::InvalidPlacement`] when an explicit tile is
+    /// out of range or the placement selects no tiles.
+    pub fn new(grid: PowerGrid, placement: Placement) -> Result<Floorplan, ScanError> {
+        let (rows, cols) = (grid.rows(), grid.cols());
+        let tiles: Vec<usize> = match placement {
+            Placement::EveryTile => (0..grid.tiles()).collect(),
+            Placement::Checkerboard => (0..grid.tiles())
+                .filter(|i| (i / cols + i % cols) % 2 == 0)
+                .collect(),
+            Placement::CornersAndCentre => {
+                let mut t = vec![
+                    0,
+                    cols - 1,
+                    (rows - 1) * cols,
+                    rows * cols - 1,
+                    (rows / 2) * cols + cols / 2,
+                ];
+                t.sort_unstable();
+                t.dedup();
+                t
+            }
+            Placement::Tiles(t) => {
+                if let Some(&bad) = t.iter().find(|&&i| i >= grid.tiles()) {
+                    return Err(ScanError::InvalidPlacement {
+                        reason: format!("tile {bad} outside {rows}×{cols} grid"),
+                    });
+                }
+                let mut t = t;
+                t.sort_unstable();
+                t.dedup();
+                t
+            }
+        };
+        if tiles.is_empty() {
+            return Err(ScanError::InvalidPlacement {
+                reason: "placement selects no tiles".into(),
+            });
+        }
+        let sites = tiles
+            .into_iter()
+            .map(|tile| SensorSite {
+                tile,
+                name: format!("site_r{}c{}", tile / cols, tile % cols),
+            })
+            .collect();
+        Ok(Floorplan { grid, sites })
+    }
+
+    /// The underlying power grid.
+    pub fn grid(&self) -> &PowerGrid {
+        &self.grid
+    }
+
+    /// The instrumented sites, in tile order.
+    pub fn sites(&self) -> &[SensorSite] {
+        &self.sites
+    }
+
+    /// Looks a site up by its tile index.
+    pub fn site_at(&self, tile: usize) -> Option<&SensorSite> {
+        self.sites.iter().find(|s| s.tile == tile)
+    }
+
+    /// Instrumentation coverage as a fraction of tiles.
+    pub fn coverage(&self) -> f64 {
+        self.sites.len() as f64 / self.grid.tiles() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psnt_cells::units::{Resistance, Voltage};
+
+    fn grid(side: usize) -> PowerGrid {
+        PowerGrid::corner_fed(
+            side,
+            Voltage::from_v(1.0),
+            Resistance::from_milliohms(40.0),
+            Resistance::from_milliohms(10.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_tile_placement() {
+        let fp = Floorplan::new(grid(3), Placement::EveryTile).unwrap();
+        assert_eq!(fp.sites().len(), 9);
+        assert!((fp.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(fp.sites()[4].name, "site_r1c1");
+    }
+
+    #[test]
+    fn checkerboard_placement() {
+        let fp = Floorplan::new(grid(4), Placement::Checkerboard).unwrap();
+        assert_eq!(fp.sites().len(), 8);
+        // All selected tiles have even (row+col) parity.
+        for s in fp.sites() {
+            assert_eq!((s.tile / 4 + s.tile % 4) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn corners_and_centre() {
+        let fp = Floorplan::new(grid(5), Placement::CornersAndCentre).unwrap();
+        let tiles: Vec<usize> = fp.sites().iter().map(|s| s.tile).collect();
+        assert_eq!(tiles, vec![0, 4, 12, 20, 24]);
+        assert!(fp.site_at(12).is_some());
+        assert!(fp.site_at(13).is_none());
+    }
+
+    #[test]
+    fn explicit_tiles_validated_and_deduped() {
+        let fp = Floorplan::new(grid(3), Placement::Tiles(vec![8, 0, 0, 4])).unwrap();
+        let tiles: Vec<usize> = fp.sites().iter().map(|s| s.tile).collect();
+        assert_eq!(tiles, vec![0, 4, 8]);
+        assert!(Floorplan::new(grid(3), Placement::Tiles(vec![9])).is_err());
+        assert!(Floorplan::new(grid(3), Placement::Tiles(vec![])).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Power-aware use case: a DVFS controller lowers the supply setpoint to
+//! save power, with the noise thermometer as its safety guard — the
+//! paper's "activation of power aware policies" scenario, driven by the
+//! library's [`DvfsGovernor`] and [`NoiseAlarm`] policy blocks.
+//!
+//! ```sh
+//! cargo run --example dvfs_guard
+//! ```
+
+use psn_thermometer::pdn::rlc::LumpedPdn;
+use psn_thermometer::prelude::*;
+use psn_thermometer::sensor::baseline::RazorStage;
+use psn_thermometer::sensor::policy::{DvfsGovernor, GovernorAction, NoiseAlarm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The logic's actual limit: below this the pipeline starts failing
+    // (from the Razor stage model, which shares the sensor's physics).
+    let pipeline = RazorStage::typical_pipeline();
+    let v_min = pipeline.min_supply(Time::from_ns(2.0));
+    let mut governor = DvfsGovernor::with_v_min(v_min)?;
+    let mut alarm = NoiseAlarm::new(1, 2)?;
+    println!(
+        "pipeline minimum supply {:.3} V; guard band 30 mV, hysteresis 10 mV, 25 mV steps",
+        v_min.volts()
+    );
+
+    // A bursty workload that keeps kicking the package tank.
+    let span = Time::from_us(1.0);
+    let load = WorkloadBuilder::new(Current::from_a(0.4))
+        .span(Time::ZERO, span)
+        .resolution(Time::from_ps(500.0))
+        .burst(Time::from_ns(200.0), Time::from_ns(60.0), Current::from_a(2.0))
+        .burst(Time::from_ns(500.0), Time::from_ns(60.0), Current::from_a(2.2))
+        .random_activity(Current::from_a(0.2), Time::from_ns(2.0), 42)
+        .build()?;
+
+    let sensor = SensorSystem::new(SensorConfig::default())?;
+    let gnd = Waveform::constant(0.0);
+
+    println!("\n setpoint | worst measured VDD-n | governor  | alarm");
+    println!(" ---------+----------------------+-----------+------");
+    for _epoch in 0..12 {
+        // The regulator drives the package model at the commanded
+        // setpoint; the rail droops below it under the workload.
+        let pdn = LumpedPdn::new(
+            governor.setpoint(),
+            Resistance::from_milliohms(5.0),
+            psn_thermometer::cells::units::Inductance::from_ph(100.0),
+            Capacitance::from_nf(100.0),
+        )?;
+        let vdd = pdn.transient(&load, Time::from_ps(200.0), span)?;
+
+        // One measurement window: 80 sensor measures across the epoch.
+        let window: Vec<_> = (0..80)
+            .map(|k| {
+                sensor.measure_at(&vdd, &gnd, Time::from_ns(50.0) + Time::from_ns(11.0) * k as f64)
+            })
+            .collect::<Result<_, _>>()?;
+        for m in &window {
+            alarm.observe_measurement(m);
+        }
+        let worst = window
+            .iter()
+            .filter_map(|m| m.hs_interval.midpoint())
+            .min_by(|a, b| a.total_cmp(b));
+
+        let before = governor.setpoint();
+        let action = governor.decide(&window);
+        println!(
+            "  {:.3} V |        {:>12} | {:9} | {}",
+            before.volts(),
+            worst.map_or("below range".into(), |w| format!("{:.3} V", w.volts())),
+            match action {
+                GovernorAction::StepDown => "step down",
+                GovernorAction::StepUp => "step up",
+                GovernorAction::Hold => "hold",
+            },
+            if alarm.is_active() { "ALARM" } else { "-" },
+        );
+        if action == GovernorAction::Hold {
+            break;
+        }
+    }
+    println!(
+        "\nsettled setpoint: {:.3} V (saving {:.0} mV of supply against the 1.05 V start)",
+        governor.setpoint().volts(),
+        (1.05 - governor.setpoint().volts()) * 1e3
+    );
+    println!("alarm trips during the scaling walk: {}", alarm.trips());
+    Ok(())
+}

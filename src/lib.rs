@@ -1,0 +1,67 @@
+//! # psn-thermometer
+//!
+//! A Rust reproduction of *“A fully digital power supply noise
+//! thermometer”* (M. Graziano and M. D. Vittori, IEEE SOCC 2009,
+//! DOI 10.1109/SOCCON.2009.5398066): a standard-cell-based sensor that
+//! digitises the instantaneous on-die supply/ground voltage into a
+//! flash-ADC-like thermometer code, replicable across a die like a scan
+//! chain.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`cells`] (`psnt-cells`) — standard-cell timing substrate
+//!   (alpha-power delay physics, setup/metastability flip-flop);
+//! * [`netlist`] (`psnt-netlist`) — gate-level netlists, event-driven
+//!   simulation, STA;
+//! * [`pdn`] (`psnt-pdn`) — supply-noise waveforms, RLC package model,
+//!   on-die power grid, workloads;
+//! * [`sensor`] (`psnt-core`) — the paper's sensor element, thermometer
+//!   array, pulse generator, control FSM, full system, calibration and
+//!   related-work baselines;
+//! * [`scan`] (`psnt-scan`) — multi-site placement, serial readout,
+//!   equivalent-time sampling, campaigns;
+//! * [`analysis`] (`psnt-analysis`) — statistics, ADC linearity metrics,
+//!   fidelity scoring, report tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use psn_thermometer::prelude::*;
+//!
+//! // Build the paper's sensor and measure a 60 mV droop.
+//! let sensor = SensorSystem::new(SensorConfig::default())?;
+//! let m = sensor.measure_at(
+//!     &Waveform::constant(0.94),
+//!     &Waveform::constant(0.0),
+//!     Time::from_ns(10.0),
+//! )?;
+//! println!("code {} → VDD-n in {:?}", m.hs_code, m.hs_interval);
+//! assert_eq!(m.hs_code.to_string(), "0000111");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use psnt_analysis as analysis;
+pub use psnt_cells as cells;
+pub use psnt_core as sensor;
+pub use psnt_netlist as netlist;
+pub use psnt_pdn as pdn;
+pub use psnt_scan as scan;
+
+/// The most common imports for working with the sensor.
+pub mod prelude {
+    pub use psnt_cells::process::{ProcessCorner, Pvt};
+    pub use psnt_cells::units::{Capacitance, Current, Frequency, Resistance, Time, Voltage};
+    pub use psnt_core::code::ThermometerCode;
+    pub use psnt_core::element::{RailMode, SenseElement};
+    pub use psnt_core::pulsegen::{DelayCode, PulseGenerator};
+    pub use psnt_core::policy::{DvfsGovernor, GovernorAction, NoiseAlarm};
+    pub use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
+    pub use psnt_core::thermometer::{CapacitorLadder, ThermometerArray};
+    pub use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};
+    pub use psnt_pdn::waveform::Waveform;
+    pub use psnt_pdn::workload::WorkloadBuilder;
+    pub use psnt_scan::campaign::Campaign;
+    pub use psnt_scan::floorplan::{Floorplan, Placement};
+}

@@ -1,0 +1,126 @@
+//! Gate-level integration: the CNTR netlist under event-driven
+//! simulation, STA across supply corners, and waveform export.
+
+use psn_thermometer::cells::logic::Logic;
+use psn_thermometer::netlist::sim::Simulator;
+use psn_thermometer::netlist::sta::{analyze, StaConfig};
+use psn_thermometer::prelude::*;
+use psn_thermometer::sensor::control::{
+    build_control_netlist, Controller, CtrlInputs, CtrlNetlistConfig, CtrlState,
+};
+
+#[test]
+fn cntr_netlist_runs_many_measure_sequences() {
+    let netlist = build_control_netlist(&CtrlNetlistConfig::default());
+    let mut sim = Simulator::new(&netlist, Voltage::from_v(1.0)).unwrap();
+    let clk = netlist.net_by_name("clk").unwrap();
+    let enable = netlist.net_by_name("enable").unwrap();
+    let start = netlist.net_by_name("start").unwrap();
+    sim.drive(enable, Logic::One, Time::ZERO).unwrap();
+    sim.drive(start, Logic::One, Time::ZERO).unwrap();
+    let period = Time::from_ns(4.0);
+    sim.drive_clock(clk, Time::from_ns(2.0), period, 40).unwrap();
+    sim.run_until(Time::from_ns(170.0));
+
+    // The capture output must pulse once per 5-cycle measure sequence.
+    let capture = netlist.net_by_name("dec_sense.out").unwrap();
+    let pulses = sim.trace().rising_edges(sim.signal(capture));
+    assert!(
+        (6..=9).contains(&pulses),
+        "expected ~7 capture pulses in 40 cycles, got {pulses}"
+    );
+    // No setup violations inside the control logic itself at 4 ns.
+    assert_eq!(sim.stats().ff_violations, 0);
+}
+
+#[test]
+fn cntr_gate_level_agrees_with_behavioural_over_long_run() {
+    let netlist = build_control_netlist(&CtrlNetlistConfig::default());
+    let mut sim = Simulator::new(&netlist, Voltage::from_v(1.0)).unwrap();
+    let clk = netlist.net_by_name("clk").unwrap();
+    let enable = netlist.net_by_name("enable").unwrap();
+    let start = netlist.net_by_name("start").unwrap();
+    sim.drive(enable, Logic::One, Time::ZERO).unwrap();
+    sim.drive(start, Logic::One, Time::ZERO).unwrap();
+    let period = Time::from_ns(4.0);
+    let cycles = 30;
+    sim.drive_clock(clk, Time::from_ns(2.0), period, cycles).unwrap();
+
+    let mut behavioural = Controller::new(None);
+    let (s0, s1, s2) = (
+        netlist.dffs()[0].q(),
+        netlist.dffs()[1].q(),
+        netlist.dffs()[2].q(),
+    );
+    for cycle in 0..cycles {
+        sim.run_until(Time::from_ns(2.0) + period * (cycle as f64 + 0.9));
+        behavioural.step(CtrlInputs { enable: true, start: true });
+        let enc = [sim.value(s2), sim.value(s1), sim.value(s0)]
+            .iter()
+            .fold(0u8, |acc, b| (acc << 1) | u8::from(*b == Logic::One));
+        assert_eq!(
+            CtrlState::from_encoding(enc),
+            Some(behavioural.state()),
+            "cycle {cycle}"
+        );
+    }
+    assert_eq!(behavioural.measures_done(), 5);
+}
+
+#[test]
+fn sta_tracks_supply_across_corners() {
+    let netlist = build_control_netlist(&CtrlNetlistConfig::default());
+    let nominal = analyze(&netlist, &StaConfig::default()).unwrap();
+    let droop = analyze(
+        &netlist,
+        &StaConfig {
+            supply: Voltage::from_v(0.9),
+            ..StaConfig::default()
+        },
+    )
+    .unwrap();
+    let over = analyze(
+        &netlist,
+        &StaConfig {
+            supply: Voltage::from_v(1.1),
+            ..StaConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(droop.critical_delay() > nominal.critical_delay());
+    assert!(over.critical_delay() < nominal.critical_delay());
+    // The paper's headline: nominal meets a typical system clock.
+    assert!(nominal.meets_timing());
+}
+
+#[test]
+fn counter_width_scales_the_critical_path() {
+    let short = build_control_netlist(&CtrlNetlistConfig {
+        counter_bits: 8,
+        ..CtrlNetlistConfig::default()
+    });
+    let long = build_control_netlist(&CtrlNetlistConfig::default());
+    let t_short = analyze(&short, &StaConfig::default()).unwrap().critical_delay();
+    let t_long = analyze(&long, &StaConfig::default()).unwrap().critical_delay();
+    assert!(t_long > t_short * 1.5, "{t_short} vs {t_long}");
+}
+
+#[test]
+fn vcd_export_of_a_control_run() {
+    let netlist = build_control_netlist(&CtrlNetlistConfig {
+        counter_bits: 4,
+        ..CtrlNetlistConfig::default()
+    });
+    let mut sim = Simulator::new(&netlist, Voltage::from_v(1.0)).unwrap();
+    let clk = netlist.net_by_name("clk").unwrap();
+    let enable = netlist.net_by_name("enable").unwrap();
+    let start = netlist.net_by_name("start").unwrap();
+    sim.drive(enable, Logic::One, Time::ZERO).unwrap();
+    sim.drive(start, Logic::One, Time::ZERO).unwrap();
+    sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 8).unwrap();
+    sim.run_until(Time::from_ns(40.0));
+    let vcd = sim.trace().to_vcd("cntr");
+    assert!(vcd.contains("$enddefinitions $end"));
+    assert!(vcd.contains("clk"));
+    assert!(vcd.lines().filter(|l| l.starts_with('#')).count() > 10);
+}

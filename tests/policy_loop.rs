@@ -1,0 +1,153 @@
+//! Closed-loop integration: the sensor driving power-aware policies
+//! against physically modelled rails, and spectral identification of the
+//! noise it measures.
+
+use psn_thermometer::analysis::spectrum::dominant_frequency;
+use psn_thermometer::pdn::rlc::LumpedPdn;
+use psn_thermometer::pdn::workload::resonant_loop;
+use psn_thermometer::prelude::*;
+use psn_thermometer::sensor::baseline::RazorStage;
+use psn_thermometer::sensor::policy::{DvfsGovernor, GovernorAction, NoiseAlarm};
+use rand::{Rng, SeedableRng};
+
+/// The DVFS governor walks the setpoint down against a real PDN and
+/// settles without limit cycling, with the settled rail safely above the
+/// pipeline's minimum.
+#[test]
+fn dvfs_loop_converges_against_the_pdn() {
+    let pipeline = RazorStage::typical_pipeline();
+    let v_min = pipeline.min_supply(Time::from_ns(2.0));
+    let mut governor = DvfsGovernor::with_v_min(v_min).unwrap();
+    let sensor = SensorSystem::new(SensorConfig::default()).unwrap();
+    let gnd = Waveform::constant(0.0);
+    let span = Time::from_us(1.0);
+    let load = WorkloadBuilder::new(Current::from_a(0.4))
+        .span(Time::ZERO, span)
+        .resolution(Time::from_ps(500.0))
+        .burst(Time::from_ns(300.0), Time::from_ns(80.0), Current::from_a(2.0))
+        .random_activity(Current::from_a(0.2), Time::from_ns(2.0), 7)
+        .build()
+        .unwrap();
+
+    let mut actions = Vec::new();
+    let mut last_worst = None;
+    for _ in 0..20 {
+        let pdn = LumpedPdn::new(
+            governor.setpoint(),
+            Resistance::from_milliohms(5.0),
+            psn_thermometer::cells::units::Inductance::from_ph(100.0),
+            Capacitance::from_nf(100.0),
+        )
+        .unwrap();
+        let vdd = pdn.transient(&load, Time::from_ps(200.0), span).unwrap();
+        let window: Vec<_> = (0..60)
+            .map(|k| {
+                sensor
+                    .measure_at(&vdd, &gnd, Time::from_ns(60.0) + Time::from_ns(14.0) * k as f64)
+                    .unwrap()
+            })
+            .collect();
+        last_worst = window
+            .iter()
+            .filter_map(|m| m.hs_interval.midpoint())
+            .min_by(|a, b| a.total_cmp(b));
+        let action = governor.decide(&window);
+        actions.push(action);
+        if action == GovernorAction::Hold {
+            break;
+        }
+    }
+    assert_eq!(
+        *actions.last().unwrap(),
+        GovernorAction::Hold,
+        "governor did not settle: {actions:?}"
+    );
+    // It actually scaled: at least two steps below the 1.05 V start.
+    assert!(governor.setpoint() <= Voltage::from_v(1.0));
+    // The settled measured margin respects the guard band.
+    let worst = last_worst.expect("resolved measurements at the settled point");
+    assert!(
+        worst - v_min >= Voltage::from_mv(30.0),
+        "margin violated: worst {worst}, v_min {v_min}"
+    );
+}
+
+/// The alarm trips during a deep transient and clears after it passes.
+#[test]
+fn alarm_tracks_a_transient() {
+    let sensor = SensorSystem::new(SensorConfig::default()).unwrap();
+    let gnd = Waveform::constant(0.0);
+    let vdd = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
+        .span(Time::ZERO, Time::from_us(1.0))
+        .resolution(Time::from_ps(250.0))
+        .droop(
+            Time::from_ns(300.0),
+            Voltage::from_mv(120.0),
+            Time::from_ns(60.0),
+            Frequency::from_mhz(3.0),
+        )
+        .build()
+        .unwrap();
+    let mut alarm = NoiseAlarm::new(2, 2).unwrap();
+    let mut trip_time = None;
+    let mut clear_time = None;
+    for k in 0..90 {
+        let at = Time::from_ns(20.0) + Time::from_ns(10.0) * k as f64;
+        let m = sensor.measure_at(&vdd, &gnd, at).unwrap();
+        let was = alarm.is_active();
+        let now = alarm.observe_measurement(&m);
+        if !was && now && trip_time.is_none() {
+            trip_time = Some(at);
+        }
+        if was && !now {
+            clear_time = Some(at);
+        }
+    }
+    let trip = trip_time.expect("the 120 mV droop must trip the alarm");
+    let clear = clear_time.expect("the alarm must clear after recovery");
+    assert!(trip > Time::from_ns(300.0), "tripped before the droop: {trip}");
+    assert!(trip < Time::from_ns(450.0), "tripped too late: {trip}");
+    assert!(clear > trip);
+    assert_eq!(alarm.trips(), 1);
+}
+
+/// End-to-end spectral identification: a resonant workload's frequency
+/// is recovered from decoded sensor samples to within 2 %.
+#[test]
+fn resonance_identified_from_sensor_samples() {
+    let pdn = LumpedPdn::new(
+        Voltage::from_v(0.95),
+        Resistance::from_milliohms(5.0),
+        psn_thermometer::cells::units::Inductance::from_ph(100.0),
+        Capacitance::from_nf(100.0),
+    )
+    .unwrap();
+    let f_true = pdn.resonance_frequency();
+    let span = Time::from_us(8.0);
+    let load = resonant_loop(Current::from_a(0.3), Current::from_a(0.9), f_true, span, 3).unwrap();
+    let vdd = pdn.transient(&load, Time::from_ps(200.0), span).unwrap();
+    let gnd = Waveform::constant(0.0);
+    let sensor = SensorSystem::new(SensorConfig::default()).unwrap();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut samples = Vec::new();
+    let mut t = Time::from_ns(400.0);
+    while t < span - Time::from_ns(10.0) {
+        let m = sensor.measure_at(&vdd, &gnd, t).unwrap();
+        if let Some(v) = m.hs_interval.midpoint() {
+            samples.push((t, v.volts()));
+        }
+        t += Time::from_ns(17.0 + rng.gen_range(0.0..12.0));
+    }
+    assert!(samples.len() > 200, "too few resolved samples");
+    let (f_est, amp) = dominant_frequency(
+        &samples,
+        Frequency::from_mhz(10.0),
+        Frequency::from_mhz(200.0),
+        200,
+    )
+    .unwrap();
+    let rel = (f_est.hertz() - f_true.hertz()).abs() / f_true.hertz();
+    assert!(rel < 0.02, "estimated {:.3e} vs true {:.3e}", f_est.hertz(), f_true.hertz());
+    assert!(amp > 0.03, "implausibly small identified amplitude {amp}");
+}
