@@ -41,5 +41,7 @@ pub mod stats;
 pub use adc_metrics::{code_density_widths, linearity, LinearityReport};
 pub use reconstruct::{reconstruction_rmse, score_series, FidelityReport};
 pub use report::{fmt_ps, fmt_v, Table};
-pub use spectrum::{amplitude_at, dominant_frequency, resolution, spectrum, spectrum_envelope, SpectrumPoint};
+pub use spectrum::{
+    amplitude_at, dominant_frequency, resolution, spectrum, spectrum_envelope, SpectrumPoint,
+};
 pub use stats::{quantile, summarize, Histogram, Summary};

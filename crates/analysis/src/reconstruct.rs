@@ -163,18 +163,9 @@ mod tests {
 
     #[test]
     fn reconstruction_rmse_basics() {
-        let bins = vec![
-            Some(Voltage::from_v(1.0)),
-            None,
-            Some(Voltage::from_v(0.9)),
-        ];
-        let rmse = reconstruction_rmse(
-            &bins,
-            |i| Time::from_ns(i as f64),
-            |_| 0.95,
-            Time::ZERO,
-        )
-        .unwrap();
+        let bins = vec![Some(Voltage::from_v(1.0)), None, Some(Voltage::from_v(0.9))];
+        let rmse =
+            reconstruction_rmse(&bins, |i| Time::from_ns(i as f64), |_| 0.95, Time::ZERO).unwrap();
         assert!((rmse - 0.05).abs() < 1e-12);
         assert!(reconstruction_rmse(&[None, None], |_| Time::ZERO, |_| 0.0, Time::ZERO).is_none());
     }

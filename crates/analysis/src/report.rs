@@ -107,7 +107,8 @@ mod tests {
     #[test]
     fn render_aligns_columns() {
         let mut t = Table::new("demo", &["code", "range"]);
-        t.row(["011", "0.827-1.053 V"]).row(["010", "0.951-1.237 V"]);
+        t.row(["011", "0.827-1.053 V"])
+            .row(["010", "0.951-1.237 V"]);
         let s = t.render();
         assert!(s.contains("== demo =="));
         assert!(s.contains("code"));

@@ -156,8 +156,7 @@ pub fn dominant_frequency(
     }
     let span_hz = hi.hertz() - lo.hertz();
     let df_window = resolution(samples).map_or(span_hz / bins as f64, |r| r.hertz() / 2.0);
-    let n = ((span_hz / df_window.min(span_hz / bins as f64)).ceil() as usize)
-        .clamp(bins, 40_000);
+    let n = ((span_hz / df_window.min(span_hz / bins as f64)).ceil() as usize).clamp(bins, 40_000);
     let step = span_hz / n as f64;
     let mut best = (lo.hertz(), 0.0f64);
     for k in 0..=n {
@@ -274,7 +273,11 @@ mod tests {
             300,
         )
         .unwrap();
-        assert!((f.hertz() - 40.0e6).abs() / 40.0e6 < 0.03, "{:.3e}", f.hertz());
+        assert!(
+            (f.hertz() - 40.0e6).abs() / 40.0e6 < 0.03,
+            "{:.3e}",
+            f.hertz()
+        );
     }
 
     #[test]
@@ -298,6 +301,11 @@ mod tests {
     #[should_panic(expected = "bad frequency bounds")]
     fn spectrum_bounds_checked() {
         let samples = tone(1.0e6, 0.1, 10, 10.0, 0.0);
-        let _ = spectrum(&samples, Frequency::from_mhz(2.0), Frequency::from_mhz(1.0), 10);
+        let _ = spectrum(
+            &samples,
+            Frequency::from_mhz(2.0),
+            Frequency::from_mhz(1.0),
+            10,
+        );
     }
 }

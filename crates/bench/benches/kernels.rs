@@ -32,7 +32,10 @@ fn bench_kernels(c: &mut Criterion) {
         let samples: Vec<(Time, f64)> = (0..400)
             .map(|k| {
                 let t = Time::from_ns(23.0 * k as f64);
-                (t, 0.94 + 0.03 * (std::f64::consts::TAU * 5.0e7 * t.seconds()).sin())
+                (
+                    t,
+                    0.94 + 0.03 * (std::f64::consts::TAU * 5.0e7 * t.seconds()).sin(),
+                )
             })
             .collect();
         b.iter(|| {
@@ -108,9 +111,12 @@ fn bench_kernels(c: &mut Criterion) {
                 let clk = netlist.net_by_name("clk").unwrap();
                 let enable = netlist.net_by_name("enable").unwrap();
                 let start = netlist.net_by_name("start").unwrap();
-                sim.drive(enable, psnt_cells::logic::Logic::One, Time::ZERO).unwrap();
-                sim.drive(start, psnt_cells::logic::Logic::One, Time::ZERO).unwrap();
-                sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 10).unwrap();
+                sim.drive(enable, psnt_cells::logic::Logic::One, Time::ZERO)
+                    .unwrap();
+                sim.drive(start, psnt_cells::logic::Logic::One, Time::ZERO)
+                    .unwrap();
+                sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 10)
+                    .unwrap();
                 sim
             },
             |mut sim| {

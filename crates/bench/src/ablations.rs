@@ -22,13 +22,22 @@ fn skew011() -> Time {
 pub fn delay_model() -> String {
     let pvt = Pvt::typical();
     let analytic = psnt_cells::delay::AlphaPowerDelay::paper_sense_inverter();
-    let voltages: Vec<Voltage> = (0..=30).map(|i| Voltage::from_v(0.70 + 0.02 * i as f64)).collect();
-    let loads: Vec<Capacitance> = (0..=20).map(|i| Capacitance::from_pf(1.5 + 0.05 * i as f64)).collect();
+    let voltages: Vec<Voltage> = (0..=30)
+        .map(|i| Voltage::from_v(0.70 + 0.02 * i as f64))
+        .collect();
+    let loads: Vec<Capacitance> = (0..=20)
+        .map(|i| Capacitance::from_pf(1.5 + 0.05 * i as f64))
+        .collect();
     let table = TableDelay::characterize(&analytic, voltages, loads, &pvt).expect("valid axes");
 
     let mut t = Table::new(
         "XP-DELAY-MODEL — analytic alpha-power vs NLDM table",
-        &["C [pF]", "analytic delay @0.95 V", "table delay @0.95 V", "rel. err"],
+        &[
+            "C [pF]",
+            "analytic delay @0.95 V",
+            "table delay @0.95 V",
+            "rel. err",
+        ],
     );
     let mut worst: f64 = 0.0;
     for pf in [1.75, 1.95, 2.05, 2.15, 2.24] {
@@ -62,12 +71,8 @@ pub fn ladder() -> String {
         ("paper Fig. 5", CapacitorLadder::paper_fig5()),
         (
             "linear caps",
-            CapacitorLadder::linear(
-                Capacitance::from_pf(1.75),
-                Capacitance::from_ff(81.0),
-                7,
-            )
-            .expect("valid ladder"),
+            CapacitorLadder::linear(Capacitance::from_pf(1.75), Capacitance::from_ff(81.0), 7)
+                .expect("valid ladder"),
         ),
     ];
     let mut t = Table::new(
@@ -112,7 +117,13 @@ pub fn encoding() -> String {
 
     let mut t = Table::new(
         "XP-ENCODING — bubble policy at a threshold boundary (1000 stochastic measures)",
-        &["true level", "policy", "mean |level err|", "worst |level err|", "bubbles"],
+        &[
+            "true level",
+            "policy",
+            "mean |level err|",
+            "worst |level err|",
+            "bubbles",
+        ],
     );
     for boundary in [2usize, 4] {
         // Sit exactly on threshold `boundary`: true level ≈ 7 − boundary − 0.5.
@@ -138,7 +149,11 @@ pub fn encoding() -> String {
                 name.to_string(),
                 format!("{:.2}", sum[k] / 1000.0),
                 format!("{:.1}", worst[k]),
-                if k == 0 { bubbles.to_string() } else { "〃".into() },
+                if k == 0 {
+                    bubbles.to_string()
+                } else {
+                    "〃".into()
+                },
             ]);
         }
     }
@@ -186,9 +201,7 @@ pub fn sampling() -> String {
     let recon = sampler
         .capture_periodic(&system, &vdd, &gnd, Time::from_ns(100.0), 400)
         .expect("capture");
-    let et_p2p = recon
-        .peak_to_peak()
-        .map_or(0.0, |v| v.millivolts());
+    let et_p2p = recon.peak_to_peak().map_or(0.0, |v| v.millivolts());
 
     let mut t = Table::new(
         "XP-SAMPLING — synchronous vs equivalent-time capture of a 50 MHz resonance",
@@ -207,11 +220,11 @@ pub fn sampling() -> String {
         format!("{:.0} mV", 2.0 * amp_mv),
     ]);
     let mut s = t.render();
-    s.push_str("synchronous sampling aliases the resonance to a point; the phase sweep recovers it.\n");
+    s.push_str(
+        "synchronous sampling aliases the resonance to a point; the phase sweep recovers it.\n",
+    );
     s
 }
-
-
 
 /// Ablation 5 — local mismatch Monte-Carlo: thermometer-property yield
 /// vs within-die variation sigma.
@@ -221,19 +234,19 @@ pub fn mismatch() -> String {
     let base = MismatchModel::local_90nm();
     let mut t = Table::new(
         "XP-MISMATCH — thermometer yield under local variation (200 arrays/point)",
-        &["sigma scale", "drive σ", "Vth σ", "monotone yield", "mean |ΔV_th|", "worst |ΔV_th|"],
+        &[
+            "sigma scale",
+            "drive σ",
+            "Vth σ",
+            "monotone yield",
+            "mean |ΔV_th|",
+            "worst |ΔV_th|",
+        ],
     );
     for k in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let model = base.scaled(k);
-        let report = monte_carlo_yield(
-            &array,
-            skew011(),
-            &Pvt::typical(),
-            &model,
-            200,
-            2024,
-        )
-        .expect("thresholds in range");
+        let report = monte_carlo_yield(&array, skew011(), &Pvt::typical(), &model, 200, 2024)
+            .expect("thresholds in range");
         t.row([
             format!("{k:.2}×"),
             format!("{:.1}%", model.sigma_drive * 100.0),
@@ -260,11 +273,8 @@ pub fn impedance() -> String {
     use psnt_pdn::workload::WorkloadBuilder;
 
     let pdn = LumpedPdn::typical_90nm_package();
-    let (f_peak, z_peak) = impedance_peak(
-        &pdn,
-        Frequency::from_mhz(5.0),
-        Frequency::from_mhz(500.0),
-    );
+    let (f_peak, z_peak) =
+        impedance_peak(&pdn, Frequency::from_mhz(5.0), Frequency::from_mhz(500.0));
     let mut t = Table::new(
         "XP-IMPEDANCE — |Z(f)| vs worst rail droop under a swept periodic workload",
         &["loop freq", "|Z(f)|", "min VDD (transient)"],
@@ -282,7 +292,8 @@ pub fn impedance() -> String {
             .expect("valid workload");
         // The integrator needs to resolve the *tank* period even when the
         // workload is slower.
-        let dt = (period / 40.0).min(psnt_cells::units::Time::period_of(pdn.resonance_frequency()) / 40.0);
+        let dt = (period / 40.0)
+            .min(psnt_cells::units::Time::period_of(pdn.resonance_frequency()) / 40.0);
         let v = pdn.transient(&load, dt, end).expect("valid transient");
         // Steady-state portion only.
         let min_v = v.min_over(end - period * 10.0, end);
@@ -370,7 +381,12 @@ pub fn code_density() -> String {
     let lsb = (th[6] - th[0]).volts() / 6.0;
     let mut t = Table::new(
         "XP-CODE-DENSITY — code widths from a 40 000-point ramp (0.80–1.10 V)",
-        &["code (level)", "hits", "measured width", "threshold-derived width"],
+        &[
+            "code (level)",
+            "hits",
+            "measured width",
+            "threshold-derived width",
+        ],
     );
     for (i, w) in widths.iter().enumerate() {
         let derived = (th[i + 1] - th[i]).volts() / lsb;
@@ -394,8 +410,6 @@ pub fn code_density() -> String {
     s
 }
 
-
-
 /// Ablation 9 — stochastic resolution enhancement: metastability dithers
 /// the boundary elements, so averaging N stochastic measures and
 /// inverting the analytic expected-level curve resolves the rail well
@@ -413,7 +427,11 @@ pub fn oversampling() -> String {
 
     let mut t = Table::new(
         "XP-OVERSAMPLING — sub-LSB decoding via metastability dithering (LSB ≈ 31 mV)",
-        &["N measures", "rms error over 9 probe points", "single-shot code error"],
+        &[
+            "N measures",
+            "rms error over 9 probe points",
+            "single-shot code error",
+        ],
     );
     let probes: Vec<Voltage> = (-4..=4)
         .map(|k| th[3] + Voltage::from_mv(5.0 * k as f64))

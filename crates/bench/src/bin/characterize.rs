@@ -18,6 +18,7 @@ use psnt_core::calibration::{array_characteristic, sensitivity_characteristic, t
 use psnt_core::element::RailMode;
 use psnt_core::pulsegen::{DelayCode, PulseGenerator};
 use psnt_core::thermometer::ThermometerArray;
+use psnt_obs::{Observer, RunManifest, Span};
 use psnt_pdn::impedance::impedance_profile;
 use psnt_pdn::rlc::LumpedPdn;
 
@@ -35,24 +36,32 @@ fn main() {
     let pg = PulseGenerator::paper_table();
     let code011 = DelayCode::new(3).expect("static code");
 
+    // In-memory telemetry: per-dataset spans and counters feed the
+    // summary footer below.
+    let mut obs = Observer::ring(64);
+    obs.manifest(
+        &RunManifest::new("characterize")
+            .delay_codes(3, 3)
+            .pvt("Typical")
+            .with_git_describe(),
+    );
+
     // Fig. 4: threshold vs load.
+    let span = Span::begin("fig4_sensitivity");
     let mut csv = String::from("load_pf,threshold_v\n");
     let loads: Vec<Capacitance> = (20..=400)
         .map(|i| Capacitance::from_ff(i as f64 * 10.0))
         .collect();
-    let points = sensitivity_characteristic(
-        RailMode::Supply,
-        pg.skew(code011, &pvt),
-        &pvt,
-        loads,
-    )
-    .expect("thresholds in range");
+    let points = sensitivity_characteristic(RailMode::Supply, pg.skew(code011, &pvt), &pvt, loads)
+        .expect("thresholds in range");
     for p in points {
         let _ = writeln!(csv, "{},{}", p.load.picofarads(), p.threshold.volts());
     }
-    write(out, "fig4_sensitivity.csv", &csv);
+    write(out, "fig4_sensitivity.csv", &csv, &mut obs);
+    obs.end_span(span);
 
     // Fig. 5: per-code thresholds (HS).
+    let span = Span::begin("fig5_characteristic");
     let array = ThermometerArray::paper(RailMode::Supply);
     let mut csv = String::from("delay_code,element,threshold_v\n");
     for code in DelayCode::all() {
@@ -61,9 +70,11 @@ fn main() {
             let _ = writeln!(csv, "{code},{},{}", i + 1, t.volts());
         }
     }
-    write(out, "fig5_characteristic.csv", &csv);
+    write(out, "fig5_characteristic.csv", &csv, &mut obs);
+    obs.end_span(span);
 
     // Ground mirror (LS).
+    let span = Span::begin("gnd_characteristic");
     let ls = ThermometerArray::paper(RailMode::Ground);
     let mut csv = String::from("delay_code,element,bounce_threshold_v\n");
     for code in DelayCode::all() {
@@ -72,9 +83,11 @@ fn main() {
             let _ = writeln!(csv, "{code},{},{}", i + 1, t.volts());
         }
     }
-    write(out, "gnd_characteristic.csv", &csv);
+    write(out, "gnd_characteristic.csv", &csv, &mut obs);
+    obs.end_span(span);
 
     // PDN impedance profile.
+    let span = Span::begin("impedance");
     let pdn = LumpedPdn::typical_90nm_package();
     let mut csv = String::from("frequency_hz,impedance_ohm\n");
     for p in impedance_profile(
@@ -85,13 +98,18 @@ fn main() {
     ) {
         let _ = writeln!(csv, "{},{}", p.frequency.hertz(), p.magnitude.ohms());
     }
-    write(out, "impedance.csv", &csv);
+    write(out, "impedance.csv", &csv, &mut obs);
+    obs.end_span(span);
 
     // Per-corner trim table.
-    let mut csv =
-        String::from("corner,untrimmed_error_mv,trimmed_code,residual_mv\n");
+    let span = Span::begin("trim");
+    let mut csv = String::from("corner,untrimmed_error_mv,trimmed_code,residual_mv\n");
     for corner in ProcessCorner::ALL {
-        let corner_pvt = Pvt::new(corner, Voltage::from_v(1.0), Temperature::from_celsius(25.0));
+        let corner_pvt = Pvt::new(
+            corner,
+            Voltage::from_v(1.0),
+            Temperature::from_celsius(25.0),
+        );
         let trim = trim_for_corner(&array, &pg, code011, &pvt, &corner_pvt).expect("in range");
         let _ = writeln!(
             csv,
@@ -101,20 +119,44 @@ fn main() {
             trim.residual.millivolts()
         );
     }
-    write(out, "trim.csv", &csv);
+    write(out, "trim.csv", &csv, &mut obs);
+    obs.end_span(span);
 
     println!("wrote 5 CSV datasets to {}", out.display());
+    obs.finish();
+    print!("{}", telemetry_footer(&obs));
 }
 
-fn write(dir: &Path, name: &str, content: &str) {
+/// The summary footer: totals from the registry plus per-dataset wall
+/// times from the span histograms.
+fn telemetry_footer(obs: &Observer) -> String {
+    let mut s = format!(
+        "telemetry: {} datasets, {} rows\n",
+        obs.metrics.counter_value("characterize.datasets"),
+        obs.metrics.counter_value("characterize.rows"),
+    );
+    for name in [
+        "fig4_sensitivity",
+        "fig5_characteristic",
+        "gnd_characteristic",
+        "impedance",
+        "trim",
+    ] {
+        if let Some(h) = obs.metrics.histogram_value(&format!("span.{name}_us")) {
+            let _ = writeln!(s, "  span {name}: {:.0} µs", h.sum());
+        }
+    }
+    s
+}
+
+fn write(dir: &Path, name: &str, content: &str, obs: &mut Observer) {
     let path = dir.join(name);
     if let Err(e) = std::fs::write(&path, content) {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
-    println!(
-        "  {} ({} rows)",
-        path.display(),
-        content.lines().count().saturating_sub(1)
-    );
+    let rows = content.lines().count().saturating_sub(1);
+    obs.metrics.counter_add("characterize.datasets", 1);
+    obs.metrics.counter_add("characterize.rows", rows as u64);
+    println!("  {} ({rows} rows)", path.display());
 }

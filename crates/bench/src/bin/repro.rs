@@ -2,20 +2,26 @@
 //! selected subset).
 //!
 //! ```text
-//! repro [--<id> ...] [--out <dir>] [--list]
+//! repro [--<id> ...] [--out <dir>] [--telemetry <path.jsonl>] [--list]
 //! ```
 //!
 //! * `--<id>` — run one experiment (e.g. `--fig5 --tab1`); no ids runs
 //!   everything;
 //! * `--out <dir>` — additionally write each report to `<dir>/<id>.txt`;
+//! * `--telemetry <path>` — write a JSON-Lines telemetry stream: a run
+//!   manifest, structured events from the observer-aware experiments,
+//!   one span per experiment, and a final metrics snapshot;
 //! * `--list` — print the known ids and exit.
 
 use std::path::PathBuf;
+
+use psnt_obs::{Observer, RunManifest, Span};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut wanted: Vec<String> = Vec::new();
     let mut out_dir: Option<PathBuf> = None;
+    let mut telemetry: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -29,6 +35,13 @@ fn main() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--out needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            "--telemetry" => match iter.next() {
+                Some(path) => telemetry = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--telemetry needs a file argument");
                     std::process::exit(2);
                 }
             },
@@ -49,11 +62,49 @@ fn main() {
         }
     }
 
+    let mut observer = match &telemetry {
+        None => None,
+        Some(path) => match Observer::jsonl(path) {
+            Ok(mut obs) => {
+                let experiment = if wanted.is_empty() {
+                    "all".to_string()
+                } else {
+                    wanted.join("+")
+                };
+                // Every experiment runs the paper's delay code 011 at
+                // the typical corner unless it sweeps those itself.
+                obs.manifest(
+                    &RunManifest::new(experiment)
+                        .delay_codes(3, 3)
+                        .pvt("Typical")
+                        .with_git_describe(),
+                );
+                Some(obs)
+            }
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+    };
+    let observed = psnt_bench::observed_experiments();
+
     let mut matched = false;
     for (id, run) in psnt_bench::all_experiments() {
         if wanted.is_empty() || wanted.iter().any(|w| w == id) {
             matched = true;
-            let report = run();
+            let span = observer.as_ref().map(|_| Span::begin(id));
+            let report = match observed
+                .iter()
+                .find(|(oid, _)| *oid == id)
+                .filter(|_| observer.is_some())
+            {
+                Some((_, run_observed)) => run_observed(observer.as_mut()),
+                None => run(),
+            };
+            if let (Some(obs), Some(span)) = (observer.as_mut(), span) {
+                obs.end_span(span);
+            }
             println!("{report}");
             if let Some(dir) = &out_dir {
                 let path = dir.join(format!("{id}.txt"));
@@ -63,6 +114,9 @@ fn main() {
                 }
             }
         }
+    }
+    if let Some(obs) = observer.as_mut() {
+        obs.finish();
     }
     if !matched {
         eprintln!("no experiment matched; known ids:");

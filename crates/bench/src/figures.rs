@@ -8,7 +8,9 @@
 use psnt_analysis::report::{fmt_ps, fmt_v, Table};
 use psnt_cells::process::{ProcessCorner, Pvt};
 use psnt_cells::units::{Capacitance, Temperature, Time, Voltage};
-use psnt_core::baseline::{ErrorProbabilityMonitor, RazorOutcome, RazorStage, RingOscillatorSensor};
+use psnt_core::baseline::{
+    ErrorProbabilityMonitor, RazorOutcome, RazorStage, RingOscillatorSensor,
+};
 use psnt_core::calibration::{array_characteristic, sensitivity_characteristic, trim_for_corner};
 use psnt_core::control::{build_control_netlist, Controller, CtrlInputs, CtrlNetlistConfig};
 use psnt_core::element::{RailMode, SenseElement};
@@ -16,6 +18,7 @@ use psnt_core::pulsegen::{DelayCode, PulseGenerator};
 use psnt_core::system::{SensorConfig, SensorSystem};
 use psnt_core::thermometer::ThermometerArray;
 use psnt_netlist::sta::{analyze, StaConfig};
+use psnt_obs::Observer;
 use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};
 use psnt_pdn::waveform::Waveform;
 use psnt_scan::campaign::Campaign;
@@ -50,7 +53,11 @@ pub fn fig2() -> String {
             fmt_v(mv / 1000.0),
             fmt_ps(r.ds_delay.picoseconds()),
             fmt_ps(r.out_delay.picoseconds()),
-            if r.passed { "correct (1)".into() } else { "WRONG (0)".to_string() },
+            if r.passed {
+                "correct (1)".into()
+            } else {
+                "WRONG (0)".to_string()
+            },
         ]);
     }
     t.render()
@@ -82,7 +89,11 @@ pub fn fig3() -> String {
             format!("SENSE @ {}", fmt_v(v)),
             "0".into(),
             format!("rises after {}", fmt_ps(r.ds_delay.picoseconds())),
-            if r.passed { "1 (set-up met)".into() } else { "0 (set-up violated)".to_string() },
+            if r.passed {
+                "1 (set-up met)".into()
+            } else {
+                "0 (set-up violated)".to_string()
+            },
         ]);
     }
     t.render()
@@ -91,7 +102,9 @@ pub fn fig3() -> String {
 /// Fig. 4 — failure-threshold voltage vs load capacitance.
 pub fn fig4() -> String {
     let sk = skew(code011());
-    let loads: Vec<Capacitance> = (2..=16).map(|i| Capacitance::from_pf(i as f64 * 0.25)).collect();
+    let loads: Vec<Capacitance> = (2..=16)
+        .map(|i| Capacitance::from_pf(i as f64 * 0.25))
+        .collect();
     let points = sensitivity_characteristic(RailMode::Supply, sk, &Pvt::typical(), loads)
         .expect("thresholds in range");
     let mut t = Table::new(
@@ -99,7 +112,10 @@ pub fn fig4() -> String {
         &["C [pF]", "threshold"],
     );
     for p in &points {
-        t.row([format!("{:.2}", p.load.picofarads()), fmt_v(p.threshold.volts())]);
+        t.row([
+            format!("{:.2}", p.load.picofarads()),
+            fmt_v(p.threshold.volts()),
+        ]);
     }
     let mut s = t.render();
     let at_2pf = points
@@ -134,7 +150,11 @@ pub fn fig5() -> String {
         t.row([
             code.to_string(),
             ths,
-            format!("{} – {}", fmt_v(ch.range.0.volts()), fmt_v(ch.range.1.volts())),
+            format!(
+                "{} – {}",
+                fmt_v(ch.range.0.volts()),
+                fmt_v(ch.range.1.volts())
+            ),
         ]);
     }
     let mut s = t.render();
@@ -164,6 +184,11 @@ pub fn tab1() -> String {
 /// Fig. 6 — the assembled system measuring both rails under composite
 /// noise.
 pub fn fig6() -> String {
+    fig6_observed(None)
+}
+
+/// [`fig6`] with telemetry routed through `observer`.
+pub fn fig6_observed(observer: Option<&mut Observer>) -> String {
     let mut system = SensorSystem::new(SensorConfig::default()).expect("default config");
     let vdd = SupplyNoiseBuilder::new(Voltage::from_v(0.98))
         .span(Time::ZERO, Time::from_us(2.0))
@@ -182,7 +207,9 @@ pub fn fig6() -> String {
         7,
     )
     .expect("valid bounce");
-    let measures = system.run(&vdd, &gnd, Time::ZERO, 10).expect("measures");
+    let measures = system
+        .run_observed(&vdd, &gnd, Time::ZERO, 10, observer)
+        .expect("measures");
     let mut t = Table::new(
         "Fig. 6 — system measuring VDD-n (HS) and GND-n (LS) independently",
         &["t [ns]", "HS code", "VDD-n est.", "LS code", "GND-n est."],
@@ -238,6 +265,11 @@ pub fn fig8() -> String {
 
 /// Fig. 9 — the full two-measure system run (1.0 V then 0.9 V).
 pub fn fig9() -> String {
+    fig9_observed(None)
+}
+
+/// [`fig9`] with telemetry routed through `observer`.
+pub fn fig9_observed(observer: Option<&mut Observer>) -> String {
     let mut system = SensorSystem::new(SensorConfig::default()).expect("default config");
     let vdd = supply_step(
         Voltage::from_v(1.0),
@@ -247,7 +279,9 @@ pub fn fig9() -> String {
     )
     .expect("valid step");
     let gnd = Waveform::constant(0.0);
-    let measures = system.run(&vdd, &gnd, Time::ZERO, 2).expect("measures");
+    let measures = system
+        .run_observed(&vdd, &gnd, Time::ZERO, 2, observer)
+        .expect("measures");
     let mut t = Table::new(
         "Fig. 9 — two measures, delay code 011",
         &["phase", "t [ns]", "sensor output", "decoded VDD-n"],
@@ -314,12 +348,20 @@ pub fn pv() -> String {
     let reference = Pvt::typical();
     let mut t = Table::new(
         "XP-PV — delay-code trim across process corners (reference: TT, code 011)",
-        &["corner", "untrimmed midpoint error", "trimmed code", "residual error"],
+        &[
+            "corner",
+            "untrimmed midpoint error",
+            "trimmed code",
+            "residual error",
+        ],
     );
     for corner in ProcessCorner::ALL {
-        let pvt = Pvt::new(corner, Voltage::from_v(1.0), Temperature::from_celsius(25.0));
-        let trim =
-            trim_for_corner(&array, &pg, code011(), &reference, &pvt).expect("in range");
+        let pvt = Pvt::new(
+            corner,
+            Voltage::from_v(1.0),
+            Temperature::from_celsius(25.0),
+        );
+        let trim = trim_for_corner(&array, &pg, code011(), &reference, &pvt).expect("in range");
         t.row([
             corner.to_string(),
             format!("{:.1} mV", trim.untrimmed_residual.millivolts()),
@@ -348,7 +390,13 @@ pub fn baseline() -> String {
     ];
     let mut t = Table::new(
         "XP-BASE — what each sensor reports (droop vs bounce discrimination)",
-        &["scenario", "thermometer HS/LS", "RO count", "Razor", "err-rate"],
+        &[
+            "scenario",
+            "thermometer HS/LS",
+            "RO count",
+            "Razor",
+            "err-rate",
+        ],
     );
     for (name, v, g) in scenarios {
         let vdd = Waveform::constant(v);
@@ -383,6 +431,11 @@ pub fn baseline() -> String {
 /// XP-SCAN — the PSN scan chain over a loaded power grid, plus an
 /// equivalent-time capture of a resonance.
 pub fn scan() -> String {
+    scan_observed(None)
+}
+
+/// [`scan`] with telemetry routed through `observer`.
+pub fn scan_observed(observer: Option<&mut Observer>) -> String {
     // Spatial noise map.
     let grid = psnt_pdn::grid::PowerGrid::corner_fed(
         4,
@@ -403,11 +456,23 @@ pub fn scan() -> String {
         .expect("valid load");
     }
     let result = campaign
-        .run(&loads, Time::from_ns(10.0), Time::from_ns(25.0), 8)
+        .run_observed(
+            &loads,
+            Time::from_ns(10.0),
+            Time::from_ns(25.0),
+            8,
+            observer,
+        )
         .expect("campaign");
     let mut t = Table::new(
         "XP-SCAN — spatial noise map (4×4 grid, centre loaded)",
-        &["tile", "site", "worst level", "mean level", "worst VDD est."],
+        &[
+            "tile",
+            "site",
+            "worst level",
+            "mean level",
+            "worst VDD est.",
+        ],
     );
     for s in &result.sites {
         t.row([
@@ -437,7 +502,13 @@ pub fn scan() -> String {
         .expect("valid noise");
     let sampler = EquivalentTimeSampler::new(Time::period_of(f), 20).expect("valid sampler");
     let recon = sampler
-        .capture_periodic(&system, &vdd, &Waveform::constant(0.0), Time::from_ns(100.0), 400)
+        .capture_periodic(
+            &system,
+            &vdd,
+            &Waveform::constant(0.0),
+            Time::from_ns(100.0),
+            400,
+        )
         .expect("capture");
     out.push_str(&format!(
         "equivalent-time capture of 50 MHz resonance: coverage {:.0}%, p2p {} (true 70 mV)\n",
@@ -448,8 +519,6 @@ pub fn scan() -> String {
     ));
     out
 }
-
-
 
 /// XP-GATE — the gate-level twin: netlist measures vs the behavioural
 /// array, and the noisy-domain droop seen by STA.
@@ -477,7 +546,11 @@ pub fn gate_level() -> String {
             fmt_v(v.volts()),
             a.to_string(),
             b.to_string(),
-            if agree { "yes".to_string() } else { "NO".into() },
+            if agree {
+                "yes".to_string()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     let mut s = t.render();
@@ -515,8 +588,6 @@ pub fn gate_level() -> String {
     s
 }
 
-
-
 /// XP-OVERHEAD — the paper's "very low overhead in terms of power and
 /// area" claim, quantified from the gate-level netlists.
 pub fn overhead() -> String {
@@ -544,14 +615,23 @@ pub fn overhead() -> String {
     let clk = one_array_system.net_by_name("clk").expect("clk");
     let enable = one_array_system.net_by_name("enable").expect("enable");
     let start = one_array_system.net_by_name("start").expect("start");
-    sim.drive(enable, psnt_cells::logic::Logic::One, Time::ZERO).expect("drive");
-    sim.drive(start, psnt_cells::logic::Logic::One, Time::ZERO).expect("drive");
+    sim.drive(enable, psnt_cells::logic::Logic::One, Time::ZERO)
+        .expect("drive");
+    sim.drive(start, psnt_cells::logic::Logic::One, Time::ZERO)
+        .expect("drive");
     for i in 0..3u8 {
-        let sel = one_array_system.net_by_name(&format!("sel{i}")).expect("sel");
-        sim.drive(sel, psnt_cells::logic::Logic::from(3 >> i & 1 == 1), Time::ZERO)
-            .expect("drive");
+        let sel = one_array_system
+            .net_by_name(&format!("sel{i}"))
+            .expect("sel");
+        sim.drive(
+            sel,
+            psnt_cells::logic::Logic::from(3 >> i & 1 == 1),
+            Time::ZERO,
+        )
+        .expect("drive");
     }
-    sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 50).expect("clock");
+    sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 50)
+        .expect("clock");
     sim.run_until(Time::from_ns(202.0));
     // Both arrays switch: double the array share ≈ double total (the
     // arrays dominate the switched capacitance through the big DS caps).
@@ -566,8 +646,14 @@ pub fn overhead() -> String {
         "sensor system area".to_string(),
         format!("{system_ge:.0} GE ≈ {system_um2:.0} µm²"),
     ]);
-    t.row(["  of which one 7-bit array".to_string(), format!("{array_ge:.0} GE")]);
-    t.row(["leakage".to_string(), format!("{:.2} µW", leakage_nw * 1e-3)]);
+    t.row([
+        "  of which one 7-bit array".to_string(),
+        format!("{array_ge:.0} GE"),
+    ]);
+    t.row([
+        "leakage".to_string(),
+        format!("{:.2} µW", leakage_nw * 1e-3),
+    ]);
     t.row([
         "dynamic power (continuous measures, 4 ns clock)".to_string(),
         format!("{dyn_uw:.1} µW"),
@@ -654,7 +740,10 @@ mod tests {
     #[test]
     fn gate_level_report_agrees() {
         let s = gate_level();
-        assert!(s.contains("bit-exact agreement across the sweep: yes"), "{s}");
+        assert!(
+            s.contains("bit-exact agreement across the sweep: yes"),
+            "{s}"
+        );
         assert!(s.contains("per-domain STA"));
     }
 

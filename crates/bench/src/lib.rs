@@ -13,6 +13,24 @@ pub mod figures;
 /// An experiment entry: a stable id and the function that renders it.
 pub type Experiment = (&'static str, fn() -> String);
 
+/// An experiment that can route telemetry through a
+/// [`psnt_obs::Observer`] while it renders.
+pub type ObservedExperiment = (&'static str, fn(Option<&mut psnt_obs::Observer>) -> String);
+
+/// The experiments with observer-aware variants, keyed by the same ids
+/// as [`all_experiments`]. `repro --telemetry` routes these through the
+/// shared observer; the rest run unobserved (span timing only).
+pub fn observed_experiments() -> Vec<ObservedExperiment> {
+    vec![
+        (
+            "fig6",
+            figures::fig6_observed as fn(Option<&mut psnt_obs::Observer>) -> String,
+        ),
+        ("fig9", figures::fig9_observed),
+        ("scan", figures::scan_observed),
+    ]
+}
+
 /// Every experiment as `(id, runner)`, in paper order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![

@@ -1,0 +1,87 @@
+//! End-to-end check of `repro --telemetry`: the binary writes a
+//! JSON-Lines stream framed by a run manifest and a metrics snapshot,
+//! with one event per FSM phase transition in between.
+
+use std::process::Command;
+
+use serde::{json, Value};
+
+#[test]
+fn repro_fig9_telemetry_stream_is_well_formed() {
+    let dir = std::env::temp_dir().join(format!("psnt-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig9.jsonl");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--fig9", "--telemetry"])
+        .arg(&path)
+        .output()
+        .expect("repro runs");
+    assert!(
+        output.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let stream = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    let records: Vec<Value> = stream
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e:?}")))
+        .collect();
+    assert!(records.len() >= 4, "stream too short:\n{stream}");
+
+    let kind = |v: &Value| v.get("type").and_then(Value::as_str).unwrap().to_string();
+
+    // Head: the run manifest identifying the experiment and setup.
+    assert_eq!(kind(&records[0]), "manifest");
+    assert_eq!(
+        records[0].get("experiment").and_then(Value::as_str),
+        Some("fig9")
+    );
+    assert_eq!(records[0].get("hs_code").and_then(Value::as_u64), Some(3));
+
+    // Tail: the final metrics snapshot, counting fig9's two measures.
+    let last = records.last().unwrap();
+    assert_eq!(kind(last), "metrics");
+    assert_eq!(
+        last.get("counters")
+            .and_then(|c| c.get("sensor.measures"))
+            .and_then(Value::as_u64),
+        Some(2)
+    );
+
+    // Body: at least one event per FSM phase transition, plus a span
+    // for the experiment itself.
+    let transitions: Vec<(String, String)> = records
+        .iter()
+        .filter(|r| kind(r) == "event" && r.get("subsystem").and_then(Value::as_str) == Some("fsm"))
+        .map(|r| {
+            (
+                r.get("from").and_then(Value::as_str).unwrap().to_string(),
+                r.get("to").and_then(Value::as_str).unwrap().to_string(),
+            )
+        })
+        .collect();
+    for expected in [
+        ("Idle", "Ready"),
+        ("Ready", "Prepare0"),
+        ("Prepare0", "Prepare"),
+        ("Prepare", "Sense0"),
+        ("Sense0", "Sense"),
+        ("Sense", "Ready"),
+    ] {
+        assert!(
+            transitions
+                .iter()
+                .any(|(f, t)| (f.as_str(), t.as_str()) == expected),
+            "missing FSM transition {expected:?} in {transitions:?}"
+        );
+    }
+    assert!(
+        records
+            .iter()
+            .any(|r| kind(r) == "span" && r.get("name").and_then(Value::as_str) == Some("fig9")),
+        "missing fig9 span"
+    );
+}

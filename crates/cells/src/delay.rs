@@ -445,9 +445,16 @@ mod tests {
     #[test]
     fn table_reproduces_grid_points() {
         let model = AlphaPowerDelay::paper_sense_inverter();
-        let voltages: Vec<Voltage> = (80..=120).step_by(5).map(|v| Voltage::from_mv(v as f64 * 10.0)).collect();
-        let loads: Vec<Capacitance> = (5..=40).step_by(5).map(|c| Capacitance::from_ff(c as f64 * 100.0)).collect();
-        let table = TableDelay::characterize(&model, voltages.clone(), loads.clone(), &pvt()).unwrap();
+        let voltages: Vec<Voltage> = (80..=120)
+            .step_by(5)
+            .map(|v| Voltage::from_mv(v as f64 * 10.0))
+            .collect();
+        let loads: Vec<Capacitance> = (5..=40)
+            .step_by(5)
+            .map(|c| Capacitance::from_ff(c as f64 * 100.0))
+            .collect();
+        let table =
+            TableDelay::characterize(&model, voltages.clone(), loads.clone(), &pvt()).unwrap();
         for &v in &voltages {
             for &c in &loads {
                 let exact = model.propagation_delay(v, c, &pvt());
@@ -463,8 +470,12 @@ mod tests {
     #[test]
     fn table_interpolation_close_to_model() {
         let model = AlphaPowerDelay::paper_sense_inverter();
-        let voltages: Vec<Voltage> = (0..=20).map(|i| Voltage::from_v(0.8 + 0.025 * i as f64)).collect();
-        let loads: Vec<Capacitance> = (0..=16).map(|i| Capacitance::from_pf(0.5 + 0.25 * i as f64)).collect();
+        let voltages: Vec<Voltage> = (0..=20)
+            .map(|i| Voltage::from_v(0.8 + 0.025 * i as f64))
+            .collect();
+        let loads: Vec<Capacitance> = (0..=16)
+            .map(|i| Capacitance::from_pf(0.5 + 0.25 * i as f64))
+            .collect();
         let table = TableDelay::characterize(&model, voltages, loads, &pvt()).unwrap();
         // Off-grid points: interpolation error should be well under 1 %.
         for &(v, c) in &[(0.913, 1.87), (1.004, 2.11), (1.09, 3.33)] {
@@ -482,14 +493,22 @@ mod tests {
     #[test]
     fn table_clamps_out_of_range() {
         let model = AlphaPowerDelay::paper_sense_inverter();
-        let voltages = vec![Voltage::from_v(0.9), Voltage::from_v(1.0), Voltage::from_v(1.1)];
+        let voltages = vec![
+            Voltage::from_v(0.9),
+            Voltage::from_v(1.0),
+            Voltage::from_v(1.1),
+        ];
         let loads = vec![Capacitance::from_pf(1.0), Capacitance::from_pf(2.0)];
         let table = TableDelay::characterize(&model, voltages, loads, &pvt()).unwrap();
-        let below = table.propagation_delay(Voltage::from_v(0.5), Capacitance::from_pf(1.5), &pvt());
-        let at_edge = table.propagation_delay(Voltage::from_v(0.9), Capacitance::from_pf(1.5), &pvt());
+        let below =
+            table.propagation_delay(Voltage::from_v(0.5), Capacitance::from_pf(1.5), &pvt());
+        let at_edge =
+            table.propagation_delay(Voltage::from_v(0.9), Capacitance::from_pf(1.5), &pvt());
         assert_eq!(below, at_edge);
-        let beyond = table.propagation_delay(Voltage::from_v(2.0), Capacitance::from_pf(5.0), &pvt());
-        let corner = table.propagation_delay(Voltage::from_v(1.1), Capacitance::from_pf(2.0), &pvt());
+        let beyond =
+            table.propagation_delay(Voltage::from_v(2.0), Capacitance::from_pf(5.0), &pvt());
+        let corner =
+            table.propagation_delay(Voltage::from_v(1.1), Capacitance::from_pf(2.0), &pvt());
         assert_eq!(beyond, corner);
     }
 

@@ -222,15 +222,19 @@ impl Dff {
     /// Deterministic: the new value is captured iff the arrival respects
     /// the setup time. Use [`Dff::sample_with_rng`] for a stochastic
     /// boundary.
-    pub fn sample(&self, arrival_after_edge: Time, new_value: Logic, old_value: Logic) -> SampleOutcome {
+    pub fn sample(
+        &self,
+        arrival_after_edge: Time,
+        new_value: Logic,
+        old_value: Logic,
+    ) -> SampleOutcome {
         let boundary = self.capture_boundary();
         let value = if arrival_after_edge <= boundary {
             new_value
         } else {
             old_value
         };
-        let violation =
-            arrival_after_edge > -self.setup && arrival_after_edge < self.hold;
+        let violation = arrival_after_edge > -self.setup && arrival_after_edge < self.hold;
         let severity = self.severity(arrival_after_edge);
         if !violation && severity == 0.0 {
             return SampleOutcome::clean(value, self.clk_to_q);
@@ -327,7 +331,15 @@ mod tests {
         assert!(Dff::new(ps(-1.0), ps(15.0), ps(90.0), ps(12.0), ps(8.0), ps(600.0)).is_err());
         assert!(Dff::new(ps(30.0), ps(15.0), Time::ZERO, ps(12.0), ps(8.0), ps(600.0)).is_err());
         assert!(Dff::new(ps(30.0), ps(15.0), ps(90.0), Time::ZERO, ps(8.0), ps(600.0)).is_err());
-        assert!(Dff::new(ps(30.0), ps(15.0), ps(90.0), ps(12.0), Time::ZERO, ps(600.0)).is_err());
+        assert!(Dff::new(
+            ps(30.0),
+            ps(15.0),
+            ps(90.0),
+            ps(12.0),
+            Time::ZERO,
+            ps(600.0)
+        )
+        .is_err());
         assert!(Dff::new(ps(30.0), ps(15.0), ps(90.0), ps(12.0), ps(8.0), ps(10.0)).is_err());
     }
 
@@ -392,7 +404,10 @@ mod tests {
         let mut deltas = Vec::new();
         for a in [-37.0, -35.0, -33.0, -31.5, -30.5, -30.1] {
             let out = f.sample(ps(a), Logic::One, Logic::Zero);
-            assert!(out.clk_to_out >= prev, "resolution must grow toward the boundary");
+            assert!(
+                out.clk_to_out >= prev,
+                "resolution must grow toward the boundary"
+            );
             deltas.push(out.clk_to_out - prev);
             prev = out.clk_to_out;
         }
@@ -440,7 +455,10 @@ mod tests {
                 new_count += 1;
             }
         }
-        assert!((880..=990).contains(&new_count), "expected ~94 % new captures, got {new_count}");
+        assert!(
+            (880..=990).contains(&new_count),
+            "expected ~94 % new captures, got {new_count}"
+        );
 
         // At the boundary: close to 50/50.
         let mut new_count = 0;
@@ -450,7 +468,10 @@ mod tests {
                 new_count += 1;
             }
         }
-        assert!((800..=1200).contains(&new_count), "boundary biased: {new_count}");
+        assert!(
+            (800..=1200).contains(&new_count),
+            "boundary biased: {new_count}"
+        );
     }
 
     #[test]

@@ -414,12 +414,30 @@ mod tests {
     fn truth_tables_two_input() {
         use Logic::{One, Zero};
         let cases = [
-            (GateFunction::Nand2, [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)]),
-            (GateFunction::Nor2, [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)]),
-            (GateFunction::And2, [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)]),
-            (GateFunction::Or2, [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)]),
-            (GateFunction::Xor2, [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)]),
-            (GateFunction::Xnor2, [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 1)]),
+            (
+                GateFunction::Nand2,
+                [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)],
+            ),
+            (
+                GateFunction::Nor2,
+                [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)],
+            ),
+            (
+                GateFunction::And2,
+                [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)],
+            ),
+            (
+                GateFunction::Or2,
+                [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)],
+            ),
+            (
+                GateFunction::Xor2,
+                [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)],
+            ),
+            (
+                GateFunction::Xnor2,
+                [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 1)],
+            ),
         ];
         for (gate, table) in cases {
             for (a, b, q) in table {
@@ -461,7 +479,7 @@ mod tests {
 
     #[test]
     fn controlling_values_beat_x() {
-        use Logic::{One, X, Zero};
+        use Logic::{One, Zero, X};
         assert_eq!(GateFunction::Nand2.eval(&[Zero, X]), One);
         assert_eq!(GateFunction::Nor2.eval(&[One, X]), Zero);
         assert_eq!(GateFunction::And3.eval(&[X, Zero, X]), Zero);
@@ -506,8 +524,13 @@ mod tests {
             1.3,
         )
         .unwrap();
-        let cell = StdCell::new("ASYM_INV", GateFunction::Inv, rise, Capacitance::from_ff(2.0))
-            .with_fall_model(fall);
+        let cell = StdCell::new(
+            "ASYM_INV",
+            GateFunction::Inv,
+            rise,
+            Capacitance::from_ff(2.0),
+        )
+        .with_fall_model(fall);
         let pvt = Pvt::typical();
         let c = Capacitance::from_pf(2.0);
         let v = Voltage::from_v(0.9);

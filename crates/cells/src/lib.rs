@@ -57,7 +57,9 @@ pub use library::CellLibrary;
 pub use logic::{Logic, LogicVector};
 pub use mosfet::AlphaPowerModel;
 pub use process::{ProcessCorner, Pvt};
-pub use units::{Capacitance, Current, Frequency, Inductance, Resistance, Temperature, Time, Voltage};
+pub use units::{
+    Capacitance, Current, Frequency, Inductance, Resistance, Temperature, Time, Voltage,
+};
 
 #[cfg(test)]
 mod tests {

@@ -184,7 +184,10 @@ mod tests {
         let d = s.path_delay(Voltage::from_v(1.0));
         assert!(d < period() - Time::from_ps(30.0));
         assert!(d > period() * 0.5, "path should be reasonably critical");
-        assert_eq!(s.evaluate(Voltage::from_v(1.0), true, period()), RazorOutcome::NoError);
+        assert_eq!(
+            s.evaluate(Voltage::from_v(1.0), true, period()),
+            RazorOutcome::NoError
+        );
     }
 
     #[test]

@@ -248,19 +248,21 @@ mod tests {
         let vdd = SupplyNoiseBuilder::new(Voltage::from_v(1.0))
             .span(Time::ZERO, window)
             .resolution(Time::from_ns(1.0))
-            .ramp(Voltage::from_mv(-100.0), Time::from_ns(475.0), Time::from_ns(480.0))
-            .ramp(Voltage::from_mv(100.0), Time::from_ns(520.0), Time::from_ns(525.0))
+            .ramp(
+                Voltage::from_mv(-100.0),
+                Time::from_ns(475.0),
+                Time::from_ns(480.0),
+            )
+            .ramp(
+                Voltage::from_mv(100.0),
+                Time::from_ns(520.0),
+                Time::from_ns(525.0),
+            )
             .build()
             .unwrap();
         let gnd = Waveform::constant(0.0);
         let with_droop = r.count(&vdd, &gnd, Time::ZERO, window, &pvt());
-        let quiet = r.count(
-            &Waveform::constant(1.0),
-            &gnd,
-            Time::ZERO,
-            window,
-            &pvt(),
-        );
+        let quiet = r.count(&Waveform::constant(1.0), &gnd, Time::ZERO, window, &pvt());
         let rel = (quiet as f64 - with_droop as f64) / quiet as f64;
         assert!(rel > 0.0, "droop must reduce the count");
         assert!(rel < 0.03, "count shift {rel:.4} should be marginal");

@@ -228,8 +228,7 @@ mod tests {
             .map(|i| Capacitance::from_pf(i as f64 * 0.1))
             .collect();
         let skew = pg().skew(code011(), &pvt());
-        let points =
-            sensitivity_characteristic(RailMode::Supply, skew, &pvt(), loads).unwrap();
+        let points = sensitivity_characteristic(RailMode::Supply, skew, &pvt(), loads).unwrap();
         for w in points.windows(2) {
             assert!(w[1].threshold > w[0].threshold, "Fig. 4 must be monotone");
         }
@@ -251,8 +250,7 @@ mod tests {
         let loads: Vec<Capacitance> = (0..=20)
             .map(|i| Capacitance::from_pf(1.95 + 0.018 * i as f64))
             .collect();
-        let points =
-            sensitivity_characteristic(RailMode::Supply, skew, &pvt(), loads).unwrap();
+        let points = sensitivity_characteristic(RailMode::Supply, skew, &pvt(), loads).unwrap();
         assert!(points
             .iter()
             .all(|p| (0.88..=1.12).contains(&p.threshold.volts())));
@@ -322,7 +320,11 @@ mod tests {
         let a = array();
         let p = pg();
         let tt = array_characteristic(&a, &p, code011(), &pvt()).unwrap();
-        let ss_pvt = Pvt::new(ProcessCorner::SS, Voltage::from_v(1.0), Temperature::from_celsius(25.0));
+        let ss_pvt = Pvt::new(
+            ProcessCorner::SS,
+            Voltage::from_v(1.0),
+            Temperature::from_celsius(25.0),
+        );
         let ss = array_characteristic(&a, &p, code011(), &ss_pvt).unwrap();
         let shift = (ss.midpoint() - tt.midpoint()).abs();
         assert!(
@@ -336,7 +338,11 @@ mod tests {
         let a = array();
         let p = pg();
         for corner in [ProcessCorner::SS, ProcessCorner::FF] {
-            let corner_pvt = Pvt::new(corner, Voltage::from_v(1.0), Temperature::from_celsius(25.0));
+            let corner_pvt = Pvt::new(
+                corner,
+                Voltage::from_v(1.0),
+                Temperature::from_celsius(25.0),
+            );
             let trim = trim_for_corner(&a, &p, code011(), &pvt(), &corner_pvt).unwrap();
             assert!(
                 trim.residual <= trim.untrimmed_residual,

@@ -40,8 +40,9 @@
 use psnt_cells::dff::Dff;
 use psnt_cells::gates::StdCell;
 use psnt_cells::logic::Logic;
-use psnt_cells::units::Capacitance;
+use psnt_cells::units::{Capacitance, Time};
 use psnt_netlist::graph::{NetId, Netlist};
+use psnt_obs::{Event as ObsEvent, Observer};
 use serde::{Deserialize, Serialize};
 
 /// The FSM states of Fig. 8 (with the two clock-phase sub-states of the
@@ -188,6 +189,32 @@ impl Controller {
         self.outputs()
     }
 
+    /// [`Controller::step`] plus telemetry: when an observer is
+    /// attached, every state *transition* (not self-loop) is logged as
+    /// an `fsm`/`transition` event stamped with the cycle's simulated
+    /// time.
+    pub fn step_observed(
+        &mut self,
+        inputs: CtrlInputs,
+        at: Time,
+        observer: Option<&mut Observer>,
+    ) -> CtrlOutputs {
+        let from = self.state;
+        let out = self.step(inputs);
+        if let Some(obs) = observer {
+            if self.state != from {
+                obs.event(
+                    ObsEvent::new("fsm", "transition")
+                        .at(at)
+                        .field("from", &format!("{from:?}"))
+                        .field("to", &format!("{:?}", self.state))
+                        .field("measures_done", &self.measures_done),
+                );
+            }
+        }
+        out
+    }
+
     /// Outputs for the current state.
     pub fn outputs(&self) -> CtrlOutputs {
         let (p, cp) = match self.state {
@@ -328,7 +355,9 @@ pub fn build_control_netlist(cfg: &CtrlNetlistConfig) -> Netlist {
     }
     let done = chain.expect("counter_bits >= 1");
     let not_done = {
-        let g = n.add_gate("inv_done", StdCell::inverter(1.0), &[done]).unwrap();
+        let g = n
+            .add_gate("inv_done", StdCell::inverter(1.0), &[done])
+            .unwrap();
         wire(&mut n, g)
     };
     let auto_more = {
@@ -349,35 +378,51 @@ pub fn build_control_netlist(cfg: &CtrlNetlistConfig) -> Netlist {
     //   d1 = (!s2·!s1·s0·start_eff) + (!s2·s1·!s0)
     //   d2 = (!s2·s1·s0) + (s2·!s1·!s0)
     let t_ready = {
-        let g = n.add_gate("t_ready", StdCell::and3(1.0), &[ns2, ns1, s0]).unwrap();
+        let g = n
+            .add_gate("t_ready", StdCell::and3(1.0), &[ns2, ns1, s0])
+            .unwrap();
         wire(&mut n, g)
     };
     let t_prp0 = {
-        let g = n.add_gate("t_prp0", StdCell::and3(1.0), &[ns2, s1, ns0]).unwrap();
+        let g = n
+            .add_gate("t_prp0", StdCell::and3(1.0), &[ns2, s1, ns0])
+            .unwrap();
         wire(&mut n, g)
     };
     let t_prp = {
-        let g = n.add_gate("t_prp", StdCell::and3(1.0), &[ns2, s1, s0]).unwrap();
+        let g = n
+            .add_gate("t_prp", StdCell::and3(1.0), &[ns2, s1, s0])
+            .unwrap();
         wire(&mut n, g)
     };
     let t_sns0 = {
-        let g = n.add_gate("t_sns0", StdCell::and3(1.0), &[s2, ns1, ns0]).unwrap();
+        let g = n
+            .add_gate("t_sns0", StdCell::and3(1.0), &[s2, ns1, ns0])
+            .unwrap();
         wire(&mut n, g)
     };
     let t_idle = {
-        let g = n.add_gate("t_idle", StdCell::and3(1.0), &[ns2, ns1, ns0]).unwrap();
+        let g = n
+            .add_gate("t_idle", StdCell::and3(1.0), &[ns2, ns1, ns0])
+            .unwrap();
         wire(&mut n, g)
     };
     let s2_nns1 = {
-        let g = n.add_gate("t_sense_any", StdCell::and2(1.0), &[s2, ns1]).unwrap();
+        let g = n
+            .add_gate("t_sense_any", StdCell::and2(1.0), &[s2, ns1])
+            .unwrap();
         wire(&mut n, g)
     };
     let idle_en = {
-        let g = n.add_gate("idle_en", StdCell::and2(1.0), &[t_idle, enable]).unwrap();
+        let g = n
+            .add_gate("idle_en", StdCell::and2(1.0), &[t_idle, enable])
+            .unwrap();
         wire(&mut n, g)
     };
     let n_start = {
-        let g = n.add_gate("n_start", StdCell::inverter(1.0), &[start_eff]).unwrap();
+        let g = n
+            .add_gate("n_start", StdCell::inverter(1.0), &[start_eff])
+            .unwrap();
         wire(&mut n, g)
     };
     let ready_hold = {
@@ -387,11 +432,15 @@ pub fn build_control_netlist(cfg: &CtrlNetlistConfig) -> Netlist {
         wire(&mut n, g)
     };
     let d0_a = {
-        let g = n.add_gate("d0_a", StdCell::or3(1.0), &[ready_hold, t_prp0, s2_nns1]).unwrap();
+        let g = n
+            .add_gate("d0_a", StdCell::or3(1.0), &[ready_hold, t_prp0, s2_nns1])
+            .unwrap();
         wire(&mut n, g)
     };
     let d0 = {
-        let g = n.add_gate("d0", StdCell::or2(1.0), &[d0_a, idle_en]).unwrap();
+        let g = n
+            .add_gate("d0", StdCell::or2(1.0), &[d0_a, idle_en])
+            .unwrap();
         wire(&mut n, g)
     };
     let ready_start = {
@@ -401,11 +450,15 @@ pub fn build_control_netlist(cfg: &CtrlNetlistConfig) -> Netlist {
         wire(&mut n, g)
     };
     let d1 = {
-        let g = n.add_gate("d1", StdCell::or2(1.0), &[ready_start, t_prp0]).unwrap();
+        let g = n
+            .add_gate("d1", StdCell::or2(1.0), &[ready_start, t_prp0])
+            .unwrap();
         wire(&mut n, g)
     };
     let d2 = {
-        let g = n.add_gate("d2", StdCell::or2(1.0), &[t_prp, t_sns0]).unwrap();
+        let g = n
+            .add_gate("d2", StdCell::or2(1.0), &[t_prp, t_sns0])
+            .unwrap();
         wire(&mut n, g)
     };
     rewire_dff_d(&mut n, 0, d0);
@@ -425,7 +478,9 @@ pub fn build_control_netlist(cfg: &CtrlNetlistConfig) -> Netlist {
         wire(&mut n, g)
     };
     let cp_out = {
-        let g = n.add_gate("cp_dec", StdCell::and2(2.0), &[s0, s1_or_s2]).unwrap();
+        let g = n
+            .add_gate("cp_dec", StdCell::and2(2.0), &[s0, s1_or_s2])
+            .unwrap();
         wire(&mut n, g)
     };
 
@@ -434,7 +489,9 @@ pub fn build_control_netlist(cfg: &CtrlNetlistConfig) -> Netlist {
     // sensor-pin skew is set by the PG alone. The block-level `p` output
     // (= !s2) keeps the Fig. 8 per-state levels.
     let p_pulse = {
-        let g = n.add_gate("p_pulse_dec", StdCell::nand2(2.0), &[s2, s0]).unwrap();
+        let g = n
+            .add_gate("p_pulse_dec", StdCell::nand2(2.0), &[s2, s0])
+            .unwrap();
         wire(&mut n, g)
     };
     n.mark_output("p", p_out);
@@ -480,11 +537,12 @@ mod tests {
     #[test]
     fn fsm_walks_the_fig8_sequence() {
         let mut c = Controller::new(None);
-        let seq: Vec<CtrlState> = (0..7).map(|_| {
-            c.step(go());
-            c.state()
-        })
-        .collect();
+        let seq: Vec<CtrlState> = (0..7)
+            .map(|_| {
+                c.step(go());
+                c.state()
+            })
+            .collect();
         assert_eq!(
             seq,
             vec![
@@ -507,17 +565,26 @@ mod tests {
             c.step(CtrlInputs::default());
             assert_eq!(c.state(), CtrlState::Idle);
         }
-        c.step(CtrlInputs { enable: true, start: false });
+        c.step(CtrlInputs {
+            enable: true,
+            start: false,
+        });
         assert_eq!(c.state(), CtrlState::Ready);
         // READY holds without a start.
-        c.step(CtrlInputs { enable: true, start: false });
+        c.step(CtrlInputs {
+            enable: true,
+            start: false,
+        });
         assert_eq!(c.state(), CtrlState::Ready);
     }
 
     #[test]
     fn auto_iteration_policy() {
         let mut c = Controller::new(Some(3));
-        let en = CtrlInputs { enable: true, start: false };
+        let en = CtrlInputs {
+            enable: true,
+            start: false,
+        };
         // Enable only: the controller self-runs 3 measures then parks.
         for _ in 0..40 {
             c.step(en);
@@ -615,7 +682,8 @@ mod tests {
         sim.drive(enable, Logic::One, Time::ZERO).unwrap();
         sim.drive(start, Logic::One, Time::ZERO).unwrap();
         let period = Time::from_ns(4.0);
-        sim.drive_clock(clk, Time::from_ns(2.0), period, 12).unwrap();
+        sim.drive_clock(clk, Time::from_ns(2.0), period, 12)
+            .unwrap();
 
         let mut behavioural = Controller::new(None);
         for cycle in 0..12 {

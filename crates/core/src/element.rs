@@ -201,8 +201,7 @@ impl SenseElement {
         let vth = pvt.effective_vth(self.inv.vth());
         let lo = vth + Voltage::from_mv(10.0);
         let hi = Voltage::from_v(3.0);
-        let fails =
-            |v: Voltage| self.inv.propagation_delay(v, self.load, pvt) > window;
+        let fails = |v: Voltage| self.inv.propagation_delay(v, self.load, pvt) > window;
         if !fails(lo) || fails(hi) {
             return Err(SensorError::ThresholdOutOfRange {
                 lo: lo.volts(),
@@ -347,8 +346,14 @@ mod tests {
         let tg = ls.threshold(skew011(), &pvt()).unwrap();
         // G* = VDD_nom − V*: bounce above ~64 mV fails.
         assert!((tg.volts() - (1.0 - tv.volts())).abs() < 1e-6);
-        assert!(ls.measure(tg - Voltage::from_mv(10.0), skew011(), &pvt()).passed);
-        assert!(!ls.measure(tg + Voltage::from_mv(10.0), skew011(), &pvt()).passed);
+        assert!(
+            ls.measure(tg - Voltage::from_mv(10.0), skew011(), &pvt())
+                .passed
+        );
+        assert!(
+            !ls.measure(tg + Voltage::from_mv(10.0), skew011(), &pvt())
+                .passed
+        );
     }
 
     #[test]

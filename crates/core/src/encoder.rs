@@ -161,14 +161,32 @@ mod tests {
     #[test]
     fn width_validation() {
         assert!(Encoder::new(0, EncodingPolicy::Truncate).is_err());
-        assert_eq!(Encoder::new(7, EncodingPolicy::Truncate).unwrap().width(), 7);
+        assert_eq!(
+            Encoder::new(7, EncodingPolicy::Truncate).unwrap().width(),
+            7
+        );
     }
 
     #[test]
     fn binary_bits_sizing() {
-        assert_eq!(Encoder::new(7, EncodingPolicy::default()).unwrap().binary_bits(), 3);
-        assert_eq!(Encoder::new(8, EncodingPolicy::default()).unwrap().binary_bits(), 4);
-        assert_eq!(Encoder::new(1, EncodingPolicy::default()).unwrap().binary_bits(), 1);
+        assert_eq!(
+            Encoder::new(7, EncodingPolicy::default())
+                .unwrap()
+                .binary_bits(),
+            3
+        );
+        assert_eq!(
+            Encoder::new(8, EncodingPolicy::default())
+                .unwrap()
+                .binary_bits(),
+            4
+        );
+        assert_eq!(
+            Encoder::new(1, EncodingPolicy::default())
+                .unwrap()
+                .binary_bits(),
+            1
+        );
     }
 
     #[test]

@@ -79,16 +79,24 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SensorError::InvalidDelayCode { code: 9, table_len: 8 }
-            .to_string()
-            .contains("9"));
-        assert!(SensorError::InvalidConfig { name: "bits", reason: "zero".into() }
-            .to_string()
-            .contains("bits"));
+        assert!(SensorError::InvalidDelayCode {
+            code: 9,
+            table_len: 8
+        }
+        .to_string()
+        .contains("9"));
+        assert!(SensorError::InvalidConfig {
+            name: "bits",
+            reason: "zero".into()
+        }
+        .to_string()
+        .contains("bits"));
         assert!(SensorError::ThresholdOutOfRange { lo: 0.5, hi: 1.5 }
             .to_string()
             .contains("0.5"));
-        assert!(SensorError::WaveformGap { at_ps: 10.0 }.to_string().contains("10"));
+        assert!(SensorError::WaveformGap { at_ps: 10.0 }
+            .to_string()
+            .contains("10"));
     }
 
     #[test]

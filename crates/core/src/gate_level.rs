@@ -200,16 +200,21 @@ impl GateLevelArray {
         sim.set_domain_supply(self.noisy, rail);
 
         // PREPARE: P = 1 forces every DS low; a CP edge captures the 0s.
-        sim.drive(self.p, Logic::One, Time::ZERO).map_err(SensorError::from)?;
-        sim.drive(self.cp, Logic::Zero, Time::ZERO).map_err(SensorError::from)?;
-        sim.drive(self.cp, Logic::One, plan.prepare_edge).map_err(SensorError::from)?;
+        sim.drive(self.p, Logic::One, Time::ZERO)
+            .map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::Zero, Time::ZERO)
+            .map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::One, plan.prepare_edge)
+            .map_err(SensorError::from)?;
         sim.drive(self.cp, Logic::Zero, plan.prepare_edge + Time::from_ns(1.0))
             .map_err(SensorError::from)?;
 
         // SENSE: P falls; CP rises `skew` later; the FFs race the DS
         // transitions against their setup windows.
-        sim.drive(self.p, Logic::Zero, plan.sense_launch).map_err(SensorError::from)?;
-        sim.drive(self.cp, Logic::One, plan.sense_edge).map_err(SensorError::from)?;
+        sim.drive(self.p, Logic::Zero, plan.sense_launch)
+            .map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::One, plan.sense_edge)
+            .map_err(SensorError::from)?;
 
         // Read the PREPARE code just before the SENSE launch…
         sim.run_until(plan.sense_launch - Time::from_ps(1.0));
@@ -333,8 +338,9 @@ mod tests {
         // element.
         let a = GateLevelArray::paper().unwrap();
         for rail in [0.2, 0.5] {
-            let (sense, prepare) =
-                a.measure_detailed(Voltage::from_v(rail), skew011()).unwrap();
+            let (sense, prepare) = a
+                .measure_detailed(Voltage::from_v(rail), skew011())
+                .unwrap();
             assert_eq!(prepare.to_string(), "0000000", "rail {rail} V");
             assert!(sense.is_underflow(), "rail {rail} V");
         }
@@ -482,18 +488,23 @@ impl GateLevelPulseGen {
     ///
     /// Propagates simulator failures.
     pub fn measured_skew(&self, code: crate::pulsegen::DelayCode) -> Result<Time, SensorError> {
-        let mut sim = Simulator::new(&self.netlist, Voltage::from_v(1.0))
-            .map_err(SensorError::from)?;
+        let mut sim =
+            Simulator::new(&self.netlist, Voltage::from_v(1.0)).map_err(SensorError::from)?;
         for (bit, &net) in self.sel.iter().enumerate() {
             let level = Logic::from(code.value() >> bit & 1 == 1);
-            sim.drive(net, level, Time::ZERO).map_err(SensorError::from)?;
+            sim.drive(net, level, Time::ZERO)
+                .map_err(SensorError::from)?;
         }
-        sim.drive(self.p_in, Logic::Zero, Time::ZERO).map_err(SensorError::from)?;
-        sim.drive(self.cp_in, Logic::Zero, Time::ZERO).map_err(SensorError::from)?;
+        sim.drive(self.p_in, Logic::Zero, Time::ZERO)
+            .map_err(SensorError::from)?;
+        sim.drive(self.cp_in, Logic::Zero, Time::ZERO)
+            .map_err(SensorError::from)?;
         sim.run_until(Time::from_ns(2.0));
         let launch = Time::from_ns(3.0);
-        sim.drive(self.p_in, Logic::One, launch).map_err(SensorError::from)?;
-        sim.drive(self.cp_in, Logic::One, launch).map_err(SensorError::from)?;
+        sim.drive(self.p_in, Logic::One, launch)
+            .map_err(SensorError::from)?;
+        sim.drive(self.cp_in, Logic::One, launch)
+            .map_err(SensorError::from)?;
         sim.run_until(Time::from_ns(6.0));
         let p_edge = sim
             .trace()
@@ -671,13 +682,16 @@ impl GateLevelSystem {
         rails: &[Voltage],
     ) -> Result<Vec<GateLevelMeasure>, SensorError> {
         let period = Time::from_ns(4.0);
-        let mut sim = Simulator::new(&self.netlist, Voltage::from_v(1.0))
+        let mut sim =
+            Simulator::new(&self.netlist, Voltage::from_v(1.0)).map_err(SensorError::from)?;
+        sim.drive(self.enable, Logic::One, Time::ZERO)
             .map_err(SensorError::from)?;
-        sim.drive(self.enable, Logic::One, Time::ZERO).map_err(SensorError::from)?;
-        sim.drive(self.start, Logic::One, Time::ZERO).map_err(SensorError::from)?;
+        sim.drive(self.start, Logic::One, Time::ZERO)
+            .map_err(SensorError::from)?;
         for (bit, &net) in self.sel.iter().enumerate() {
             let level = Logic::from(code.value() >> bit & 1 == 1);
-            sim.drive(net, level, Time::ZERO).map_err(SensorError::from)?;
+            sim.drive(net, level, Time::ZERO)
+                .map_err(SensorError::from)?;
         }
         let cycles = rails.len() * 5 + 6;
         sim.drive_clock(self.clk, Time::from_ns(2.0), period, cycles)

@@ -213,7 +213,11 @@ pub fn monte_carlo_yield(
     Ok(YieldReport {
         trials: n,
         monotone,
-        mean_abs_shift: if samples == 0 { 0.0 } else { abs_sum / samples as f64 },
+        mean_abs_shift: if samples == 0 {
+            0.0
+        } else {
+            abs_sum / samples as f64
+        },
         worst_shift: worst,
     })
 }
@@ -248,8 +252,7 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((*x - *y).abs() < Voltage::from_mv(0.02));
         }
-        let report =
-            monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 10, 3).unwrap();
+        let report = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 10, 3).unwrap();
         assert_eq!(report.monotone, 10);
         assert!(report.worst_shift < 1e-4);
     }
@@ -268,11 +271,14 @@ mod tests {
     #[test]
     fn mismatch_scatters_thresholds() {
         let model = MismatchModel::local_90nm();
-        let report =
-            monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 100, 9).unwrap();
+        let report = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 100, 9).unwrap();
         assert_eq!(report.trials, 100);
         // 2 % drive sigma ⇒ threshold sigma ~20 mV: shifts are visible…
-        assert!(report.mean_abs_shift > 0.005, "mean {}", report.mean_abs_shift);
+        assert!(
+            report.mean_abs_shift > 0.005,
+            "mean {}",
+            report.mean_abs_shift
+        );
         assert!(report.worst_shift > report.mean_abs_shift);
         // …and with ~30 mV element spacing some arrays lose monotonicity,
         // but not all.
@@ -285,15 +291,9 @@ mod tests {
         let base = MismatchModel::local_90nm();
         let mut prev = usize::MAX;
         for k in [0.25, 1.0, 3.0] {
-            let report = monte_carlo_yield(
-                &array(),
-                skew(),
-                &Pvt::typical(),
-                &base.scaled(k),
-                120,
-                11,
-            )
-            .unwrap();
+            let report =
+                monte_carlo_yield(&array(), skew(), &Pvt::typical(), &base.scaled(k), 120, 11)
+                    .unwrap();
             assert!(
                 report.monotone <= prev,
                 "yield should not improve with more mismatch (k={k})"

@@ -438,9 +438,14 @@ mod tests {
     fn auto_ranger_saturates_at_the_table_ends() {
         let mut ranger = AutoRanger::new(DelayCode::new(0).unwrap(), 1).unwrap();
         // A permanently overflowing measurement cannot step below code 0.
-        let sensor = crate::system::SensorSystem::new(crate::system::SensorConfig::default()).unwrap();
+        let sensor =
+            crate::system::SensorSystem::new(crate::system::SensorConfig::default()).unwrap();
         let m = sensor
-            .measure_at(&Waveform::constant(1.6), &Waveform::constant(0.0), Time::from_ns(10.0))
+            .measure_at(
+                &Waveform::constant(1.6),
+                &Waveform::constant(0.0),
+                Time::from_ns(10.0),
+            )
             .unwrap();
         assert!(m.hs_word.overflow);
         assert_eq!(ranger.observe(&m), None);
@@ -448,7 +453,11 @@ mod tests {
 
         let mut ranger = AutoRanger::new(DelayCode::new(7).unwrap(), 1).unwrap();
         let m = sensor
-            .measure_at(&Waveform::constant(0.5), &Waveform::constant(0.0), Time::from_ns(10.0))
+            .measure_at(
+                &Waveform::constant(0.5),
+                &Waveform::constant(0.0),
+                Time::from_ns(10.0),
+            )
             .unwrap();
         assert!(m.hs_word.underflow);
         assert_eq!(ranger.observe(&m), None);
@@ -457,7 +466,8 @@ mod tests {
 
     #[test]
     fn auto_ranger_debounces_single_saturations() {
-        let sensor = crate::system::SensorSystem::new(crate::system::SensorConfig::default()).unwrap();
+        let sensor =
+            crate::system::SensorSystem::new(crate::system::SensorConfig::default()).unwrap();
         let gnd = Waveform::constant(0.0);
         let mut ranger = AutoRanger::new(DelayCode::new(3).unwrap(), 3).unwrap();
         let over = sensor
@@ -480,10 +490,30 @@ mod tests {
     #[test]
     fn governor_validation() {
         let v = Voltage::from_v;
-        assert!(DvfsGovernor::new(v(0.8), Voltage::ZERO, Voltage::ZERO, v(0.025), v(0.7), v(1.05)).is_err());
-        assert!(DvfsGovernor::new(v(0.8), v(0.03), Voltage::ZERO, Voltage::ZERO, v(0.7), v(1.05)).is_err());
-        assert!(DvfsGovernor::new(v(0.8), v(0.03), Voltage::ZERO, v(0.025), v(1.05), v(0.7)).is_err());
-        assert!(DvfsGovernor::new(v(1.2), v(0.03), Voltage::ZERO, v(0.025), v(0.7), v(1.05)).is_err());
+        assert!(DvfsGovernor::new(
+            v(0.8),
+            Voltage::ZERO,
+            Voltage::ZERO,
+            v(0.025),
+            v(0.7),
+            v(1.05)
+        )
+        .is_err());
+        assert!(DvfsGovernor::new(
+            v(0.8),
+            v(0.03),
+            Voltage::ZERO,
+            Voltage::ZERO,
+            v(0.7),
+            v(1.05)
+        )
+        .is_err());
+        assert!(
+            DvfsGovernor::new(v(0.8), v(0.03), Voltage::ZERO, v(0.025), v(1.05), v(0.7)).is_err()
+        );
+        assert!(
+            DvfsGovernor::new(v(1.2), v(0.03), Voltage::ZERO, v(0.025), v(0.7), v(1.05)).is_err()
+        );
         assert!(DvfsGovernor::with_v_min(v(0.8)).is_ok());
     }
 

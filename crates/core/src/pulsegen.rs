@@ -52,10 +52,7 @@ impl DelayCode {
     /// Returns [`SensorError::InvalidDelayCode`] for values above 7.
     pub fn new(code: u8) -> Result<DelayCode, SensorError> {
         if code > 7 {
-            return Err(SensorError::InvalidDelayCode {
-                code,
-                table_len: 8,
-            });
+            return Err(SensorError::InvalidDelayCode { code, table_len: 8 });
         }
         Ok(DelayCode(code))
     }
@@ -307,7 +304,11 @@ mod tests {
         let pg = PulseGenerator::paper_table();
         let code = DelayCode::new(3).unwrap();
         let tt = Pvt::typical();
-        let ss = Pvt::new(ProcessCorner::SS, Voltage::from_v(1.0), Temperature::from_celsius(25.0));
+        let ss = Pvt::new(
+            ProcessCorner::SS,
+            Voltage::from_v(1.0),
+            Temperature::from_celsius(25.0),
+        );
         assert!(pg.cp_delay_at(code, &ss) > pg.cp_delay_at(code, &tt));
         assert!(pg.skew(code, &ss) > pg.skew(code, &tt));
     }
@@ -325,12 +326,8 @@ mod tests {
         let ps = Time::from_ps;
         assert!(PulseGenerator::with_taps(vec![], ps(80.0), ps(30.0)).is_err());
         assert!(PulseGenerator::with_taps(vec![ps(0.0)], ps(80.0), ps(30.0)).is_err());
-        assert!(
-            PulseGenerator::with_taps(vec![ps(20.0), ps(20.0)], ps(80.0), ps(30.0)).is_err()
-        );
-        assert!(
-            PulseGenerator::with_taps(vec![ps(20.0), ps(30.0)], ps(-1.0), ps(30.0)).is_err()
-        );
+        assert!(PulseGenerator::with_taps(vec![ps(20.0), ps(20.0)], ps(80.0), ps(30.0)).is_err());
+        assert!(PulseGenerator::with_taps(vec![ps(20.0), ps(30.0)], ps(-1.0), ps(30.0)).is_err());
         assert!(PulseGenerator::with_taps(vec![ps(20.0), ps(30.0)], ps(80.0), ps(30.0)).is_ok());
     }
 

@@ -32,6 +32,7 @@
 
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Time, Voltage};
+use psnt_obs::{Event as ObsEvent, Observer};
 use psnt_pdn::waveform::Waveform;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -179,11 +180,49 @@ impl SensorSystem {
     ///
     /// Propagates characterisation failures.
     pub fn trim(&mut self, corner: &Pvt) -> Result<(TrimResult, TrimResult), SensorError> {
-        let hs_trim = trim_for_corner(&self.hs, &self.pg, self.config.hs_code, &self.config.pvt, corner)?;
-        let ls_trim = trim_for_corner(&self.ls, &self.pg, self.config.ls_code, &self.config.pvt, corner)?;
+        self.trim_observed(corner, None)
+    }
+
+    /// [`SensorSystem::trim`] plus telemetry: the chosen codes and
+    /// residuals of each trim decision are logged as a `sensor`/`trim`
+    /// event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation failures.
+    pub fn trim_observed(
+        &mut self,
+        corner: &Pvt,
+        observer: Option<&mut Observer>,
+    ) -> Result<(TrimResult, TrimResult), SensorError> {
+        let hs_trim = trim_for_corner(
+            &self.hs,
+            &self.pg,
+            self.config.hs_code,
+            &self.config.pvt,
+            corner,
+        )?;
+        let ls_trim = trim_for_corner(
+            &self.ls,
+            &self.pg,
+            self.config.ls_code,
+            &self.config.pvt,
+            corner,
+        )?;
         self.config.hs_code = hs_trim.code;
         self.config.ls_code = ls_trim.code;
         self.config.pvt = *corner;
+        if let Some(obs) = observer {
+            obs.metrics.counter_add("sensor.trims", 1);
+            obs.event(
+                ObsEvent::new("sensor", "trim")
+                    .field("corner", &format!("{:?}", corner.corner))
+                    .field("hs_code", &hs_trim.code.value())
+                    .field("ls_code", &ls_trim.code.value())
+                    .field("hs_residual_mv", &(hs_trim.residual.volts() * 1e3))
+                    .field("ls_residual_mv", &(ls_trim.residual.volts() * 1e3)),
+            );
+        }
         Ok((hs_trim, ls_trim))
     }
 
@@ -251,7 +290,9 @@ impl SensorSystem {
                 });
             }
         }
-        Ok(Voltage::from_v(wave.mean_over(at, at + skew.max(Time::from_ps(1.0)))))
+        Ok(Voltage::from_v(
+            wave.mean_over(at, at + skew.max(Time::from_ps(1.0))),
+        ))
     }
 
     fn package(
@@ -293,6 +334,27 @@ impl SensorSystem {
         from: Time,
         count: usize,
     ) -> Result<Vec<Measurement>, SensorError> {
+        self.run_observed(vdd, gnd, from, count, None)
+    }
+
+    /// [`SensorSystem::run`] plus telemetry: FSM state transitions,
+    /// each measurement, and any metastability incident (a bubbled or
+    /// unresolved raw code) are logged through the observer; the
+    /// `sensor.measures` / `sensor.metastability_incidents` counters
+    /// accumulate in its registry. Measurement results are identical
+    /// with and without an observer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SensorSystem::measure_at`] failures.
+    pub fn run_observed(
+        &mut self,
+        vdd: &Waveform,
+        gnd: &Waveform,
+        from: Time,
+        count: usize,
+        mut observer: Option<&mut Observer>,
+    ) -> Result<Vec<Measurement>, SensorError> {
         self.ctrl.reset();
         let inputs = CtrlInputs {
             enable: true,
@@ -303,13 +365,34 @@ impl SensorSystem {
         // Divergence guard: 5 cycles per measure plus pipeline fill.
         let max_cycles = (count as u64 + 2) * 6 + 4;
         while out.len() < count && cycle < max_cycles {
-            let step = self.ctrl.step(inputs);
+            let cycle_start = from + self.config.clock_period * (cycle as f64);
+            let step = self
+                .ctrl
+                .step_observed(inputs, cycle_start, observer.as_deref_mut());
             cycle += 1;
             if step.capture {
-                let cycle_start = from + self.config.clock_period * (cycle as f64 - 1.0);
                 let sense_at =
                     cycle_start + self.pg.emit(self.config.hs_code, &self.config.pvt).cp_edge;
-                out.push(self.measure_at(vdd, gnd, sense_at)?);
+                let m = self.measure_at(vdd, gnd, sense_at)?;
+                if let Some(obs) = observer.as_deref_mut() {
+                    obs.metrics.counter_add("sensor.measures", 1);
+                    if m.hs_word.bubbled || m.ls_word.bubbled {
+                        obs.metrics.counter_add("sensor.metastability_incidents", 1);
+                        obs.event(
+                            ObsEvent::new("sensor", "metastability")
+                                .at(sense_at)
+                                .field("hs_code", &m.hs_code.to_string())
+                                .field("ls_code", &m.ls_code.to_string()),
+                        );
+                    }
+                    obs.event(
+                        ObsEvent::new("sensor", "measure")
+                            .at(sense_at)
+                            .field("hs_level", &(m.hs_word.level as u64))
+                            .field("ls_level", &(m.ls_word.level as u64)),
+                    );
+                }
+                out.push(m);
             }
         }
         Ok(out)
@@ -338,7 +421,10 @@ mod tests {
         };
         assert!(matches!(
             SensorSystem::new(cfg),
-            Err(SensorError::InvalidConfig { name: "clock_period", .. })
+            Err(SensorError::InvalidConfig {
+                name: "clock_period",
+                ..
+            })
         ));
     }
 
@@ -351,7 +437,13 @@ mod tests {
         assert_eq!(sys.hs_prepare_code().to_string(), "0000000");
         // A supply that steps 1.0 → 0.9 V between the two measures.
         let end = Time::from_us(1.0);
-        let vdd = supply_step(Voltage::from_v(1.0), Voltage::from_v(0.9), Time::from_ns(15.0), end).unwrap();
+        let vdd = supply_step(
+            Voltage::from_v(1.0),
+            Voltage::from_v(0.9),
+            Time::from_ns(15.0),
+            end,
+        )
+        .unwrap();
         let gnd = Waveform::constant(0.0);
         let measures = sys.run(&vdd, &gnd, Time::ZERO, 2).unwrap();
         assert_eq!(measures.len(), 2);
@@ -423,7 +515,9 @@ mod tests {
         ])
         .unwrap();
         let gnd = Waveform::constant(0.0);
-        let m = sys.measure_at(&spike, &gnd, Time::from_ps(9_950.0)).unwrap();
+        let m = sys
+            .measure_at(&spike, &gnd, Time::from_ps(9_950.0))
+            .unwrap();
         // Instantaneous sampling at the spike bottom (0.8 V) would read
         // all-errors; the 6 ps × 0.2 V spike dilutes to ~4 mV over the
         // 149 ps window, so the nominal code survives.
@@ -468,7 +562,11 @@ mod tests {
         use psnt_cells::process::ProcessCorner;
         use psnt_cells::units::Temperature;
         let mut sys = system();
-        let ss = Pvt::new(ProcessCorner::SS, Voltage::from_v(1.0), Temperature::from_celsius(25.0));
+        let ss = Pvt::new(
+            ProcessCorner::SS,
+            Voltage::from_v(1.0),
+            Temperature::from_celsius(25.0),
+        );
         let (hs_trim, ls_trim) = sys.trim(&ss).unwrap();
         assert_eq!(sys.config().hs_code, hs_trim.code);
         assert_eq!(sys.config().ls_code, ls_trim.code);

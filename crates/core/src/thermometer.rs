@@ -80,7 +80,11 @@ impl CapacitorLadder {
     /// # Errors
     ///
     /// Propagates [`CapacitorLadder::from_caps`] validation.
-    pub fn linear(c0: Capacitance, step: Capacitance, n: usize) -> Result<CapacitorLadder, SensorError> {
+    pub fn linear(
+        c0: Capacitance,
+        step: Capacitance,
+        n: usize,
+    ) -> Result<CapacitorLadder, SensorError> {
         CapacitorLadder::from_caps((0..n).map(|i| c0 + step * i as f64).collect())
     }
 
@@ -266,7 +270,11 @@ impl ThermometerArray {
     ) -> f64 {
         assert!(n > 0, "need at least one measure");
         let total: usize = (0..n)
-            .map(|_| self.measure_with_rng(rail, skew, pvt, rng).correct_bubbles().level())
+            .map(|_| {
+                self.measure_with_rng(rail, skew, pvt, rng)
+                    .correct_bubbles()
+                    .level()
+            })
             .sum();
         total as f64 / n as f64
     }
@@ -340,7 +348,10 @@ impl ThermometerArray {
     ///
     /// Propagates [`SenseElement::threshold`] failures.
     pub fn thresholds(&self, skew: Time, pvt: &Pvt) -> Result<Vec<Voltage>, SensorError> {
-        self.elements.iter().map(|e| e.threshold(skew, pvt)).collect()
+        self.elements
+            .iter()
+            .map(|e| e.threshold(skew, pvt))
+            .collect()
     }
 
     /// The measurable span `(min, max)` of rail values: outside it the
@@ -351,8 +362,14 @@ impl ThermometerArray {
     /// Propagates threshold-search failures.
     pub fn dynamic_range(&self, skew: Time, pvt: &Pvt) -> Result<(Voltage, Voltage), SensorError> {
         let th = self.thresholds(skew, pvt)?;
-        let lo = th.iter().copied().fold(Voltage::from_v(f64::INFINITY), Voltage::min);
-        let hi = th.iter().copied().fold(Voltage::from_v(f64::NEG_INFINITY), Voltage::max);
+        let lo = th
+            .iter()
+            .copied()
+            .fold(Voltage::from_v(f64::INFINITY), Voltage::min);
+        let hi = th
+            .iter()
+            .copied()
+            .fold(Voltage::from_v(f64::NEG_INFINITY), Voltage::max);
         Ok((lo, hi))
     }
 
@@ -667,7 +684,10 @@ mod tests {
         let a = array();
         assert_eq!(a.decode_oversampled(0.0, skew011(), &pvt()).unwrap(), None);
         assert_eq!(a.decode_oversampled(7.0, skew011(), &pvt()).unwrap(), None);
-        assert!(a.decode_oversampled(3.5, skew011(), &pvt()).unwrap().is_some());
+        assert!(a
+            .decode_oversampled(3.5, skew011(), &pvt())
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -51,11 +51,18 @@ impl fmt::Display for NetlistError {
                 write!(f, "combinational cycle through net {net:?}")
             }
             NetlistError::UnknownNet(name) => write!(f, "unknown net {name:?}"),
-            NetlistError::ArityMismatch { gate, expected, got } => {
+            NetlistError::ArityMismatch {
+                gate,
+                expected,
+                got,
+            } => {
                 write!(f, "gate {gate:?} expects {expected} inputs, got {got}")
             }
             NetlistError::NotAnInput(name) => {
-                write!(f, "net {name:?} is not a primary input and cannot be driven externally")
+                write!(
+                    f,
+                    "net {name:?} is not a primary input and cannot be driven externally"
+                )
             }
         }
     }
@@ -78,7 +85,9 @@ mod tests {
         assert!(NetlistError::CombinationalCycle { net: "loop".into() }
             .to_string()
             .contains("cycle"));
-        assert!(NetlistError::UnknownNet("x".into()).to_string().contains("unknown"));
+        assert!(NetlistError::UnknownNet("x".into())
+            .to_string()
+            .contains("unknown"));
         assert!(NetlistError::ArityMismatch {
             gate: "g".into(),
             expected: 2,
@@ -86,7 +95,9 @@ mod tests {
         }
         .to_string()
         .contains("expects 2"));
-        assert!(NetlistError::NotAnInput("q".into()).to_string().contains("primary"));
+        assert!(NetlistError::NotAnInput("q".into())
+            .to_string()
+            .contains("primary"));
     }
 
     #[test]

@@ -722,7 +722,14 @@ mod tests {
         let mut n = Netlist::new("t");
         let a = n.add_input("a");
         let err = n.add_gate("g", StdCell::nand2(1.0), &[a]).unwrap_err();
-        assert!(matches!(err, NetlistError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            NetlistError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -740,7 +747,10 @@ mod tests {
     #[test]
     fn unknown_net_lookup_fails() {
         let n = Netlist::new("t");
-        assert!(matches!(n.net_by_name("nope"), Err(NetlistError::UnknownNet(_))));
+        assert!(matches!(
+            n.net_by_name("nope"),
+            Err(NetlistError::UnknownNet(_))
+        ));
     }
 
     #[test]
@@ -748,10 +758,7 @@ mod tests {
         let mut n = Netlist::new("t");
         let a = n.add_net("floating");
         let _ = a;
-        assert!(matches!(
-            n.validate(),
-            Err(NetlistError::Undriven { .. })
-        ));
+        assert!(matches!(n.validate(), Err(NetlistError::Undriven { .. })));
     }
 
     #[test]
@@ -803,8 +810,8 @@ mod tests {
         let _x = n.add_gate("g1", StdCell::inverter(1.0), &[a]).unwrap();
         let _y = n.add_gate("g2", StdCell::inverter(2.0), &[a]).unwrap();
         let base = n.load(a);
-        let expected = StdCell::inverter(1.0).input_capacitance()
-            + StdCell::inverter(2.0).input_capacitance();
+        let expected =
+            StdCell::inverter(1.0).input_capacitance() + StdCell::inverter(2.0).input_capacitance();
         assert!((base.femtofarads() - expected.femtofarads()).abs() < 1e-9);
         n.add_wire_capacitance(a, Capacitance::from_ff(5.0));
         assert!((n.load(a).femtofarads() - expected.femtofarads() - 5.0).abs() < 1e-9);
@@ -880,9 +887,7 @@ mod tests {
         assert_eq!(parent.domains().len(), 2);
         assert_eq!(parent.domains()[1], "u.noisy");
         assert_eq!(parent.gates()[0].domain().index(), 1);
-        assert!(
-            (parent.net(map[q.index()]).wire_capacitance().femtofarads() - 100.0).abs() < 1e-9
-        );
+        assert!((parent.net(map[q.index()]).wire_capacitance().femtofarads() - 100.0).abs() < 1e-9);
     }
 
     #[test]

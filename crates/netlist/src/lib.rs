@@ -61,7 +61,9 @@ pub mod wave;
 pub use error::NetlistError;
 pub use graph::{DffId, DffInst, DomainId, Driver, Gate, GateId, Net, NetId, Netlist};
 pub use sim::{MetastabilityMode, SimStats, Simulator};
-pub use sta::{analyze, analyze_with_domain_supplies, Endpoint, PathStage, StaConfig, StaReport, TimingPath};
+pub use sta::{
+    analyze, analyze_with_domain_supplies, Endpoint, PathStage, StaConfig, StaReport, TimingPath,
+};
 pub use wave::{Edge, SignalId, Trace};
 
 #[cfg(test)]

@@ -39,6 +39,9 @@ use std::collections::BinaryHeap;
 use psnt_cells::logic::Logic;
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Time, Voltage};
+use psnt_obs::metrics::GaugeId;
+use psnt_obs::{Event as ObsEvent, Observer};
+use serde::{Deserialize, Serialize};
 
 use crate::error::NetlistError;
 use crate::graph::{DffId, DomainId, GateId, NetId, Netlist};
@@ -85,7 +88,7 @@ pub enum MetastabilityMode {
 }
 
 /// Statistics collected during a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SimStats {
     /// Events applied (net value changes).
     pub events: u64,
@@ -121,6 +124,11 @@ pub struct Simulator<'a> {
     stats: SimStats,
     /// Accumulated switching energy in joules (½·C·V² per transition).
     switching_energy_j: f64,
+    observer: Option<&'a mut Observer>,
+    queue_gauge: Option<GaugeId>,
+    /// Stats already folded into the observer's registry, so repeated
+    /// promotion adds only the delta.
+    promoted: SimStats,
 }
 
 impl<'a> Simulator<'a> {
@@ -178,6 +186,9 @@ impl<'a> Simulator<'a> {
             meta_mode: MetastabilityMode::Deterministic,
             stats: SimStats::default(),
             switching_energy_j: 0.0,
+            observer: None,
+            queue_gauge: None,
+            promoted: SimStats::default(),
         };
         sim.initialize();
         Ok(sim)
@@ -186,6 +197,36 @@ impl<'a> Simulator<'a> {
     /// Selects how metastable captures are modelled.
     pub fn set_metastability_mode(&mut self, mode: MetastabilityMode) {
         self.meta_mode = mode;
+    }
+
+    /// Attaches a telemetry observer for the rest of this simulator's
+    /// life. Run statistics are promoted into its metrics registry at
+    /// the end of every `run_*` call, peak queue depth is tracked in
+    /// the `sim.queue_depth_peak` gauge, and — when the observer opts
+    /// in — every net transition is logged as an event.
+    pub fn set_observer(&mut self, observer: &'a mut Observer) {
+        self.queue_gauge = Some(observer.metrics.gauge("sim.queue_depth_peak"));
+        self.observer = Some(observer);
+    }
+
+    /// Folds stats accumulated since the last promotion into the
+    /// attached observer's registry (no-op when detached).
+    fn promote_stats(&mut self) {
+        let Some(obs) = self.observer.as_deref_mut() else {
+            return;
+        };
+        let s = self.stats;
+        let p = self.promoted;
+        obs.metrics.counter_add("sim.events", s.events - p.events);
+        obs.metrics
+            .counter_add("sim.cancelled", s.cancelled - p.cancelled);
+        obs.metrics
+            .counter_add("sim.ff_captures", s.ff_captures - p.ff_captures);
+        obs.metrics
+            .counter_add("sim.ff_violations", s.ff_violations - p.ff_violations);
+        obs.metrics
+            .gauge_set("sim.switching_energy_j", self.switching_energy_j);
+        self.promoted = s;
     }
 
     /// The supply voltage powering the default (core) domain.
@@ -357,6 +398,7 @@ impl<'a> Simulator<'a> {
             self.apply(ev);
         }
         self.now = self.now.max(t);
+        self.promote_stats();
         self.stats.events - before
     }
 
@@ -373,6 +415,7 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
+        self.promote_stats();
         self.now
     }
 
@@ -397,6 +440,20 @@ impl<'a> Simulator<'a> {
         // changes the totals by at most the rail-droop percentage).
         let v = self.domain_supply[0].volts();
         self.switching_energy_j += 0.5 * self.loads[ni].farads() * v * v;
+
+        if let Some(obs) = self.observer.as_deref_mut() {
+            if let Some(g) = self.queue_gauge {
+                obs.metrics.set_max(g, self.queue.len() as f64);
+            }
+            if obs.config().net_transitions {
+                obs.event(
+                    ObsEvent::new("sim", "net_transition")
+                        .at(ev.time)
+                        .field("net", &self.netlist.net(ev.net).name())
+                        .field("value", &ev.value.to_string()),
+                );
+            }
+        }
 
         // Re-evaluate combinational fanout (index loop: the fanout list
         // is immutable during simulation, and indexing re-borrows per
@@ -433,13 +490,17 @@ impl<'a> Simulator<'a> {
         // Pick the edge-specific arc: rising when the output heads to 1
         // (unknown transitions use the conservative worst arc).
         let delay = match new_value {
-            Logic::One => gate
+            Logic::One => {
+                gate.cell()
+                    .propagation_delay_edge(supply, self.loads[oi], &self.pvt, true)
+            }
+            Logic::Zero => {
+                gate.cell()
+                    .propagation_delay_edge(supply, self.loads[oi], &self.pvt, false)
+            }
+            _ => gate
                 .cell()
-                .propagation_delay_edge(supply, self.loads[oi], &self.pvt, true),
-            Logic::Zero => gate
-                .cell()
-                .propagation_delay_edge(supply, self.loads[oi], &self.pvt, false),
-            _ => gate.cell().propagation_delay(supply, self.loads[oi], &self.pvt),
+                .propagation_delay(supply, self.loads[oi], &self.pvt),
         };
         self.version[oi] += 1;
         self.pending[oi] = Some(new_value);
@@ -456,6 +517,17 @@ impl<'a> Simulator<'a> {
         self.stats.ff_captures += 1;
         let value = if outcome.metastable {
             self.stats.ff_violations += 1;
+            // Violations are rare and diagnostic gold: log each one with
+            // the offending arrival time relative to the clock edge.
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.event(
+                    ObsEvent::new("sim", "ff_violation")
+                        .at(edge)
+                        .field("ff", &self.netlist.dffs()[fi.index()].name())
+                        .field("arrival_ps", &arrival.picoseconds())
+                        .field("severity", &outcome.severity),
+                );
+            }
             match self.meta_mode {
                 MetastabilityMode::Deterministic => outcome.value,
                 MetastabilityMode::PropagateX => Logic::X,
@@ -641,7 +713,8 @@ mod tests {
         n.mark_output("q", q);
         let mut sim = Simulator::new(&n, v(1.0)).unwrap();
         sim.drive(d, Logic::One, ps(0.0)).unwrap();
-        sim.drive_clock(clk, ps(1000.0), Time::from_ns(2.0), 5).unwrap();
+        sim.drive_clock(clk, ps(1000.0), Time::from_ns(2.0), 5)
+            .unwrap();
         sim.run_until(Time::from_ns(15.0));
         assert_eq!(sim.trace().rising_edges(sim.signal(clk)), 5);
         assert_eq!(sim.stats().ff_captures, 5);
@@ -691,9 +764,14 @@ mod tests {
 
         /// Builds a random combinational DAG: each gate reads previously
         /// created nets only (acyclic by construction).
-        fn random_dag(gate_picks: &[(u8, u8, u8, u8)], n_inputs: usize) -> (Netlist, Vec<NetId>, Vec<NetId>) {
+        fn random_dag(
+            gate_picks: &[(u8, u8, u8, u8)],
+            n_inputs: usize,
+        ) -> (Netlist, Vec<NetId>, Vec<NetId>) {
             let mut n = Netlist::new("dag");
-            let inputs: Vec<NetId> = (0..n_inputs).map(|i| n.add_input(format!("in{i}"))).collect();
+            let inputs: Vec<NetId> = (0..n_inputs)
+                .map(|i| n.add_input(format!("in{i}")))
+                .collect();
             let mut nets = inputs.clone();
             let mut outs = Vec::new();
             for (gi, &(kind, a, b, c)) in gate_picks.iter().enumerate() {

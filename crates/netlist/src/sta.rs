@@ -128,7 +128,11 @@ impl TimingPath {
 
 impl fmt::Display for TimingPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "path to {} (arrival {:.2}, slack {:.2}):", self.endpoint, self.arrival, self.slack)?;
+        writeln!(
+            f,
+            "path to {} (arrival {:.2}, slack {:.2}):",
+            self.endpoint, self.arrival, self.slack
+        )?;
         for s in &self.stages {
             writeln!(
                 f,
@@ -267,9 +271,9 @@ pub fn analyze_with_domain_supplies(
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("gates have at least one input");
         let load = netlist.load(gate.output());
-        let delay =
-            gate.cell()
-                .propagation_delay(supply_of(gate.domain()), load, &config.pvt);
+        let delay = gate
+            .cell()
+            .propagation_delay(supply_of(gate.domain()), load, &config.pvt);
         arrival[gate.output().index()] = worst_arr + delay;
         pred[gate.output().index()] = gate_of_net.get(&worst_in).copied().or(None);
         // Remember the worst input net itself for reconstruction through
@@ -285,11 +289,9 @@ pub fn analyze_with_domain_supplies(
         while let Some(gi) = cur {
             let gate = &netlist.gates()[gi];
             let load = netlist.load(gate.output());
-            let delay = gate.cell().propagation_delay(
-                supply_of(gate.domain()),
-                load,
-                &config.pvt,
-            );
+            let delay = gate
+                .cell()
+                .propagation_delay(supply_of(gate.domain()), load, &config.pvt);
             stages_rev.push(PathStage {
                 instance: gate.name().to_owned(),
                 cell: gate.cell().name().to_owned(),

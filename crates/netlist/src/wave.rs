@@ -329,6 +329,120 @@ mod tests {
         assert!(vcd.contains("#130"));
     }
 
+    /// Splits a VCD document into (header lines, body lines) at
+    /// `$enddefinitions`.
+    fn split_vcd(vcd: &str) -> (Vec<&str>, Vec<&str>) {
+        let lines: Vec<&str> = vcd.lines().collect();
+        let cut = lines
+            .iter()
+            .position(|l| l.starts_with("$enddefinitions"))
+            .expect("VCD has $enddefinitions");
+        (lines[..=cut].to_vec(), lines[cut + 1..].to_vec())
+    }
+
+    fn busy_trace() -> (Trace, SignalId, SignalId) {
+        let mut tr = Trace::new();
+        let a = tr.add_signal("a");
+        let b = tr.add_signal("b");
+        tr.record(a, ps(0.0), Logic::Zero);
+        tr.record(b, ps(0.0), Logic::One);
+        tr.record(a, ps(10.0), Logic::One);
+        tr.record(b, ps(25.0), Logic::Zero);
+        tr.record(a, ps(25.0), Logic::Zero);
+        tr.record(b, ps(40.0), Logic::One);
+        (tr, a, b)
+    }
+
+    #[test]
+    fn vcd_header_is_well_formed() {
+        let (tr, _, _) = busy_trace();
+        let vcd = tr.to_vcd("dut");
+        let (header, _) = split_vcd(&vcd);
+        // Every header line is a complete `$keyword ... $end` directive.
+        for line in &header {
+            assert!(line.starts_with('$'), "not a directive: {line}");
+            assert!(line.ends_with("$end"), "unterminated: {line}");
+        }
+        // Declarations arrive in order, exactly once.
+        for keyword in [
+            "$date",
+            "$version",
+            "$timescale",
+            "$scope",
+            "$upscope",
+            "$enddefinitions",
+        ] {
+            assert_eq!(
+                header.iter().filter(|l| l.starts_with(keyword)).count(),
+                1,
+                "{keyword} count"
+            );
+        }
+        // One $var per signal, each with a distinct identifier code.
+        let codes: Vec<&str> = header
+            .iter()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| l.split_whitespace().nth(3).unwrap())
+            .collect();
+        assert_eq!(codes.len(), tr.signal_count());
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+    }
+
+    #[test]
+    fn vcd_timestamps_strictly_increase() {
+        let (tr, _, _) = busy_trace();
+        let vcd = tr.to_vcd("dut");
+        let (_, body) = split_vcd(&vcd);
+        let stamps: Vec<i64> = body
+            .iter()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert!(!stamps.is_empty());
+        assert!(stamps.windows(2).all(|w| w[0] < w[1]), "stamps {stamps:?}");
+    }
+
+    #[test]
+    fn vcd_body_agrees_with_value_at_and_edges() {
+        let (tr, _, _) = busy_trace();
+        let vcd = tr.to_vcd("dut");
+        let (header, body) = split_vcd(&vcd);
+        // Map identifier code → signal id from the declarations.
+        let by_code: Vec<(String, SignalId)> = header
+            .iter()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| {
+                let mut f = l.split_whitespace();
+                let code = f.nth(3).unwrap().to_string();
+                let name = f.next().unwrap();
+                (code, tr.signal_by_name(name).unwrap())
+            })
+            .collect();
+        // Replay the body; every change must match the trace's view.
+        let mut t = Time::ZERO;
+        let mut seen = vec![0usize; tr.signal_count()];
+        for line in body {
+            if let Some(stamp) = line.strip_prefix('#') {
+                t = Time::from_ps(stamp.parse::<f64>().unwrap());
+                continue;
+            }
+            let (value, code) = line.split_at(1);
+            let &(_, sig) = by_code.iter().find(|(c, _)| c == code).unwrap();
+            let value = Logic::try_from(value.chars().next().unwrap()).unwrap();
+            assert_eq!(tr.value_at(sig, t), value, "{line} at {t}");
+            let edge = tr.edges(sig)[seen[sig.index()]];
+            assert_eq!((edge.time, edge.value), (t, value), "{line}");
+            seen[sig.index()] += 1;
+        }
+        // The body emitted every edge of every signal.
+        for (i, &n) in seen.iter().enumerate() {
+            assert_eq!(n, tr.edges(SignalId(i)).len(), "signal {i}");
+        }
+    }
+
     #[test]
     fn vcd_codes_unique_for_many_signals() {
         let codes: Vec<String> = (0..300).map(Trace::vcd_code).collect();

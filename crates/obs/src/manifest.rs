@@ -1,0 +1,171 @@
+//! The run manifest: who produced this telemetry stream, from what
+//! configuration, and how to reproduce it.
+//!
+//! The manifest is always the first record of a stream, so a consumer
+//! can interpret everything after it without out-of-band context.
+
+use serde::{json, Serialize, Value};
+use std::process::Command;
+
+/// The reproducibility header of a telemetry stream.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// Experiment or program name (`"fig9"`, `"characterize"`, ...).
+    pub experiment: String,
+    /// FNV-1a hash of the serialized configuration, when one exists.
+    pub config_hash: Option<u64>,
+    /// RNG seed for randomized runs.
+    pub seed: Option<u64>,
+    /// PVT corner label, e.g. `"TT"` / `"SS"` / `"FF"`.
+    pub pvt: Option<String>,
+    /// High-sense pulse generator delay code.
+    pub hs_code: Option<u8>,
+    /// Low-sense pulse generator delay code.
+    pub ls_code: Option<u8>,
+    /// `git describe` of the producing tree, when available.
+    pub git: Option<String>,
+    /// Free-form additional entries.
+    pub extra: Vec<(String, Value)>,
+}
+
+impl RunManifest {
+    /// A manifest for the named experiment.
+    pub fn new(experiment: impl Into<String>) -> RunManifest {
+        RunManifest {
+            experiment: experiment.into(),
+            ..RunManifest::default()
+        }
+    }
+
+    /// Records the hash of the run's configuration.
+    pub fn config(mut self, config: &impl Serialize) -> RunManifest {
+        self.config_hash = Some(config_hash(config));
+        self
+    }
+
+    /// Records the RNG seed.
+    pub fn seed(mut self, seed: u64) -> RunManifest {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Records the PVT corner label.
+    pub fn pvt(mut self, corner: impl Into<String>) -> RunManifest {
+        self.pvt = Some(corner.into());
+        self
+    }
+
+    /// Records the pulse-generator delay codes.
+    pub fn delay_codes(mut self, hs: u8, ls: u8) -> RunManifest {
+        self.hs_code = Some(hs);
+        self.ls_code = Some(ls);
+        self
+    }
+
+    /// Stamps the manifest with `git describe` of the working tree,
+    /// silently skipped when git or the repository is unavailable.
+    pub fn with_git_describe(mut self) -> RunManifest {
+        self.git = git_describe();
+        self
+    }
+
+    /// Attaches one extra serializable entry.
+    pub fn extra(mut self, key: impl Into<String>, value: &impl Serialize) -> RunManifest {
+        self.extra.push((key.into(), value.to_value()));
+        self
+    }
+}
+
+impl Serialize for RunManifest {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        entries.push((
+            "experiment".to_string(),
+            Value::Str(self.experiment.clone()),
+        ));
+        if let Some(h) = self.config_hash {
+            // Hex keeps the 64-bit hash readable and avoids any
+            // consumer-side integer-precision trouble.
+            entries.push(("config_hash".to_string(), Value::Str(format!("{h:016x}"))));
+        }
+        if let Some(s) = self.seed {
+            entries.push(("seed".to_string(), Value::U64(s)));
+        }
+        if let Some(p) = &self.pvt {
+            entries.push(("pvt".to_string(), Value::Str(p.clone())));
+        }
+        if let Some(c) = self.hs_code {
+            entries.push(("hs_code".to_string(), Value::U64(c as u64)));
+        }
+        if let Some(c) = self.ls_code {
+            entries.push(("ls_code".to_string(), Value::U64(c as u64)));
+        }
+        if let Some(g) = &self.git {
+            entries.push(("git".to_string(), Value::Str(g.clone())));
+        }
+        entries.extend(self.extra.iter().cloned());
+        Value::Map(entries)
+    }
+}
+
+/// FNV-1a hash of a configuration's canonical JSON rendering.
+pub fn config_hash(config: &impl Serialize) -> u64 {
+    let rendered = json::to_string(config);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in rendered.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `git describe --always --dirty` of the current directory, if git
+/// and a repository are present.
+pub fn git_describe() -> Option<String> {
+    let out = Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let text = text.trim();
+    if text.is_empty() {
+        None
+    } else {
+        Some(text.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_serializes_set_fields_only() {
+        let m = RunManifest::new("fig9").seed(7).pvt("TT").delay_codes(3, 3);
+        let v = m.to_value();
+        assert_eq!(v.get("experiment").and_then(Value::as_str), Some("fig9"));
+        assert_eq!(v.get("seed").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("pvt").and_then(Value::as_str), Some("TT"));
+        assert_eq!(v.get("hs_code").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("ls_code").and_then(Value::as_u64), Some(3));
+        assert!(v.get("config_hash").is_none());
+        assert!(v.get("git").is_none());
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configs() {
+        let a = config_hash(&(1u32, 2u32));
+        let b = config_hash(&(1u32, 3u32));
+        assert_ne!(a, b);
+        assert_eq!(a, config_hash(&(1u32, 2u32)));
+    }
+
+    #[test]
+    fn extras_flatten_into_manifest() {
+        let m = RunManifest::new("x").extra("tiles", &4u64);
+        assert_eq!(m.to_value().get("tiles").and_then(Value::as_u64), Some(4));
+    }
+}

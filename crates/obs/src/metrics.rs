@@ -1,0 +1,302 @@
+//! Counters, gauges and fixed-bucket histograms.
+//!
+//! Metrics are registered by name once (interning returns a copyable
+//! id) and updated by id afterwards, so per-event hot paths do no
+//! string work. By-name convenience updaters exist for cold paths like
+//! end-of-run promotion of accumulated statistics.
+
+use serde::Value;
+
+/// Id of an interned counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Id of an interned gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Id of an interned histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge
+/// of bucket `i`, with one extra overflow bucket at the end.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        let bucket = self.bounds.partition_point(|&b| b < value);
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Per-bucket counts (last bucket is overflow past the top bound).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "bounds".to_string(),
+                Value::Seq(self.bounds.iter().map(|&b| Value::F64(b)).collect()),
+            ),
+            (
+                "counts".to_string(),
+                Value::Seq(self.counts.iter().map(|&c| Value::U64(c)).collect()),
+            ),
+            ("count".to_string(), Value::U64(self.count)),
+            ("sum".to_string(), Value::F64(self.sum)),
+        ])
+    }
+}
+
+/// The registry holding every metric of a run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or finds) a counter and returns its id.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or finds) a gauge and returns its id.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or finds) a histogram with the given bucket bounds.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((name.to_string(), Histogram::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds to a counter by id.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0].1 += delta;
+    }
+
+    /// Increments a counter by id.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Sets a gauge by id.
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Raises a gauge to `value` if it is above the current reading —
+    /// a running maximum, e.g. peak queue depth.
+    pub fn set_max(&mut self, id: GaugeId, value: f64) {
+        let g = &mut self.gauges[id.0].1;
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Lowers a gauge to `value` if it is below the current reading —
+    /// a running minimum, e.g. worst supply droop.
+    pub fn set_min(&mut self, id: GaugeId, value: f64) {
+        let g = &mut self.gauges[id.0].1;
+        if value < *g {
+            *g = value;
+        }
+    }
+
+    /// Records a sample into a histogram by id.
+    pub fn record(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].1.record(value);
+    }
+
+    /// Adds to a counter by name (cold paths only).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        let id = self.counter(name);
+        self.add(id, delta);
+    }
+
+    /// Sets a gauge by name (cold paths only).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        let id = self.gauge(name);
+        self.set(id, value);
+    }
+
+    /// Running-maximum gauge update by name (cold paths only).
+    pub fn gauge_set_max(&mut self, name: &str, value: f64) {
+        let id = self.gauge(name);
+        self.set_max(id, value);
+    }
+
+    /// Running-minimum gauge update by name (cold paths only).
+    pub fn gauge_set_min(&mut self, name: &str, value: f64) {
+        let id = self.gauge(name);
+        self.set_min(id, value);
+    }
+
+    /// Current counter value, zero if never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Current gauge reading, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram_value(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A serializable snapshot of every metric, in registration order.
+    pub fn snapshot_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "counters".to_string(),
+                Value::Map(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Value::U64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Map(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Value::F64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Map(
+                    self.histograms
+                        .iter()
+                        .map(|(n, h)| (n.clone(), h.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("events");
+        assert_eq!(m.counter("events"), c, "interning is idempotent");
+        m.inc(c);
+        m.add(c, 4);
+        assert_eq!(m.counter_value("events"), 5);
+        assert_eq!(m.counter_value("missing"), 0);
+
+        let g = m.gauge("depth");
+        m.set(g, 3.0);
+        m.set_max(g, 7.0);
+        m.set_max(g, 2.0);
+        assert_eq!(m.gauge_value("depth"), Some(7.0));
+        m.set_min(g, -1.0);
+        m.set_min(g, 4.0);
+        assert_eq!(m.gauge_value("depth"), Some(-1.0));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("dt", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 500.0] {
+            m.record(h, v);
+        }
+        let hist = m.histogram_value("dt").unwrap();
+        // 0.5 and 1.0 land in the first bucket (inclusive upper edge).
+        assert_eq!(hist.counts(), &[2, 1, 1, 1]);
+        assert_eq!(hist.count(), 5);
+        assert!((hist.sum() - 556.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("n");
+        m.inc(c);
+        let snap = m.snapshot_value();
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get("n"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert!(snap.get("gauges").is_some());
+        assert!(snap.get("histograms").is_some());
+    }
+}

@@ -1,0 +1,264 @@
+//! The [`Observer`] facade: one handle a simulator threads through its
+//! hot paths to reach metrics, the event log and span timing at once.
+
+use serde::Serialize;
+
+use crate::events::{Event, EventSink, JsonlSink, Record, RingBufferSink, RingHandle};
+use crate::manifest::RunManifest;
+use crate::metrics::MetricsRegistry;
+use crate::span::Span;
+
+/// What optional (higher-volume) instrumentation an observer wants.
+///
+/// Phase-level events and counters are always on — they are cheap and
+/// an observer was explicitly attached. Per-simulation-event streams
+/// are opt-in because they can dominate the log.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObserverConfig {
+    /// Emit one event per net value transition in the gate-level
+    /// simulator (high volume).
+    pub net_transitions: bool,
+    /// Emit one event per PDN solver step (high volume).
+    pub solver_steps: bool,
+}
+
+/// The telemetry handle simulators accept as `Option<&mut Observer>`.
+///
+/// Holds the run's [`MetricsRegistry`], the configured [`EventSink`],
+/// and the record framing: [`Observer::manifest`] at the head,
+/// [`Observer::finish`] with a metrics snapshot at the end.
+pub struct Observer {
+    /// The run's metrics; public so call sites can intern ids once
+    /// and update by id in hot loops.
+    pub metrics: MetricsRegistry,
+    config: ObserverConfig,
+    sink: Box<dyn EventSink>,
+    ring: Option<RingHandle>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("metrics", &self.metrics)
+            .field("config", &self.config)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Observer {
+    /// An observer writing JSON-Lines to `path` (truncates).
+    pub fn jsonl(path: impl AsRef<std::path::Path>) -> std::io::Result<Observer> {
+        Ok(Observer::with_sink(Box::new(JsonlSink::create(path)?)))
+    }
+
+    /// An observer retaining the last `capacity` records in memory,
+    /// readable back through [`Observer::ring_lines`].
+    pub fn ring(capacity: usize) -> Observer {
+        let (sink, handle) = RingBufferSink::new(capacity);
+        let mut obs = Observer::with_sink(Box::new(sink));
+        obs.ring = Some(handle);
+        obs
+    }
+
+    /// An observer over any sink.
+    pub fn with_sink(sink: Box<dyn EventSink>) -> Observer {
+        Observer {
+            metrics: MetricsRegistry::new(),
+            config: ObserverConfig::default(),
+            sink,
+            ring: None,
+            finished: false,
+        }
+    }
+
+    /// Enables or disables per-net transition events.
+    pub fn net_transitions(mut self, on: bool) -> Observer {
+        self.config.net_transitions = on;
+        self
+    }
+
+    /// Enables or disables per-solver-step events.
+    pub fn solver_steps(mut self, on: bool) -> Observer {
+        self.config.solver_steps = on;
+        self
+    }
+
+    /// The current instrumentation configuration.
+    pub fn config(&self) -> ObserverConfig {
+        self.config
+    }
+
+    /// Emits the run manifest; call once, before any event.
+    pub fn manifest(&mut self, manifest: &RunManifest) {
+        self.sink.emit(&Record::Manifest(manifest.clone()));
+    }
+
+    /// Emits one structured event.
+    pub fn event(&mut self, event: Event) {
+        self.sink.emit(&Record::Event(event));
+    }
+
+    /// Closes a span: emits its record and folds the duration into the
+    /// `span.<name>_us` histogram (log-spaced 1µs..10s buckets).
+    pub fn end_span(&mut self, span: Span) {
+        let wall_us = span.elapsed_us();
+        let hist = self.metrics.histogram(
+            &format!("span.{}_us", span.name()),
+            &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7],
+        );
+        self.metrics.record(hist, wall_us);
+        self.sink.emit(&Record::Span {
+            name: span.name().to_string(),
+            wall_us,
+        });
+    }
+
+    /// Ends the stream: emits the final metrics snapshot and flushes.
+    /// Idempotent; later calls only re-flush.
+    pub fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.sink
+                .emit(&Record::Metrics(self.metrics.snapshot_value()));
+        }
+        self.sink.flush();
+    }
+
+    /// The retained lines when this observer uses a ring buffer.
+    pub fn ring_lines(&self) -> Option<Vec<String>> {
+        self.ring
+            .as_ref()
+            .map(|r| r.borrow().iter().cloned().collect())
+    }
+}
+
+/// Extension helpers for the `Option<&mut Observer>` handles that
+/// simulators store: instrument a site in one expression without an
+/// `if let` at every call site.
+pub trait ObserverExt {
+    /// Runs `f` on the observer when one is attached.
+    fn observe(&mut self, f: impl FnOnce(&mut Observer));
+}
+
+impl ObserverExt for Option<&mut Observer> {
+    fn observe(&mut self, f: impl FnOnce(&mut Observer)) {
+        if let Some(obs) = self.as_deref_mut() {
+            f(obs);
+        }
+    }
+}
+
+impl Observer {
+    /// Convenience: emits a subsystem/kind event with serializable
+    /// fields, skipping the builder chain at simple call sites.
+    pub fn emit(
+        &mut self,
+        subsystem: &str,
+        kind: &str,
+        t_ps: Option<f64>,
+        fields: &[(&str, &dyn ErasedSerialize)],
+    ) {
+        let mut e = Event::new(subsystem, kind);
+        if let Some(t) = t_ps {
+            e = e.at_ps(t);
+        }
+        for (k, v) in fields {
+            e.fields.push(((*k).to_string(), v.erased_to_value()));
+        }
+        self.event(e);
+    }
+}
+
+/// Object-safe serialization, so field lists can mix value types.
+pub trait ErasedSerialize {
+    /// [`Serialize::to_value`] behind a vtable.
+    fn erased_to_value(&self) -> serde::Value;
+}
+
+impl<T: Serialize> ErasedSerialize for T {
+    fn erased_to_value(&self) -> serde::Value {
+        self.to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{json, Value};
+
+    #[test]
+    fn stream_has_manifest_events_spans_and_snapshot() {
+        let mut obs = Observer::ring(32);
+        obs.manifest(&RunManifest::new("test").seed(1));
+        let span = Span::begin("phase");
+        let c = obs.metrics.counter("n");
+        obs.metrics.inc(c);
+        obs.event(Event::new("sub", "did").field("x", &3u64));
+        obs.end_span(span);
+        obs.finish();
+
+        let lines = obs.ring_lines().unwrap();
+        let types: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                json::parse(l)
+                    .unwrap()
+                    .get("type")
+                    .and_then(Value::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(types, ["manifest", "event", "span", "metrics"]);
+
+        let snapshot = json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(
+            snapshot
+                .get("counters")
+                .and_then(|c| c.get("n"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        // end_span folded the duration into a histogram.
+        assert!(snapshot
+            .get("histograms")
+            .and_then(|h| h.get("span.phase_us"))
+            .is_some());
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut obs = Observer::ring(8);
+        obs.finish();
+        obs.finish();
+        assert_eq!(obs.ring_lines().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn observe_helper_skips_detached() {
+        let mut none: Option<&mut Observer> = None;
+        none.observe(|_| panic!("must not run detached"));
+
+        let mut obs = Observer::ring(8);
+        let mut some: Option<&mut Observer> = Some(&mut obs);
+        some.observe(|o| o.metrics.counter_add("hits", 1));
+        assert_eq!(obs.metrics.counter_value("hits"), 1);
+    }
+
+    #[test]
+    fn emit_helper_builds_flat_events() {
+        let mut obs = Observer::ring(8);
+        obs.emit(
+            "fsm",
+            "transition",
+            Some(1.5),
+            &[("from", &"A"), ("to", &"B")],
+        );
+        let lines = obs.ring_lines().unwrap();
+        let v = json::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("from").and_then(Value::as_str), Some("A"));
+        assert_eq!(v.get("t_ps").and_then(Value::as_f64), Some(1.5));
+    }
+}

@@ -1,0 +1,51 @@
+//! Wall-clock span timing for phase-level profiling.
+//!
+//! A [`Span`] is begun wherever convenient (no observer needed) and
+//! handed to [`crate::Observer::end_span`], which emits a span record
+//! and folds the duration into a per-span-name histogram. Spans
+//! measure *wall* time — the only clock that exists outside the
+//! simulation — so they profile the simulator, not the circuit.
+
+use std::time::Instant;
+
+/// An open span: a name plus the instant it started.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts the clock on a named span.
+    pub fn begin(name: impl Into<String>) -> Span {
+        Span {
+            name: name.into(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Wall time elapsed since [`Span::begin`], in microseconds.
+    pub fn elapsed_us(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let span = Span::begin("work");
+        let a = span.elapsed_us();
+        let b = span.elapsed_us();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+        assert_eq!(span.name(), "work");
+    }
+}

@@ -43,10 +43,18 @@ impl fmt::Display for PdnError {
             PdnError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
             }
-            PdnError::OutOfBounds { row, col, rows, cols } => {
+            PdnError::OutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => {
                 write!(f, "tile ({row}, {col}) outside {rows}×{cols} grid")
             }
-            PdnError::NoConvergence { iterations, residual } => {
+            PdnError::NoConvergence {
+                iterations,
+                residual,
+            } => {
                 write!(f, "grid solver did not converge after {iterations} iterations (residual {residual:.3e})")
             }
         }
@@ -61,16 +69,29 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(PdnError::InvalidWaveform("x".into()).to_string().contains("x"));
-        assert!(PdnError::OutOfBounds { row: 9, col: 1, rows: 4, cols: 4 }
+        assert!(PdnError::InvalidWaveform("x".into())
             .to_string()
-            .contains("9"));
-        assert!(PdnError::NoConvergence { iterations: 10, residual: 1.0 }
-            .to_string()
-            .contains("converge"));
-        assert!(PdnError::InvalidParameter { name: "r", reason: "neg".into() }
-            .to_string()
-            .contains("r"));
+            .contains("x"));
+        assert!(PdnError::OutOfBounds {
+            row: 9,
+            col: 1,
+            rows: 4,
+            cols: 4
+        }
+        .to_string()
+        .contains("9"));
+        assert!(PdnError::NoConvergence {
+            iterations: 10,
+            residual: 1.0
+        }
+        .to_string()
+        .contains("converge"));
+        assert!(PdnError::InvalidParameter {
+            name: "r",
+            reason: "neg".into()
+        }
+        .to_string()
+        .contains("r"));
     }
 
     #[test]

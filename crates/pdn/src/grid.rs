@@ -199,7 +199,11 @@ impl PowerGrid {
         if loads.len() != self.tiles() {
             return Err(PdnError::InvalidParameter {
                 name: "loads",
-                reason: format!("expected {} tile currents, got {}", self.tiles(), loads.len()),
+                reason: format!(
+                    "expected {} tile currents, got {}",
+                    self.tiles(),
+                    loads.len()
+                ),
             });
         }
         let n = self.tiles();
@@ -265,7 +269,11 @@ impl PowerGrid {
         if loads.len() != self.tiles() {
             return Err(PdnError::InvalidParameter {
                 name: "loads",
-                reason: format!("expected {} tile waveforms, got {}", self.tiles(), loads.len()),
+                reason: format!(
+                    "expected {} tile waveforms, got {}",
+                    self.tiles(),
+                    loads.len()
+                ),
             });
         }
         if dt <= Time::ZERO || end <= start {
@@ -430,7 +438,12 @@ mod tests {
             .quasi_static_transient(&loads, Time::ZERO, Time::ZERO, Time::from_ns(1.0))
             .is_err());
         assert!(grid
-            .quasi_static_transient(&loads[..2], Time::ZERO, Time::from_ns(10.0), Time::from_ns(1.0))
+            .quasi_static_transient(
+                &loads[..2],
+                Time::ZERO,
+                Time::from_ns(10.0),
+                Time::from_ns(1.0)
+            )
             .is_err());
     }
 

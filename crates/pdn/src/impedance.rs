@@ -173,14 +173,16 @@ mod tests {
     #[test]
     fn peak_sits_at_the_tank_resonance() {
         let p = pdn();
-        let (f_peak, z_peak) = impedance_peak(
-            &p,
-            Frequency::from_mhz(1.0),
-            Frequency::from_ghz(1.0),
-        );
+        let (f_peak, z_peak) =
+            impedance_peak(&p, Frequency::from_mhz(1.0), Frequency::from_ghz(1.0));
         let f_res = p.resonance_frequency();
         let rel = (f_peak.hertz() - f_res.hertz()).abs() / f_res.hertz();
-        assert!(rel < 0.05, "peak at {:.3e} vs resonance {:.3e}", f_peak.hertz(), f_res.hertz());
+        assert!(
+            rel < 0.05,
+            "peak at {:.3e} vs resonance {:.3e}",
+            f_peak.hertz(),
+            f_res.hertz()
+        );
         // Peak magnitude ≈ Q·Z0 for an underdamped tank.
         let expect = p.q_factor() * p.characteristic_impedance().ohms();
         assert!(
@@ -260,7 +262,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two")]
     fn profile_needs_points() {
-        impedance_profile(&pdn(), Frequency::from_mhz(1.0), Frequency::from_mhz(2.0), 1);
+        impedance_profile(
+            &pdn(),
+            Frequency::from_mhz(1.0),
+            Frequency::from_mhz(2.0),
+            1,
+        );
     }
 
     #[test]

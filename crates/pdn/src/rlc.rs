@@ -38,6 +38,7 @@
 use std::f64::consts::TAU;
 
 use psnt_cells::units::{Capacitance, Current, Frequency, Inductance, Resistance, Time, Voltage};
+use psnt_obs::{Event as ObsEvent, Observer};
 use serde::{Deserialize, Serialize};
 
 use crate::error::PdnError;
@@ -156,6 +157,27 @@ impl LumpedPdn {
     /// too coarse for the resonance period (needs ≥ 20 points per period),
     /// or `until` does not exceed the load start.
     pub fn transient(&self, load: &Waveform, dt: Time, until: Time) -> Result<Waveform, PdnError> {
+        self.transient_observed(load, dt, until, None)
+    }
+
+    /// [`LumpedPdn::transient`] with telemetry: counts RK4 steps into
+    /// `pdn.solver_steps`, accounts the energy delivered to the load and
+    /// dissipated in the series resistance (`pdn.load_energy_j`,
+    /// `pdn.dissipated_energy_j` gauges), and — when the observer has
+    /// per-step events enabled — emits one `pdn`/`step` event per RK4
+    /// step. The returned waveform is identical with and without an
+    /// observer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LumpedPdn::transient`].
+    pub fn transient_observed(
+        &self,
+        load: &Waveform,
+        dt: Time,
+        until: Time,
+        mut observer: Option<&mut Observer>,
+    ) -> Result<Waveform, PdnError> {
         if dt <= Time::ZERO {
             return Err(PdnError::InvalidParameter {
                 name: "dt",
@@ -197,11 +219,18 @@ impl LumpedPdn {
         let steps = ((until - start) / dt).ceil() as usize;
         let mut points = Vec::with_capacity(steps + 1);
         points.push((start, v));
+        // Energy accounting (trapezoidal in the per-step endpoint values).
+        let mut load_energy_j = 0.0;
+        let mut dissipated_j = 0.0;
+        let per_step_events = observer
+            .as_deref()
+            .is_some_and(|obs| obs.config().solver_steps);
         for k in 0..steps {
             let t = start + dt * k as f64;
             let t_mid = t + dt / 2.0;
             let t_end = t + dt;
             let (i_a, i_m, i_b) = (load.sample(t), load.sample(t_mid), load.sample(t_end));
+            let (v_prev, il_prev) = (v, il);
             // Classic RK4 with the load sampled at sub-step times.
             let (k1i, k1v) = deriv(il, v, i_a);
             let (k2i, k2v) = deriv(il + 0.5 * h * k1i, v + 0.5 * h * k1v, i_m);
@@ -210,6 +239,25 @@ impl LumpedPdn {
             il += h / 6.0 * (k1i + 2.0 * k2i + 2.0 * k3i + k4i);
             v += h / 6.0 * (k1v + 2.0 * k2v + 2.0 * k3v + k4v);
             points.push((t_end, v));
+            if let Some(obs) = observer.as_deref_mut() {
+                load_energy_j += 0.5 * (v_prev * i_a + v * i_b) * h;
+                dissipated_j += 0.5 * r * (il_prev * il_prev + il * il) * h;
+                if per_step_events {
+                    obs.event(
+                        ObsEvent::new("pdn", "step")
+                            .at(t_end)
+                            .field("v_die", &v)
+                            .field("i_l", &il)
+                            .field("i_load", &i_b),
+                    );
+                }
+            }
+        }
+        if let Some(obs) = observer {
+            obs.metrics.counter_add("pdn.solver_steps", steps as u64);
+            obs.metrics.gauge_set("pdn.load_energy_j", load_energy_j);
+            obs.metrics
+                .gauge_set("pdn.dissipated_energy_j", dissipated_j);
         }
         Waveform::from_points(points)
     }
@@ -275,7 +323,9 @@ mod tests {
     fn constant_load_stays_at_steady_state() {
         let pdn = LumpedPdn::typical_90nm_package();
         let load = Waveform::constant(1.0);
-        let v = pdn.transient(&load, Time::from_ps(200.0), ns(200.0)).unwrap();
+        let v = pdn
+            .transient(&load, Time::from_ps(200.0), ns(200.0))
+            .unwrap();
         let expect = pdn.steady_state(Current::from_a(1.0)).volts();
         assert!((v.min_value() - expect).abs() < 1e-6);
         assert!((v.max_value() - expect).abs() < 1e-6);
@@ -286,7 +336,9 @@ mod tests {
         let pdn = LumpedPdn::typical_90nm_package();
         let di = 2.0;
         let load = step_load(0.5, 0.5 + di, ns(100.0), ns(600.0));
-        let v = pdn.transient(&load, Time::from_ps(200.0), ns(600.0)).unwrap();
+        let v = pdn
+            .transient(&load, Time::from_ps(200.0), ns(600.0))
+            .unwrap();
         let pre = pdn.steady_state(Current::from_a(0.5)).volts();
         let droop = pre - v.min_over(ns(100.0), ns(200.0));
         let z0di = pdn.characteristic_impedance().ohms() * di;
@@ -299,7 +351,9 @@ mod tests {
     fn ring_frequency_matches_resonance() {
         let pdn = LumpedPdn::typical_90nm_package();
         let load = step_load(0.0, 2.0, ns(50.0), ns(450.0));
-        let v = pdn.transient(&load, Time::from_ps(100.0), ns(450.0)).unwrap();
+        let v = pdn
+            .transient(&load, Time::from_ps(100.0), ns(450.0))
+            .unwrap();
         // Find successive minima spacing after the step.
         let pts = v.points();
         let mut minima = Vec::new();
@@ -309,19 +363,28 @@ mod tests {
                 minima.push(t1);
             }
         }
-        assert!(minima.len() >= 2, "expected ringing, found {} minima", minima.len());
+        assert!(
+            minima.len() >= 2,
+            "expected ringing, found {} minima",
+            minima.len()
+        );
         let period = (minima[1] - minima[0]).seconds();
         let f_measured = 1.0 / period;
         let f_expected = pdn.resonance_frequency().hertz();
         let rel = (f_measured - f_expected).abs() / f_expected;
-        assert!(rel < 0.05, "ring {f_measured:.3e} vs resonance {f_expected:.3e}");
+        assert!(
+            rel < 0.05,
+            "ring {f_measured:.3e} vs resonance {f_expected:.3e}"
+        );
     }
 
     #[test]
     fn settles_to_new_steady_state() {
         let pdn = LumpedPdn::typical_90nm_package();
         let load = step_load(0.5, 2.0, ns(50.0), ns(1000.0));
-        let v = pdn.transient(&load, Time::from_ps(200.0), ns(1000.0)).unwrap();
+        let v = pdn
+            .transient(&load, Time::from_ps(200.0), ns(1000.0))
+            .unwrap();
         let expect = pdn.steady_state(Current::from_a(2.0)).volts();
         assert!((v.sample(ns(990.0)) - expect).abs() < 1e-4);
     }
@@ -330,7 +393,9 @@ mod tests {
     fn load_release_overshoots() {
         let pdn = LumpedPdn::typical_90nm_package();
         let load = step_load(2.0, 0.2, ns(50.0), ns(400.0));
-        let v = pdn.transient(&load, Time::from_ps(200.0), ns(400.0)).unwrap();
+        let v = pdn
+            .transient(&load, Time::from_ps(200.0), ns(400.0))
+            .unwrap();
         // The rail must swing above the new steady state (overshoot).
         let new_ss = pdn.steady_state(Current::from_a(0.2)).volts();
         assert!(v.max_over(ns(50.0), ns(150.0)) > new_ss + 0.02);
@@ -343,6 +408,8 @@ mod tests {
         // Period ≈ 19.9 ns; dt = 2 ns gives < 20 points per period.
         assert!(pdn.transient(&load, ns(2.0), ns(100.0)).is_err());
         assert!(pdn.transient(&load, Time::ZERO, ns(100.0)).is_err());
-        assert!(pdn.transient(&load, Time::from_ps(100.0), Time::ZERO).is_err());
+        assert!(pdn
+            .transient(&load, Time::from_ps(100.0), Time::ZERO)
+            .is_err());
     }
 }

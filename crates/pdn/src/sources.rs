@@ -43,10 +43,27 @@ use crate::waveform::Waveform;
 #[derive(Debug, Clone)]
 enum Component {
     IrDrop(f64),
-    Ramp { to: f64, start: Time, end: Time },
-    Resonance { freq_hz: f64, amp: f64, phase: f64 },
-    Droop { at: Time, depth: f64, tau: Time, ring_hz: f64 },
-    Overshoot { at: Time, height: f64, tau: Time },
+    Ramp {
+        to: f64,
+        start: Time,
+        end: Time,
+    },
+    Resonance {
+        freq_hz: f64,
+        amp: f64,
+        phase: f64,
+    },
+    Droop {
+        at: Time,
+        depth: f64,
+        tau: Time,
+        ring_hz: f64,
+    },
+    Overshoot {
+        at: Time,
+        height: f64,
+        tau: Time,
+    },
 }
 
 impl Component {
@@ -62,10 +79,17 @@ impl Component {
                     to * ((t - start) / (end - start))
                 }
             }
-            Component::Resonance { freq_hz, amp, phase } => {
-                amp * (TAU * freq_hz * t.seconds() + phase).sin()
-            }
-            Component::Droop { at, depth, tau, ring_hz } => {
+            Component::Resonance {
+                freq_hz,
+                amp,
+                phase,
+            } => amp * (TAU * freq_hz * t.seconds() + phase).sin(),
+            Component::Droop {
+                at,
+                depth,
+                tau,
+                ring_hz,
+            } => {
                 if t < at {
                     0.0
                 } else {
@@ -144,7 +168,12 @@ impl SupplyNoiseBuilder {
     }
 
     /// Adds a sustained sinusoid at the package-resonance frequency.
-    pub fn resonance(mut self, freq: Frequency, amplitude: Voltage, phase: f64) -> SupplyNoiseBuilder {
+    pub fn resonance(
+        mut self,
+        freq: Frequency,
+        amplitude: Voltage,
+        phase: f64,
+    ) -> SupplyNoiseBuilder {
         self.components.push(Component::Resonance {
             freq_hz: freq.hertz(),
             amp: amplitude.volts(),
@@ -210,7 +239,9 @@ impl SupplyNoiseBuilder {
         }
         let n = ((self.end - self.start) / self.resolution).ceil() as usize;
         let n = n.max(1);
-        let mut rng = self.white.map(|(amp, seed)| (amp, StdRng::seed_from_u64(seed)));
+        let mut rng = self
+            .white
+            .map(|(amp, seed)| (amp, StdRng::seed_from_u64(seed)));
         let nominal = self.nominal.volts();
         let components = self.components;
         Waveform::sample_fn(self.start, self.end, n, move |t| {
@@ -392,11 +423,29 @@ mod tests {
 
     #[test]
     fn supply_step_profile() {
-        let w = supply_step(Voltage::from_v(1.0), Voltage::from_v(0.9), ns(50.0), ns(100.0)).unwrap();
+        let w = supply_step(
+            Voltage::from_v(1.0),
+            Voltage::from_v(0.9),
+            ns(50.0),
+            ns(100.0),
+        )
+        .unwrap();
         assert_eq!(w.sample(ns(25.0)), 1.0);
         assert_eq!(w.sample(ns(75.0)), 0.9);
-        assert!(supply_step(Voltage::from_v(1.0), Voltage::from_v(0.9), Time::ZERO, ns(100.0)).is_err());
-        assert!(supply_step(Voltage::from_v(1.0), Voltage::from_v(0.9), ns(100.0), ns(100.0)).is_err());
+        assert!(supply_step(
+            Voltage::from_v(1.0),
+            Voltage::from_v(0.9),
+            Time::ZERO,
+            ns(100.0)
+        )
+        .is_err());
+        assert!(supply_step(
+            Voltage::from_v(1.0),
+            Voltage::from_v(0.9),
+            ns(100.0),
+            ns(100.0)
+        )
+        .is_err());
     }
 
     #[test]

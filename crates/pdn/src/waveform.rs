@@ -225,7 +225,10 @@ impl Waveform {
 
     /// Global minimum across all breakpoints.
     pub fn min_value(&self) -> f64 {
-        self.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min)
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Global maximum across all breakpoints.

@@ -30,9 +30,20 @@ use crate::waveform::Waveform;
 /// One workload feature over the base draw.
 #[derive(Debug, Clone)]
 enum Feature {
-    Burst { start: Time, duration: Time, peak: f64 },
-    Step { at: Time, to: f64 },
-    Periodic { period: Time, duty: f64, peak: f64 },
+    Burst {
+        start: Time,
+        duration: Time,
+        peak: f64,
+    },
+    Step {
+        at: Time,
+        to: f64,
+    },
+    Periodic {
+        period: Time,
+        duty: f64,
+        peak: f64,
+    },
 }
 
 /// Builder for synthetic CUT current profiles.
@@ -137,14 +148,24 @@ impl WorkloadBuilder {
         let base = self.base;
         let features = self.features;
         let mut act = self.activity.map(|(amp, seed, gran)| {
-            (amp, StdRng::seed_from_u64(seed), gran, Time::from_seconds(-1.0), 0.0)
+            (
+                amp,
+                StdRng::seed_from_u64(seed),
+                gran,
+                Time::from_seconds(-1.0),
+                0.0,
+            )
         });
         let start = self.start;
         Waveform::sample_fn(self.start, self.end, n, move |t| {
             let mut i = base;
             for f in &features {
                 match *f {
-                    Feature::Burst { start, duration, peak } => {
+                    Feature::Burst {
+                        start,
+                        duration,
+                        peak,
+                    } => {
                         if t >= start && t < start + duration {
                             i = i.max(peak);
                         }

@@ -15,6 +15,7 @@
 use psnt_cells::units::{Time, Voltage};
 use psnt_core::code::ThermometerCode;
 use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
+use psnt_obs::{Event as ObsEvent, Observer, Span};
 use psnt_pdn::waveform::Waveform;
 use serde::{Deserialize, Serialize};
 
@@ -104,9 +105,9 @@ impl CampaignResult {
 
     /// The site with the deepest observed droop.
     pub fn hotspot(&self) -> Option<&SiteSeries> {
-        self.sites.iter().min_by(|a, b| {
-            (a.worst_level(), a.tile).cmp(&(b.worst_level(), b.tile))
-        })
+        self.sites
+            .iter()
+            .min_by(|a, b| (a.worst_level(), a.tile).cmp(&(b.worst_level(), b.tile)))
     }
 }
 
@@ -169,6 +170,24 @@ impl Campaign {
         self.run_dual(tile_loads, None, start, dt, samples)
     }
 
+    /// [`Campaign::run`] with telemetry: per-site progress events plus
+    /// running worst-droop/worst-bounce gauges in the observer's
+    /// registry. Results are identical with and without an observer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::run`].
+    pub fn run_observed(
+        &self,
+        tile_loads: &[Waveform],
+        start: Time,
+        dt: Time,
+        samples: usize,
+        observer: Option<&mut Observer>,
+    ) -> Result<CampaignResult, ScanError> {
+        self.run_dual_observed(tile_loads, None, start, dt, samples, observer)
+    }
+
     /// Like [`Campaign::run`], but with the return current flowing
     /// through a ground grid: every site's LOW-SENSE array then measures
     /// the local ground bounce. The ground grid mirrors the supply grid's
@@ -187,6 +206,27 @@ impl Campaign {
         start: Time,
         dt: Time,
         samples: usize,
+    ) -> Result<CampaignResult, ScanError> {
+        self.run_dual_observed(tile_loads, ground_grid, start, dt, samples, None)
+    }
+
+    /// [`Campaign::run_dual`] with telemetry: one `scan`/`site` event as
+    /// each site completes (tile, name, worst levels), running
+    /// `campaign.worst_droop_mv` / `campaign.worst_bounce_mv` gauges,
+    /// and span timing around the grid solve and the measurement sweep.
+    /// Results are identical with and without an observer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::run_dual`].
+    pub fn run_dual_observed(
+        &self,
+        tile_loads: &[Waveform],
+        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
+        start: Time,
+        dt: Time,
+        samples: usize,
+        mut observer: Option<&mut Observer>,
     ) -> Result<CampaignResult, ScanError> {
         let grid = self.floorplan.grid();
         if tile_loads.len() != grid.tiles() {
@@ -219,6 +259,7 @@ impl Campaign {
         }
         let end = start + dt * samples as f64 + Time::from_ns(1.0);
         let solve_dt = dt / 2.0;
+        let solve_span = observer.as_ref().map(|_| Span::begin("grid_solve"));
         let tile_supplies = grid.quasi_static_transient(tile_loads, start, end, solve_dt)?;
         // Ground bounce: the same tile currents return through the ground
         // mesh; the bounce is the IR rise above the (0 V-referenced) pad.
@@ -230,25 +271,54 @@ impl Campaign {
                 Some(raw.into_iter().map(|w| w.map(|v| v_pad - v)).collect())
             }
         };
+        if let (Some(obs), Some(span)) = (observer.as_deref_mut(), solve_span) {
+            obs.end_span(span);
+        }
         let quiet = Waveform::constant(0.0);
 
-        let instants: Vec<Time> = (0..samples).map(|k| start + dt * (k as f64 + 0.5)).collect();
+        let v_nom = grid.v_pad().volts();
+        let instants: Vec<Time> = (0..samples)
+            .map(|k| start + dt * (k as f64 + 0.5))
+            .collect();
+        let measure_span = observer.as_ref().map(|_| Span::begin("measure_sweep"));
         let mut sites = Vec::with_capacity(self.floorplan.sites().len());
         for site in self.floorplan.sites() {
             let system = SensorSystem::new(self.config.clone())?;
             let vdd = &tile_supplies[site.tile];
-            let gnd = tile_bounces
-                .as_ref()
-                .map_or(&quiet, |b| &b[site.tile]);
+            let gnd = tile_bounces.as_ref().map_or(&quiet, |b| &b[site.tile]);
             let measurements = instants
                 .iter()
                 .map(|&at| system.measure_at(vdd, gnd, at))
                 .collect::<Result<Vec<_>, _>>()?;
-            sites.push(SiteSeries {
+            let series = SiteSeries {
                 tile: site.tile,
                 name: site.name.clone(),
                 measurements,
-            });
+            };
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.metrics.counter_add("campaign.sites_done", 1);
+                let mut event = ObsEvent::new("scan", "site")
+                    .field("tile", &(series.tile as u64))
+                    .field("name", &series.name)
+                    .field("worst_level", &(series.worst_level() as u64));
+                if let Some(v) = series.worst_voltage() {
+                    let droop_mv = (v_nom - v.volts()) * 1e3;
+                    obs.metrics
+                        .gauge_set_max("campaign.worst_droop_mv", droop_mv);
+                    event = event.field("worst_droop_mv", &droop_mv);
+                }
+                if let Some(b) = series.worst_bounce() {
+                    let bounce_mv = b.volts() * 1e3;
+                    obs.metrics
+                        .gauge_set_max("campaign.worst_bounce_mv", bounce_mv);
+                    event = event.field("worst_bounce_mv", &bounce_mv);
+                }
+                obs.event(event);
+            }
+            sites.push(series);
+        }
+        if let (Some(obs), Some(span)) = (observer, measure_span) {
+            obs.end_span(span);
         }
 
         let mut frames = Vec::with_capacity(samples);
@@ -301,11 +371,8 @@ mod tests {
         let c = campaign();
         // The centre tile draws a ramping current; others idle lightly.
         let mut loads = vec![Waveform::constant(0.02); 9];
-        loads[4] = Waveform::from_points(vec![
-            (Time::ZERO, 0.05),
-            (Time::from_ns(200.0), 0.9),
-        ])
-        .unwrap();
+        loads[4] =
+            Waveform::from_points(vec![(Time::ZERO, 0.05), (Time::from_ns(200.0), 0.9)]).unwrap();
         let result = c
             .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 8)
             .unwrap();
@@ -341,7 +408,10 @@ mod tests {
         let loads = vec![Waveform::constant(0.02); 4];
         assert!(matches!(
             c.run(&loads, Time::ZERO, Time::from_ns(10.0), 2),
-            Err(ScanError::InvalidConfig { name: "tile_loads", .. })
+            Err(ScanError::InvalidConfig {
+                name: "tile_loads",
+                ..
+            })
         ));
     }
 
@@ -368,7 +438,13 @@ mod tests {
         let mut loads = vec![Waveform::constant(0.05); 9];
         loads[4] = Waveform::constant(0.9);
         let result = c
-            .run_dual(&loads, Some(&gnd_grid), Time::from_ns(10.0), Time::from_ns(20.0), 4)
+            .run_dual(
+                &loads,
+                Some(&gnd_grid),
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                4,
+            )
             .unwrap();
         // The centre tile bounces hardest: its LS level is the worst.
         let centre = result.sites.iter().find(|s| s.tile == 4).unwrap();
@@ -407,7 +483,10 @@ mod tests {
         let loads = vec![Waveform::constant(0.05); 9];
         assert!(matches!(
             c.run_dual(&loads, Some(&wrong), Time::ZERO, Time::from_ns(10.0), 2),
-            Err(ScanError::InvalidConfig { name: "ground_grid", .. })
+            Err(ScanError::InvalidConfig {
+                name: "ground_grid",
+                ..
+            })
         ));
     }
 
@@ -415,7 +494,9 @@ mod tests {
     fn frames_roundtrip_through_chain() {
         let c = campaign();
         let loads = vec![Waveform::constant(0.1); 9];
-        let result = c.run(&loads, Time::from_ns(5.0), Time::from_ns(15.0), 3).unwrap();
+        let result = c
+            .run(&loads, Time::from_ns(5.0), Time::from_ns(15.0), 3)
+            .unwrap();
         for (k, frame) in result.frames.iter().enumerate() {
             let codes = c.chain().deserialize(frame).unwrap();
             for (site, code) in result.sites.iter().zip(&codes) {

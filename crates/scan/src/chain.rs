@@ -109,7 +109,11 @@ impl ScanChain {
         Ok((0..self.site_names.len())
             .map(|s| {
                 let bits: LogicVector = (0..self.bits_per_site)
-                    .map(|b| frame.get(s * self.bits_per_site + b).expect("length checked"))
+                    .map(|b| {
+                        frame
+                            .get(s * self.bits_per_site + b)
+                            .expect("length checked")
+                    })
                     .collect();
                 ThermometerCode::new(bits)
             })
@@ -182,7 +186,10 @@ mod tests {
         let c = chain(2);
         assert!(matches!(
             c.capture(&[code("0011111")]),
-            Err(ScanError::FrameMismatch { expected: 2, got: 1 })
+            Err(ScanError::FrameMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(c.capture(&[code("011"), code("0011111")]).is_err());
         let short = LogicVector::zeros(3);

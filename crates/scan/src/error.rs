@@ -37,7 +37,10 @@ impl fmt::Display for ScanError {
         match self {
             ScanError::InvalidPlacement { reason } => write!(f, "invalid placement: {reason}"),
             ScanError::FrameMismatch { expected, got } => {
-                write!(f, "scan frame of {got} bits does not match chain length {expected}")
+                write!(
+                    f,
+                    "scan frame of {got} bits does not match chain length {expected}"
+                )
             }
             ScanError::InvalidConfig { name, reason } => {
                 write!(f, "invalid configuration {name}: {reason}")
@@ -79,9 +82,12 @@ mod tests {
         assert!(ScanError::InvalidPlacement { reason: "x".into() }
             .to_string()
             .contains("x"));
-        assert!(ScanError::FrameMismatch { expected: 14, got: 7 }
-            .to_string()
-            .contains("14"));
+        assert!(ScanError::FrameMismatch {
+            expected: 14,
+            got: 7
+        }
+        .to_string()
+        .contains("14"));
         let s = ScanError::from(psnt_core::SensorError::WaveformGap { at_ps: 1.0 });
         assert!(Error::source(&s).is_some());
         let p = ScanError::from(psnt_pdn::PdnError::InvalidWaveform("w".into()));

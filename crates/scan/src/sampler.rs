@@ -81,7 +81,10 @@ impl Reconstruction {
         if filled.is_empty() {
             return None;
         }
-        let lo = filled.iter().copied().fold(Voltage::from_v(f64::INFINITY), Voltage::min);
+        let lo = filled
+            .iter()
+            .copied()
+            .fold(Voltage::from_v(f64::INFINITY), Voltage::min);
         let hi = filled
             .iter()
             .copied()

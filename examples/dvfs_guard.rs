@@ -29,8 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let load = WorkloadBuilder::new(Current::from_a(0.4))
         .span(Time::ZERO, span)
         .resolution(Time::from_ps(500.0))
-        .burst(Time::from_ns(200.0), Time::from_ns(60.0), Current::from_a(2.0))
-        .burst(Time::from_ns(500.0), Time::from_ns(60.0), Current::from_a(2.2))
+        .burst(
+            Time::from_ns(200.0),
+            Time::from_ns(60.0),
+            Current::from_a(2.0),
+        )
+        .burst(
+            Time::from_ns(500.0),
+            Time::from_ns(60.0),
+            Current::from_a(2.2),
+        )
         .random_activity(Current::from_a(0.2), Time::from_ns(2.0), 42)
         .build()?;
 
@@ -53,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // One measurement window: 80 sensor measures across the epoch.
         let window: Vec<_> = (0..80)
             .map(|k| {
-                sensor.measure_at(&vdd, &gnd, Time::from_ns(50.0) + Time::from_ns(11.0) * k as f64)
+                sensor.measure_at(
+                    &vdd,
+                    &gnd,
+                    Time::from_ns(50.0) + Time::from_ns(11.0) * k as f64,
+                )
             })
             .collect::<Result<_, _>>()?;
         for m in &window {

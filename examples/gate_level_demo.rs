@@ -8,12 +8,12 @@
 //! gtkwave sensor_system.vcd   # optional
 //! ```
 
+use psn_thermometer::cells::logic::Logic;
 use psn_thermometer::netlist::sim::Simulator;
 use psn_thermometer::prelude::*;
+use psn_thermometer::sensor::element::RailMode;
 use psn_thermometer::sensor::gate_level::GateLevelSystem;
 use psn_thermometer::sensor::thermometer::ThermometerArray;
-use psn_thermometer::sensor::element::RailMode;
-use psn_thermometer::cells::logic::Logic;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = GateLevelSystem::paper()?;

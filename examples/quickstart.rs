@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .skew(sensor.config().hs_code, &sensor.config().pvt),
         &sensor.config().pvt,
     )?;
-    println!("\nelement thresholds (delay code {}):", sensor.config().hs_code);
+    println!(
+        "\nelement thresholds (delay code {}):",
+        sensor.config().hs_code
+    );
     for (i, t) in thresholds.iter().enumerate() {
         println!("  element {}: {:.3} V", i + 1, t.volts());
     }

@@ -30,13 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // inside the delay-code-011 measurement range — re-ranging via the
     // delay code would be the answer for a wilder rail).
     let span = Time::from_us(10.0);
-    let load = resonant_loop(
-        Current::from_a(0.3),
-        Current::from_a(0.9),
-        f_true,
-        span,
-        17,
-    )?;
+    let load = resonant_loop(Current::from_a(0.3), Current::from_a(0.9), f_true, span, 17)?;
     let vdd = pdn.transient(&load, Time::from_ps(200.0), span)?;
     let gnd = Waveform::constant(0.0);
 

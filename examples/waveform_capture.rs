@@ -41,8 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hi = nominal + 0.045;
     for (i, v) in recon.values().iter().enumerate() {
         let t = recon.bin_time(i);
-        let truth = nominal
-            + amp.volts() * (std::f64::consts::TAU * (t / period)).sin();
+        let truth = nominal + amp.volts() * (std::f64::consts::TAU * (t / period)).sin();
         let line = match v {
             Some(v) => {
                 let col = ((v.volts() - lo) / (hi - lo) * 28.0).clamp(0.0, 28.0) as usize;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local CI gate: format, lint, build, test.
+# Run from anywhere; operates on the workspace this script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "CI green."

@@ -21,7 +21,9 @@
 //! * [`scan`] (`psnt-scan`) — multi-site placement, serial readout,
 //!   equivalent-time sampling, campaigns;
 //! * [`analysis`] (`psnt-analysis`) — statistics, ADC linearity metrics,
-//!   fidelity scoring, report tables.
+//!   fidelity scoring, report tables;
+//! * [`obs`] (`psnt-obs`) — telemetry: metrics registry, structured
+//!   JSON-Lines event log, span timing, run manifests.
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,7 @@ pub use psnt_analysis as analysis;
 pub use psnt_cells as cells;
 pub use psnt_core as sensor;
 pub use psnt_netlist as netlist;
+pub use psnt_obs as obs;
 pub use psnt_pdn as pdn;
 pub use psnt_scan as scan;
 
@@ -55,10 +58,11 @@ pub mod prelude {
     pub use psnt_cells::units::{Capacitance, Current, Frequency, Resistance, Time, Voltage};
     pub use psnt_core::code::ThermometerCode;
     pub use psnt_core::element::{RailMode, SenseElement};
-    pub use psnt_core::pulsegen::{DelayCode, PulseGenerator};
     pub use psnt_core::policy::{DvfsGovernor, GovernorAction, NoiseAlarm};
+    pub use psnt_core::pulsegen::{DelayCode, PulseGenerator};
     pub use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
     pub use psnt_core::thermometer::{CapacitorLadder, ThermometerArray};
+    pub use psnt_obs::{Observer, RunManifest};
     pub use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};
     pub use psnt_pdn::waveform::Waveform;
     pub use psnt_pdn::workload::WorkloadBuilder;

@@ -17,7 +17,11 @@ fn workload_to_decoded_voltage_roundtrip() {
     let load = WorkloadBuilder::new(Current::from_a(0.6))
         .span(Time::ZERO, span)
         .resolution(Time::from_ps(500.0))
-        .burst(Time::from_ns(300.0), Time::from_ns(80.0), Current::from_a(2.4))
+        .burst(
+            Time::from_ns(300.0),
+            Time::from_ns(80.0),
+            Current::from_a(2.4),
+        )
         .build()
         .unwrap();
     let vdd = pdn.transient(&load, Time::from_ps(200.0), span).unwrap();
@@ -30,7 +34,11 @@ fn workload_to_decoded_voltage_roundtrip() {
     let measures: Vec<_> = (0..60)
         .map(|k| {
             sensor
-                .measure_at(&vdd, &gnd, Time::from_ns(50.0) + Time::from_ns(14.0) * k as f64)
+                .measure_at(
+                    &vdd,
+                    &gnd,
+                    Time::from_ns(50.0) + Time::from_ns(14.0) * k as f64,
+                )
                 .unwrap()
         })
         .collect();
@@ -53,7 +61,11 @@ fn droop_depth_matches_pdn_analytics() {
     let load = WorkloadBuilder::new(Current::from_a(0.5))
         .span(Time::ZERO, span)
         .resolution(Time::from_ps(500.0))
-        .burst(Time::from_ns(400.0), Time::from_ns(100.0), Current::from_a(0.5 + di))
+        .burst(
+            Time::from_ns(400.0),
+            Time::from_ns(100.0),
+            Current::from_a(0.5 + di),
+        )
         .build()
         .unwrap();
     let vdd = pdn.transient(&load, Time::from_ps(200.0), span).unwrap();
@@ -102,8 +114,12 @@ fn baselines_compared_on_shared_waveforms() {
     assert_eq!(c_droop, c_bounce);
 
     // Thermometer: different signatures.
-    let m_droop = sensor.measure_at(&droop.0, &droop.1, Time::from_ns(10.0)).unwrap();
-    let m_bounce = sensor.measure_at(&bounce.0, &bounce.1, Time::from_ns(10.0)).unwrap();
+    let m_droop = sensor
+        .measure_at(&droop.0, &droop.1, Time::from_ns(10.0))
+        .unwrap();
+    let m_bounce = sensor
+        .measure_at(&bounce.0, &bounce.1, Time::from_ns(10.0))
+        .unwrap();
     assert_ne!(
         (m_droop.hs_code.clone(), m_droop.ls_code.clone()),
         (m_bounce.hs_code.clone(), m_bounce.ls_code.clone())
@@ -121,7 +137,11 @@ fn baselines_compared_on_shared_waveforms() {
     );
     // The thermometer reads the same rail unconditionally.
     let m = sensor
-        .measure_at(&Waveform::constant(deep.volts()), &Waveform::constant(0.0), Time::from_ns(10.0))
+        .measure_at(
+            &Waveform::constant(deep.volts()),
+            &Waveform::constant(0.0),
+            Time::from_ns(10.0),
+        )
         .unwrap();
     assert!(m.hs_word.level < 7);
 }
@@ -146,7 +166,11 @@ fn resonant_workload_oscillates_the_readout() {
     let levels: Vec<usize> = (0..100)
         .map(|k| {
             sensor
-                .measure_at(&vdd, &gnd, Time::from_ns(500.0) + Time::from_ns(7.0) * k as f64)
+                .measure_at(
+                    &vdd,
+                    &gnd,
+                    Time::from_ns(500.0) + Time::from_ns(7.0) * k as f64,
+                )
                 .unwrap()
                 .hs_word
                 .level

@@ -26,15 +26,14 @@ fn tab1_delay_code_table_matches_exactly() {
 #[test]
 fn fig4_threshold_at_2pf_is_0_936v() {
     let skew = pg().skew(DelayCode::new(3).unwrap(), &pvt());
-    let points = sensitivity_characteristic(
-        RailMode::Supply,
-        skew,
-        &pvt(),
-        [Capacitance::from_pf(2.0)],
-    )
-    .unwrap();
+    let points =
+        sensitivity_characteristic(RailMode::Supply, skew, &pvt(), [Capacitance::from_pf(2.0)])
+            .unwrap();
     let t = points[0].threshold.volts();
-    assert!((t - 0.9360).abs() < 0.004, "threshold {t} vs paper 0.9360 V");
+    assert!(
+        (t - 0.9360).abs() < 0.004,
+        "threshold {t} vs paper 0.9360 V"
+    );
 }
 
 #[test]
@@ -142,6 +141,9 @@ fn ground_rail_measured_independently_of_supply() {
             Time::from_ns(10.0),
         )
         .unwrap();
-    assert_eq!(quiet.hs_code, bounce.hs_code, "HS must not react to GND bounce");
+    assert_eq!(
+        quiet.hs_code, bounce.hs_code,
+        "HS must not react to GND bounce"
+    );
     assert!(bounce.ls_word.level < quiet.ls_word.level, "LS must react");
 }

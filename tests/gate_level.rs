@@ -19,7 +19,8 @@ fn cntr_netlist_runs_many_measure_sequences() {
     sim.drive(enable, Logic::One, Time::ZERO).unwrap();
     sim.drive(start, Logic::One, Time::ZERO).unwrap();
     let period = Time::from_ns(4.0);
-    sim.drive_clock(clk, Time::from_ns(2.0), period, 40).unwrap();
+    sim.drive_clock(clk, Time::from_ns(2.0), period, 40)
+        .unwrap();
     sim.run_until(Time::from_ns(170.0));
 
     // The capture output must pulse once per 5-cycle measure sequence.
@@ -44,7 +45,8 @@ fn cntr_gate_level_agrees_with_behavioural_over_long_run() {
     sim.drive(start, Logic::One, Time::ZERO).unwrap();
     let period = Time::from_ns(4.0);
     let cycles = 30;
-    sim.drive_clock(clk, Time::from_ns(2.0), period, cycles).unwrap();
+    sim.drive_clock(clk, Time::from_ns(2.0), period, cycles)
+        .unwrap();
 
     let mut behavioural = Controller::new(None);
     let (s0, s1, s2) = (
@@ -54,7 +56,10 @@ fn cntr_gate_level_agrees_with_behavioural_over_long_run() {
     );
     for cycle in 0..cycles {
         sim.run_until(Time::from_ns(2.0) + period * (cycle as f64 + 0.9));
-        behavioural.step(CtrlInputs { enable: true, start: true });
+        behavioural.step(CtrlInputs {
+            enable: true,
+            start: true,
+        });
         let enc = [sim.value(s2), sim.value(s1), sim.value(s0)]
             .iter()
             .fold(0u8, |acc, b| (acc << 1) | u8::from(*b == Logic::One));
@@ -100,8 +105,12 @@ fn counter_width_scales_the_critical_path() {
         ..CtrlNetlistConfig::default()
     });
     let long = build_control_netlist(&CtrlNetlistConfig::default());
-    let t_short = analyze(&short, &StaConfig::default()).unwrap().critical_delay();
-    let t_long = analyze(&long, &StaConfig::default()).unwrap().critical_delay();
+    let t_short = analyze(&short, &StaConfig::default())
+        .unwrap()
+        .critical_delay();
+    let t_long = analyze(&long, &StaConfig::default())
+        .unwrap()
+        .critical_delay();
     assert!(t_long > t_short * 1.5, "{t_short} vs {t_long}");
 }
 
@@ -117,7 +126,8 @@ fn vcd_export_of_a_control_run() {
     let start = netlist.net_by_name("start").unwrap();
     sim.drive(enable, Logic::One, Time::ZERO).unwrap();
     sim.drive(start, Logic::One, Time::ZERO).unwrap();
-    sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 8).unwrap();
+    sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 8)
+        .unwrap();
     sim.run_until(Time::from_ns(40.0));
     let vcd = sim.trace().to_vcd("cntr");
     assert!(vcd.contains("$enddefinitions $end"));

@@ -24,7 +24,11 @@ fn dvfs_loop_converges_against_the_pdn() {
     let load = WorkloadBuilder::new(Current::from_a(0.4))
         .span(Time::ZERO, span)
         .resolution(Time::from_ps(500.0))
-        .burst(Time::from_ns(300.0), Time::from_ns(80.0), Current::from_a(2.0))
+        .burst(
+            Time::from_ns(300.0),
+            Time::from_ns(80.0),
+            Current::from_a(2.0),
+        )
         .random_activity(Current::from_a(0.2), Time::from_ns(2.0), 7)
         .build()
         .unwrap();
@@ -43,7 +47,11 @@ fn dvfs_loop_converges_against_the_pdn() {
         let window: Vec<_> = (0..60)
             .map(|k| {
                 sensor
-                    .measure_at(&vdd, &gnd, Time::from_ns(60.0) + Time::from_ns(14.0) * k as f64)
+                    .measure_at(
+                        &vdd,
+                        &gnd,
+                        Time::from_ns(60.0) + Time::from_ns(14.0) * k as f64,
+                    )
                     .unwrap()
             })
             .collect();
@@ -105,7 +113,10 @@ fn alarm_tracks_a_transient() {
     }
     let trip = trip_time.expect("the 120 mV droop must trip the alarm");
     let clear = clear_time.expect("the alarm must clear after recovery");
-    assert!(trip > Time::from_ns(300.0), "tripped before the droop: {trip}");
+    assert!(
+        trip > Time::from_ns(300.0),
+        "tripped before the droop: {trip}"
+    );
     assert!(trip < Time::from_ns(450.0), "tripped too late: {trip}");
     assert!(clear > trip);
     assert_eq!(alarm.trips(), 1);
@@ -148,6 +159,11 @@ fn resonance_identified_from_sensor_samples() {
     )
     .unwrap();
     let rel = (f_est.hertz() - f_true.hertz()).abs() / f_true.hertz();
-    assert!(rel < 0.02, "estimated {:.3e} vs true {:.3e}", f_est.hertz(), f_true.hertz());
+    assert!(
+        rel < 0.02,
+        "estimated {:.3e} vs true {:.3e}",
+        f_est.hertz(),
+        f_true.hertz()
+    );
     assert!(amp > 0.03, "implausibly small identified amplitude {amp}");
 }

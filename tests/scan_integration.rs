@@ -42,7 +42,10 @@ fn campaign_localises_a_hotspot() {
         .iter()
         .map(|t| map.iter().find(|(tile, ..)| tile == t).unwrap().1)
         .collect();
-    assert!(corner_levels.windows(2).all(|w| w[0] == w[1]), "{corner_levels:?}");
+    assert!(
+        corner_levels.windows(2).all(|w| w[0] == w[1]),
+        "{corner_levels:?}"
+    );
     // And the hotspot is strictly worse than the corners.
     assert!(hotspot.worst_level() < corner_levels[0]);
 }
@@ -120,7 +123,11 @@ fn site_series_statistics_are_consistent() {
         .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 10)
         .unwrap();
     for site in &result.sites {
-        let levels: Vec<f64> = site.measurements.iter().map(|m| m.hs_word.level as f64).collect();
+        let levels: Vec<f64> = site
+            .measurements
+            .iter()
+            .map(|m| m.hs_word.level as f64)
+            .collect();
         let summary = summarize(&levels).unwrap();
         assert!(summary.min >= site.worst_level() as f64 - 1e-9);
         assert!((summary.mean - site.mean_level()).abs() < 1e-9);

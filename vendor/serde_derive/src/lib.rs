@@ -1,0 +1,575 @@
+//! Derive macros for the in-tree serde stand-in.
+//!
+//! Built on the raw `proc_macro` API (no syn/quote — the build
+//! environment has no crates.io access). The macros walk the item's
+//! token stream directly, then emit the trait impl as a code string and
+//! re-parse it. Supported shapes are exactly the ones this workspace
+//! derives on: non-generic structs (named, tuple, unit) and enums with
+//! unit, tuple, or struct variants, plus the field attributes
+//! `#[serde(default)]` and `#[serde(skip, default = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    /// `#[serde(skip)]`: never serialized, always rebuilt from a default.
+    skip: bool,
+    /// `#[serde(default)]` or `#[serde(default = "path")]`; the path is
+    /// stored verbatim when present.
+    default: Default_,
+}
+
+enum Default_ {
+    None,
+    Trait,
+    Path(String),
+}
+
+impl Field {
+    fn default_expr(&self) -> Option<String> {
+        match &self.default {
+            Default_::None if self.skip => Some("::std::default::Default::default()".to_string()),
+            Default_::None => None,
+            Default_::Trait => Some("::std::default::Default::default()".to_string()),
+            Default_::Path(p) => Some(format!("{p}()")),
+        }
+    }
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes `#[...]` attributes, returning parsed `#[serde(...)]`
+    /// arguments (doc comments and foreign attributes are discarded).
+    fn take_attrs(&mut self) -> Vec<SerdeArg> {
+        let mut args = Vec::new();
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.bump();
+            let Some(TokenTree::Group(g)) = self.bump() else {
+                panic!("expected [...] after #");
+            };
+            let mut inner = Cursor::new(g.stream());
+            if let Some(TokenTree::Ident(name)) = inner.peek() {
+                if name.to_string() == "serde" {
+                    inner.bump();
+                    if let Some(TokenTree::Group(list)) = inner.bump() {
+                        args.extend(parse_serde_args(list.stream()));
+                    }
+                }
+            }
+        }
+        args
+    }
+
+    /// Consumes `pub` / `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.bump();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a `,` at angle-bracket depth 0 (the comma is
+    /// consumed). Used to step over field types, which the generated
+    /// code never needs to restate.
+    fn skip_past_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.bump() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+enum SerdeArg {
+    Skip,
+    Default(Default_),
+}
+
+fn parse_serde_args(stream: TokenStream) -> Vec<SerdeArg> {
+    let mut cursor = Cursor::new(stream);
+    let mut args = Vec::new();
+    while let Some(tok) = cursor.bump() {
+        let TokenTree::Ident(id) = tok else { continue };
+        match id.to_string().as_str() {
+            "skip" => args.push(SerdeArg::Skip),
+            "default" => {
+                let mut default = Default_::Trait;
+                if let Some(TokenTree::Punct(p)) = cursor.peek() {
+                    if p.as_char() == '=' {
+                        cursor.bump();
+                        let Some(TokenTree::Literal(lit)) = cursor.bump() else {
+                            panic!("expected string after `default =`");
+                        };
+                        let text = lit.to_string();
+                        default = Default_::Path(text.trim_matches('"').to_string());
+                    }
+                }
+                args.push(SerdeArg::Default(default));
+            }
+            other => panic!("unsupported serde attribute `{other}`"),
+        }
+    }
+    args
+}
+
+fn field_from_attrs(name: Option<String>, attrs: Vec<SerdeArg>) -> Field {
+    let mut field = Field {
+        name,
+        skip: false,
+        default: Default_::None,
+    };
+    for arg in attrs {
+        match arg {
+            SerdeArg::Skip => field.skip = true,
+            SerdeArg::Default(d) => field.default = d,
+        }
+    }
+    field
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let attrs = cursor.take_attrs();
+        cursor.skip_visibility();
+        let Some(TokenTree::Ident(name)) = cursor.bump() else {
+            panic!("expected field name");
+        };
+        match cursor.bump() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("expected `:` after field name"),
+        }
+        cursor.skip_past_comma();
+        fields.push(field_from_attrs(Some(name.to_string()), attrs));
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let attrs = cursor.take_attrs();
+        cursor.skip_visibility();
+        if cursor.at_end() {
+            break;
+        }
+        cursor.skip_past_comma();
+        fields.push(field_from_attrs(None, attrs));
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        cursor.take_attrs();
+        let Some(TokenTree::Ident(name)) = cursor.bump() else {
+            panic!("expected variant name");
+        };
+        let shape = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                cursor.bump();
+                Shape::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.bump();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = cursor.peek() {
+            match p.as_char() {
+                ',' => {
+                    cursor.bump();
+                }
+                '=' => panic!("explicit enum discriminants are not supported"),
+                _ => {}
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.take_attrs();
+    cursor.skip_visibility();
+    let kind = loop {
+        match cursor.bump() {
+            Some(TokenTree::Ident(id)) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" {
+                    break id;
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive input is not a struct or enum"),
+        }
+    };
+    let Some(TokenTree::Ident(name)) = cursor.bump() else {
+        panic!("expected type name after `{kind}`");
+    };
+    let name = name.to_string();
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the in-tree serde derive");
+        }
+    }
+    if kind == "enum" {
+        let Some(TokenTree::Group(g)) = cursor.bump() else {
+            panic!("expected enum body");
+        };
+        return Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        };
+    }
+    let shape = match cursor.bump() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(parse_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        None => Shape::Unit,
+        _ => panic!("unsupported struct body"),
+    };
+    Item::Struct { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut entries = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        let name = f.name.as_ref().expect("named field");
+        entries.push_str(&format!(
+            "(\"{name}\".to_string(), ::serde::Serialize::to_value({})),",
+            access(name)
+        ));
+    }
+    format!("::serde::Value::Map(vec![{entries}])")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Shape::Tuple(fields) => {
+                    let items: String = (0..fields.len())
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{items}])")
+                }
+                Shape::Named(fields) => ser_named_fields(fields, |f| format!("&self.{f}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("f{i}")).collect();
+                        let payload = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![\
+                                 (\"{vname}\".to_string(), {payload})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let name = f.name.as_deref().expect("named field");
+                                if f.skip {
+                                    format!("{name}: _")
+                                } else {
+                                    name.to_string()
+                                }
+                            })
+                            .collect();
+                        let payload = ser_named_fields(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![\
+                                 (\"{vname}\".to_string(), {payload})]),",
+                            binds.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+/// A struct literal body `f1: ..., f2: ...` reading named fields out of
+/// a `&[(String, Value)]` binding called `entries`.
+fn de_named_fields(type_name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let name = f.name.as_ref().expect("named field");
+        if f.skip {
+            inits.push_str(&format!(
+                "{name}: {},",
+                f.default_expr().expect("skip fields always have a default")
+            ));
+            continue;
+        }
+        let missing = match f.default_expr() {
+            Some(expr) => expr,
+            None => format!(
+                "return ::std::result::Result::Err(::serde::DeError::new(\
+                     \"missing field `{name}` in {type_name}\"))"
+            ),
+        };
+        inits.push_str(&format!(
+            "{name}: match entries.iter().find(|e| e.0 == \"{name}\") {{\
+                 ::std::option::Option::Some(e) => ::serde::Deserialize::from_value(&e.1)?,\
+                 ::std::option::Option::None => {missing},\
+             }},"
+        ));
+    }
+    inits
+}
+
+/// An expression building `ctor(...)` from a `&Value` binding called
+/// `payload` for a tuple shape with `n` fields.
+fn de_tuple_payload(ctor: &str, what: &str, n: usize) -> String {
+    if n == 1 {
+        return format!("{ctor}(::serde::Deserialize::from_value(payload)?)");
+    }
+    let items: String = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+        .collect();
+    format!(
+        "match payload {{\
+             ::serde::Value::Seq(items) if items.len() == {n} => {ctor}({items}),\
+             other => return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"{n}-element sequence for {what}\", other)),\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("let _ = value; ::std::result::Result::Ok({name})"),
+                Shape::Tuple(fields) if fields.len() == 1 => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                ),
+                Shape::Tuple(fields) => {
+                    let n = fields.len();
+                    format!(
+                        "let payload = value;\
+                         ::std::result::Result::Ok({})",
+                        de_tuple_payload(name, &format!("tuple struct {name}"), n)
+                    )
+                }
+                Shape::Named(fields) => format!(
+                    "match value {{\
+                         ::serde::Value::Map(entries) => ::std::result::Result::Ok({name} {{ {} }}),\
+                         other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"map for struct {name}\", other)),\
+                     }}",
+                    de_named_fields(name, fields)
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let expr = de_tuple_payload(
+                            &format!("{name}::{vname}"),
+                            &format!("variant {name}::{vname}"),
+                            fields.len(),
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({expr}),"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits = de_named_fields(&format!("{name}::{vname}"), fields);
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match payload {{\
+                                 ::serde::Value::Map(entries) => \
+                                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::expected(\
+                                         \"map for variant {name}::{vname}\", other)),\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match value {{\
+                     ::serde::Value::Str(s) => match s.as_str() {{\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\
+                     }},\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\
+                         let (variant, payload) = (&entries[0].0, &entries[0].1);\
+                         match variant.as_str() {{\
+                             {data_arms}\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\
+                         }}\
+                     }}\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"enum {name}\", other)),\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\
+         }}"
+    )
+}
