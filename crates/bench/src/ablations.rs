@@ -229,7 +229,14 @@ pub fn sampling() -> String {
 /// Ablation 5 — local mismatch Monte-Carlo: thermometer-property yield
 /// vs within-die variation sigma.
 pub fn mismatch() -> String {
-    use psnt_core::mismatch::{monte_carlo_yield, MismatchModel};
+    mismatch_on(&psnt_engine::Engine::serial())
+}
+
+/// [`mismatch`] with the Monte-Carlo trials parallelized on `engine`;
+/// per-trial seed-split RNG streams keep the table bit-identical at
+/// any worker count.
+pub fn mismatch_on(engine: &psnt_engine::Engine) -> String {
+    use psnt_core::mismatch::{monte_carlo_yield_on, MismatchModel};
     let array = ThermometerArray::paper(RailMode::Supply);
     let base = MismatchModel::local_90nm();
     let mut t = Table::new(
@@ -245,8 +252,16 @@ pub fn mismatch() -> String {
     );
     for k in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let model = base.scaled(k);
-        let report = monte_carlo_yield(&array, skew011(), &Pvt::typical(), &model, 200, 2024)
-            .expect("thresholds in range");
+        let report = monte_carlo_yield_on(
+            engine,
+            &array,
+            skew011(),
+            &Pvt::typical(),
+            &model,
+            200,
+            2024,
+        )
+        .expect("thresholds in range");
         t.row([
             format!("{k:.2}×"),
             format!("{:.1}%", model.sigma_drive * 100.0),

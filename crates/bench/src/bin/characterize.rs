@@ -3,11 +3,14 @@
 //! PDN impedance profile, and the per-corner trim table.
 //!
 //! ```text
-//! characterize <out-dir>
+//! characterize <out-dir> [--jobs N]
 //! ```
 //!
 //! Writes `fig4_sensitivity.csv`, `fig5_characteristic.csv`,
-//! `gnd_characteristic.csv`, `impedance.csv` and `trim.csv`.
+//! `gnd_characteristic.csv`, `impedance.csv` and `trim.csv`. The
+//! per-code characteristics and the per-corner trim table run on an
+//! engine worker pool (`--jobs N`, default `PSNT_JOBS` else available
+//! parallelism); the CSVs are bit-identical at any worker count.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -18,13 +21,35 @@ use psnt_core::calibration::{array_characteristic, sensitivity_characteristic, t
 use psnt_core::element::RailMode;
 use psnt_core::pulsegen::{DelayCode, PulseGenerator};
 use psnt_core::thermometer::ThermometerArray;
+use psnt_engine::Engine;
 use psnt_obs::{Observer, RunManifest, Span};
 use psnt_pdn::impedance::impedance_profile;
 use psnt_pdn::rlc::LumpedPdn;
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: characterize <out-dir>");
+    let mut out_dir: Option<String> = None;
+    let mut engine = Engine::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--jobs" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => engine = Engine::new(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            dir if out_dir.is_none() && !dir.starts_with("--") => out_dir = Some(dir.to_owned()),
+            other => {
+                eprintln!("unrecognised argument {other:?}");
+                eprintln!("usage: characterize <out-dir> [--jobs N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out_dir.unwrap_or_else(|| {
+        eprintln!("usage: characterize <out-dir> [--jobs N]");
         std::process::exit(2);
     });
     let out = Path::new(&out);
@@ -60,12 +85,18 @@ fn main() {
     write(out, "fig4_sensitivity.csv", &csv, &mut obs);
     obs.end_span(span);
 
-    // Fig. 5: per-code thresholds (HS).
+    // Fig. 5: per-code thresholds (HS). One engine job per delay code;
+    // results come back in code order so the CSV is stable.
     let span = Span::begin("fig5_characteristic");
     let array = ThermometerArray::paper(RailMode::Supply);
+    let codes = DelayCode::all();
     let mut csv = String::from("delay_code,element,threshold_v\n");
-    for code in DelayCode::all() {
-        let ch = array_characteristic(&array, &pg, code, &pvt).expect("in range");
+    let chars = engine
+        .try_map(codes.len(), |i| {
+            array_characteristic(&array, &pg, codes[i], &pvt)
+        })
+        .expect("in range");
+    for (code, ch) in codes.iter().zip(&chars) {
         for (i, t) in ch.thresholds.iter().enumerate() {
             let _ = writeln!(csv, "{code},{},{}", i + 1, t.volts());
         }
@@ -77,8 +108,12 @@ fn main() {
     let span = Span::begin("gnd_characteristic");
     let ls = ThermometerArray::paper(RailMode::Ground);
     let mut csv = String::from("delay_code,element,bounce_threshold_v\n");
-    for code in DelayCode::all() {
-        let ch = array_characteristic(&ls, &pg, code, &pvt).expect("in range");
+    let chars = engine
+        .try_map(codes.len(), |i| {
+            array_characteristic(&ls, &pg, codes[i], &pvt)
+        })
+        .expect("in range");
+    for (code, ch) in codes.iter().zip(&chars) {
         for (i, t) in ch.thresholds.iter().enumerate() {
             let _ = writeln!(csv, "{code},{},{}", i + 1, t.volts());
         }
@@ -101,16 +136,21 @@ fn main() {
     write(out, "impedance.csv", &csv, &mut obs);
     obs.end_span(span);
 
-    // Per-corner trim table.
+    // Per-corner trim table: one engine job per process corner.
     let span = Span::begin("trim");
     let mut csv = String::from("corner,untrimmed_error_mv,trimmed_code,residual_mv\n");
-    for corner in ProcessCorner::ALL {
-        let corner_pvt = Pvt::new(
-            corner,
-            Voltage::from_v(1.0),
-            Temperature::from_celsius(25.0),
-        );
-        let trim = trim_for_corner(&array, &pg, code011, &pvt, &corner_pvt).expect("in range");
+    let corners = ProcessCorner::ALL;
+    let trims = engine
+        .try_map(corners.len(), |i| {
+            let corner_pvt = Pvt::new(
+                corners[i],
+                Voltage::from_v(1.0),
+                Temperature::from_celsius(25.0),
+            );
+            trim_for_corner(&array, &pg, code011, &pvt, &corner_pvt)
+        })
+        .expect("in range");
+    for (corner, trim) in corners.iter().zip(&trims) {
         let _ = writeln!(
             csv,
             "{corner},{:.2},{},{:.2}",

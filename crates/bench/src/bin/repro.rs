@@ -2,11 +2,14 @@
 //! selected subset).
 //!
 //! ```text
-//! repro [--<id> ...] [--out <dir>] [--telemetry <path.jsonl>] [--list]
+//! repro [--<id> ...] [--jobs N] [--out <dir>] [--telemetry <path.jsonl>] [--list]
 //! ```
 //!
 //! * `--<id>` — run one experiment (e.g. `--fig5 --tab1`); no ids runs
 //!   everything;
+//! * `--jobs N` — worker threads for the engine-parallel experiments
+//!   (default: `PSNT_JOBS`, else the machine's available parallelism).
+//!   Reports are bit-identical at any `N`;
 //! * `--out <dir>` — additionally write each report to `<dir>/<id>.txt`;
 //! * `--telemetry <path>` — write a JSON-Lines telemetry stream: a run
 //!   manifest, structured events from the observer-aware experiments,
@@ -15,6 +18,7 @@
 
 use std::path::PathBuf;
 
+use psnt_engine::Engine;
 use psnt_obs::{Observer, RunManifest, Span};
 
 fn main() {
@@ -22,6 +26,7 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut out_dir: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
+    let mut engine = Engine::from_env();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -31,6 +36,13 @@ fn main() {
                 }
                 return;
             }
+            "--jobs" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => engine = Engine::new(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match iter.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -88,19 +100,23 @@ fn main() {
         },
     };
     let observed = psnt_bench::observed_experiments();
+    let parallel = psnt_bench::engine_experiments();
 
     let mut matched = false;
     for (id, run) in psnt_bench::all_experiments() {
         if wanted.is_empty() || wanted.iter().any(|w| w == id) {
             matched = true;
             let span = observer.as_ref().map(|_| Span::begin(id));
-            let report = match observed
-                .iter()
-                .find(|(oid, _)| *oid == id)
-                .filter(|_| observer.is_some())
-            {
-                Some((_, run_observed)) => run_observed(observer.as_mut()),
-                None => run(),
+            let report = match parallel.iter().find(|(pid, _)| *pid == id) {
+                Some((_, run_parallel)) => run_parallel(&engine, observer.as_mut()),
+                None => match observed
+                    .iter()
+                    .find(|(oid, _)| *oid == id)
+                    .filter(|_| observer.is_some())
+                {
+                    Some((_, run_observed)) => run_observed(observer.as_mut()),
+                    None => run(),
+                },
             };
             if let (Some(obs), Some(span)) = (observer.as_mut(), span) {
                 obs.end_span(span);

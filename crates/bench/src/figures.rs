@@ -11,12 +11,15 @@ use psnt_cells::units::{Capacitance, Temperature, Time, Voltage};
 use psnt_core::baseline::{
     ErrorProbabilityMonitor, RazorOutcome, RazorStage, RingOscillatorSensor,
 };
-use psnt_core::calibration::{array_characteristic, sensitivity_characteristic, trim_for_corner};
+use psnt_core::calibration::{
+    array_characteristic, sensitivity_characteristic, trim_for_corner_on,
+};
 use psnt_core::control::{build_control_netlist, Controller, CtrlInputs, CtrlNetlistConfig};
 use psnt_core::element::{RailMode, SenseElement};
 use psnt_core::pulsegen::{DelayCode, PulseGenerator};
 use psnt_core::system::{SensorConfig, SensorSystem};
 use psnt_core::thermometer::ThermometerArray;
+use psnt_engine::Engine;
 use psnt_netlist::sta::{analyze, StaConfig};
 use psnt_obs::Observer;
 use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};
@@ -343,6 +346,12 @@ pub fn gnd() -> String {
 
 /// XP-PV — process-variation trim: per-corner delay-code choice.
 pub fn pv() -> String {
+    pv_on(&Engine::serial())
+}
+
+/// [`pv`] with the per-corner trims parallelized on `engine`; the
+/// report is bit-identical at any worker count.
+pub fn pv_on(engine: &Engine) -> String {
     let array = ThermometerArray::paper(RailMode::Supply);
     let pg = PulseGenerator::paper_table();
     let reference = Pvt::typical();
@@ -361,7 +370,8 @@ pub fn pv() -> String {
             Voltage::from_v(1.0),
             Temperature::from_celsius(25.0),
         );
-        let trim = trim_for_corner(&array, &pg, code011(), &reference, &pvt).expect("in range");
+        let trim =
+            trim_for_corner_on(engine, &array, &pg, code011(), &reference, &pvt).expect("in range");
         t.row([
             corner.to_string(),
             format!("{:.1} mV", trim.untrimmed_residual.millivolts()),
@@ -436,7 +446,14 @@ pub fn scan() -> String {
 
 /// [`scan`] with telemetry routed through `observer`.
 pub fn scan_observed(observer: Option<&mut Observer>) -> String {
-    // Spatial noise map.
+    scan_on(&Engine::serial(), observer)
+}
+
+/// The XP-SCAN campaign workload: the 4×4 corner-fed grid with the
+/// four centre tiles pulsing, every tile instrumented. Shared by the
+/// `scan` figure and the `xp_parallel_scaling` bench so both time the
+/// same campaign.
+pub fn scan_campaign() -> (Campaign, Vec<Waveform>) {
     let grid = psnt_pdn::grid::PowerGrid::corner_fed(
         4,
         Voltage::from_v(1.05),
@@ -455,9 +472,20 @@ pub fn scan_observed(observer: Option<&mut Observer>) -> String {
         ])
         .expect("valid load");
     }
+    (campaign, loads)
+}
+
+/// [`scan`] with the site sweep parallelized on `engine` and telemetry
+/// routed through `observer`. The rendered report is bit-identical at
+/// any worker count.
+pub fn scan_on(engine: &Engine, observer: Option<&mut Observer>) -> String {
+    // Spatial noise map.
+    let (campaign, loads) = scan_campaign();
     let result = campaign
-        .run_observed(
+        .run_dual_observed_on(
+            engine,
             &loads,
+            None,
             Time::from_ns(10.0),
             Time::from_ns(25.0),
             8,

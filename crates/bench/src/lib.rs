@@ -17,6 +17,15 @@ pub type Experiment = (&'static str, fn() -> String);
 /// [`psnt_obs::Observer`] while it renders.
 pub type ObservedExperiment = (&'static str, fn(Option<&mut psnt_obs::Observer>) -> String);
 
+/// An experiment whose heavy loop runs on a [`psnt_engine::Engine`]
+/// worker pool (and can also route telemetry). The rendered report is
+/// bit-identical at any worker count — parallelism changes wall-clock
+/// time, never results.
+pub type EngineExperiment = (
+    &'static str,
+    fn(&psnt_engine::Engine, Option<&mut psnt_obs::Observer>) -> String,
+);
+
 /// The experiments with observer-aware variants, keyed by the same ids
 /// as [`all_experiments`]. `repro --telemetry` routes these through the
 /// shared observer; the rest run unobserved (span timing only).
@@ -28,6 +37,22 @@ pub fn observed_experiments() -> Vec<ObservedExperiment> {
         ),
         ("fig9", figures::fig9_observed),
         ("scan", figures::scan_observed),
+    ]
+}
+
+/// The experiments with engine-parallel variants, keyed by the same
+/// ids as [`all_experiments`]. `repro --jobs N` routes these through a
+/// shared worker pool; ids present here and in
+/// [`observed_experiments`] prefer this variant (it accepts the
+/// observer too).
+pub fn engine_experiments() -> Vec<EngineExperiment> {
+    vec![
+        (
+            "scan",
+            figures::scan_on as fn(&psnt_engine::Engine, Option<&mut psnt_obs::Observer>) -> String,
+        ),
+        ("pv", |engine, _| figures::pv_on(engine)),
+        ("mismatch", |engine, _| ablations::mismatch_on(engine)),
     ]
 }
 

@@ -85,3 +85,82 @@ fn repro_fig9_telemetry_stream_is_well_formed() {
         "missing fig9 span"
     );
 }
+
+/// `--telemetry` composed with `--jobs N`: the parallel scan merges the
+/// per-worker registries into ONE final metrics snapshot, and the event
+/// stream matches the serial run record for record (determinism
+/// contract: worker count never changes observable output).
+#[test]
+fn repro_scan_parallel_telemetry_merges_one_snapshot() {
+    let dir = std::env::temp_dir().join(format!("psnt-telemetry-par-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let run = |jobs: &str, file: &str| {
+        let path = dir.join(file);
+        let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["--scan", "--jobs", jobs, "--telemetry"])
+            .arg(&path)
+            .output()
+            .expect("repro runs");
+        assert!(
+            output.status.success(),
+            "repro --jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        (
+            String::from_utf8(output.stdout).unwrap(),
+            std::fs::read_to_string(&path).unwrap(),
+        )
+    };
+    let (serial_report, serial_stream) = run("1", "scan-j1.jsonl");
+    let (parallel_report, parallel_stream) = run("2", "scan-j2.jsonl");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Reports are bit-identical at any worker count.
+    assert_eq!(
+        serial_report, parallel_report,
+        "scan report depends on --jobs"
+    );
+
+    let records: Vec<Value> = parallel_stream
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e:?}")))
+        .collect();
+    let kind = |v: &Value| v.get("type").and_then(Value::as_str).unwrap().to_string();
+
+    // Exactly one metrics snapshot, at the tail, holding the merged
+    // per-worker counters: all 16 scan sites counted once.
+    let snapshots: Vec<&Value> = records.iter().filter(|r| kind(r) == "metrics").collect();
+    assert_eq!(snapshots.len(), 1, "expected one merged metrics snapshot");
+    assert_eq!(kind(records.last().unwrap()), "metrics");
+    let counters = snapshots[0].get("counters").unwrap();
+    assert_eq!(
+        counters.get("campaign.sites_done").and_then(Value::as_u64),
+        Some(16),
+        "merged sites_done counter wrong: {counters:?}"
+    );
+    assert_eq!(
+        counters.get("engine.jobs_done").and_then(Value::as_u64),
+        Some(16),
+        "merged engine.jobs_done counter wrong: {counters:?}"
+    );
+
+    // Event stream is identical to the serial run's. Spans and the
+    // metrics snapshot legitimately differ (wall times, the
+    // engine.workers gauge); the manifest may carry a timestamp.
+    let event_lines = |stream: &str| -> Vec<String> {
+        stream
+            .lines()
+            .filter(|l| {
+                let v = json::parse(l).unwrap();
+                v.get("type").and_then(Value::as_str) == Some("event")
+            })
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        event_lines(&serial_stream),
+        event_lines(&parallel_stream),
+        "telemetry events depend on --jobs"
+    );
+}

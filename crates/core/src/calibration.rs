@@ -33,6 +33,7 @@
 
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Capacitance, Time, Voltage};
+use psnt_engine::Engine;
 use serde::{Deserialize, Serialize};
 
 use crate::element::{RailMode, SenseElement};
@@ -132,8 +133,29 @@ pub fn array_characteristic(
     code: DelayCode,
     pvt: &Pvt,
 ) -> Result<ArrayCharacteristic, SensorError> {
+    array_characteristic_on(&Engine::serial(), array, pg, code, pvt)
+}
+
+/// [`array_characteristic`] with the per-element threshold searches
+/// parallelized on `engine`. Each element's threshold is an independent
+/// bisection keyed by its index, so the characteristic is bit-identical
+/// at any worker count; [`array_characteristic`] is the `jobs = 1` path
+/// of this code.
+///
+/// # Errors
+///
+/// Propagates threshold-search failures (lowest-indexed element wins
+/// when several fail).
+pub fn array_characteristic_on(
+    engine: &Engine,
+    array: &ThermometerArray,
+    pg: &PulseGenerator,
+    code: DelayCode,
+    pvt: &Pvt,
+) -> Result<ArrayCharacteristic, SensorError> {
     let skew = pg.skew(code, pvt);
-    let thresholds = array.thresholds(skew, pvt)?;
+    let elements = array.elements();
+    let thresholds = engine.try_map(elements.len(), |i| elements[i].threshold(skew, pvt))?;
     let lo = thresholds
         .iter()
         .copied()
@@ -177,19 +199,51 @@ pub fn trim_for_corner(
     reference_pvt: &Pvt,
     corner_pvt: &Pvt,
 ) -> Result<TrimResult, SensorError> {
+    trim_for_corner_on(
+        &Engine::serial(),
+        array,
+        pg,
+        reference_code,
+        reference_pvt,
+        corner_pvt,
+    )
+}
+
+/// [`trim_for_corner`] with the per-delay-code characterisations
+/// parallelized on `engine`. The winning code is selected by a serial
+/// fold over the ordered results (first minimum in code order), so the
+/// trim is bit-identical at any worker count; [`trim_for_corner`] is
+/// the `jobs = 1` path of this code.
+///
+/// # Errors
+///
+/// Propagates characterisation failures (lowest code wins when several
+/// fail).
+pub fn trim_for_corner_on(
+    engine: &Engine,
+    array: &ThermometerArray,
+    pg: &PulseGenerator,
+    reference_code: DelayCode,
+    reference_pvt: &Pvt,
+    corner_pvt: &Pvt,
+) -> Result<TrimResult, SensorError> {
     let reference = array_characteristic(array, pg, reference_code, reference_pvt)?;
     let target = reference.midpoint();
 
+    let codes = DelayCode::all();
+    let characteristics = engine.try_map(codes.len(), |i| {
+        array_characteristic(array, pg, codes[i], corner_pvt)
+    })?;
+
     let mut best: Option<(DelayCode, Voltage)> = None;
     let mut untrimmed = Voltage::ZERO;
-    for code in DelayCode::all() {
-        let ch = array_characteristic(array, pg, code, corner_pvt)?;
+    for (code, ch) in codes.iter().zip(&characteristics) {
         let err = (ch.midpoint() - target).abs();
-        if code == reference_code {
+        if *code == reference_code {
             untrimmed = err;
         }
         if best.is_none_or(|(_, e)| err < e) {
-            best = Some((code, err));
+            best = Some((*code, err));
         }
     }
     let (code, residual) = best.expect("delay-code table is non-empty");
@@ -356,6 +410,26 @@ mod tests {
                 "{corner}: residual {} too large",
                 trim.residual
             );
+        }
+    }
+
+    #[test]
+    fn parallel_characteristic_and_trim_match_serial() {
+        let a = array();
+        let p = pg();
+        let serial_ch = array_characteristic(&a, &p, code011(), &pvt()).unwrap();
+        let ss_pvt = Pvt::new(
+            ProcessCorner::SS,
+            Voltage::from_v(1.0),
+            Temperature::from_celsius(25.0),
+        );
+        let serial_trim = trim_for_corner(&a, &p, code011(), &pvt(), &ss_pvt).unwrap();
+        for jobs in [1usize, 2, 7] {
+            let engine = Engine::new(jobs);
+            let ch = array_characteristic_on(&engine, &a, &p, code011(), &pvt()).unwrap();
+            assert_eq!(ch, serial_ch, "jobs={jobs}");
+            let trim = trim_for_corner_on(&engine, &a, &p, code011(), &pvt(), &ss_pvt).unwrap();
+            assert_eq!(trim, serial_trim, "jobs={jobs}");
         }
     }
 

@@ -32,8 +32,8 @@
 use psnt_cells::delay::AlphaPowerDelay;
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Time, Voltage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use psnt_engine::{Engine, JobSpec};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::element::SenseElement;
@@ -177,8 +177,22 @@ impl YieldReport {
     }
 }
 
+/// What one Monte-Carlo trial contributes to the [`YieldReport`].
+struct TrialScore {
+    monotone: bool,
+    abs_sum: f64,
+    worst: f64,
+    samples: usize,
+}
+
 /// Draws `n` mismatched copies of `array` and scores their threshold
 /// ladders against the nominal one.
+///
+/// Each trial draws from its own RNG stream derived from
+/// `(seed, trial index)` by [`psnt_engine::split_seed`], so the report
+/// is bit-identical at any worker count of
+/// [`monte_carlo_yield_on`] — this function is its serial
+/// (`jobs = 1`) path.
 ///
 /// # Errors
 ///
@@ -191,24 +205,56 @@ pub fn monte_carlo_yield(
     n: usize,
     seed: u64,
 ) -> Result<YieldReport, SensorError> {
+    monte_carlo_yield_on(&Engine::serial(), array, skew, pvt, model, n, seed)
+}
+
+/// [`monte_carlo_yield`] with the trials parallelized on `engine`.
+///
+/// # Errors
+///
+/// Propagates threshold-search failures; when several trials fail, the
+/// lowest-indexed trial's error is returned.
+pub fn monte_carlo_yield_on(
+    engine: &Engine,
+    array: &ThermometerArray,
+    skew: Time,
+    pvt: &Pvt,
+    model: &MismatchModel,
+    n: usize,
+    seed: u64,
+) -> Result<YieldReport, SensorError> {
     let nominal = array.thresholds(skew, pvt)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut monotone = 0usize;
-    let mut abs_sum = 0.0f64;
-    let mut worst = 0.0f64;
-    let mut samples = 0usize;
-    for _ in 0..n {
+    let batch = engine.run_batch(&JobSpec::new(n).seed(seed), |ctx| {
+        let mut rng = ctx.rng();
         let drawn = model.perturb_array(array, &mut rng);
         let th = drawn.thresholds(skew, pvt)?;
-        if th.windows(2).all(|w| w[1] > w[0]) {
-            monotone += 1;
-        }
+        let mut abs_sum = 0.0f64;
+        let mut worst = 0.0f64;
         for (t, t0) in th.iter().zip(&nominal) {
             let shift = (*t - *t0).volts().abs();
             abs_sum += shift;
             worst = worst.max(shift);
-            samples += 1;
         }
+        Ok::<TrialScore, SensorError>(TrialScore {
+            monotone: th.windows(2).all(|w| w[1] > w[0]),
+            abs_sum,
+            worst,
+            samples: th.len(),
+        })
+    })?;
+    let mut monotone = 0usize;
+    let mut abs_sum = 0.0f64;
+    let mut worst = 0.0f64;
+    let mut samples = 0usize;
+    // Fold in trial order, so the float accumulation is identical to
+    // the serial sweep.
+    for score in &batch.results {
+        if score.monotone {
+            monotone += 1;
+        }
+        abs_sum += score.abs_sum;
+        worst = worst.max(score.worst);
+        samples += score.samples;
     }
     Ok(YieldReport {
         trials: n,
@@ -226,6 +272,8 @@ pub fn monte_carlo_yield(
 mod tests {
     use super::*;
     use crate::element::RailMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn array() -> ThermometerArray {
         ThermometerArray::paper(RailMode::Supply)
@@ -311,6 +359,25 @@ mod tests {
         assert_eq!(a, b);
         let c = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 30, 6).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_yield_is_bit_identical_to_serial() {
+        let model = MismatchModel::local_90nm();
+        let serial = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 40, 5).unwrap();
+        for jobs in [1usize, 2, 7] {
+            let parallel = monte_carlo_yield_on(
+                &Engine::new(jobs),
+                &array(),
+                skew(),
+                &Pvt::typical(),
+                &model,
+                40,
+                5,
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! The scoped worker pool: chunked work queue, ordered collection,
+//! panic propagation.
+//!
+//! Execution model: `min(engine.jobs(), batch size)` workers pull
+//! contiguous chunks of job indices from one atomic cursor. Each worker
+//! owns a private [`MetricsRegistry`] and a private result buffer, so
+//! the hot path takes no locks; the main thread merges both at join, in
+//! worker-id order. With one worker the same claim loop runs inline on
+//! the calling thread — the serial path *is* the parallel code at
+//! `jobs = 1`, not a fork.
+//!
+//! Determinism contract:
+//!
+//! * job `i`'s inputs (index, split seed) depend only on `i` and the
+//!   [`JobSpec`](crate::JobSpec), never on worker id or timing;
+//! * results are collected by job index, so `results[i]` is job `i`'s
+//!   output at any worker count;
+//! * on job errors the whole batch still runs and the error with the
+//!   **lowest job index** is returned — the same error a serial sweep
+//!   would hit first — so even the failure mode is worker-count
+//!   independent;
+//! * a panicking job poisons the queue (other workers stop claiming),
+//!   the panic payload is re-raised on the calling thread.
+
+use std::panic;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use psnt_obs::MetricsRegistry;
+
+use crate::batch::{job_seed, BatchResult, JobCtx, JobSpec};
+
+/// One worker's private take: out-of-order `(index, result)` pairs, the
+/// lowest-index error it hit, and its metrics registry.
+struct WorkerOutput<R, E> {
+    results: Vec<(usize, R)>,
+    first_error: Option<(usize, E)>,
+    metrics: MetricsRegistry,
+}
+
+/// Sets the poison flag if the worker unwinds mid-job, so the other
+/// workers stop claiming chunks instead of finishing a doomed batch.
+struct PoisonOnUnwind<'a> {
+    flag: &'a AtomicBool,
+    armed: bool,
+}
+
+impl Drop for PoisonOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flag.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop<R, E, F>(
+    worker: usize,
+    spec: &JobSpec,
+    chunk: usize,
+    cursor: &AtomicUsize,
+    poisoned: &AtomicBool,
+    f: &F,
+) -> WorkerOutput<R, E>
+where
+    F: Fn(&mut JobCtx<'_>) -> Result<R, E> + Sync,
+{
+    let mut guard = PoisonOnUnwind {
+        flag: poisoned,
+        armed: true,
+    };
+    let mut metrics = MetricsRegistry::new();
+    let jobs_done = metrics.counter("engine.jobs_done");
+    let chunks_claimed = metrics.counter("engine.chunks_claimed");
+    let mut results = Vec::new();
+    let mut first_error: Option<(usize, E)> = None;
+    loop {
+        if poisoned.load(Ordering::Relaxed) {
+            break;
+        }
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= spec.jobs() {
+            break;
+        }
+        metrics.inc(chunks_claimed);
+        let end = (start + chunk).min(spec.jobs());
+        for index in start..end {
+            let mut ctx = JobCtx {
+                index,
+                worker,
+                seed: job_seed(spec, index),
+                metrics: &mut metrics,
+            };
+            match f(&mut ctx) {
+                Ok(r) => results.push((index, r)),
+                // A worker claims ascending indices, so the first error
+                // it sees is its lowest-index one.
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some((index, e));
+                    }
+                }
+            }
+            metrics.inc(jobs_done);
+        }
+    }
+    guard.armed = false;
+    WorkerOutput {
+        results,
+        first_error,
+        metrics,
+    }
+}
+
+/// Runs `spec` with up to `workers` workers and collects in job order.
+pub(crate) fn execute<R, E, F>(workers: usize, spec: &JobSpec, f: &F) -> Result<BatchResult<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(&mut JobCtx<'_>) -> Result<R, E> + Sync,
+{
+    let n = spec.jobs();
+    let workers = workers.min(n).max(1);
+    let chunk = spec.chunk_size(workers);
+    let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+
+    let outputs: Vec<WorkerOutput<R, E>> = if workers == 1 {
+        // The serial path: the identical claim loop, inline.
+        vec![worker_loop(0, spec, chunk, &cursor, &poisoned, f)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (cursor, poisoned) = (&cursor, &poisoned);
+                    scope.spawn(move || worker_loop(w, spec, chunk, cursor, poisoned, f))
+                })
+                .collect();
+            let mut outs = Vec::with_capacity(workers);
+            let mut panic_payload = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(out) => outs.push(out),
+                    Err(payload) => {
+                        if panic_payload.is_none() {
+                            panic_payload = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = panic_payload {
+                panic::resume_unwind(payload);
+            }
+            outs
+        })
+    };
+
+    let mut metrics = MetricsRegistry::new();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut first_error: Option<(usize, E)> = None;
+    for out in outputs {
+        metrics.merge(&out.metrics);
+        for (index, r) in out.results {
+            slots[index] = Some(r);
+        }
+        if let Some((index, e)) = out.first_error {
+            if first_error.as_ref().is_none_or(|(j, _)| index < *j) {
+                first_error = Some((index, e));
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    metrics.gauge_set_max("engine.workers", workers as f64);
+    Ok(BatchResult {
+        results: slots
+            .into_iter()
+            .map(|s| s.expect("every job ran exactly once"))
+            .collect(),
+        metrics,
+        workers,
+    })
+}

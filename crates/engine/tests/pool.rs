@@ -1,0 +1,186 @@
+//! Pool-level behaviour under real threads: ordering, determinism,
+//! error selection, panic propagation, metrics merging.
+//!
+//! `scripts/ci.sh` additionally runs this suite with `PSNT_JOBS=4` so
+//! the [`Engine::from_env`]-sized pool exercises the threaded path even
+//! on CI hosts whose detected parallelism is 1.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use psnt_engine::rand::Rng;
+use psnt_engine::{Engine, JobSpec};
+
+/// The engine sizes under test everywhere: serial, threaded, the
+/// env-sized pool CI pins to 4, and more workers than jobs.
+fn engines() -> Vec<Engine> {
+    vec![
+        Engine::serial(),
+        Engine::new(2),
+        Engine::from_env(),
+        Engine::new(13),
+    ]
+}
+
+#[test]
+fn map_preserves_index_order_under_skewed_job_cost() {
+    for engine in engines() {
+        // Later indices finish first; collection must not care.
+        let out = engine.map(32, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(((32 - i) * 20) as u64));
+            i * 3
+        });
+        assert_eq!(
+            out,
+            (0..32).map(|i| i * 3).collect::<Vec<_>>(),
+            "{engine:?}"
+        );
+    }
+}
+
+#[test]
+fn seeded_batches_are_bit_identical_at_any_worker_count() {
+    let draw = |engine: &Engine| -> Vec<f64> {
+        engine
+            .run_batch::<_, std::convert::Infallible, _>(&JobSpec::new(64).seed(99), |ctx| {
+                let mut rng = ctx.rng();
+                Ok(rng.gen_range(-1.0..1.0) + rng.gen_range(0.0..0.001))
+            })
+            .unwrap()
+            .results
+    };
+    let reference = draw(&Engine::serial());
+    for engine in engines() {
+        assert_eq!(draw(&engine), reference, "{engine:?}");
+    }
+}
+
+#[test]
+fn chunk_override_does_not_change_results() {
+    let reference = Engine::serial().map(50, |i| i as u64 * 7);
+    for chunk in [1, 3, 50, 1000] {
+        let got = Engine::new(4)
+            .run_batch::<_, std::convert::Infallible, _>(&JobSpec::new(50).chunk(chunk), |ctx| {
+                Ok(ctx.index() as u64 * 7)
+            })
+            .unwrap()
+            .results;
+        assert_eq!(got, reference, "chunk={chunk}");
+    }
+}
+
+#[test]
+fn lowest_index_error_wins_at_any_worker_count() {
+    for engine in engines() {
+        let err = engine
+            .try_map(40, |i| {
+                if i % 10 == 7 {
+                    Err(format!("job {i} failed"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "job 7 failed", "{engine:?}");
+    }
+}
+
+#[test]
+fn error_does_not_stop_the_batch() {
+    // Deterministic error selection requires running every job even
+    // after a failure; count that they all ran.
+    for engine in engines() {
+        let ran = AtomicUsize::new(0);
+        let result: Result<Vec<usize>, &str> = engine.try_map(20, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                Err("first job failed")
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(result.unwrap_err(), "first job failed");
+        assert_eq!(ran.load(Ordering::Relaxed), 20, "{engine:?}");
+    }
+}
+
+#[test]
+fn panics_propagate_to_the_caller() {
+    for engine in engines() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.map(16, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("job 5 exploded"), "{engine:?}: {msg}");
+    }
+}
+
+#[test]
+fn per_worker_metrics_merge_into_one_snapshot() {
+    for engine in engines() {
+        let batch = engine
+            .run_batch::<_, std::convert::Infallible, _>(&JobSpec::new(30), |ctx| {
+                ctx.metrics.counter_add("domain.items", 2);
+                ctx.metrics
+                    .gauge_set_max("domain.peak_index", ctx.index() as f64);
+                Ok(())
+            })
+            .unwrap();
+        // Domain metrics from every worker are summed / maxed.
+        assert_eq!(
+            batch.metrics.counter_value("domain.items"),
+            60,
+            "{engine:?}"
+        );
+        assert_eq!(batch.metrics.gauge_value("domain.peak_index"), Some(29.0));
+        // Engine bookkeeping: every job counted exactly once.
+        assert_eq!(batch.metrics.counter_value("engine.jobs_done"), 30);
+        assert!(batch.metrics.counter_value("engine.chunks_claimed") >= 1);
+        assert_eq!(
+            batch.metrics.gauge_value("engine.workers"),
+            Some(batch.workers as f64)
+        );
+        assert!(batch.workers >= 1 && batch.workers <= engine.jobs());
+    }
+}
+
+#[test]
+fn empty_and_single_job_batches() {
+    for engine in engines() {
+        assert_eq!(engine.map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(engine.map(1, |i| i + 10), vec![10]);
+        let batch = engine
+            .run_batch::<_, std::convert::Infallible, _>(&JobSpec::new(0), |_| Ok(0u8))
+            .unwrap();
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.metrics.counter_value("engine.jobs_done"), 0);
+    }
+}
+
+#[test]
+fn workers_never_exceed_jobs() {
+    let batch = Engine::new(64)
+        .run_batch::<_, std::convert::Infallible, _>(&JobSpec::new(3), |ctx| Ok(ctx.worker()))
+        .unwrap();
+    assert_eq!(batch.workers, 3);
+    assert!(batch.results.iter().all(|&w| w < 3));
+}
+
+#[test]
+fn unseeded_ctx_seed_panics() {
+    let caught = std::panic::catch_unwind(|| {
+        Engine::serial()
+            .run_batch::<_, std::convert::Infallible, _>(&JobSpec::new(1), |ctx| Ok(ctx.seed()))
+    });
+    assert!(caught.is_err());
+}

@@ -65,6 +65,18 @@ impl Histogram {
         &self.counts
     }
 
+    fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     fn to_value(&self) -> Value {
         Value::Map(vec![
             (
@@ -207,6 +219,49 @@ impl MetricsRegistry {
             .map(|(_, h)| h)
     }
 
+    /// Folds `other` into `self` — the join step when several workers
+    /// accumulated metrics independently (e.g. one registry per worker
+    /// thread of a parallel batch).
+    ///
+    /// Merge policy, chosen so the merged snapshot is independent of
+    /// how work was split across workers:
+    ///
+    /// * **counters** — summed (they count events, and events
+    ///   partition across workers);
+    /// * **histograms** — bucket-wise summed; both registries must use
+    ///   the same bounds for a shared name;
+    /// * **gauges** — the **maximum** reading wins. Every cross-worker
+    ///   gauge in this workspace is a running peak (worst droop in mV,
+    ///   peak queue depth, workers used); a running *minimum* must be
+    ///   stored negated (or folded manually) to survive a merge.
+    ///
+    /// Metrics present only in `other` are registered in `self`;
+    /// registration order is `self`'s entries first, then `other`'s
+    /// new names in `other`'s order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a histogram name is present in both registries with
+    /// different bucket bounds.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            let id = self.counter(name);
+            self.add(id, *v);
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine = mine.max(*v),
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge_from(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+    }
+
     /// True when nothing has been registered.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
@@ -282,6 +337,71 @@ mod tests {
         assert_eq!(hist.counts(), &[2, 1, 1, 1]);
         assert_eq!(hist.count(), 5);
         assert!((hist.sum() - 556.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms_and_maxes_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("jobs", 3);
+        a.gauge_set("peak", 2.0);
+        let ha = a.histogram("us", &[1.0, 10.0]);
+        a.record(ha, 0.5);
+        a.record(ha, 5.0);
+
+        let mut b = MetricsRegistry::new();
+        b.counter_add("jobs", 4);
+        b.counter_add("only_b", 1);
+        b.gauge_set("peak", 7.0);
+        b.gauge_set("neg_only_b", -3.0);
+        let hb = b.histogram("us", &[1.0, 10.0]);
+        b.record(hb, 50.0);
+        let hb2 = b.histogram("only_b_hist", &[1.0]);
+        b.record(hb2, 2.0);
+
+        a.merge(&b);
+        assert_eq!(a.counter_value("jobs"), 7);
+        assert_eq!(a.counter_value("only_b"), 1);
+        assert_eq!(a.gauge_value("peak"), Some(7.0));
+        // Absent gauges are adopted verbatim, not maxed against 0.
+        assert_eq!(a.gauge_value("neg_only_b"), Some(-3.0));
+        let h = a.histogram_value("us").unwrap();
+        assert_eq!(h.counts(), &[1, 1, 1]);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 55.5).abs() < 1e-12);
+        assert_eq!(a.histogram_value("only_b_hist").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merge_keeps_higher_existing_gauge() {
+        let mut a = MetricsRegistry::new();
+        a.gauge_set("peak", 9.0);
+        let mut b = MetricsRegistry::new();
+        b.gauge_set("peak", 4.0);
+        a.merge(&b);
+        assert_eq!(a.gauge_value("peak"), Some(9.0));
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("n", 2);
+        let before = a.counter_value("n");
+        a.merge(&MetricsRegistry::new());
+        assert_eq!(a.counter_value("n"), before);
+
+        let mut empty = MetricsRegistry::new();
+        empty.merge(&a);
+        assert_eq!(empty.counter_value("n"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_histogram_bounds() {
+        let mut a = MetricsRegistry::new();
+        a.histogram("h", &[1.0, 2.0]);
+        let mut b = MetricsRegistry::new();
+        b.histogram("h", &[1.0, 3.0]);
+        a.merge(&b);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use psnt_cells::units::{Time, Voltage};
 use psnt_core::code::ThermometerCode;
 use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
+use psnt_engine::{Engine, JobSpec};
 use psnt_obs::{Event as ObsEvent, Observer, Span};
 use psnt_pdn::waveform::Waveform;
 use serde::{Deserialize, Serialize};
@@ -170,6 +171,24 @@ impl Campaign {
         self.run_dual(tile_loads, None, start, dt, samples)
     }
 
+    /// [`Campaign::run`] with the site sweep parallelized on `engine`.
+    /// Results are bit-identical at any worker count (see
+    /// [`Campaign::run_dual_observed_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::run`].
+    pub fn run_on(
+        &self,
+        engine: &Engine,
+        tile_loads: &[Waveform],
+        start: Time,
+        dt: Time,
+        samples: usize,
+    ) -> Result<CampaignResult, ScanError> {
+        self.run_dual_observed_on(engine, tile_loads, None, start, dt, samples, None)
+    }
+
     /// [`Campaign::run`] with telemetry: per-site progress events plus
     /// running worst-droop/worst-bounce gauges in the observer's
     /// registry. Results are identical with and without an observer.
@@ -210,8 +229,8 @@ impl Campaign {
         self.run_dual_observed(tile_loads, ground_grid, start, dt, samples, None)
     }
 
-    /// [`Campaign::run_dual`] with telemetry: one `scan`/`site` event as
-    /// each site completes (tile, name, worst levels), running
+    /// [`Campaign::run_dual`] with telemetry: one `scan`/`site` event in
+    /// site order (tile, name, worst levels), running
     /// `campaign.worst_droop_mv` / `campaign.worst_bounce_mv` gauges,
     /// and span timing around the grid solve and the measurement sweep.
     /// Results are identical with and without an observer.
@@ -221,6 +240,46 @@ impl Campaign {
     /// Same as [`Campaign::run_dual`].
     pub fn run_dual_observed(
         &self,
+        tile_loads: &[Waveform],
+        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
+        start: Time,
+        dt: Time,
+        samples: usize,
+        observer: Option<&mut Observer>,
+    ) -> Result<CampaignResult, ScanError> {
+        self.run_dual_observed_on(
+            &Engine::serial(),
+            tile_loads,
+            ground_grid,
+            start,
+            dt,
+            samples,
+            observer,
+        )
+    }
+
+    /// The full entry point: [`Campaign::run_dual_observed`] with the
+    /// per-site measurement sweep parallelized over `engine`'s worker
+    /// pool. Every serial entry point routes here with
+    /// [`Engine::serial`] — the serial path is this code at one worker,
+    /// not a fork.
+    ///
+    /// Determinism: each site is an independent job keyed by its
+    /// floorplan index; the engine collects site series in floorplan
+    /// order, so the [`CampaignResult`] (codes, maps, frames, worst
+    /// droop/bounce) is bit-identical at any worker count. Telemetry is
+    /// worker-count independent too — per-site events are emitted in
+    /// site order after the sweep joins, and the workers' metrics
+    /// registries are merged into the observer's in worker order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::run_dual`]; when several sites fail, the
+    /// error of the lowest-indexed site is returned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_dual_observed_on(
+        &self,
+        engine: &Engine,
         tile_loads: &[Waveform],
         ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
         start: Time,
@@ -281,22 +340,28 @@ impl Campaign {
             .map(|k| start + dt * (k as f64 + 0.5))
             .collect();
         let measure_span = observer.as_ref().map(|_| Span::begin("measure_sweep"));
-        let mut sites = Vec::with_capacity(self.floorplan.sites().len());
-        for site in self.floorplan.sites() {
+        let site_defs = self.floorplan.sites();
+        let batch = engine.run_batch(&JobSpec::new(site_defs.len()), |ctx| {
+            let site = &site_defs[ctx.index()];
             let system = SensorSystem::new(self.config.clone())?;
             let vdd = &tile_supplies[site.tile];
             let gnd = tile_bounces.as_ref().map_or(&quiet, |b| &b[site.tile]);
             let measurements = instants
                 .iter()
                 .map(|&at| system.measure_at(vdd, gnd, at))
-                .collect::<Result<Vec<_>, _>>()?;
-            let series = SiteSeries {
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(ScanError::from)?;
+            ctx.metrics.counter_add("campaign.sites_done", 1);
+            Ok::<SiteSeries, ScanError>(SiteSeries {
                 tile: site.tile,
                 name: site.name.clone(),
                 measurements,
-            };
-            if let Some(obs) = observer.as_deref_mut() {
-                obs.metrics.counter_add("campaign.sites_done", 1);
+            })
+        })?;
+        let sites = batch.results;
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.metrics.merge(&batch.metrics);
+            for series in &sites {
                 let mut event = ObsEvent::new("scan", "site")
                     .field("tile", &(series.tile as u64))
                     .field("name", &series.name)
@@ -315,7 +380,6 @@ impl Campaign {
                 }
                 obs.event(event);
             }
-            sites.push(series);
         }
         if let (Some(obs), Some(span)) = (observer, measure_span) {
             obs.end_span(span);
@@ -488,6 +552,53 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let c = campaign();
+        let mut loads = vec![Waveform::constant(0.02); 9];
+        loads[4] =
+            Waveform::from_points(vec![(Time::ZERO, 0.05), (Time::from_ns(200.0), 0.9)]).unwrap();
+        let serial = c
+            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 6)
+            .unwrap();
+        for jobs in [1usize, 2, 5, 16] {
+            let parallel = c
+                .run_on(
+                    &Engine::new(jobs),
+                    &loads,
+                    Time::from_ns(10.0),
+                    Time::from_ns(20.0),
+                    6,
+                )
+                .unwrap();
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_observed_merges_site_counter_once() {
+        let c = campaign();
+        let loads = vec![Waveform::constant(0.1); 9];
+        let mut obs = Observer::ring(128);
+        let parallel = c
+            .run_dual_observed_on(
+                &Engine::new(3),
+                &loads,
+                None,
+                Time::from_ns(5.0),
+                Time::from_ns(15.0),
+                2,
+                Some(&mut obs),
+            )
+            .unwrap();
+        let plain = c
+            .run(&loads, Time::from_ns(5.0), Time::from_ns(15.0), 2)
+            .unwrap();
+        assert_eq!(parallel, plain, "observer+parallelism must be passive");
+        assert_eq!(obs.metrics.counter_value("campaign.sites_done"), 9);
+        assert_eq!(obs.metrics.counter_value("engine.jobs_done"), 9);
     }
 
     #[test]

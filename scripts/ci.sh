@@ -16,4 +16,10 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> engine suite under PSNT_JOBS=4"
+# The determinism contract, exercised with a real worker pool: the
+# engine's own tests plus the end-to-end parallel proptests.
+PSNT_JOBS=4 cargo test -q -p psnt-engine
+PSNT_JOBS=4 cargo test -q -p psn-thermometer --test parallel
+
 echo "CI green."

@@ -23,7 +23,10 @@
 //! * [`analysis`] (`psnt-analysis`) — statistics, ADC linearity metrics,
 //!   fidelity scoring, report tables;
 //! * [`obs`] (`psnt-obs`) — telemetry: metrics registry, structured
-//!   JSON-Lines event log, span timing, run manifests.
+//!   JSON-Lines event log, span timing, run manifests;
+//! * [`engine`] (`psnt-engine`) — deterministic parallel execution:
+//!   a scoped worker pool whose results are bit-identical at any
+//!   worker count.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@
 pub use psnt_analysis as analysis;
 pub use psnt_cells as cells;
 pub use psnt_core as sensor;
+pub use psnt_engine as engine;
 pub use psnt_netlist as netlist;
 pub use psnt_obs as obs;
 pub use psnt_pdn as pdn;
@@ -62,6 +66,7 @@ pub mod prelude {
     pub use psnt_core::pulsegen::{DelayCode, PulseGenerator};
     pub use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
     pub use psnt_core::thermometer::{CapacitorLadder, ThermometerArray};
+    pub use psnt_engine::Engine;
     pub use psnt_obs::{Observer, RunManifest};
     pub use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};
     pub use psnt_pdn::waveform::Waveform;

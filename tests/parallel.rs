@@ -1,0 +1,139 @@
+//! The engine's determinism contract, checked end to end: every
+//! parallelized sweep is bit-identical at any worker count (jobs ∈
+//! {1, 2, 7} here, including a worker count above the job count), and
+//! attaching an observer to a parallel run never changes results.
+
+use proptest::prelude::*;
+use psn_thermometer::pdn::grid::PowerGrid;
+use psn_thermometer::prelude::*;
+use psn_thermometer::sensor::calibration::array_characteristic_on;
+use psn_thermometer::sensor::mismatch::{monte_carlo_yield_on, MismatchModel};
+
+/// The worker counts every property is checked over. 1 is the inline
+/// serial path, 2 the smallest real pool, 7 deliberately odd and (for
+/// the small sweeps here) larger than the job count.
+const JOBS: [usize; 3] = [1, 2, 7];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A scan campaign over a corner-fed grid returns bit-identical
+    /// site series and frames at any worker count, for any tile
+    /// activity pattern.
+    #[test]
+    fn campaign_run_is_worker_count_invariant(
+        active_tile in 0usize..9,
+        idle in 0.01f64..0.1,
+        burst in 0.2f64..0.9,
+        samples in 2usize..5,
+    ) {
+        let grid = PowerGrid::corner_fed(
+            3,
+            Voltage::from_v(1.05),
+            Resistance::from_milliohms(60.0),
+            Resistance::from_milliohms(20.0),
+        )
+        .unwrap();
+        let fp = Floorplan::new(grid, Placement::EveryTile).unwrap();
+        let campaign = Campaign::new(fp, SensorConfig::default()).unwrap();
+        let mut loads = vec![Waveform::constant(idle); 9];
+        loads[active_tile] = Waveform::from_points(vec![
+            (Time::ZERO, idle),
+            (Time::from_ns(20.0), burst),
+            (Time::from_ns(60.0), idle),
+        ])
+        .unwrap();
+
+        let serial = campaign
+            .run_on(&Engine::serial(), &loads, Time::from_ns(10.0), Time::from_ns(25.0), samples)
+            .unwrap();
+        for jobs in JOBS {
+            let parallel = campaign
+                .run_on(&Engine::new(jobs), &loads, Time::from_ns(10.0), Time::from_ns(25.0), samples)
+                .unwrap();
+            prop_assert_eq!(&serial, &parallel, "campaign diverged at jobs={}", jobs);
+        }
+    }
+
+    /// Monte-Carlo yield uses one seed-split RNG stream per trial, so
+    /// the report is bit-identical at any worker count for any seed,
+    /// trial count and mismatch magnitude.
+    #[test]
+    fn monte_carlo_yield_is_worker_count_invariant(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        sigma_scale in 0.25f64..2.0,
+    ) {
+        let array = ThermometerArray::paper(RailMode::Supply);
+        let model = MismatchModel::local_90nm().scaled(sigma_scale);
+        let pvt = Pvt::typical();
+        let skew = Time::from_ps(149.0);
+
+        let serial =
+            monte_carlo_yield_on(&Engine::serial(), &array, skew, &pvt, &model, n, seed).unwrap();
+        for jobs in JOBS {
+            let parallel =
+                monte_carlo_yield_on(&Engine::new(jobs), &array, skew, &pvt, &model, n, seed)
+                    .unwrap();
+            prop_assert_eq!(&serial, &parallel, "yield diverged at jobs={}", jobs);
+        }
+    }
+
+    /// The per-element threshold sweep behind calibration is
+    /// bit-identical at any worker count for every delay code.
+    #[test]
+    fn array_characteristic_is_worker_count_invariant(code_bits in 0u8..=7) {
+        let array = ThermometerArray::paper(RailMode::Supply);
+        let pg = PulseGenerator::paper_table();
+        let code = DelayCode::new(code_bits).unwrap();
+        let pvt = Pvt::typical();
+
+        let serial = array_characteristic_on(&Engine::serial(), &array, &pg, code, &pvt).unwrap();
+        for jobs in JOBS {
+            let parallel =
+                array_characteristic_on(&Engine::new(jobs), &array, &pg, code, &pvt).unwrap();
+            prop_assert_eq!(&serial, &parallel, "characteristic diverged at jobs={}", jobs);
+        }
+    }
+
+    /// Attaching an observer to a parallel campaign is purely passive:
+    /// results equal the unobserved serial run, and the merged metrics
+    /// count each site exactly once regardless of worker count.
+    #[test]
+    fn parallel_observer_is_passive_and_merged_once(
+        jobs_ix in 0usize..3,
+        idle in 0.01f64..0.1,
+    ) {
+        let jobs = JOBS[jobs_ix];
+        let grid = PowerGrid::corner_fed(
+            2,
+            Voltage::from_v(1.05),
+            Resistance::from_milliohms(60.0),
+            Resistance::from_milliohms(20.0),
+        )
+        .unwrap();
+        let fp = Floorplan::new(grid, Placement::EveryTile).unwrap();
+        let campaign = Campaign::new(fp, SensorConfig::default()).unwrap();
+        let loads = vec![Waveform::constant(idle); 4];
+
+        let plain = campaign
+            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 3)
+            .unwrap();
+        let mut obs = Observer::ring(256);
+        let observed = campaign
+            .run_dual_observed_on(
+                &Engine::new(jobs),
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+                Some(&mut obs),
+            )
+            .unwrap();
+
+        prop_assert_eq!(&plain, &observed);
+        prop_assert_eq!(obs.metrics.counter_value("campaign.sites_done"), 4);
+        prop_assert_eq!(obs.metrics.counter_value("engine.jobs_done"), 4);
+    }
+}
