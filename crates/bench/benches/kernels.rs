@@ -57,6 +57,55 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| sys.run_measures(code, &[Voltage::from_v(1.0)]).unwrap())
     });
 
+    // The reusable-simulator counterpart: identical work, but the
+    // simulator (topology, delay cache, buffers) survives across
+    // measures via reset() instead of being rebuilt.
+    c.bench_function("gate_level_system_measure_reused", |b| {
+        use psnt_core::gate_level::GateLevelSystem;
+        use psnt_core::pulsegen::DelayCode;
+        let sys = GateLevelSystem::paper().unwrap();
+        let code = DelayCode::new(3).unwrap();
+        let mut sim = sys.make_sim().unwrap();
+        b.iter(|| {
+            sys.run_measures_with(&mut sim, code, &[Voltage::from_v(1.0)])
+                .unwrap()
+        })
+    });
+
+    // Fresh-construction vs reset() on the bare array twin: a 7-point
+    // rail sweep, one simulator per point…
+    c.bench_function("gate_level_sweep_7pt_fresh", |b| {
+        use psnt_core::gate_level::GateLevelArray;
+        let gate = GateLevelArray::paper().unwrap();
+        b.iter(|| {
+            for mv in (820..=1060).step_by(40) {
+                gate.measure(Voltage::from_mv(mv as f64 + 3.0), skew)
+                    .unwrap();
+            }
+        })
+    });
+
+    // …vs one simulator reset per point.
+    c.bench_function("gate_level_sweep_7pt_reused", |b| {
+        use psnt_core::gate_level::GateLevelArray;
+        let gate = GateLevelArray::paper().unwrap();
+        let mut sim = gate.make_sim().unwrap();
+        b.iter(|| {
+            for mv in (820..=1060).step_by(40) {
+                gate.measure_with(&mut sim, Voltage::from_mv(mv as f64 + 3.0), skew)
+                    .unwrap();
+            }
+        })
+    });
+
+    // Repeat decodes at one operating point: the threshold memo removes
+    // the seven bisection searches behind each decode after the first.
+    c.bench_function("array_decode_memoised", |b| {
+        let a = ThermometerArray::paper(RailMode::Supply);
+        let code = a.measure(Voltage::from_v(0.97), skew, &pvt);
+        b.iter(|| a.decode(std::hint::black_box(&code), skew, &pvt).unwrap())
+    });
+
     c.bench_function("element_measure", |b| {
         let e = SenseElement::paper(Capacitance::from_pf(2.0), RailMode::Supply);
         b.iter(|| e.measure(std::hint::black_box(Voltage::from_v(0.97)), skew, &pvt))
@@ -98,6 +147,30 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| grid.solve(&loads).unwrap())
     });
 
+    // Quasi-static transient over 20 steps; each step warm-starts from
+    // the previous instant's solution.
+    c.bench_function("grid_transient_4x4_20steps", |b| {
+        let grid = PowerGrid::corner_fed(
+            4,
+            Voltage::from_v(1.0),
+            Resistance::from_milliohms(60.0),
+            Resistance::from_milliohms(20.0),
+        )
+        .unwrap();
+        let mut loads = vec![Waveform::constant(0.02); 16];
+        loads[5] =
+            Waveform::from_points(vec![(Time::ZERO, 0.02), (Time::from_ns(100.0), 0.3)]).unwrap();
+        b.iter(|| {
+            grid.quasi_static_transient(
+                &loads,
+                Time::ZERO,
+                Time::from_ns(100.0),
+                Time::from_ns(5.0),
+            )
+            .unwrap()
+        })
+    });
+
     c.bench_function("cntr_sta", |b| {
         let netlist = build_control_netlist(&CtrlNetlistConfig::default());
         b.iter(|| analyze(&netlist, &StaConfig::default()).unwrap())
@@ -124,6 +197,26 @@ fn bench_kernels(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+
+    // The same 10-cycle run on one long-lived simulator: reset() rewinds
+    // state but keeps the topology, delay cache and buffers alive.
+    c.bench_function("cntr_gate_sim_10_cycles_reused", |b| {
+        let netlist = build_control_netlist(&CtrlNetlistConfig::default());
+        let clk = netlist.net_by_name("clk").unwrap();
+        let enable = netlist.net_by_name("enable").unwrap();
+        let start = netlist.net_by_name("start").unwrap();
+        let mut sim = Simulator::new(&netlist, Voltage::from_v(1.0)).unwrap();
+        b.iter(|| {
+            sim.reset();
+            sim.drive(enable, psnt_cells::logic::Logic::One, Time::ZERO)
+                .unwrap();
+            sim.drive(start, psnt_cells::logic::Logic::One, Time::ZERO)
+                .unwrap();
+            sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(4.0), 10)
+                .unwrap();
+            sim.run_until(Time::from_ns(50.0));
+        })
     });
 }
 

@@ -564,9 +564,10 @@ pub fn gate_level() -> String {
         &["VDD-n", "gate-level code", "behavioural code", "agree"],
     );
     let mut all_agree = true;
+    let mut sim = gate.make_sim().expect("simulator builds");
     for mv in (820..=1080).step_by(40) {
         let v = Voltage::from_mv(mv as f64 + 3.0);
-        let a = gate.measure(v, sk).expect("simulates");
+        let a = gate.measure_with(&mut sim, v, sk).expect("simulates");
         let b = behavioural.measure(v, sk, &pvt);
         let agree = a == b;
         all_agree &= agree;

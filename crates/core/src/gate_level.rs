@@ -40,7 +40,7 @@ use psnt_cells::logic::{Logic, LogicVector};
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Capacitance, Time, Voltage};
 use psnt_netlist::graph::{DomainId, NetId, Netlist};
-use psnt_netlist::sim::Simulator;
+use psnt_netlist::sim::{Simulator, TraceMode};
 
 use crate::code::ThermometerCode;
 use crate::error::SensorError;
@@ -171,6 +171,37 @@ impl GateLevelArray {
         }
     }
 
+    /// Builds a reusable simulator for this array. A measure only reads
+    /// the latched FF outputs, so trace capture is off entirely. Pair
+    /// with [`GateLevelArray::measure_with`] to amortise simulator
+    /// construction across a sweep:
+    ///
+    /// ```
+    /// use psnt_cells::units::{Time, Voltage};
+    /// use psnt_core::gate_level::GateLevelArray;
+    ///
+    /// let array = GateLevelArray::paper()?;
+    /// let mut sim = array.make_sim()?;
+    /// for mv in [900.0, 1000.0] {
+    ///     let code = array.measure_with(&mut sim, Voltage::from_mv(mv), Time::from_ps(149.0))?;
+    ///     assert_eq!(code, array.measure(Voltage::from_mv(mv), Time::from_ps(149.0))?);
+    /// }
+    /// # Ok::<(), psnt_core::error::SensorError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn make_sim(&self) -> Result<Simulator<'_>, SensorError> {
+        Simulator::with_options(
+            &self.netlist,
+            self.pvt.nominal_vdd,
+            self.pvt,
+            TraceMode::Off,
+        )
+        .map_err(SensorError::from)
+    }
+
     /// Runs one full PREPARE/SENSE measure with the noisy rail at
     /// `rail` and the P→CP pin skew `skew`, returning the thermometer
     /// code (most-loaded element first, as the paper prints it).
@@ -180,6 +211,22 @@ impl GateLevelArray {
     /// Propagates simulator construction failures.
     pub fn measure(&self, rail: Voltage, skew: Time) -> Result<ThermometerCode, SensorError> {
         Ok(self.measure_detailed(rail, skew)?.0)
+    }
+
+    /// [`GateLevelArray::measure`] on a caller-held simulator from
+    /// [`GateLevelArray::make_sim`]; resets it, so every allocation is
+    /// reused and the result is bit-identical to a fresh simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn measure_with(
+        &self,
+        sim: &mut Simulator<'_>,
+        rail: Voltage,
+        skew: Time,
+    ) -> Result<ThermometerCode, SensorError> {
+        Ok(self.measure_detailed_with(sim, rail, skew)?.0)
     }
 
     /// Like [`GateLevelArray::measure`], but also returning the PREPARE
@@ -194,9 +241,23 @@ impl GateLevelArray {
         rail: Voltage,
         skew: Time,
     ) -> Result<(ThermometerCode, ThermometerCode), SensorError> {
+        let mut sim = self.make_sim()?;
+        self.measure_detailed_with(&mut sim, rail, skew)
+    }
+
+    /// [`GateLevelArray::measure_detailed`] on a reusable simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn measure_detailed_with(
+        &self,
+        sim: &mut Simulator<'_>,
+        rail: Voltage,
+        skew: Time,
+    ) -> Result<(ThermometerCode, ThermometerCode), SensorError> {
         let plan = GateLevelArray::plan(skew);
-        let mut sim = Simulator::with_pvt(&self.netlist, self.pvt.nominal_vdd, self.pvt)
-            .map_err(SensorError::from)?;
+        sim.reset();
         sim.set_domain_supply(self.noisy, rail);
 
         // PREPARE: P = 1 forces every DS low; a CP edge captures the 0s.
@@ -218,10 +279,10 @@ impl GateLevelArray {
 
         // Read the PREPARE code just before the SENSE launch…
         sim.run_until(plan.sense_launch - Time::from_ps(1.0));
-        let prepare = self.pack(&sim);
+        let prepare = self.pack(sim);
         // …and the measure after everything settles.
         sim.run_until(plan.read_at);
-        let sense = self.pack(&sim);
+        let sense = self.pack(sim);
         Ok((sense, prepare))
     }
 
@@ -281,9 +342,10 @@ mod tests {
         let behavioural = ThermometerArray::paper(RailMode::Supply);
         let pvt = Pvt::typical();
         let sk = skew011();
+        let mut sim = gate.make_sim().unwrap();
         for i in 0..=60 {
             let v = Voltage::from_v(0.8013 + 0.005 * i as f64);
-            let a = gate.measure(v, sk).unwrap();
+            let a = gate.measure_with(&mut sim, v, sk).unwrap();
             let b = behavioural.measure(v, sk, &pvt);
             assert_eq!(a, b, "divergence at {v}");
         }
@@ -481,6 +543,24 @@ impl GateLevelPulseGen {
         (self.p_in, self.cp_in, self.sel, self.p_out, self.cp_out)
     }
 
+    /// Builds a reusable simulator for this PG, tracing only the two
+    /// output nets the skew measurement reads. Pair with
+    /// [`GateLevelPulseGen::measured_skew_with`] to sweep delay codes
+    /// without rebuilding the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn make_sim(&self) -> Result<Simulator<'_>, SensorError> {
+        Simulator::with_options(
+            &self.netlist,
+            Voltage::from_v(1.0),
+            Pvt::typical(),
+            TraceMode::Watched(vec![self.p_out, self.cp_out]),
+        )
+        .map_err(SensorError::from)
+    }
+
     /// Simulates one simultaneous P/CP edge pair through the PG and
     /// returns the measured output skew for a delay code.
     ///
@@ -488,8 +568,23 @@ impl GateLevelPulseGen {
     ///
     /// Propagates simulator failures.
     pub fn measured_skew(&self, code: crate::pulsegen::DelayCode) -> Result<Time, SensorError> {
-        let mut sim =
-            Simulator::new(&self.netlist, Voltage::from_v(1.0)).map_err(SensorError::from)?;
+        let mut sim = self.make_sim()?;
+        self.measured_skew_with(&mut sim, code)
+    }
+
+    /// [`GateLevelPulseGen::measured_skew`] on a reusable simulator from
+    /// [`GateLevelPulseGen::make_sim`]; resets it first, so the result
+    /// is bit-identical to a fresh simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn measured_skew_with(
+        &self,
+        sim: &mut Simulator<'_>,
+        code: crate::pulsegen::DelayCode,
+    ) -> Result<Time, SensorError> {
+        sim.reset();
         for (bit, &net) in self.sel.iter().enumerate() {
             let level = Logic::from(code.value() >> bit & 1 == 1);
             sim.drive(net, level, Time::ZERO)
@@ -667,6 +762,24 @@ impl GateLevelSystem {
         self.noisy
     }
 
+    /// Builds a reusable simulator for this system, tracing only the
+    /// two array-pin nets whose edges define the measured skew. Pair
+    /// with [`GateLevelSystem::run_measures_with`] to amortise
+    /// construction across delay codes or rail schedules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn make_sim(&self) -> Result<Simulator<'_>, SensorError> {
+        Simulator::with_options(
+            &self.netlist,
+            Voltage::from_v(1.0),
+            Pvt::typical(),
+            TraceMode::Watched(vec![self.array_p, self.array_cp]),
+        )
+        .map_err(SensorError::from)
+    }
+
     /// Runs the system for `measures` complete sequences with the noisy
     /// rail stepped through `rails` (one level per measure), delay code
     /// on the `sel` pins, clock period 4 ns. Returns one
@@ -681,9 +794,29 @@ impl GateLevelSystem {
         code: crate::pulsegen::DelayCode,
         rails: &[Voltage],
     ) -> Result<Vec<GateLevelMeasure>, SensorError> {
+        let mut sim = self.make_sim()?;
+        self.run_measures_with(&mut sim, code, rails)
+    }
+
+    /// [`GateLevelSystem::run_measures`] on a reusable simulator from
+    /// [`GateLevelSystem::make_sim`]; resets it first, so results are
+    /// bit-identical to a fresh simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures, and reports a missing pulse if a
+    /// sequence did not produce P/CP edges.
+    pub fn run_measures_with(
+        &self,
+        sim: &mut Simulator<'_>,
+        code: crate::pulsegen::DelayCode,
+        rails: &[Voltage],
+    ) -> Result<Vec<GateLevelMeasure>, SensorError> {
         let period = Time::from_ns(4.0);
-        let mut sim =
-            Simulator::new(&self.netlist, Voltage::from_v(1.0)).map_err(SensorError::from)?;
+        sim.reset();
+        // The previous run may have left the noisy rail drooped; every
+        // sequence starts from the nominal 1.0 V rail.
+        sim.set_domain_supply(self.noisy, Voltage::from_v(1.0));
         sim.drive(self.enable, Logic::One, Time::ZERO)
             .map_err(SensorError::from)?;
         sim.drive(self.start, Logic::One, Time::ZERO)
@@ -746,8 +879,9 @@ mod system_tests {
         let pg = GateLevelPulseGen::paper().unwrap();
         let model = PulseGenerator::paper_table();
         let pvt = Pvt::typical();
+        let mut sim = pg.make_sim().unwrap();
         for code in DelayCode::all() {
-            let measured = pg.measured_skew(code).unwrap();
+            let measured = pg.measured_skew_with(&mut sim, code).unwrap();
             let expected = model.skew(code, &pvt);
             let err = (measured - expected).abs();
             assert!(
@@ -811,8 +945,9 @@ mod system_tests {
     fn full_system_skew_tracks_the_delay_code() {
         let sys = GateLevelSystem::paper().unwrap();
         let rails = [Voltage::from_v(1.0)];
-        let skew_for = |code_val: u8| {
-            sys.run_measures(DelayCode::new(code_val).unwrap(), &rails)
+        let mut sim = sys.make_sim().unwrap();
+        let mut skew_for = |code_val: u8| {
+            sys.run_measures_with(&mut sim, DelayCode::new(code_val).unwrap(), &rails)
                 .unwrap()[0]
                 .skew()
         };

@@ -30,6 +30,8 @@
 //! # let _ = CapacitorLadder::paper_fig5();
 //! ```
 
+use std::sync::Mutex;
+
 use psnt_cells::logic::LogicVector;
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Capacitance, Time, Voltage};
@@ -143,11 +145,63 @@ impl CodeInterval {
     }
 }
 
+/// Single-entry memo for the per-element threshold search: the array's
+/// thresholds are a pure function of `(skew, pvt)` (and the elements,
+/// which are immutable post-construction), and virtually every caller —
+/// `decode`, [`crate::system::SensorSystem`], the scan campaign, the
+/// equivalent-time sampler — re-asks at one operating point many times.
+/// Each miss costs seven bisection searches (~18 `powf` evaluations
+/// apiece), so the memo removes the dominant cost of repeat decodes.
+///
+/// A `Mutex` (not a `RefCell`) keeps the array `Sync`: Monte-Carlo yield
+/// closures capture `&ThermometerArray` across engine worker threads.
+/// Key-based lookup makes invalidation automatic — a different skew or
+/// PVT point simply misses — and perturbed copies built through
+/// [`ThermometerArray::from_elements`] start with a fresh (empty) memo.
+#[derive(Debug, Default)]
+struct ThresholdMemo {
+    entry: Mutex<Option<(Time, Pvt, Vec<Voltage>)>>,
+}
+
+impl ThresholdMemo {
+    fn get(&self, skew: Time, pvt: &Pvt) -> Option<Vec<Voltage>> {
+        let guard = self.entry.lock().expect("threshold memo poisoned");
+        guard
+            .as_ref()
+            .filter(|(s, p, _)| *s == skew && p == pvt)
+            .map(|(_, _, th)| th.clone())
+    }
+
+    fn put(&self, skew: Time, pvt: &Pvt, thresholds: &[Voltage]) {
+        let mut guard = self.entry.lock().expect("threshold memo poisoned");
+        *guard = Some((skew, *pvt, thresholds.to_vec()));
+    }
+}
+
 /// A multi-bit sensor array: identical elements, rising loads.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct ThermometerArray {
     elements: Vec<SenseElement>,
     mode: RailMode,
+    #[serde(skip, default)]
+    memo: ThresholdMemo,
+}
+
+impl Clone for ThermometerArray {
+    fn clone(&self) -> ThermometerArray {
+        ThermometerArray {
+            elements: self.elements.clone(),
+            mode: self.mode,
+            memo: ThresholdMemo::default(),
+        }
+    }
+}
+
+impl PartialEq for ThermometerArray {
+    fn eq(&self, other: &ThermometerArray) -> bool {
+        // The memo is derived state; identity is elements + mode.
+        self.elements == other.elements && self.mode == other.mode
+    }
 }
 
 impl ThermometerArray {
@@ -160,6 +214,7 @@ impl ThermometerArray {
                 .map(|&c| SenseElement::paper(c, mode))
                 .collect(),
             mode,
+            memo: ThresholdMemo::default(),
         }
     }
 
@@ -184,7 +239,11 @@ impl ThermometerArray {
             elements.iter().all(|e| e.mode() == mode),
             "all elements must observe the same rail"
         );
-        ThermometerArray { elements, mode }
+        ThermometerArray {
+            elements,
+            mode,
+            memo: ThresholdMemo::default(),
+        }
     }
 
     /// Number of output bits.
@@ -344,14 +403,24 @@ impl ThermometerArray {
     /// Per-element failure thresholds, ascending-load order. For
     /// HIGH-SENSE these rise with load; for LOW-SENSE (ground) they fall.
     ///
+    /// The last `(skew, pvt)` result is memoised, so repeated decodes at
+    /// one operating point — the common case for a system run or scan
+    /// campaign — skip the per-element bisection searches entirely.
+    ///
     /// # Errors
     ///
     /// Propagates [`SenseElement::threshold`] failures.
     pub fn thresholds(&self, skew: Time, pvt: &Pvt) -> Result<Vec<Voltage>, SensorError> {
-        self.elements
+        if let Some(hit) = self.memo.get(skew, pvt) {
+            return Ok(hit);
+        }
+        let th: Vec<Voltage> = self
+            .elements
             .iter()
             .map(|e| e.threshold(skew, pvt))
-            .collect()
+            .collect::<Result<_, _>>()?;
+        self.memo.put(skew, pvt, &th);
+        Ok(th)
     }
 
     /// The measurable span `(min, max)` of rail values: outside it the
@@ -638,6 +707,32 @@ mod tests {
             }
         }
         assert!(saw_both.0 && saw_both.1, "boundary element never flipped");
+    }
+
+    #[test]
+    fn threshold_memo_is_transparent() {
+        // Memo hit, key-based invalidation and clone-freshness all
+        // produce exactly the values a cold array computes.
+        let warm = array();
+        let s11 = warm.thresholds(skew011(), &pvt()).unwrap();
+        assert_eq!(warm.thresholds(skew011(), &pvt()).unwrap(), s11);
+        // Changing the skew misses the memo and recomputes.
+        let s10 = warm.thresholds(skew010(), &pvt()).unwrap();
+        assert_eq!(s10, array().thresholds(skew010(), &pvt()).unwrap());
+        assert_ne!(s10, s11);
+        // A changed PVT point also misses.
+        let hot = Pvt::new(
+            psnt_cells::process::ProcessCorner::TT,
+            Voltage::from_v(1.0),
+            psnt_cells::units::Temperature::from_celsius(85.0),
+        );
+        let s_hot = warm.thresholds(skew011(), &hot).unwrap();
+        assert_eq!(s_hot, array().thresholds(skew011(), &hot).unwrap());
+        assert_ne!(s_hot, s11);
+        // Clones start cold but agree.
+        let cloned = warm.clone();
+        assert_eq!(cloned.thresholds(skew011(), &pvt()).unwrap(), s11);
+        assert_eq!(cloned, warm);
     }
 
     #[test]

@@ -205,6 +205,68 @@ pub enum Driver {
     Const(Logic),
 }
 
+/// Flattened, allocation-free view of a [`Netlist`] for the event-driven
+/// simulator: CSR (offsets + data) arrays for gate fanout, clock fanout
+/// and gate input pins, plus per-net capacitive loads, per-net driver
+/// domains and the cached topological gate order. Everything the
+/// simulator's hot loop needs is computed once here, so the loop itself
+/// performs no heap allocation and no per-event graph walks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTopology {
+    /// CSR offsets into `fanout_gates`, indexed by net (`len = nets + 1`).
+    fanout_off: Vec<u32>,
+    /// Gates reading each net, grouped per net in gate order.
+    fanout_gates: Vec<GateId>,
+    /// CSR offsets into `clk_dffs`, indexed by net.
+    clk_off: Vec<u32>,
+    /// Flip-flops clocked by each net.
+    clk_dffs: Vec<DffId>,
+    /// CSR offsets into `input_nets`, indexed by gate.
+    input_off: Vec<u32>,
+    /// Input nets of each gate, in pin order.
+    input_nets: Vec<NetId>,
+    /// Total capacitive load per net (pins + wire parasitics).
+    loads: Vec<Capacitance>,
+    /// Power domain of each net's driver (gates use their own domain;
+    /// inputs, constants and flip-flop outputs sit on the core domain).
+    driver_domain: Vec<DomainId>,
+    /// Kahn topological order of the combinational gates.
+    topo: Vec<GateId>,
+}
+
+impl SimTopology {
+    /// The gates reading `net`, in the same order as [`Netlist::fanout`].
+    pub fn fanout(&self, net: NetId) -> &[GateId] {
+        &self.fanout_gates[self.fanout_off[net.0] as usize..self.fanout_off[net.0 + 1] as usize]
+    }
+
+    /// The flip-flops clocked by `net`.
+    pub fn clk_fanout(&self, net: NetId) -> &[DffId] {
+        &self.clk_dffs[self.clk_off[net.0] as usize..self.clk_off[net.0 + 1] as usize]
+    }
+
+    /// The input nets of `gate`, in pin order.
+    pub fn gate_inputs(&self, gate: GateId) -> &[NetId] {
+        &self.input_nets[self.input_off[gate.0] as usize..self.input_off[gate.0 + 1] as usize]
+    }
+
+    /// Total capacitive load on `net` (equal to [`Netlist::load`]).
+    pub fn load(&self, net: NetId) -> Capacitance {
+        self.loads[net.0]
+    }
+
+    /// The power domain supplying `net`'s driver.
+    pub fn driver_domain(&self, net: NetId) -> DomainId {
+        self.driver_domain[net.0]
+    }
+
+    /// The cached topological gate order (equal to
+    /// [`Netlist::topo_gates`]).
+    pub fn topo_gates(&self) -> &[GateId] {
+        &self.topo
+    }
+}
+
 /// A gate-level netlist.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Netlist {
@@ -510,6 +572,101 @@ impl Netlist {
             }
         }
         c
+    }
+
+    /// Builds the flattened [`SimTopology`] the simulator runs on: CSR
+    /// fanout/clock-fanout/input arrays, single-pass per-net loads
+    /// (bit-identical to [`Netlist::load`]), the per-net driver-domain
+    /// map and the topological gate order — one pass over the netlist
+    /// instead of the per-net scans of the list-of-lists accessors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connectivity errors from [`Netlist::drivers`] and
+    /// cycle errors from [`Netlist::topo_gates`].
+    pub fn sim_topology(&self) -> Result<SimTopology, NetlistError> {
+        let n = self.nets.len();
+
+        // Gate fanout CSR (counting sort preserves the per-net gate order
+        // of `fanout()`).
+        let mut fanout_off = vec![0u32; n + 1];
+        for g in &self.gates {
+            for &i in &g.inputs {
+                fanout_off[i.0 + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            fanout_off[i + 1] += fanout_off[i];
+        }
+        let mut cursor = fanout_off[..n].to_vec();
+        let mut fanout_gates = vec![GateId(0); fanout_off[n] as usize];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &i in &g.inputs {
+                fanout_gates[cursor[i.0] as usize] = GateId(gi);
+                cursor[i.0] += 1;
+            }
+        }
+
+        // Clock fanout CSR.
+        let mut clk_off = vec![0u32; n + 1];
+        for f in &self.dffs {
+            clk_off[f.clk.0 + 1] += 1;
+        }
+        for i in 0..n {
+            clk_off[i + 1] += clk_off[i];
+        }
+        let mut cursor = clk_off[..n].to_vec();
+        let mut clk_dffs = vec![DffId(0); clk_off[n] as usize];
+        for (fi, f) in self.dffs.iter().enumerate() {
+            clk_dffs[cursor[f.clk.0] as usize] = DffId(fi);
+            cursor[f.clk.0] += 1;
+        }
+
+        // Gate input pins, flattened in gate order.
+        let mut input_off = Vec::with_capacity(self.gates.len() + 1);
+        input_off.push(0u32);
+        let mut input_nets = Vec::new();
+        for g in &self.gates {
+            input_nets.extend_from_slice(&g.inputs);
+            input_off.push(input_nets.len() as u32);
+        }
+
+        // Per-net loads in one pass, accumulating in the same order as
+        // `load()` (wire, then gate pins in gate order, then FF pins) so
+        // the floating-point sums are bit-identical.
+        let mut loads: Vec<Capacitance> =
+            self.nets.iter().map(|net| net.wire_capacitance).collect();
+        for g in &self.gates {
+            for &i in &g.inputs {
+                loads[i.0] += g.cell.input_capacitance();
+            }
+        }
+        for f in &self.dffs {
+            loads[f.d.0] += f.model.d_capacitance();
+            loads[f.clk.0] += f.model.clk_capacitance();
+        }
+
+        let driver_domain = self
+            .drivers()?
+            .into_iter()
+            .map(|d| match d {
+                Driver::Gate(g) => self.gates[g.0].domain,
+                _ => DomainId::CORE,
+            })
+            .collect();
+        let topo = self.topo_gates()?;
+
+        Ok(SimTopology {
+            fanout_off,
+            fanout_gates,
+            clk_off,
+            clk_dffs,
+            input_off,
+            input_nets,
+            loads,
+            driver_domain,
+            topo,
+        })
     }
 
     /// Kahn topological order of the combinational gates (flip-flop
@@ -932,6 +1089,63 @@ mod tests {
         let mut parent = Netlist::new("top");
         let x = parent.add_input("x");
         let _ = parent.instantiate(&child, "u", &[(q, x)]);
+    }
+
+    #[test]
+    fn sim_topology_matches_list_accessors() {
+        // A mixed netlist: gates across two domains, a flip-flop, a
+        // constant, parasitics, and a net with multiple fanouts.
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let clk = n.add_input("clk");
+        let one = n.add_const("one", Logic::One);
+        let noisy = n.add_domain("noisy");
+        let x = n.add_gate("g1", StdCell::nand2(1.0), &[a, b]).unwrap();
+        let y = n.add_gate("g2", StdCell::inverter(2.0), &[x]).unwrap();
+        let z = n.add_gate("g3", StdCell::and3(1.0), &[x, y, one]).unwrap();
+        n.set_gate_domain(GateId(1), noisy);
+        n.add_wire_capacitance(x, Capacitance::from_ff(7.0));
+        let q = n.add_dff("ff", Dff::standard_90nm(), z, clk, Logic::Zero);
+        n.mark_output("q", q);
+
+        let topo = n.sim_topology().unwrap();
+        let fanout = n.fanout();
+        let (_, c_fan) = n.dff_fanout();
+        for i in 0..n.net_count() {
+            let net = NetId(i);
+            assert_eq!(topo.fanout(net), &fanout[i][..], "fanout of net {i}");
+            assert_eq!(topo.clk_fanout(net), &c_fan[i][..], "clk fanout of net {i}");
+            assert_eq!(
+                topo.load(net).farads(),
+                n.load(net).farads(),
+                "load of net {i}"
+            );
+        }
+        for (gi, g) in n.gates().iter().enumerate() {
+            assert_eq!(
+                topo.gate_inputs(GateId(gi)),
+                g.inputs(),
+                "inputs of gate {gi}"
+            );
+        }
+        assert_eq!(topo.topo_gates(), &n.topo_gates().unwrap()[..]);
+        // Driver domains: the noisy gate's output is on `noisy`; inputs,
+        // constants and the FF output are on core.
+        assert_eq!(topo.driver_domain(y), noisy);
+        for net in [a, b, clk, one, x, z, q] {
+            assert_eq!(topo.driver_domain(net), DomainId::CORE);
+        }
+    }
+
+    #[test]
+    fn sim_topology_propagates_validation_errors() {
+        let mut n = Netlist::new("t");
+        let _floating = n.add_net("floating");
+        assert!(matches!(
+            n.sim_topology(),
+            Err(NetlistError::Undriven { .. })
+        ));
     }
 
     #[test]

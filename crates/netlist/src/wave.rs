@@ -114,6 +114,15 @@ impl Trace {
         &self.edges[id.0]
     }
 
+    /// Forgets every recorded edge while keeping the signal set and the
+    /// per-signal buffer capacity — how [`crate::sim::Simulator::reset`]
+    /// rewinds its trace without giving allocations back.
+    pub fn clear_edges(&mut self) {
+        for edges in &mut self.edges {
+            edges.clear();
+        }
+    }
+
     /// The signal value at `time` (value of the latest edge at or before
     /// `time`); [`Logic::X`] before the first edge.
     pub fn value_at(&self, id: SignalId, time: Time) -> Logic {
@@ -298,6 +307,20 @@ mod tests {
         tr.record(b, ps(40.0), Logic::Zero);
         assert_eq!(tr.end_time(), ps(40.0));
         assert_eq!(Trace::new().end_time(), Time::ZERO);
+    }
+
+    #[test]
+    fn clear_edges_keeps_signals() {
+        let (mut tr, a, b) = busy_trace();
+        tr.clear_edges();
+        assert_eq!(tr.signal_count(), 2);
+        assert!(tr.edges(a).is_empty());
+        assert!(tr.edges(b).is_empty());
+        assert_eq!(tr.value_at(a, ps(100.0)), Logic::X);
+        // The trace accepts a fresh history from time zero again.
+        tr.record(a, ps(0.0), Logic::One);
+        assert_eq!(tr.edges(a).len(), 1);
+        assert_eq!(tr.end_time(), ps(0.0));
     }
 
     #[test]

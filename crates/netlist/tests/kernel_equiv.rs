@@ -1,0 +1,222 @@
+//! Kernel-equivalence proptests for the optimized simulator.
+//!
+//! The PR-3 kernel (reusable simulators, CSR topology, per-gate delay
+//! cache, selective trace capture) must not change a single simulation
+//! result. These properties pin the contract:
+//!
+//! (a) a `reset()`-reused simulator is bit-identical to a fresh
+//!     `Simulator::new` over random stimulus sequences;
+//! (b) the per-gate delay cache agrees with on-demand delay computation
+//!     across supplies and PVT corners, including after supply changes;
+//! (c) `TraceMode::Watched` records exactly what `TraceMode::Full`
+//!     records on the watched nets.
+
+use proptest::prelude::*;
+use psnt_cells::gates::StdCell;
+use psnt_cells::logic::Logic;
+use psnt_cells::process::{ProcessCorner, Pvt};
+use psnt_cells::units::{Temperature, Time, Voltage};
+use psnt_netlist::graph::{NetId, Netlist};
+use psnt_netlist::sim::{Simulator, TraceMode};
+
+/// A random combinational DAG with a flip-flop on every fourth gate
+/// output: each gate reads previously created nets only, so the graph is
+/// acyclic by construction.
+fn random_netlist(
+    gate_picks: &[(u8, u8, u8, u8)],
+    n_inputs: usize,
+) -> (Netlist, Vec<NetId>, NetId, Vec<NetId>) {
+    let mut n = Netlist::new("equiv");
+    let clk = n.add_input("clk");
+    let inputs: Vec<NetId> = (0..n_inputs)
+        .map(|i| n.add_input(format!("in{i}")))
+        .collect();
+    let mut nets = inputs.clone();
+    let mut interesting = Vec::new();
+    let ff = psnt_cells::dff::Dff::standard_90nm();
+    for (gi, &(kind, a, b, c)) in gate_picks.iter().enumerate() {
+        let cell = match kind % 6 {
+            0 => StdCell::inverter(1.0),
+            1 => StdCell::nand2(1.0),
+            2 => StdCell::nor2(1.0),
+            3 => StdCell::xor2(1.0),
+            4 => StdCell::mux2(1.0),
+            _ => StdCell::and3(1.0),
+        };
+        let pick = |x: u8| nets[x as usize % nets.len()];
+        let ins: Vec<NetId> = match cell.num_inputs() {
+            1 => vec![pick(a)],
+            2 => vec![pick(a), pick(b)],
+            _ => vec![pick(a), pick(b), pick(c)],
+        };
+        let out = n.add_gate(format!("g{gi}"), cell, &ins).unwrap();
+        interesting.push(out);
+        if gi % 4 == 3 {
+            let q = n.add_dff(format!("ff{gi}"), ff, out, clk, Logic::Zero);
+            interesting.push(q);
+            nets.push(q);
+        }
+        nets.push(out);
+    }
+    let last = *interesting.last().unwrap();
+    n.mark_output("keep", last);
+    (n, inputs, clk, interesting)
+}
+
+/// Applies one stimulus "measurement" — input drives plus a clock burst —
+/// and runs it out.
+fn apply_stimulus(
+    sim: &mut Simulator<'_>,
+    inputs: &[NetId],
+    clk: NetId,
+    bits: &[bool],
+    flips: &[bool],
+) {
+    for (i, (&net, &b)) in inputs.iter().zip(bits).enumerate() {
+        sim.drive(net, Logic::from(b), Time::from_ps(10.0 * i as f64))
+            .unwrap();
+    }
+    for (i, (&net, (&b, &f))) in inputs.iter().zip(bits.iter().zip(flips)).enumerate() {
+        sim.drive(
+            net,
+            Logic::from(b ^ f),
+            Time::from_ns(4.0) + Time::from_ps(10.0 * i as f64),
+        )
+        .unwrap();
+    }
+    sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(3.0), 4)
+        .unwrap();
+    sim.run_to_quiescence(1_000_000);
+}
+
+/// Everything observable about a finished run, for exact comparison:
+/// every gate/FF output value plus the full event statistics.
+fn snapshot(sim: &Simulator<'_>, nets: &[NetId]) -> (Vec<Logic>, u64, u64, u64, u64) {
+    let values = nets.iter().map(|&net| sim.value(net)).collect();
+    let s = sim.stats();
+    (
+        values,
+        s.events,
+        s.cancelled,
+        s.ff_captures,
+        s.ff_violations,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a) Fresh construction vs `reset()` reuse: one simulator replaying
+    /// a sequence of random measurements matches a fresh simulator per
+    /// measurement on every net value, event statistic, switching-energy
+    /// accumulator and trace edge.
+    #[test]
+    fn reset_reuse_is_bit_identical_to_fresh(
+        gate_picks in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        measurements in proptest::collection::vec(
+            (proptest::collection::vec(any::<bool>(), 3), proptest::collection::vec(any::<bool>(), 3)),
+            1..4,
+        ),
+    ) {
+        let (n, inputs, clk, interesting) = random_netlist(&gate_picks, 3);
+        let mut reused = Simulator::new(&n, Voltage::from_v(1.0)).unwrap();
+        for (mi, (bits, flips)) in measurements.iter().enumerate() {
+            if mi > 0 {
+                reused.reset();
+            }
+            apply_stimulus(&mut reused, &inputs, clk, bits, flips);
+            let mut fresh = Simulator::new(&n, Voltage::from_v(1.0)).unwrap();
+            apply_stimulus(&mut fresh, &inputs, clk, bits, flips);
+            prop_assert_eq!(
+                snapshot(&reused, &interesting),
+                snapshot(&fresh, &interesting),
+                "measurement {}", mi
+            );
+            prop_assert_eq!(
+                reused.switching_energy_joules().to_bits(),
+                fresh.switching_energy_joules().to_bits(),
+                "energy diverged at measurement {}", mi
+            );
+            for &net in &interesting {
+                prop_assert_eq!(
+                    reused.trace().edges(reused.signal(net)),
+                    fresh.trace().edges(fresh.signal(net)),
+                    "trace diverged on {} at measurement {}", n.net(net).name(), mi
+                );
+            }
+        }
+    }
+
+    /// (b) The per-gate delay cache equals on-demand computation from the
+    /// cell's delay model at every (supply, PVT) point visited, including
+    /// after `set_supply` / `set_domain_supply` invalidations.
+    #[test]
+    fn delay_cache_matches_on_demand(
+        gate_picks in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..16),
+        supply_mv in 700.0..1250.0f64,
+        second_mv in 700.0..1250.0f64,
+        corner_idx in 0usize..5,
+        temp_c in -20.0..110.0f64,
+    ) {
+        let (n, _, _, _) = random_netlist(&gate_picks, 3);
+        let corner = ProcessCorner::ALL[corner_idx];
+        let pvt = Pvt::new(corner, Voltage::from_v(1.0), Temperature::from_celsius(temp_c));
+        let mut supply = Voltage::from_mv(supply_mv);
+        let mut sim = Simulator::with_pvt(&n, supply, pvt).unwrap();
+
+        let check = |sim: &Simulator<'_>, supply: Voltage| {
+            for (gi, g) in n.gates().iter().enumerate() {
+                let gid = psnt_netlist::graph::GateId::from_index(gi);
+                let load = n.load(g.output());
+                let (rise, fall, worst) = sim.cached_gate_delays(gid);
+                assert_eq!(rise, g.cell().propagation_delay_edge(supply, load, &pvt, true));
+                assert_eq!(fall, g.cell().propagation_delay_edge(supply, load, &pvt, false));
+                assert_eq!(worst, g.cell().propagation_delay(supply, load, &pvt));
+            }
+        };
+        check(&sim, supply);
+        // Whole-simulator supply change rebuilds every entry.
+        supply = Voltage::from_mv(second_mv);
+        sim.set_supply(supply);
+        check(&sim, supply);
+        // A per-domain change refreshes that domain (all gates here are
+        // in the core domain) and a reset must leave the cache intact.
+        sim.set_domain_supply(psnt_netlist::graph::DomainId::CORE, Voltage::from_mv(supply_mv));
+        sim.reset();
+        check(&sim, Voltage::from_mv(supply_mv));
+    }
+
+    /// (c) `TraceMode::Watched` agrees with `TraceMode::Full` on the
+    /// watched nets: identical edge lists, identical simulated values.
+    #[test]
+    fn watched_trace_agrees_with_full(
+        gate_picks in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        watch_picks in proptest::collection::vec(any::<u8>(), 1..5),
+        bits in proptest::collection::vec(any::<bool>(), 3),
+        flips in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        let (n, inputs, clk, interesting) = random_netlist(&gate_picks, 3);
+        let watched: Vec<NetId> = watch_picks
+            .iter()
+            .map(|&w| interesting[w as usize % interesting.len()])
+            .collect();
+        let mut full = Simulator::new(&n, Voltage::from_v(1.0)).unwrap();
+        let mut part = Simulator::with_options(
+            &n,
+            Voltage::from_v(1.0),
+            Pvt::typical(),
+            TraceMode::Watched(watched.clone()),
+        )
+        .unwrap();
+        apply_stimulus(&mut full, &inputs, clk, &bits, &flips);
+        apply_stimulus(&mut part, &inputs, clk, &bits, &flips);
+        prop_assert_eq!(snapshot(&full, &interesting), snapshot(&part, &interesting));
+        for &net in &watched {
+            prop_assert_eq!(
+                full.trace().edges(full.signal(net)),
+                part.trace().edges(part.signal(net)),
+                "watched trace diverged on {}", n.net(net).name()
+            );
+        }
+    }
+}

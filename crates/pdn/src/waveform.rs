@@ -140,13 +140,21 @@ impl Waveform {
         self.extreme_over(from, to, f64::max)
     }
 
+    /// The breakpoints strictly inside `(from, to)`, located by binary
+    /// search — windows are typically a few hundred ps against waveforms
+    /// with tens of thousands of points, so a linear scan would dominate
+    /// every windowed query.
+    fn interior(&self, from: Time, to: Time) -> &[(Time, f64)] {
+        let lo = self.points.partition_point(|(t, _)| *t <= from);
+        let hi = lo + self.points[lo..].partition_point(|(t, _)| *t < to);
+        &self.points[lo..hi]
+    }
+
     fn extreme_over(&self, from: Time, to: Time, pick: fn(f64, f64) -> f64) -> f64 {
         assert!(to >= from, "empty interval");
         let mut acc = pick(self.sample(from), self.sample(to));
-        for &(t, y) in &self.points {
-            if t > from && t < to {
-                acc = pick(acc, y);
-            }
+        for &(_, y) in self.interior(from, to) {
+            acc = pick(acc, y);
         }
         acc
     }
@@ -160,10 +168,8 @@ impl Waveform {
         assert!(to > from, "empty interval");
         // Integrate trapezoid segments between consecutive knots.
         let mut knots: Vec<Time> = vec![from];
-        for &(t, _) in &self.points {
-            if t > from && t < to {
-                knots.push(t);
-            }
+        for &(t, _) in self.interior(from, to) {
+            knots.push(t);
         }
         knots.push(to);
         let mut area = 0.0;

@@ -16,10 +16,19 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo bench --no-run"
+# Benches must always compile, even when nobody runs them.
+cargo bench --no-run
+
 echo "==> engine suite under PSNT_JOBS=4"
 # The determinism contract, exercised with a real worker pool: the
 # engine's own tests plus the end-to-end parallel proptests.
 PSNT_JOBS=4 cargo test -q -p psnt-engine
 PSNT_JOBS=4 cargo test -q -p psn-thermometer --test parallel
+
+echo "==> kernel-equivalence proptests under PSNT_JOBS=4"
+# The optimized-kernel contract: reset() reuse, the delay cache and
+# selective tracing are bit-identical to the naive kernel.
+PSNT_JOBS=4 cargo test -q -p psnt-netlist --test kernel_equiv
 
 echo "CI green."
