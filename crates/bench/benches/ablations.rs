@@ -2,6 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psnt_bench::ablations;
+use psnt_ctx::RunCtx;
 
 fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
@@ -10,9 +11,15 @@ fn bench_ablations(c: &mut Criterion) {
     g.bench_function("xp_ladder", |b| b.iter(ablations::ladder));
     g.bench_function("xp_encoding", |b| b.iter(ablations::encoding));
     g.bench_function("xp_sampling", |b| b.iter(ablations::sampling));
-    g.bench_function("xp_mismatch", |b| b.iter(ablations::mismatch));
-    g.bench_function("xp_impedance", |b| b.iter(ablations::impedance));
-    g.bench_function("xp_temperature", |b| b.iter(ablations::temperature));
+    g.bench_function("xp_mismatch", |b| {
+        b.iter(|| ablations::mismatch(&mut RunCtx::serial()))
+    });
+    g.bench_function("xp_impedance", |b| {
+        b.iter(|| ablations::impedance(&mut RunCtx::serial()))
+    });
+    g.bench_function("xp_temperature", |b| {
+        b.iter(|| ablations::temperature(&mut RunCtx::serial()))
+    });
     g.bench_function("xp_code_density", |b| b.iter(ablations::code_density));
     g.bench_function("xp_oversampling", |b| b.iter(ablations::oversampling));
     g.finish();

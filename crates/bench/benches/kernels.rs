@@ -8,6 +8,7 @@ use psnt_cells::units::{Capacitance, Resistance, Time, Voltage};
 use psnt_core::control::{build_control_netlist, CtrlNetlistConfig};
 use psnt_core::element::{RailMode, SenseElement};
 use psnt_core::thermometer::ThermometerArray;
+use psnt_ctx::RunCtx;
 use psnt_netlist::sim::Simulator;
 use psnt_netlist::sta::{analyze, StaConfig};
 use psnt_pdn::grid::PowerGrid;
@@ -23,7 +24,8 @@ fn bench_kernels(c: &mut Criterion) {
         use psnt_core::mismatch::{monte_carlo_yield, MismatchModel};
         let array = ThermometerArray::paper(RailMode::Supply);
         let model = MismatchModel::local_90nm();
-        b.iter(|| monte_carlo_yield(&array, skew, &pvt, &model, 50, 1).unwrap())
+        let mut ctx = RunCtx::serial().with_seed(1);
+        b.iter(|| monte_carlo_yield(&mut ctx, &array, skew, &pvt, &model, 50).unwrap())
     });
 
     c.bench_function("spectrum_dominant_400pts", |b| {
@@ -54,7 +56,12 @@ fn bench_kernels(c: &mut Criterion) {
         use psnt_core::pulsegen::DelayCode;
         let sys = GateLevelSystem::paper().unwrap();
         let code = DelayCode::new(3).unwrap();
-        b.iter(|| sys.run_measures(code, &[Voltage::from_v(1.0)]).unwrap())
+        // A fresh context per iteration: the pool rebuilds the
+        // simulator every measure.
+        b.iter(|| {
+            sys.run_measures(&mut RunCtx::serial(), code, &[Voltage::from_v(1.0)])
+                .unwrap()
+        })
     });
 
     // The reusable-simulator counterpart: identical work, but the
@@ -65,9 +72,11 @@ fn bench_kernels(c: &mut Criterion) {
         use psnt_core::pulsegen::DelayCode;
         let sys = GateLevelSystem::paper().unwrap();
         let code = DelayCode::new(3).unwrap();
-        let mut sim = sys.make_sim().unwrap();
+        // One long-lived context: its pool keeps the simulator alive
+        // across iterations via reset().
+        let mut ctx = RunCtx::serial();
         b.iter(|| {
-            sys.run_measures_with(&mut sim, code, &[Voltage::from_v(1.0)])
+            sys.run_measures(&mut ctx, code, &[Voltage::from_v(1.0)])
                 .unwrap()
         })
     });
@@ -79,8 +88,12 @@ fn bench_kernels(c: &mut Criterion) {
         let gate = GateLevelArray::paper().unwrap();
         b.iter(|| {
             for mv in (820..=1060).step_by(40) {
-                gate.measure(Voltage::from_mv(mv as f64 + 3.0), skew)
-                    .unwrap();
+                gate.measure(
+                    &mut RunCtx::serial(),
+                    Voltage::from_mv(mv as f64 + 3.0),
+                    skew,
+                )
+                .unwrap();
             }
         })
     });
@@ -89,10 +102,10 @@ fn bench_kernels(c: &mut Criterion) {
     c.bench_function("gate_level_sweep_7pt_reused", |b| {
         use psnt_core::gate_level::GateLevelArray;
         let gate = GateLevelArray::paper().unwrap();
-        let mut sim = gate.make_sim().unwrap();
+        let mut ctx = RunCtx::serial();
         b.iter(|| {
             for mv in (820..=1060).step_by(40) {
-                gate.measure_with(&mut sim, Voltage::from_mv(mv as f64 + 3.0), skew)
+                gate.measure(&mut ctx, Voltage::from_mv(mv as f64 + 3.0), skew)
                     .unwrap();
             }
         })
@@ -129,8 +142,9 @@ fn bench_kernels(c: &mut Criterion) {
             (Time::from_ns(100.1), 2.0),
         ])
         .unwrap();
+        let mut ctx = RunCtx::serial();
         b.iter(|| {
-            pdn.transient(&load, Time::from_ps(200.0), Time::from_ns(400.0))
+            pdn.transient(&mut ctx, &load, Time::from_ps(200.0), Time::from_ns(400.0))
                 .unwrap()
         })
     });
@@ -160,8 +174,10 @@ fn bench_kernels(c: &mut Criterion) {
         let mut loads = vec![Waveform::constant(0.02); 16];
         loads[5] =
             Waveform::from_points(vec![(Time::ZERO, 0.02), (Time::from_ns(100.0), 0.3)]).unwrap();
+        let mut ctx = RunCtx::serial();
         b.iter(|| {
             grid.quasi_static_transient(
+                &mut ctx,
                 &loads,
                 Time::ZERO,
                 Time::from_ns(100.0),

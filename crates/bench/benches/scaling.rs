@@ -12,6 +12,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use psnt_bench::figures::scan_campaign;
 use psnt_cells::units::Time;
+use psnt_ctx::RunCtx;
 use psnt_engine::Engine;
 
 fn bench_parallel_scaling(c: &mut Criterion) {
@@ -22,11 +23,11 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("xp_parallel_scaling");
     group.sample_size(10);
     for jobs in [1usize, 2, 4, 8] {
-        let engine = Engine::new(jobs);
+        let mut ctx = RunCtx::new(Engine::new(jobs));
         group.bench_function(&format!("scan_16sites/jobs={jobs}"), |b| {
             b.iter(|| {
                 campaign
-                    .run_on(&engine, std::hint::black_box(&loads), start, dt, 8)
+                    .run(&mut ctx, std::hint::black_box(&loads), start, dt, 8)
                     .unwrap()
             })
         });

@@ -227,16 +227,14 @@ pub fn sampling() -> String {
 }
 
 /// Ablation 5 — local mismatch Monte-Carlo: thermometer-property yield
-/// vs within-die variation sigma.
-pub fn mismatch() -> String {
-    mismatch_on(&psnt_engine::Engine::serial())
-}
-
-/// [`mismatch`] with the Monte-Carlo trials parallelized on `engine`;
-/// per-trial seed-split RNG streams keep the table bit-identical at
-/// any worker count.
-pub fn mismatch_on(engine: &psnt_engine::Engine) -> String {
-    use psnt_core::mismatch::{monte_carlo_yield_on, MismatchModel};
+/// vs within-die variation sigma. The trials run on the context's
+/// engine; per-trial seed-split RNG streams keep the table
+/// bit-identical at any worker count. The published table is pinned to
+/// seed 2024, so the sweep runs on its own seeded child context
+/// regardless of the session seed.
+pub fn mismatch(ctx: &mut psnt_ctx::RunCtx<'_>) -> String {
+    use psnt_core::mismatch::{monte_carlo_yield, MismatchModel};
+    let mut mc = psnt_ctx::RunCtx::new(ctx.engine().clone()).with_seed(2024);
     let array = ThermometerArray::paper(RailMode::Supply);
     let base = MismatchModel::local_90nm();
     let mut t = Table::new(
@@ -252,16 +250,8 @@ pub fn mismatch_on(engine: &psnt_engine::Engine) -> String {
     );
     for k in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let model = base.scaled(k);
-        let report = monte_carlo_yield_on(
-            engine,
-            &array,
-            skew011(),
-            &Pvt::typical(),
-            &model,
-            200,
-            2024,
-        )
-        .expect("thresholds in range");
+        let report = monte_carlo_yield(&mut mc, &array, skew011(), &Pvt::typical(), &model, 200)
+            .expect("thresholds in range");
         t.row([
             format!("{k:.2}×"),
             format!("{:.1}%", model.sigma_drive * 100.0),
@@ -281,7 +271,7 @@ pub fn mismatch_on(engine: &psnt_engine::Engine) -> String {
 
 /// Ablation 6 — PDN impedance profile vs time-domain worst droop: the
 /// workload frequency that hurts most is the |Z(f)| peak.
-pub fn impedance() -> String {
+pub fn impedance(ctx: &mut psnt_ctx::RunCtx<'_>) -> String {
     use psnt_cells::units::{Current, Frequency};
     use psnt_pdn::impedance::{impedance_magnitude, impedance_peak};
     use psnt_pdn::rlc::LumpedPdn;
@@ -309,7 +299,7 @@ pub fn impedance() -> String {
         // workload is slower.
         let dt = (period / 40.0)
             .min(psnt_cells::units::Time::period_of(pdn.resonance_frequency()) / 40.0);
-        let v = pdn.transient(&load, dt, end).expect("valid transient");
+        let v = pdn.transient(ctx, &load, dt, end).expect("valid transient");
         // Steady-state portion only.
         let min_v = v.min_over(end - period * 10.0, end);
         t.row([
@@ -332,7 +322,7 @@ pub fn impedance() -> String {
 /// Ablation 7 — temperature cross-sensitivity: the PSN "thermometer" is
 /// also, literally, a thermometer. Quantifies the mV-per-°C error a
 /// power-aware policy must budget for.
-pub fn temperature() -> String {
+pub fn temperature(ctx: &mut psnt_ctx::RunCtx<'_>) -> String {
     use psnt_cells::process::ProcessCorner;
     use psnt_cells::units::Temperature;
     let array = ThermometerArray::paper(RailMode::Supply);
@@ -350,7 +340,7 @@ pub fn temperature() -> String {
             Voltage::from_v(1.0),
             Temperature::from_celsius(temp_c),
         );
-        let ch = psnt_core::calibration::array_characteristic(&array, &pg, code, &pvt)
+        let ch = psnt_core::calibration::array_characteristic(ctx, &array, &pg, code, &pvt)
             .expect("in range");
         let mid = ch.midpoint();
         if temp_c == 25.0 {
@@ -512,14 +502,14 @@ mod tests {
 
     #[test]
     fn mismatch_reports_yield_sweep() {
-        let s = mismatch();
+        let s = mismatch(&mut psnt_ctx::RunCtx::serial());
         assert!(s.contains("monotone yield"));
         assert!(s.contains("4.00×"));
     }
 
     #[test]
     fn impedance_peak_aligns_with_worst_droop() {
-        let s = impedance();
+        let s = impedance(&mut psnt_ctx::RunCtx::serial());
         assert!(s.contains("analytic peak"));
         // The minimum VDD row must be the resonance row: parse crudely.
         assert!(s.contains("tank resonance"));
@@ -527,7 +517,7 @@ mod tests {
 
     #[test]
     fn temperature_drift_reported() {
-        let s = temperature();
+        let s = temperature(&mut psnt_ctx::RunCtx::serial());
         assert!(s.contains("125 °C"));
         assert!(s.contains("drift vs 25 °C"));
     }

@@ -3,14 +3,15 @@
 //! PDN impedance profile, and the per-corner trim table.
 //!
 //! ```text
-//! characterize <out-dir> [--jobs N]
+//! characterize <out-dir> [--jobs N] [--seed S]
 //! ```
 //!
 //! Writes `fig4_sensitivity.csv`, `fig5_characteristic.csv`,
 //! `gnd_characteristic.csv`, `impedance.csv` and `trim.csv`. The
-//! per-code characteristics and the per-corner trim table run on an
-//! engine worker pool (`--jobs N`, default `PSNT_JOBS` else available
-//! parallelism); the CSVs are bit-identical at any worker count.
+//! per-code characteristics and the per-corner trim table run on the
+//! worker pool of one shared [`RunCtx`] (`--jobs N`, default
+//! `PSNT_JOBS` else available parallelism); the CSVs are bit-identical
+//! at any worker count.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -21,6 +22,7 @@ use psnt_core::calibration::{array_characteristic, sensitivity_characteristic, t
 use psnt_core::element::RailMode;
 use psnt_core::pulsegen::{DelayCode, PulseGenerator};
 use psnt_core::thermometer::ThermometerArray;
+use psnt_ctx::RunCtx;
 use psnt_engine::Engine;
 use psnt_obs::{Observer, RunManifest, Span};
 use psnt_pdn::impedance::impedance_profile;
@@ -29,6 +31,7 @@ use psnt_pdn::rlc::LumpedPdn;
 fn main() {
     let mut out_dir: Option<String> = None;
     let mut engine = Engine::from_env();
+    let mut seed = 0u64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -40,16 +43,23 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--seed" => match iter.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs a non-negative integer argument");
+                    std::process::exit(2);
+                }
+            },
             dir if out_dir.is_none() && !dir.starts_with("--") => out_dir = Some(dir.to_owned()),
             other => {
                 eprintln!("unrecognised argument {other:?}");
-                eprintln!("usage: characterize <out-dir> [--jobs N]");
+                eprintln!("usage: characterize <out-dir> [--jobs N] [--seed S]");
                 std::process::exit(2);
             }
         }
     }
     let out = out_dir.unwrap_or_else(|| {
-        eprintln!("usage: characterize <out-dir> [--jobs N]");
+        eprintln!("usage: characterize <out-dir> [--jobs N] [--seed S]");
         std::process::exit(2);
     });
     let out = Path::new(&out);
@@ -71,6 +81,10 @@ fn main() {
             .with_git_describe(),
     );
 
+    // The one context carrying the worker pool, the observer and the
+    // seed policy through every dataset.
+    let mut ctx = RunCtx::new(engine).with_seed(seed).with_observer(&mut obs);
+
     // Fig. 4: threshold vs load.
     let span = Span::begin("fig4_sensitivity");
     let mut csv = String::from("load_pf,threshold_v\n");
@@ -82,8 +96,8 @@ fn main() {
     for p in points {
         let _ = writeln!(csv, "{},{}", p.load.picofarads(), p.threshold.volts());
     }
-    write(out, "fig4_sensitivity.csv", &csv, &mut obs);
-    obs.end_span(span);
+    write(out, "fig4_sensitivity.csv", &csv, &mut ctx);
+    end_span(&mut ctx, span);
 
     // Fig. 5: per-code thresholds (HS). One engine job per delay code;
     // results come back in code order so the CSV is stable.
@@ -91,9 +105,10 @@ fn main() {
     let array = ThermometerArray::paper(RailMode::Supply);
     let codes = DelayCode::all();
     let mut csv = String::from("delay_code,element,threshold_v\n");
-    let chars = engine
+    let chars = ctx
+        .engine()
         .try_map(codes.len(), |i| {
-            array_characteristic(&array, &pg, codes[i], &pvt)
+            array_characteristic(&mut RunCtx::serial(), &array, &pg, codes[i], &pvt)
         })
         .expect("in range");
     for (code, ch) in codes.iter().zip(&chars) {
@@ -101,16 +116,17 @@ fn main() {
             let _ = writeln!(csv, "{code},{},{}", i + 1, t.volts());
         }
     }
-    write(out, "fig5_characteristic.csv", &csv, &mut obs);
-    obs.end_span(span);
+    write(out, "fig5_characteristic.csv", &csv, &mut ctx);
+    end_span(&mut ctx, span);
 
     // Ground mirror (LS).
     let span = Span::begin("gnd_characteristic");
     let ls = ThermometerArray::paper(RailMode::Ground);
     let mut csv = String::from("delay_code,element,bounce_threshold_v\n");
-    let chars = engine
+    let chars = ctx
+        .engine()
         .try_map(codes.len(), |i| {
-            array_characteristic(&ls, &pg, codes[i], &pvt)
+            array_characteristic(&mut RunCtx::serial(), &ls, &pg, codes[i], &pvt)
         })
         .expect("in range");
     for (code, ch) in codes.iter().zip(&chars) {
@@ -118,8 +134,8 @@ fn main() {
             let _ = writeln!(csv, "{code},{},{}", i + 1, t.volts());
         }
     }
-    write(out, "gnd_characteristic.csv", &csv, &mut obs);
-    obs.end_span(span);
+    write(out, "gnd_characteristic.csv", &csv, &mut ctx);
+    end_span(&mut ctx, span);
 
     // PDN impedance profile.
     let span = Span::begin("impedance");
@@ -133,21 +149,29 @@ fn main() {
     ) {
         let _ = writeln!(csv, "{},{}", p.frequency.hertz(), p.magnitude.ohms());
     }
-    write(out, "impedance.csv", &csv, &mut obs);
-    obs.end_span(span);
+    write(out, "impedance.csv", &csv, &mut ctx);
+    end_span(&mut ctx, span);
 
     // Per-corner trim table: one engine job per process corner.
     let span = Span::begin("trim");
     let mut csv = String::from("corner,untrimmed_error_mv,trimmed_code,residual_mv\n");
     let corners = ProcessCorner::ALL;
-    let trims = engine
+    let trims = ctx
+        .engine()
         .try_map(corners.len(), |i| {
             let corner_pvt = Pvt::new(
                 corners[i],
                 Voltage::from_v(1.0),
                 Temperature::from_celsius(25.0),
             );
-            trim_for_corner(&array, &pg, code011, &pvt, &corner_pvt)
+            trim_for_corner(
+                &mut RunCtx::serial(),
+                &array,
+                &pg,
+                code011,
+                &pvt,
+                &corner_pvt,
+            )
         })
         .expect("in range");
     for (corner, trim) in corners.iter().zip(&trims) {
@@ -159,11 +183,12 @@ fn main() {
             trim.residual.millivolts()
         );
     }
-    write(out, "trim.csv", &csv, &mut obs);
-    obs.end_span(span);
+    write(out, "trim.csv", &csv, &mut ctx);
+    end_span(&mut ctx, span);
 
     println!("wrote 5 CSV datasets to {}", out.display());
-    obs.finish();
+    ctx.observer().expect("observer attached").finish();
+    drop(ctx);
     print!("{}", telemetry_footer(&obs));
 }
 
@@ -189,13 +214,18 @@ fn telemetry_footer(obs: &Observer) -> String {
     s
 }
 
-fn write(dir: &Path, name: &str, content: &str, obs: &mut Observer) {
+fn end_span(ctx: &mut RunCtx<'_>, span: Span) {
+    ctx.observer().expect("observer attached").end_span(span);
+}
+
+fn write(dir: &Path, name: &str, content: &str, ctx: &mut RunCtx<'_>) {
     let path = dir.join(name);
     if let Err(e) = std::fs::write(&path, content) {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
     let rows = content.lines().count().saturating_sub(1);
+    let obs = ctx.observer().expect("observer attached");
     obs.metrics.counter_add("characterize.datasets", 1);
     obs.metrics.counter_add("characterize.rows", rows as u64);
     println!("  {} ({rows} rows)", path.display());

@@ -2,7 +2,7 @@
 //! selected subset).
 //!
 //! ```text
-//! repro [--<id> ...] [--jobs N] [--out <dir>] [--telemetry <path.jsonl>] [--list]
+//! repro [--<id> ...] [--jobs N] [--seed S] [--out <dir>] [--telemetry <path.jsonl>] [--list]
 //! ```
 //!
 //! * `--<id>` — run one experiment (e.g. `--fig5 --tab1`); no ids runs
@@ -10,14 +10,21 @@
 //! * `--jobs N` — worker threads for the engine-parallel experiments
 //!   (default: `PSNT_JOBS`, else the machine's available parallelism).
 //!   Reports are bit-identical at any `N`;
+//! * `--seed S` — base seed of the context's SplitMix64 seed policy
+//!   (experiments that pin a published seed keep it regardless);
 //! * `--out <dir>` — additionally write each report to `<dir>/<id>.txt`;
 //! * `--telemetry <path>` — write a JSON-Lines telemetry stream: a run
 //!   manifest, structured events from the observer-aware experiments,
 //!   one span per experiment, and a final metrics snapshot;
-//! * `--list` — print the known ids and exit.
+//! * `--list` — print the known ids with one-line descriptions and
+//!   exit.
+//!
+//! All three execution axes meet in a single [`RunCtx`] built from the
+//! flags; every experiment runner receives it.
 
 use std::path::PathBuf;
 
+use psnt_ctx::RunCtx;
 use psnt_engine::Engine;
 use psnt_obs::{Observer, RunManifest, Span};
 
@@ -27,12 +34,18 @@ fn main() {
     let mut out_dir: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
     let mut engine = Engine::from_env();
+    let mut seed = 0u64;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--list" => {
-                for (id, _) in psnt_bench::all_experiments() {
-                    println!("--{id}");
+                let width = psnt_bench::all_experiments()
+                    .iter()
+                    .map(|(id, _, _)| id.len())
+                    .max()
+                    .unwrap_or(0);
+                for (id, desc, _) in psnt_bench::all_experiments() {
+                    println!("--{id:<width$}  {desc}");
                 }
                 return;
             }
@@ -40,6 +53,13 @@ fn main() {
                 Some(n) if n >= 1 => engine = Engine::new(n),
                 _ => {
                     eprintln!("--jobs needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--seed" => match iter.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs a non-negative integer argument");
                     std::process::exit(2);
                 }
             },
@@ -99,26 +119,19 @@ fn main() {
             }
         },
     };
-    let observed = psnt_bench::observed_experiments();
-    let parallel = psnt_bench::engine_experiments();
+
+    // The one context every experiment receives.
+    let mut ctx = RunCtx::new(engine)
+        .with_seed(seed)
+        .with_observer_opt(observer.as_mut());
 
     let mut matched = false;
-    for (id, run) in psnt_bench::all_experiments() {
+    for (id, _desc, run) in psnt_bench::all_experiments() {
         if wanted.is_empty() || wanted.iter().any(|w| w == id) {
             matched = true;
-            let span = observer.as_ref().map(|_| Span::begin(id));
-            let report = match parallel.iter().find(|(pid, _)| *pid == id) {
-                Some((_, run_parallel)) => run_parallel(&engine, observer.as_mut()),
-                None => match observed
-                    .iter()
-                    .find(|(oid, _)| *oid == id)
-                    .filter(|_| observer.is_some())
-                {
-                    Some((_, run_observed)) => run_observed(observer.as_mut()),
-                    None => run(),
-                },
-            };
-            if let (Some(obs), Some(span)) = (observer.as_mut(), span) {
+            let span = ctx.has_observer().then(|| Span::begin(id));
+            let report = run(&mut ctx);
+            if let (Some(obs), Some(span)) = (ctx.observer(), span) {
                 obs.end_span(span);
             }
             println!("{report}");
@@ -131,12 +144,12 @@ fn main() {
             }
         }
     }
-    if let Some(obs) = observer.as_mut() {
+    if let Some(obs) = ctx.observer() {
         obs.finish();
     }
     if !matched {
         eprintln!("no experiment matched; known ids:");
-        for (id, _) in psnt_bench::all_experiments() {
+        for (id, _, _) in psnt_bench::all_experiments() {
             eprintln!("  --{id}");
         }
         std::process::exit(2);

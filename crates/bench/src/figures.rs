@@ -11,22 +11,144 @@ use psnt_cells::units::{Capacitance, Temperature, Time, Voltage};
 use psnt_core::baseline::{
     ErrorProbabilityMonitor, RazorOutcome, RazorStage, RingOscillatorSensor,
 };
-use psnt_core::calibration::{
-    array_characteristic, sensitivity_characteristic, trim_for_corner_on,
-};
+use psnt_core::calibration::{array_characteristic, sensitivity_characteristic, trim_for_corner};
 use psnt_core::control::{build_control_netlist, Controller, CtrlInputs, CtrlNetlistConfig};
 use psnt_core::element::{RailMode, SenseElement};
 use psnt_core::pulsegen::{DelayCode, PulseGenerator};
 use psnt_core::system::{SensorConfig, SensorSystem};
 use psnt_core::thermometer::ThermometerArray;
-use psnt_engine::Engine;
+use psnt_ctx::RunCtx;
 use psnt_netlist::sta::{analyze, StaConfig};
-use psnt_obs::Observer;
 use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};
 use psnt_pdn::waveform::Waveform;
 use psnt_scan::campaign::Campaign;
 use psnt_scan::floorplan::{Floorplan, Placement};
 use psnt_scan::sampler::EquivalentTimeSampler;
+
+/// One experiment registry row: stable id, one-line description, and
+/// the runner. Every runner takes the session's [`RunCtx`]; pure
+/// experiments simply ignore it.
+pub type Experiment = (&'static str, &'static str, fn(&mut RunCtx<'_>) -> String);
+
+/// The experiment registry, in paper order: every figure/table
+/// reproduction and every ablation as `(id, description, runner)`.
+/// `repro --list` prints the ids and descriptions verbatim.
+pub fn registry() -> Vec<Experiment> {
+    use crate::ablations;
+    vec![
+        (
+            "fig2",
+            "DS delay growth and OUT sampling across four VDD-n cases",
+            (|_| fig2()) as fn(&mut RunCtx<'_>) -> String,
+        ),
+        (
+            "fig3",
+            "two PREPARE/SENSE sequences at 1.00 V then 0.95 V",
+            |_| fig3(),
+        ),
+        (
+            "fig4",
+            "failure-threshold voltage vs load capacitance",
+            |_| fig4(),
+        ),
+        (
+            "fig5",
+            "7-bit array characteristic for three delay codes",
+            fig5,
+        ),
+        (
+            "tab1",
+            "pulse-generator delay-code table with matched-MUX check",
+            |_| tab1(),
+        ),
+        (
+            "fig6",
+            "assembled system measuring both rails under composite noise",
+            fig6,
+        ),
+        (
+            "fig8",
+            "control FSM walk and gate-level critical path",
+            |_| fig8(),
+        ),
+        (
+            "fig9",
+            "full two-measure system run (1.0 V then 0.9 V)",
+            fig9,
+        ),
+        ("gnd", "LOW-SENSE (ground-bounce) array characteristic", gnd),
+        (
+            "pv",
+            "per-corner delay-code trim across process corners",
+            pv,
+        ),
+        (
+            "baseline",
+            "thermometer vs related-work sensors on droop/bounce",
+            |_| baseline(),
+        ),
+        (
+            "scan",
+            "multi-site PSN scan over a loaded grid + equivalent-time capture",
+            scan,
+        ),
+        (
+            "gate-level",
+            "event-driven netlist twin vs behavioural array + STA droop",
+            |_| gate_level(),
+        ),
+        (
+            "overhead",
+            "area/power cost of the sensor vs representative CUTs",
+            |_| overhead(),
+        ),
+        (
+            "delay-model",
+            "analytic alpha-power model vs NLDM table lookup",
+            |_| ablations::delay_model(),
+        ),
+        (
+            "ladder",
+            "paper capacitor ladder vs uniform ladder linearity",
+            |_| ablations::ladder(),
+        ),
+        (
+            "encoding",
+            "encoder bubble policy under stochastic metastability",
+            |_| ablations::encoding(),
+        ),
+        (
+            "sampling",
+            "synchronous vs equivalent-time capture of a resonance",
+            |_| ablations::sampling(),
+        ),
+        (
+            "mismatch",
+            "thermometer yield under local-variation Monte-Carlo",
+            ablations::mismatch,
+        ),
+        (
+            "impedance",
+            "|Z(f)| profile vs time-domain worst rail droop",
+            ablations::impedance,
+        ),
+        (
+            "temperature",
+            "characteristic drift with junction temperature",
+            ablations::temperature,
+        ),
+        (
+            "code-density",
+            "code widths from a voltage ramp vs thresholds",
+            |_| ablations::code_density(),
+        ),
+        (
+            "oversampling",
+            "sub-LSB decoding via metastability dithering",
+            |_| ablations::oversampling(),
+        ),
+    ]
+}
 
 fn code011() -> DelayCode {
     DelayCode::new(3).expect("static code")
@@ -133,7 +255,7 @@ pub fn fig4() -> String {
 }
 
 /// Fig. 5 — 7-bit array characteristic for three delay codes.
-pub fn fig5() -> String {
+pub fn fig5(ctx: &mut RunCtx<'_>) -> String {
     let array = ThermometerArray::paper(RailMode::Supply);
     let pg = PulseGenerator::paper_table();
     let pvt = Pvt::typical();
@@ -143,7 +265,7 @@ pub fn fig5() -> String {
     );
     for code_val in [1u8, 2, 3] {
         let code = DelayCode::new(code_val).expect("static");
-        let ch = array_characteristic(&array, &pg, code, &pvt).expect("in range");
+        let ch = array_characteristic(ctx, &array, &pg, code, &pvt).expect("in range");
         let ths = ch
             .thresholds
             .iter()
@@ -185,13 +307,8 @@ pub fn tab1() -> String {
 }
 
 /// Fig. 6 — the assembled system measuring both rails under composite
-/// noise.
-pub fn fig6() -> String {
-    fig6_observed(None)
-}
-
-/// [`fig6`] with telemetry routed through `observer`.
-pub fn fig6_observed(observer: Option<&mut Observer>) -> String {
+/// noise. Telemetry, if any, flows through the context's observer.
+pub fn fig6(ctx: &mut RunCtx<'_>) -> String {
     let mut system = SensorSystem::new(SensorConfig::default()).expect("default config");
     let vdd = SupplyNoiseBuilder::new(Voltage::from_v(0.98))
         .span(Time::ZERO, Time::from_us(2.0))
@@ -211,7 +328,7 @@ pub fn fig6_observed(observer: Option<&mut Observer>) -> String {
     )
     .expect("valid bounce");
     let measures = system
-        .run_observed(&vdd, &gnd, Time::ZERO, 10, observer)
+        .run(ctx, &vdd, &gnd, Time::ZERO, 10)
         .expect("measures");
     let mut t = Table::new(
         "Fig. 6 — system measuring VDD-n (HS) and GND-n (LS) independently",
@@ -267,12 +384,8 @@ pub fn fig8() -> String {
 }
 
 /// Fig. 9 — the full two-measure system run (1.0 V then 0.9 V).
-pub fn fig9() -> String {
-    fig9_observed(None)
-}
-
-/// [`fig9`] with telemetry routed through `observer`.
-pub fn fig9_observed(observer: Option<&mut Observer>) -> String {
+/// Telemetry, if any, flows through the context's observer.
+pub fn fig9(ctx: &mut RunCtx<'_>) -> String {
     let mut system = SensorSystem::new(SensorConfig::default()).expect("default config");
     let vdd = supply_step(
         Voltage::from_v(1.0),
@@ -283,7 +396,7 @@ pub fn fig9_observed(observer: Option<&mut Observer>) -> String {
     .expect("valid step");
     let gnd = Waveform::constant(0.0);
     let measures = system
-        .run_observed(&vdd, &gnd, Time::ZERO, 2, observer)
+        .run(ctx, &vdd, &gnd, Time::ZERO, 2)
         .expect("measures");
     let mut t = Table::new(
         "Fig. 9 — two measures, delay code 011",
@@ -314,7 +427,7 @@ pub fn fig9_observed(observer: Option<&mut Observer>) -> String {
 
 /// XP-GND — the LOW-SENSE (ground) characteristic the paper generated
 /// "but not reported for sake of brevity".
-pub fn gnd() -> String {
+pub fn gnd(ctx: &mut RunCtx<'_>) -> String {
     let array = ThermometerArray::paper(RailMode::Ground);
     let pg = PulseGenerator::paper_table();
     let pvt = Pvt::typical();
@@ -324,7 +437,7 @@ pub fn gnd() -> String {
     );
     for code_val in [3u8, 4, 5] {
         let code = DelayCode::new(code_val).expect("static");
-        let ch = array_characteristic(&array, &pg, code, &pvt).expect("in range");
+        let ch = array_characteristic(ctx, &array, &pg, code, &pvt).expect("in range");
         let ths = ch
             .thresholds
             .iter()
@@ -344,14 +457,10 @@ pub fn gnd() -> String {
     t.render()
 }
 
-/// XP-PV — process-variation trim: per-corner delay-code choice.
-pub fn pv() -> String {
-    pv_on(&Engine::serial())
-}
-
-/// [`pv`] with the per-corner trims parallelized on `engine`; the
-/// report is bit-identical at any worker count.
-pub fn pv_on(engine: &Engine) -> String {
+/// XP-PV — process-variation trim: per-corner delay-code choice. The
+/// per-corner trims run on the context's engine; the report is
+/// bit-identical at any worker count.
+pub fn pv(ctx: &mut RunCtx<'_>) -> String {
     let array = ThermometerArray::paper(RailMode::Supply);
     let pg = PulseGenerator::paper_table();
     let reference = Pvt::typical();
@@ -371,7 +480,7 @@ pub fn pv_on(engine: &Engine) -> String {
             Temperature::from_celsius(25.0),
         );
         let trim =
-            trim_for_corner_on(engine, &array, &pg, code011(), &reference, &pvt).expect("in range");
+            trim_for_corner(ctx, &array, &pg, code011(), &reference, &pvt).expect("in range");
         t.row([
             corner.to_string(),
             format!("{:.1} mV", trim.untrimmed_residual.millivolts()),
@@ -438,17 +547,6 @@ pub fn baseline() -> String {
     s
 }
 
-/// XP-SCAN — the PSN scan chain over a loaded power grid, plus an
-/// equivalent-time capture of a resonance.
-pub fn scan() -> String {
-    scan_observed(None)
-}
-
-/// [`scan`] with telemetry routed through `observer`.
-pub fn scan_observed(observer: Option<&mut Observer>) -> String {
-    scan_on(&Engine::serial(), observer)
-}
-
 /// The XP-SCAN campaign workload: the 4×4 corner-fed grid with the
 /// four centre tiles pulsing, every tile instrumented. Shared by the
 /// `scan` figure and the `xp_parallel_scaling` bench so both time the
@@ -475,21 +573,21 @@ pub fn scan_campaign() -> (Campaign, Vec<Waveform>) {
     (campaign, loads)
 }
 
-/// [`scan`] with the site sweep parallelized on `engine` and telemetry
-/// routed through `observer`. The rendered report is bit-identical at
-/// any worker count.
-pub fn scan_on(engine: &Engine, observer: Option<&mut Observer>) -> String {
+/// XP-SCAN — the PSN scan chain over a loaded power grid, plus an
+/// equivalent-time capture of a resonance. The site sweep runs on the
+/// context's engine and telemetry flows through its observer; the
+/// rendered report is bit-identical at any worker count.
+pub fn scan(ctx: &mut RunCtx<'_>) -> String {
     // Spatial noise map.
     let (campaign, loads) = scan_campaign();
     let result = campaign
-        .run_dual_observed_on(
-            engine,
+        .run_dual(
+            ctx,
             &loads,
             None,
             Time::from_ns(10.0),
             Time::from_ns(25.0),
             8,
-            observer,
         )
         .expect("campaign");
     let mut t = Table::new(
@@ -564,10 +662,12 @@ pub fn gate_level() -> String {
         &["VDD-n", "gate-level code", "behavioural code", "agree"],
     );
     let mut all_agree = true;
-    let mut sim = gate.make_sim().expect("simulator builds");
+    // A local context: its pool keeps one reusable simulator alive
+    // across the sweep (the PR 3 `make_sim` + `reset()` fast path).
+    let mut ctx = RunCtx::serial();
     for mv in (820..=1080).step_by(40) {
         let v = Voltage::from_mv(mv as f64 + 3.0);
-        let a = gate.measure_with(&mut sim, v, sk).expect("simulates");
+        let a = gate.measure(&mut ctx, v, sk).expect("simulates");
         let b = behavioural.measure(v, sk, &pvt);
         let agree = a == b;
         all_agree &= agree;
@@ -605,7 +705,11 @@ pub fn gate_level() -> String {
     // The flattened CNTR + PG + array system running Fig. 9 in gates.
     let sys = psnt_core::gate_level::GateLevelSystem::paper().expect("system composes");
     let measures = sys
-        .run_measures(code011(), &[Voltage::from_v(1.0), Voltage::from_v(0.9)])
+        .run_measures(
+            &mut RunCtx::serial(),
+            code011(),
+            &[Voltage::from_v(1.0), Voltage::from_v(0.9)],
+        )
         .expect("system runs");
     s.push_str(&format!(
         "full gate-level system ({}): measures {} then {} at pin skew {} — Fig. 9 in gates\n",
@@ -732,7 +836,7 @@ mod tests {
 
     #[test]
     fn fig5_report_contains_ranges() {
-        let s = fig5();
+        let s = fig5(&mut RunCtx::serial());
         assert!(s.contains("011"));
         assert!(s.contains("0.827"));
     }
@@ -746,7 +850,7 @@ mod tests {
 
     #[test]
     fn fig6_report_has_ten_measures() {
-        let s = fig6();
+        let s = fig6(&mut RunCtx::serial());
         assert!(s.matches("0.9").count() >= 1);
         assert!(s.lines().count() >= 13, "{s}");
     }
@@ -760,7 +864,7 @@ mod tests {
 
     #[test]
     fn fig9_report_matches_paper_codes() {
-        let s = fig9();
+        let s = fig9(&mut RunCtx::serial());
         assert!(s.contains("0011111"));
         assert!(s.contains("0000011"));
         assert!(s.contains("0000000"));
@@ -786,12 +890,23 @@ mod tests {
 
     #[test]
     fn gnd_pv_baseline_scan_render() {
-        assert!(gnd().contains("LOW-SENSE"));
-        assert!(pv().contains("SS"));
+        assert!(gnd(&mut RunCtx::serial()).contains("LOW-SENSE"));
+        assert!(pv(&mut RunCtx::serial()).contains("SS"));
         let b = baseline();
         assert!(b.contains("60 mV VDD droop"));
-        let sc = scan();
+        let sc = scan(&mut RunCtx::serial());
         assert!(sc.contains("shift cycles"));
         assert!(sc.contains("equivalent-time"));
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_described() {
+        let reg = registry();
+        let mut seen = std::collections::HashSet::new();
+        for (id, desc, _) in &reg {
+            assert!(seen.insert(*id), "duplicate experiment id {id}");
+            assert!(!desc.is_empty(), "{id} has no description");
+        }
+        assert_eq!(reg.len(), 23, "experiment registry lost an entry");
     }
 }

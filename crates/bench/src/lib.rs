@@ -4,93 +4,37 @@
 //! ablation ([`ablations`]). The `repro` binary prints them; the
 //! Criterion benches in `benches/` time them. See `EXPERIMENTS.md` at
 //! the workspace root for measured-vs-published values.
+//!
+//! Every experiment runner takes the session's
+//! [`RunCtx`](psnt_ctx::RunCtx) — one context carries the parallel
+//! engine, the optional telemetry observer, the reusable-simulator
+//! pool and the seed policy. The rendered reports are bit-identical at
+//! any worker count; parallelism changes wall-clock time, never
+//! results.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod figures;
 
-/// An experiment entry: a stable id and the function that renders it.
-pub type Experiment = (&'static str, fn() -> String);
+/// An experiment registry row: stable id, one-line description, and
+/// the ctx-taking runner (re-exported from [`figures`]).
+pub type Experiment = figures::Experiment;
 
-/// An experiment that can route telemetry through a
-/// [`psnt_obs::Observer`] while it renders.
-pub type ObservedExperiment = (&'static str, fn(Option<&mut psnt_obs::Observer>) -> String);
-
-/// An experiment whose heavy loop runs on a [`psnt_engine::Engine`]
-/// worker pool (and can also route telemetry). The rendered report is
-/// bit-identical at any worker count — parallelism changes wall-clock
-/// time, never results.
-pub type EngineExperiment = (
-    &'static str,
-    fn(&psnt_engine::Engine, Option<&mut psnt_obs::Observer>) -> String,
-);
-
-/// The experiments with observer-aware variants, keyed by the same ids
-/// as [`all_experiments`]. `repro --telemetry` routes these through the
-/// shared observer; the rest run unobserved (span timing only).
-pub fn observed_experiments() -> Vec<ObservedExperiment> {
-    vec![
-        (
-            "fig6",
-            figures::fig6_observed as fn(Option<&mut psnt_obs::Observer>) -> String,
-        ),
-        ("fig9", figures::fig9_observed),
-        ("scan", figures::scan_observed),
-    ]
-}
-
-/// The experiments with engine-parallel variants, keyed by the same
-/// ids as [`all_experiments`]. `repro --jobs N` routes these through a
-/// shared worker pool; ids present here and in
-/// [`observed_experiments`] prefer this variant (it accepts the
-/// observer too).
-pub fn engine_experiments() -> Vec<EngineExperiment> {
-    vec![
-        (
-            "scan",
-            figures::scan_on as fn(&psnt_engine::Engine, Option<&mut psnt_obs::Observer>) -> String,
-        ),
-        ("pv", |engine, _| figures::pv_on(engine)),
-        ("mismatch", |engine, _| ablations::mismatch_on(engine)),
-    ]
-}
-
-/// Every experiment as `(id, runner)`, in paper order.
+/// Every experiment as `(id, description, runner)`, in paper order.
 pub fn all_experiments() -> Vec<Experiment> {
-    vec![
-        ("fig2", figures::fig2 as fn() -> String),
-        ("fig3", figures::fig3),
-        ("fig4", figures::fig4),
-        ("fig5", figures::fig5),
-        ("tab1", figures::tab1),
-        ("fig6", figures::fig6),
-        ("fig8", figures::fig8),
-        ("fig9", figures::fig9),
-        ("gnd", figures::gnd),
-        ("pv", figures::pv),
-        ("baseline", figures::baseline),
-        ("scan", figures::scan),
-        ("gate-level", figures::gate_level),
-        ("overhead", figures::overhead),
-        ("delay-model", ablations::delay_model),
-        ("ladder", ablations::ladder),
-        ("encoding", ablations::encoding),
-        ("sampling", ablations::sampling),
-        ("mismatch", ablations::mismatch),
-        ("impedance", ablations::impedance),
-        ("temperature", ablations::temperature),
-        ("code-density", ablations::code_density),
-        ("oversampling", ablations::oversampling),
-    ]
+    figures::registry()
 }
 
 #[cfg(test)]
 mod tests {
+    use psnt_ctx::RunCtx;
+
     #[test]
     fn all_experiments_run_and_render() {
-        for (id, run) in super::all_experiments() {
-            let out = run();
+        let mut ctx = RunCtx::serial();
+        for (id, _desc, run) in super::all_experiments() {
+            let out = run(&mut ctx);
             assert!(!out.is_empty(), "{id} produced no output");
             assert!(out.contains("=="), "{id} missing a table title");
         }

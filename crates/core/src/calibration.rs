@@ -23,16 +23,19 @@
 //! use psnt_core::element::RailMode;
 //! use psnt_core::pulsegen::{DelayCode, PulseGenerator};
 //! use psnt_core::thermometer::ThermometerArray;
+//! use psnt_ctx::RunCtx;
 //!
 //! let array = ThermometerArray::paper(RailMode::Supply);
 //! let pg = PulseGenerator::paper_table();
-//! let ch = array_characteristic(&array, &pg, DelayCode::new(3)?, &Pvt::typical())?;
+//! let mut ctx = RunCtx::serial();
+//! let ch = array_characteristic(&mut ctx, &array, &pg, DelayCode::new(3)?, &Pvt::typical())?;
 //! assert_eq!(ch.thresholds.len(), 7);
 //! # Ok::<(), psnt_core::error::SensorError>(())
 //! ```
 
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Capacitance, Time, Voltage};
+use psnt_ctx::RunCtx;
 use psnt_engine::Engine;
 use serde::{Deserialize, Serialize};
 
@@ -124,38 +127,26 @@ impl ArrayCharacteristic {
 
 /// Characterises an array for one delay code at an operating point.
 ///
-/// # Errors
-///
-/// Propagates threshold-search failures.
-pub fn array_characteristic(
-    array: &ThermometerArray,
-    pg: &PulseGenerator,
-    code: DelayCode,
-    pvt: &Pvt,
-) -> Result<ArrayCharacteristic, SensorError> {
-    array_characteristic_on(&Engine::serial(), array, pg, code, pvt)
-}
-
-/// [`array_characteristic`] with the per-element threshold searches
-/// parallelized on `engine`. Each element's threshold is an independent
-/// bisection keyed by its index, so the characteristic is bit-identical
-/// at any worker count; [`array_characteristic`] is the `jobs = 1` path
-/// of this code.
+/// The per-element threshold searches run on the context's engine; each
+/// element's threshold is an independent bisection keyed by its index,
+/// so the characteristic is bit-identical at any worker count (a serial
+/// context is the `jobs = 1` path of the same code). Results are served
+/// from the array's threshold memo on repeat visits, and the memo's
+/// hit/miss deltas land in the context observer's metrics.
 ///
 /// # Errors
 ///
 /// Propagates threshold-search failures (lowest-indexed element wins
 /// when several fail).
-pub fn array_characteristic_on(
-    engine: &Engine,
+pub fn array_characteristic(
+    ctx: &mut RunCtx<'_>,
     array: &ThermometerArray,
     pg: &PulseGenerator,
     code: DelayCode,
     pvt: &Pvt,
 ) -> Result<ArrayCharacteristic, SensorError> {
     let skew = pg.skew(code, pvt);
-    let elements = array.elements();
-    let thresholds = engine.try_map(elements.len(), |i| elements[i].threshold(skew, pvt))?;
+    let thresholds = array.thresholds_ctx(ctx, skew, pvt)?;
     let lo = thresholds
         .iter()
         .copied()
@@ -170,6 +161,18 @@ pub fn array_characteristic_on(
         thresholds,
         range: (lo, hi),
     })
+}
+
+/// [`array_characteristic`] with a bare engine handle.
+#[deprecated(since = "0.1.0", note = "use `array_characteristic` with a `RunCtx`")]
+pub fn array_characteristic_on(
+    engine: &Engine,
+    array: &ThermometerArray,
+    pg: &PulseGenerator,
+    code: DelayCode,
+    pvt: &Pvt,
+) -> Result<ArrayCharacteristic, SensorError> {
+    array_characteristic(&mut RunCtx::new(engine.clone()), array, pg, code, pvt)
 }
 
 /// The result of a corner trim.
@@ -189,50 +192,31 @@ pub struct TrimResult {
 /// dynamic-range midpoint error. This is the documented stand-in for the
 /// paper's unpublished internal delay-code policy.
 ///
-/// # Errors
-///
-/// Propagates characterisation failures.
-pub fn trim_for_corner(
-    array: &ThermometerArray,
-    pg: &PulseGenerator,
-    reference_code: DelayCode,
-    reference_pvt: &Pvt,
-    corner_pvt: &Pvt,
-) -> Result<TrimResult, SensorError> {
-    trim_for_corner_on(
-        &Engine::serial(),
-        array,
-        pg,
-        reference_code,
-        reference_pvt,
-        corner_pvt,
-    )
-}
-
-/// [`trim_for_corner`] with the per-delay-code characterisations
-/// parallelized on `engine`. The winning code is selected by a serial
-/// fold over the ordered results (first minimum in code order), so the
-/// trim is bit-identical at any worker count; [`trim_for_corner`] is
-/// the `jobs = 1` path of this code.
+/// The per-delay-code characterisations run on the context's engine
+/// (one serial characterisation per code, scheduled as independent
+/// jobs). The winning code is selected by a serial fold over the
+/// ordered results (first minimum in code order), so the trim is
+/// bit-identical at any worker count; a serial context is the
+/// `jobs = 1` path of this code.
 ///
 /// # Errors
 ///
 /// Propagates characterisation failures (lowest code wins when several
 /// fail).
-pub fn trim_for_corner_on(
-    engine: &Engine,
+pub fn trim_for_corner(
+    ctx: &mut RunCtx<'_>,
     array: &ThermometerArray,
     pg: &PulseGenerator,
     reference_code: DelayCode,
     reference_pvt: &Pvt,
     corner_pvt: &Pvt,
 ) -> Result<TrimResult, SensorError> {
-    let reference = array_characteristic(array, pg, reference_code, reference_pvt)?;
+    let reference = array_characteristic(ctx, array, pg, reference_code, reference_pvt)?;
     let target = reference.midpoint();
 
     let codes = DelayCode::all();
-    let characteristics = engine.try_map(codes.len(), |i| {
-        array_characteristic(array, pg, codes[i], corner_pvt)
+    let characteristics = ctx.engine().try_map(codes.len(), |i| {
+        array_characteristic(&mut RunCtx::serial(), array, pg, codes[i], corner_pvt)
     })?;
 
     let mut best: Option<(DelayCode, Voltage)> = None;
@@ -252,6 +236,26 @@ pub fn trim_for_corner_on(
         residual,
         untrimmed_residual: untrimmed,
     })
+}
+
+/// [`trim_for_corner`] with a bare engine handle.
+#[deprecated(since = "0.1.0", note = "use `trim_for_corner` with a `RunCtx`")]
+pub fn trim_for_corner_on(
+    engine: &Engine,
+    array: &ThermometerArray,
+    pg: &PulseGenerator,
+    reference_code: DelayCode,
+    reference_pvt: &Pvt,
+    corner_pvt: &Pvt,
+) -> Result<TrimResult, SensorError> {
+    trim_for_corner(
+        &mut RunCtx::new(engine.clone()),
+        array,
+        pg,
+        reference_code,
+        reference_pvt,
+        corner_pvt,
+    )
 }
 
 #[cfg(test)]
@@ -320,9 +324,13 @@ mod tests {
     fn fig5_characteristics_for_three_codes() {
         let a = array();
         let p = pg();
-        let ch011 = array_characteristic(&a, &p, DelayCode::new(3).unwrap(), &pvt()).unwrap();
-        let ch010 = array_characteristic(&a, &p, DelayCode::new(2).unwrap(), &pvt()).unwrap();
-        let ch001 = array_characteristic(&a, &p, DelayCode::new(1).unwrap(), &pvt()).unwrap();
+        let mut ctx = RunCtx::serial();
+        let ch011 =
+            array_characteristic(&mut ctx, &a, &p, DelayCode::new(3).unwrap(), &pvt()).unwrap();
+        let ch010 =
+            array_characteristic(&mut ctx, &a, &p, DelayCode::new(2).unwrap(), &pvt()).unwrap();
+        let ch001 =
+            array_characteristic(&mut ctx, &a, &p, DelayCode::new(1).unwrap(), &pvt()).unwrap();
         // Paper numbers: 011 → 0.827–1.053 V, 010 → 0.951–1.237 V.
         assert!((ch011.range.0.volts() - 0.827).abs() < 0.003);
         assert!((ch011.range.1.volts() - 1.053).abs() < 0.003);
@@ -335,7 +343,8 @@ mod tests {
 
     #[test]
     fn characteristic_thresholds_ascend_with_load() {
-        let ch = array_characteristic(&array(), &pg(), code011(), &pvt()).unwrap();
+        let ch = array_characteristic(&mut RunCtx::serial(), &array(), &pg(), code011(), &pvt())
+            .unwrap();
         for w in ch.thresholds.windows(2) {
             assert!(w[1] > w[0]);
         }
@@ -373,13 +382,14 @@ mod tests {
         // the delay-code trim compensates.
         let a = array();
         let p = pg();
-        let tt = array_characteristic(&a, &p, code011(), &pvt()).unwrap();
+        let mut ctx = RunCtx::serial();
+        let tt = array_characteristic(&mut ctx, &a, &p, code011(), &pvt()).unwrap();
         let ss_pvt = Pvt::new(
             ProcessCorner::SS,
             Voltage::from_v(1.0),
             Temperature::from_celsius(25.0),
         );
-        let ss = array_characteristic(&a, &p, code011(), &ss_pvt).unwrap();
+        let ss = array_characteristic(&mut ctx, &a, &p, code011(), &ss_pvt).unwrap();
         let shift = (ss.midpoint() - tt.midpoint()).abs();
         assert!(
             shift > Voltage::from_mv(10.0),
@@ -397,7 +407,15 @@ mod tests {
                 Voltage::from_v(1.0),
                 Temperature::from_celsius(25.0),
             );
-            let trim = trim_for_corner(&a, &p, code011(), &pvt(), &corner_pvt).unwrap();
+            let trim = trim_for_corner(
+                &mut RunCtx::serial(),
+                &a,
+                &p,
+                code011(),
+                &pvt(),
+                &corner_pvt,
+            )
+            .unwrap();
             assert!(
                 trim.residual <= trim.untrimmed_residual,
                 "{corner}: trim must not be worse than no trim"
@@ -417,25 +435,35 @@ mod tests {
     fn parallel_characteristic_and_trim_match_serial() {
         let a = array();
         let p = pg();
-        let serial_ch = array_characteristic(&a, &p, code011(), &pvt()).unwrap();
+        let serial_ch =
+            array_characteristic(&mut RunCtx::serial(), &a, &p, code011(), &pvt()).unwrap();
         let ss_pvt = Pvt::new(
             ProcessCorner::SS,
             Voltage::from_v(1.0),
             Temperature::from_celsius(25.0),
         );
-        let serial_trim = trim_for_corner(&a, &p, code011(), &pvt(), &ss_pvt).unwrap();
+        let serial_trim =
+            trim_for_corner(&mut RunCtx::serial(), &a, &p, code011(), &pvt(), &ss_pvt).unwrap();
         for jobs in [1usize, 2, 7] {
-            let engine = Engine::new(jobs);
-            let ch = array_characteristic_on(&engine, &a, &p, code011(), &pvt()).unwrap();
+            let mut ctx = RunCtx::new(Engine::new(jobs));
+            let ch = array_characteristic(&mut ctx, &a, &p, code011(), &pvt()).unwrap();
             assert_eq!(ch, serial_ch, "jobs={jobs}");
-            let trim = trim_for_corner_on(&engine, &a, &p, code011(), &pvt(), &ss_pvt).unwrap();
+            let trim = trim_for_corner(&mut ctx, &a, &p, code011(), &pvt(), &ss_pvt).unwrap();
             assert_eq!(trim, serial_trim, "jobs={jobs}");
         }
     }
 
     #[test]
     fn trim_at_reference_point_keeps_reference_code() {
-        let trim = trim_for_corner(&array(), &pg(), code011(), &pvt(), &pvt()).unwrap();
+        let trim = trim_for_corner(
+            &mut RunCtx::serial(),
+            &array(),
+            &pg(),
+            code011(),
+            &pvt(),
+            &pvt(),
+        )
+        .unwrap();
         assert_eq!(trim.code, code011());
         assert!(trim.residual < Voltage::from_mv(1.0));
     }

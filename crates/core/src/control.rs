@@ -41,6 +41,7 @@ use psnt_cells::dff::Dff;
 use psnt_cells::gates::StdCell;
 use psnt_cells::logic::Logic;
 use psnt_cells::units::{Capacitance, Time};
+use psnt_ctx::RunCtx;
 use psnt_netlist::graph::{NetId, Netlist};
 use psnt_obs::{Event as ObsEvent, Observer};
 use serde::{Deserialize, Serialize};
@@ -189,19 +190,14 @@ impl Controller {
         self.outputs()
     }
 
-    /// [`Controller::step`] plus telemetry: when an observer is
-    /// attached, every state *transition* (not self-loop) is logged as
-    /// an `fsm`/`transition` event stamped with the cycle's simulated
-    /// time.
-    pub fn step_observed(
-        &mut self,
-        inputs: CtrlInputs,
-        at: Time,
-        observer: Option<&mut Observer>,
-    ) -> CtrlOutputs {
+    /// [`Controller::step`] threaded through a [`RunCtx`]: when the
+    /// context carries an observer, every state *transition* (not
+    /// self-loop) is logged as an `fsm`/`transition` event stamped with
+    /// the cycle's simulated time.
+    pub fn step_ctx(&mut self, ctx: &mut RunCtx<'_>, inputs: CtrlInputs, at: Time) -> CtrlOutputs {
         let from = self.state;
         let out = self.step(inputs);
-        if let Some(obs) = observer {
+        if let Some(obs) = ctx.observer() {
             if self.state != from {
                 obs.event(
                     ObsEvent::new("fsm", "transition")
@@ -213,6 +209,21 @@ impl Controller {
             }
         }
         out
+    }
+
+    /// [`Controller::step_ctx`] with a bare optional observer.
+    #[deprecated(since = "0.1.0", note = "use `step_ctx` with a `RunCtx`")]
+    pub fn step_observed(
+        &mut self,
+        inputs: CtrlInputs,
+        at: Time,
+        observer: Option<&mut Observer>,
+    ) -> CtrlOutputs {
+        self.step_ctx(
+            &mut RunCtx::serial().with_observer_opt(observer),
+            inputs,
+            at,
+        )
     }
 
     /// Outputs for the current state.

@@ -26,9 +26,11 @@
 //! ```
 //! use psnt_cells::units::{Time, Voltage};
 //! use psnt_core::gate_level::GateLevelArray;
+//! use psnt_ctx::RunCtx;
 //!
 //! let array = GateLevelArray::paper()?;
-//! let code = array.measure(Voltage::from_v(1.0), Time::from_ps(149.0))?;
+//! let mut ctx = RunCtx::serial();
+//! let code = array.measure(&mut ctx, Voltage::from_v(1.0), Time::from_ps(149.0))?;
 //! assert_eq!(code.to_string(), "0011111"); // Fig. 9's first measure
 //! # Ok::<(), psnt_core::error::SensorError>(())
 //! ```
@@ -39,6 +41,7 @@ use psnt_cells::gates::{GateFunction, StdCell};
 use psnt_cells::logic::{Logic, LogicVector};
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Capacitance, Time, Voltage};
+use psnt_ctx::RunCtx;
 use psnt_netlist::graph::{DomainId, NetId, Netlist};
 use psnt_netlist::sim::{Simulator, TraceMode};
 
@@ -171,20 +174,22 @@ impl GateLevelArray {
         }
     }
 
-    /// Builds a reusable simulator for this array. A measure only reads
-    /// the latched FF outputs, so trace capture is off entirely. Pair
-    /// with [`GateLevelArray::measure_with`] to amortise simulator
-    /// construction across a sweep:
+    /// Builds a fresh simulator for this array. A measure only reads
+    /// the latched FF outputs, so trace capture is off entirely. The
+    /// context's simulator pool calls this once per array and then
+    /// reuses the instance, so a sweep amortises construction:
     ///
     /// ```
     /// use psnt_cells::units::{Time, Voltage};
     /// use psnt_core::gate_level::GateLevelArray;
+    /// use psnt_ctx::RunCtx;
     ///
     /// let array = GateLevelArray::paper()?;
-    /// let mut sim = array.make_sim()?;
+    /// let mut ctx = RunCtx::serial(); // pools one simulator for `array`
     /// for mv in [900.0, 1000.0] {
-    ///     let code = array.measure_with(&mut sim, Voltage::from_mv(mv), Time::from_ps(149.0))?;
-    ///     assert_eq!(code, array.measure(Voltage::from_mv(mv), Time::from_ps(149.0))?);
+    ///     let code = array.measure(&mut ctx, Voltage::from_mv(mv), Time::from_ps(149.0))?;
+    ///     let fresh = array.measure(&mut RunCtx::serial(), Voltage::from_mv(mv), Time::from_ps(149.0))?;
+    ///     assert_eq!(code, fresh);
     /// }
     /// # Ok::<(), psnt_core::error::SensorError>(())
     /// ```
@@ -204,29 +209,37 @@ impl GateLevelArray {
 
     /// Runs one full PREPARE/SENSE measure with the noisy rail at
     /// `rail` and the P→CP pin skew `skew`, returning the thermometer
-    /// code (most-loaded element first, as the paper prints it).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator construction failures.
-    pub fn measure(&self, rail: Voltage, skew: Time) -> Result<ThermometerCode, SensorError> {
-        Ok(self.measure_detailed(rail, skew)?.0)
-    }
-
-    /// [`GateLevelArray::measure`] on a caller-held simulator from
-    /// [`GateLevelArray::make_sim`]; resets it, so every allocation is
-    /// reused and the result is bit-identical to a fresh simulator.
+    /// code (most-loaded element first, as the paper prints it). The
+    /// simulator comes from the context's pool, so repeated measures
+    /// reuse one allocation; every measure resets it first, keeping the
+    /// result bit-identical to a fresh simulator.
     ///
     /// # Errors
     ///
     /// Propagates simulator failures.
+    pub fn measure<'env>(
+        &'env self,
+        ctx: &mut RunCtx<'env>,
+        rail: Voltage,
+        skew: Time,
+    ) -> Result<ThermometerCode, SensorError> {
+        Ok(self.measure_detailed(ctx, rail, skew)?.0)
+    }
+
+    /// [`GateLevelArray::measure`] on a caller-held simulator from
+    /// [`GateLevelArray::make_sim`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    #[deprecated(since = "0.1.0", note = "use `measure` with a `RunCtx`")]
     pub fn measure_with(
         &self,
         sim: &mut Simulator<'_>,
         rail: Voltage,
         skew: Time,
     ) -> Result<ThermometerCode, SensorError> {
-        Ok(self.measure_detailed_with(sim, rail, skew)?.0)
+        Ok(self.measure_detailed_on(sim, rail, skew)?.0)
     }
 
     /// Like [`GateLevelArray::measure`], but also returning the PREPARE
@@ -235,22 +248,35 @@ impl GateLevelArray {
     ///
     /// # Errors
     ///
-    /// Propagates simulator construction failures.
-    pub fn measure_detailed(
-        &self,
+    /// Propagates simulator failures.
+    pub fn measure_detailed<'env>(
+        &'env self,
+        ctx: &mut RunCtx<'env>,
         rail: Voltage,
         skew: Time,
     ) -> Result<(ThermometerCode, ThermometerCode), SensorError> {
-        let mut sim = self.make_sim()?;
-        self.measure_detailed_with(&mut sim, rail, skew)
+        let sim = ctx
+            .pool()
+            .get_or_insert_with(&self.netlist, || self.make_sim())?;
+        self.measure_detailed_on(sim, rail, skew)
     }
 
-    /// [`GateLevelArray::measure_detailed`] on a reusable simulator.
+    /// [`GateLevelArray::measure_detailed`] on a caller-held simulator.
     ///
     /// # Errors
     ///
     /// Propagates simulator failures.
+    #[deprecated(since = "0.1.0", note = "use `measure_detailed` with a `RunCtx`")]
     pub fn measure_detailed_with(
+        &self,
+        sim: &mut Simulator<'_>,
+        rail: Voltage,
+        skew: Time,
+    ) -> Result<(ThermometerCode, ThermometerCode), SensorError> {
+        self.measure_detailed_on(sim, rail, skew)
+    }
+
+    fn measure_detailed_on(
         &self,
         sim: &mut Simulator<'_>,
         rail: Voltage,
@@ -319,16 +345,23 @@ mod tests {
     #[test]
     fn prepare_code_is_all_zero() {
         let a = GateLevelArray::paper().unwrap();
-        let (_, prepare) = a.measure_detailed(Voltage::from_v(1.0), skew011()).unwrap();
+        let (_, prepare) = a
+            .measure_detailed(&mut RunCtx::serial(), Voltage::from_v(1.0), skew011())
+            .unwrap();
         assert_eq!(prepare.to_string(), "0000000");
     }
 
     #[test]
     fn fig9_codes_from_the_gate_level_twin() {
         let a = GateLevelArray::paper().unwrap();
-        let first = a.measure(Voltage::from_v(1.0), skew011()).unwrap();
+        let mut ctx = RunCtx::serial();
+        let first = a
+            .measure(&mut ctx, Voltage::from_v(1.0), skew011())
+            .unwrap();
         assert_eq!(first.to_string(), "0011111");
-        let second = a.measure(Voltage::from_v(0.9), skew011()).unwrap();
+        let second = a
+            .measure(&mut ctx, Voltage::from_v(0.9), skew011())
+            .unwrap();
         assert_eq!(second.to_string(), "0000011");
     }
 
@@ -337,15 +370,16 @@ mod tests {
         // The central consistency check: the netlist twin and the
         // behavioural array agree bit-for-bit over a dense voltage sweep
         // (voltages chosen off the exact threshold points, where float
-        // association order could legitimately differ).
+        // association order could legitimately differ). One context pools
+        // one simulator for the whole sweep.
         let gate = GateLevelArray::paper().unwrap();
         let behavioural = ThermometerArray::paper(RailMode::Supply);
         let pvt = Pvt::typical();
         let sk = skew011();
-        let mut sim = gate.make_sim().unwrap();
+        let mut ctx = RunCtx::serial();
         for i in 0..=60 {
             let v = Voltage::from_v(0.8013 + 0.005 * i as f64);
-            let a = gate.measure_with(&mut sim, v, sk).unwrap();
+            let a = gate.measure(&mut ctx, v, sk).unwrap();
             let b = behavioural.measure(v, sk, &pvt);
             assert_eq!(a, b, "divergence at {v}");
         }
@@ -357,11 +391,12 @@ mod tests {
         let behavioural = ThermometerArray::paper(RailMode::Supply);
         let pvt = Pvt::typical();
         let pg = PulseGenerator::paper_table();
+        let mut ctx = RunCtx::serial();
         for code_val in [0u8, 2, 5, 7] {
             let sk = pg.skew(DelayCode::new(code_val).unwrap(), &pvt);
             for mv in [880.0, 960.0, 1040.0, 1120.0, 1200.0] {
                 let v = Voltage::from_mv(mv + 3.0);
-                let a = gate.measure(v, sk).unwrap();
+                let a = gate.measure(&mut ctx, v, sk).unwrap();
                 let b = behavioural.measure(v, sk, &pvt);
                 assert_eq!(a, b, "divergence at {v}, code {code_val:03b}");
             }
@@ -384,7 +419,7 @@ mod tests {
                 );
                 let v = Voltage::from_mv(mv);
                 let sk = Time::from_ps(149.0);
-                let a = gate.measure(v, sk).unwrap();
+                let a = gate.measure(&mut RunCtx::serial(), v, sk).unwrap();
                 let b = behavioural.measure(v, sk, &Pvt::typical());
                 prop_assert_eq!(a, b);
             }
@@ -399,9 +434,10 @@ mod tests {
         // the rail-limited SENSE transition stalls, failing every
         // element.
         let a = GateLevelArray::paper().unwrap();
+        let mut ctx = RunCtx::serial();
         for rail in [0.2, 0.5] {
             let (sense, prepare) = a
-                .measure_detailed(Voltage::from_v(rail), skew011())
+                .measure_detailed(&mut ctx, Voltage::from_v(rail), skew011())
                 .unwrap();
             assert_eq!(prepare.to_string(), "0000000", "rail {rail} V");
             assert!(sense.is_underflow(), "rail {rail} V");
@@ -543,10 +579,10 @@ impl GateLevelPulseGen {
         (self.p_in, self.cp_in, self.sel, self.p_out, self.cp_out)
     }
 
-    /// Builds a reusable simulator for this PG, tracing only the two
-    /// output nets the skew measurement reads. Pair with
-    /// [`GateLevelPulseGen::measured_skew_with`] to sweep delay codes
-    /// without rebuilding the simulator.
+    /// Builds a fresh simulator for this PG, tracing only the two
+    /// output nets the skew measurement reads. The context's simulator
+    /// pool calls this once per PG and reuses the instance across a
+    /// delay-code sweep.
     ///
     /// # Errors
     ///
@@ -562,24 +598,40 @@ impl GateLevelPulseGen {
     }
 
     /// Simulates one simultaneous P/CP edge pair through the PG and
-    /// returns the measured output skew for a delay code.
+    /// returns the measured output skew for a delay code. The simulator
+    /// comes from the context's pool and is reset per call, so the
+    /// result is bit-identical to a fresh simulator.
     ///
     /// # Errors
     ///
     /// Propagates simulator failures.
-    pub fn measured_skew(&self, code: crate::pulsegen::DelayCode) -> Result<Time, SensorError> {
-        let mut sim = self.make_sim()?;
-        self.measured_skew_with(&mut sim, code)
+    pub fn measured_skew<'env>(
+        &'env self,
+        ctx: &mut RunCtx<'env>,
+        code: crate::pulsegen::DelayCode,
+    ) -> Result<Time, SensorError> {
+        let sim = ctx
+            .pool()
+            .get_or_insert_with(&self.netlist, || self.make_sim())?;
+        self.measured_skew_on(sim, code)
     }
 
-    /// [`GateLevelPulseGen::measured_skew`] on a reusable simulator from
-    /// [`GateLevelPulseGen::make_sim`]; resets it first, so the result
-    /// is bit-identical to a fresh simulator.
+    /// [`GateLevelPulseGen::measured_skew`] on a caller-held simulator
+    /// from [`GateLevelPulseGen::make_sim`].
     ///
     /// # Errors
     ///
     /// Propagates simulator failures.
+    #[deprecated(since = "0.1.0", note = "use `measured_skew` with a `RunCtx`")]
     pub fn measured_skew_with(
+        &self,
+        sim: &mut Simulator<'_>,
+        code: crate::pulsegen::DelayCode,
+    ) -> Result<Time, SensorError> {
+        self.measured_skew_on(sim, code)
+    }
+
+    fn measured_skew_on(
         &self,
         sim: &mut Simulator<'_>,
         code: crate::pulsegen::DelayCode,
@@ -601,16 +653,17 @@ impl GateLevelPulseGen {
         sim.drive(self.cp_in, Logic::One, launch)
             .map_err(SensorError::from)?;
         sim.run_until(Time::from_ns(6.0));
-        let p_edge = sim
-            .trace()
-            .first_edge_to(sim.signal(self.p_out), Logic::One, launch)
-            .ok_or(SensorError::InvalidConfig {
+        let p_sig = sim.try_signal(self.p_out).map_err(SensorError::from)?;
+        let cp_sig = sim.try_signal(self.cp_out).map_err(SensorError::from)?;
+        let p_edge = sim.trace().first_edge_to(p_sig, Logic::One, launch).ok_or(
+            SensorError::InvalidConfig {
                 name: "p_out",
                 reason: "P edge never reached the output".into(),
-            })?;
+            },
+        )?;
         let cp_edge = sim
             .trace()
-            .first_edge_to(sim.signal(self.cp_out), Logic::One, launch)
+            .first_edge_to(cp_sig, Logic::One, launch)
             .ok_or(SensorError::InvalidConfig {
                 name: "cp_out",
                 reason: "CP edge never reached the output".into(),
@@ -762,10 +815,10 @@ impl GateLevelSystem {
         self.noisy
     }
 
-    /// Builds a reusable simulator for this system, tracing only the
-    /// two array-pin nets whose edges define the measured skew. Pair
-    /// with [`GateLevelSystem::run_measures_with`] to amortise
-    /// construction across delay codes or rail schedules.
+    /// Builds a fresh simulator for this system, tracing only the
+    /// two array-pin nets whose edges define the measured skew. The
+    /// context's simulator pool calls this once per system and reuses
+    /// the instance across delay codes or rail schedules.
     ///
     /// # Errors
     ///
@@ -783,30 +836,44 @@ impl GateLevelSystem {
     /// Runs the system for `measures` complete sequences with the noisy
     /// rail stepped through `rails` (one level per measure), delay code
     /// on the `sel` pins, clock period 4 ns. Returns one
-    /// [`GateLevelMeasure`] per rail level.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulator failures, and reports a missing pulse if a
-    /// sequence did not produce P/CP edges.
-    pub fn run_measures(
-        &self,
-        code: crate::pulsegen::DelayCode,
-        rails: &[Voltage],
-    ) -> Result<Vec<GateLevelMeasure>, SensorError> {
-        let mut sim = self.make_sim()?;
-        self.run_measures_with(&mut sim, code, rails)
-    }
-
-    /// [`GateLevelSystem::run_measures`] on a reusable simulator from
-    /// [`GateLevelSystem::make_sim`]; resets it first, so results are
+    /// [`GateLevelMeasure`] per rail level. The simulator comes from
+    /// the context's pool and is reset per call, so results are
     /// bit-identical to a fresh simulator.
     ///
     /// # Errors
     ///
     /// Propagates simulator failures, and reports a missing pulse if a
     /// sequence did not produce P/CP edges.
+    pub fn run_measures<'env>(
+        &'env self,
+        ctx: &mut RunCtx<'env>,
+        code: crate::pulsegen::DelayCode,
+        rails: &[Voltage],
+    ) -> Result<Vec<GateLevelMeasure>, SensorError> {
+        let sim = ctx
+            .pool()
+            .get_or_insert_with(&self.netlist, || self.make_sim())?;
+        self.run_measures_on(sim, code, rails)
+    }
+
+    /// [`GateLevelSystem::run_measures`] on a caller-held simulator
+    /// from [`GateLevelSystem::make_sim`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures, and reports a missing pulse if a
+    /// sequence did not produce P/CP edges.
+    #[deprecated(since = "0.1.0", note = "use `run_measures` with a `RunCtx`")]
     pub fn run_measures_with(
+        &self,
+        sim: &mut Simulator<'_>,
+        code: crate::pulsegen::DelayCode,
+        rails: &[Voltage],
+    ) -> Result<Vec<GateLevelMeasure>, SensorError> {
+        self.run_measures_on(sim, code, rails)
+    }
+
+    fn run_measures_on(
         &self,
         sim: &mut Simulator<'_>,
         code: crate::pulsegen::DelayCode,
@@ -839,16 +906,18 @@ impl GateLevelSystem {
             let sense_cycle = 4 + 5 * k; // clock edges counted from the first
             let sense_edge = Time::from_ns(2.0) + period * sense_cycle as f64;
             sim.run_until(sense_edge + period / 2.0);
+            let p_sig = sim.try_signal(self.array_p).map_err(SensorError::from)?;
+            let cp_sig = sim.try_signal(self.array_cp).map_err(SensorError::from)?;
             let p_fall = sim
                 .trace()
-                .first_edge_to(sim.signal(self.array_p), Logic::Zero, cursor)
+                .first_edge_to(p_sig, Logic::Zero, cursor)
                 .ok_or(SensorError::InvalidConfig {
                     name: "array_p",
                     reason: format!("no P pulse for measure {k}"),
                 })?;
             let cp_rise = sim
                 .trace()
-                .first_edge_to(sim.signal(self.array_cp), Logic::One, p_fall)
+                .first_edge_to(cp_sig, Logic::One, p_fall)
                 .ok_or(SensorError::InvalidConfig {
                     name: "array_cp",
                     reason: format!("no CP edge for measure {k}"),
@@ -879,9 +948,9 @@ mod system_tests {
         let pg = GateLevelPulseGen::paper().unwrap();
         let model = PulseGenerator::paper_table();
         let pvt = Pvt::typical();
-        let mut sim = pg.make_sim().unwrap();
+        let mut ctx = RunCtx::serial();
         for code in DelayCode::all() {
-            let measured = pg.measured_skew_with(&mut sim, code).unwrap();
+            let measured = pg.measured_skew(&mut ctx, code).unwrap();
             let expected = model.skew(code, &pvt);
             let err = (measured - expected).abs();
             assert!(
@@ -920,7 +989,9 @@ mod system_tests {
         let sys = GateLevelSystem::paper().unwrap();
         let code011 = DelayCode::new(3).unwrap();
         let rails = [Voltage::from_v(1.0), Voltage::from_v(0.9)];
-        let measures = sys.run_measures(code011, &rails).unwrap();
+        let measures = sys
+            .run_measures(&mut RunCtx::serial(), code011, &rails)
+            .unwrap();
         assert_eq!(measures.len(), 2);
 
         let behavioural = ThermometerArray::paper(RailMode::Supply);
@@ -945,9 +1016,9 @@ mod system_tests {
     fn full_system_skew_tracks_the_delay_code() {
         let sys = GateLevelSystem::paper().unwrap();
         let rails = [Voltage::from_v(1.0)];
-        let mut sim = sys.make_sim().unwrap();
+        let mut ctx = RunCtx::serial();
         let mut skew_for = |code_val: u8| {
-            sys.run_measures_with(&mut sim, DelayCode::new(code_val).unwrap(), &rails)
+            sys.run_measures(&mut ctx, DelayCode::new(code_val).unwrap(), &rails)
                 .unwrap()[0]
                 .skew()
         };

@@ -36,16 +36,18 @@
 //! ```
 //! use psnt_cells::units::{Time, Voltage};
 //! use psnt_core::system::{SensorConfig, SensorSystem};
+//! use psnt_ctx::RunCtx;
 //! use psnt_pdn::sources::supply_step;
 //! use psnt_pdn::waveform::Waveform;
 //!
 //! // The paper's Fig. 9 scenario: two measures across a 1.0 → 0.9 V step.
 //! let mut sensor = SensorSystem::new(SensorConfig::default())?;
+//! let mut ctx = RunCtx::serial();
 //! let vdd = supply_step(
 //!     Voltage::from_v(1.0), Voltage::from_v(0.9),
 //!     Time::from_ns(15.0), Time::from_us(1.0),
 //! )?;
-//! let measures = sensor.run(&vdd, &Waveform::constant(0.0), Time::ZERO, 2)?;
+//! let measures = sensor.run(&mut ctx, &vdd, &Waveform::constant(0.0), Time::ZERO, 2)?;
 //! assert_eq!(measures[0].hs_code.to_string(), "0011111");
 //! assert_eq!(measures[1].hs_code.to_string(), "0000011");
 //! # Ok::<(), Box<dyn std::error::Error>>(())

@@ -19,11 +19,13 @@
 //! use psnt_core::element::RailMode;
 //! use psnt_core::mismatch::{monte_carlo_yield, MismatchModel};
 //! use psnt_core::thermometer::ThermometerArray;
+//! use psnt_ctx::RunCtx;
 //!
 //! let array = ThermometerArray::paper(RailMode::Supply);
+//! let mut ctx = RunCtx::serial().with_seed(7);
 //! let report = monte_carlo_yield(
-//!     &array, Time::from_ps(149.0), &Pvt::typical(),
-//!     &MismatchModel::local_90nm(), 50, 7,
+//!     &mut ctx, &array, Time::from_ps(149.0), &Pvt::typical(),
+//!     &MismatchModel::local_90nm(), 50,
 //! )?;
 //! assert_eq!(report.trials, 50);
 //! # Ok::<(), psnt_core::error::SensorError>(())
@@ -32,6 +34,7 @@
 use psnt_cells::delay::AlphaPowerDelay;
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Time, Voltage};
+use psnt_ctx::RunCtx;
 use psnt_engine::{Engine, JobSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -188,44 +191,30 @@ struct TrialScore {
 /// Draws `n` mismatched copies of `array` and scores their threshold
 /// ladders against the nominal one.
 ///
-/// Each trial draws from its own RNG stream derived from
-/// `(seed, trial index)` by [`psnt_engine::split_seed`], so the report
-/// is bit-identical at any worker count of
-/// [`monte_carlo_yield_on`] — this function is its serial
-/// (`jobs = 1`) path.
-///
-/// # Errors
-///
-/// Propagates threshold-search failures.
-pub fn monte_carlo_yield(
-    array: &ThermometerArray,
-    skew: Time,
-    pvt: &Pvt,
-    model: &MismatchModel,
-    n: usize,
-    seed: u64,
-) -> Result<YieldReport, SensorError> {
-    monte_carlo_yield_on(&Engine::serial(), array, skew, pvt, model, n, seed)
-}
-
-/// [`monte_carlo_yield`] with the trials parallelized on `engine`.
+/// The trials run on the context's engine, and each trial draws from
+/// its own RNG stream derived from `(ctx.seed(), trial index)` by
+/// [`psnt_engine::split_seed`], so the report is bit-identical at any
+/// worker count — a serial context is the `jobs = 1` path of this
+/// code. When the context carries an observer, the batch's worker
+/// metrics (and the threshold memo's hit/miss tally) are folded into
+/// its registry.
 ///
 /// # Errors
 ///
 /// Propagates threshold-search failures; when several trials fail, the
 /// lowest-indexed trial's error is returned.
-pub fn monte_carlo_yield_on(
-    engine: &Engine,
+pub fn monte_carlo_yield(
+    ctx: &mut RunCtx<'_>,
     array: &ThermometerArray,
     skew: Time,
     pvt: &Pvt,
     model: &MismatchModel,
     n: usize,
-    seed: u64,
 ) -> Result<YieldReport, SensorError> {
-    let nominal = array.thresholds(skew, pvt)?;
-    let batch = engine.run_batch(&JobSpec::new(n).seed(seed), |ctx| {
-        let mut rng = ctx.rng();
+    let nominal = array.thresholds_ctx(ctx, skew, pvt)?;
+    let seed = ctx.seed();
+    let batch = ctx.engine().run_batch(&JobSpec::new(n).seed(seed), |job| {
+        let mut rng = job.rng();
         let drawn = model.perturb_array(array, &mut rng);
         let th = drawn.thresholds(skew, pvt)?;
         let mut abs_sum = 0.0f64;
@@ -242,6 +231,9 @@ pub fn monte_carlo_yield_on(
             samples: th.len(),
         })
     })?;
+    if let Some(obs) = ctx.observer() {
+        obs.metrics.merge(&batch.metrics);
+    }
     let mut monotone = 0usize;
     let mut abs_sum = 0.0f64;
     let mut worst = 0.0f64;
@@ -266,6 +258,31 @@ pub fn monte_carlo_yield_on(
         },
         worst_shift: worst,
     })
+}
+
+/// [`monte_carlo_yield`] with the trials parallelized on `engine`.
+///
+/// # Errors
+///
+/// Propagates threshold-search failures.
+#[deprecated(since = "0.1.0", note = "use `monte_carlo_yield` with a `RunCtx`")]
+pub fn monte_carlo_yield_on(
+    engine: &Engine,
+    array: &ThermometerArray,
+    skew: Time,
+    pvt: &Pvt,
+    model: &MismatchModel,
+    n: usize,
+    seed: u64,
+) -> Result<YieldReport, SensorError> {
+    monte_carlo_yield(
+        &mut RunCtx::new(engine.clone()).with_seed(seed),
+        array,
+        skew,
+        pvt,
+        model,
+        n,
+    )
 }
 
 #[cfg(test)]
@@ -300,7 +317,15 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((*x - *y).abs() < Voltage::from_mv(0.02));
         }
-        let report = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 10, 3).unwrap();
+        let report = monte_carlo_yield(
+            &mut RunCtx::serial().with_seed(3),
+            &array(),
+            skew(),
+            &Pvt::typical(),
+            &model,
+            10,
+        )
+        .unwrap();
         assert_eq!(report.monotone, 10);
         assert!(report.worst_shift < 1e-4);
     }
@@ -319,7 +344,15 @@ mod tests {
     #[test]
     fn mismatch_scatters_thresholds() {
         let model = MismatchModel::local_90nm();
-        let report = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 100, 9).unwrap();
+        let report = monte_carlo_yield(
+            &mut RunCtx::serial().with_seed(9),
+            &array(),
+            skew(),
+            &Pvt::typical(),
+            &model,
+            100,
+        )
+        .unwrap();
         assert_eq!(report.trials, 100);
         // 2 % drive sigma ⇒ threshold sigma ~20 mV: shifts are visible…
         assert!(
@@ -339,9 +372,15 @@ mod tests {
         let base = MismatchModel::local_90nm();
         let mut prev = usize::MAX;
         for k in [0.25, 1.0, 3.0] {
-            let report =
-                monte_carlo_yield(&array(), skew(), &Pvt::typical(), &base.scaled(k), 120, 11)
-                    .unwrap();
+            let report = monte_carlo_yield(
+                &mut RunCtx::serial().with_seed(11),
+                &array(),
+                skew(),
+                &Pvt::typical(),
+                &base.scaled(k),
+                120,
+            )
+            .unwrap();
             assert!(
                 report.monotone <= prev,
                 "yield should not improve with more mismatch (k={k})"
@@ -354,26 +393,44 @@ mod tests {
     #[test]
     fn seeded_reproducibility() {
         let model = MismatchModel::local_90nm();
-        let a = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 30, 5).unwrap();
-        let b = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 30, 5).unwrap();
+        let run = |seed: u64| {
+            monte_carlo_yield(
+                &mut RunCtx::serial().with_seed(seed),
+                &array(),
+                skew(),
+                &Pvt::typical(),
+                &model,
+                30,
+            )
+            .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
         assert_eq!(a, b);
-        let c = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 30, 6).unwrap();
+        let c = run(6);
         assert_ne!(a, c);
     }
 
     #[test]
     fn parallel_yield_is_bit_identical_to_serial() {
         let model = MismatchModel::local_90nm();
-        let serial = monte_carlo_yield(&array(), skew(), &Pvt::typical(), &model, 40, 5).unwrap();
+        let serial = monte_carlo_yield(
+            &mut RunCtx::serial().with_seed(5),
+            &array(),
+            skew(),
+            &Pvt::typical(),
+            &model,
+            40,
+        )
+        .unwrap();
         for jobs in [1usize, 2, 7] {
-            let parallel = monte_carlo_yield_on(
-                &Engine::new(jobs),
+            let parallel = monte_carlo_yield(
+                &mut RunCtx::new(Engine::new(jobs)).with_seed(5),
                 &array(),
                 skew(),
                 &Pvt::typical(),
                 &model,
                 40,
-                5,
             )
             .unwrap();
             assert_eq!(parallel, serial, "jobs={jobs}");

@@ -19,12 +19,14 @@
 //! ```
 //! use psnt_cells::units::Time;
 //! use psnt_core::system::{SensorConfig, SensorSystem};
+//! use psnt_ctx::RunCtx;
 //! use psnt_pdn::waveform::Waveform;
 //!
 //! let mut system = SensorSystem::new(SensorConfig::default())?;
+//! let mut ctx = RunCtx::serial();
 //! let vdd = Waveform::constant(1.0);
 //! let gnd = Waveform::constant(0.0);
-//! let measures = system.run(&vdd, &gnd, Time::ZERO, 2)?;
+//! let measures = system.run(&mut ctx, &vdd, &gnd, Time::ZERO, 2)?;
 //! assert_eq!(measures.len(), 2);
 //! assert_eq!(measures[0].hs_code.to_string(), "0011111"); // Fig. 9
 //! # Ok::<(), psnt_core::error::SensorError>(())
@@ -32,6 +34,7 @@
 
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Time, Voltage};
+use psnt_ctx::RunCtx;
 use psnt_obs::{Event as ObsEvent, Observer};
 use psnt_pdn::waveform::Waveform;
 use rand::Rng;
@@ -176,26 +179,20 @@ impl SensorSystem {
     /// process-variation-aware configuration. Returns the (HS, LS) trim
     /// results and applies the codes.
     ///
-    /// # Errors
-    ///
-    /// Propagates characterisation failures.
-    pub fn trim(&mut self, corner: &Pvt) -> Result<(TrimResult, TrimResult), SensorError> {
-        self.trim_observed(corner, None)
-    }
-
-    /// [`SensorSystem::trim`] plus telemetry: the chosen codes and
-    /// residuals of each trim decision are logged as a `sensor`/`trim`
-    /// event.
+    /// The code sweep runs on the context's engine; when the context
+    /// carries an observer, the chosen codes and residuals of each trim
+    /// decision are logged as a `sensor`/`trim` event.
     ///
     /// # Errors
     ///
     /// Propagates characterisation failures.
-    pub fn trim_observed(
+    pub fn trim(
         &mut self,
+        ctx: &mut RunCtx<'_>,
         corner: &Pvt,
-        observer: Option<&mut Observer>,
     ) -> Result<(TrimResult, TrimResult), SensorError> {
         let hs_trim = trim_for_corner(
+            ctx,
             &self.hs,
             &self.pg,
             self.config.hs_code,
@@ -203,6 +200,7 @@ impl SensorSystem {
             corner,
         )?;
         let ls_trim = trim_for_corner(
+            ctx,
             &self.ls,
             &self.pg,
             self.config.ls_code,
@@ -212,7 +210,7 @@ impl SensorSystem {
         self.config.hs_code = hs_trim.code;
         self.config.ls_code = ls_trim.code;
         self.config.pvt = *corner;
-        if let Some(obs) = observer {
+        if let Some(obs) = ctx.observer() {
             obs.metrics.counter_add("sensor.trims", 1);
             obs.event(
                 ObsEvent::new("sensor", "trim")
@@ -224,6 +222,20 @@ impl SensorSystem {
             );
         }
         Ok((hs_trim, ls_trim))
+    }
+
+    /// [`SensorSystem::trim`] with an explicit optional observer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterisation failures.
+    #[deprecated(since = "0.1.0", note = "use `trim` with a `RunCtx`")]
+    pub fn trim_observed(
+        &mut self,
+        corner: &Pvt,
+        observer: Option<&mut Observer>,
+    ) -> Result<(TrimResult, TrimResult), SensorError> {
+        self.trim(&mut RunCtx::serial().with_observer_opt(observer), corner)
     }
 
     /// The PREPARE-phase output of the HS array — always the all-fail
@@ -324,22 +336,9 @@ impl SensorSystem {
     /// S_SNS0 → SENSE), i.e. one SENSE every five control-clock cycles;
     /// the SENSE instant includes the PG's CP-path delay.
     ///
-    /// # Errors
-    ///
-    /// Propagates [`SensorSystem::measure_at`] failures.
-    pub fn run(
-        &mut self,
-        vdd: &Waveform,
-        gnd: &Waveform,
-        from: Time,
-        count: usize,
-    ) -> Result<Vec<Measurement>, SensorError> {
-        self.run_observed(vdd, gnd, from, count, None)
-    }
-
-    /// [`SensorSystem::run`] plus telemetry: FSM state transitions,
+    /// When the context carries an observer, FSM state transitions,
     /// each measurement, and any metastability incident (a bubbled or
-    /// unresolved raw code) are logged through the observer; the
+    /// unresolved raw code) are logged through it; the
     /// `sensor.measures` / `sensor.metastability_incidents` counters
     /// accumulate in its registry. Measurement results are identical
     /// with and without an observer.
@@ -347,13 +346,13 @@ impl SensorSystem {
     /// # Errors
     ///
     /// Propagates [`SensorSystem::measure_at`] failures.
-    pub fn run_observed(
+    pub fn run(
         &mut self,
+        ctx: &mut RunCtx<'_>,
         vdd: &Waveform,
         gnd: &Waveform,
         from: Time,
         count: usize,
-        mut observer: Option<&mut Observer>,
     ) -> Result<Vec<Measurement>, SensorError> {
         self.ctrl.reset();
         let inputs = CtrlInputs {
@@ -366,15 +365,13 @@ impl SensorSystem {
         let max_cycles = (count as u64 + 2) * 6 + 4;
         while out.len() < count && cycle < max_cycles {
             let cycle_start = from + self.config.clock_period * (cycle as f64);
-            let step = self
-                .ctrl
-                .step_observed(inputs, cycle_start, observer.as_deref_mut());
+            let step = self.ctrl.step_ctx(ctx, inputs, cycle_start);
             cycle += 1;
             if step.capture {
                 let sense_at =
                     cycle_start + self.pg.emit(self.config.hs_code, &self.config.pvt).cp_edge;
                 let m = self.measure_at(vdd, gnd, sense_at)?;
-                if let Some(obs) = observer.as_deref_mut() {
+                if let Some(obs) = ctx.observer() {
                     obs.metrics.counter_add("sensor.measures", 1);
                     if m.hs_word.bubbled || m.ls_word.bubbled {
                         obs.metrics.counter_add("sensor.metastability_incidents", 1);
@@ -396,6 +393,29 @@ impl SensorSystem {
             }
         }
         Ok(out)
+    }
+
+    /// [`SensorSystem::run`] with an explicit optional observer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SensorSystem::measure_at`] failures.
+    #[deprecated(since = "0.1.0", note = "use `run` with a `RunCtx`")]
+    pub fn run_observed(
+        &mut self,
+        vdd: &Waveform,
+        gnd: &Waveform,
+        from: Time,
+        count: usize,
+        observer: Option<&mut Observer>,
+    ) -> Result<Vec<Measurement>, SensorError> {
+        self.run(
+            &mut RunCtx::serial().with_observer_opt(observer),
+            vdd,
+            gnd,
+            from,
+            count,
+        )
     }
 
     /// The FSM state after the last [`SensorSystem::run`] (diagnostics).
@@ -445,7 +465,9 @@ mod tests {
         )
         .unwrap();
         let gnd = Waveform::constant(0.0);
-        let measures = sys.run(&vdd, &gnd, Time::ZERO, 2).unwrap();
+        let measures = sys
+            .run(&mut RunCtx::serial(), &vdd, &gnd, Time::ZERO, 2)
+            .unwrap();
         assert_eq!(measures.len(), 2);
 
         let first = &measures[0];
@@ -468,7 +490,9 @@ mod tests {
         let mut sys = system();
         let vdd = Waveform::constant(1.0);
         let gnd = Waveform::constant(0.0);
-        let measures = sys.run(&vdd, &gnd, Time::ZERO, 3).unwrap();
+        let measures = sys
+            .run(&mut RunCtx::serial(), &vdd, &gnd, Time::ZERO, 3)
+            .unwrap();
         // One SENSE per 5 control cycles.
         let spacing = measures[1].at - measures[0].at;
         assert_eq!(spacing, sys.config().clock_period * 5.0);
@@ -567,7 +591,7 @@ mod tests {
             Voltage::from_v(1.0),
             Temperature::from_celsius(25.0),
         );
-        let (hs_trim, ls_trim) = sys.trim(&ss).unwrap();
+        let (hs_trim, ls_trim) = sys.trim(&mut RunCtx::serial(), &ss).unwrap();
         assert_eq!(sys.config().hs_code, hs_trim.code);
         assert_eq!(sys.config().ls_code, ls_trim.code);
         assert_eq!(sys.config().pvt, ss);
@@ -611,7 +635,9 @@ mod tests {
             .build()
             .unwrap();
         let gnd = Waveform::constant(0.0);
-        let measures = sys.run(&vdd, &gnd, Time::ZERO, 40).unwrap();
+        let measures = sys
+            .run(&mut RunCtx::serial(), &vdd, &gnd, Time::ZERO, 40)
+            .unwrap();
         let levels: Vec<usize> = measures.iter().map(|m| m.hs_word.level).collect();
         let min_level = *levels.iter().min().unwrap();
         let first = levels[0];

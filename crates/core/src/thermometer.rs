@@ -35,6 +35,7 @@ use std::sync::Mutex;
 use psnt_cells::logic::LogicVector;
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Capacitance, Time, Voltage};
+use psnt_ctx::RunCtx;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -145,36 +146,82 @@ impl CodeInterval {
     }
 }
 
-/// Single-entry memo for the per-element threshold search: the array's
+/// Bounded memo for the per-element threshold search: the array's
 /// thresholds are a pure function of `(skew, pvt)` (and the elements,
 /// which are immutable post-construction), and virtually every caller —
 /// `decode`, [`crate::system::SensorSystem`], the scan campaign, the
-/// equivalent-time sampler — re-asks at one operating point many times.
-/// Each miss costs seven bisection searches (~18 `powf` evaluations
-/// apiece), so the memo removes the dominant cost of repeat decodes.
+/// equivalent-time sampler — re-asks at a handful of operating points
+/// many times. Each miss costs seven bisection searches (~18 `powf`
+/// evaluations apiece), so the memo removes the dominant cost of repeat
+/// decodes. A small move-to-front map (rather than the original
+/// single-entry memo) keeps alternating-corner sweeps — e.g.
+/// `calibration::trim_for_corner` bouncing between the reference and
+/// corner PVT points — from thrashing the cache.
 ///
 /// A `Mutex` (not a `RefCell`) keeps the array `Sync`: Monte-Carlo yield
 /// closures capture `&ThermometerArray` across engine worker threads.
-/// Key-based lookup makes invalidation automatic — a different skew or
-/// PVT point simply misses — and perturbed copies built through
-/// [`ThermometerArray::from_elements`] start with a fresh (empty) memo.
+/// Key-based lookup makes invalidation automatic — a new skew or PVT
+/// point simply misses and evicts the coldest entry — and perturbed
+/// copies built through [`ThermometerArray::from_elements`] start with
+/// a fresh (empty) memo. Hit/miss totals are tallied here and surfaced
+/// through [`ThermometerArray::memo_stats`] so ctx-threaded callers can
+/// fold them into a `MetricsRegistry`.
 #[derive(Debug, Default)]
 struct ThresholdMemo {
-    entry: Mutex<Option<(Time, Pvt, Vec<Voltage>)>>,
+    state: Mutex<MemoState>,
 }
+
+/// Entries plus the hit/miss tally, guarded by one lock.
+#[derive(Debug, Default)]
+struct MemoState {
+    entries: Vec<(Time, Pvt, Vec<Voltage>)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Distinct `(skew, pvt)` operating points retained per array. Sized
+/// for the workloads in-tree: a trim sweep touches a reference plus a
+/// few corners, a characterisation sweep one PVT point per code.
+const THRESHOLD_MEMO_CAPACITY: usize = 8;
 
 impl ThresholdMemo {
     fn get(&self, skew: Time, pvt: &Pvt) -> Option<Vec<Voltage>> {
-        let guard = self.entry.lock().expect("threshold memo poisoned");
-        guard
-            .as_ref()
-            .filter(|(s, p, _)| *s == skew && p == pvt)
-            .map(|(_, _, th)| th.clone())
+        let mut state = self.state.lock().expect("threshold memo poisoned");
+        match state
+            .entries
+            .iter()
+            .position(|(s, p, _)| *s == skew && p == pvt)
+        {
+            Some(ix) => {
+                state.hits += 1;
+                // Move-to-front: the hottest operating points survive
+                // eviction.
+                let entry = state.entries.remove(ix);
+                let thresholds = entry.2.clone();
+                state.entries.insert(0, entry);
+                Some(thresholds)
+            }
+            None => {
+                state.misses += 1;
+                None
+            }
+        }
     }
 
     fn put(&self, skew: Time, pvt: &Pvt, thresholds: &[Voltage]) {
-        let mut guard = self.entry.lock().expect("threshold memo poisoned");
-        *guard = Some((skew, *pvt, thresholds.to_vec()));
+        let mut state = self.state.lock().expect("threshold memo poisoned");
+        if state.entries.iter().any(|(s, p, _)| *s == skew && p == pvt) {
+            return;
+        }
+        if state.entries.len() >= THRESHOLD_MEMO_CAPACITY {
+            state.entries.pop();
+        }
+        state.entries.insert(0, (skew, *pvt, thresholds.to_vec()));
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        let state = self.state.lock().expect("threshold memo poisoned");
+        (state.hits, state.misses)
     }
 }
 
@@ -421,6 +468,50 @@ impl ThermometerArray {
             .collect::<Result<_, _>>()?;
         self.memo.put(skew, pvt, &th);
         Ok(th)
+    }
+
+    /// [`ThermometerArray::thresholds`] threaded through a [`RunCtx`]:
+    /// memo misses run the per-element bisection searches on the
+    /// context's engine (bit-identical to the serial sweep), and the
+    /// call's memo hit/miss deltas are folded into the observer's
+    /// metrics as the `thermometer.memo_hits` /
+    /// `thermometer.memo_misses` counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SenseElement::threshold`] failures.
+    pub fn thresholds_ctx(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        skew: Time,
+        pvt: &Pvt,
+    ) -> Result<Vec<Voltage>, SensorError> {
+        let (hits_before, misses_before) = self.memo.stats();
+        let th = match self.memo.get(skew, pvt) {
+            Some(hit) => hit,
+            None => {
+                let th: Vec<Voltage> = ctx.engine().try_map(self.elements.len(), |i| {
+                    self.elements[i].threshold(skew, pvt)
+                })?;
+                self.memo.put(skew, pvt, &th);
+                th
+            }
+        };
+        if let Some(obs) = ctx.observer() {
+            let (hits, misses) = self.memo.stats();
+            obs.metrics
+                .counter_add("thermometer.memo_hits", hits - hits_before);
+            obs.metrics
+                .counter_add("thermometer.memo_misses", misses - misses_before);
+        }
+        Ok(th)
+    }
+
+    /// Lifetime hit/miss totals of the threshold memo, as
+    /// `(hits, misses)`. Derived state only: clones and deserialised
+    /// arrays restart at zero.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        self.memo.stats()
     }
 
     /// The measurable span `(min, max)` of rail values: outside it the
@@ -733,6 +824,40 @@ mod tests {
         let cloned = warm.clone();
         assert_eq!(cloned.thresholds(skew011(), &pvt()).unwrap(), s11);
         assert_eq!(cloned, warm);
+    }
+
+    #[test]
+    fn threshold_memo_keeps_alternating_corners_resident() {
+        let warm = array();
+        let hot = Pvt::new(
+            psnt_cells::process::ProcessCorner::TT,
+            Voltage::from_v(1.0),
+            psnt_cells::units::Temperature::from_celsius(85.0),
+        );
+        assert_eq!(warm.memo_stats(), (0, 0));
+        // Alternating between two operating points thrashed the old
+        // single-entry memo; the bounded map keeps both resident, so
+        // only the first visit of each point misses.
+        for _ in 0..3 {
+            warm.thresholds(skew011(), &pvt()).unwrap();
+            warm.thresholds(skew011(), &hot).unwrap();
+        }
+        let (hits, misses) = warm.memo_stats();
+        assert_eq!(misses, 2, "only the first visit of each point may miss");
+        assert_eq!(hits, 4);
+
+        // The ctx-threaded path returns the same values and folds the
+        // call's hit/miss deltas into the observer's metrics.
+        let mut obs = psnt_obs::Observer::ring(8);
+        let mut ctx = RunCtx::serial().with_observer(&mut obs);
+        let via_ctx = warm.thresholds_ctx(&mut ctx, skew011(), &pvt()).unwrap();
+        drop(ctx);
+        assert_eq!(via_ctx, warm.thresholds(skew011(), &pvt()).unwrap());
+        assert_eq!(obs.metrics.counter_value("thermometer.memo_hits"), 1);
+        assert_eq!(obs.metrics.counter_value("thermometer.memo_misses"), 0);
+
+        // Clone-cold semantics extend to the tally.
+        assert_eq!(warm.clone().memo_stats(), (0, 0));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Unified execution context for the whole workspace.
+//!
+//! PRs 1–3 grew the system along three orthogonal axes — telemetry
+//! (`psnt-obs`), deterministic parallelism (`psnt-engine`) and
+//! reusable-simulator performance — and each axis was wired in as a
+//! new suffixed method variant (`run_observed`, `run_on`,
+//! `measure_with`, …). [`RunCtx`] collapses that cross-product: one
+//! context bundles
+//!
+//! * the parallel [`Engine`] handle (cheap to clone, `jobs = 1` is the
+//!   inline serial path),
+//! * an optional exclusive borrow of an [`Observer`] for telemetry,
+//! * a pool of reusable [`Simulator`]s keyed by netlist identity, so
+//!   repeated gate-level measures reuse allocations and the delay
+//!   cache via `reset()` instead of rebuilding the kernel, and
+//! * the SplitMix64 seed policy used to derive per-trial RNG streams.
+//!
+//! Every layer takes `&mut RunCtx` as its first argument; the old
+//! suffixed variants survive as `#[deprecated]` one-line shims that
+//! build a default context (serial engine, no observer).
+//!
+//! # Determinism contract
+//!
+//! A `RunCtx` never changes observable results: for any workload the
+//! ctx path is bit-identical to the legacy variants at any worker
+//! count, and record-for-record identical in the telemetry stream.
+//! This is pinned by the `ctx_equiv` proptests at the workspace root.
+//!
+//! ```
+//! use psnt_ctx::RunCtx;
+//! use psnt_engine::Engine;
+//!
+//! // A default context: serial engine, no observer, seed 0.
+//! let mut ctx = RunCtx::serial();
+//! assert_eq!(ctx.engine().jobs(), 1);
+//! assert!(ctx.observer().is_none());
+//!
+//! // A parallel context seeded for a Monte-Carlo sweep.
+//! let mut ctx = RunCtx::new(Engine::new(4)).with_seed(2024);
+//! assert_eq!(ctx.seed(), 2024);
+//! ```
+
+#![warn(missing_docs)]
+
+use psnt_engine::{split_seed, Engine};
+use psnt_netlist::{Netlist, Simulator};
+use psnt_obs::Observer;
+
+/// A pool of reusable [`Simulator`]s keyed by netlist identity.
+///
+/// The pool exists so ctx-threaded gate-level measures get the PR 3
+/// `make_sim` + `reset()` fast path without the caller managing a
+/// simulator by hand: the first measure against a netlist pays the
+/// construction cost (topology flattening, delay cache), every later
+/// measure against the *same* netlist reuses it.
+///
+/// # Keying and soundness
+///
+/// Entries are keyed by the netlist's address. That is sound because
+/// every pooled `Simulator<'env>` holds a `&'env Netlist` borrow, so
+/// the netlist cannot move or drop while the pool is alive — an
+/// address therefore names one netlist for the pool's whole lifetime.
+#[derive(Debug, Default)]
+pub struct SimPool<'env> {
+    sims: Vec<(usize, Simulator<'env>)>,
+}
+
+impl<'env> SimPool<'env> {
+    /// Creates an empty pool.
+    pub fn new() -> SimPool<'env> {
+        SimPool::default()
+    }
+
+    /// Number of distinct netlists with a pooled simulator.
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// True when no simulator has been pooled yet.
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+
+    /// Returns the pooled simulator for `netlist`, building it with
+    /// `build` on first use. The caller is expected to `reset()` the
+    /// simulator before driving it (exactly as with a hand-managed
+    /// `make_sim` simulator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error when the first construction
+    /// fails; nothing is pooled in that case.
+    pub fn get_or_insert_with<E>(
+        &mut self,
+        netlist: &'env Netlist,
+        build: impl FnOnce() -> Result<Simulator<'env>, E>,
+    ) -> Result<&mut Simulator<'env>, E> {
+        let key = netlist as *const Netlist as usize;
+        if let Some(ix) = self.sims.iter().position(|(k, _)| *k == key) {
+            return Ok(&mut self.sims[ix].1);
+        }
+        let sim = build()?;
+        self.sims.push((key, sim));
+        Ok(&mut self.sims.last_mut().expect("just pushed").1)
+    }
+}
+
+/// The execution context threaded through every layer of the
+/// workspace: engine + observer + simulator pool + seed policy.
+///
+/// See the [crate docs](crate) for the design rationale and the
+/// determinism contract. `'env` is the lifetime of the environment the
+/// context may borrow from: the observed [`Observer`] and any netlist
+/// whose simulator is pooled.
+#[derive(Debug)]
+pub struct RunCtx<'env> {
+    engine: Engine,
+    observer: Option<&'env mut Observer>,
+    seed: u64,
+    pool: SimPool<'env>,
+}
+
+impl Default for RunCtx<'_> {
+    fn default() -> Self {
+        RunCtx::serial()
+    }
+}
+
+impl<'env> RunCtx<'env> {
+    /// The default context the deprecated shims construct: serial
+    /// engine, no observer, seed 0, empty pool.
+    pub fn serial() -> RunCtx<'env> {
+        RunCtx::new(Engine::serial())
+    }
+
+    /// A context over the given engine; no observer, seed 0.
+    pub fn new(engine: Engine) -> RunCtx<'env> {
+        RunCtx {
+            engine,
+            observer: None,
+            seed: 0,
+            pool: SimPool::new(),
+        }
+    }
+
+    /// A context whose worker count comes from the `PSNT_JOBS`
+    /// environment variable (see [`psnt_engine::JOBS_ENV`]).
+    pub fn from_env() -> RunCtx<'env> {
+        RunCtx::new(Engine::from_env())
+    }
+
+    /// Attaches an observer (builder style).
+    #[must_use]
+    pub fn with_observer(mut self, observer: &'env mut Observer) -> RunCtx<'env> {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches an optional observer (builder style) — the shape the
+    /// legacy `*_observed(…, Option<&mut Observer>)` shims need.
+    #[must_use]
+    pub fn with_observer_opt(mut self, observer: Option<&'env mut Observer>) -> RunCtx<'env> {
+        self.observer = observer;
+        self
+    }
+
+    /// Sets the base seed for seed-split RNG streams (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> RunCtx<'env> {
+        self.seed = seed;
+        self
+    }
+
+    /// The engine handle. Cheap to clone when a batch needs an owned
+    /// copy alongside the observer borrow.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The base seed of the SplitMix64 seed policy.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives the `index`-th decorrelated child seed from the base
+    /// seed via SplitMix64 — one stream per trial, so results are
+    /// independent of how trials are scheduled across workers.
+    pub fn child_seed(&self, index: u64) -> u64 {
+        split_seed(self.seed, index)
+    }
+
+    /// Reborrows the observer, if one is attached. Call sites use this
+    /// at each telemetry point; each call hands out a fresh short
+    /// reborrow, so a single context serves many sequential stages.
+    pub fn observer(&mut self) -> Option<&mut Observer> {
+        self.observer.as_deref_mut()
+    }
+
+    /// True when an observer is attached (without borrowing it).
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// The reusable-simulator pool.
+    pub fn pool(&mut self) -> &mut SimPool<'env> {
+        &mut self.pool
+    }
+
+    /// Splits the context into its engine, observer and pool parts so
+    /// a call site can hold the pool and the observer at once.
+    pub fn parts(&mut self) -> (&Engine, Option<&mut Observer>, &mut SimPool<'env>) {
+        (&self.engine, self.observer.as_deref_mut(), &mut self.pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ctx_is_serial_unobserved_seed_zero() {
+        let mut ctx = RunCtx::default();
+        assert_eq!(ctx.engine().jobs(), 1);
+        assert!(!ctx.has_observer());
+        assert!(ctx.observer().is_none());
+        assert_eq!(ctx.seed(), 0);
+        assert!(ctx.pool().is_empty());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let mut obs = Observer::ring(8);
+        let mut ctx = RunCtx::new(Engine::new(3))
+            .with_seed(7)
+            .with_observer(&mut obs);
+        assert_eq!(ctx.engine().jobs(), 3);
+        assert_eq!(ctx.seed(), 7);
+        assert!(ctx.has_observer());
+        // Two sequential reborrows from the same context.
+        ctx.observer().unwrap().metrics.counter_add("ctx.test", 1);
+        ctx.observer().unwrap().metrics.counter_add("ctx.test", 1);
+        drop(ctx);
+        assert_eq!(obs.metrics.counter_value("ctx.test"), 2);
+    }
+
+    #[test]
+    fn child_seeds_match_engine_seed_policy() {
+        let ctx = RunCtx::serial().with_seed(99);
+        assert_eq!(ctx.child_seed(0), split_seed(99, 0));
+        assert_eq!(ctx.child_seed(5), split_seed(99, 5));
+        assert_ne!(ctx.child_seed(0), ctx.child_seed(1));
+    }
+
+    #[test]
+    fn pool_reuses_one_simulator_per_netlist() {
+        use psnt_cells::units::Voltage;
+        use psnt_netlist::NetlistError;
+        let mut a = Netlist::new("a");
+        let n = a.add_input("in");
+        a.mark_output("out", n);
+        let b = a.clone();
+
+        let mut ctx = RunCtx::serial();
+        let pool = ctx.pool();
+        let first = pool
+            .get_or_insert_with(&a, || Simulator::new(&a, Voltage::from_v(1.0)))
+            .unwrap() as *mut _;
+        let again = pool
+            .get_or_insert_with(&a, || -> Result<Simulator<'_>, NetlistError> {
+                panic!("builder must not run twice for the same netlist")
+            })
+            .unwrap() as *mut _;
+        assert_eq!(first, again, "same netlist must reuse the pooled sim");
+        pool.get_or_insert_with(&b, || Simulator::new(&b, Voltage::from_v(1.0)))
+            .unwrap();
+        assert_eq!(pool.len(), 2);
+    }
+}

@@ -36,6 +36,9 @@ pub enum NetlistError {
     },
     /// The simulator was asked to drive a net that is not a primary input.
     NotAnInput(String),
+    /// A trace signal was requested for a net that is excluded by the
+    /// simulator's `TraceMode` (`Off`, or `Watched` without the net).
+    UntracedNet(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -62,6 +65,12 @@ impl fmt::Display for NetlistError {
                 write!(
                     f,
                     "net {name:?} is not a primary input and cannot be driven externally"
+                )
+            }
+            NetlistError::UntracedNet(name) => {
+                write!(
+                    f,
+                    "net {name:?} is not traced under the simulator's TraceMode"
                 )
             }
         }
@@ -98,6 +107,9 @@ mod tests {
         assert!(NetlistError::NotAnInput("q".into())
             .to_string()
             .contains("primary"));
+        assert!(NetlistError::UntracedNet("w".into())
+            .to_string()
+            .contains("not traced"));
     }
 
     #[test]

@@ -445,17 +445,29 @@ impl<'a> Simulator<'a> {
 
     /// The trace signal corresponding to a net.
     ///
+    /// This is the panicking convenience over [`Simulator::try_signal`]
+    /// for call sites that construct the simulator and therefore know
+    /// which nets are traced.
+    ///
     /// # Panics
     ///
     /// Panics when the net is excluded by the simulator's [`TraceMode`]
     /// (`Off`, or `Watched` without this net).
     pub fn signal(&self, net: NetId) -> SignalId {
-        self.signals[net.index()].unwrap_or_else(|| {
-            panic!(
-                "net {:?} is not traced under the simulator's TraceMode",
-                self.netlist.net(net).name()
-            )
-        })
+        self.try_signal(net).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The trace signal corresponding to a net, or
+    /// [`NetlistError::UntracedNet`] when the net is excluded by the
+    /// simulator's [`TraceMode`] (`Off`, or `Watched` without this
+    /// net).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UntracedNet`] naming the net.
+    pub fn try_signal(&self, net: NetId) -> Result<SignalId, NetlistError> {
+        self.signals[net.index()]
+            .ok_or_else(|| NetlistError::UntracedNet(self.netlist.net(net).name().to_owned()))
     }
 
     fn initialize(&mut self) {

@@ -306,11 +306,16 @@ impl PowerGrid {
     /// are far below the waveform time scale — true for on-die resistive
     /// meshes against tens-of-ns PSN.
     ///
+    /// When the context carries an observer, the number of grid solves
+    /// accumulates in its `pdn.grid_solves` counter; the waveforms are
+    /// identical with and without an observer.
+    ///
     /// # Errors
     ///
     /// Propagates [`PowerGrid::solve`] failures and waveform validation.
     pub fn quasi_static_transient(
         &self,
+        ctx: &mut psnt_ctx::RunCtx<'_>,
         loads: &[Waveform],
         start: Time,
         end: Time,
@@ -349,6 +354,9 @@ impl PowerGrid {
                 per_tile[tile].push((t, vi));
             }
             prior = Some(v);
+        }
+        if let Some(obs) = ctx.observer() {
+            obs.metrics.counter_add("pdn.grid_solves", steps as u64 + 1);
         }
         per_tile.into_iter().map(Waveform::from_points).collect()
     }
@@ -512,7 +520,13 @@ mod tests {
         let mut loads = vec![Waveform::constant(0.0); 9];
         loads[4] = Waveform::from_points(vec![(ns(0.0), 0.0), (ns(100.0), 0.4)]).unwrap();
         let waves = grid
-            .quasi_static_transient(&loads, Time::ZERO, ns(100.0), ns(10.0))
+            .quasi_static_transient(
+                &mut psnt_ctx::RunCtx::serial(),
+                &loads,
+                Time::ZERO,
+                ns(100.0),
+                ns(10.0),
+            )
             .unwrap();
         assert_eq!(waves.len(), 9);
         // Centre tile droops over time.
@@ -526,10 +540,17 @@ mod tests {
         let grid = mk(2);
         let loads = vec![Waveform::constant(0.0); 4];
         assert!(grid
-            .quasi_static_transient(&loads, Time::ZERO, Time::ZERO, Time::from_ns(1.0))
+            .quasi_static_transient(
+                &mut psnt_ctx::RunCtx::serial(),
+                &loads,
+                Time::ZERO,
+                Time::ZERO,
+                Time::from_ns(1.0)
+            )
             .is_err());
         assert!(grid
             .quasi_static_transient(
+                &mut psnt_ctx::RunCtx::serial(),
                 &loads[..2],
                 Time::ZERO,
                 Time::from_ns(10.0),

@@ -242,7 +242,9 @@ mod tests {
                 1.0 + 0.5 * (std::f64::consts::TAU * f.hertz() * t.seconds()).sin()
             })
             .unwrap();
-            let v = p.transient(&load, period / 40.0, end).unwrap();
+            let v = p
+                .transient(&mut psnt_ctx::RunCtx::serial(), &load, period / 40.0, end)
+                .unwrap();
             // Measure over the last 10 periods (steady state).
             let from = end - period * 10.0;
             v.max_over(from, end) - v.min_over(from, end)

@@ -31,7 +31,8 @@
 //!     pdn.resonance_frequency(), Time::from_ns(500.0), 42,
 //! )?;
 //! // …produces a strongly oscillating on-die supply.
-//! let vdd = pdn.transient(&load, Time::from_ps(200.0), Time::from_ns(500.0))?;
+//! let mut ctx = psnt_ctx::RunCtx::serial();
+//! let vdd = pdn.transient(&mut ctx, &load, Time::from_ps(200.0), Time::from_ns(500.0))?;
 //! assert!(vdd.max_value() - vdd.min_value() > 0.02);
 //! # Ok::<(), psnt_pdn::error::PdnError>(())
 //! ```

@@ -29,7 +29,8 @@
 //!     (Time::from_ns(100.0), 0.5),
 //!     (Time::from_ns(100.1), 2.5),
 //! ])?;
-//! let vdd = pdn.transient(&load, Time::from_ps(100.0), Time::from_ns(400.0))?;
+//! let mut ctx = psnt_ctx::RunCtx::serial();
+//! let vdd = pdn.transient(&mut ctx, &load, Time::from_ps(100.0), Time::from_ns(400.0))?;
 //! // The step causes a droop well below the static IR level.
 //! assert!(vdd.min_value() < pdn.steady_state(Current::from_a(2.5)).volts());
 //! # Ok::<(), psnt_pdn::error::PdnError>(())
@@ -38,6 +39,7 @@
 use std::f64::consts::TAU;
 
 use psnt_cells::units::{Capacitance, Current, Frequency, Inductance, Resistance, Time, Voltage};
+use psnt_ctx::RunCtx;
 use psnt_obs::{Event as ObsEvent, Observer};
 use serde::{Deserialize, Serialize};
 
@@ -151,16 +153,7 @@ impl LumpedPdn {
     /// breakpoint every `dt`. Initial conditions are the steady state for
     /// the initial load value.
     ///
-    /// # Errors
-    ///
-    /// Returns [`PdnError::InvalidParameter`] when `dt` is non-positive,
-    /// too coarse for the resonance period (needs ≥ 20 points per period),
-    /// or `until` does not exceed the load start.
-    pub fn transient(&self, load: &Waveform, dt: Time, until: Time) -> Result<Waveform, PdnError> {
-        self.transient_observed(load, dt, until, None)
-    }
-
-    /// [`LumpedPdn::transient`] with telemetry: counts RK4 steps into
+    /// When the context carries an observer: counts RK4 steps into
     /// `pdn.solver_steps`, accounts the energy delivered to the load and
     /// dissipated in the series resistance (`pdn.load_energy_j`,
     /// `pdn.dissipated_energy_j` gauges), and — when the observer has
@@ -170,13 +163,15 @@ impl LumpedPdn {
     ///
     /// # Errors
     ///
-    /// Same as [`LumpedPdn::transient`].
-    pub fn transient_observed(
+    /// Returns [`PdnError::InvalidParameter`] when `dt` is non-positive,
+    /// too coarse for the resonance period (needs ≥ 20 points per period),
+    /// or `until` does not exceed the load start.
+    pub fn transient(
         &self,
+        ctx: &mut RunCtx<'_>,
         load: &Waveform,
         dt: Time,
         until: Time,
-        mut observer: Option<&mut Observer>,
     ) -> Result<Waveform, PdnError> {
         if dt <= Time::ZERO {
             return Err(PdnError::InvalidParameter {
@@ -222,9 +217,7 @@ impl LumpedPdn {
         // Energy accounting (trapezoidal in the per-step endpoint values).
         let mut load_energy_j = 0.0;
         let mut dissipated_j = 0.0;
-        let per_step_events = observer
-            .as_deref()
-            .is_some_and(|obs| obs.config().solver_steps);
+        let per_step_events = ctx.observer().is_some_and(|obs| obs.config().solver_steps);
         for k in 0..steps {
             let t = start + dt * k as f64;
             let t_mid = t + dt / 2.0;
@@ -239,7 +232,7 @@ impl LumpedPdn {
             il += h / 6.0 * (k1i + 2.0 * k2i + 2.0 * k3i + k4i);
             v += h / 6.0 * (k1v + 2.0 * k2v + 2.0 * k3v + k4v);
             points.push((t_end, v));
-            if let Some(obs) = observer.as_deref_mut() {
+            if let Some(obs) = ctx.observer() {
                 load_energy_j += 0.5 * (v_prev * i_a + v * i_b) * h;
                 dissipated_j += 0.5 * r * (il_prev * il_prev + il * il) * h;
                 if per_step_events {
@@ -253,13 +246,34 @@ impl LumpedPdn {
                 }
             }
         }
-        if let Some(obs) = observer {
+        if let Some(obs) = ctx.observer() {
             obs.metrics.counter_add("pdn.solver_steps", steps as u64);
             obs.metrics.gauge_set("pdn.load_energy_j", load_energy_j);
             obs.metrics
                 .gauge_set("pdn.dissipated_energy_j", dissipated_j);
         }
         Waveform::from_points(points)
+    }
+
+    /// [`LumpedPdn::transient`] with an explicit optional observer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LumpedPdn::transient`].
+    #[deprecated(since = "0.1.0", note = "use `transient` with a `RunCtx`")]
+    pub fn transient_observed(
+        &self,
+        load: &Waveform,
+        dt: Time,
+        until: Time,
+        observer: Option<&mut Observer>,
+    ) -> Result<Waveform, PdnError> {
+        self.transient(
+            &mut RunCtx::serial().with_observer_opt(observer),
+            load,
+            dt,
+            until,
+        )
     }
 }
 
@@ -324,7 +338,12 @@ mod tests {
         let pdn = LumpedPdn::typical_90nm_package();
         let load = Waveform::constant(1.0);
         let v = pdn
-            .transient(&load, Time::from_ps(200.0), ns(200.0))
+            .transient(
+                &mut RunCtx::serial(),
+                &load,
+                Time::from_ps(200.0),
+                ns(200.0),
+            )
             .unwrap();
         let expect = pdn.steady_state(Current::from_a(1.0)).volts();
         assert!((v.min_value() - expect).abs() < 1e-6);
@@ -337,7 +356,12 @@ mod tests {
         let di = 2.0;
         let load = step_load(0.5, 0.5 + di, ns(100.0), ns(600.0));
         let v = pdn
-            .transient(&load, Time::from_ps(200.0), ns(600.0))
+            .transient(
+                &mut RunCtx::serial(),
+                &load,
+                Time::from_ps(200.0),
+                ns(600.0),
+            )
             .unwrap();
         let pre = pdn.steady_state(Current::from_a(0.5)).volts();
         let droop = pre - v.min_over(ns(100.0), ns(200.0));
@@ -352,7 +376,12 @@ mod tests {
         let pdn = LumpedPdn::typical_90nm_package();
         let load = step_load(0.0, 2.0, ns(50.0), ns(450.0));
         let v = pdn
-            .transient(&load, Time::from_ps(100.0), ns(450.0))
+            .transient(
+                &mut RunCtx::serial(),
+                &load,
+                Time::from_ps(100.0),
+                ns(450.0),
+            )
             .unwrap();
         // Find successive minima spacing after the step.
         let pts = v.points();
@@ -383,7 +412,12 @@ mod tests {
         let pdn = LumpedPdn::typical_90nm_package();
         let load = step_load(0.5, 2.0, ns(50.0), ns(1000.0));
         let v = pdn
-            .transient(&load, Time::from_ps(200.0), ns(1000.0))
+            .transient(
+                &mut RunCtx::serial(),
+                &load,
+                Time::from_ps(200.0),
+                ns(1000.0),
+            )
             .unwrap();
         let expect = pdn.steady_state(Current::from_a(2.0)).volts();
         assert!((v.sample(ns(990.0)) - expect).abs() < 1e-4);
@@ -394,7 +428,12 @@ mod tests {
         let pdn = LumpedPdn::typical_90nm_package();
         let load = step_load(2.0, 0.2, ns(50.0), ns(400.0));
         let v = pdn
-            .transient(&load, Time::from_ps(200.0), ns(400.0))
+            .transient(
+                &mut RunCtx::serial(),
+                &load,
+                Time::from_ps(200.0),
+                ns(400.0),
+            )
             .unwrap();
         // The rail must swing above the new steady state (overshoot).
         let new_ss = pdn.steady_state(Current::from_a(0.2)).volts();
@@ -406,10 +445,19 @@ mod tests {
         let pdn = LumpedPdn::typical_90nm_package();
         let load = Waveform::constant(1.0);
         // Period ≈ 19.9 ns; dt = 2 ns gives < 20 points per period.
-        assert!(pdn.transient(&load, ns(2.0), ns(100.0)).is_err());
-        assert!(pdn.transient(&load, Time::ZERO, ns(100.0)).is_err());
         assert!(pdn
-            .transient(&load, Time::from_ps(100.0), Time::ZERO)
+            .transient(&mut RunCtx::serial(), &load, ns(2.0), ns(100.0))
+            .is_err());
+        assert!(pdn
+            .transient(&mut RunCtx::serial(), &load, Time::ZERO, ns(100.0))
+            .is_err());
+        assert!(pdn
+            .transient(
+                &mut RunCtx::serial(),
+                &load,
+                Time::from_ps(100.0),
+                Time::ZERO
+            )
             .is_err());
     }
 }

@@ -15,6 +15,7 @@
 use psnt_cells::units::{Time, Voltage};
 use psnt_core::code::ThermometerCode;
 use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
+use psnt_ctx::RunCtx;
 use psnt_engine::{Engine, JobSpec};
 use psnt_obs::{Event as ObsEvent, Observer, Span};
 use psnt_pdn::waveform::Waveform;
@@ -157,27 +158,32 @@ impl Campaign {
     /// ground rail is assumed quiet; see [`Campaign::run_dual`] for
     /// simultaneous ground-bounce measurement.
     ///
+    /// The per-site sweep runs on the context's engine, and when the
+    /// context carries an observer the run is traced (see
+    /// [`Campaign::run_dual`]). Results are bit-identical at any worker
+    /// count.
+    ///
     /// # Errors
     ///
     /// Returns [`ScanError::InvalidConfig`] for a load/tile mismatch and
     /// propagates grid, sensor and chain failures.
     pub fn run(
         &self,
+        ctx: &mut RunCtx<'_>,
         tile_loads: &[Waveform],
         start: Time,
         dt: Time,
         samples: usize,
     ) -> Result<CampaignResult, ScanError> {
-        self.run_dual(tile_loads, None, start, dt, samples)
+        self.run_dual(ctx, tile_loads, None, start, dt, samples)
     }
 
     /// [`Campaign::run`] with the site sweep parallelized on `engine`.
-    /// Results are bit-identical at any worker count (see
-    /// [`Campaign::run_dual_observed_on`]).
     ///
     /// # Errors
     ///
     /// Same as [`Campaign::run`].
+    #[deprecated(since = "0.1.0", note = "use `run` with a `RunCtx`")]
     pub fn run_on(
         &self,
         engine: &Engine,
@@ -186,16 +192,21 @@ impl Campaign {
         dt: Time,
         samples: usize,
     ) -> Result<CampaignResult, ScanError> {
-        self.run_dual_observed_on(engine, tile_loads, None, start, dt, samples, None)
+        self.run(
+            &mut RunCtx::new(engine.clone()),
+            tile_loads,
+            start,
+            dt,
+            samples,
+        )
     }
 
-    /// [`Campaign::run`] with telemetry: per-site progress events plus
-    /// running worst-droop/worst-bounce gauges in the observer's
-    /// registry. Results are identical with and without an observer.
+    /// [`Campaign::run`] with an explicit optional observer.
     ///
     /// # Errors
     ///
     /// Same as [`Campaign::run`].
+    #[deprecated(since = "0.1.0", note = "use `run` with a `RunCtx`")]
     pub fn run_observed(
         &self,
         tile_loads: &[Waveform],
@@ -204,7 +215,13 @@ impl Campaign {
         samples: usize,
         observer: Option<&mut Observer>,
     ) -> Result<CampaignResult, ScanError> {
-        self.run_dual_observed(tile_loads, None, start, dt, samples, observer)
+        self.run(
+            &mut RunCtx::serial().with_observer_opt(observer),
+            tile_loads,
+            start,
+            dt,
+            samples,
+        )
     }
 
     /// Like [`Campaign::run`], but with the return current flowing
@@ -214,78 +231,36 @@ impl Campaign {
     /// bounce at a tile is its IR rise above the board ground, computed
     /// from the same per-tile currents.
     ///
-    /// # Errors
+    /// The per-site measurement sweep is parallelized over the
+    /// context's engine; a serial context is this code at one worker,
+    /// not a fork. Determinism: each site is an independent job keyed
+    /// by its floorplan index; the engine collects site series in
+    /// floorplan order, so the [`CampaignResult`] (codes, maps, frames,
+    /// worst droop/bounce) is bit-identical at any worker count.
     ///
-    /// Returns [`ScanError::InvalidConfig`] for load/tile or grid-shape
-    /// mismatches and propagates grid, sensor and chain failures.
-    pub fn run_dual(
-        &self,
-        tile_loads: &[Waveform],
-        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
-        start: Time,
-        dt: Time,
-        samples: usize,
-    ) -> Result<CampaignResult, ScanError> {
-        self.run_dual_observed(tile_loads, ground_grid, start, dt, samples, None)
-    }
-
-    /// [`Campaign::run_dual`] with telemetry: one `scan`/`site` event in
+    /// When the context carries an observer: one `scan`/`site` event in
     /// site order (tile, name, worst levels), running
     /// `campaign.worst_droop_mv` / `campaign.worst_bounce_mv` gauges,
     /// and span timing around the grid solve and the measurement sweep.
-    /// Results are identical with and without an observer.
+    /// Telemetry is worker-count independent too — per-site events are
+    /// emitted in site order after the sweep joins, and the workers'
+    /// metrics registries are merged into the observer's in worker
+    /// order. Results are identical with and without an observer.
     ///
     /// # Errors
     ///
-    /// Same as [`Campaign::run_dual`].
-    pub fn run_dual_observed(
+    /// Returns [`ScanError::InvalidConfig`] for load/tile or grid-shape
+    /// mismatches and propagates grid, sensor and chain failures; when
+    /// several sites fail, the error of the lowest-indexed site is
+    /// returned.
+    pub fn run_dual(
         &self,
+        ctx: &mut RunCtx<'_>,
         tile_loads: &[Waveform],
         ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
         start: Time,
         dt: Time,
         samples: usize,
-        observer: Option<&mut Observer>,
-    ) -> Result<CampaignResult, ScanError> {
-        self.run_dual_observed_on(
-            &Engine::serial(),
-            tile_loads,
-            ground_grid,
-            start,
-            dt,
-            samples,
-            observer,
-        )
-    }
-
-    /// The full entry point: [`Campaign::run_dual_observed`] with the
-    /// per-site measurement sweep parallelized over `engine`'s worker
-    /// pool. Every serial entry point routes here with
-    /// [`Engine::serial`] — the serial path is this code at one worker,
-    /// not a fork.
-    ///
-    /// Determinism: each site is an independent job keyed by its
-    /// floorplan index; the engine collects site series in floorplan
-    /// order, so the [`CampaignResult`] (codes, maps, frames, worst
-    /// droop/bounce) is bit-identical at any worker count. Telemetry is
-    /// worker-count independent too — per-site events are emitted in
-    /// site order after the sweep joins, and the workers' metrics
-    /// registries are merged into the observer's in worker order.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Campaign::run_dual`]; when several sites fail, the
-    /// error of the lowest-indexed site is returned.
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_dual_observed_on(
-        &self,
-        engine: &Engine,
-        tile_loads: &[Waveform],
-        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
-        start: Time,
-        dt: Time,
-        samples: usize,
-        mut observer: Option<&mut Observer>,
     ) -> Result<CampaignResult, ScanError> {
         let grid = self.floorplan.grid();
         if tile_loads.len() != grid.tiles() {
@@ -318,19 +293,19 @@ impl Campaign {
         }
         let end = start + dt * samples as f64 + Time::from_ns(1.0);
         let solve_dt = dt / 2.0;
-        let solve_span = observer.as_ref().map(|_| Span::begin("grid_solve"));
-        let tile_supplies = grid.quasi_static_transient(tile_loads, start, end, solve_dt)?;
+        let solve_span = ctx.has_observer().then(|| Span::begin("grid_solve"));
+        let tile_supplies = grid.quasi_static_transient(ctx, tile_loads, start, end, solve_dt)?;
         // Ground bounce: the same tile currents return through the ground
         // mesh; the bounce is the IR rise above the (0 V-referenced) pad.
         let tile_bounces: Option<Vec<Waveform>> = match ground_grid {
             None => None,
             Some(g) => {
-                let raw = g.quasi_static_transient(tile_loads, start, end, solve_dt)?;
+                let raw = g.quasi_static_transient(ctx, tile_loads, start, end, solve_dt)?;
                 let v_pad = g.v_pad().volts();
                 Some(raw.into_iter().map(|w| w.map(|v| v_pad - v)).collect())
             }
         };
-        if let (Some(obs), Some(span)) = (observer.as_deref_mut(), solve_span) {
+        if let (Some(obs), Some(span)) = (ctx.observer(), solve_span) {
             obs.end_span(span);
         }
         let quiet = Waveform::constant(0.0);
@@ -339,27 +314,29 @@ impl Campaign {
         let instants: Vec<Time> = (0..samples)
             .map(|k| start + dt * (k as f64 + 0.5))
             .collect();
-        let measure_span = observer.as_ref().map(|_| Span::begin("measure_sweep"));
+        let measure_span = ctx.has_observer().then(|| Span::begin("measure_sweep"));
         let site_defs = self.floorplan.sites();
-        let batch = engine.run_batch(&JobSpec::new(site_defs.len()), |ctx| {
-            let site = &site_defs[ctx.index()];
-            let system = SensorSystem::new(self.config.clone())?;
-            let vdd = &tile_supplies[site.tile];
-            let gnd = tile_bounces.as_ref().map_or(&quiet, |b| &b[site.tile]);
-            let measurements = instants
-                .iter()
-                .map(|&at| system.measure_at(vdd, gnd, at))
-                .collect::<Result<Vec<_>, _>>()
-                .map_err(ScanError::from)?;
-            ctx.metrics.counter_add("campaign.sites_done", 1);
-            Ok::<SiteSeries, ScanError>(SiteSeries {
-                tile: site.tile,
-                name: site.name.clone(),
-                measurements,
-            })
-        })?;
+        let batch = ctx
+            .engine()
+            .run_batch(&JobSpec::new(site_defs.len()), |job| {
+                let site = &site_defs[job.index()];
+                let system = SensorSystem::new(self.config.clone())?;
+                let vdd = &tile_supplies[site.tile];
+                let gnd = tile_bounces.as_ref().map_or(&quiet, |b| &b[site.tile]);
+                let measurements = instants
+                    .iter()
+                    .map(|&at| system.measure_at(vdd, gnd, at))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(ScanError::from)?;
+                job.metrics.counter_add("campaign.sites_done", 1);
+                Ok::<SiteSeries, ScanError>(SiteSeries {
+                    tile: site.tile,
+                    name: site.name.clone(),
+                    measurements,
+                })
+            })?;
         let sites = batch.results;
-        if let Some(obs) = observer.as_deref_mut() {
+        if let Some(obs) = ctx.observer() {
             obs.metrics.merge(&batch.metrics);
             for series in &sites {
                 let mut event = ObsEvent::new("scan", "site")
@@ -381,7 +358,7 @@ impl Campaign {
                 obs.event(event);
             }
         }
-        if let (Some(obs), Some(span)) = (observer, measure_span) {
+        if let (Some(obs), Some(span)) = (ctx.observer(), measure_span) {
             obs.end_span(span);
         }
 
@@ -398,6 +375,59 @@ impl Campaign {
             instants,
             frames,
         })
+    }
+
+    /// [`Campaign::run_dual`] with an explicit optional observer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::run_dual`].
+    #[deprecated(since = "0.1.0", note = "use `run_dual` with a `RunCtx`")]
+    pub fn run_dual_observed(
+        &self,
+        tile_loads: &[Waveform],
+        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
+        start: Time,
+        dt: Time,
+        samples: usize,
+        observer: Option<&mut Observer>,
+    ) -> Result<CampaignResult, ScanError> {
+        self.run_dual(
+            &mut RunCtx::serial().with_observer_opt(observer),
+            tile_loads,
+            ground_grid,
+            start,
+            dt,
+            samples,
+        )
+    }
+
+    /// [`Campaign::run_dual`] with an explicit engine and optional
+    /// observer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::run_dual`].
+    #[deprecated(since = "0.1.0", note = "use `run_dual` with a `RunCtx`")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_dual_observed_on(
+        &self,
+        engine: &Engine,
+        tile_loads: &[Waveform],
+        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
+        start: Time,
+        dt: Time,
+        samples: usize,
+        observer: Option<&mut Observer>,
+    ) -> Result<CampaignResult, ScanError> {
+        self.run_dual(
+            &mut RunCtx::new(engine.clone()).with_observer_opt(observer),
+            tile_loads,
+            ground_grid,
+            start,
+            dt,
+            samples,
+        )
     }
 }
 
@@ -438,7 +468,13 @@ mod tests {
         loads[4] =
             Waveform::from_points(vec![(Time::ZERO, 0.05), (Time::from_ns(200.0), 0.9)]).unwrap();
         let result = c
-            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 8)
+            .run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                8,
+            )
             .unwrap();
         assert_eq!(result.sites.len(), 9);
         assert_eq!(result.frames.len(), 8);
@@ -456,7 +492,13 @@ mod tests {
         let mut loads = vec![Waveform::constant(0.02); 9];
         loads[4] = Waveform::constant(1.2);
         let result = c
-            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 4)
+            .run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                4,
+            )
             .unwrap();
         let hotspot = result.hotspot().unwrap();
         assert_eq!(hotspot.tile, 4, "noise map: {:?}", result.noise_map());
@@ -471,7 +513,13 @@ mod tests {
         let c = campaign();
         let loads = vec![Waveform::constant(0.02); 4];
         assert!(matches!(
-            c.run(&loads, Time::ZERO, Time::from_ns(10.0), 2),
+            c.run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::ZERO,
+                Time::from_ns(10.0),
+                2
+            ),
             Err(ScanError::InvalidConfig {
                 name: "tile_loads",
                 ..
@@ -483,8 +531,18 @@ mod tests {
     fn degenerate_sampling_rejected() {
         let c = campaign();
         let loads = vec![Waveform::constant(0.02); 9];
-        assert!(c.run(&loads, Time::ZERO, Time::from_ns(10.0), 0).is_err());
-        assert!(c.run(&loads, Time::ZERO, Time::ZERO, 4).is_err());
+        assert!(c
+            .run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::ZERO,
+                Time::from_ns(10.0),
+                0
+            )
+            .is_err());
+        assert!(c
+            .run(&mut RunCtx::serial(), &loads, Time::ZERO, Time::ZERO, 4)
+            .is_err());
     }
 
     #[test]
@@ -503,6 +561,7 @@ mod tests {
         loads[4] = Waveform::constant(0.9);
         let result = c
             .run_dual(
+                &mut RunCtx::serial(),
                 &loads,
                 Some(&gnd_grid),
                 Time::from_ns(10.0),
@@ -527,7 +586,13 @@ mod tests {
         }
         // Without a ground grid the LS readings sit at the quiet code.
         let quiet_run = c
-            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 2)
+            .run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                2,
+            )
             .unwrap();
         let quiet_centre = quiet_run.sites.iter().find(|s| s.tile == 4).unwrap();
         assert!(quiet_centre.worst_ls_level() >= centre.worst_ls_level());
@@ -546,7 +611,14 @@ mod tests {
         .unwrap();
         let loads = vec![Waveform::constant(0.05); 9];
         assert!(matches!(
-            c.run_dual(&loads, Some(&wrong), Time::ZERO, Time::from_ns(10.0), 2),
+            c.run_dual(
+                &mut RunCtx::serial(),
+                &loads,
+                Some(&wrong),
+                Time::ZERO,
+                Time::from_ns(10.0),
+                2
+            ),
             Err(ScanError::InvalidConfig {
                 name: "ground_grid",
                 ..
@@ -561,12 +633,18 @@ mod tests {
         loads[4] =
             Waveform::from_points(vec![(Time::ZERO, 0.05), (Time::from_ns(200.0), 0.9)]).unwrap();
         let serial = c
-            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 6)
+            .run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                6,
+            )
             .unwrap();
         for jobs in [1usize, 2, 5, 16] {
             let parallel = c
-                .run_on(
-                    &Engine::new(jobs),
+                .run(
+                    &mut RunCtx::new(Engine::new(jobs)),
                     &loads,
                     Time::from_ns(10.0),
                     Time::from_ns(20.0),
@@ -583,18 +661,23 @@ mod tests {
         let loads = vec![Waveform::constant(0.1); 9];
         let mut obs = Observer::ring(128);
         let parallel = c
-            .run_dual_observed_on(
-                &Engine::new(3),
+            .run_dual(
+                &mut RunCtx::new(Engine::new(3)).with_observer(&mut obs),
                 &loads,
                 None,
                 Time::from_ns(5.0),
                 Time::from_ns(15.0),
                 2,
-                Some(&mut obs),
             )
             .unwrap();
         let plain = c
-            .run(&loads, Time::from_ns(5.0), Time::from_ns(15.0), 2)
+            .run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::from_ns(5.0),
+                Time::from_ns(15.0),
+                2,
+            )
             .unwrap();
         assert_eq!(parallel, plain, "observer+parallelism must be passive");
         assert_eq!(obs.metrics.counter_value("campaign.sites_done"), 9);
@@ -606,7 +689,13 @@ mod tests {
         let c = campaign();
         let loads = vec![Waveform::constant(0.1); 9];
         let result = c
-            .run(&loads, Time::from_ns(5.0), Time::from_ns(15.0), 3)
+            .run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::from_ns(5.0),
+                Time::from_ns(15.0),
+                3,
+            )
             .unwrap();
         for (k, frame) in result.frames.iter().enumerate() {
             let codes = c.chain().deserialize(frame).unwrap();

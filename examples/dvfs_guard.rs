@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             psn_thermometer::cells::units::Inductance::from_ph(100.0),
             Capacitance::from_nf(100.0),
         )?;
-        let vdd = pdn.transient(&load, Time::from_ps(200.0), span)?;
+        let vdd = pdn.transient(&mut RunCtx::serial(), &load, Time::from_ps(200.0), span)?;
 
         // One measurement window: 80 sensor measures across the epoch.
         let window: Vec<_> = (0..80)

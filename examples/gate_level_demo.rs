@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two measures with the rail stepped 1.0 V → 0.9 V, delay code 011.
     let code = DelayCode::new(3)?;
     let rails = [Voltage::from_v(1.0), Voltage::from_v(0.9)];
-    let measures = system.run_measures(code, &rails)?;
+    let measures = system.run_measures(&mut RunCtx::serial(), code, &rails)?;
 
     let behavioural = ThermometerArray::paper(RailMode::Supply);
     println!("\nmeasure | rail    | gate-level code | pin skew  | behavioural check");

@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Resistance::from_milliohms(30.0),
     )?;
     let result = campaign.run_dual(
+        &mut RunCtx::serial(),
         &loads,
         Some(&gnd_grid),
         Time::from_ns(10.0),

@@ -15,7 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pg = PulseGenerator::paper_table();
     let reference = Pvt::typical();
     let ref_code = DelayCode::new(3)?;
-    let ref_ch = array_characteristic(&array, &pg, ref_code, &reference)?;
+    let mut ctx = RunCtx::serial();
+    let ref_ch = array_characteristic(&mut ctx, &array, &pg, ref_code, &reference)?;
     println!(
         "reference (TT, code {ref_code}): range {:.3}–{:.3} V, midpoint {:.3} V\n",
         ref_ch.range.0.volts(),
@@ -31,10 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Voltage::from_v(1.0),
             psn_thermometer::cells::units::Temperature::from_celsius(25.0),
         );
-        let untrimmed = array_characteristic(&array, &pg, ref_code, &pvt)?;
+        let untrimmed = array_characteristic(&mut ctx, &array, &pg, ref_code, &pvt)?;
         let shift = untrimmed.midpoint() - ref_ch.midpoint();
         let trim = psn_thermometer::sensor::calibration::trim_for_corner(
-            &array, &pg, ref_code, &reference, &pvt,
+            &mut ctx, &array, &pg, ref_code, &reference, &pvt,
         )?;
         println!(
             "  {corner}   | {:.3}–{:.3} V        | {:+7.1} mV     |     {}      | {:5.1} mV",

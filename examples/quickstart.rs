@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gnd = Waveform::constant(0.0);
 
     println!("PREPARE phase output: {}", sensor.hs_prepare_code());
-    for m in sensor.run(&vdd, &gnd, Time::ZERO, 2)? {
+    for m in sensor.run(&mut RunCtx::serial(), &vdd, &gnd, Time::ZERO, 2)? {
         let range = match (m.hs_interval.lower, m.hs_interval.upper) {
             (Some(lo), Some(hi)) => format!("{:.3}–{:.3} V", lo.volts(), hi.volts()),
             _ => "outside the dynamic range".to_string(),

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // delay code would be the answer for a wilder rail).
     let span = Time::from_us(10.0);
     let load = resonant_loop(Current::from_a(0.3), Current::from_a(0.9), f_true, span, 17)?;
-    let vdd = pdn.transient(&load, Time::from_ps(200.0), span)?;
+    let vdd = pdn.transient(&mut RunCtx::serial(), &load, Time::from_ps(200.0), span)?;
     let gnd = Waveform::constant(0.0);
 
     // Iterated sensor measures, ~23 ns apart on average with seeded

@@ -4,6 +4,28 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> deprecated-variant call gate"
+# The pre-RunCtx entry points are #[deprecated] one-line shims; nothing
+# internal may call them except the shims themselves (same file) and
+# the equivalence tests under tests/. The patterns are paren-anchored
+# so e.g. `measure_with_rng(` does not match `measure_with(`.
+deprecated_calls=$(grep -rn \
+    -e 'run_on(' -e 'run_observed(' -e 'run_dual_observed(' \
+    -e 'run_dual_observed_on(' -e 'measure_with(' \
+    -e 'measure_detailed_with(' -e 'measured_skew_with(' \
+    -e 'run_measures_with(' -e 'monte_carlo_yield_on(' \
+    -e 'array_characteristic_on(' -e 'trim_for_corner_on(' \
+    -e 'step_observed(' -e 'trim_observed(' -e 'transient_observed(' \
+    --include='*.rs' crates/*/src src examples \
+    | grep -v 'pub fn ' \
+    | grep -v 'note = ' \
+    || true)
+if [ -n "$deprecated_calls" ]; then
+    echo "internal code calls a deprecated pre-RunCtx variant:" >&2
+    echo "$deprecated_calls" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -25,6 +47,11 @@ echo "==> engine suite under PSNT_JOBS=4"
 # engine's own tests plus the end-to-end parallel proptests.
 PSNT_JOBS=4 cargo test -q -p psnt-engine
 PSNT_JOBS=4 cargo test -q -p psn-thermometer --test parallel
+
+echo "==> context-equivalence proptests under PSNT_JOBS=4"
+# The RunCtx refactor contract: every deprecated shim is bit-identical
+# to the ctx path, including record-for-record telemetry streams.
+PSNT_JOBS=4 cargo test -q -p psn-thermometer --test ctx_equiv
 
 echo "==> kernel-equivalence proptests under PSNT_JOBS=4"
 # The optimized-kernel contract: reset() reuse, the delay cache and

@@ -26,7 +26,10 @@
 //!   JSON-Lines event log, span timing, run manifests;
 //! * [`engine`] (`psnt-engine`) — deterministic parallel execution:
 //!   a scoped worker pool whose results are bit-identical at any
-//!   worker count.
+//!   worker count;
+//! * [`ctx`] (`psnt-ctx`) — the unified execution context
+//!   ([`RunCtx`](psnt_ctx::RunCtx)): engine + observer + reusable
+//!   simulator pool + seed policy, threaded through every layer.
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@
 pub use psnt_analysis as analysis;
 pub use psnt_cells as cells;
 pub use psnt_core as sensor;
+pub use psnt_ctx as ctx;
 pub use psnt_engine as engine;
 pub use psnt_netlist as netlist;
 pub use psnt_obs as obs;
@@ -66,6 +70,7 @@ pub mod prelude {
     pub use psnt_core::pulsegen::{DelayCode, PulseGenerator};
     pub use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
     pub use psnt_core::thermometer::{CapacitorLadder, ThermometerArray};
+    pub use psnt_ctx::RunCtx;
     pub use psnt_engine::Engine;
     pub use psnt_obs::{Observer, RunManifest};
     pub use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};

@@ -1,0 +1,364 @@
+//! Context-equivalence contract: every deprecated pre-`RunCtx` entry
+//! point is a pure shim — its results are bit-identical to the ctx
+//! path, and an attached observer sees a record-for-record identical
+//! telemetry stream, at jobs ∈ {1, 4}.
+//!
+//! These tests are the only non-shim code allowed to call the
+//! deprecated variants (the CI grep gate whitelists `tests/`).
+
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use psn_thermometer::cells::units::Temperature;
+use psn_thermometer::pdn::grid::PowerGrid;
+use psn_thermometer::pdn::rlc::LumpedPdn;
+use psn_thermometer::pdn::sources::supply_step;
+use psn_thermometer::prelude::*;
+use psn_thermometer::sensor::calibration::{
+    array_characteristic, array_characteristic_on, trim_for_corner, trim_for_corner_on,
+};
+use psn_thermometer::sensor::control::{Controller, CtrlInputs};
+use psn_thermometer::sensor::element::RailMode;
+use psn_thermometer::sensor::gate_level::{GateLevelArray, GateLevelPulseGen, GateLevelSystem};
+use psn_thermometer::sensor::mismatch::{monte_carlo_yield, monte_carlo_yield_on, MismatchModel};
+
+/// The worker counts the equivalence contract is pinned at.
+const JOBS: [usize; 2] = [1, 4];
+
+/// Strips the only nondeterministic content a telemetry stream carries
+/// — wall-clock span durations (and the histograms they fold into) —
+/// so two runs of the same work compare record-for-record.
+fn normalized(lines: Vec<String>) -> Vec<String> {
+    lines
+        .into_iter()
+        .map(|line| {
+            if let Some(i) = line.find(",\"wall_us\"") {
+                line[..i].to_string()
+            } else if let Some(i) = line.find(",\"histograms\"") {
+                line[..i].to_string()
+            } else {
+                line
+            }
+        })
+        .collect()
+}
+
+fn small_campaign() -> Campaign {
+    let grid = PowerGrid::corner_fed(
+        2,
+        Voltage::from_v(1.05),
+        Resistance::from_milliohms(60.0),
+        Resistance::from_milliohms(20.0),
+    )
+    .unwrap();
+    let fp = Floorplan::new(grid, Placement::EveryTile).unwrap();
+    Campaign::new(fp, SensorConfig::default()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `Campaign::run_on` / `run_dual_observed_on` return bit-identical
+    /// results to `run` / `run_dual` on an equivalent context.
+    #[test]
+    fn campaign_legacy_paths_match_ctx(
+        jobs_ix in 0usize..2,
+        idle in 0.01f64..0.1,
+        samples in 2usize..4,
+    ) {
+        let jobs = JOBS[jobs_ix];
+        let campaign = small_campaign();
+        let loads = vec![Waveform::constant(idle); 4];
+        let (start, dt) = (Time::from_ns(10.0), Time::from_ns(20.0));
+
+        let legacy = campaign
+            .run_on(&Engine::new(jobs), &loads, start, dt, samples)
+            .unwrap();
+        let ctx = campaign
+            .run(&mut RunCtx::new(Engine::new(jobs)), &loads, start, dt, samples)
+            .unwrap();
+        prop_assert_eq!(&legacy, &ctx, "run_on diverged at jobs={}", jobs);
+
+        let legacy_dual = campaign
+            .run_dual_observed_on(&Engine::new(jobs), &loads, None, start, dt, samples, None)
+            .unwrap();
+        let ctx_dual = campaign
+            .run_dual(
+                &mut RunCtx::new(Engine::new(jobs)),
+                &loads,
+                None,
+                start,
+                dt,
+                samples,
+            )
+            .unwrap();
+        prop_assert_eq!(&legacy_dual, &ctx_dual, "run_dual diverged at jobs={}", jobs);
+    }
+
+    /// `monte_carlo_yield_on(engine, …, seed)` equals
+    /// `monte_carlo_yield` on a seeded context, for any seed and jobs.
+    #[test]
+    fn yield_legacy_matches_ctx(
+        seed in any::<u64>(),
+        n in 1usize..30,
+        jobs_ix in 0usize..2,
+    ) {
+        let jobs = JOBS[jobs_ix];
+        let array = ThermometerArray::paper(RailMode::Supply);
+        let model = MismatchModel::local_90nm();
+        let pvt = Pvt::typical();
+        let skew = Time::from_ps(149.0);
+
+        let legacy =
+            monte_carlo_yield_on(&Engine::new(jobs), &array, skew, &pvt, &model, n, seed)
+                .unwrap();
+        let ctx = monte_carlo_yield(
+            &mut RunCtx::new(Engine::new(jobs)).with_seed(seed),
+            &array,
+            skew,
+            &pvt,
+            &model,
+            n,
+        )
+        .unwrap();
+        prop_assert_eq!(&legacy, &ctx, "yield diverged at jobs={}", jobs);
+    }
+
+    /// `array_characteristic_on` and `trim_for_corner_on` equal their
+    /// ctx counterparts for every delay code and jobs count.
+    #[test]
+    fn characteristic_and_trim_legacy_match_ctx(
+        code_bits in 0u8..=7,
+        jobs_ix in 0usize..2,
+    ) {
+        let jobs = JOBS[jobs_ix];
+        let array = ThermometerArray::paper(RailMode::Supply);
+        let pg = PulseGenerator::paper_table();
+        let code = DelayCode::new(code_bits).unwrap();
+        let pvt = Pvt::typical();
+        let corner = Pvt::new(
+            ProcessCorner::ALL[0],
+            Voltage::from_v(1.0),
+            Temperature::from_celsius(25.0),
+        );
+
+        let legacy = array_characteristic_on(&Engine::new(jobs), &array, &pg, code, &pvt).unwrap();
+        let ctx =
+            array_characteristic(&mut RunCtx::new(Engine::new(jobs)), &array, &pg, code, &pvt)
+                .unwrap();
+        prop_assert_eq!(&legacy, &ctx, "characteristic diverged at jobs={}", jobs);
+
+        let legacy_trim =
+            trim_for_corner_on(&Engine::new(jobs), &array, &pg, code, &pvt, &corner).unwrap();
+        let ctx_trim = trim_for_corner(
+            &mut RunCtx::new(Engine::new(jobs)),
+            &array,
+            &pg,
+            code,
+            &pvt,
+            &corner,
+        )
+        .unwrap();
+        prop_assert_eq!(&legacy_trim, &ctx_trim, "trim diverged at jobs={}", jobs);
+    }
+
+    /// The observed system run streams record-for-record identical
+    /// telemetry through the legacy `run_observed` and the ctx path,
+    /// for any sensor step stimulus.
+    #[test]
+    fn system_telemetry_stream_is_record_identical(
+        v0_mv in 960.0f64..1040.0,
+        v1_mv in 860.0f64..1000.0,
+    ) {
+        let vdd = supply_step(
+            Voltage::from_mv(v0_mv),
+            Voltage::from_mv(v1_mv),
+            Time::from_ns(15.0),
+            Time::from_us(1.0),
+        )
+        .unwrap();
+        let gnd = Waveform::constant(0.0);
+
+        let mut legacy_obs = Observer::ring(512);
+        let mut legacy_sys = SensorSystem::new(SensorConfig::default()).unwrap();
+        let legacy = legacy_sys
+            .run_observed(&vdd, &gnd, Time::ZERO, 2, Some(&mut legacy_obs))
+            .unwrap();
+        legacy_obs.finish();
+
+        let mut ctx_obs = Observer::ring(512);
+        let mut ctx_sys = SensorSystem::new(SensorConfig::default()).unwrap();
+        let ctx = ctx_sys
+            .run(
+                &mut RunCtx::serial().with_observer(&mut ctx_obs),
+                &vdd,
+                &gnd,
+                Time::ZERO,
+                2,
+            )
+            .unwrap();
+        ctx_obs.finish();
+
+        prop_assert_eq!(&legacy, &ctx);
+        prop_assert_eq!(
+            normalized(legacy_obs.ring_lines().unwrap()),
+            normalized(ctx_obs.ring_lines().unwrap())
+        );
+    }
+}
+
+/// The observed campaign streams record-for-record identical telemetry
+/// through the legacy shims and the ctx path at jobs ∈ {1, 4}.
+#[test]
+fn campaign_telemetry_stream_is_record_identical() {
+    let campaign = small_campaign();
+    let loads = vec![Waveform::constant(0.05); 4];
+    let (start, dt) = (Time::from_ns(10.0), Time::from_ns(20.0));
+
+    for jobs in JOBS {
+        let mut legacy_obs = Observer::ring(512);
+        let legacy = campaign
+            .run_dual_observed_on(
+                &Engine::new(jobs),
+                &loads,
+                None,
+                start,
+                dt,
+                3,
+                Some(&mut legacy_obs),
+            )
+            .unwrap();
+        legacy_obs.finish();
+
+        let mut ctx_obs = Observer::ring(512);
+        let ctx = campaign
+            .run_dual(
+                &mut RunCtx::new(Engine::new(jobs)).with_observer(&mut ctx_obs),
+                &loads,
+                None,
+                start,
+                dt,
+                3,
+            )
+            .unwrap();
+        ctx_obs.finish();
+
+        assert_eq!(legacy, ctx, "campaign results diverged at jobs={jobs}");
+        assert_eq!(
+            normalized(legacy_obs.ring_lines().unwrap()),
+            normalized(ctx_obs.ring_lines().unwrap()),
+            "telemetry streams diverged at jobs={jobs}"
+        );
+    }
+}
+
+/// Exercises every deprecated shim exactly once against its ctx
+/// replacement, so a shim that drifts from a one-line delegation fails
+/// here before anything else.
+#[test]
+fn every_deprecated_shim_delegates() {
+    let code = DelayCode::new(3).unwrap();
+
+    // Campaign::run_observed (serial, no observer).
+    let campaign = small_campaign();
+    let loads = vec![Waveform::constant(0.05); 4];
+    let (start, dt) = (Time::from_ns(10.0), Time::from_ns(20.0));
+    let legacy = campaign.run_observed(&loads, start, dt, 2, None).unwrap();
+    let ctx = campaign
+        .run(&mut RunCtx::serial(), &loads, start, dt, 2)
+        .unwrap();
+    assert_eq!(legacy, ctx);
+
+    // Campaign::run_dual_observed (serial path of the dual-rail run).
+    let legacy = campaign
+        .run_dual_observed(&loads, None, start, dt, 2, None)
+        .unwrap();
+    let ctx = campaign
+        .run_dual(&mut RunCtx::serial(), &loads, None, start, dt, 2)
+        .unwrap();
+    assert_eq!(legacy, ctx);
+
+    // SensorSystem::trim_observed.
+    let corner = Pvt::new(
+        ProcessCorner::ALL[0],
+        Voltage::from_v(1.0),
+        Temperature::from_celsius(25.0),
+    );
+    let mut legacy_sys = SensorSystem::new(SensorConfig::default()).unwrap();
+    let legacy = legacy_sys.trim_observed(&corner, None).unwrap();
+    let mut ctx_sys = SensorSystem::new(SensorConfig::default()).unwrap();
+    let ctx = ctx_sys.trim(&mut RunCtx::serial(), &corner).unwrap();
+    assert_eq!(legacy, ctx);
+
+    // Controller::step_observed.
+    let inputs = CtrlInputs {
+        enable: true,
+        start: true,
+    };
+    let mut legacy_fsm = Controller::new(None);
+    let legacy = legacy_fsm.step_observed(inputs, Time::ZERO, None);
+    let mut ctx_fsm = Controller::new(None);
+    let ctx = ctx_fsm.step_ctx(&mut RunCtx::serial(), inputs, Time::ZERO);
+    assert_eq!(legacy, ctx);
+    assert_eq!(legacy_fsm.state(), ctx_fsm.state());
+
+    // LumpedPdn::transient_observed.
+    let pdn = LumpedPdn::typical_90nm_package();
+    let load = Waveform::constant(0.5);
+    let (step, until) = (Time::from_ps(500.0), Time::from_ns(40.0));
+    let legacy = pdn.transient_observed(&load, step, until, None).unwrap();
+    let ctx = pdn
+        .transient(&mut RunCtx::serial(), &load, step, until)
+        .unwrap();
+    assert_eq!(legacy, ctx);
+
+    // GateLevelArray::{measure_with, measure_detailed_with} on a
+    // caller-held simulator.
+    let gate = GateLevelArray::paper().unwrap();
+    let mut sim = gate.make_sim().unwrap();
+    let rail = Voltage::from_v(0.95);
+    let skew = Time::from_ps(149.0);
+    let legacy = gate.measure_with(&mut sim, rail, skew).unwrap();
+    let ctx = gate.measure(&mut RunCtx::serial(), rail, skew).unwrap();
+    assert_eq!(legacy, ctx);
+    let legacy = gate.measure_detailed_with(&mut sim, rail, skew).unwrap();
+    let ctx = gate
+        .measure_detailed(&mut RunCtx::serial(), rail, skew)
+        .unwrap();
+    assert_eq!(legacy, ctx);
+
+    // GateLevelPulseGen::measured_skew_with.
+    let pg = GateLevelPulseGen::paper().unwrap();
+    let mut sim = pg.make_sim().unwrap();
+    let legacy = pg.measured_skew_with(&mut sim, code).unwrap();
+    let ctx = pg.measured_skew(&mut RunCtx::serial(), code).unwrap();
+    assert_eq!(legacy, ctx);
+
+    // GateLevelSystem::run_measures_with.
+    let sys = GateLevelSystem::paper().unwrap();
+    let mut sim = sys.make_sim().unwrap();
+    let rails = [Voltage::from_v(1.0), Voltage::from_v(0.9)];
+    let legacy = sys.run_measures_with(&mut sim, code, &rails).unwrap();
+    let ctx = sys
+        .run_measures(&mut RunCtx::serial(), code, &rails)
+        .unwrap();
+    assert_eq!(legacy, ctx);
+
+    // SensorSystem::run_observed (covered against ctx in the proptest
+    // above; here just the None-observer arm).
+    let vdd = Waveform::constant(0.94);
+    let gnd = Waveform::constant(0.0);
+    let mut legacy_sys = SensorSystem::new(SensorConfig::default()).unwrap();
+    let legacy = legacy_sys
+        .run_observed(&vdd, &gnd, Time::ZERO, 2, None)
+        .unwrap();
+    let mut ctx_sys = SensorSystem::new(SensorConfig::default()).unwrap();
+    let ctx = ctx_sys
+        .run(&mut RunCtx::serial(), &vdd, &gnd, Time::ZERO, 2)
+        .unwrap();
+    assert_eq!(legacy, ctx);
+
+    // The engine-handle shims (run_on, monte_carlo_yield_on,
+    // array_characteristic_on, trim_for_corner_on,
+    // run_dual_observed_on) are pinned by the proptests above.
+}

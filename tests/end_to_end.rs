@@ -24,7 +24,9 @@ fn workload_to_decoded_voltage_roundtrip() {
         )
         .build()
         .unwrap();
-    let vdd = pdn.transient(&load, Time::from_ps(200.0), span).unwrap();
+    let vdd = pdn
+        .transient(&mut RunCtx::serial(), &load, Time::from_ps(200.0), span)
+        .unwrap();
     let gnd = Waveform::constant(0.0);
 
     let sensor = SensorSystem::new(SensorConfig::default()).unwrap();
@@ -68,7 +70,9 @@ fn droop_depth_matches_pdn_analytics() {
         )
         .build()
         .unwrap();
-    let vdd = pdn.transient(&load, Time::from_ps(200.0), span).unwrap();
+    let vdd = pdn
+        .transient(&mut RunCtx::serial(), &load, Time::from_ps(200.0), span)
+        .unwrap();
     let sensor = SensorSystem::new(SensorConfig::default()).unwrap();
     let gnd = Waveform::constant(0.0);
 
@@ -160,7 +164,9 @@ fn resonant_workload_oscillates_the_readout() {
         9,
     )
     .unwrap();
-    let vdd = pdn.transient(&load, Time::from_ps(200.0), span).unwrap();
+    let vdd = pdn
+        .transient(&mut RunCtx::serial(), &load, Time::from_ps(200.0), span)
+        .unwrap();
     let sensor = SensorSystem::new(SensorConfig::default()).unwrap();
     let gnd = Waveform::constant(0.0);
     let levels: Vec<usize> = (0..100)

@@ -51,8 +51,11 @@ fn fig4_linear_within_range_of_interest() {
 #[test]
 fn fig5_dynamic_ranges_match_paper() {
     let array = ThermometerArray::paper(RailMode::Supply);
-    let ch011 = array_characteristic(&array, &pg(), DelayCode::new(3).unwrap(), &pvt()).unwrap();
-    let ch010 = array_characteristic(&array, &pg(), DelayCode::new(2).unwrap(), &pvt()).unwrap();
+    let mut ctx = RunCtx::serial();
+    let ch011 =
+        array_characteristic(&mut ctx, &array, &pg(), DelayCode::new(3).unwrap(), &pvt()).unwrap();
+    let ch010 =
+        array_characteristic(&mut ctx, &array, &pg(), DelayCode::new(2).unwrap(), &pvt()).unwrap();
     // Paper: code 011 → 0.827 V (all errors) … 1.053 V (no errors).
     assert!((ch011.range.0.volts() - 0.827).abs() < 0.003);
     assert!((ch011.range.1.volts() - 1.053).abs() < 0.003);
@@ -82,7 +85,13 @@ fn fig9_full_system_sequence() {
     )
     .unwrap();
     let measures = sensor
-        .run(&vdd, &Waveform::constant(0.0), Time::ZERO, 2)
+        .run(
+            &mut RunCtx::serial(),
+            &vdd,
+            &Waveform::constant(0.0),
+            Time::ZERO,
+            2,
+        )
         .unwrap();
     assert_eq!(sensor.hs_prepare_code().to_string(), "0000000");
     assert_eq!(measures[0].hs_code.to_string(), "0011111");

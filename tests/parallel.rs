@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use psn_thermometer::pdn::grid::PowerGrid;
 use psn_thermometer::prelude::*;
-use psn_thermometer::sensor::calibration::array_characteristic_on;
-use psn_thermometer::sensor::mismatch::{monte_carlo_yield_on, MismatchModel};
+use psn_thermometer::sensor::calibration::array_characteristic;
+use psn_thermometer::sensor::mismatch::{monte_carlo_yield, MismatchModel};
 
 /// The worker counts every property is checked over. 1 is the inline
 /// serial path, 2 the smallest real pool, 7 deliberately odd and (for
@@ -45,11 +45,17 @@ proptest! {
         .unwrap();
 
         let serial = campaign
-            .run_on(&Engine::serial(), &loads, Time::from_ns(10.0), Time::from_ns(25.0), samples)
+            .run(&mut RunCtx::serial(), &loads, Time::from_ns(10.0), Time::from_ns(25.0), samples)
             .unwrap();
         for jobs in JOBS {
             let parallel = campaign
-                .run_on(&Engine::new(jobs), &loads, Time::from_ns(10.0), Time::from_ns(25.0), samples)
+                .run(
+                    &mut RunCtx::new(Engine::new(jobs)),
+                    &loads,
+                    Time::from_ns(10.0),
+                    Time::from_ns(25.0),
+                    samples,
+                )
                 .unwrap();
             prop_assert_eq!(&serial, &parallel, "campaign diverged at jobs={}", jobs);
         }
@@ -69,12 +75,25 @@ proptest! {
         let pvt = Pvt::typical();
         let skew = Time::from_ps(149.0);
 
-        let serial =
-            monte_carlo_yield_on(&Engine::serial(), &array, skew, &pvt, &model, n, seed).unwrap();
+        let serial = monte_carlo_yield(
+            &mut RunCtx::serial().with_seed(seed),
+            &array,
+            skew,
+            &pvt,
+            &model,
+            n,
+        )
+        .unwrap();
         for jobs in JOBS {
-            let parallel =
-                monte_carlo_yield_on(&Engine::new(jobs), &array, skew, &pvt, &model, n, seed)
-                    .unwrap();
+            let parallel = monte_carlo_yield(
+                &mut RunCtx::new(Engine::new(jobs)).with_seed(seed),
+                &array,
+                skew,
+                &pvt,
+                &model,
+                n,
+            )
+            .unwrap();
             prop_assert_eq!(&serial, &parallel, "yield diverged at jobs={}", jobs);
         }
     }
@@ -88,10 +107,17 @@ proptest! {
         let code = DelayCode::new(code_bits).unwrap();
         let pvt = Pvt::typical();
 
-        let serial = array_characteristic_on(&Engine::serial(), &array, &pg, code, &pvt).unwrap();
+        let serial =
+            array_characteristic(&mut RunCtx::serial(), &array, &pg, code, &pvt).unwrap();
         for jobs in JOBS {
-            let parallel =
-                array_characteristic_on(&Engine::new(jobs), &array, &pg, code, &pvt).unwrap();
+            let parallel = array_characteristic(
+                &mut RunCtx::new(Engine::new(jobs)),
+                &array,
+                &pg,
+                code,
+                &pvt,
+            )
+            .unwrap();
             prop_assert_eq!(&serial, &parallel, "characteristic diverged at jobs={}", jobs);
         }
     }
@@ -117,18 +143,23 @@ proptest! {
         let loads = vec![Waveform::constant(idle); 4];
 
         let plain = campaign
-            .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 3)
+            .run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+            )
             .unwrap();
         let mut obs = Observer::ring(256);
         let observed = campaign
-            .run_dual_observed_on(
-                &Engine::new(jobs),
+            .run_dual(
+                &mut RunCtx::new(Engine::new(jobs)).with_observer(&mut obs),
                 &loads,
                 None,
                 Time::from_ns(10.0),
                 Time::from_ns(20.0),
                 3,
-                Some(&mut obs),
             )
             .unwrap();
 

@@ -43,7 +43,9 @@ fn dvfs_loop_converges_against_the_pdn() {
             Capacitance::from_nf(100.0),
         )
         .unwrap();
-        let vdd = pdn.transient(&load, Time::from_ps(200.0), span).unwrap();
+        let vdd = pdn
+            .transient(&mut RunCtx::serial(), &load, Time::from_ps(200.0), span)
+            .unwrap();
         let window: Vec<_> = (0..60)
             .map(|k| {
                 sensor
@@ -136,7 +138,9 @@ fn resonance_identified_from_sensor_samples() {
     let f_true = pdn.resonance_frequency();
     let span = Time::from_us(8.0);
     let load = resonant_loop(Current::from_a(0.3), Current::from_a(0.9), f_true, span, 3).unwrap();
-    let vdd = pdn.transient(&load, Time::from_ps(200.0), span).unwrap();
+    let vdd = pdn
+        .transient(&mut RunCtx::serial(), &load, Time::from_ps(200.0), span)
+        .unwrap();
     let gnd = Waveform::constant(0.0);
     let sensor = SensorSystem::new(SensorConfig::default()).unwrap();
 

@@ -22,7 +22,13 @@ fn campaign_localises_a_hotspot() {
     let mut loads = vec![Waveform::constant(0.03); 25];
     loads[12] = Waveform::constant(1.0); // centre tile burns
     let result = campaign
-        .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 6)
+        .run(
+            &mut RunCtx::serial(),
+            &loads,
+            Time::from_ns(10.0),
+            Time::from_ns(20.0),
+            6,
+        )
         .unwrap();
     let hotspot = result.hotspot().unwrap();
     // The ~30 mV/LSB quantisation can tie the centre with its immediate
@@ -57,7 +63,13 @@ fn sparse_placement_still_sees_the_hotspot_neighbourhood() {
     let mut loads = vec![Waveform::constant(0.03); 25];
     loads[12] = Waveform::constant(1.0);
     let result = campaign
-        .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 4)
+        .run(
+            &mut RunCtx::serial(),
+            &loads,
+            Time::from_ns(10.0),
+            Time::from_ns(20.0),
+            4,
+        )
         .unwrap();
     assert_eq!(result.sites.len(), 5);
     assert_eq!(result.hotspot().unwrap().tile, 12);
@@ -71,7 +83,13 @@ fn frames_decode_back_to_measurements() {
     let campaign = Campaign::new(fp, SensorConfig::default()).unwrap();
     let loads = vec![Waveform::constant(0.2); 9];
     let result = campaign
-        .run(&loads, Time::from_ns(10.0), Time::from_ns(25.0), 5)
+        .run(
+            &mut RunCtx::serial(),
+            &loads,
+            Time::from_ns(10.0),
+            Time::from_ns(25.0),
+            5,
+        )
         .unwrap();
     for (k, frame) in result.frames.iter().enumerate() {
         let codes = campaign.chain().deserialize(frame).unwrap();
@@ -120,7 +138,13 @@ fn site_series_statistics_are_consistent() {
     let campaign = Campaign::new(fp, SensorConfig::default()).unwrap();
     let loads = vec![Waveform::constant(0.3); 9];
     let result = campaign
-        .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 10)
+        .run(
+            &mut RunCtx::serial(),
+            &loads,
+            Time::from_ns(10.0),
+            Time::from_ns(20.0),
+            10,
+        )
         .unwrap();
     for site in &result.sites {
         let levels: Vec<f64> = site

@@ -46,12 +46,20 @@ proptest! {
         let gnd = Waveform::constant(0.0);
 
         let mut plain = SensorSystem::new(config(hs, ls, truncate)).unwrap();
-        let expected = plain.run(&vdd, &gnd, Time::ZERO, 3).unwrap();
+        let expected = plain
+            .run(&mut RunCtx::serial(), &vdd, &gnd, Time::ZERO, 3)
+            .unwrap();
 
         let mut obs = Observer::ring(256);
         let mut observed_sys = SensorSystem::new(config(hs, ls, truncate)).unwrap();
         let observed = observed_sys
-            .run_observed(&vdd, &gnd, Time::ZERO, 3, Some(&mut obs))
+            .run(
+                &mut RunCtx::serial().with_observer(&mut obs),
+                &vdd,
+                &gnd,
+                Time::ZERO,
+                3,
+            )
             .unwrap();
 
         prop_assert_eq!(&expected, &observed);
@@ -82,12 +90,12 @@ fn observed_run_streams_well_formed_jsonl() {
     .unwrap();
     let mut system = SensorSystem::new(SensorConfig::default()).unwrap();
     system
-        .run_observed(
+        .run(
+            &mut RunCtx::serial().with_observer(&mut obs),
             &vdd,
             &Waveform::constant(0.0),
             Time::ZERO,
             2,
-            Some(&mut obs),
         )
         .unwrap();
     obs.finish();
@@ -169,7 +177,13 @@ fn campaign_result_roundtrip() {
     let campaign = Campaign::new(fp, SensorConfig::default()).unwrap();
     let loads = vec![Waveform::constant(0.2); 4];
     let result = campaign
-        .run(&loads, Time::from_ns(10.0), Time::from_ns(20.0), 3)
+        .run(
+            &mut RunCtx::serial(),
+            &loads,
+            Time::from_ns(10.0),
+            Time::from_ns(20.0),
+            3,
+        )
         .unwrap();
     assert_eq!(roundtrip(&result), result);
 }
