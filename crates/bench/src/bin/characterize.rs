@@ -211,6 +211,16 @@ fn telemetry_footer(obs: &Observer) -> String {
             let _ = writeln!(s, "  span {name}: {:.0} µs", h.sum());
         }
     }
+    // Degradation counters stay silent on a healthy run so the footer
+    // is stable; any nonzero value is worth a line.
+    let bubbles = obs.metrics.counter_value("encoder.bubbles_corrected");
+    if bubbles > 0 {
+        let _ = writeln!(s, "  encoder bubbles corrected: {bubbles}");
+    }
+    let degraded = obs.metrics.counter_value("campaign.sites_degraded");
+    if degraded > 0 {
+        let _ = writeln!(s, "  campaign sites degraded: {degraded}");
+    }
     s
 }
 

@@ -2,11 +2,16 @@
 //! selected subset).
 //!
 //! ```text
-//! repro [--<id> ...] [--jobs N] [--seed S] [--out <dir>] [--telemetry <path.jsonl>] [--list]
+//! repro [--<id> ...] [--xp <id> ...] [--jobs N] [--seed S] [--fault-plan <file.json>]
+//!       [--out <dir>] [--telemetry <path.jsonl>] [--list]
 //! ```
 //!
 //! * `--<id>` — run one experiment (e.g. `--fig5 --tab1`); no ids runs
 //!   everything;
+//! * `--xp <id>` — the same selection by explicit flag (e.g.
+//!   `--xp fault-coverage`), for ids that read awkwardly as flags;
+//! * `--fault-plan <file.json>` — install a `psnt_fault::FaultPlan`
+//!   (JSON) on the context; fault-aware experiments then run degraded;
 //! * `--jobs N` — worker threads for the engine-parallel experiments
 //!   (default: `PSNT_JOBS`, else the machine's available parallelism).
 //!   Reports are bit-identical at any `N`;
@@ -35,6 +40,7 @@ fn main() {
     let mut telemetry: Option<PathBuf> = None;
     let mut engine = Engine::from_env();
     let mut seed = 0u64;
+    let mut fault_plan: Option<psnt_fault::FaultPlan> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -60,6 +66,32 @@ fn main() {
                 Some(s) => seed = s,
                 None => {
                     eprintln!("--seed needs a non-negative integer argument");
+                    std::process::exit(2);
+                }
+            },
+            "--xp" => match iter.next() {
+                Some(id) => wanted.push(id.trim_start_matches("--").to_owned()),
+                None => {
+                    eprintln!("--xp needs an experiment id argument (see --list)");
+                    std::process::exit(2);
+                }
+            },
+            "--fault-plan" => match iter.next() {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(json) => match psnt_fault::FaultPlan::from_json(&json) {
+                        Ok(plan) => fault_plan = Some(plan),
+                        Err(e) => {
+                            eprintln!("invalid fault plan {path}: {e}");
+                            std::process::exit(2);
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("--fault-plan needs a JSON file argument");
                     std::process::exit(2);
                 }
             },
@@ -124,6 +156,7 @@ fn main() {
     let mut ctx = RunCtx::new(engine)
         .with_seed(seed)
         .with_observer_opt(observer.as_mut());
+    ctx.set_fault_plan(fault_plan);
 
     let mut matched = false;
     for (id, _desc, run) in psnt_bench::all_experiments() {

@@ -49,6 +49,36 @@ use crate::code::ThermometerCode;
 use crate::error::SensorError;
 use crate::thermometer::CapacitorLadder;
 
+/// Event budget installed on a simulator whenever a fault plan is
+/// active. A healthy measure of the 7-element array applies a few
+/// hundred events; the full system a few thousand — so this ceiling is
+/// orders of magnitude above any legitimate run while still turning an
+/// oscillating fault (e.g. a stuck-at closing a combinational loop)
+/// into [`psnt_netlist::NetlistError::BudgetExceeded`] instead of a
+/// hang.
+const FAULTED_EVENT_BUDGET: u64 = 5_000_000;
+
+/// Installs (or clears) a context's fault plan on a pooled simulator,
+/// pairing it with the [`FAULTED_EVENT_BUDGET`] guard. Fault-free
+/// contexts leave the simulator exactly as before — no plan, no budget
+/// — preserving the bit-identity contract.
+fn apply_ctx_faults(
+    sim: &mut Simulator<'_>,
+    plan: Option<&psnt_fault::FaultPlan>,
+) -> Result<(), SensorError> {
+    match plan {
+        Some(p) => {
+            sim.set_fault_plan(p).map_err(SensorError::from)?;
+            sim.set_event_budget(Some(FAULTED_EVENT_BUDGET));
+        }
+        None => {
+            sim.clear_fault_plan();
+            sim.set_event_budget(None);
+        }
+    }
+    Ok(())
+}
+
 /// Timing of the stimulus applied for one gate-level measure.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct MeasurePlan {
@@ -246,18 +276,27 @@ impl GateLevelArray {
     /// code read just before the SENSE launch (the paper's Fig. 9 shows
     /// it as `0000000`).
     ///
+    /// When the context carries a [`psnt_fault::FaultPlan`]
+    /// ([`RunCtx::with_fault_plan`]), the plan is installed on the
+    /// pooled simulator before the measure (and cleared again by a
+    /// later fault-free context), with an event-budget guard so a fault
+    /// that makes the netlist oscillate reports
+    /// [`psnt_netlist::NetlistError::BudgetExceeded`] instead of
+    /// hanging.
+    ///
     /// # Errors
     ///
-    /// Propagates simulator failures.
+    /// Propagates simulator failures, including invalid fault plans
+    /// (unknown net/gate/FF names) and exceeded event budgets.
     pub fn measure_detailed<'env>(
         &'env self,
         ctx: &mut RunCtx<'env>,
         rail: Voltage,
         skew: Time,
     ) -> Result<(ThermometerCode, ThermometerCode), SensorError> {
-        let sim = ctx
-            .pool()
-            .get_or_insert_with(&self.netlist, || self.make_sim())?;
+        let (pool, plan) = ctx.pool_parts();
+        let sim = pool.get_or_insert_with(&self.netlist, || self.make_sim())?;
+        apply_ctx_faults(sim, plan)?;
         self.measure_detailed_on(sim, rail, skew)
     }
 
@@ -304,10 +343,13 @@ impl GateLevelArray {
             .map_err(SensorError::from)?;
 
         // Read the PREPARE code just before the SENSE launch…
-        sim.run_until(plan.sense_launch - Time::from_ps(1.0));
+        // (guarded: under a fault plan the simulator carries an event
+        // budget, so an oscillating fault errors instead of hanging).
+        sim.try_run_until(plan.sense_launch - Time::from_ps(1.0))
+            .map_err(SensorError::from)?;
         let prepare = self.pack(sim);
         // …and the measure after everything settles.
-        sim.run_until(plan.read_at);
+        sim.try_run_until(plan.read_at).map_err(SensorError::from)?;
         let sense = self.pack(sim);
         Ok((sense, prepare))
     }
@@ -424,6 +466,38 @@ mod tests {
                 prop_assert_eq!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn ctx_fault_plan_reaches_the_pooled_simulator() {
+        use psnt_fault::{Fault, FaultPlan};
+        let a = GateLevelArray::paper().unwrap();
+        let v = Voltage::from_v(1.0);
+        let healthy = a.measure(&mut RunCtx::serial(), v, skew011()).unwrap();
+        assert_eq!(healthy.to_string(), "0011111");
+
+        // ff0.q stuck at 0 kills the most-loaded (last-printed) bit.
+        let plan = FaultPlan::new().with(Fault::stuck_at("ff0.q", Logic::Zero));
+        let mut ctx = RunCtx::serial().with_fault_plan(plan);
+        let faulty = a.measure(&mut ctx, v, skew011()).unwrap();
+        assert_eq!(faulty.to_string(), "0011110");
+
+        // The same pooled simulator, handed a fault-free context again,
+        // must return to the healthy code (plan cleared, budget off).
+        let recovered = a.measure(&mut RunCtx::serial(), v, skew011()).unwrap();
+        assert_eq!(recovered, healthy);
+    }
+
+    #[test]
+    fn unknown_fault_target_is_reported_not_panicked() {
+        use psnt_fault::{Fault, FaultPlan};
+        let a = GateLevelArray::paper().unwrap();
+        let plan = FaultPlan::new().with(Fault::stuck_at("no_such_net", Logic::One));
+        let mut ctx = RunCtx::serial().with_fault_plan(plan);
+        let err = a
+            .measure(&mut ctx, Voltage::from_v(1.0), skew011())
+            .unwrap_err();
+        assert!(err.to_string().contains("no_such_net"), "{err}");
     }
 
     #[test]
@@ -850,9 +924,9 @@ impl GateLevelSystem {
         code: crate::pulsegen::DelayCode,
         rails: &[Voltage],
     ) -> Result<Vec<GateLevelMeasure>, SensorError> {
-        let sim = ctx
-            .pool()
-            .get_or_insert_with(&self.netlist, || self.make_sim())?;
+        let (pool, plan) = ctx.pool_parts();
+        let sim = pool.get_or_insert_with(&self.netlist, || self.make_sim())?;
+        apply_ctx_faults(sim, plan)?;
         self.run_measures_on(sim, code, rails)
     }
 
@@ -905,7 +979,8 @@ impl GateLevelSystem {
             // capture (the sequence begins after 1 fill cycle).
             let sense_cycle = 4 + 5 * k; // clock edges counted from the first
             let sense_edge = Time::from_ns(2.0) + period * sense_cycle as f64;
-            sim.run_until(sense_edge + period / 2.0);
+            sim.try_run_until(sense_edge + period / 2.0)
+                .map_err(SensorError::from)?;
             let p_sig = sim.try_signal(self.array_p).map_err(SensorError::from)?;
             let cp_sig = sim.try_signal(self.array_cp).map_err(SensorError::from)?;
             let p_fall = sim

@@ -373,6 +373,21 @@ impl SensorSystem {
                 let m = self.measure_at(vdd, gnd, sense_at)?;
                 if let Some(obs) = ctx.observer() {
                     obs.metrics.counter_add("sensor.measures", 1);
+                    // A bubbled word whose encoder runs BubbleCorrect
+                    // was repaired in flight: count each repair so
+                    // degraded runs are visible in telemetry (the
+                    // `characterize` footer surfaces this).
+                    let corrected = [
+                        (self.hs_encoder.policy(), m.hs_word.bubbled),
+                        (self.ls_encoder.policy(), m.ls_word.bubbled),
+                    ]
+                    .iter()
+                    .filter(|(p, b)| *b && *p == EncodingPolicy::BubbleCorrect)
+                    .count();
+                    if corrected > 0 {
+                        obs.metrics
+                            .counter_add("encoder.bubbles_corrected", corrected as u64);
+                    }
                     if m.hs_word.bubbled || m.ls_word.bubbled {
                         obs.metrics.counter_add("sensor.metastability_incidents", 1);
                         obs.event(

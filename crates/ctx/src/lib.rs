@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 use psnt_engine::{split_seed, Engine};
+use psnt_fault::FaultPlan;
 use psnt_netlist::{Netlist, Simulator};
 use psnt_obs::Observer;
 
@@ -118,6 +119,7 @@ pub struct RunCtx<'env> {
     observer: Option<&'env mut Observer>,
     seed: u64,
     pool: SimPool<'env>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RunCtx<'_> {
@@ -140,6 +142,7 @@ impl<'env> RunCtx<'env> {
             observer: None,
             seed: 0,
             pool: SimPool::new(),
+            fault_plan: None,
         }
     }
 
@@ -168,6 +171,17 @@ impl<'env> RunCtx<'env> {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> RunCtx<'env> {
         self.seed = seed;
+        self
+    }
+
+    /// Attaches a fault plan (builder style). Gate-level measures run
+    /// through this context install the plan on their pooled simulator;
+    /// an **empty** plan is normalised to "no plan" so it cannot
+    /// perturb the fault-free fast path (the kernel treats the two
+    /// identically — pinned by the `fault_equiv` proptests).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> RunCtx<'env> {
+        self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
         self
     }
 
@@ -201,6 +215,22 @@ impl<'env> RunCtx<'env> {
         self.observer.is_some()
     }
 
+    /// Replaces the fault plan in place — the sweep-friendly twin of
+    /// [`RunCtx::with_fault_plan`], letting a fault-coverage loop
+    /// reinstall one plan after another on the same context (and its
+    /// pooled simulators). Empty plans normalise to `None`.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan.filter(|p| !p.is_empty());
+    }
+
+    /// The fault plan attached to this context, if any. `None` means a
+    /// healthy run; callers driving a [`Simulator`] through the pool
+    /// should mirror this into
+    /// [`Simulator::set_fault_plan`] / [`Simulator::clear_fault_plan`].
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
     /// The reusable-simulator pool.
     pub fn pool(&mut self) -> &mut SimPool<'env> {
         &mut self.pool
@@ -210,6 +240,13 @@ impl<'env> RunCtx<'env> {
     /// a call site can hold the pool and the observer at once.
     pub fn parts(&mut self) -> (&Engine, Option<&mut Observer>, &mut SimPool<'env>) {
         (&self.engine, self.observer.as_deref_mut(), &mut self.pool)
+    }
+
+    /// Splits the context into its pool and fault-plan parts so a call
+    /// site can install the plan on a pooled simulator while holding
+    /// the pool borrow.
+    pub fn pool_parts(&mut self) -> (&mut SimPool<'env>, Option<&FaultPlan>) {
+        (&mut self.pool, self.fault_plan.as_ref())
     }
 }
 
@@ -241,6 +278,19 @@ mod tests {
         ctx.observer().unwrap().metrics.counter_add("ctx.test", 1);
         drop(ctx);
         assert_eq!(obs.metrics.counter_value("ctx.test"), 2);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_normalised_to_none() {
+        use psnt_cells::logic::Logic;
+        use psnt_fault::{Fault, FaultPlan};
+        let ctx = RunCtx::serial().with_fault_plan(FaultPlan::new());
+        assert!(ctx.fault_plan().is_none(), "empty plan must vanish");
+        let mut ctx = RunCtx::serial()
+            .with_fault_plan(FaultPlan::new().with(Fault::stuck_at("n", Logic::Zero)));
+        assert_eq!(ctx.fault_plan().map(FaultPlan::len), Some(1));
+        let (pool, plan) = ctx.pool_parts();
+        assert!(pool.is_empty() && plan.is_some());
     }
 
     #[test]

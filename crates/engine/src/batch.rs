@@ -1,5 +1,8 @@
 //! Batch descriptions and results: [`JobSpec`], [`JobCtx`],
-//! [`BatchResult`].
+//! [`BatchResult`], and the graceful-degradation vocabulary
+//! ([`JobOutcome`], [`JobError`], [`RetryPolicy`]).
+
+use std::fmt;
 
 use psnt_obs::MetricsRegistry;
 use rand::rngs::StdRng;
@@ -76,6 +79,7 @@ pub struct JobCtx<'a> {
     pub(crate) index: usize,
     pub(crate) worker: usize,
     pub(crate) seed: Option<u64>,
+    pub(crate) attempt: u32,
     /// The executing worker's private metrics registry. Record domain
     /// metrics freely — no locks, no contention — and the engine merges
     /// every worker's registry into one snapshot at join
@@ -93,6 +97,13 @@ impl JobCtx<'_> {
     /// do not let results depend on it.
     pub fn worker(&self) -> usize {
         self.worker
+    }
+
+    /// Zero-based attempt number: always 0 outside isolated batches,
+    /// incremented per retry under a [`RetryPolicy`]. Deterministic —
+    /// retries happen inside the owning job, never on another worker.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
     }
 
     /// This job's split seed.
@@ -117,6 +128,150 @@ impl JobCtx<'_> {
 
 pub(crate) fn job_seed(spec: &JobSpec, index: usize) -> Option<u64> {
     spec.base_seed().map(|s| split_seed(s, index as u64))
+}
+
+/// An attributable job failure: which job failed, the stringified panic
+/// payload, and how many attempts it consumed.
+///
+/// This is both the per-slot error inside
+/// [`JobOutcome::Failed`] and — in non-isolated mode — the payload the
+/// pool re-raises on the calling thread (`panic_any(JobError)`), so a
+/// batch panic always names its originating job index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The failing job's index in `0..spec.jobs()`.
+    pub job: usize,
+    /// The panic payload, stringified (`&str` and `String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub payload: String,
+    /// Attempts consumed (1 without a [`RetryPolicy`]).
+    pub attempts: u32,
+}
+
+impl JobError {
+    pub(crate) fn from_panic(
+        job: usize,
+        payload: &(dyn std::any::Any + Send),
+        attempts: u32,
+    ) -> JobError {
+        let payload = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        JobError {
+            job,
+            payload,
+            attempts,
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job {} panicked after {} attempt(s): {}",
+            self.job, self.attempts, self.payload
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Per-slot outcome of an isolated batch
+/// ([`Engine::run_batch_isolated`](crate::Engine::run_batch_isolated)):
+/// the job's value, or the attributable failure that exhausted its
+/// retries — other slots are unaffected either way.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The job completed, possibly after deterministic retries.
+    Ok(T),
+    /// Every attempt panicked; the final attempt's failure is kept.
+    Failed(JobError),
+}
+
+impl<T> JobOutcome<T> {
+    /// True for [`JobOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobOutcome::Ok(_))
+    }
+
+    /// The success value, consuming the outcome.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v),
+            JobOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The success value by reference.
+    pub fn as_ok(&self) -> Option<&T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v),
+            JobOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure, if the job failed.
+    pub fn error(&self) -> Option<&JobError> {
+        match self {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Failed(e) => Some(e),
+        }
+    }
+}
+
+/// Bounded deterministic retry for isolated batches.
+///
+/// Retries run inside the owning job (never another worker), and the
+/// retry seed depends only on `(base seed, job index, attempt)`, so an
+/// isolated batch remains bit-identical at any worker count — including
+/// which jobs fail and after how many attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, clamped to at least 1.
+    pub max_attempts: u32,
+    /// When true, retry attempt `a > 0` re-derives the job seed as
+    /// `split_seed(job_seed, a)`, giving injected transient faults
+    /// fresh (but reproducible) randomness per attempt. Attempt 0
+    /// always uses the plain job seed, so a policy with
+    /// `max_attempts = 1` is exactly the no-retry behavior.
+    pub reseed: bool,
+}
+
+impl RetryPolicy {
+    /// One attempt, no reseeding — the identity policy.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            reseed: false,
+        }
+    }
+
+    /// Up to `max_attempts` attempts, replaying the same seed each time.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            reseed: false,
+        }
+    }
+
+    /// Up to `max_attempts` attempts with per-attempt reseeding.
+    pub fn reseeding(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            reseed: true,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
 }
 
 /// The ordered outcome of a batch: `results[i]` is job `i`'s output,

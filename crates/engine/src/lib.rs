@@ -65,7 +65,7 @@ pub mod batch;
 pub mod pool;
 pub mod seed;
 
-pub use batch::{BatchResult, JobCtx, JobSpec};
+pub use batch::{BatchResult, JobCtx, JobError, JobOutcome, JobSpec, RetryPolicy};
 pub use seed::split_seed;
 
 // Re-exported so seeded job closures can use `Rng` without adding the
@@ -137,6 +137,74 @@ impl Engine {
         F: Fn(&mut JobCtx<'_>) -> Result<R, E> + Sync,
     {
         pool::execute(self.jobs, spec, &f)
+    }
+
+    /// Runs a batch with **per-job isolation**: a panicking job becomes
+    /// [`JobOutcome::Failed`] in its own slot instead of poisoning the
+    /// pool, so every other job still completes and the caller degrades
+    /// gracefully with partial results.
+    ///
+    /// A [`RetryPolicy`] bounds deterministic re-attempts for injected
+    /// transient faults: retries run inside the owning job, and
+    /// attempt `a > 0` of a reseeding policy sees
+    /// `split_seed(job_seed, a)` through [`JobCtx::seed`] — a function
+    /// of `(base seed, index, attempt)` only, so outcome vectors are
+    /// bit-identical at any worker count. [`JobCtx::attempt`] exposes
+    /// the attempt number.
+    ///
+    /// Telemetry: `engine.job_retries` counts extra attempts that led to
+    /// a success, `engine.jobs_failed` counts exhausted slots.
+    ///
+    /// This wrapper (via the pool) is the workspace's only sanctioned
+    /// `catch_unwind`: higher layers request isolation here rather than
+    /// catching panics themselves (grep-gated in `scripts/ci.sh`).
+    pub fn run_batch_isolated<R, F>(
+        &self,
+        spec: &JobSpec,
+        retry: RetryPolicy,
+        f: F,
+    ) -> BatchResult<JobOutcome<R>>
+    where
+        R: Send,
+        F: Fn(&mut JobCtx<'_>) -> R + Sync,
+    {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let run = |ctx: &mut JobCtx<'_>| -> Result<JobOutcome<R>, Infallible> {
+            let base_seed = ctx.seed;
+            let max = retry.max_attempts.max(1);
+            let mut last: Option<batch::JobError> = None;
+            for attempt in 0..max {
+                ctx.attempt = attempt;
+                ctx.seed = if retry.reseed && attempt > 0 {
+                    base_seed.map(|s| split_seed(s, u64::from(attempt)))
+                } else {
+                    base_seed
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+                    Ok(r) => {
+                        if attempt > 0 {
+                            ctx.metrics
+                                .counter_add("engine.job_retries", u64::from(attempt));
+                        }
+                        return Ok(JobOutcome::Ok(r));
+                    }
+                    Err(payload) => {
+                        last = Some(batch::JobError::from_panic(
+                            ctx.index,
+                            payload.as_ref(),
+                            attempt + 1,
+                        ));
+                    }
+                }
+            }
+            ctx.metrics.counter_add("engine.jobs_failed", 1);
+            Ok(JobOutcome::Failed(last.expect("max_attempts >= 1")))
+        };
+        match pool::execute(self.jobs, spec, &run) {
+            Ok(batch) => batch,
+            Err(e) => match e {},
+        }
     }
 
     /// Maps `f` over `0..n` in parallel, preserving index order.

@@ -19,21 +19,31 @@
 //!   **lowest job index** is returned — the same error a serial sweep
 //!   would hit first — so even the failure mode is worker-count
 //!   independent;
-//! * a panicking job poisons the queue (other workers stop claiming),
-//!   the panic payload is re-raised on the calling thread.
+//! * a panicking job poisons the queue (other workers stop claiming)
+//!   and the panic is re-raised on the calling thread as an
+//!   attributable [`JobError`] (`panic_any`) carrying the **lowest
+//!   panicking job index** — worker-count independent like everything
+//!   else.
+//!
+//! This module is the only place in the workspace allowed to call
+//! `catch_unwind` (enforced by a grep gate in `scripts/ci.sh`): every
+//! layer above gets graceful degradation by asking the engine for it,
+//! not by swallowing panics locally.
 
 use std::panic;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use psnt_obs::MetricsRegistry;
 
-use crate::batch::{job_seed, BatchResult, JobCtx, JobSpec};
+use crate::batch::{job_seed, BatchResult, JobCtx, JobError, JobSpec};
 
 /// One worker's private take: out-of-order `(index, result)` pairs, the
-/// lowest-index error it hit, and its metrics registry.
+/// lowest-index error it hit, the panic that stopped it (if any), and
+/// its metrics registry.
 struct WorkerOutput<R, E> {
     results: Vec<(usize, R)>,
     first_error: Option<(usize, E)>,
+    panicked: Option<JobError>,
     metrics: MetricsRegistry,
 }
 
@@ -72,7 +82,8 @@ where
     let chunks_claimed = metrics.counter("engine.chunks_claimed");
     let mut results = Vec::new();
     let mut first_error: Option<(usize, E)> = None;
-    loop {
+    let mut panicked: Option<JobError> = None;
+    'claim: loop {
         if poisoned.load(Ordering::Relaxed) {
             break;
         }
@@ -87,16 +98,26 @@ where
                 index,
                 worker,
                 seed: job_seed(spec, index),
+                attempt: 0,
                 metrics: &mut metrics,
             };
-            match f(&mut ctx) {
-                Ok(r) => results.push((index, r)),
+            // Catch per job so the panic stays attributable to its job
+            // index (the raw payload would lose it); the batch is still
+            // doomed — poison, stop claiming, and let `execute` re-raise
+            // the lowest-index panic as a `JobError`.
+            match panic::catch_unwind(panic::AssertUnwindSafe(|| f(&mut ctx))) {
+                Ok(Ok(r)) => results.push((index, r)),
                 // A worker claims ascending indices, so the first error
                 // it sees is its lowest-index one.
-                Err(e) => {
+                Ok(Err(e)) => {
                     if first_error.is_none() {
                         first_error = Some((index, e));
                     }
+                }
+                Err(payload) => {
+                    panicked = Some(JobError::from_panic(index, payload.as_ref(), 1));
+                    poisoned.store(true, Ordering::Relaxed);
+                    break 'claim;
                 }
             }
             metrics.inc(jobs_done);
@@ -106,6 +127,7 @@ where
     WorkerOutput {
         results,
         first_error,
+        panicked,
         metrics,
     }
 }
@@ -134,28 +156,21 @@ where
                     scope.spawn(move || worker_loop(w, spec, chunk, cursor, poisoned, f))
                 })
                 .collect();
-            let mut outs = Vec::with_capacity(workers);
-            let mut panic_payload = None;
-            for handle in handles {
-                match handle.join() {
-                    Ok(out) => outs.push(out),
-                    Err(payload) => {
-                        if panic_payload.is_none() {
-                            panic_payload = Some(payload);
-                        }
-                    }
-                }
-            }
-            if let Some(payload) = panic_payload {
-                panic::resume_unwind(payload);
-            }
-            outs
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle
+                        .join()
+                        .expect("worker_loop catches job panics and never unwinds")
+                })
+                .collect()
         })
     };
 
     let mut metrics = MetricsRegistry::new();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let mut first_error: Option<(usize, E)> = None;
+    let mut first_panic: Option<JobError> = None;
     for out in outputs {
         metrics.merge(&out.metrics);
         for (index, r) in out.results {
@@ -166,6 +181,16 @@ where
                 first_error = Some((index, e));
             }
         }
+        if let Some(je) = out.panicked {
+            if first_panic.as_ref().is_none_or(|p| je.job < p.job) {
+                first_panic = Some(je);
+            }
+        }
+    }
+    if let Some(je) = first_panic {
+        // Re-raise with the job index attached — the lowest one, so the
+        // surfaced failure is worker-count independent.
+        panic::panic_any(je);
     }
     if let Some((_, e)) = first_error {
         return Err(e);

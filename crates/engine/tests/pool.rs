@@ -104,7 +104,7 @@ fn error_does_not_stop_the_batch() {
 }
 
 #[test]
-fn panics_propagate_to_the_caller() {
+fn panics_propagate_to_the_caller_with_job_index() {
     for engine in engines() {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             engine.map(16, |i| {
@@ -115,13 +115,118 @@ fn panics_propagate_to_the_caller() {
             })
         }));
         let payload = caught.expect_err("panic must propagate");
-        let msg = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .map(str::to_owned)
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_default();
-        assert!(msg.contains("job 5 exploded"), "{engine:?}: {msg}");
+        // Non-isolated mode re-raises an attributable JobError, not the
+        // raw payload, so the originating job index survives the pool.
+        let je = payload
+            .downcast_ref::<psnt_engine::JobError>()
+            .expect("payload must be a JobError");
+        assert_eq!(je.job, 5, "{engine:?}: {je}");
+        assert!(je.payload.contains("job 5 exploded"), "{engine:?}: {je}");
+        assert!(je.to_string().contains("job 5"), "{engine:?}: {je}");
+    }
+}
+
+#[test]
+fn isolated_batch_degrades_per_slot() {
+    for engine in engines() {
+        let batch =
+            engine.run_batch_isolated(&JobSpec::new(16), psnt_engine::RetryPolicy::none(), |ctx| {
+                if ctx.index() % 5 == 0 {
+                    panic!("slot {} down", ctx.index());
+                }
+                ctx.index() * 10
+            });
+        assert_eq!(batch.results.len(), 16, "{engine:?}");
+        for (i, outcome) in batch.results.iter().enumerate() {
+            if i % 5 == 0 {
+                let e = outcome.error().expect("multiple-of-5 slots fail");
+                assert_eq!(e.job, i);
+                assert_eq!(e.attempts, 1);
+                assert!(e.payload.contains(&format!("slot {i} down")));
+            } else {
+                assert_eq!(outcome.as_ok(), Some(&(i * 10)), "{engine:?}");
+            }
+        }
+        assert_eq!(
+            batch.metrics.counter_value("engine.jobs_failed"),
+            4,
+            "{engine:?}"
+        );
+    }
+}
+
+#[test]
+fn isolated_outcomes_are_identical_at_any_worker_count() {
+    let run = |engine: &Engine| {
+        engine
+            .run_batch_isolated(
+                &JobSpec::new(24).seed(99),
+                psnt_engine::RetryPolicy::reseeding(2),
+                |ctx| {
+                    // Fails deterministically based on the (attempt-
+                    // dependent) seed, so some slots recover on retry
+                    // and some exhaust all attempts.
+                    if ctx.seed() % 2 == 0 {
+                        panic!("transient {}", ctx.index());
+                    }
+                    ctx.seed()
+                },
+            )
+            .results
+    };
+    let serial = run(&Engine::serial());
+    for jobs in [2, 4, 16] {
+        assert_eq!(run(&Engine::new(jobs)), serial, "jobs = {jobs}");
+    }
+    // The vector really exercises both outcomes.
+    assert!(serial.iter().any(|o| o.is_ok()));
+    assert!(serial.iter().any(|o| !o.is_ok()));
+}
+
+#[test]
+fn retry_policy_reseeds_deterministically() {
+    // With reseeding, a job whose first seed fails can succeed on a
+    // later attempt, and the recovered value is the attempt's seed —
+    // the same at every worker count and on every repeat.
+    let run = || {
+        Engine::new(4)
+            .run_batch_isolated(
+                &JobSpec::new(12).seed(7),
+                psnt_engine::RetryPolicy::reseeding(4),
+                |ctx| {
+                    if ctx.seed() % 2 == 0 {
+                        panic!("even seed");
+                    }
+                    (ctx.attempt(), ctx.seed())
+                },
+            )
+            .results
+    };
+    let a = run();
+    assert_eq!(a, run(), "same seed must give the same outcome sequence");
+    assert!(
+        a.iter()
+            .filter_map(|o| o.as_ok())
+            .any(|&(attempt, _)| attempt > 0),
+        "some slot should have recovered on a retry: {a:?}"
+    );
+    // Without reseeding the same failure just repeats max_attempts times.
+    let stubborn = Engine::new(4)
+        .run_batch_isolated(
+            &JobSpec::new(4).seed(7),
+            psnt_engine::RetryPolicy::attempts(3),
+            |ctx| {
+                if ctx.seed() % 2 == 0 {
+                    panic!("even seed");
+                }
+                ctx.seed()
+            },
+        )
+        .results;
+    for o in &stubborn {
+        if let Some(e) = o.error() {
+            assert_eq!(e.attempts, 3);
+        }
     }
 }
 

@@ -1,0 +1,357 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a serde-able list of [`Fault`]s describing how a
+//! simulated die deviates from the healthy netlist: stuck nodes, slow or
+//! fast gates, single-event upsets, supply glitches, and seeded transient
+//! capture errors. Plans are *descriptions only* — the event kernel in
+//! `psnt-netlist` resolves net/gate/flip-flop names against a concrete
+//! [`Netlist`](../psnt_netlist/struct.Netlist.html) and applies the
+//! faults at schedule/commit time, so an **empty plan is bit-identical to
+//! a fault-free run** (pinned by proptest in `tests/fault_equiv.rs`).
+//!
+//! Determinism contract: every fault is either static (stuck-at, delay
+//! scale), time-triggered (bit upset, supply glitch), or drawn from a
+//! [`SplitMix64`] stream whose seed is part of the plan (transient).
+//! Nothing consults wall-clock time or ambient randomness, so the same
+//! plan over the same stimulus reproduces the same faulty trace at any
+//! worker count.
+//!
+//! ```
+//! use psnt_fault::{Fault, FaultPlan};
+//! use psnt_cells::logic::Logic;
+//!
+//! let plan = FaultPlan::new()
+//!     .with(Fault::stuck_at("inv3.out", Logic::Zero))
+//!     .with(Fault::delay_scale("inv1", 1.8));
+//! let json = plan.to_json();
+//! assert_eq!(FaultPlan::from_json(&json).unwrap(), plan);
+//! ```
+
+use psnt_cells::logic::Logic;
+use psnt_cells::units::{Time, Voltage};
+use serde::{json, Deserialize, Serialize};
+
+/// One injected hardware defect or disturbance.
+///
+/// Variant names refer to netlist objects **by name** (as passed to
+/// `Netlist::add_net` / `add_gate` / `add_dff` / `add_domain`); the
+/// simulator resolves them when the plan is installed and reports
+/// `NetlistError::UnknownNet` for names that do not exist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The net is tied to `value` for the whole run: every scheduled
+    /// transition on it is rewritten to `value` at commit time, and the
+    /// settled initial state pins it too (classic stuck-at-0/1 model).
+    StuckAt {
+        /// Net name, e.g. `"inv3.out"`.
+        net: String,
+        /// The value the defect ties the node to.
+        value: Logic,
+    },
+    /// The gate's propagation delays (rise, fall) are multiplied by
+    /// `factor` — `> 1` models a resistive/slow transistor, `< 1` a fast
+    /// (hold-hazard) one. Applied when the delay cache is built, so the
+    /// event hot path pays nothing.
+    DelayScale {
+        /// Gate instance name, e.g. `"inv1"`.
+        gate: String,
+        /// Multiplier on both delay arcs; must be finite and `> 0`.
+        factor: f64,
+    },
+    /// Single-event upset: the flip-flop's output is inverted once at
+    /// time `at` (X flips to [`Logic::One`] so the disturbance is
+    /// observable). The flip propagates through fanout like any edge.
+    BitUpset {
+        /// Flip-flop instance name, e.g. `"ff4"`.
+        ff: String,
+        /// Simulation time of the upset.
+        at: Time,
+    },
+    /// The named supply domain's rail moves by `dv` inside the window
+    /// (inclusive start, exclusive end); delays are re-derived at both
+    /// boundaries from the momentary supply.
+    SupplyGlitch {
+        /// Domain name, e.g. `"vdd_noisy"`.
+        domain: String,
+        /// `(start, end)` of the glitch, `start <= end`.
+        window: (Time, Time),
+        /// Signed rail excursion (negative = droop).
+        dv: Voltage,
+    },
+    /// Seeded transient capture errors: every flip-flop capture
+    /// independently inverts its sampled value with `probability`, drawn
+    /// from a [`SplitMix64`] stream over `seed`. Same seed + same
+    /// stimulus → same error sequence.
+    Transient {
+        /// Per-capture flip probability in `[0, 1]`.
+        probability: f64,
+        /// Stream seed (decorrelate runs by varying it).
+        seed: u64,
+    },
+    /// Harness-level fault: the campaign job for scan site `site` panics
+    /// on its first attempt. Exists to exercise the graceful-degradation
+    /// path (`JobOutcome::Failed` → `SiteOutcome::Degraded`) end to end;
+    /// the event kernel ignores it.
+    SitePanic {
+        /// Zero-based site index within the campaign's placement order.
+        site: usize,
+    },
+}
+
+impl Fault {
+    /// Shorthand for [`Fault::StuckAt`].
+    pub fn stuck_at(net: impl Into<String>, value: Logic) -> Fault {
+        Fault::StuckAt {
+            net: net.into(),
+            value,
+        }
+    }
+
+    /// Shorthand for [`Fault::DelayScale`].
+    pub fn delay_scale(gate: impl Into<String>, factor: f64) -> Fault {
+        Fault::DelayScale {
+            gate: gate.into(),
+            factor,
+        }
+    }
+
+    /// Shorthand for [`Fault::BitUpset`].
+    pub fn bit_upset(ff: impl Into<String>, at: Time) -> Fault {
+        Fault::BitUpset { ff: ff.into(), at }
+    }
+
+    /// Shorthand for [`Fault::SupplyGlitch`].
+    pub fn supply_glitch(domain: impl Into<String>, window: (Time, Time), dv: Voltage) -> Fault {
+        Fault::SupplyGlitch {
+            domain: domain.into(),
+            window,
+            dv,
+        }
+    }
+}
+
+/// A deterministic list of faults to inject into one run.
+///
+/// The default plan is empty; an empty plan installed on a simulator is
+/// bit-identical to no plan at all.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The faults, applied together.
+    #[serde(default)]
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder: appends `fault` and returns the plan.
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Validates value ranges that do not need a netlist: delay factors
+    /// must be finite and positive, probabilities in `[0, 1]`, glitch
+    /// windows ordered. Name resolution happens later, in the simulator.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        for (i, fault) in self.faults.iter().enumerate() {
+            match fault {
+                Fault::DelayScale { gate, factor } => {
+                    if !factor.is_finite() || *factor <= 0.0 {
+                        return Err(PlanError {
+                            index: i,
+                            reason: format!(
+                                "delay factor {factor} for gate {gate:?} must be finite and > 0"
+                            ),
+                        });
+                    }
+                }
+                Fault::Transient { probability, .. } => {
+                    if !probability.is_finite() || !(0.0..=1.0).contains(probability) {
+                        return Err(PlanError {
+                            index: i,
+                            reason: format!(
+                                "transient probability {probability} must be in [0, 1]"
+                            ),
+                        });
+                    }
+                }
+                Fault::SupplyGlitch { domain, window, .. } => {
+                    if window.1 < window.0 {
+                        return Err(PlanError {
+                            index: i,
+                            reason: format!("glitch window on {domain:?} ends before it starts"),
+                        });
+                    }
+                }
+                Fault::StuckAt { .. } | Fault::BitUpset { .. } | Fault::SitePanic { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the plan to JSON (the `--fault-plan <file.json>`
+    /// format).
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+
+    /// Parses a plan from JSON, then [`validate`](FaultPlan::validate)s
+    /// it.
+    pub fn from_json(text: &str) -> Result<FaultPlan, PlanError> {
+        let plan: FaultPlan = json::from_str(text).map_err(|e| PlanError {
+            index: 0,
+            reason: format!("malformed fault plan: {e:?}"),
+        })?;
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// The sites named by [`Fault::SitePanic`] entries, for the campaign
+    /// layer.
+    pub fn panicking_sites(&self) -> Vec<usize> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::SitePanic { site } => Some(*site),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A fault plan failed range validation or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanError {
+    /// Index of the offending fault within the plan (0 for parse errors).
+    pub index: usize,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault[{}]: {}", self.index, self.reason)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// SplitMix64 — the same mixer `psnt-engine` uses for per-job seeds,
+/// repackaged as a sequential stream for transient-fault draws.
+///
+/// Kept dependency-free on purpose: `psnt-netlist` links this crate and
+/// must not pull in the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// A stream over `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly mixed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next draw in `[0, 1)` (53-bit mantissa).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_roundtrips() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+    }
+
+    #[test]
+    fn full_taxonomy_roundtrips_through_json() {
+        let plan = FaultPlan::new()
+            .with(Fault::stuck_at("inv3.out", Logic::Zero))
+            .with(Fault::stuck_at("p", Logic::One))
+            .with(Fault::delay_scale("inv1", 1.8))
+            .with(Fault::bit_upset("ff4", Time::from_ns(6.0)))
+            .with(Fault::supply_glitch(
+                "vdd_noisy",
+                (Time::from_ns(2.0), Time::from_ns(4.0)),
+                Voltage::from_v(-0.12),
+            ))
+            .with(Fault::Transient {
+                probability: 0.25,
+                seed: 99,
+            })
+            .with(Fault::SitePanic { site: 3 });
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.panicking_sites(), vec![3]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_ranges() {
+        let bad_factor = FaultPlan::new().with(Fault::delay_scale("g", 0.0));
+        assert!(bad_factor.validate().is_err());
+        let bad_prob = FaultPlan::new().with(Fault::Transient {
+            probability: 1.5,
+            seed: 0,
+        });
+        assert!(bad_prob.validate().is_err());
+        let bad_window = FaultPlan::new().with(Fault::supply_glitch(
+            "d",
+            (Time::from_ns(4.0), Time::from_ns(2.0)),
+            Voltage::from_v(0.1),
+        ));
+        let err = bad_window.validate().unwrap_err();
+        assert!(err.to_string().contains("window"));
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(FaultPlan::from_json("not json").is_err());
+        assert!(FaultPlan::from_json("{\"faults\": [{\"Nope\": {}}]}").is_err());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniform_ish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let draws: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let again: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(draws, again);
+        let mut c = SplitMix64::new(7);
+        let mean: f64 = (0..4096).map(|_| c.next_f64()).sum::<f64>() / 4096.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+        assert!((0.0..1.0).contains(&c.next_f64()));
+    }
+}

@@ -39,6 +39,30 @@ pub enum NetlistError {
     /// A trace signal was requested for a net that is excluded by the
     /// simulator's `TraceMode` (`Off`, or `Watched` without the net).
     UntracedNet(String),
+    /// A stimulus was scheduled before the current simulation time
+    /// (returned by `Simulator::try_drive`; the `drive` wrapper panics
+    /// instead, preserving its published behavior).
+    DriveInPast {
+        /// The driven net's name.
+        net: String,
+        /// Requested stimulus time, picoseconds.
+        at_ps: f64,
+        /// Current simulation time, picoseconds.
+        now_ps: f64,
+    },
+    /// A budget-guarded run (`Simulator::try_run_until` /
+    /// `try_run_to_quiescence` with an event budget installed) applied
+    /// more events than the budget allows — the deterministic
+    /// alternative to hanging on an oscillating faulted netlist.
+    BudgetExceeded {
+        /// The configured event budget.
+        budget: u64,
+        /// Events applied when the guard tripped.
+        events: u64,
+    },
+    /// A fault plan failed validation or referred to an object kind the
+    /// simulator cannot resolve.
+    InvalidFault(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -73,6 +97,19 @@ impl fmt::Display for NetlistError {
                     "net {name:?} is not traced under the simulator's TraceMode"
                 )
             }
+            NetlistError::DriveInPast { net, at_ps, now_ps } => {
+                write!(
+                    f,
+                    "cannot drive net {net:?} at {at_ps} ps: simulation time is already {now_ps} ps"
+                )
+            }
+            NetlistError::BudgetExceeded { budget, events } => {
+                write!(
+                    f,
+                    "event budget exceeded: {events} events applied against a budget of {budget}"
+                )
+            }
+            NetlistError::InvalidFault(why) => write!(f, "invalid fault: {why}"),
         }
     }
 }
@@ -110,6 +147,22 @@ mod tests {
         assert!(NetlistError::UntracedNet("w".into())
             .to_string()
             .contains("not traced"));
+        assert!(NetlistError::DriveInPast {
+            net: "a".into(),
+            at_ps: 1.0,
+            now_ps: 2.0
+        }
+        .to_string()
+        .contains("cannot drive"));
+        assert!(NetlistError::BudgetExceeded {
+            budget: 10,
+            events: 11
+        }
+        .to_string()
+        .contains("budget"));
+        assert!(NetlistError::InvalidFault("p".into())
+            .to_string()
+            .contains("invalid fault"));
     }
 
     #[test]

@@ -464,6 +464,12 @@ impl Netlist {
         self.nets.len()
     }
 
+    /// Every net id with its metadata, in creation order — the
+    /// enumeration a fault-coverage sweep walks to visit each node once.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> + '_ {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i), n))
+    }
+
     /// All gates.
     pub fn gates(&self) -> &[Gate] {
         &self.gates

@@ -39,6 +39,7 @@ use std::collections::BinaryHeap;
 use psnt_cells::logic::Logic;
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Time, Voltage};
+use psnt_fault::{Fault, FaultPlan, SplitMix64};
 use psnt_obs::metrics::GaugeId;
 use psnt_obs::{Event as ObsEvent, Observer};
 use serde::{Deserialize, Serialize};
@@ -133,6 +134,21 @@ struct GateDelays {
     worst: Time,
 }
 
+impl GateDelays {
+    /// Both arcs multiplied by a `DelayScale` fault factor (1.0 is the
+    /// healthy identity).
+    fn scaled(self, factor: f64) -> GateDelays {
+        if factor == 1.0 {
+            return self;
+        }
+        GateDelays {
+            rise: self.rise * factor,
+            fall: self.fall * factor,
+            worst: self.worst * factor,
+        }
+    }
+}
+
 /// An event-driven simulator over a borrowed [`Netlist`].
 #[derive(Debug)]
 pub struct Simulator<'a> {
@@ -166,6 +182,84 @@ pub struct Simulator<'a> {
     /// Stats already folded into the observer's registry, so repeated
     /// promotion adds only the delta.
     promoted: SimStats,
+    /// Resolved fault-injection state; `None` (the default) keeps every
+    /// hot-path hook behind a single never-taken branch, so a fault-free
+    /// simulator is bit-identical to one built before faults existed.
+    faults: Option<Box<FaultState>>,
+    /// Applied-event ceiling enforced by the `try_run_*` methods.
+    event_budget: Option<u64>,
+}
+
+/// A `FaultPlan` resolved against one netlist: names become indices and
+/// time-triggered faults become sorted schedules with replay cursors.
+#[derive(Debug)]
+struct FaultState {
+    /// Per-net stuck value (`None` = healthy node).
+    stuck: Vec<Option<Logic>>,
+    /// Per-gate delay multiplier (1.0 = healthy), folded into the delay
+    /// cache when it is (re)built.
+    delay_scale: Vec<f64>,
+    /// Single-event upsets as `(time, dff index)`, sorted by time.
+    upsets: Vec<(Time, usize)>,
+    /// Cursor into `upsets`; re-armed by `reset`.
+    next_upset: usize,
+    /// Supply-glitch boundaries as `(time, domain index, signed dv in
+    /// volts)` — `+dv` at the window start, `-dv` at the end — sorted by
+    /// time.
+    glitch_edges: Vec<(Time, usize, f64)>,
+    /// Cursor into `glitch_edges`; re-armed by `reset`.
+    next_glitch: usize,
+    /// Per-capture flip probability of the transient fault, if any.
+    transient: Option<f64>,
+    /// Seed the transient stream restarts from on `reset`.
+    transient_seed: u64,
+    /// The transient draw stream (one draw per FF capture).
+    rng: SplitMix64,
+}
+
+impl FaultState {
+    /// Rewinds the time-triggered schedules and the transient stream to
+    /// the start of a run.
+    fn rearm(&mut self) {
+        self.next_upset = 0;
+        self.next_glitch = 0;
+        self.rng = SplitMix64::new(self.transient_seed);
+    }
+
+    /// The earliest pending time-triggered fault at or before `horizon`
+    /// (`None` horizon = no limit), removed from its schedule.
+    fn pop_due_trigger(&mut self, horizon: Option<Time>) -> Option<FaultTrigger> {
+        let up = self.upsets.get(self.next_upset).copied();
+        let gl = self.glitch_edges.get(self.next_glitch).copied();
+        let take_upset = match (up, gl) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((tu, _)), Some((tg, _, _))) => tu <= tg,
+        };
+        if take_upset {
+            let (t, ff) = up.unwrap();
+            if horizon.is_some_and(|h| t > h) {
+                return None;
+            }
+            self.next_upset += 1;
+            Some(FaultTrigger::Upset { at: t, ff })
+        } else {
+            let (t, domain, dv) = gl.unwrap();
+            if horizon.is_some_and(|h| t > h) {
+                return None;
+            }
+            self.next_glitch += 1;
+            Some(FaultTrigger::GlitchEdge { domain, dv })
+        }
+    }
+}
+
+/// One due time-triggered fault, copied out of `FaultState` so the
+/// simulator can act on it without holding the state borrow.
+enum FaultTrigger {
+    Upset { at: Time, ff: usize },
+    GlitchEdge { domain: usize, dv: f64 },
 }
 
 impl<'a> Simulator<'a> {
@@ -260,6 +354,8 @@ impl<'a> Simulator<'a> {
             observer: None,
             queue_gauge: None,
             promoted: SimStats::default(),
+            faults: None,
+            event_budget: None,
         };
         sim.rebuild_delay_cache();
         sim.initialize();
@@ -287,6 +383,9 @@ impl<'a> Simulator<'a> {
         self.promoted = SimStats::default();
         self.switching_energy_j = 0.0;
         self.trace.clear_edges();
+        if let Some(f) = self.faults.as_mut() {
+            f.rearm();
+        }
         self.initialize();
     }
 
@@ -296,10 +395,10 @@ impl<'a> Simulator<'a> {
         let gates = self.netlist.gates();
         self.delay_cache.clear();
         self.delay_cache.reserve(gates.len());
-        for g in gates {
+        for (gi, g) in gates.iter().enumerate() {
             let supply = self.domain_supply[g.domain().index()];
             let load = self.topo.load(g.output());
-            self.delay_cache.push(GateDelays {
+            let mut d = GateDelays {
                 rise: g
                     .cell()
                     .propagation_delay_edge(supply, load, &self.pvt, true),
@@ -307,7 +406,11 @@ impl<'a> Simulator<'a> {
                     .cell()
                     .propagation_delay_edge(supply, load, &self.pvt, false),
                 worst: g.cell().propagation_delay(supply, load, &self.pvt),
-            });
+            };
+            if let Some(f) = &self.faults {
+                d = d.scaled(f.delay_scale[gi]);
+            }
+            self.delay_cache.push(d);
         }
     }
 
@@ -320,7 +423,7 @@ impl<'a> Simulator<'a> {
                 continue;
             }
             let load = self.topo.load(g.output());
-            self.delay_cache[gi] = GateDelays {
+            let mut d = GateDelays {
                 rise: g
                     .cell()
                     .propagation_delay_edge(supply, load, &self.pvt, true),
@@ -329,6 +432,10 @@ impl<'a> Simulator<'a> {
                     .propagation_delay_edge(supply, load, &self.pvt, false),
                 worst: g.cell().propagation_delay(supply, load, &self.pvt),
             };
+            if let Some(f) = &self.faults {
+                d = d.scaled(f.delay_scale[gi]);
+            }
+            self.delay_cache[gi] = d;
         }
     }
 
@@ -343,6 +450,124 @@ impl<'a> Simulator<'a> {
     /// Selects how metastable captures are modelled.
     pub fn set_metastability_mode(&mut self, mode: MetastabilityMode) {
         self.meta_mode = mode;
+    }
+
+    /// Installs a fault plan, resolving every name against the netlist.
+    ///
+    /// Replaces any previously installed plan. Static faults (stuck-at,
+    /// delay scale) take effect immediately — the delay cache is rebuilt
+    /// here — but the pinned *initial* state of stuck nets and the
+    /// re-armed schedules of time-triggered faults are established by
+    /// [`reset`](Simulator::reset), so the usual sequence is
+    /// `set_fault_plan` then `reset` then stimulus.
+    ///
+    /// Installing an **empty** plan is exactly
+    /// [`clear_fault_plan`](Simulator::clear_fault_plan): no fault state
+    /// is allocated and every hot-path hook stays behind its never-taken
+    /// `None` branch, which keeps fault-free runs bit-identical to a
+    /// simulator built before fault injection existed (pinned by the
+    /// proptests in `tests/fault_equiv.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] for net/gate/flip-flop/domain
+    /// names that do not resolve and [`NetlistError::InvalidFault`] for
+    /// out-of-range parameters; the previous plan is left untouched on
+    /// error.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), NetlistError> {
+        if plan.is_empty() {
+            self.clear_fault_plan();
+            return Ok(());
+        }
+        plan.validate()
+            .map_err(|e| NetlistError::InvalidFault(e.to_string()))?;
+        let mut state = FaultState {
+            stuck: vec![None; self.netlist.net_count()],
+            delay_scale: vec![1.0; self.netlist.gates().len()],
+            upsets: Vec::new(),
+            next_upset: 0,
+            glitch_edges: Vec::new(),
+            next_glitch: 0,
+            transient: None,
+            transient_seed: 0,
+            rng: SplitMix64::new(0),
+        };
+        for fault in &plan.faults {
+            match fault {
+                Fault::StuckAt { net, value } => {
+                    let id = self.netlist.net_by_name(net)?;
+                    state.stuck[id.index()] = Some(*value);
+                }
+                Fault::DelayScale { gate, factor } => {
+                    let gi = self
+                        .netlist
+                        .gates()
+                        .iter()
+                        .position(|g| g.name() == gate)
+                        .ok_or_else(|| NetlistError::UnknownNet(gate.clone()))?;
+                    state.delay_scale[gi] *= factor;
+                }
+                Fault::BitUpset { ff, at } => {
+                    let fi = self
+                        .netlist
+                        .dffs()
+                        .iter()
+                        .position(|d| d.name() == ff)
+                        .ok_or_else(|| NetlistError::UnknownNet(ff.clone()))?;
+                    state.upsets.push((*at, fi));
+                }
+                Fault::SupplyGlitch { domain, window, dv } => {
+                    let d = self
+                        .netlist
+                        .domain_by_name(domain)
+                        .ok_or_else(|| NetlistError::UnknownNet(domain.clone()))?;
+                    state.glitch_edges.push((window.0, d.index(), dv.volts()));
+                    state.glitch_edges.push((window.1, d.index(), -dv.volts()));
+                }
+                Fault::Transient { probability, seed } => {
+                    state.transient = Some(*probability);
+                    state.transient_seed = *seed;
+                    state.rng = SplitMix64::new(*seed);
+                }
+                // Campaign-level fault; the event kernel ignores it.
+                Fault::SitePanic { .. } => {}
+            }
+        }
+        state.upsets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        state.glitch_edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.faults = Some(Box::new(state));
+        self.rebuild_delay_cache();
+        Ok(())
+    }
+
+    /// Removes any installed fault plan and restores the healthy delay
+    /// cache. No-op on a fault-free simulator.
+    pub fn clear_fault_plan(&mut self) {
+        if self.faults.take().is_some() {
+            self.rebuild_delay_cache();
+        }
+    }
+
+    /// Whether a (non-empty) fault plan is installed.
+    pub fn has_fault_plan(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Installs (or clears, with `None`) the cumulative applied-event
+    /// ceiling enforced by [`try_run_until`](Simulator::try_run_until)
+    /// and
+    /// [`try_run_to_quiescence`](Simulator::try_run_to_quiescence).
+    /// The budget compares against total events applied since the last
+    /// [`reset`](Simulator::reset) (which zeroes the event counter but
+    /// keeps the budget, like the other configuration knobs). The
+    /// infallible `run_*` methods ignore it.
+    pub fn set_event_budget(&mut self, budget: Option<u64>) {
+        self.event_budget = budget;
+    }
+
+    /// The installed event budget, if any.
+    pub fn event_budget(&self) -> Option<u64> {
+        self.event_budget
     }
 
     /// Attaches a telemetry observer for the rest of this simulator's
@@ -480,6 +705,16 @@ impl<'a> Simulator<'a> {
         for ff in self.netlist.dffs() {
             self.values[ff.q().index()] = ff.init();
         }
+        // Stuck-at faults pin their nodes before and during settling, so
+        // the initial state is consistent with the defect having been
+        // present forever.
+        if let Some(f) = &self.faults {
+            for (ni, sv) in f.stuck.iter().enumerate() {
+                if let Some(v) = sv {
+                    self.values[ni] = *v;
+                }
+            }
+        }
         let nl = self.netlist;
         for k in 0..self.topo.topo_gates().len() {
             let g = self.topo.topo_gates()[k];
@@ -490,7 +725,14 @@ impl<'a> Simulator<'a> {
                 ins[j] = self.values[i.index()];
             }
             let arity = pins.len();
-            self.values[gate.output().index()] = gate.cell().eval(&ins[..arity]);
+            let oi = gate.output().index();
+            let mut out = gate.cell().eval(&ins[..arity]);
+            if let Some(f) = &self.faults {
+                if let Some(v) = f.stuck[oi] {
+                    out = v;
+                }
+            }
+            self.values[oi] = out;
         }
         for i in 0..self.values.len() {
             self.prev_values[i] = self.values[i];
@@ -502,20 +744,51 @@ impl<'a> Simulator<'a> {
 
     /// Drives a primary input to `value` at absolute time `at`.
     ///
+    /// This is the panicking convenience over [`Simulator::try_drive`],
+    /// kept because call sites that author their own stimulus schedule
+    /// know their times are monotone (mirrors
+    /// [`signal`](Simulator::signal) / [`try_signal`](Simulator::try_signal)).
+    ///
     /// # Errors
     ///
     /// Returns [`NetlistError::NotAnInput`] for non-input nets.
     ///
     /// # Panics
     ///
-    /// Panics if `at` precedes the current simulation time.
+    /// Panics if `at` precedes the current simulation time; use
+    /// [`Simulator::try_drive`] to get
+    /// [`NetlistError::DriveInPast`] instead.
     pub fn drive(&mut self, net: NetId, value: Logic, at: Time) -> Result<(), NetlistError> {
+        match self.try_drive(net, value, at) {
+            Err(NetlistError::DriveInPast { net, at_ps, now_ps }) => {
+                panic!("cannot drive in the past: net {net:?} at {at_ps} ps < now {now_ps} ps")
+            }
+            other => other,
+        }
+    }
+
+    /// Fallible [`drive`](Simulator::drive): schedules a primary-input
+    /// stimulus, reporting out-of-range times as errors rather than
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotAnInput`] for non-input nets and
+    /// [`NetlistError::DriveInPast`] when `at` precedes the current
+    /// simulation time.
+    pub fn try_drive(&mut self, net: NetId, value: Logic, at: Time) -> Result<(), NetlistError> {
         if !self.is_input[net.index()] {
             return Err(NetlistError::NotAnInput(
                 self.netlist.net(net).name().to_owned(),
             ));
         }
-        assert!(at >= self.now, "cannot drive in the past");
+        if at < self.now {
+            return Err(NetlistError::DriveInPast {
+                net: self.netlist.net(net).name().to_owned(),
+                at_ps: at.picoseconds(),
+                now_ps: self.now.picoseconds(),
+            });
+        }
         // Primary inputs use transport semantics: every queued stimulus
         // edge applies in time order (no inertial cancellation), so a full
         // clock waveform can be scheduled up front.
@@ -559,38 +832,174 @@ impl<'a> Simulator<'a> {
     /// Processes every event scheduled at or before `t`, then advances the
     /// clock to `t`. Returns the number of applied events.
     pub fn run_until(&mut self, t: Time) -> u64 {
+        match self.run_until_guarded(t, None) {
+            Ok(applied) => applied,
+            Err(_) => unreachable!("unguarded run cannot exceed a budget"),
+        }
+    }
+
+    /// Budget-guarded [`run_until`](Simulator::run_until): identical
+    /// event-for-event while the configured
+    /// [event budget](Simulator::set_event_budget) holds, but stops with
+    /// [`NetlistError::BudgetExceeded`] instead of grinding through an
+    /// oscillation a fault plan may have created. With no budget
+    /// installed it never fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BudgetExceeded`] when the cumulative
+    /// applied-event count passes the budget; the simulator remains
+    /// usable (time holds at the last applied event).
+    pub fn try_run_until(&mut self, t: Time) -> Result<u64, NetlistError> {
+        self.run_until_guarded(t, self.event_budget)
+    }
+
+    fn run_until_guarded(&mut self, t: Time, budget: Option<u64>) -> Result<u64, NetlistError> {
         let before = self.stats.events;
-        while let Some(std::cmp::Reverse(ev)) = self.queue.peek().copied() {
+        loop {
+            let next = self.queue.peek().map(|r| r.0.time);
+            if self.faults.is_some() {
+                let horizon = match next {
+                    Some(te) if te <= t => te,
+                    _ => t,
+                };
+                if self.inject_due_fault(Some(horizon)) {
+                    continue;
+                }
+            }
+            let Some(std::cmp::Reverse(ev)) = self.queue.peek().copied() else {
+                break;
+            };
             if ev.time > t {
                 break;
             }
             self.queue.pop();
             self.apply(ev);
+            if let Some(b) = budget {
+                if self.stats.events > b {
+                    self.promote_stats();
+                    return Err(NetlistError::BudgetExceeded {
+                        budget: b,
+                        events: self.stats.events,
+                    });
+                }
+            }
         }
         self.now = self.now.max(t);
         self.promote_stats();
-        self.stats.events - before
+        Ok(self.stats.events - before)
     }
 
     /// Runs until the event queue drains (or `max` events were applied,
     /// as a divergence guard). Returns the final time.
     pub fn run_to_quiescence(&mut self, max: u64) -> Time {
+        match self.run_quiescence_guarded(max, None) {
+            Ok(t) => t,
+            Err(_) => unreachable!("unguarded run cannot exceed a budget"),
+        }
+    }
+
+    /// Budget-guarded [`run_to_quiescence`](Simulator::run_to_quiescence):
+    /// same event order, but the configured
+    /// [event budget](Simulator::set_event_budget) turns a netlist that
+    /// never settles (e.g. a stuck-at fault closing an oscillating loop)
+    /// into a [`NetlistError::BudgetExceeded`] error rather than silently
+    /// stopping at `max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BudgetExceeded`] when the cumulative
+    /// applied-event count passes the budget.
+    pub fn try_run_to_quiescence(&mut self, max: u64) -> Result<Time, NetlistError> {
+        self.run_quiescence_guarded(max, self.event_budget)
+    }
+
+    fn run_quiescence_guarded(
+        &mut self,
+        max: u64,
+        budget: Option<u64>,
+    ) -> Result<Time, NetlistError> {
         let mut applied = 0;
-        while let Some(std::cmp::Reverse(ev)) = self.queue.pop() {
+        loop {
+            if self.faults.is_some() {
+                let horizon = self.queue.peek().map(|r| r.0.time);
+                if self.inject_due_fault(horizon) {
+                    continue;
+                }
+            }
+            let Some(std::cmp::Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
             let was_applied = self.apply(ev);
             if was_applied {
                 applied += 1;
                 if applied >= max {
                     break;
                 }
+                if let Some(b) = budget {
+                    if self.stats.events > b {
+                        self.promote_stats();
+                        return Err(NetlistError::BudgetExceeded {
+                            budget: b,
+                            events: self.stats.events,
+                        });
+                    }
+                }
             }
         }
         self.promote_stats();
-        self.now
+        Ok(self.now)
     }
 
-    fn apply(&mut self, ev: Event) -> bool {
+    /// Injects at most one due time-triggered fault (bit upset or supply
+    /// glitch boundary) with trigger time `<= horizon` (`None` = no
+    /// limit). Returns whether anything was injected — callers loop so
+    /// the event heap interleaves injected edges in time order.
+    fn inject_due_fault(&mut self, horizon: Option<Time>) -> bool {
+        let Some(f) = self.faults.as_mut() else {
+            return false;
+        };
+        let Some(trigger) = f.pop_due_trigger(horizon) else {
+            return false;
+        };
+        match trigger {
+            FaultTrigger::Upset { at, ff } => {
+                // Invert the flip-flop output once; X flips to One so the
+                // disturbance is observable. Scheduled through the normal
+                // inertial path, so fanout reacts like any capture.
+                let q = self.netlist.dffs()[ff].q();
+                let qi = q.index();
+                let effective = self.pending[qi].unwrap_or(self.values[qi]);
+                let flipped = match effective {
+                    Logic::One => Logic::Zero,
+                    Logic::Zero => Logic::One,
+                    _ => Logic::One,
+                };
+                self.version[qi] += 1;
+                self.pending[qi] = Some(flipped);
+                let when = at.max(self.now);
+                self.push_event(when, q, flipped);
+            }
+            FaultTrigger::GlitchEdge { domain, dv } => {
+                let d = DomainId(domain);
+                let bumped = Voltage::from_v(self.domain_supply[domain].volts() + dv);
+                self.domain_supply[domain] = bumped;
+                self.refresh_domain_delays(d);
+            }
+        }
+        true
+    }
+
+    fn apply(&mut self, mut ev: Event) -> bool {
         let ni = ev.net.index();
+        // Stuck-at interception at commit time: transitions on a stuck
+        // node are rewritten to the stuck value, which the same-value
+        // check below then discards — the node never moves.
+        if let Some(f) = &self.faults {
+            if let Some(v) = f.stuck[ni] {
+                ev.value = v;
+            }
+        }
         if ev.version != self.version[ni] {
             self.stats.cancelled += 1;
             return false; // superseded by a later evaluation (inertial)
@@ -701,6 +1110,21 @@ impl<'a> Simulator<'a> {
         } else {
             outcome.value
         };
+        // Transient fault: one stream draw per capture (flip or not, so
+        // the sequence stays aligned with the capture order), inverting
+        // the sampled value when the draw lands under the probability.
+        let mut value = value;
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(p) = f.transient {
+                if f.rng.next_f64() < p {
+                    value = match value {
+                        Logic::One => Logic::Zero,
+                        Logic::Zero => Logic::One,
+                        other => other,
+                    };
+                }
+            }
+        }
         let q = ff.q();
         let qi = q.index();
         let effective = self.pending[qi].unwrap_or(self.values[qi]);
@@ -1189,5 +1613,217 @@ mod tests {
         let vcd = sim.trace().to_vcd("t");
         assert!(vcd.contains("g.out"));
         assert!(vcd.contains("a"));
+    }
+
+    fn inverter_chain(len: usize) -> (Netlist, NetId) {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let mut prev = a;
+        for i in 0..len {
+            prev = n
+                .add_gate(format!("inv{i}"), StdCell::inverter(1.0), &[prev])
+                .unwrap();
+        }
+        n.mark_output("q", prev);
+        (n, a)
+    }
+
+    #[test]
+    fn try_drive_reports_past_time_instead_of_panicking() {
+        let (n, a) = inverter_chain(1);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.drive(a, Logic::One, ps(100.0)).unwrap();
+        sim.run_until(Time::from_ns(1.0));
+        let err = sim.try_drive(a, Logic::Zero, ps(10.0)).unwrap_err();
+        assert!(matches!(err, NetlistError::DriveInPast { .. }), "{err}");
+        // Forward drives still work after the rejected one.
+        sim.try_drive(a, Logic::Zero, Time::from_ns(2.0)).unwrap();
+    }
+
+    #[test]
+    fn stuck_at_pins_net_from_initialization_onward() {
+        let (n, a) = inverter_chain(2);
+        let mid = n.net_by_name("inv0.out").unwrap();
+        let out = n.net_by_name("inv1.out").unwrap();
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.set_fault_plan(&FaultPlan::new().with(Fault::stuck_at("inv0.out", Logic::Zero)))
+            .unwrap();
+        sim.reset();
+        // The stuck node is pinned in the settled initial state and the
+        // second inverter sees it.
+        assert_eq!(sim.value(mid), Logic::Zero);
+        assert_eq!(sim.value(out), Logic::One);
+        // Toggling the input cannot move the stuck node or anything past
+        // it.
+        sim.drive(a, Logic::Zero, ps(0.0)).unwrap();
+        sim.drive(a, Logic::One, Time::from_ns(1.0)).unwrap();
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.value(mid), Logic::Zero);
+        assert_eq!(sim.value(out), Logic::One);
+    }
+
+    #[test]
+    fn empty_plan_is_identical_to_no_plan() {
+        let (n, a) = inverter_chain(4);
+        let run = |sim: &mut Simulator<'_>| {
+            sim.reset();
+            sim.drive(a, Logic::Zero, ps(0.0)).unwrap();
+            sim.drive(a, Logic::One, Time::from_ns(1.0)).unwrap();
+            sim.run_until(Time::from_ns(3.0));
+            (
+                (0..sim.netlist.net_count())
+                    .map(|i| sim.value(NetId(i)))
+                    .collect::<Vec<_>>(),
+                *sim.stats(),
+                sim.switching_energy_joules(),
+            )
+        };
+        let mut healthy = Simulator::new(&n, v(1.0)).unwrap();
+        let baseline = run(&mut healthy);
+        let mut planned = Simulator::new(&n, v(1.0)).unwrap();
+        planned.set_fault_plan(&FaultPlan::new()).unwrap();
+        assert!(!planned.has_fault_plan(), "empty plan must not allocate");
+        assert_eq!(run(&mut planned), baseline);
+    }
+
+    #[test]
+    fn delay_scale_slows_only_the_faulted_gate() {
+        let (n, _) = inverter_chain(2);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        let (r0, f0, w0) = sim.cached_gate_delays(GateId::from_index(0));
+        let (r1, f1, w1) = sim.cached_gate_delays(GateId::from_index(1));
+        sim.set_fault_plan(&FaultPlan::new().with(Fault::delay_scale("inv0", 2.0)))
+            .unwrap();
+        let (r0s, f0s, w0s) = sim.cached_gate_delays(GateId::from_index(0));
+        assert!((r0s.picoseconds() - 2.0 * r0.picoseconds()).abs() < 1e-9);
+        assert!((f0s.picoseconds() - 2.0 * f0.picoseconds()).abs() < 1e-9);
+        assert!((w0s.picoseconds() - 2.0 * w0.picoseconds()).abs() < 1e-9);
+        assert_eq!(sim.cached_gate_delays(GateId::from_index(1)), (r1, f1, w1));
+        // Clearing the plan restores the healthy cache.
+        sim.clear_fault_plan();
+        assert_eq!(sim.cached_gate_delays(GateId::from_index(0)), (r0, f0, w0));
+    }
+
+    #[test]
+    fn bit_upset_flips_ff_output_once() {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let clk = n.add_input("clk");
+        let q = n.add_dff("ff", Dff::standard_90nm(), d, clk, Logic::Zero);
+        n.mark_output("q", q);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.set_fault_plan(&FaultPlan::new().with(Fault::bit_upset("ff", Time::from_ns(5.0))))
+            .unwrap();
+        sim.reset();
+        sim.drive(d, Logic::One, ps(0.0)).unwrap();
+        sim.drive(clk, Logic::Zero, ps(0.0)).unwrap();
+        sim.drive(clk, Logic::One, Time::from_ns(2.0)).unwrap();
+        sim.run_until(Time::from_ns(4.0));
+        assert_eq!(sim.value(q), Logic::One, "healthy capture first");
+        sim.run_until(Time::from_ns(8.0));
+        assert_eq!(sim.value(q), Logic::Zero, "SEU inverted the bit");
+        // Re-arming via reset replays the same upset deterministically.
+        sim.reset();
+        sim.drive(d, Logic::One, ps(0.0)).unwrap();
+        sim.drive(clk, Logic::Zero, ps(0.0)).unwrap();
+        sim.drive(clk, Logic::One, Time::from_ns(2.0)).unwrap();
+        sim.run_until(Time::from_ns(8.0));
+        assert_eq!(sim.value(q), Logic::Zero);
+    }
+
+    #[test]
+    fn supply_glitch_slows_gates_inside_window_only() {
+        let (n, a) = inverter_chain(1);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        let healthy = sim.cached_gate_delays(GateId::from_index(0)).0;
+        sim.set_fault_plan(&FaultPlan::new().with(Fault::supply_glitch(
+            "core",
+            (Time::from_ns(1.0), Time::from_ns(3.0)),
+            Voltage::from_v(-0.2),
+        )))
+        .unwrap();
+        sim.reset();
+        sim.drive(a, Logic::One, ps(0.0)).unwrap();
+        sim.run_until(Time::from_ns(2.0));
+        // Inside the window the rail droops to 0.8 V and the cached
+        // delay is re-derived from the lower supply (the plain StdCell
+        // model is only mildly supply-sensitive, so assert direction and
+        // rail, not magnitude).
+        assert!((sim.supply().volts() - 0.8).abs() < 1e-12);
+        let inside = sim.cached_gate_delays(GateId::from_index(0)).0;
+        assert!(
+            inside.picoseconds() > healthy.picoseconds(),
+            "glitch did not slow the gate: {inside:?} vs {healthy:?}"
+        );
+        sim.run_until(Time::from_ns(4.0));
+        let after = sim.cached_gate_delays(GateId::from_index(0)).0;
+        assert!((after.picoseconds() - healthy.picoseconds()).abs() < 1e-9);
+        assert!((sim.supply().volts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transient_flips_are_seed_deterministic() {
+        let mut n = Netlist::new("t");
+        let d = n.add_input("d");
+        let clk = n.add_input("clk");
+        let q = n.add_dff("ff", Dff::standard_90nm(), d, clk, Logic::Zero);
+        n.mark_output("q", q);
+        let captured = |seed: u64| {
+            let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+            sim.set_fault_plan(&FaultPlan::new().with(Fault::Transient {
+                probability: 0.5,
+                seed,
+            }))
+            .unwrap();
+            sim.reset();
+            sim.drive(d, Logic::One, ps(0.0)).unwrap();
+            sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(2.0), 16)
+                .unwrap();
+            let mut seen = Vec::new();
+            for k in 0..16 {
+                sim.run_until(Time::from_ns(2.0) * k as f64 + Time::from_ns(1.9));
+                seen.push(sim.value(q));
+            }
+            seen
+        };
+        let a = captured(7);
+        assert_eq!(a, captured(7), "same seed must replay the same flips");
+        assert!(
+            a.contains(&Logic::Zero),
+            "p=0.5 over 16 captures of a constant 1 should flip at least once"
+        );
+    }
+
+    #[test]
+    fn budget_guard_trips_on_oscillating_fault() {
+        // Three stuck-free inverters in a combinational loop are illegal,
+        // so build the oscillator from a ring through a flip-flop-free
+        // pair: input buffer + inverter feeding the input again is not
+        // constructible either — instead drive a long toggle burst
+        // through a chain and give it a budget far below the event count.
+        let (n, a) = inverter_chain(8);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        sim.set_event_budget(Some(20));
+        for k in 0..32 {
+            sim.drive(
+                a,
+                if k % 2 == 0 { Logic::One } else { Logic::Zero },
+                ps(500.0) * k as f64,
+            )
+            .unwrap();
+        }
+        let err = sim.try_run_until(Time::from_ns(40.0)).unwrap_err();
+        assert!(
+            matches!(err, NetlistError::BudgetExceeded { budget: 20, .. }),
+            "{err}"
+        );
+        // The unguarded path still works after the trip.
+        sim.set_event_budget(None);
+        assert!(sim.try_run_until(Time::from_ns(40.0)).is_ok());
+        // And a generous budget never fires.
+        let mut ok = Simulator::new(&n, v(1.0)).unwrap();
+        ok.set_event_budget(Some(1_000_000));
+        ok.drive(a, Logic::One, ps(0.0)).unwrap();
+        assert!(ok.try_run_to_quiescence(10_000).is_ok());
     }
 }

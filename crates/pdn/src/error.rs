@@ -34,6 +34,13 @@ pub enum PdnError {
         /// Residual at abort.
         residual: f64,
     },
+    /// A windowed waveform query received an empty interval.
+    EmptyInterval {
+        /// Window start.
+        from: psnt_cells::units::Time,
+        /// Window end (before `from`, or equal where a width is needed).
+        to: psnt_cells::units::Time,
+    },
 }
 
 impl fmt::Display for PdnError {
@@ -56,6 +63,9 @@ impl fmt::Display for PdnError {
                 residual,
             } => {
                 write!(f, "grid solver did not converge after {iterations} iterations (residual {residual:.3e})")
+            }
+            PdnError::EmptyInterval { from, to } => {
+                write!(f, "empty waveform interval [{from}, {to}]")
             }
         }
     }
@@ -92,6 +102,12 @@ mod tests {
         }
         .to_string()
         .contains("r"));
+        assert!(PdnError::EmptyInterval {
+            from: psnt_cells::units::Time::from_ns(2.0),
+            to: psnt_cells::units::Time::from_ns(1.0),
+        }
+        .to_string()
+        .contains("empty"));
     }
 
     #[test]

@@ -131,13 +131,47 @@ impl Waveform {
 
     /// Minimum over `[from, to]`, considering interior breakpoints and the
     /// clamped interval ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < from`; [`Waveform::try_min_over`] is the fallible
+    /// form for caller-supplied windows.
     pub fn min_over(&self, from: Time, to: Time) -> f64 {
-        self.extreme_over(from, to, f64::min)
+        self.try_min_over(from, to).expect("non-empty interval")
+    }
+
+    /// Fallible [`Waveform::min_over`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::EmptyInterval`] when `to < from`.
+    pub fn try_min_over(&self, from: Time, to: Time) -> Result<f64, PdnError> {
+        if to < from {
+            return Err(PdnError::EmptyInterval { from, to });
+        }
+        Ok(self.extreme_over(from, to, f64::min))
     }
 
     /// Maximum over `[from, to]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < from`; [`Waveform::try_max_over`] is the fallible
+    /// form for caller-supplied windows.
     pub fn max_over(&self, from: Time, to: Time) -> f64 {
-        self.extreme_over(from, to, f64::max)
+        self.try_max_over(from, to).expect("non-empty interval")
+    }
+
+    /// Fallible [`Waveform::max_over`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::EmptyInterval`] when `to < from`.
+    pub fn try_max_over(&self, from: Time, to: Time) -> Result<f64, PdnError> {
+        if to < from {
+            return Err(PdnError::EmptyInterval { from, to });
+        }
+        Ok(self.extreme_over(from, to, f64::max))
     }
 
     /// The breakpoints strictly inside `(from, to)`, located by binary
@@ -151,7 +185,6 @@ impl Waveform {
     }
 
     fn extreme_over(&self, from: Time, to: Time, pick: fn(f64, f64) -> f64) -> f64 {
-        assert!(to >= from, "empty interval");
         let mut acc = pick(self.sample(from), self.sample(to));
         for &(_, y) in self.interior(from, to) {
             acc = pick(acc, y);
@@ -163,9 +196,22 @@ impl Waveform {
     ///
     /// # Panics
     ///
-    /// Panics if `to <= from`.
+    /// Panics if `to <= from`; [`Waveform::try_mean_over`] is the fallible
+    /// form for caller-supplied windows.
     pub fn mean_over(&self, from: Time, to: Time) -> f64 {
-        assert!(to > from, "empty interval");
+        self.try_mean_over(from, to).expect("non-empty interval")
+    }
+
+    /// Fallible [`Waveform::mean_over`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::EmptyInterval`] when `to <= from` (the mean
+    /// needs a window of nonzero width to integrate over).
+    pub fn try_mean_over(&self, from: Time, to: Time) -> Result<f64, PdnError> {
+        if to <= from {
+            return Err(PdnError::EmptyInterval { from, to });
+        }
         // Integrate trapezoid segments between consecutive knots.
         let mut knots: Vec<Time> = vec![from];
         for &(t, _) in self.interior(from, to) {
@@ -178,7 +224,7 @@ impl Waveform {
             let dt = (b - a).picoseconds();
             area += 0.5 * (self.sample(a) + self.sample(b)) * dt;
         }
-        area / (to - from).picoseconds()
+        Ok(area / (to - from).picoseconds())
     }
 
     /// Applies `f` to every breakpoint value.
@@ -272,6 +318,32 @@ mod tests {
 
     fn vee() -> Waveform {
         Waveform::from_points(vec![(ns(0.0), 1.0), (ns(10.0), 0.9), (ns(20.0), 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn try_windows_reject_empty_intervals_without_panicking() {
+        let w = vee();
+        assert!(matches!(
+            w.try_min_over(ns(5.0), ns(4.0)),
+            Err(PdnError::EmptyInterval { .. })
+        ));
+        assert!(matches!(
+            w.try_max_over(ns(5.0), ns(4.0)),
+            Err(PdnError::EmptyInterval { .. })
+        ));
+        // The mean needs nonzero width; the extrema accept a point window.
+        assert!(matches!(
+            w.try_mean_over(ns(5.0), ns(5.0)),
+            Err(PdnError::EmptyInterval { .. })
+        ));
+        assert_eq!(w.try_min_over(ns(5.0), ns(5.0)).unwrap(), w.sample(ns(5.0)));
+        // The fallible forms agree with the panicking wrappers.
+        assert_eq!(w.try_min_over(ns(0.0), ns(20.0)).unwrap(), 0.9);
+        assert_eq!(w.try_max_over(ns(0.0), ns(20.0)).unwrap(), 1.0);
+        assert_eq!(
+            w.try_mean_over(ns(2.0), ns(18.0)).unwrap(),
+            w.mean_over(ns(2.0), ns(18.0))
+        );
     }
 
     #[test]

@@ -12,11 +12,13 @@
 //! See `examples/noise_map.rs` for the end-to-end flow; unit tests below
 //! exercise the pieces on a small grid.
 
+use psnt_cells::logic::{Logic, LogicVector};
 use psnt_cells::units::{Time, Voltage};
 use psnt_core::code::ThermometerCode;
+use psnt_core::encoder::{Encoder, EncodingPolicy};
 use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
 use psnt_ctx::RunCtx;
-use psnt_engine::{Engine, JobSpec};
+use psnt_engine::{Engine, JobOutcome, JobSpec, RetryPolicy};
 use psnt_obs::{Event as ObsEvent, Observer, Span};
 use psnt_pdn::waveform::Waveform;
 use serde::{Deserialize, Serialize};
@@ -111,6 +113,68 @@ impl CampaignResult {
             .iter()
             .min_by(|a, b| (a.worst_level(), a.tile).cmp(&(b.worst_level(), b.tile)))
     }
+}
+
+/// Per-site outcome of a resilient campaign run
+/// ([`Campaign::run_resilient`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteOutcome {
+    /// The site measured normally (possibly after deterministic
+    /// retries).
+    Measured,
+    /// The site failed every attempt; the campaign degraded it to an
+    /// empty series and all-`X` scan-frame bits instead of aborting.
+    Degraded {
+        /// The stringified failure (sensor error or panic payload).
+        error: String,
+    },
+}
+
+impl SiteOutcome {
+    /// True for [`SiteOutcome::Measured`].
+    pub fn is_measured(&self) -> bool {
+        matches!(self, SiteOutcome::Measured)
+    }
+}
+
+/// Aggregate degradation report of a resilient campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationSummary {
+    /// Sites that failed every attempt and were degraded.
+    pub sites_degraded: usize,
+    /// Array elements whose readout never resolved: the largest count
+    /// of `X` bits in any captured scan frame (each degraded site
+    /// contributes a full array width).
+    pub dead_elements: usize,
+    /// Worst-case code error across all measured codes: the largest
+    /// level disagreement between the bubble-correcting and truncating
+    /// encoders — 0 when every captured code was canonical.
+    pub worst_code_error: usize,
+}
+
+/// The result of a resilient campaign run: the (possibly partial)
+/// campaign data plus per-site outcomes and the degradation summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilientCampaignResult {
+    /// The campaign data. Degraded sites appear with empty
+    /// measurement series and contribute all-`X` bits to every frame,
+    /// so site order, frame geometry and instants are identical to a
+    /// fully healthy run.
+    pub result: CampaignResult,
+    /// One outcome per site, in floorplan site order.
+    pub outcomes: Vec<SiteOutcome>,
+    /// The aggregate degradation report.
+    pub summary: DegradationSummary,
+}
+
+/// Everything [`Campaign::run_dual`] and [`Campaign::run_resilient`]
+/// share before the per-site sweep: validated inputs, solved rail
+/// waveforms and the sampling instants.
+struct SweepInputs {
+    tile_supplies: Vec<Waveform>,
+    tile_bounces: Option<Vec<Waveform>>,
+    instants: Vec<Time>,
+    v_nom: f64,
 }
 
 /// A multi-site measurement campaign.
@@ -262,6 +326,65 @@ impl Campaign {
         dt: Time,
         samples: usize,
     ) -> Result<CampaignResult, ScanError> {
+        let prep = self.prepare_sweep(ctx, tile_loads, ground_grid, start, dt, samples)?;
+        let quiet = Waveform::constant(0.0);
+        let measure_span = ctx.has_observer().then(|| Span::begin("measure_sweep"));
+        let site_defs = self.floorplan.sites();
+        let batch = ctx
+            .engine()
+            .run_batch(&JobSpec::new(site_defs.len()), |job| {
+                let site = &site_defs[job.index()];
+                let system = SensorSystem::new(self.config.clone())?;
+                let vdd = &prep.tile_supplies[site.tile];
+                let gnd = prep.tile_bounces.as_ref().map_or(&quiet, |b| &b[site.tile]);
+                let measurements = prep
+                    .instants
+                    .iter()
+                    .map(|&at| system.measure_at(vdd, gnd, at))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(ScanError::from)?;
+                job.metrics.counter_add("campaign.sites_done", 1);
+                Ok::<SiteSeries, ScanError>(SiteSeries {
+                    tile: site.tile,
+                    name: site.name.clone(),
+                    measurements,
+                })
+            })?;
+        let sites = batch.results;
+        if let Some(obs) = ctx.observer() {
+            obs.metrics.merge(&batch.metrics);
+            emit_site_events(obs, &sites, prep.v_nom);
+        }
+        if let (Some(obs), Some(span)) = (ctx.observer(), measure_span) {
+            obs.end_span(span);
+        }
+
+        let mut frames = Vec::with_capacity(samples);
+        for k in 0..samples {
+            let codes: Vec<ThermometerCode> = sites
+                .iter()
+                .map(|s| s.measurements[k].hs_code.clone())
+                .collect();
+            frames.push(self.chain.capture(&codes)?);
+        }
+        Ok(CampaignResult {
+            sites,
+            instants: prep.instants,
+            frames,
+        })
+    }
+
+    /// Validates the campaign inputs and solves the rail waveforms —
+    /// the stage every run variant shares before its per-site sweep.
+    fn prepare_sweep(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        tile_loads: &[Waveform],
+        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
+        start: Time,
+        dt: Time,
+        samples: usize,
+    ) -> Result<SweepInputs, ScanError> {
         let grid = self.floorplan.grid();
         if tile_loads.len() != grid.tiles() {
             return Err(ScanError::InvalidConfig {
@@ -308,72 +431,189 @@ impl Campaign {
         if let (Some(obs), Some(span)) = (ctx.observer(), solve_span) {
             obs.end_span(span);
         }
-        let quiet = Waveform::constant(0.0);
-
-        let v_nom = grid.v_pad().volts();
         let instants: Vec<Time> = (0..samples)
             .map(|k| start + dt * (k as f64 + 0.5))
             .collect();
+        Ok(SweepInputs {
+            tile_supplies,
+            tile_bounces,
+            instants,
+            v_nom: grid.v_pad().volts(),
+        })
+    }
+
+    /// Like [`Campaign::run_dual`], but the campaign **completes with
+    /// partial results when individual sites fail**: each site runs as
+    /// an isolated job ([`Engine::run_batch_isolated`]) under the given
+    /// deterministic [`RetryPolicy`], and a site whose every attempt
+    /// fails is *degraded* — it contributes an empty measurement series
+    /// and all-`X` bits to every scan frame — instead of aborting the
+    /// run.
+    ///
+    /// When the context carries a [`psnt_fault::FaultPlan`] with
+    /// [`psnt_fault::Fault::SitePanic`] entries, those sites panic on
+    /// their first attempt — the harness-level fault used to exercise
+    /// this degradation path end-to-end (a retrying policy recovers
+    /// them; [`RetryPolicy::none`] leaves them degraded).
+    ///
+    /// Determinism: sites are independent jobs keyed by floorplan
+    /// index, retries happen inside the owning job with seeds derived
+    /// from `(ctx seed, site, attempt)`, and outcomes are collected in
+    /// site order — so the whole [`ResilientCampaignResult`], including
+    /// which sites degraded, is bit-identical at any worker count.
+    ///
+    /// Telemetry (when observed): everything [`Campaign::run_dual`]
+    /// emits for measured sites, plus one `scan`/`degraded` event per
+    /// degraded site, the `campaign.sites_degraded` counter, and
+    /// `campaign.worst_code_error` / `campaign.dead_elements` gauges
+    /// summarising the degradation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same input-validation and grid-solve errors as
+    /// [`Campaign::run_dual`], and chain-capture failures. Per-site
+    /// measurement failures do **not** abort the run — they surface in
+    /// [`ResilientCampaignResult::outcomes`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_resilient(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        tile_loads: &[Waveform],
+        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
+        start: Time,
+        dt: Time,
+        samples: usize,
+        retry: RetryPolicy,
+    ) -> Result<ResilientCampaignResult, ScanError> {
+        let prep = self.prepare_sweep(ctx, tile_loads, ground_grid, start, dt, samples)?;
+        let quiet = Waveform::constant(0.0);
+        let panicking = ctx
+            .fault_plan()
+            .map(psnt_fault::FaultPlan::panicking_sites)
+            .unwrap_or_default();
         let measure_span = ctx.has_observer().then(|| Span::begin("measure_sweep"));
         let site_defs = self.floorplan.sites();
-        let batch = ctx
-            .engine()
-            .run_batch(&JobSpec::new(site_defs.len()), |job| {
-                let site = &site_defs[job.index()];
-                let system = SensorSystem::new(self.config.clone())?;
-                let vdd = &tile_supplies[site.tile];
-                let gnd = tile_bounces.as_ref().map_or(&quiet, |b| &b[site.tile]);
-                let measurements = instants
-                    .iter()
-                    .map(|&at| system.measure_at(vdd, gnd, at))
-                    .collect::<Result<Vec<_>, _>>()
-                    .map_err(ScanError::from)?;
-                job.metrics.counter_add("campaign.sites_done", 1);
-                Ok::<SiteSeries, ScanError>(SiteSeries {
-                    tile: site.tile,
-                    name: site.name.clone(),
-                    measurements,
+        let spec = JobSpec::new(site_defs.len()).seed(ctx.seed());
+        let batch = ctx.engine().run_batch_isolated(&spec, retry, |job| {
+            if job.attempt() == 0 && panicking.contains(&job.index()) {
+                panic!("injected fault: site {} panicked", job.index());
+            }
+            let site = &site_defs[job.index()];
+            let system = SensorSystem::new(self.config.clone())?;
+            let vdd = &prep.tile_supplies[site.tile];
+            let gnd = prep.tile_bounces.as_ref().map_or(&quiet, |b| &b[site.tile]);
+            let measurements = prep
+                .instants
+                .iter()
+                .map(|&at| system.measure_at(vdd, gnd, at))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(ScanError::from)?;
+            job.metrics.counter_add("campaign.sites_done", 1);
+            Ok::<SiteSeries, ScanError>(SiteSeries {
+                tile: site.tile,
+                name: site.name.clone(),
+                measurements,
+            })
+        });
+
+        let mut outcomes = Vec::with_capacity(site_defs.len());
+        let mut sites = Vec::with_capacity(site_defs.len());
+        for (i, outcome) in batch.results.into_iter().enumerate() {
+            let (series, site_outcome) = match outcome {
+                JobOutcome::Ok(Ok(series)) => (series, SiteOutcome::Measured),
+                JobOutcome::Ok(Err(e)) => (
+                    SiteSeries {
+                        tile: site_defs[i].tile,
+                        name: site_defs[i].name.clone(),
+                        measurements: Vec::new(),
+                    },
+                    SiteOutcome::Degraded {
+                        error: e.to_string(),
+                    },
+                ),
+                JobOutcome::Failed(je) => (
+                    SiteSeries {
+                        tile: site_defs[i].tile,
+                        name: site_defs[i].name.clone(),
+                        measurements: Vec::new(),
+                    },
+                    SiteOutcome::Degraded {
+                        error: je.to_string(),
+                    },
+                ),
+            };
+            sites.push(series);
+            outcomes.push(site_outcome);
+        }
+
+        // Degraded sites read out as unresolved flip-flops: a full-width
+        // all-X code in every frame, keeping the frame geometry intact.
+        let unknown: ThermometerCode = ThermometerCode::new(
+            (0..self.chain.bits_per_site())
+                .map(|_| Logic::X)
+                .collect::<LogicVector>(),
+        );
+        let mut frames = Vec::with_capacity(samples);
+        for k in 0..samples {
+            let codes: Vec<ThermometerCode> = sites
+                .iter()
+                .map(|s| {
+                    s.measurements
+                        .get(k)
+                        .map_or_else(|| unknown.clone(), |m| m.hs_code.clone())
                 })
-            })?;
-        let sites = batch.results;
+                .collect();
+            frames.push(self.chain.capture(&codes)?);
+        }
+
+        let summary = DegradationSummary {
+            sites_degraded: outcomes.iter().filter(|o| !o.is_measured()).count(),
+            dead_elements: frames
+                .iter()
+                .map(|f| f.iter().filter(|b| *b == Logic::X).count())
+                .max()
+                .unwrap_or(0),
+            worst_code_error: sites
+                .iter()
+                .flat_map(|s| &s.measurements)
+                .flat_map(|m| [&m.hs_code, &m.ls_code])
+                .map(encoder_level_gap)
+                .max()
+                .unwrap_or(0),
+        };
+
         if let Some(obs) = ctx.observer() {
             obs.metrics.merge(&batch.metrics);
-            for series in &sites {
-                let mut event = ObsEvent::new("scan", "site")
-                    .field("tile", &(series.tile as u64))
-                    .field("name", &series.name)
-                    .field("worst_level", &(series.worst_level() as u64));
-                if let Some(v) = series.worst_voltage() {
-                    let droop_mv = (v_nom - v.volts()) * 1e3;
-                    obs.metrics
-                        .gauge_set_max("campaign.worst_droop_mv", droop_mv);
-                    event = event.field("worst_droop_mv", &droop_mv);
+            emit_site_events(obs, &sites, prep.v_nom);
+            for (i, o) in outcomes.iter().enumerate() {
+                if let SiteOutcome::Degraded { error } = o {
+                    obs.metrics.counter_add("campaign.sites_degraded", 1);
+                    obs.event(
+                        ObsEvent::new("scan", "degraded")
+                            .field("site", &(i as u64))
+                            .field("tile", &(site_defs[i].tile as u64))
+                            .field("name", &site_defs[i].name)
+                            .field("error", error),
+                    );
                 }
-                if let Some(b) = series.worst_bounce() {
-                    let bounce_mv = b.volts() * 1e3;
-                    obs.metrics
-                        .gauge_set_max("campaign.worst_bounce_mv", bounce_mv);
-                    event = event.field("worst_bounce_mv", &bounce_mv);
-                }
-                obs.event(event);
             }
+            obs.metrics
+                .gauge_set_max("campaign.worst_code_error", summary.worst_code_error as f64);
+            obs.metrics
+                .gauge_set_max("campaign.dead_elements", summary.dead_elements as f64);
         }
         if let (Some(obs), Some(span)) = (ctx.observer(), measure_span) {
             obs.end_span(span);
         }
 
-        let mut frames = Vec::with_capacity(samples);
-        for k in 0..samples {
-            let codes: Vec<ThermometerCode> = sites
-                .iter()
-                .map(|s| s.measurements[k].hs_code.clone())
-                .collect();
-            frames.push(self.chain.capture(&codes)?);
-        }
-        Ok(CampaignResult {
-            sites,
-            instants,
-            frames,
+        Ok(ResilientCampaignResult {
+            result: CampaignResult {
+                sites,
+                instants: prep.instants,
+                frames,
+            },
+            outcomes,
+            summary,
         })
     }
 
@@ -429,6 +669,49 @@ impl Campaign {
             samples,
         )
     }
+}
+
+/// Emits the per-site `scan`/`site` events and worst droop/bounce
+/// gauges shared by every observed run variant. Sites are visited in
+/// floorplan order after the sweep joins, so the telemetry stream is
+/// worker-count independent.
+fn emit_site_events(obs: &mut Observer, sites: &[SiteSeries], v_nom: f64) {
+    for series in sites {
+        let mut event = ObsEvent::new("scan", "site")
+            .field("tile", &(series.tile as u64))
+            .field("name", &series.name)
+            .field("worst_level", &(series.worst_level() as u64));
+        if let Some(v) = series.worst_voltage() {
+            let droop_mv = (v_nom - v.volts()) * 1e3;
+            obs.metrics
+                .gauge_set_max("campaign.worst_droop_mv", droop_mv);
+            event = event.field("worst_droop_mv", &droop_mv);
+        }
+        if let Some(b) = series.worst_bounce() {
+            let bounce_mv = b.volts() * 1e3;
+            obs.metrics
+                .gauge_set_max("campaign.worst_bounce_mv", bounce_mv);
+            event = event.field("worst_bounce_mv", &bounce_mv);
+        }
+        obs.event(event);
+    }
+}
+
+/// The level disagreement between the bubble-correcting and truncating
+/// encoders on one captured code — 0 for canonical codes, positive when
+/// a bubble or unresolved bit made the cheap priority-chain encoder
+/// diverge from the corrected reading.
+fn encoder_level_gap(code: &ThermometerCode) -> usize {
+    let width = code.width();
+    let correct = Encoder::new(width, EncodingPolicy::BubbleCorrect)
+        .expect("captured codes have positive width")
+        .encode(code)
+        .level;
+    let truncate = Encoder::new(width, EncodingPolicy::Truncate)
+        .expect("captured codes have positive width")
+        .encode(code)
+        .level;
+    correct.abs_diff(truncate)
 }
 
 #[cfg(test)]
@@ -682,6 +965,152 @@ mod tests {
         assert_eq!(parallel, plain, "observer+parallelism must be passive");
         assert_eq!(obs.metrics.counter_value("campaign.sites_done"), 9);
         assert_eq!(obs.metrics.counter_value("engine.jobs_done"), 9);
+    }
+
+    #[test]
+    fn resilient_run_without_faults_matches_run_dual() {
+        let c = campaign();
+        let mut loads = vec![Waveform::constant(0.02); 9];
+        loads[4] = Waveform::constant(0.8);
+        let plain = c
+            .run(
+                &mut RunCtx::serial(),
+                &loads,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+            )
+            .unwrap();
+        let resilient = c
+            .run_resilient(
+                &mut RunCtx::serial(),
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+                RetryPolicy::none(),
+            )
+            .unwrap();
+        assert_eq!(resilient.result, plain);
+        assert!(resilient.outcomes.iter().all(SiteOutcome::is_measured));
+        assert_eq!(resilient.summary.sites_degraded, 0);
+        assert_eq!(resilient.summary.dead_elements, 0);
+    }
+
+    #[test]
+    fn injected_site_panic_degrades_that_site_only() {
+        use psnt_fault::{Fault, FaultPlan};
+        let c = campaign();
+        let loads = vec![Waveform::constant(0.1); 9];
+        let plan = FaultPlan::new()
+            .with(Fault::SitePanic { site: 2 })
+            .with(Fault::SitePanic { site: 6 });
+        let mut obs = Observer::ring(256);
+        let mut ctx = RunCtx::serial()
+            .with_fault_plan(plan)
+            .with_observer(&mut obs);
+        let r = c
+            .run_resilient(
+                &mut ctx,
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                2,
+                RetryPolicy::none(),
+            )
+            .unwrap();
+        drop(ctx);
+        // Partial results: the other 7 sites measured normally.
+        assert_eq!(r.summary.sites_degraded, 2);
+        for (i, o) in r.outcomes.iter().enumerate() {
+            if i == 2 || i == 6 {
+                let SiteOutcome::Degraded { error } = o else {
+                    panic!("site {i} should be degraded");
+                };
+                assert!(error.contains(&format!("site {i} panicked")), "{error}");
+                assert!(r.result.sites[i].measurements.is_empty());
+            } else {
+                assert!(o.is_measured());
+                assert_eq!(r.result.sites[i].measurements.len(), 2);
+            }
+        }
+        // Degraded sites read out as all-X in every frame.
+        assert_eq!(r.summary.dead_elements, 2 * 7);
+        for frame in &r.result.frames {
+            let x_bits = frame.iter().filter(|b| *b == Logic::X).count();
+            assert_eq!(x_bits, 14);
+        }
+        // Telemetry recorded the degradation.
+        assert_eq!(obs.metrics.counter_value("campaign.sites_degraded"), 2);
+        assert_eq!(obs.metrics.counter_value("engine.jobs_failed"), 2);
+        assert_eq!(
+            obs.metrics.gauge_value("campaign.dead_elements"),
+            Some(14.0)
+        );
+    }
+
+    #[test]
+    fn retry_policy_recovers_injected_site_panics() {
+        use psnt_fault::{Fault, FaultPlan};
+        let c = campaign();
+        let loads = vec![Waveform::constant(0.1); 9];
+        let plan = FaultPlan::new().with(Fault::SitePanic { site: 3 });
+        let mut ctx = RunCtx::serial().with_fault_plan(plan);
+        // SitePanic fires on the first attempt only, so two attempts
+        // recover the site and the run is fully healthy.
+        let r = c
+            .run_resilient(
+                &mut ctx,
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                2,
+                RetryPolicy::attempts(2),
+            )
+            .unwrap();
+        assert!(r.outcomes.iter().all(SiteOutcome::is_measured));
+        assert_eq!(r.summary.sites_degraded, 0);
+        let healthy = c
+            .run_resilient(
+                &mut RunCtx::serial(),
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                2,
+                RetryPolicy::none(),
+            )
+            .unwrap();
+        assert_eq!(r.result, healthy.result);
+    }
+
+    #[test]
+    fn degraded_campaign_is_bit_identical_at_any_worker_count() {
+        use psnt_fault::{Fault, FaultPlan};
+        let c = campaign();
+        let mut loads = vec![Waveform::constant(0.05); 9];
+        loads[4] = Waveform::constant(0.9);
+        let run_at = |jobs: usize| {
+            let plan = FaultPlan::new().with(Fault::SitePanic { site: 4 });
+            let mut ctx = RunCtx::new(Engine::new(jobs)).with_fault_plan(plan);
+            c.run_resilient(
+                &mut ctx,
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+                RetryPolicy::none(),
+            )
+            .unwrap()
+        };
+        let serial = run_at(1);
+        for jobs in [2, 4] {
+            assert_eq!(run_at(jobs), serial, "jobs={jobs}");
+        }
     }
 
     #[test]

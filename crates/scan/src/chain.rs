@@ -57,6 +57,11 @@ impl ScanChain {
         self.site_names.len() * self.bits_per_site
     }
 
+    /// Flip-flops contributed by each site (the array width).
+    pub fn bits_per_site(&self) -> usize {
+        self.bits_per_site
+    }
+
     /// `true` when the chain has no sites.
     pub fn is_empty(&self) -> bool {
         self.site_names.is_empty()

@@ -44,7 +44,9 @@ pub mod error;
 pub mod floorplan;
 pub mod sampler;
 
-pub use campaign::{Campaign, CampaignResult, SiteSeries};
+pub use campaign::{
+    Campaign, CampaignResult, DegradationSummary, ResilientCampaignResult, SiteOutcome, SiteSeries,
+};
 pub use chain::ScanChain;
 pub use error::ScanError;
 pub use floorplan::{Floorplan, Placement, SensorSite};

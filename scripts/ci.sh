@@ -26,6 +26,21 @@ if [ -n "$deprecated_calls" ]; then
     exit 1
 fi
 
+echo "==> catch_unwind containment gate"
+# Panic isolation lives in exactly one place: the engine's per-job
+# catch_unwind in run_batch_isolated. Everywhere else a panic must
+# propagate (or be a structured error), so graceful degradation cannot
+# silently spread through the tree.
+unwind_calls=$(grep -rn 'catch_unwind(' \
+    --include='*.rs' crates src examples tests \
+    | grep -v '^crates/engine/' \
+    || true)
+if [ -n "$unwind_calls" ]; then
+    echo "catch_unwind outside crates/engine:" >&2
+    echo "$unwind_calls" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -57,5 +72,11 @@ echo "==> kernel-equivalence proptests under PSNT_JOBS=4"
 # The optimized-kernel contract: reset() reuse, the delay cache and
 # selective tracing are bit-identical to the naive kernel.
 PSNT_JOBS=4 cargo test -q -p psnt-netlist --test kernel_equiv
+
+echo "==> fault suite under PSNT_JOBS=4"
+# The fault-injection contract: empty plans are invisible, degraded
+# campaigns and bounded retries are worker-count independent.
+PSNT_JOBS=4 cargo test -q -p psnt-fault
+PSNT_JOBS=4 cargo test -q -p psn-thermometer --test fault_equiv
 
 echo "CI green."

@@ -27,6 +27,10 @@
 //! * [`engine`] (`psnt-engine`) — deterministic parallel execution:
 //!   a scoped worker pool whose results are bit-identical at any
 //!   worker count;
+//! * [`fault`] (`psnt-fault`) — seeded deterministic fault injection:
+//!   serde-able [`FaultPlan`](psnt_fault::FaultPlan)s of stuck-ats,
+//!   delay scalings, bit upsets, supply glitches and transients,
+//!   applied inside the event kernel;
 //! * [`ctx`] (`psnt-ctx`) — the unified execution context
 //!   ([`RunCtx`](psnt_ctx::RunCtx)): engine + observer + reusable
 //!   simulator pool + seed policy, threaded through every layer.
@@ -55,6 +59,7 @@ pub use psnt_cells as cells;
 pub use psnt_core as sensor;
 pub use psnt_ctx as ctx;
 pub use psnt_engine as engine;
+pub use psnt_fault as fault;
 pub use psnt_netlist as netlist;
 pub use psnt_obs as obs;
 pub use psnt_pdn as pdn;
@@ -72,6 +77,7 @@ pub mod prelude {
     pub use psnt_core::thermometer::{CapacitorLadder, ThermometerArray};
     pub use psnt_ctx::RunCtx;
     pub use psnt_engine::Engine;
+    pub use psnt_fault::{Fault, FaultPlan};
     pub use psnt_obs::{Observer, RunManifest};
     pub use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};
     pub use psnt_pdn::waveform::Waveform;

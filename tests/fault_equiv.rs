@@ -1,0 +1,245 @@
+//! Fault-injection equivalence contract.
+//!
+//! The fault layer must be invisible when unused and deterministic when
+//! used. These properties pin that contract:
+//!
+//! (a) a simulator with an **empty** fault plan installed (or a real
+//!     plan installed and then cleared) is bit-identical to one whose
+//!     fault API was never touched — every net value, event statistic,
+//!     switching-energy bit pattern and trace edge;
+//! (b) a campaign degraded by injected site panics produces identical
+//!     `ResilientCampaignResult`s (partial map, outcomes, summary) at
+//!     jobs ∈ {1, 4};
+//! (c) bounded retries are deterministic: the per-attempt reseeding
+//!     sequence replays exactly, so a flaky job converges to the same
+//!     outcome on every run at any worker count.
+
+use proptest::prelude::*;
+use psn_thermometer::cells::gates::StdCell;
+use psn_thermometer::cells::logic::Logic;
+use psn_thermometer::engine::{JobSpec, RetryPolicy};
+use psn_thermometer::fault::{Fault, FaultPlan};
+use psn_thermometer::netlist::graph::{NetId, Netlist};
+use psn_thermometer::netlist::sim::Simulator;
+use psn_thermometer::pdn::grid::PowerGrid;
+use psn_thermometer::prelude::*;
+use psn_thermometer::scan::ResilientCampaignResult;
+
+/// The worker counts the equivalence contract is pinned at.
+const JOBS: [usize; 2] = [1, 4];
+
+/// A random combinational DAG with a flip-flop on every fourth gate
+/// output (same construction as the kernel-equivalence suite).
+fn random_netlist(
+    gate_picks: &[(u8, u8, u8, u8)],
+    n_inputs: usize,
+) -> (Netlist, Vec<NetId>, NetId, Vec<NetId>) {
+    let mut n = Netlist::new("fault-equiv");
+    let clk = n.add_input("clk");
+    let inputs: Vec<NetId> = (0..n_inputs)
+        .map(|i| n.add_input(format!("in{i}")))
+        .collect();
+    let mut nets = inputs.clone();
+    let mut interesting = Vec::new();
+    let ff = psn_thermometer::cells::dff::Dff::standard_90nm();
+    for (gi, &(kind, a, b, c)) in gate_picks.iter().enumerate() {
+        let cell = match kind % 6 {
+            0 => StdCell::inverter(1.0),
+            1 => StdCell::nand2(1.0),
+            2 => StdCell::nor2(1.0),
+            3 => StdCell::xor2(1.0),
+            4 => StdCell::mux2(1.0),
+            _ => StdCell::and3(1.0),
+        };
+        let pick = |x: u8| nets[x as usize % nets.len()];
+        let ins: Vec<NetId> = match cell.num_inputs() {
+            1 => vec![pick(a)],
+            2 => vec![pick(a), pick(b)],
+            _ => vec![pick(a), pick(b), pick(c)],
+        };
+        let out = n.add_gate(format!("g{gi}"), cell, &ins).unwrap();
+        interesting.push(out);
+        if gi % 4 == 3 {
+            let q = n.add_dff(format!("ff{gi}"), ff, out, clk, Logic::Zero);
+            interesting.push(q);
+            nets.push(q);
+        }
+        nets.push(out);
+    }
+    let last = *interesting.last().unwrap();
+    n.mark_output("keep", last);
+    (n, inputs, clk, interesting)
+}
+
+fn apply_stimulus(sim: &mut Simulator<'_>, inputs: &[NetId], clk: NetId, bits: &[bool]) {
+    for (i, (&net, &b)) in inputs.iter().zip(bits).enumerate() {
+        sim.drive(net, Logic::from(b), Time::from_ps(10.0 * i as f64))
+            .unwrap();
+    }
+    sim.drive_clock(clk, Time::from_ns(2.0), Time::from_ns(3.0), 4)
+        .unwrap();
+    sim.run_to_quiescence(1_000_000);
+}
+
+/// Everything observable about a finished run, for exact comparison.
+fn snapshot(sim: &Simulator<'_>, nets: &[NetId]) -> (Vec<Logic>, u64, u64, u64, u64, u64) {
+    let values = nets.iter().map(|&net| sim.value(net)).collect();
+    let s = sim.stats();
+    (
+        values,
+        s.events,
+        s.cancelled,
+        s.ff_captures,
+        s.ff_violations,
+        sim.switching_energy_joules().to_bits(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (a) Empty-plan identity: installing an empty `FaultPlan`, or
+    /// installing a real one and clearing it again, leaves a random
+    /// netlist's simulation bit-identical to a simulator whose fault
+    /// API was never called.
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan(
+        gate_picks in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        bits in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        let (n, inputs, clk, interesting) = random_netlist(&gate_picks, 3);
+
+        let mut pristine = Simulator::new(&n, Voltage::from_v(1.0)).unwrap();
+        apply_stimulus(&mut pristine, &inputs, clk, &bits);
+
+        let mut empty_plan = Simulator::new(&n, Voltage::from_v(1.0)).unwrap();
+        empty_plan.set_fault_plan(&FaultPlan::new()).unwrap();
+        apply_stimulus(&mut empty_plan, &inputs, clk, &bits);
+
+        // Install a real fault, then clear it before any stimulus: the
+        // pooled-simulator recovery path must restore pristine state.
+        let victim = n.net(interesting[0]).name().to_string();
+        let mut cleared = Simulator::new(&n, Voltage::from_v(1.0)).unwrap();
+        cleared
+            .set_fault_plan(&FaultPlan::new().with(Fault::stuck_at(victim, Logic::One)))
+            .unwrap();
+        cleared.clear_fault_plan();
+        apply_stimulus(&mut cleared, &inputs, clk, &bits);
+
+        let golden = snapshot(&pristine, &interesting);
+        prop_assert_eq!(&snapshot(&empty_plan, &interesting), &golden);
+        prop_assert_eq!(&snapshot(&cleared, &interesting), &golden);
+        for &net in &interesting {
+            prop_assert_eq!(
+                pristine.trace().edges(pristine.signal(net)),
+                empty_plan.trace().edges(empty_plan.signal(net)),
+                "empty-plan trace diverged on {}", n.net(net).name()
+            );
+            prop_assert_eq!(
+                pristine.trace().edges(pristine.signal(net)),
+                cleared.trace().edges(cleared.signal(net)),
+                "cleared-plan trace diverged on {}", n.net(net).name()
+            );
+        }
+    }
+
+    /// (b) Degraded campaigns are worker-count independent: with random
+    /// injected site panics, the whole `ResilientCampaignResult` —
+    /// partial noise map, per-site outcomes and degradation summary —
+    /// is identical at jobs ∈ {1, 4}.
+    #[test]
+    fn degraded_campaign_is_identical_at_any_worker_count(
+        panic_picks in proptest::collection::vec(0usize..9, 0..4),
+    ) {
+        let fp = Floorplan::new(
+            PowerGrid::corner_fed(
+                3,
+                Voltage::from_v(1.05),
+                Resistance::from_milliohms(60.0),
+                Resistance::from_milliohms(15.0),
+            )
+            .unwrap(),
+            Placement::EveryTile,
+        )
+        .unwrap();
+        let campaign = Campaign::new(fp, SensorConfig::default()).unwrap();
+        let mut loads = vec![Waveform::constant(0.03); 9];
+        loads[4] = Waveform::constant(0.8);
+        let mut plan = FaultPlan::new();
+        for &site in &panic_picks {
+            plan = plan.with(Fault::SitePanic { site });
+        }
+
+        let run = |jobs: usize| -> ResilientCampaignResult {
+            let mut ctx = RunCtx::new(Engine::new(jobs)).with_fault_plan(plan.clone());
+            campaign
+                .run_resilient(
+                    &mut ctx,
+                    &loads,
+                    None,
+                    Time::from_ns(10.0),
+                    Time::from_ns(20.0),
+                    3,
+                    RetryPolicy::none(),
+                )
+                .unwrap()
+        };
+        let serial = run(JOBS[0]);
+        let distinct: std::collections::HashSet<_> = panic_picks.iter().collect();
+        prop_assert_eq!(serial.summary.sites_degraded, distinct.len());
+        prop_assert_eq!(&run(JOBS[1]), &serial);
+
+        // A retrying policy recovers every injected site: panics fire on
+        // the first attempt only, so one retry heals the whole map.
+        let mut ctx = RunCtx::new(Engine::new(JOBS[1])).with_fault_plan(plan.clone());
+        let healed = campaign
+            .run_resilient(
+                &mut ctx,
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+                RetryPolicy::attempts(2),
+            )
+            .unwrap();
+        prop_assert_eq!(healed.summary.sites_degraded, 0);
+        let mut clean_ctx = RunCtx::new(Engine::new(JOBS[0]));
+        let clean = campaign
+            .run_resilient(
+                &mut clean_ctx,
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+                RetryPolicy::none(),
+            )
+            .unwrap();
+        prop_assert_eq!(&healed.result, &clean.result);
+    }
+
+    /// (c) Bounded-retry determinism: a job that fails on specific
+    /// derived seeds converges to the same per-job outcome vector on
+    /// every run and at every worker count.
+    #[test]
+    fn bounded_retries_are_deterministic(
+        base_seed in any::<u64>(),
+        n_jobs in 4usize..12,
+    ) {
+        let spec = JobSpec::new(n_jobs).seed(base_seed);
+        let run = |jobs: usize| {
+            Engine::new(jobs)
+                .run_batch_isolated(&spec, RetryPolicy::reseeding(3), |job| {
+                    if job.seed() % 3 == 0 {
+                        panic!("unlucky seed");
+                    }
+                    job.seed()
+                })
+                .results
+        };
+        let serial = run(JOBS[0]);
+        prop_assert_eq!(&run(JOBS[1]), &serial);
+        prop_assert_eq!(&run(JOBS[0]), &serial);
+    }
+}
