@@ -24,7 +24,7 @@ use psnt_core::pulsegen::{DelayCode, PulseGenerator};
 use psnt_core::thermometer::ThermometerArray;
 use psnt_ctx::RunCtx;
 use psnt_engine::Engine;
-use psnt_obs::{Observer, RunManifest, Span};
+use psnt_obs::{MetricsSnapshot, Observer, RunManifest, Span};
 use psnt_pdn::impedance::impedance_profile;
 use psnt_pdn::rlc::LumpedPdn;
 
@@ -80,6 +80,8 @@ fn main() {
             .pvt("Typical")
             .with_git_describe(),
     );
+    // The pre-run snapshot the footer diffs the final registry against.
+    let baseline = obs.metrics.snapshot();
 
     // The one context carrying the worker pool, the observer and the
     // seed policy through every dataset.
@@ -189,12 +191,16 @@ fn main() {
     println!("wrote 5 CSV datasets to {}", out.display());
     ctx.observer().expect("observer attached").finish();
     drop(ctx);
-    print!("{}", telemetry_footer(&obs));
+    print!("{}", telemetry_footer(&obs, &baseline));
 }
 
-/// The summary footer: totals from the registry plus per-dataset wall
-/// times from the span histograms.
-fn telemetry_footer(obs: &Observer) -> String {
+/// The summary footer: totals from the registry, per-dataset wall
+/// times from the span histograms, and the metrics delta over the run
+/// — every counter, gauge and histogram the run touched, rendered by
+/// [`psnt_obs::MetricsDiff`]'s table (degradation counters such as
+/// `encoder.bubbles_corrected` or `campaign.sites_degraded` surface
+/// here automatically when nonzero).
+fn telemetry_footer(obs: &Observer, baseline: &MetricsSnapshot) -> String {
     let mut s = format!(
         "telemetry: {} datasets, {} rows\n",
         obs.metrics.counter_value("characterize.datasets"),
@@ -211,16 +217,8 @@ fn telemetry_footer(obs: &Observer) -> String {
             let _ = writeln!(s, "  span {name}: {:.0} µs", h.sum());
         }
     }
-    // Degradation counters stay silent on a healthy run so the footer
-    // is stable; any nonzero value is worth a line.
-    let bubbles = obs.metrics.counter_value("encoder.bubbles_corrected");
-    if bubbles > 0 {
-        let _ = writeln!(s, "  encoder bubbles corrected: {bubbles}");
-    }
-    let degraded = obs.metrics.counter_value("campaign.sites_degraded");
-    if degraded > 0 {
-        let _ = writeln!(s, "  campaign sites degraded: {degraded}");
-    }
+    let _ = writeln!(s, "metrics delta over the run:");
+    let _ = write!(s, "{}", obs.metrics.snapshot().diff(baseline));
     s
 }
 

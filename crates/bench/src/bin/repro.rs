@@ -3,13 +3,14 @@
 //!
 //! ```text
 //! repro [--<id> ...] [--xp <id> ...] [--jobs N] [--seed S] [--fault-plan <file.json>]
-//!       [--out <dir>] [--telemetry <path.jsonl>] [--list]
+//!       [--out <dir>] [--telemetry <path.jsonl>] [--trace <path.json>] [--list]
 //! ```
 //!
 //! * `--<id>` — run one experiment (e.g. `--fig5 --tab1`); no ids runs
 //!   everything;
 //! * `--xp <id>` — the same selection by explicit flag (e.g.
 //!   `--xp fault-coverage`), for ids that read awkwardly as flags;
+//!   `scan-chain` is accepted as an alias for `scan`;
 //! * `--fault-plan <file.json>` — install a `psnt_fault::FaultPlan`
 //!   (JSON) on the context; fault-aware experiments then run degraded;
 //! * `--jobs N` — worker threads for the engine-parallel experiments
@@ -21,6 +22,12 @@
 //! * `--telemetry <path>` — write a JSON-Lines telemetry stream: a run
 //!   manifest, structured events from the observer-aware experiments,
 //!   one span per experiment, and a final metrics snapshot;
+//! * `--trace <path>` — export the run's span tree (experiment →
+//!   campaign → site → measure, with wall-clock and sim-time
+//!   intervals) as a Chrome trace-event JSON file loadable in
+//!   Perfetto / `chrome://tracing`, plus `<path>.folded` in
+//!   folded-stack format for flamegraph tooling. Works with or
+//!   without `--telemetry`;
 //! * `--list` — print the known ids with one-line descriptions and
 //!   exit.
 //!
@@ -31,13 +38,23 @@ use std::path::PathBuf;
 
 use psnt_ctx::RunCtx;
 use psnt_engine::Engine;
-use psnt_obs::{Observer, RunManifest, Span};
+use psnt_obs::{Observer, RunManifest};
+
+/// Folds the accepted spellings of an experiment id onto the
+/// registry's canonical one.
+fn canonical_id(id: &str) -> &str {
+    match id {
+        "scan-chain" | "scan_chain" | "xp_scan_chain" => "scan",
+        other => other,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut wanted: Vec<String> = Vec::new();
     let mut out_dir: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
     let mut engine = Engine::from_env();
     let mut seed = 0u64;
     let mut fault_plan: Option<psnt_fault::FaultPlan> = None;
@@ -70,7 +87,7 @@ fn main() {
                 }
             },
             "--xp" => match iter.next() {
-                Some(id) => wanted.push(id.trim_start_matches("--").to_owned()),
+                Some(id) => wanted.push(canonical_id(id.trim_start_matches("--")).to_owned()),
                 None => {
                     eprintln!("--xp needs an experiment id argument (see --list)");
                     std::process::exit(2);
@@ -109,8 +126,15 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace" => match iter.next() {
+                Some(path) => trace = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--trace needs a file argument");
+                    std::process::exit(2);
+                }
+            },
             other => match other.strip_prefix("--") {
-                Some(id) => wanted.push(id.to_owned()),
+                Some(id) => wanted.push(canonical_id(id).to_owned()),
                 None => {
                     eprintln!("unrecognised argument {other:?} (ids start with --)");
                     std::process::exit(2);
@@ -126,30 +150,37 @@ fn main() {
         }
     }
 
-    let mut observer = match &telemetry {
-        None => None,
-        Some(path) => match Observer::jsonl(path) {
-            Ok(mut obs) => {
-                let experiment = if wanted.is_empty() {
-                    "all".to_string()
-                } else {
-                    wanted.join("+")
-                };
-                // Every experiment runs the paper's delay code 011 at
-                // the typical corner unless it sweeps those itself.
-                obs.manifest(
-                    &RunManifest::new(experiment)
-                        .delay_codes(3, 3)
-                        .pvt("Typical")
-                        .with_git_describe(),
-                );
-                Some(obs)
-            }
-            Err(e) => {
-                eprintln!("cannot open {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        },
+    // `--telemetry` streams records to a file; `--trace` alone still
+    // needs an observer to build the span tree, so it gets one with a
+    // null sink (spans and metrics are recorded, nothing is streamed).
+    let mut observer = match (&telemetry, &trace) {
+        (None, None) => None,
+        (path, _) => {
+            let mut obs = match path {
+                Some(path) => match Observer::jsonl(path) {
+                    Ok(obs) => obs,
+                    Err(e) => {
+                        eprintln!("cannot open {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                },
+                None => Observer::null(),
+            };
+            let experiment = if wanted.is_empty() {
+                "all".to_string()
+            } else {
+                wanted.join("+")
+            };
+            // Every experiment runs the paper's delay code 011 at
+            // the typical corner unless it sweeps those itself.
+            obs.manifest(
+                &RunManifest::new(experiment)
+                    .delay_codes(3, 3)
+                    .pvt("Typical")
+                    .with_git_describe(),
+            );
+            Some(obs)
+        }
     };
 
     // The one context every experiment receives.
@@ -162,7 +193,10 @@ fn main() {
     for (id, _desc, run) in psnt_bench::all_experiments() {
         if wanted.is_empty() || wanted.iter().any(|w| w == id) {
             matched = true;
-            let span = ctx.has_observer().then(|| Span::begin(id));
+            // A stack-parented span per experiment: everything the
+            // runner traces (campaign, grid solve, sites) nests
+            // underneath it in the exported tree.
+            let span = ctx.observer().map(|o| o.begin_span(id));
             let report = run(&mut ctx);
             if let (Some(obs), Some(span)) = (ctx.observer(), span) {
                 obs.end_span(span);
@@ -179,6 +213,19 @@ fn main() {
     }
     if let Some(obs) = ctx.observer() {
         obs.finish();
+        if let Some(path) = &trace {
+            if let Err(e) = std::fs::write(path, obs.chrome_trace_json()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            let mut folded = path.clone().into_os_string();
+            folded.push(".folded");
+            let folded = PathBuf::from(folded);
+            if let Err(e) = std::fs::write(&folded, obs.folded_stacks()) {
+                eprintln!("cannot write {}: {e}", folded.display());
+                std::process::exit(1);
+            }
+        }
     }
     if !matched {
         eprintln!("no experiment matched; known ids:");

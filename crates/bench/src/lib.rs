@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod diff;
 pub mod figures;
 
 /// An experiment registry row: stable id, one-line description, and

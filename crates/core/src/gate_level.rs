@@ -294,10 +294,18 @@ impl GateLevelArray {
         rail: Voltage,
         skew: Time,
     ) -> Result<(ThermometerCode, ThermometerCode), SensorError> {
-        let (pool, plan) = ctx.pool_parts();
+        let (obs, pool, plan) = ctx.obs_pool_parts();
         let sim = pool.get_or_insert_with(&self.netlist, || self.make_sim())?;
         apply_ctx_faults(sim, plan)?;
-        self.measure_detailed_on(sim, rail, skew)
+        if obs.is_some() {
+            sim.enable_profiling();
+        }
+        let result = self.measure_detailed_on(sim, rail, skew);
+        if let Some(obs) = obs {
+            sim.promote_stats_into(&mut obs.metrics);
+            sim.fold_profile_into(&mut obs.metrics);
+        }
+        result
     }
 
     /// [`GateLevelArray::measure_detailed`] on a caller-held simulator.
@@ -684,10 +692,17 @@ impl GateLevelPulseGen {
         ctx: &mut RunCtx<'env>,
         code: crate::pulsegen::DelayCode,
     ) -> Result<Time, SensorError> {
-        let sim = ctx
-            .pool()
-            .get_or_insert_with(&self.netlist, || self.make_sim())?;
-        self.measured_skew_on(sim, code)
+        let (obs, pool, _) = ctx.obs_pool_parts();
+        let sim = pool.get_or_insert_with(&self.netlist, || self.make_sim())?;
+        if obs.is_some() {
+            sim.enable_profiling();
+        }
+        let result = self.measured_skew_on(sim, code);
+        if let Some(obs) = obs {
+            sim.promote_stats_into(&mut obs.metrics);
+            sim.fold_profile_into(&mut obs.metrics);
+        }
+        result
     }
 
     /// [`GateLevelPulseGen::measured_skew`] on a caller-held simulator
@@ -924,10 +939,18 @@ impl GateLevelSystem {
         code: crate::pulsegen::DelayCode,
         rails: &[Voltage],
     ) -> Result<Vec<GateLevelMeasure>, SensorError> {
-        let (pool, plan) = ctx.pool_parts();
+        let (obs, pool, plan) = ctx.obs_pool_parts();
         let sim = pool.get_or_insert_with(&self.netlist, || self.make_sim())?;
         apply_ctx_faults(sim, plan)?;
-        self.run_measures_on(sim, code, rails)
+        if obs.is_some() {
+            sim.enable_profiling();
+        }
+        let result = self.run_measures_on(sim, code, rails);
+        if let Some(obs) = obs {
+            sim.promote_stats_into(&mut obs.metrics);
+            sim.fold_profile_into(&mut obs.metrics);
+        }
+        result
     }
 
     /// [`GateLevelSystem::run_measures`] on a caller-held simulator

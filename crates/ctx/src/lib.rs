@@ -248,6 +248,24 @@ impl<'env> RunCtx<'env> {
     pub fn pool_parts(&mut self) -> (&mut SimPool<'env>, Option<&FaultPlan>) {
         (&mut self.pool, self.fault_plan.as_ref())
     }
+
+    /// Splits the context into observer, pool and fault-plan parts —
+    /// for kernels that run a pooled simulator *and* fold its
+    /// profiling counters into the observer afterwards, which needs
+    /// both borrows live at once.
+    pub fn obs_pool_parts(
+        &mut self,
+    ) -> (
+        Option<&mut Observer>,
+        &mut SimPool<'env>,
+        Option<&FaultPlan>,
+    ) {
+        (
+            self.observer.as_deref_mut(),
+            &mut self.pool,
+            self.fault_plan.as_ref(),
+        )
+    }
 }
 
 #[cfg(test)]

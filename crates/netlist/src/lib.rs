@@ -54,12 +54,14 @@
 
 pub mod error;
 pub mod graph;
+pub mod profile;
 pub mod sim;
 pub mod sta;
 pub mod wave;
 
 pub use error::NetlistError;
 pub use graph::{DffId, DffInst, DomainId, Driver, Gate, GateId, Net, NetId, Netlist};
+pub use profile::SimProfile;
 pub use sim::{MetastabilityMode, SimStats, Simulator};
 pub use sta::{
     analyze, analyze_with_domain_supplies, Endpoint, PathStage, StaConfig, StaReport, TimingPath,

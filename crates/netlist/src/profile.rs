@@ -1,0 +1,300 @@
+//! Hot-path profiling counters for the event-driven kernel.
+//!
+//! A [`SimProfile`] shards the expensive-to-aggregate questions — where
+//! did the events go, how deep did the queue get, how far ahead were
+//! events scheduled, did the delay cache earn its keep, how often did
+//! fault hooks fire — into plain counters and fixed-bucket histograms
+//! owned by one simulator. The simulator stores it as
+//! `Option<Box<SimProfile>>`, so the detached path compiles to the same
+//! never-taken `None` branch as the fault hooks and costs nothing when
+//! profiling is off.
+//!
+//! Every quantity here derives from *simulation* state (event counts,
+//! queue length, scheduled delays), never from wall clocks, so profiles
+//! are bit-identical across worker counts and merge at the engine join
+//! under the same contract as every other metric: workers fold their
+//! profile into their private `MetricsRegistry`
+//! ([`SimProfile::fold_into`]) and the engine sums registries in worker
+//! order.
+
+use psnt_obs::metrics::MetricsRegistry;
+use psnt_obs::Histogram;
+
+use crate::graph::Netlist;
+
+/// Power-of-two queue-depth buckets: the queue rarely passes a few
+/// hundred entries even on the scan fabric.
+const QUEUE_DEPTH_BOUNDS: [f64; 11] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
+
+/// Log-spaced event-latency buckets in picoseconds (the gap between
+/// scheduling an event and its due time — i.e. the gate delay used).
+const EVENT_LATENCY_BOUNDS: [f64; 11] =
+    [1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5];
+
+/// Sharded per-simulator profiling state; see the module docs.
+#[derive(Debug, Clone)]
+pub struct SimProfile {
+    /// Unique gate-kind names present in the netlist, e.g. `"nand2"`.
+    kinds: Vec<String>,
+    /// Gate index → slot in `kinds`/`events_by_kind`.
+    kind_of_gate: Vec<u16>,
+    /// Scheduled output events per gate kind.
+    events_by_kind: Vec<u64>,
+    queue_depth: Histogram,
+    event_latency_ps: Histogram,
+    delay_cache_hits: u64,
+    delay_cache_rebuilds: u64,
+    delay_cache_refreshes: u64,
+    fault_injections: u64,
+    fault_stuck_rewrites: u64,
+    fault_transient_flips: u64,
+}
+
+impl SimProfile {
+    /// A profile sized for `netlist`, with the gate→kind table built
+    /// once so the hot path indexes instead of matching.
+    pub fn for_netlist(netlist: &Netlist) -> SimProfile {
+        let mut kinds: Vec<String> = Vec::new();
+        let mut kind_of_gate = Vec::with_capacity(netlist.gates().len());
+        for gate in netlist.gates() {
+            let name = gate.cell().function().to_string().to_lowercase();
+            let slot = match kinds.iter().position(|k| *k == name) {
+                Some(i) => i,
+                None => {
+                    kinds.push(name);
+                    kinds.len() - 1
+                }
+            };
+            kind_of_gate.push(slot as u16);
+        }
+        let events_by_kind = vec![0; kinds.len()];
+        SimProfile {
+            kinds,
+            kind_of_gate,
+            events_by_kind,
+            queue_depth: Histogram::with_bounds(&QUEUE_DEPTH_BOUNDS),
+            event_latency_ps: Histogram::with_bounds(&EVENT_LATENCY_BOUNDS),
+            delay_cache_hits: 0,
+            delay_cache_rebuilds: 0,
+            delay_cache_refreshes: 0,
+            fault_injections: 0,
+            fault_stuck_rewrites: 0,
+            fault_transient_flips: 0,
+        }
+    }
+
+    /// One output event scheduled by gate `gi` (index into the
+    /// netlist's gate list) with propagation delay `latency_ps`; the
+    /// edge-specific delay was served from the delay cache.
+    #[inline]
+    pub(crate) fn gate_event(&mut self, gi: usize, latency_ps: f64) {
+        self.events_by_kind[self.kind_of_gate[gi] as usize] += 1;
+        self.delay_cache_hits += 1;
+        self.event_latency_ps.record(latency_ps);
+    }
+
+    /// Queue length right after a push.
+    #[inline]
+    pub(crate) fn queue_sample(&mut self, depth: usize) {
+        self.queue_depth.record(depth as f64);
+    }
+
+    #[inline]
+    pub(crate) fn cache_rebuild(&mut self) {
+        self.delay_cache_rebuilds += 1;
+    }
+
+    #[inline]
+    pub(crate) fn cache_refresh(&mut self) {
+        self.delay_cache_refreshes += 1;
+    }
+
+    #[inline]
+    pub(crate) fn fault_injection(&mut self) {
+        self.fault_injections += 1;
+    }
+
+    #[inline]
+    pub(crate) fn stuck_rewrite(&mut self) {
+        self.fault_stuck_rewrites += 1;
+    }
+
+    #[inline]
+    pub(crate) fn transient_flip(&mut self) {
+        self.fault_transient_flips += 1;
+    }
+
+    /// Scheduled events per kind, as `(kind, count)` in kind order.
+    pub fn events_by_kind(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.kinds
+            .iter()
+            .map(String::as_str)
+            .zip(self.events_by_kind.iter().copied())
+    }
+
+    /// The queue-depth histogram (one sample per event pushed).
+    pub fn queue_depth(&self) -> &Histogram {
+        &self.queue_depth
+    }
+
+    /// The event-latency histogram (picoseconds of scheduling lead).
+    pub fn event_latency_ps(&self) -> &Histogram {
+        &self.event_latency_ps
+    }
+
+    /// Drains this profile into a metrics registry: counters add, the
+    /// histograms bucket-merge, and the profile resets to zero so a
+    /// later fold never double-counts. Counter names are stable
+    /// (`sim.events_by_kind.<kind>`, `sim.queue_depth`,
+    /// `sim.event_latency_ps`, `sim.delay_cache_*`, `sim.fault_*`).
+    pub fn fold_into(&mut self, metrics: &mut MetricsRegistry) {
+        for (kind, n) in self
+            .kinds
+            .iter()
+            .zip(std::mem::take(&mut self.events_by_kind))
+        {
+            if n > 0 {
+                metrics.counter_add(&format!("sim.events_by_kind.{kind}"), n);
+            }
+        }
+        self.events_by_kind = vec![0; self.kinds.len()];
+        if self.queue_depth.count() > 0 {
+            let id = metrics.histogram("sim.queue_depth", &QUEUE_DEPTH_BOUNDS);
+            metrics.histogram_merge(id, &self.queue_depth);
+            self.queue_depth = Histogram::with_bounds(&QUEUE_DEPTH_BOUNDS);
+        }
+        if self.event_latency_ps.count() > 0 {
+            let id = metrics.histogram("sim.event_latency_ps", &EVENT_LATENCY_BOUNDS);
+            metrics.histogram_merge(id, &self.event_latency_ps);
+            self.event_latency_ps = Histogram::with_bounds(&EVENT_LATENCY_BOUNDS);
+        }
+        for (name, v) in [
+            ("sim.delay_cache_hits", &mut self.delay_cache_hits),
+            ("sim.delay_cache_rebuilds", &mut self.delay_cache_rebuilds),
+            ("sim.delay_cache_refreshes", &mut self.delay_cache_refreshes),
+            ("sim.fault_injections", &mut self.fault_injections),
+            ("sim.fault_stuck_rewrites", &mut self.fault_stuck_rewrites),
+            ("sim.fault_transient_flips", &mut self.fault_transient_flips),
+        ] {
+            if *v > 0 {
+                metrics.counter_add(name, *v);
+                *v = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psnt_cells::gates::StdCell;
+
+    fn netlist() -> Netlist {
+        let mut n = Netlist::new("p");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_gate("n1", StdCell::nand2(1.0), &[a, b]).unwrap();
+        let y = n.add_gate("i1", StdCell::inverter(1.0), &[x]).unwrap();
+        let z = n.add_gate("i2", StdCell::inverter(1.0), &[y]).unwrap();
+        n.mark_output("q", z);
+        n
+    }
+
+    #[test]
+    fn kind_table_dedups_and_counts() {
+        let n = netlist();
+        let mut p = SimProfile::for_netlist(&n);
+        assert_eq!(p.kinds, ["nand2", "inv"]);
+        p.gate_event(0, 12.0); // the NAND2
+        p.gate_event(1, 9.0); // first inverter
+        p.gate_event(2, 9.0); // second inverter
+        let by_kind: Vec<(String, u64)> = p
+            .events_by_kind()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        assert_eq!(by_kind, [("nand2".to_string(), 1), ("inv".to_string(), 2)]);
+        assert_eq!(p.event_latency_ps().count(), 3);
+    }
+
+    #[test]
+    fn fold_drains_and_never_double_counts() {
+        let n = netlist();
+        let mut p = SimProfile::for_netlist(&n);
+        p.gate_event(0, 5.0);
+        p.queue_sample(3);
+        p.cache_rebuild();
+        p.fault_injection();
+
+        let mut m = MetricsRegistry::new();
+        p.fold_into(&mut m);
+        assert_eq!(m.counter_value("sim.events_by_kind.nand2"), 1);
+        assert_eq!(m.counter_value("sim.delay_cache_hits"), 1);
+        assert_eq!(m.counter_value("sim.delay_cache_rebuilds"), 1);
+        assert_eq!(m.counter_value("sim.fault_injections"), 1);
+        assert_eq!(m.histogram_value("sim.queue_depth").unwrap().count(), 1);
+
+        // Second fold adds nothing: the profile was drained.
+        p.fold_into(&mut m);
+        assert_eq!(m.counter_value("sim.events_by_kind.nand2"), 1);
+        assert_eq!(m.histogram_value("sim.queue_depth").unwrap().count(), 1);
+
+        // And the profile keeps working after a drain.
+        p.gate_event(0, 5.0);
+        p.fold_into(&mut m);
+        assert_eq!(m.counter_value("sim.events_by_kind.nand2"), 2);
+    }
+
+    #[test]
+    fn sharded_profiles_merge_like_one() {
+        // The bit-identity contract at the engine join: folding two
+        // worker profiles into two registries and merging equals one
+        // profile that saw all the work.
+        let n = netlist();
+        let mut whole = SimProfile::for_netlist(&n);
+        let mut part_a = SimProfile::for_netlist(&n);
+        let mut part_b = SimProfile::for_netlist(&n);
+        for (gi, lat) in [(0usize, 5.0), (1, 9.0), (2, 12.0), (0, 200.0)] {
+            whole.gate_event(gi, lat);
+        }
+        part_a.gate_event(0, 5.0);
+        part_a.gate_event(1, 9.0);
+        part_b.gate_event(2, 12.0);
+        part_b.gate_event(0, 200.0);
+        for p in [&mut whole, &mut part_a, &mut part_b] {
+            p.queue_sample(2);
+        }
+        whole.queue_sample(700);
+        part_b.queue_sample(700);
+        whole.queue_sample(2);
+
+        let mut serial = MetricsRegistry::new();
+        whole.fold_into(&mut serial);
+        let mut a = MetricsRegistry::new();
+        part_a.fold_into(&mut a);
+        let mut b = MetricsRegistry::new();
+        part_b.fold_into(&mut b);
+        a.merge(&b);
+
+        assert_eq!(
+            serial.counter_value("sim.events_by_kind.nand2"),
+            a.counter_value("sim.events_by_kind.nand2")
+        );
+        assert_eq!(
+            serial.counter_value("sim.events_by_kind.inv"),
+            a.counter_value("sim.events_by_kind.inv")
+        );
+        assert_eq!(
+            serial.histogram_value("sim.queue_depth").unwrap().counts(),
+            a.histogram_value("sim.queue_depth").unwrap().counts()
+        );
+        assert_eq!(
+            serial
+                .histogram_value("sim.event_latency_ps")
+                .unwrap()
+                .counts(),
+            a.histogram_value("sim.event_latency_ps").unwrap().counts()
+        );
+    }
+}

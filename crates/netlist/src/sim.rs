@@ -40,12 +40,13 @@ use psnt_cells::logic::Logic;
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Time, Voltage};
 use psnt_fault::{Fault, FaultPlan, SplitMix64};
-use psnt_obs::metrics::GaugeId;
+use psnt_obs::metrics::{GaugeId, MetricsRegistry};
 use psnt_obs::{Event as ObsEvent, Observer};
 use serde::{Deserialize, Serialize};
 
 use crate::error::NetlistError;
 use crate::graph::{DffId, DomainId, GateId, NetId, Netlist, SimTopology};
+use crate::profile::SimProfile;
 use crate::wave::{SignalId, Trace};
 
 /// Upper bound on gate fan-in (library cells have ≤ 3 pins), sized so
@@ -186,6 +187,9 @@ pub struct Simulator<'a> {
     /// hot-path hook behind a single never-taken branch, so a fault-free
     /// simulator is bit-identical to one built before faults existed.
     faults: Option<Box<FaultState>>,
+    /// Hot-path profiling counters; `None` (the default) costs one
+    /// never-taken branch per hook, like the fault state.
+    profile: Option<Box<SimProfile>>,
     /// Applied-event ceiling enforced by the `try_run_*` methods.
     event_budget: Option<u64>,
 }
@@ -355,6 +359,7 @@ impl<'a> Simulator<'a> {
             queue_gauge: None,
             promoted: SimStats::default(),
             faults: None,
+            profile: None,
             event_budget: None,
         };
         sim.rebuild_delay_cache();
@@ -392,6 +397,9 @@ impl<'a> Simulator<'a> {
     /// Recomputes the cached propagation delays of every gate at the
     /// current supplies/PVT.
     fn rebuild_delay_cache(&mut self) {
+        if let Some(p) = self.profile.as_mut() {
+            p.cache_rebuild();
+        }
         let gates = self.netlist.gates();
         self.delay_cache.clear();
         self.delay_cache.reserve(gates.len());
@@ -417,6 +425,9 @@ impl<'a> Simulator<'a> {
     /// Refreshes the cached delays of the gates in one domain after its
     /// supply changed.
     fn refresh_domain_delays(&mut self, domain: DomainId) {
+        if let Some(p) = self.profile.as_mut() {
+            p.cache_refresh();
+        }
         let supply = self.domain_supply[domain.index()];
         for (gi, g) in self.netlist.gates().iter().enumerate() {
             if g.domain() != domain {
@@ -580,24 +591,73 @@ impl<'a> Simulator<'a> {
         self.observer = Some(observer);
     }
 
+    /// Enables hot-path profiling: events by gate kind, queue-depth
+    /// and event-latency histograms, delay-cache and fault-hook
+    /// counters, accumulated in a [`SimProfile`] until drained by
+    /// [`fold_profile_into`](Simulator::fold_profile_into). Idempotent;
+    /// survives [`reset`](Simulator::reset) so pooled sweeps keep
+    /// accumulating. Every profiled quantity derives from simulation
+    /// state, so enabling profiling never changes results and profiles
+    /// are bit-identical across worker counts.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::new(SimProfile::for_netlist(self.netlist)));
+        }
+    }
+
+    /// Whether [`enable_profiling`](Simulator::enable_profiling) ran.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// The accumulated profile, when profiling is enabled.
+    pub fn profile(&self) -> Option<&SimProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Drains the profile into `metrics` (no-op when profiling is
+    /// off). Call after a run; pooled simulators cannot hold the
+    /// observer reference themselves, so the owning layer folds here.
+    pub fn fold_profile_into(&mut self, metrics: &mut MetricsRegistry) {
+        if let Some(p) = self.profile.as_mut() {
+            p.fold_into(metrics);
+        }
+    }
+
+    /// Delta-promotes run statistics (and the energy gauge) into an
+    /// external registry — the same fold the attached-observer path
+    /// performs at the end of every `run_*`, exposed for pooled
+    /// simulators whose observer cannot be borrowed for the
+    /// simulator's lifetime.
+    pub fn promote_stats_into(&mut self, metrics: &mut MetricsRegistry) {
+        let s = self.stats;
+        Simulator::promote_delta(metrics, s, self.promoted, self.switching_energy_j);
+        self.promoted = s;
+    }
+
     /// Folds stats accumulated since the last promotion into the
     /// attached observer's registry (no-op when detached).
     fn promote_stats(&mut self) {
-        let Some(obs) = self.observer.as_deref_mut() else {
-            return;
-        };
         let s = self.stats;
         let p = self.promoted;
-        obs.metrics.counter_add("sim.events", s.events - p.events);
-        obs.metrics
-            .counter_add("sim.cancelled", s.cancelled - p.cancelled);
-        obs.metrics
-            .counter_add("sim.ff_captures", s.ff_captures - p.ff_captures);
-        obs.metrics
-            .counter_add("sim.ff_violations", s.ff_violations - p.ff_violations);
-        obs.metrics
-            .gauge_set("sim.switching_energy_j", self.switching_energy_j);
-        self.promoted = s;
+        let energy = self.switching_energy_j;
+        let mut profile = self.profile.take();
+        if let Some(obs) = self.observer.as_deref_mut() {
+            Simulator::promote_delta(&mut obs.metrics, s, p, energy);
+            if let Some(prof) = profile.as_mut() {
+                prof.fold_into(&mut obs.metrics);
+            }
+            self.promoted = s;
+        }
+        self.profile = profile;
+    }
+
+    fn promote_delta(metrics: &mut MetricsRegistry, s: SimStats, p: SimStats, energy: f64) {
+        metrics.counter_add("sim.events", s.events - p.events);
+        metrics.counter_add("sim.cancelled", s.cancelled - p.cancelled);
+        metrics.counter_add("sim.ff_captures", s.ff_captures - p.ff_captures);
+        metrics.counter_add("sim.ff_violations", s.ff_violations - p.ff_violations);
+        metrics.gauge_set("sim.switching_energy_j", energy);
     }
 
     /// The supply voltage powering the default (core) domain.
@@ -827,6 +887,9 @@ impl<'a> Simulator<'a> {
             value,
             version: self.version[net.index()],
         }));
+        if let Some(p) = self.profile.as_mut() {
+            p.queue_sample(self.queue.len());
+        }
     }
 
     /// Processes every event scheduled at or before `t`, then advances the
@@ -987,6 +1050,9 @@ impl<'a> Simulator<'a> {
                 self.refresh_domain_delays(d);
             }
         }
+        if let Some(p) = self.profile.as_mut() {
+            p.fault_injection();
+        }
         true
     }
 
@@ -997,6 +1063,11 @@ impl<'a> Simulator<'a> {
         // check below then discards — the node never moves.
         if let Some(f) = &self.faults {
             if let Some(v) = f.stuck[ni] {
+                if ev.value != v {
+                    if let Some(p) = self.profile.as_mut() {
+                        p.stuck_rewrite();
+                    }
+                }
                 ev.value = v;
             }
         }
@@ -1077,6 +1148,9 @@ impl<'a> Simulator<'a> {
             Logic::Zero => cached.fall,
             _ => cached.worst,
         };
+        if let Some(p) = self.profile.as_mut() {
+            p.gate_event(gi.index(), delay.picoseconds());
+        }
         self.version[oi] += 1;
         self.pending[oi] = Some(new_value);
         self.push_event(at + delay, out, new_value);
@@ -1122,6 +1196,9 @@ impl<'a> Simulator<'a> {
                         Logic::Zero => Logic::One,
                         other => other,
                     };
+                    if let Some(prof) = self.profile.as_mut() {
+                        prof.transient_flip();
+                    }
                 }
             }
         }

@@ -13,8 +13,11 @@
 //!   carrying sim time, subsystem and key/value payloads, written
 //!   through an [`events::EventSink`] (JSON-Lines file or in-memory
 //!   ring buffer);
-//! * [`span`] — lightweight wall-clock span timers for phase-level
-//!   profiling;
+//! * [`span`] — hierarchical spans carrying wall-clock *and*
+//!   simulation-time intervals plus typed attributes, forming a causal
+//!   tree (campaign → site → grid-solve → measure);
+//! * [`trace`] — exporters rendering that tree as Chrome trace-event
+//!   JSON (Perfetto-loadable) and folded flamegraph stacks;
 //! * [`manifest::RunManifest`] — the reproducibility header (config
 //!   hash, seed, PVT corner, delay codes, git describe) emitted at the
 //!   head of every telemetry stream.
@@ -41,9 +44,14 @@ pub mod manifest;
 pub mod metrics;
 pub mod observer;
 pub mod span;
+pub mod trace;
 
-pub use events::{Event, EventSink, JsonlSink, Record, RingBufferSink};
+pub use events::{
+    Event, EventSink, JsonlSink, NullSink, Record, RingBufferSink, RotatingJsonlSink, Severity,
+};
 pub use manifest::RunManifest;
-pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+pub use metrics::{
+    CounterId, GaugeId, Histogram, HistogramId, MetricsDiff, MetricsRegistry, MetricsSnapshot,
+};
 pub use observer::Observer;
-pub use span::Span;
+pub use span::{mask_wall_times, RemoteSpan, Span, SpanRecord};

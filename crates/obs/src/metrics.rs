@@ -30,7 +30,14 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: &[f64]) -> Histogram {
+    /// An empty histogram over the given bucket bounds. Public so
+    /// standalone profiles (e.g. the kernel's `SimProfile`) can own
+    /// histograms outside a registry and fold them in later.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bounds are not strictly increasing.
+    pub fn with_bounds(bounds: &[f64]) -> Histogram {
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
@@ -43,7 +50,12 @@ impl Histogram {
         }
     }
 
-    fn record(&mut self, value: f64) {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram::with_bounds(bounds)
+    }
+
+    /// Records one sample into its bucket.
+    pub fn record(&mut self, value: f64) {
         let bucket = self.bounds.partition_point(|&b| b < value);
         self.counts[bucket] += 1;
         self.count += 1;
@@ -65,7 +77,46 @@ impl Histogram {
         &self.counts
     }
 
-    fn merge_from(&mut self, other: &Histogram) {
+    /// Bucket upper edges (exclusive of the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// The inclusive upper edge of the bucket holding the `p`-th
+    /// percentile sample (`p` in `0..=100`).
+    ///
+    /// Fixed-bucket histograms cannot interpolate inside a bucket, so
+    /// the answer is quantized to bucket edges: `percentile(50.0)` of a
+    /// histogram whose median sample landed in the `(1, 10]` bucket is
+    /// `10.0`. Samples past the top bound live in the overflow bucket
+    /// and report [`f64::INFINITY`]. Returns `None` while empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+        if self.count == 0 {
+            return None;
+        }
+        // Rank of the percentile sample, 1-based, nearest-rank method.
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Folds `other`'s samples into `self` bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket bounds differ.
+    pub fn merge_from(&mut self, other: &Histogram) {
         assert_eq!(
             self.bounds, other.bounds,
             "cannot merge histograms with different bucket bounds"
@@ -77,7 +128,7 @@ impl Histogram {
         self.sum += other.sum;
     }
 
-    fn to_value(&self) -> Value {
+    pub(crate) fn to_value(&self) -> Value {
         Value::Map(vec![
             (
                 "bounds".to_string(),
@@ -90,6 +141,21 @@ impl Histogram {
             ("count".to_string(), Value::U64(self.count)),
             ("sum".to_string(), Value::F64(self.sum)),
         ])
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    /// One-line summary: `count=52 sum=103.4 p50=10 p99=1000`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "count={} sum={}", self.count, self.sum)?;
+        for p in [50.0, 99.0] {
+            match self.percentile(p) {
+                Some(v) if v.is_finite() => write!(f, " p{p:.0}={v}")?,
+                Some(_) => write!(f, " p{p:.0}=overflow")?,
+                None => write!(f, " p{p:.0}=-")?,
+            }
+        }
+        Ok(())
     }
 }
 
@@ -171,6 +237,16 @@ impl MetricsRegistry {
     /// Records a sample into a histogram by id.
     pub fn record(&mut self, id: HistogramId, value: f64) {
         self.histograms[id.0].1.record(value);
+    }
+
+    /// Bucket-merges a standalone histogram into a registered one —
+    /// how drained profiles fold their samples in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket bounds differ.
+    pub fn histogram_merge(&mut self, id: HistogramId, other: &Histogram) {
+        self.histograms[id.0].1.merge_from(other);
     }
 
     /// Adds to a counter by name (cold paths only).
@@ -299,6 +375,198 @@ impl MetricsRegistry {
             ),
         ])
     }
+
+    /// An owned, displayable snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// An owned point-in-time copy of a registry's metrics, sorted by name
+/// so two snapshots of the same run compare position-by-position
+/// regardless of registration order.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name, zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge reading by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The change from `earlier` to `self`: counter deltas, gauge
+    /// before/after pairs, histogram count deltas. Names present in
+    /// only one snapshot show against an implicit zero/absent side.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsDiff {
+        let mut counters: Vec<(String, i128)> = Vec::new();
+        let mut names: Vec<&String> = self
+            .counters
+            .iter()
+            .chain(&earlier.counters)
+            .map(|(n, _)| n)
+            .collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            let delta = self.counter(name) as i128 - earlier.counter(name) as i128;
+            if delta != 0 {
+                counters.push((name.clone(), delta));
+            }
+        }
+
+        let mut gauges: Vec<(String, Option<f64>, Option<f64>)> = Vec::new();
+        let mut names: Vec<&String> = self
+            .gauges
+            .iter()
+            .chain(&earlier.gauges)
+            .map(|(n, _)| n)
+            .collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            let (before, after) = (earlier.gauge(name), self.gauge(name));
+            if before != after {
+                gauges.push((name.clone(), before, after));
+            }
+        }
+
+        let mut histograms: Vec<(String, u64)> = Vec::new();
+        let mut names: Vec<&String> = self
+            .histograms
+            .iter()
+            .chain(&earlier.histograms)
+            .map(|(n, _)| n)
+            .collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            let before = earlier.histogram(name).map_or(0, Histogram::count);
+            let after = self.histogram(name).map_or(0, Histogram::count);
+            if after > before {
+                histograms.push((name.clone(), after - before));
+            }
+        }
+
+        MetricsDiff {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    /// A human-readable table, one metric per line, sorted by name
+    /// within each section.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        let mut counters: Vec<_> = self.counters.iter().collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, v) in counters {
+            writeln!(f, "  {name:<width$}  {v}")?;
+        }
+        let mut gauges: Vec<_> = self.gauges.iter().collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, v) in gauges {
+            writeln!(f, "  {name:<width$}  {v:.6}")?;
+        }
+        let mut histograms: Vec<_> = self.histograms.iter().collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in histograms {
+            writeln!(f, "  {name:<width$}  {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The change between two [`MetricsSnapshot`]s, as produced by
+/// [`MetricsSnapshot::diff`]. Unchanged metrics are omitted.
+#[derive(Debug, Clone)]
+pub struct MetricsDiff {
+    /// Counter deltas (`new - old`), by name.
+    counters: Vec<(String, i128)>,
+    /// Changed gauges as `(name, before, after)`.
+    gauges: Vec<(String, Option<f64>, Option<f64>)>,
+    /// Newly recorded histogram samples (`new count - old count`).
+    histograms: Vec<(String, u64)>,
+}
+
+impl MetricsDiff {
+    /// True when the two snapshots were identical.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter delta by name, zero when unchanged.
+    pub fn counter_delta(&self, name: &str) -> i128 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for MetricsDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "  (no change)");
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, ..)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, delta) in &self.counters {
+            writeln!(f, "  {name:<width$}  {delta:+}")?;
+        }
+        for (name, before, after) in &self.gauges {
+            let fmt_g = |g: &Option<f64>| match g {
+                Some(v) => format!("{v:.6}"),
+                None => "-".to_string(),
+            };
+            writeln!(f, "  {name:<width$}  {} -> {}", fmt_g(before), fmt_g(after))?;
+        }
+        for (name, added) in &self.histograms {
+            writeln!(f, "  {name:<width$}  +{added} samples")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +670,81 @@ mod tests {
         let mut b = MetricsRegistry::new();
         b.histogram("h", &[1.0, 3.0]);
         a.merge(&b);
+    }
+
+    #[test]
+    fn percentile_quantizes_to_bucket_edges() {
+        let mut h = Histogram::with_bounds(&[1.0, 10.0, 100.0]);
+        assert_eq!(h.percentile(50.0), None, "empty histogram has no p50");
+
+        // Samples: 1 in (..=1], 2 in (1, 10], 1 in (10, 100].
+        for v in [1.0, 2.0, 10.0, 100.0] {
+            h.record(v);
+        }
+        // Nearest-rank: p0 and p25 both resolve to the 1st sample.
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(25.0), Some(1.0));
+        // Rank 2 (p50 of 4 samples) lands in the (1, 10] bucket, whose
+        // inclusive upper edge is 10.
+        assert_eq!(h.percentile(50.0), Some(10.0));
+        assert_eq!(h.percentile(75.0), Some(10.0));
+        // p100 is the last sample: the (10, 100] bucket edge.
+        assert_eq!(h.percentile(100.0), Some(100.0));
+
+        // An overflow sample reports infinity at the top percentile.
+        h.record(1e9);
+        assert_eq!(h.percentile(100.0), Some(f64::INFINITY));
+        assert_eq!(h.percentile(80.0), Some(100.0));
+    }
+
+    #[test]
+    fn percentile_single_sample_every_p_same_bucket() {
+        let mut h = Histogram::with_bounds(&[5.0]);
+        h.record(3.0);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(5.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in 0..=100")]
+    fn percentile_rejects_out_of_range() {
+        Histogram::with_bounds(&[1.0]).percentile(101.0);
+    }
+
+    #[test]
+    fn snapshot_diff_reports_deltas_and_display_renders() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("jobs", 2);
+        m.gauge_set("peak", 1.0);
+        let h = m.histogram("lat", &[1.0, 10.0]);
+        m.record(h, 0.5);
+        let before = m.snapshot();
+
+        m.counter_add("jobs", 3);
+        m.counter_add("fresh", 1);
+        m.gauge_set("peak", 4.0);
+        m.record(h, 5.0);
+        let after = m.snapshot();
+
+        let diff = after.diff(&before);
+        assert!(!diff.is_empty());
+        assert_eq!(diff.counter_delta("jobs"), 3);
+        assert_eq!(diff.counter_delta("fresh"), 1);
+        assert_eq!(diff.counter_delta("unchanged"), 0);
+
+        let table = diff.to_string();
+        assert!(table.contains("jobs"), "diff table lists jobs: {table}");
+        assert!(table.contains("+3"), "delta is signed: {table}");
+        assert!(table.contains("1.000000 -> 4.000000"), "gauges: {table}");
+        assert!(table.contains("+1 samples"), "histograms: {table}");
+
+        assert!(after.diff(&after).is_empty());
+        assert_eq!(after.diff(&after).to_string(), "  (no change)\n");
+
+        let snap_table = after.to_string();
+        assert!(snap_table.contains("jobs"));
+        assert!(snap_table.contains("p50"));
     }
 
     #[test]

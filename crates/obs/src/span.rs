@@ -1,26 +1,59 @@
-//! Wall-clock span timing for phase-level profiling.
+//! Hierarchical spans: wall-clock + sim-time intervals in a causal tree.
 //!
-//! A [`Span`] is begun wherever convenient (no observer needed) and
-//! handed to [`crate::Observer::end_span`], which emits a span record
-//! and folds the duration into a per-span-name histogram. Spans
-//! measure *wall* time — the only clock that exists outside the
-//! simulation — so they profile the simulator, not the circuit.
+//! A [`Span`] is begun either standalone ([`Span::begin`], no observer
+//! needed) or through [`crate::Observer::begin_span`], which assigns it
+//! an id and a parent from the observer's open-span stack so closed
+//! spans form a causal tree (campaign → site → grid-solve → measure).
+//! Either way it is handed to [`crate::Observer::end_span`], which
+//! emits a span record and folds the duration into a per-span-name
+//! histogram.
+//!
+//! Spans carry two clocks. Wall time profiles the *simulator* and is
+//! nondeterministic; equivalence tests mask it with
+//! [`mask_wall_times`]. The optional simulation-time interval
+//! (picoseconds) ties a span to the *circuit's* clock and is fully
+//! deterministic, so tests compare it exactly.
+//!
+//! Worker threads cannot reach the observer, so they record
+//! [`RemoteSpan`] trees against the observer's epoch instant and the
+//! engine folds them in after the join via
+//! [`crate::Observer::emit_remote_tree`] — in job order, so the stream
+//! is independent of worker count.
 
 use std::time::Instant;
 
-/// An open span: a name plus the instant it started.
+use serde::{json, Serialize, Value};
+
+/// An open span: a name, the instant it started, and optional
+/// sim-time bounds and attributes attached as the phase progresses.
 #[derive(Debug)]
 pub struct Span {
     name: String,
     started: Instant,
+    pub(crate) id: Option<u64>,
+    pub(crate) parent: Option<u64>,
+    pub(crate) wall_start_us: Option<f64>,
+    pub(crate) sim_t0_ps: Option<f64>,
+    pub(crate) sim_t1_ps: Option<f64>,
+    pub(crate) attrs: Vec<(String, Value)>,
 }
 
 impl Span {
     /// Starts the clock on a named span.
+    ///
+    /// A span begun this way has no id until it is closed; prefer
+    /// [`crate::Observer::begin_span`] when children will open inside
+    /// it, so they can name it as their parent.
     pub fn begin(name: impl Into<String>) -> Span {
         Span {
             name: name.into(),
             started: Instant::now(),
+            id: None,
+            parent: None,
+            wall_start_us: None,
+            sim_t0_ps: None,
+            sim_t1_ps: None,
+            attrs: Vec::new(),
         }
     }
 
@@ -29,10 +62,181 @@ impl Span {
         &self.name
     }
 
+    /// The id assigned by [`crate::Observer::begin_span`], if any.
+    pub fn id(&self) -> Option<u64> {
+        self.id
+    }
+
     /// Wall time elapsed since [`Span::begin`], in microseconds.
     pub fn elapsed_us(&self) -> f64 {
         self.started.elapsed().as_secs_f64() * 1e6
     }
+
+    /// Stamps the simulated interval this span covers (picoseconds).
+    pub fn sim_interval_ps(mut self, t0_ps: f64, t1_ps: f64) -> Span {
+        self.sim_t0_ps = Some(t0_ps);
+        self.sim_t1_ps = Some(t1_ps);
+        self
+    }
+
+    /// Extends the simulated interval to include `t_ps` — call as the
+    /// simulation advances when the final bound is not known up front.
+    pub fn cover_sim_ps(&mut self, t_ps: f64) {
+        self.sim_t0_ps = Some(self.sim_t0_ps.map_or(t_ps, |t0| t0.min(t_ps)));
+        self.sim_t1_ps = Some(self.sim_t1_ps.map_or(t_ps, |t1| t1.max(t_ps)));
+    }
+
+    /// Attaches one typed attribute (flattened into the span record).
+    pub fn attr(mut self, key: impl Into<String>, value: &impl Serialize) -> Span {
+        self.attrs.push((key.into(), value.to_value()));
+        self
+    }
+}
+
+/// A closed span as stored in the observer's trace and serialized as a
+/// `"type":"span"` record.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id within the stream, assigned in close (or emit) order.
+    pub id: u64,
+    /// The enclosing span's id; `None` for roots.
+    pub parent: Option<u64>,
+    /// Span name (experiment, phase, site, ...).
+    pub name: String,
+    /// Which execution track ran it: 0 is the observer's own thread,
+    /// `w + 1` is engine worker `w`.
+    pub track: u32,
+    /// Wall-clock start, microseconds since the observer's epoch.
+    pub wall_start_us: f64,
+    /// Wall-clock duration in microseconds.
+    pub wall_us: f64,
+    /// Simulated-time interval covered, picoseconds (deterministic).
+    pub sim_t0_ps: Option<f64>,
+    /// End of the simulated interval, picoseconds.
+    pub sim_t1_ps: Option<f64>,
+    /// Typed attributes, flattened into the JSON record.
+    pub attrs: Vec<(String, Value)>,
+}
+
+/// A span recorded on a worker thread, away from the observer.
+///
+/// Workers time their phases against the observer's epoch (an
+/// [`Instant`] is `Copy + Send`, so the engine hands it into jobs) and
+/// return finished trees in their job results; the observer assigns
+/// ids and emits the records after the join, in job order, keeping the
+/// stream deterministic under any worker count.
+#[derive(Debug, Clone)]
+pub struct RemoteSpan {
+    pub(crate) name: String,
+    pub(crate) track: u32,
+    pub(crate) wall_start_us: f64,
+    pub(crate) wall_us: f64,
+    pub(crate) sim_t0_ps: Option<f64>,
+    pub(crate) sim_t1_ps: Option<f64>,
+    pub(crate) attrs: Vec<(String, Value)>,
+    pub(crate) children: Vec<RemoteSpan>,
+    started: Instant,
+}
+
+impl RemoteSpan {
+    /// Starts a remote span on `track` (worker index + 1), timed
+    /// against the observer's `epoch`.
+    pub fn begin(name: impl Into<String>, epoch: Instant, track: u32) -> RemoteSpan {
+        let now = Instant::now();
+        RemoteSpan {
+            name: name.into(),
+            track,
+            wall_start_us: now
+                .checked_duration_since(epoch)
+                .unwrap_or_default()
+                .as_secs_f64()
+                * 1e6,
+            wall_us: 0.0,
+            sim_t0_ps: None,
+            sim_t1_ps: None,
+            attrs: Vec::new(),
+            children: Vec::new(),
+            started: now,
+        }
+    }
+
+    /// Stamps the simulated interval this span covers (picoseconds).
+    pub fn sim_interval_ps(mut self, t0_ps: f64, t1_ps: f64) -> RemoteSpan {
+        self.sim_t0_ps = Some(t0_ps);
+        self.sim_t1_ps = Some(t1_ps);
+        self
+    }
+
+    /// Attaches one typed attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: &impl Serialize) -> RemoteSpan {
+        self.attrs.push((key.into(), value.to_value()));
+        self
+    }
+
+    /// Adds a finished child span.
+    pub fn child(&mut self, child: RemoteSpan) {
+        self.children.push(child);
+    }
+
+    /// Stops the clock. Children opened after this keep their own
+    /// timings; the parent's duration is frozen here.
+    pub fn end(mut self) -> RemoteSpan {
+        self.wall_us = self.started.elapsed().as_secs_f64() * 1e6;
+        self
+    }
+}
+
+/// Masks the nondeterministic wall-clock parts of one telemetry line
+/// so equivalence tests can compare everything else exactly.
+///
+/// On `"type":"span"` records, `wall_us` and `wall_start_us` are
+/// replaced with `"<wall>"` and `track` with `"<track>"` (worker-side
+/// spans carry the executing worker's scheduling-dependent track); on
+/// the `"type":"metrics"` snapshot, the `span.*_us` histograms (whose
+/// buckets hold wall durations) are replaced likewise. Ids, parents,
+/// names, sim-time intervals and attributes — the deterministic
+/// structure — pass through untouched, as does any line that is not
+/// valid JSON.
+pub fn mask_wall_times(line: &str) -> String {
+    let Ok(v) = json::parse(line) else {
+        return line.to_string();
+    };
+    let Value::Map(mut entries) = v else {
+        return line.to_string();
+    };
+    let type_of = |entries: &[(String, Value)]| {
+        entries
+            .iter()
+            .find(|(k, _)| k == "type")
+            .and_then(|(_, v)| v.as_str().map(str::to_string))
+    };
+    match type_of(&entries).as_deref() {
+        Some("span") => {
+            for (k, v) in entries.iter_mut() {
+                if k == "wall_us" || k == "wall_start_us" {
+                    *v = Value::Str("<wall>".to_string());
+                } else if k == "track" {
+                    *v = Value::Str("<track>".to_string());
+                }
+            }
+        }
+        Some("metrics") => {
+            for (k, v) in entries.iter_mut() {
+                if k != "histograms" {
+                    continue;
+                }
+                if let Value::Map(hists) = v {
+                    for (name, h) in hists.iter_mut() {
+                        if name.starts_with("span.") && name.ends_with("_us") {
+                            *h = Value::Str("<wall>".to_string());
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    json::to_string(&Value::Map(entries))
 }
 
 #[cfg(test)]
@@ -47,5 +251,56 @@ mod tests {
         assert!(a >= 0.0);
         assert!(b >= a);
         assert_eq!(span.name(), "work");
+    }
+
+    #[test]
+    fn cover_sim_grows_the_interval() {
+        let mut span = Span::begin("sweep");
+        span.cover_sim_ps(50.0);
+        span.cover_sim_ps(10.0);
+        span.cover_sim_ps(30.0);
+        assert_eq!(span.sim_t0_ps, Some(10.0));
+        assert_eq!(span.sim_t1_ps, Some(50.0));
+    }
+
+    #[test]
+    fn remote_span_times_against_epoch() {
+        let epoch = Instant::now();
+        let mut site = RemoteSpan::begin("site", epoch, 3).sim_interval_ps(0.0, 100.0);
+        site.child(RemoteSpan::begin("measure", epoch, 3).end());
+        let site = site.end();
+        assert!(site.wall_start_us >= 0.0);
+        assert!(site.wall_us >= 0.0);
+        assert_eq!(site.track, 3);
+        assert_eq!(site.children.len(), 1);
+        assert!(site.children[0].wall_start_us >= site.wall_start_us);
+    }
+
+    #[test]
+    fn mask_replaces_wall_but_keeps_structure() {
+        let line = r#"{"type":"span","id":4,"parent":2,"name":"site","track":1,"wall_start_us":12.5,"wall_us":99.0,"t0_ps":0.0,"t1_ps":100.0,"tile":"r0c1"}"#;
+        let masked = mask_wall_times(line);
+        assert!(masked.contains("\"wall_us\":\"<wall>\""));
+        assert!(masked.contains("\"wall_start_us\":\"<wall>\""));
+        assert!(masked.contains("\"id\":4"));
+        assert!(masked.contains("\"parent\":2"));
+        assert!(masked.contains("\"t1_ps\":100"));
+        assert!(masked.contains("\"tile\":\"r0c1\""));
+    }
+
+    #[test]
+    fn mask_scrubs_span_histograms_in_snapshot() {
+        let line = r#"{"type":"metrics","counters":{"n":1},"histograms":{"span.fig9_us":{"count":1},"sim.queue_depth":{"count":2}}}"#;
+        let masked = mask_wall_times(line);
+        assert!(masked.contains("\"span.fig9_us\":\"<wall>\""));
+        assert!(masked.contains("\"sim.queue_depth\":{\"count\":2}"));
+        assert!(masked.contains("\"n\":1"));
+    }
+
+    #[test]
+    fn mask_passes_non_span_lines_through() {
+        let event = r#"{"type":"event","subsystem":"fsm","kind":"transition"}"#;
+        assert_eq!(mask_wall_times(event), event);
+        assert_eq!(mask_wall_times("not json"), "not json");
     }
 }

@@ -1,0 +1,160 @@
+//! Trace exporters: Chrome trace-event JSON and folded flamegraph text.
+//!
+//! The observer retains every closed [`SpanRecord`]; these functions
+//! render that causal tree into the two de-facto exchange formats:
+//!
+//! * **Chrome trace-event JSON** — an object with a `traceEvents`
+//!   array of `"ph":"X"` complete events (`ts`/`dur` in microseconds,
+//!   one `tid` per execution track), loadable in Perfetto or
+//!   `chrome://tracing`. Sim-time bounds and span attributes ride in
+//!   each event's `args`.
+//! * **Folded stacks** — one `root;child;leaf <self-time-µs>` line per
+//!   distinct call path, the input format of `flamegraph.pl` and
+//!   `inferno`. Self time is the span's wall time minus its children's.
+
+use serde::{json, Value};
+
+use crate::span::SpanRecord;
+
+/// Renders span records as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len());
+    for s in spans {
+        let mut args: Vec<(String, Value)> = vec![("id".to_string(), Value::U64(s.id))];
+        if let Some(p) = s.parent {
+            args.push(("parent".to_string(), Value::U64(p)));
+        }
+        if let Some(t0) = s.sim_t0_ps {
+            args.push(("sim_t0_ps".to_string(), Value::F64(t0)));
+        }
+        if let Some(t1) = s.sim_t1_ps {
+            args.push(("sim_t1_ps".to_string(), Value::F64(t1)));
+        }
+        args.extend(s.attrs.iter().cloned());
+        events.push(Value::Map(vec![
+            ("name".to_string(), Value::Str(s.name.clone())),
+            ("ph".to_string(), Value::Str("X".to_string())),
+            ("ts".to_string(), Value::F64(s.wall_start_us)),
+            ("dur".to_string(), Value::F64(s.wall_us)),
+            ("pid".to_string(), Value::U64(1)),
+            ("tid".to_string(), Value::U64(s.track as u64)),
+            ("args".to_string(), Value::Map(args)),
+        ]));
+    }
+    json::to_string(&Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]))
+}
+
+/// Renders span records as folded stacks, one aggregated call path per
+/// line, sorted lexicographically for deterministic output.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let find = |id: u64| spans.iter().find(|s| s.id == id);
+    let mut lines: Vec<(String, f64)> = Vec::new();
+    for s in spans {
+        // Path: walk parents up to the root.
+        let mut path = vec![s.name.as_str()];
+        let mut cursor = s.parent;
+        while let Some(pid) = cursor {
+            match find(pid) {
+                Some(p) => {
+                    path.push(p.name.as_str());
+                    cursor = p.parent;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        let path = path.join(";");
+        // Self time: wall time not attributed to any child span.
+        let child_us: f64 = spans
+            .iter()
+            .filter(|c| c.parent == Some(s.id))
+            .map(|c| c.wall_us)
+            .sum();
+        let self_us = (s.wall_us - child_us).max(0.0);
+        match lines.iter_mut().find(|(p, _)| *p == path) {
+            Some((_, total)) => *total += self_us,
+            None => lines.push((path, self_us)),
+        }
+    }
+    lines.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (path, us) in lines {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&format!("{}\n", us.round() as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, parent: Option<u64>, name: &str, start: f64, dur: f64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            track: 0,
+            wall_start_us: start,
+            wall_us: dur,
+            sim_t0_ps: Some(0.0),
+            sim_t1_ps: Some(100.0),
+            attrs: vec![("tile".to_string(), Value::Str("r0c0".to_string()))],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let spans = vec![
+            record(1, None, "campaign", 0.0, 100.0),
+            record(2, Some(1), "site", 10.0, 40.0),
+        ];
+        let doc = json::parse(&chrome_trace_json(&spans)).unwrap();
+        let events = doc.get("traceEvents").and_then(Value::as_seq).unwrap();
+        assert_eq!(events.len(), 2);
+        let site = &events[1];
+        assert_eq!(site.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(site.get("name").and_then(Value::as_str), Some("site"));
+        assert_eq!(site.get("ts").and_then(Value::as_f64), Some(10.0));
+        assert_eq!(site.get("dur").and_then(Value::as_f64), Some(40.0));
+        let args = site.get("args").unwrap();
+        assert_eq!(args.get("parent").and_then(Value::as_u64), Some(1));
+        assert_eq!(args.get("sim_t1_ps").and_then(Value::as_f64), Some(100.0));
+        assert_eq!(args.get("tile").and_then(Value::as_str), Some("r0c0"));
+    }
+
+    #[test]
+    fn folded_stacks_attribute_self_time() {
+        let spans = vec![
+            record(1, None, "campaign", 0.0, 100.0),
+            record(2, Some(1), "site", 10.0, 40.0),
+            record(3, Some(1), "site", 50.0, 20.0),
+        ];
+        let folded = folded_stacks(&spans);
+        // campaign self time: 100 - (40 + 20) = 40; sites aggregate.
+        assert_eq!(folded, "campaign 40\ncampaign;site 60\n");
+    }
+
+    #[test]
+    fn folded_stacks_clamp_overcommitted_parents() {
+        // A parent whose children (on other tracks) overlap can report
+        // less wall time than their sum; self time clamps at zero.
+        let spans = vec![
+            record(1, None, "sweep", 0.0, 30.0),
+            record(2, Some(1), "site", 0.0, 25.0),
+            record(3, Some(1), "site", 1.0, 25.0),
+        ];
+        let folded = folded_stacks(&spans);
+        assert_eq!(folded, "sweep 0\nsweep;site 50\n");
+    }
+
+    #[test]
+    fn orphan_parents_fall_back_to_root() {
+        let spans = vec![record(7, Some(99), "lost", 0.0, 5.0)];
+        assert_eq!(folded_stacks(&spans), "lost 5\n");
+    }
+}

@@ -343,13 +343,18 @@ impl PowerGrid {
         // adjacent samples differ by one dt of load drift, so the
         // relaxation converges in a fraction of the cold iterations.
         let mut prior: Option<Vec<f64>> = None;
+        // Iteration counts are pure numerics (no clocks, no workers),
+        // so the profile is deterministic; collected locally and folded
+        // once so the detached path stays allocation-free.
+        let mut warm_iters: Vec<usize> = Vec::new();
+        let observed = ctx.has_observer();
         for k in 0..=steps {
             let t = start + dt * k as f64;
             let instantaneous: Vec<f64> = loads.iter().map(|w| w.sample(t)).collect();
-            let v = match &prior {
-                Some(p) => self.solve_from(p, &instantaneous)?,
-                None => self.solve(&instantaneous)?,
-            };
+            let (v, iters) = self.relax(prior.as_deref(), &instantaneous)?;
+            if observed && prior.is_some() {
+                warm_iters.push(iters);
+            }
             for (tile, &vi) in v.iter().enumerate() {
                 per_tile[tile].push((t, vi));
             }
@@ -357,6 +362,13 @@ impl PowerGrid {
         }
         if let Some(obs) = ctx.observer() {
             obs.metrics.counter_add("pdn.grid_solves", steps as u64 + 1);
+            let hist = obs.metrics.histogram(
+                "pdn.warm_start_iters",
+                &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0],
+            );
+            for iters in warm_iters {
+                obs.metrics.record(hist, iters as f64);
+            }
         }
         per_tile.into_iter().map(Waveform::from_points).collect()
     }

@@ -19,7 +19,7 @@ use psnt_core::encoder::{Encoder, EncodingPolicy};
 use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
 use psnt_ctx::RunCtx;
 use psnt_engine::{Engine, JobOutcome, JobSpec, RetryPolicy};
-use psnt_obs::{Event as ObsEvent, Observer, Span};
+use psnt_obs::{Event as ObsEvent, Observer, RemoteSpan};
 use psnt_pdn::waveform::Waveform;
 use serde::{Deserialize, Serialize};
 
@@ -175,6 +175,10 @@ struct SweepInputs {
     tile_bounces: Option<Vec<Waveform>>,
     instants: Vec<Time>,
     v_nom: f64,
+    /// Upper end of the solved waveform range — the campaign span's
+    /// sim-time interval grows to cover it so the `grid_solve` child
+    /// nests inside its parent.
+    solve_end: Time,
 }
 
 /// A multi-site measurement campaign.
@@ -326,33 +330,79 @@ impl Campaign {
         dt: Time,
         samples: usize,
     ) -> Result<CampaignResult, ScanError> {
+        let mut campaign_span = ctx.observer().map(|o| {
+            o.begin_span("campaign")
+                .attr("sites", &(self.floorplan.sites().len() as u64))
+                .attr("samples", &(samples as u64))
+                .sim_interval_ps(
+                    start.picoseconds(),
+                    (start + dt * samples as f64).picoseconds(),
+                )
+        });
         let prep = self.prepare_sweep(ctx, tile_loads, ground_grid, start, dt, samples)?;
+        if let Some(span) = campaign_span.as_mut() {
+            span.cover_sim_ps(prep.solve_end.picoseconds());
+        }
         let quiet = Waveform::constant(0.0);
-        let measure_span = ctx.has_observer().then(|| Span::begin("measure_sweep"));
+        let measure_span = ctx.observer().map(|o| {
+            o.begin_span("measure_sweep").sim_interval_ps(
+                prep.instants[0].picoseconds(),
+                prep.instants[prep.instants.len() - 1].picoseconds(),
+            )
+        });
+        // Workers record their site spans against the observer's epoch
+        // and return the finished trees; the observer assigns ids after
+        // the join, in site order, so the stream never depends on which
+        // worker ran which site.
+        let epoch = ctx.observer().map(|o| o.epoch());
         let site_defs = self.floorplan.sites();
         let batch = ctx
             .engine()
             .run_batch(&JobSpec::new(site_defs.len()), |job| {
                 let site = &site_defs[job.index()];
+                let mut site_span = epoch.map(|e| {
+                    RemoteSpan::begin("site", e, job.worker() as u32 + 1)
+                        .attr("site", &(job.index() as u64))
+                        .attr("tile", &(site.tile as u64))
+                        .attr("name", &site.name)
+                        .sim_interval_ps(
+                            prep.instants[0].picoseconds(),
+                            prep.instants[prep.instants.len() - 1].picoseconds(),
+                        )
+                });
                 let system = SensorSystem::new(self.config.clone())?;
                 let vdd = &prep.tile_supplies[site.tile];
                 let gnd = prep.tile_bounces.as_ref().map_or(&quiet, |b| &b[site.tile]);
-                let measurements = prep
-                    .instants
-                    .iter()
-                    .map(|&at| system.measure_at(vdd, gnd, at))
-                    .collect::<Result<Vec<_>, _>>()
-                    .map_err(ScanError::from)?;
+                let mut measurements = Vec::with_capacity(prep.instants.len());
+                for &at in &prep.instants {
+                    let measure =
+                        epoch.map(|e| RemoteSpan::begin("measure", e, job.worker() as u32 + 1));
+                    measurements.push(system.measure_at(vdd, gnd, at).map_err(ScanError::from)?);
+                    if let (Some(span), Some(measure)) = (site_span.as_mut(), measure) {
+                        span.child(
+                            measure
+                                .sim_interval_ps(at.picoseconds(), at.picoseconds())
+                                .end(),
+                        );
+                    }
+                }
                 job.metrics.counter_add("campaign.sites_done", 1);
-                Ok::<SiteSeries, ScanError>(SiteSeries {
-                    tile: site.tile,
-                    name: site.name.clone(),
-                    measurements,
-                })
+                Ok::<(SiteSeries, Option<RemoteSpan>), ScanError>((
+                    SiteSeries {
+                        tile: site.tile,
+                        name: site.name.clone(),
+                        measurements,
+                    },
+                    site_span.map(RemoteSpan::end),
+                ))
             })?;
-        let sites = batch.results;
+        let (sites, site_spans): (Vec<SiteSeries>, Vec<Option<RemoteSpan>>) =
+            batch.results.into_iter().unzip();
         if let Some(obs) = ctx.observer() {
             obs.metrics.merge(&batch.metrics);
+            for span in site_spans.into_iter().flatten() {
+                obs.emit_remote_tree(&span);
+            }
             emit_site_events(obs, &sites, prep.v_nom);
         }
         if let (Some(obs), Some(span)) = (ctx.observer(), measure_span) {
@@ -366,6 +416,9 @@ impl Campaign {
                 .map(|s| s.measurements[k].hs_code.clone())
                 .collect();
             frames.push(self.chain.capture(&codes)?);
+        }
+        if let (Some(obs), Some(span)) = (ctx.observer(), campaign_span) {
+            obs.end_span(span);
         }
         Ok(CampaignResult {
             sites,
@@ -416,7 +469,11 @@ impl Campaign {
         }
         let end = start + dt * samples as f64 + Time::from_ns(1.0);
         let solve_dt = dt / 2.0;
-        let solve_span = ctx.has_observer().then(|| Span::begin("grid_solve"));
+        let solve_span = ctx.observer().map(|o| {
+            o.begin_span("grid_solve")
+                .attr("tiles", &(grid.tiles() as u64))
+                .sim_interval_ps(start.picoseconds(), end.picoseconds())
+        });
         let tile_supplies = grid.quasi_static_transient(ctx, tile_loads, start, end, solve_dt)?;
         // Ground bounce: the same tile currents return through the ground
         // mesh; the bounce is the IR rise above the (0 V-referenced) pad.
@@ -439,6 +496,7 @@ impl Campaign {
             tile_bounces,
             instants,
             v_nom: grid.v_pad().volts(),
+            solve_end: end,
         })
     }
 
@@ -485,13 +543,32 @@ impl Campaign {
         samples: usize,
         retry: RetryPolicy,
     ) -> Result<ResilientCampaignResult, ScanError> {
+        let mut campaign_span = ctx.observer().map(|o| {
+            o.begin_span("campaign")
+                .attr("sites", &(self.floorplan.sites().len() as u64))
+                .attr("samples", &(samples as u64))
+                .attr("resilient", &true)
+                .sim_interval_ps(
+                    start.picoseconds(),
+                    (start + dt * samples as f64).picoseconds(),
+                )
+        });
         let prep = self.prepare_sweep(ctx, tile_loads, ground_grid, start, dt, samples)?;
+        if let Some(span) = campaign_span.as_mut() {
+            span.cover_sim_ps(prep.solve_end.picoseconds());
+        }
         let quiet = Waveform::constant(0.0);
         let panicking = ctx
             .fault_plan()
             .map(psnt_fault::FaultPlan::panicking_sites)
             .unwrap_or_default();
-        let measure_span = ctx.has_observer().then(|| Span::begin("measure_sweep"));
+        let measure_span = ctx.observer().map(|o| {
+            o.begin_span("measure_sweep").sim_interval_ps(
+                prep.instants[0].picoseconds(),
+                prep.instants[prep.instants.len() - 1].picoseconds(),
+            )
+        });
+        let epoch = ctx.observer().map(|o| o.epoch());
         let site_defs = self.floorplan.sites();
         let spec = JobSpec::new(site_defs.len()).seed(ctx.seed());
         let batch = ctx.engine().run_batch_isolated(&spec, retry, |job| {
@@ -499,28 +576,53 @@ impl Campaign {
                 panic!("injected fault: site {} panicked", job.index());
             }
             let site = &site_defs[job.index()];
+            let mut site_span = epoch.map(|e| {
+                RemoteSpan::begin("site", e, job.worker() as u32 + 1)
+                    .attr("site", &(job.index() as u64))
+                    .attr("tile", &(site.tile as u64))
+                    .attr("name", &site.name)
+                    .attr("attempt", &u64::from(job.attempt()))
+                    .sim_interval_ps(
+                        prep.instants[0].picoseconds(),
+                        prep.instants[prep.instants.len() - 1].picoseconds(),
+                    )
+            });
             let system = SensorSystem::new(self.config.clone())?;
             let vdd = &prep.tile_supplies[site.tile];
             let gnd = prep.tile_bounces.as_ref().map_or(&quiet, |b| &b[site.tile]);
-            let measurements = prep
-                .instants
-                .iter()
-                .map(|&at| system.measure_at(vdd, gnd, at))
-                .collect::<Result<Vec<_>, _>>()
-                .map_err(ScanError::from)?;
+            let mut measurements = Vec::with_capacity(prep.instants.len());
+            for &at in &prep.instants {
+                let measure =
+                    epoch.map(|e| RemoteSpan::begin("measure", e, job.worker() as u32 + 1));
+                measurements.push(system.measure_at(vdd, gnd, at).map_err(ScanError::from)?);
+                if let (Some(span), Some(measure)) = (site_span.as_mut(), measure) {
+                    span.child(
+                        measure
+                            .sim_interval_ps(at.picoseconds(), at.picoseconds())
+                            .end(),
+                    );
+                }
+            }
             job.metrics.counter_add("campaign.sites_done", 1);
-            Ok::<SiteSeries, ScanError>(SiteSeries {
-                tile: site.tile,
-                name: site.name.clone(),
-                measurements,
-            })
+            Ok::<(SiteSeries, Option<RemoteSpan>), ScanError>((
+                SiteSeries {
+                    tile: site.tile,
+                    name: site.name.clone(),
+                    measurements,
+                },
+                site_span.map(RemoteSpan::end),
+            ))
         });
 
         let mut outcomes = Vec::with_capacity(site_defs.len());
         let mut sites = Vec::with_capacity(site_defs.len());
+        let mut site_spans: Vec<RemoteSpan> = Vec::new();
         for (i, outcome) in batch.results.into_iter().enumerate() {
             let (series, site_outcome) = match outcome {
-                JobOutcome::Ok(Ok(series)) => (series, SiteOutcome::Measured),
+                JobOutcome::Ok(Ok((series, span))) => {
+                    site_spans.extend(span);
+                    (series, SiteOutcome::Measured)
+                }
                 JobOutcome::Ok(Err(e)) => (
                     SiteSeries {
                         tile: site_defs[i].tile,
@@ -584,6 +686,9 @@ impl Campaign {
 
         if let Some(obs) = ctx.observer() {
             obs.metrics.merge(&batch.metrics);
+            for span in &site_spans {
+                obs.emit_remote_tree(span);
+            }
             emit_site_events(obs, &sites, prep.v_nom);
             for (i, o) in outcomes.iter().enumerate() {
                 if let SiteOutcome::Degraded { error } = o {
@@ -603,6 +708,9 @@ impl Campaign {
                 .gauge_set_max("campaign.dead_elements", summary.dead_elements as f64);
         }
         if let (Some(obs), Some(span)) = (ctx.observer(), measure_span) {
+            obs.end_span(span);
+        }
+        if let (Some(obs), Some(span)) = (ctx.observer(), campaign_span) {
             obs.end_span(span);
         }
 

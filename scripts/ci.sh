@@ -41,6 +41,23 @@ if [ -n "$unwind_calls" ]; then
     exit 1
 fi
 
+echo "==> println-telemetry gate"
+# Library code never prints: telemetry flows through psnt-obs sinks
+# (events, metrics, spans), so it is structured, streamable and
+# maskable. Binaries under src/bin/ own stdout; everything else in
+# crates/*/src must not write to the terminal.
+print_calls=$(grep -rn \
+    -e 'println!' -e 'eprintln!' -e 'print!(' -e 'eprint!(' -e 'dbg!(' \
+    --include='*.rs' crates/*/src \
+    | grep -v '/src/bin/' \
+    | grep -v '^crates/obs/src/' \
+    || true)
+if [ -n "$print_calls" ]; then
+    echo "print-style telemetry outside psnt-obs sinks and src/bin/:" >&2
+    echo "$print_calls" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -78,5 +95,23 @@ echo "==> fault suite under PSNT_JOBS=4"
 # campaigns and bounded retries are worker-count independent.
 PSNT_JOBS=4 cargo test -q -p psnt-fault
 PSNT_JOBS=4 cargo test -q -p psn-thermometer --test fault_equiv
+
+echo "==> perf-regression gate (soft)"
+# Re-times the suites and diffs against the committed baseline. A
+# regression past the threshold only WARNS here — shared/1-vCPU CI
+# boxes time benches too noisily to hard-fail on — but an unreadable
+# or malformed snapshot (bench-diff exit 2) fails the build.
+fresh_bench="$(mktemp)"
+scripts/bench_snapshot.sh "$fresh_bench" >/dev/null
+baseline=$(ls BENCH_PR*.json | sort -V | tail -1)
+rc=0
+cargo run -q --release -p psnt-bench --bin bench-diff -- \
+    "$baseline" "$fresh_bench" --threshold 25% || rc=$?
+rm -f "$fresh_bench"
+case "$rc" in
+    0) ;;
+    1) echo "WARNING: benches regressed past 25% vs $baseline (soft gate, not failing)" >&2 ;;
+    *) echo "bench-diff failed (exit $rc)" >&2; exit 1 ;;
+esac
 
 echo "CI green."

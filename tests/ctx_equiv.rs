@@ -25,21 +25,16 @@ use psn_thermometer::sensor::mismatch::{monte_carlo_yield, monte_carlo_yield_on,
 /// The worker counts the equivalence contract is pinned at.
 const JOBS: [usize; 2] = [1, 4];
 
-/// Strips the only nondeterministic content a telemetry stream carries
-/// — wall-clock span durations (and the histograms they fold into) —
-/// so two runs of the same work compare record-for-record.
+/// Masks the only nondeterministic content a telemetry stream carries —
+/// wall-clock span times, the histograms they fold into, and the
+/// executing worker's track — so two runs of the same work compare
+/// record-for-record, with the span records' deterministic structure
+/// (ids, parents, names, sim-time intervals, attributes) compared
+/// exactly rather than discarded.
 fn normalized(lines: Vec<String>) -> Vec<String> {
     lines
         .into_iter()
-        .map(|line| {
-            if let Some(i) = line.find(",\"wall_us\"") {
-                line[..i].to_string()
-            } else if let Some(i) = line.find(",\"histograms\"") {
-                line[..i].to_string()
-            } else {
-                line
-            }
-        })
+        .map(|l| psn_thermometer::obs::mask_wall_times(&l))
         .collect()
 }
 
