@@ -161,6 +161,49 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| grid.solve(&loads).unwrap())
     });
 
+    // The workload-scale grid (40×40 = 1,600 nodes). The next four
+    // benches pin the sparse-solver story: factor once, then per-cycle
+    // solves orders of magnitude below a relaxation sweep.
+    let chip_grid = || {
+        PowerGrid::new(
+            40,
+            40,
+            Voltage::from_v(1.05),
+            Resistance::from_milliohms(60.0),
+            Resistance::from_milliohms(20.0),
+            vec![(0, 0), (0, 39), (39, 0), (39, 39)],
+        )
+        .unwrap()
+    };
+    let chip_loads: Vec<f64> = (0..1600).map(|i| 1.0e-4 * (1 + i % 7) as f64).collect();
+
+    c.bench_function("grid_factor_1600", |b| {
+        // A fresh grid per iteration so the lazily cached banded
+        // Cholesky factor is actually rebuilt.
+        b.iter(|| chip_grid().factor().bandwidth())
+    });
+
+    c.bench_function("grid_solve_dense_1600", |b| {
+        let grid = chip_grid();
+        b.iter(|| grid.solve(&chip_loads).unwrap())
+    });
+
+    c.bench_function("grid_solve_sparse_1600", |b| {
+        let grid = chip_grid();
+        grid.factor(); // amortised once, like a campaign does
+        b.iter(|| grid.solve_sparse(&chip_loads).unwrap())
+    });
+
+    c.bench_function("grid_solve_delta_1600", |b| {
+        let grid = chip_grid();
+        let prior = grid.solve_sparse(&chip_loads).unwrap();
+        // One 5×5 mesh-tile block (the per-cycle workload shape).
+        let changed: Vec<(usize, f64)> = (0..5)
+            .flat_map(|r| (0..5).map(move |c| ((20 + r) * 40 + 20 + c, 2.5e-4)))
+            .collect();
+        b.iter(|| grid.solve_delta(&prior, &changed).unwrap())
+    });
+
     // Quasi-static transient over 20 steps; each step warm-starts from
     // the previous instant's solution.
     c.bench_function("grid_transient_4x4_20steps", |b| {

@@ -34,6 +34,9 @@ fn bench_figures(c: &mut Criterion) {
     });
     g.bench_function("xp_gate_level_twin", |b| b.iter(figures::gate_level));
     g.bench_function("xp_overhead", |b| b.iter(figures::overhead));
+    g.bench_function("xp_noc_campaign", |b| {
+        b.iter(|| figures::noc_campaign(&mut RunCtx::serial()))
+    });
     g.finish();
 }
 

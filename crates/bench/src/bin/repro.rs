@@ -45,6 +45,7 @@ use psnt_obs::{Observer, RunManifest};
 fn canonical_id(id: &str) -> &str {
     match id {
         "scan-chain" | "scan_chain" | "xp_scan_chain" => "scan",
+        "noc" | "noc_campaign" | "xp_noc_campaign" => "noc-campaign",
         other => other,
     }
 }

@@ -49,7 +49,7 @@ pub mod waveform;
 pub mod workload;
 
 pub use error::PdnError;
-pub use grid::PowerGrid;
+pub use grid::{GridFactor, GridSolution, PowerGrid};
 pub use impedance::{impedance_magnitude, impedance_peak, impedance_profile, ImpedancePoint};
 pub use rlc::LumpedPdn;
 pub use sources::{ground_bounce, supply_step, SupplyNoiseBuilder};

@@ -167,6 +167,95 @@ pub struct ResilientCampaignResult {
     pub summary: DegradationSummary,
 }
 
+/// One record of a streamed campaign run ([`Campaign::run_streamed`]).
+///
+/// Records arrive in a fixed order regardless of worker count: every
+/// site in floorplan order, then one frame per sampling instant, then
+/// the summary (always last). Collecting them reconstructs the exact
+/// [`ResilientCampaignResult`] the in-memory path would have returned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StreamRecord {
+    /// One site's completed series and outcome.
+    Site {
+        /// Floorplan site index.
+        site: usize,
+        /// The site's measurement series (empty when degraded).
+        series: SiteSeries,
+        /// Whether the site measured or degraded.
+        outcome: SiteOutcome,
+    },
+    /// One serialized scan frame.
+    Frame {
+        /// Sampling-instant index.
+        index: usize,
+        /// The sampling instant.
+        instant: Time,
+        /// The serialized chain frame (degraded sites read out as `X`).
+        frame: LogicVector,
+    },
+    /// The final degradation summary.
+    Summary(DegradationSummary),
+}
+
+impl StreamRecord {
+    /// Renders the record as a structured [`psnt_obs`] event so a
+    /// streamed campaign can flow straight into any `psnt-obs` sink
+    /// (JSONL file, ring buffer, rotating log, …) without buffering.
+    pub fn to_event(&self) -> ObsEvent {
+        match self {
+            StreamRecord::Site {
+                site,
+                series,
+                outcome,
+            } => {
+                let mut e = ObsEvent::new("scan", "stream_site")
+                    .field("site", &(*site as u64))
+                    .field("tile", &(series.tile as u64))
+                    .field("name", &series.name)
+                    .field("measured", &outcome.is_measured())
+                    .field("worst_level", &(series.worst_level() as u64));
+                if let SiteOutcome::Degraded { error } = outcome {
+                    e = e.field("error", error);
+                }
+                e
+            }
+            StreamRecord::Frame {
+                index,
+                instant,
+                frame,
+            } => ObsEvent::new("scan", "stream_frame")
+                .field("index", &(*index as u64))
+                .field("t_ps", &instant.picoseconds())
+                .field("bits", &(frame.len() as u64)),
+            StreamRecord::Summary(s) => ObsEvent::new("scan", "stream_summary")
+                .field("sites_degraded", &(s.sites_degraded as u64))
+                .field("dead_elements", &(s.dead_elements as u64))
+                .field("worst_code_error", &(s.worst_code_error as u64)),
+        }
+    }
+}
+
+/// Sites per producer batch in [`Campaign::run_streamed`]. Fixed (not
+/// worker-count dependent), so chunk boundaries — and therefore record
+/// order and seeds — are identical at any worker count.
+const STREAM_CHUNK_SITES: usize = 32;
+
+/// Bound of the producer→consumer channel: about two chunks of records
+/// may be in flight, which caps peak memory while still letting the
+/// workers compute ahead of a slow sink.
+const STREAM_CHANNEL_BOUND: usize = 2 * STREAM_CHUNK_SITES;
+
+/// Producer→consumer message of [`Campaign::run_streamed`].
+enum StreamMsg {
+    Site {
+        site: usize,
+        outcome: JobOutcome<Result<(SiteSeries, Option<RemoteSpan>), ScanError>>,
+    },
+    /// A finished chunk's merged worker metrics, sent after its sites
+    /// so the observer merge order is deterministic.
+    Metrics(Box<psnt_obs::MetricsRegistry>),
+}
+
 /// Everything [`Campaign::run_dual`] and [`Campaign::run_resilient`]
 /// share before the per-site sweep: validated inputs, solved rail
 /// waveforms and the sampling instants.
@@ -557,6 +646,116 @@ impl Campaign {
         if let Some(span) = campaign_span.as_mut() {
             span.cover_sim_ps(prep.solve_end.picoseconds());
         }
+        let out = self.resilient_sweep(ctx, prep, retry);
+        if let (Some(obs), Some(span)) = (ctx.observer(), campaign_span) {
+            obs.end_span(span);
+        }
+        out
+    }
+
+    /// [`Campaign::run_resilient`] against **externally solved rails**:
+    /// per-tile supply (and optionally ground-bounce) waveforms plus
+    /// explicit sampling instants, skipping the internal relaxation
+    /// transient entirely. This is the fast path for workload-driven
+    /// campaigns whose rail waveforms come from the sparse PDN solver
+    /// ([`psnt_pdn::grid::PowerGrid::solve_delta`]) — at 1,600 nodes a
+    /// per-cycle relaxation sweep would dwarf the measurement cost.
+    ///
+    /// Only instrumented tiles' waveforms are sampled; uninstrumented
+    /// entries may be cheap placeholders (e.g. a constant), but the
+    /// vectors must still be grid-shaped so tile indexing stays honest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::InvalidConfig`] for grid-shape mismatches or
+    /// empty/unsorted instants; per-site failures degrade as in
+    /// [`Campaign::run_resilient`].
+    pub fn run_resilient_from_rails(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        tile_supplies: Vec<Waveform>,
+        tile_bounces: Option<Vec<Waveform>>,
+        instants: Vec<Time>,
+        retry: RetryPolicy,
+    ) -> Result<ResilientCampaignResult, ScanError> {
+        let prep = self.rails_inputs(tile_supplies, tile_bounces, instants)?;
+        let campaign_span = ctx.observer().map(|o| {
+            o.begin_span("campaign")
+                .attr("sites", &(self.floorplan.sites().len() as u64))
+                .attr("samples", &(prep.instants.len() as u64))
+                .attr("resilient", &true)
+                .attr("from_rails", &true)
+                .sim_interval_ps(prep.instants[0].picoseconds(), prep.solve_end.picoseconds())
+        });
+        let out = self.resilient_sweep(ctx, prep, retry);
+        if let (Some(obs), Some(span)) = (ctx.observer(), campaign_span) {
+            obs.end_span(span);
+        }
+        out
+    }
+
+    /// Validates externally solved rails into the shared sweep inputs.
+    fn rails_inputs(
+        &self,
+        tile_supplies: Vec<Waveform>,
+        tile_bounces: Option<Vec<Waveform>>,
+        instants: Vec<Time>,
+    ) -> Result<SweepInputs, ScanError> {
+        let grid = self.floorplan.grid();
+        if tile_supplies.len() != grid.tiles() {
+            return Err(ScanError::InvalidConfig {
+                name: "tile_supplies",
+                reason: format!(
+                    "expected {} tile supply waveforms, got {}",
+                    grid.tiles(),
+                    tile_supplies.len()
+                ),
+            });
+        }
+        if let Some(b) = &tile_bounces {
+            if b.len() != grid.tiles() {
+                return Err(ScanError::InvalidConfig {
+                    name: "tile_bounces",
+                    reason: format!(
+                        "expected {} tile bounce waveforms, got {}",
+                        grid.tiles(),
+                        b.len()
+                    ),
+                });
+            }
+        }
+        if instants.is_empty() {
+            return Err(ScanError::InvalidConfig {
+                name: "instants",
+                reason: "need at least one sampling instant".into(),
+            });
+        }
+        if instants.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(ScanError::InvalidConfig {
+                name: "instants",
+                reason: "instants must be strictly increasing".into(),
+            });
+        }
+        let solve_end = *instants.last().expect("non-empty");
+        Ok(SweepInputs {
+            tile_supplies,
+            tile_bounces,
+            instants,
+            v_nom: grid.v_pad().volts(),
+            solve_end,
+        })
+    }
+
+    /// The isolated per-site sweep, frame assembly and degradation
+    /// accounting shared by [`Campaign::run_resilient`] and
+    /// [`Campaign::run_resilient_from_rails`].
+    fn resilient_sweep(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        prep: SweepInputs,
+        retry: RetryPolicy,
+    ) -> Result<ResilientCampaignResult, ScanError> {
+        let samples = prep.instants.len();
         let quiet = Waveform::constant(0.0);
         let panicking = ctx
             .fault_plan()
@@ -710,9 +909,6 @@ impl Campaign {
         if let (Some(obs), Some(span)) = (ctx.observer(), measure_span) {
             obs.end_span(span);
         }
-        if let (Some(obs), Some(span)) = (ctx.observer(), campaign_span) {
-            obs.end_span(span);
-        }
 
         Ok(ResilientCampaignResult {
             result: CampaignResult {
@@ -723,6 +919,356 @@ impl Campaign {
             outcomes,
             summary,
         })
+    }
+
+    /// Streams a resilient campaign instead of accumulating it: site
+    /// records flow through a **bounded channel** from the measuring
+    /// workers to the calling thread, which hands each one to `sink` and
+    /// drops it — so peak memory holds at most a couple of chunks of
+    /// in-flight sites plus a per-instant code buffer for frame
+    /// assembly, never a full [`CampaignResult`]. That is what lets a
+    /// 256+-site workload campaign run with flat memory while its
+    /// records land directly in a `psnt-obs` sink (see
+    /// [`StreamRecord::to_event`]).
+    ///
+    /// Semantics match [`Campaign::run_resilient`] exactly: sites run as
+    /// isolated jobs under `retry`, failing sites degrade to empty
+    /// series and all-`X` frame bits, and a
+    /// [`psnt_fault::Fault::SitePanic`] plan in the context degrades (or
+    /// recovers, with retries) the same sites. Collecting the records
+    /// reconstructs the in-memory result **bit-identically at any worker
+    /// count**: sites are sharded into fixed-size chunks independent of
+    /// the worker count, each chunk sweeps on the context's engine, and
+    /// records are delivered in floorplan order — sites first, then one
+    /// [`StreamRecord::Frame`] per instant, then the
+    /// [`StreamRecord::Summary`] (also returned).
+    ///
+    /// When the context carries an observer, the per-site telemetry of
+    /// [`Campaign::run_resilient`] (site spans, `scan`/`site` and
+    /// `scan`/`degraded` events, counters and gauges) is emitted
+    /// incrementally from the consuming thread, still in site order.
+    ///
+    /// # Errors
+    ///
+    /// Input-validation, grid-solve and chain-capture failures as
+    /// [`Campaign::run_resilient`]; additionally, the first error the
+    /// sink returns aborts the stream and is propagated (workers stop at
+    /// the next chunk boundary). Per-site measurement failures do
+    /// **not** abort the run — they stream as degraded records.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_streamed(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        tile_loads: &[Waveform],
+        ground_grid: Option<&psnt_pdn::grid::PowerGrid>,
+        start: Time,
+        dt: Time,
+        samples: usize,
+        retry: RetryPolicy,
+        mut sink: impl FnMut(StreamRecord) -> Result<(), ScanError>,
+    ) -> Result<DegradationSummary, ScanError> {
+        let mut campaign_span = ctx.observer().map(|o| {
+            o.begin_span("campaign")
+                .attr("sites", &(self.floorplan.sites().len() as u64))
+                .attr("samples", &(samples as u64))
+                .attr("streamed", &true)
+                .sim_interval_ps(
+                    start.picoseconds(),
+                    (start + dt * samples as f64).picoseconds(),
+                )
+        });
+        let prep = self.prepare_sweep(ctx, tile_loads, ground_grid, start, dt, samples)?;
+        if let Some(span) = campaign_span.as_mut() {
+            span.cover_sim_ps(prep.solve_end.picoseconds());
+        }
+        let out = self.streamed_sweep(ctx, prep, retry, &mut sink);
+        if let (Some(obs), Some(span)) = (ctx.observer(), campaign_span) {
+            obs.end_span(span);
+        }
+        let summary = out?;
+        sink(StreamRecord::Summary(summary))?;
+        Ok(summary)
+    }
+
+    /// [`Campaign::run_streamed`] against externally solved rails (see
+    /// [`Campaign::run_resilient_from_rails`] for the rails contract):
+    /// the chip-scale streaming path a workload campaign drives, with
+    /// rail waveforms from the sparse PDN solver and measurement
+    /// windows chosen by the workload.
+    ///
+    /// # Errors
+    ///
+    /// Rail validation as [`Campaign::run_resilient_from_rails`]; sink
+    /// and degradation semantics as [`Campaign::run_streamed`].
+    pub fn run_streamed_from_rails(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        tile_supplies: Vec<Waveform>,
+        tile_bounces: Option<Vec<Waveform>>,
+        instants: Vec<Time>,
+        retry: RetryPolicy,
+        mut sink: impl FnMut(StreamRecord) -> Result<(), ScanError>,
+    ) -> Result<DegradationSummary, ScanError> {
+        let prep = self.rails_inputs(tile_supplies, tile_bounces, instants)?;
+        let campaign_span = ctx.observer().map(|o| {
+            o.begin_span("campaign")
+                .attr("sites", &(self.floorplan.sites().len() as u64))
+                .attr("samples", &(prep.instants.len() as u64))
+                .attr("streamed", &true)
+                .attr("from_rails", &true)
+                .sim_interval_ps(prep.instants[0].picoseconds(), prep.solve_end.picoseconds())
+        });
+        let out = self.streamed_sweep(ctx, prep, retry, &mut sink);
+        if let (Some(obs), Some(span)) = (ctx.observer(), campaign_span) {
+            obs.end_span(span);
+        }
+        let summary = out?;
+        sink(StreamRecord::Summary(summary))?;
+        Ok(summary)
+    }
+
+    /// The chunked producer/consumer sweep shared by
+    /// [`Campaign::run_streamed`] and
+    /// [`Campaign::run_streamed_from_rails`]: sweeps sites in fixed
+    /// chunks, streams records through the bounded channel, assembles
+    /// frames from the code buffer and returns the summary (the caller
+    /// sinks the final [`StreamRecord::Summary`]).
+    fn streamed_sweep(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        prep: SweepInputs,
+        retry: RetryPolicy,
+        sink: &mut impl FnMut(StreamRecord) -> Result<(), ScanError>,
+    ) -> Result<DegradationSummary, ScanError> {
+        let samples = prep.instants.len();
+        let quiet = Waveform::constant(0.0);
+        let panicking = ctx
+            .fault_plan()
+            .map(psnt_fault::FaultPlan::panicking_sites)
+            .unwrap_or_default();
+        let measure_span = ctx.observer().map(|o| {
+            o.begin_span("measure_sweep").sim_interval_ps(
+                prep.instants[0].picoseconds(),
+                prep.instants[prep.instants.len() - 1].picoseconds(),
+            )
+        });
+        let epoch = ctx.observer().map(|o| o.epoch());
+        let site_defs = self.floorplan.sites();
+        let n_sites = site_defs.len();
+        let engine = ctx.engine().clone();
+        let seed = ctx.seed();
+
+        let unknown: ThermometerCode = ThermometerCode::new(
+            (0..self.chain.bits_per_site())
+                .map(|_| Logic::X)
+                .collect::<LogicVector>(),
+        );
+        let mut summary = DegradationSummary {
+            sites_degraded: 0,
+            dead_elements: 0,
+            worst_code_error: 0,
+        };
+        // The only cross-site state the frames need: one code per site
+        // per instant (a few bits each) — not the measurement series.
+        let mut frame_codes: Vec<Vec<ThermometerCode>> = vec![Vec::with_capacity(n_sites); samples];
+        let mut sink_result: Result<(), ScanError> = Ok(());
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<StreamMsg>(STREAM_CHANNEL_BOUND);
+        let prep_ref = &prep;
+        let quiet_ref = &quiet;
+        let panicking_ref = &panicking;
+        std::thread::scope(|scope| {
+            // Producer: sweeps fixed-size site chunks on the engine and
+            // sends each chunk's ordered outcomes. A closed channel
+            // (sink failure on the consumer side) stops it at the next
+            // send.
+            scope.spawn(move || {
+                let mut chunk_start = 0usize;
+                while chunk_start < n_sites {
+                    let chunk_len = STREAM_CHUNK_SITES.min(n_sites - chunk_start);
+                    let spec = JobSpec::new(chunk_len).seed(seed);
+                    let batch = engine.run_batch_isolated(&spec, retry, |job| {
+                        let index = chunk_start + job.index();
+                        if job.attempt() == 0 && panicking_ref.contains(&index) {
+                            panic!("injected fault: site {index} panicked");
+                        }
+                        let site = &site_defs[index];
+                        let mut site_span = epoch.map(|e| {
+                            RemoteSpan::begin("site", e, job.worker() as u32 + 1)
+                                .attr("site", &(index as u64))
+                                .attr("tile", &(site.tile as u64))
+                                .attr("name", &site.name)
+                                .attr("attempt", &u64::from(job.attempt()))
+                                .sim_interval_ps(
+                                    prep_ref.instants[0].picoseconds(),
+                                    prep_ref.instants[prep_ref.instants.len() - 1].picoseconds(),
+                                )
+                        });
+                        let system = SensorSystem::new(self.config.clone())?;
+                        let vdd = &prep_ref.tile_supplies[site.tile];
+                        let gnd = prep_ref
+                            .tile_bounces
+                            .as_ref()
+                            .map_or(quiet_ref, |b| &b[site.tile]);
+                        let mut measurements = Vec::with_capacity(prep_ref.instants.len());
+                        for &at in &prep_ref.instants {
+                            let measure = epoch
+                                .map(|e| RemoteSpan::begin("measure", e, job.worker() as u32 + 1));
+                            measurements
+                                .push(system.measure_at(vdd, gnd, at).map_err(ScanError::from)?);
+                            if let (Some(span), Some(measure)) = (site_span.as_mut(), measure) {
+                                span.child(
+                                    measure
+                                        .sim_interval_ps(at.picoseconds(), at.picoseconds())
+                                        .end(),
+                                );
+                            }
+                        }
+                        job.metrics.counter_add("campaign.sites_done", 1);
+                        Ok::<(SiteSeries, Option<RemoteSpan>), ScanError>((
+                            SiteSeries {
+                                tile: site.tile,
+                                name: site.name.clone(),
+                                measurements,
+                            },
+                            site_span.map(RemoteSpan::end),
+                        ))
+                    });
+                    for (j, mut outcome) in batch.results.into_iter().enumerate() {
+                        // Rebase the chunk-local job index so degraded
+                        // error strings name the floorplan site — the
+                        // same strings the in-memory path produces.
+                        if let JobOutcome::Failed(je) = &mut outcome {
+                            je.job = chunk_start + j;
+                        }
+                        let msg = StreamMsg::Site {
+                            site: chunk_start + j,
+                            outcome,
+                        };
+                        if tx.send(msg).is_err() {
+                            return;
+                        }
+                    }
+                    if tx
+                        .send(StreamMsg::Metrics(Box::new(batch.metrics)))
+                        .is_err()
+                    {
+                        return;
+                    }
+                    chunk_start += chunk_len;
+                }
+            });
+
+            // Consumer (this thread): owns the observer and the sink.
+            for msg in rx {
+                match msg {
+                    StreamMsg::Metrics(m) => {
+                        if let Some(obs) = ctx.observer() {
+                            obs.metrics.merge(&m);
+                        }
+                    }
+                    StreamMsg::Site { site, outcome } => {
+                        let (series, site_outcome, span) = match outcome {
+                            JobOutcome::Ok(Ok((series, span))) => {
+                                (series, SiteOutcome::Measured, span)
+                            }
+                            JobOutcome::Ok(Err(e)) => (
+                                SiteSeries {
+                                    tile: site_defs[site].tile,
+                                    name: site_defs[site].name.clone(),
+                                    measurements: Vec::new(),
+                                },
+                                SiteOutcome::Degraded {
+                                    error: e.to_string(),
+                                },
+                                None,
+                            ),
+                            JobOutcome::Failed(je) => (
+                                SiteSeries {
+                                    tile: site_defs[site].tile,
+                                    name: site_defs[site].name.clone(),
+                                    measurements: Vec::new(),
+                                },
+                                SiteOutcome::Degraded {
+                                    error: je.to_string(),
+                                },
+                                None,
+                            ),
+                        };
+                        for (k, codes) in frame_codes.iter_mut().enumerate() {
+                            codes.push(
+                                series
+                                    .measurements
+                                    .get(k)
+                                    .map_or_else(|| unknown.clone(), |m| m.hs_code.clone()),
+                            );
+                        }
+                        if let Some(gap) = series
+                            .measurements
+                            .iter()
+                            .flat_map(|m| [&m.hs_code, &m.ls_code])
+                            .map(encoder_level_gap)
+                            .max()
+                        {
+                            summary.worst_code_error = summary.worst_code_error.max(gap);
+                        }
+                        if let SiteOutcome::Degraded { .. } = &site_outcome {
+                            summary.sites_degraded += 1;
+                        }
+                        if let Some(obs) = ctx.observer() {
+                            if let Some(span) = &span {
+                                obs.emit_remote_tree(span);
+                            }
+                            emit_site_events(obs, std::slice::from_ref(&series), prep_ref.v_nom);
+                            if let SiteOutcome::Degraded { error } = &site_outcome {
+                                obs.metrics.counter_add("campaign.sites_degraded", 1);
+                                obs.event(
+                                    ObsEvent::new("scan", "degraded")
+                                        .field("site", &(site as u64))
+                                        .field("tile", &(site_defs[site].tile as u64))
+                                        .field("name", &site_defs[site].name)
+                                        .field("error", error),
+                                );
+                            }
+                        }
+                        let record = StreamRecord::Site {
+                            site,
+                            series,
+                            outcome: site_outcome,
+                        };
+                        if let Err(e) = sink(record) {
+                            sink_result = Err(e);
+                            // Dropping the receiver (by leaving the
+                            // loop) disconnects the channel; the
+                            // producer stops at its next send.
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        sink_result?;
+
+        for (k, codes) in frame_codes.iter().enumerate() {
+            let frame = self.chain.capture(codes)?;
+            let dead = frame.iter().filter(|b| *b == Logic::X).count();
+            summary.dead_elements = summary.dead_elements.max(dead);
+            sink(StreamRecord::Frame {
+                index: k,
+                instant: prep.instants[k],
+                frame,
+            })?;
+        }
+        if let Some(obs) = ctx.observer() {
+            obs.metrics
+                .gauge_set_max("campaign.worst_code_error", summary.worst_code_error as f64);
+            obs.metrics
+                .gauge_set_max("campaign.dead_elements", summary.dead_elements as f64);
+        }
+        if let (Some(obs), Some(span)) = (ctx.observer(), measure_span) {
+            obs.end_span(span);
+        }
+        Ok(summary)
     }
 
     /// [`Campaign::run_dual`] with an explicit optional observer.
@@ -1218,6 +1764,404 @@ mod tests {
         let serial = run_at(1);
         for jobs in [2, 4] {
             assert_eq!(run_at(jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    /// Reassembles a streamed run's records into the in-memory result
+    /// shape, so the bit-identity contract is a single `assert_eq`.
+    fn collect_stream(records: Vec<StreamRecord>) -> ResilientCampaignResult {
+        let mut sites = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut instants = Vec::new();
+        let mut frames = Vec::new();
+        let mut summary = None;
+        for record in records {
+            match record {
+                StreamRecord::Site {
+                    site,
+                    series,
+                    outcome,
+                } => {
+                    assert_eq!(site, sites.len(), "site records out of order");
+                    sites.push(series);
+                    outcomes.push(outcome);
+                }
+                StreamRecord::Frame {
+                    index,
+                    instant,
+                    frame,
+                } => {
+                    assert_eq!(index, frames.len(), "frame records out of order");
+                    instants.push(instant);
+                    frames.push(frame);
+                }
+                StreamRecord::Summary(s) => {
+                    assert!(summary.is_none(), "duplicate summary record");
+                    summary = Some(s);
+                }
+            }
+        }
+        ResilientCampaignResult {
+            result: CampaignResult {
+                sites,
+                instants,
+                frames,
+            },
+            outcomes,
+            summary: summary.expect("stream ended without a summary record"),
+        }
+    }
+
+    #[test]
+    fn streamed_is_bit_identical_to_in_memory() {
+        let c = campaign();
+        let mut loads = vec![Waveform::constant(0.02); 9];
+        loads[4] =
+            Waveform::from_points(vec![(Time::ZERO, 0.05), (Time::from_ns(200.0), 0.9)]).unwrap();
+        let in_memory = c
+            .run_resilient(
+                &mut RunCtx::serial(),
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                5,
+                RetryPolicy::none(),
+            )
+            .unwrap();
+        for jobs in [1usize, 4] {
+            let mut records = Vec::new();
+            let summary = c
+                .run_streamed(
+                    &mut RunCtx::new(Engine::new(jobs)),
+                    &loads,
+                    None,
+                    Time::from_ns(10.0),
+                    Time::from_ns(20.0),
+                    5,
+                    RetryPolicy::none(),
+                    |r| {
+                        records.push(r);
+                        Ok(())
+                    },
+                )
+                .unwrap();
+            assert_eq!(summary, in_memory.summary, "jobs={jobs}");
+            assert!(matches!(records.last(), Some(StreamRecord::Summary(_))));
+            assert_eq!(collect_stream(records), in_memory, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn from_rails_paths_agree_and_validate() {
+        let c = campaign();
+        // Rails as a workload engine hands them over: per-tile supply
+        // waveforms already solved, explicit measurement instants.
+        let rails = || -> Vec<Waveform> {
+            (0..9)
+                .map(|t| {
+                    Waveform::from_points(vec![
+                        (Time::ZERO, 1.05 - 0.004 * t as f64),
+                        (Time::from_ns(100.0), 1.05 - 0.008 * t as f64),
+                    ])
+                    .unwrap()
+                })
+                .collect()
+        };
+        let instants = vec![
+            Time::from_ns(10.0),
+            Time::from_ns(40.0),
+            Time::from_ns(70.0),
+        ];
+        let in_memory = c
+            .run_resilient_from_rails(
+                &mut RunCtx::serial(),
+                rails(),
+                None,
+                instants.clone(),
+                RetryPolicy::none(),
+            )
+            .unwrap();
+        assert_eq!(in_memory.result.sites.len(), 9);
+        assert_eq!(in_memory.result.frames.len(), 3);
+        for jobs in [1usize, 4] {
+            let mut records = Vec::new();
+            let summary = c
+                .run_streamed_from_rails(
+                    &mut RunCtx::new(Engine::new(jobs)),
+                    rails(),
+                    None,
+                    instants.clone(),
+                    RetryPolicy::none(),
+                    |r| {
+                        records.push(r);
+                        Ok(())
+                    },
+                )
+                .unwrap();
+            assert_eq!(summary, in_memory.summary, "jobs={jobs}");
+            assert_eq!(collect_stream(records), in_memory, "jobs={jobs}");
+        }
+        assert!(matches!(
+            c.run_resilient_from_rails(
+                &mut RunCtx::serial(),
+                vec![Waveform::constant(1.05); 4],
+                None,
+                instants.clone(),
+                RetryPolicy::none(),
+            ),
+            Err(ScanError::InvalidConfig {
+                name: "tile_supplies",
+                ..
+            })
+        ));
+        assert!(matches!(
+            c.run_resilient_from_rails(
+                &mut RunCtx::serial(),
+                rails(),
+                None,
+                vec![],
+                RetryPolicy::none(),
+            ),
+            Err(ScanError::InvalidConfig {
+                name: "instants",
+                ..
+            })
+        ));
+        assert!(matches!(
+            c.run_resilient_from_rails(
+                &mut RunCtx::serial(),
+                rails(),
+                None,
+                vec![Time::from_ns(10.0), Time::from_ns(10.0)],
+                RetryPolicy::none(),
+            ),
+            Err(ScanError::InvalidConfig {
+                name: "instants",
+                ..
+            })
+        ));
+        assert!(matches!(
+            c.run_streamed_from_rails(
+                &mut RunCtx::serial(),
+                rails(),
+                Some(vec![Waveform::constant(0.0); 3]),
+                instants,
+                RetryPolicy::none(),
+                |_| Ok(()),
+            ),
+            Err(ScanError::InvalidConfig {
+                name: "tile_bounces",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn streamed_degrades_faulted_sites_identically() {
+        use psnt_fault::{Fault, FaultPlan};
+        let c = campaign();
+        let mut loads = vec![Waveform::constant(0.05); 9];
+        loads[4] = Waveform::constant(0.9);
+        let plan = || {
+            FaultPlan::new()
+                .with(Fault::SitePanic { site: 1 })
+                .with(Fault::SitePanic { site: 7 })
+        };
+        let in_memory = c
+            .run_resilient(
+                &mut RunCtx::serial().with_fault_plan(plan()),
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+                RetryPolicy::none(),
+            )
+            .unwrap();
+        for jobs in [1usize, 4] {
+            let mut records = Vec::new();
+            c.run_streamed(
+                &mut RunCtx::new(Engine::new(jobs)).with_fault_plan(plan()),
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+                RetryPolicy::none(),
+                |r| {
+                    records.push(r);
+                    Ok(())
+                },
+            )
+            .unwrap();
+            let collected = collect_stream(records);
+            // Degraded sites stream as degraded records with the very
+            // same error strings (including the site index) as the
+            // in-memory path, and the partial map survives — no panic.
+            assert_eq!(collected, in_memory, "jobs={jobs}");
+            assert_eq!(collected.summary.sites_degraded, 2);
+        }
+        // A retrying policy recovers the first-attempt-only panics in
+        // the streamed path too.
+        let mut records = Vec::new();
+        let summary = c
+            .run_streamed(
+                &mut RunCtx::serial().with_fault_plan(plan()),
+                &loads,
+                None,
+                Time::from_ns(10.0),
+                Time::from_ns(20.0),
+                3,
+                RetryPolicy::attempts(2),
+                |r| {
+                    records.push(r);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(summary.sites_degraded, 0);
+        assert!(collect_stream(records)
+            .outcomes
+            .iter()
+            .all(SiteOutcome::is_measured));
+    }
+
+    #[test]
+    fn streamed_sink_error_aborts_run() {
+        let c = campaign();
+        let loads = vec![Waveform::constant(0.1); 9];
+        let mut delivered = 0usize;
+        let err = c
+            .run_streamed(
+                &mut RunCtx::serial(),
+                &loads,
+                None,
+                Time::from_ns(5.0),
+                Time::from_ns(15.0),
+                2,
+                RetryPolicy::none(),
+                |_| {
+                    delivered += 1;
+                    if delivered == 3 {
+                        Err(ScanError::InvalidConfig {
+                            name: "sink",
+                            reason: "downstream full".into(),
+                        })
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ScanError::InvalidConfig { name: "sink", .. }));
+        assert_eq!(delivered, 3);
+    }
+
+    #[test]
+    fn streamed_records_render_as_events() {
+        let c = campaign();
+        let loads = vec![Waveform::constant(0.1); 9];
+        let mut kinds = Vec::new();
+        c.run_streamed(
+            &mut RunCtx::serial(),
+            &loads,
+            None,
+            Time::from_ns(5.0),
+            Time::from_ns(15.0),
+            2,
+            RetryPolicy::none(),
+            |r| {
+                kinds.push(r.to_event().kind);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(kinds.len(), 9 + 2 + 1);
+        assert!(kinds[..9].iter().all(|k| k == "stream_site"));
+        assert!(kinds[9..11].iter().all(|k| k == "stream_frame"));
+        assert_eq!(kinds[11], "stream_summary");
+    }
+
+    #[test]
+    fn streamed_observer_telemetry_counts_match() {
+        let c = campaign();
+        let loads = vec![Waveform::constant(0.1); 9];
+        let mut obs = Observer::ring(256);
+        c.run_streamed(
+            &mut RunCtx::new(Engine::new(3)).with_observer(&mut obs),
+            &loads,
+            None,
+            Time::from_ns(5.0),
+            Time::from_ns(15.0),
+            2,
+            RetryPolicy::none(),
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(obs.metrics.counter_value("campaign.sites_done"), 9);
+        assert_eq!(obs.metrics.counter_value("engine.jobs_done"), 9);
+    }
+
+    mod stream_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(6))]
+
+            /// The tentpole contract: streamed campaigns are
+            /// bit-identical to the in-memory path at jobs ∈ {1, 4},
+            /// across load patterns, sample counts and fault plans.
+            #[test]
+            fn streamed_vs_in_memory_bit_identity(
+                centre_load in 0.1..1.0f64,
+                samples in 1usize..5,
+                // 0..9 faults that site; 9 means no fault.
+                faulted_site in 0usize..10,
+            ) {
+                use psnt_fault::{Fault, FaultPlan};
+                let c = campaign();
+                let mut loads = vec![Waveform::constant(0.03); 9];
+                loads[4] = Waveform::constant(centre_load);
+                let plan = || {
+                    if faulted_site < 9 {
+                        FaultPlan::new().with(Fault::SitePanic { site: faulted_site })
+                    } else {
+                        FaultPlan::default()
+                    }
+                };
+                let in_memory = c
+                    .run_resilient(
+                        &mut RunCtx::serial().with_fault_plan(plan()),
+                        &loads,
+                        None,
+                        Time::from_ns(10.0),
+                        Time::from_ns(20.0),
+                        samples,
+                        RetryPolicy::none(),
+                    )
+                    .unwrap();
+                for jobs in [1usize, 4] {
+                    let mut records = Vec::new();
+                    let mut ctx = RunCtx::new(Engine::new(jobs)).with_fault_plan(plan());
+                    c.run_streamed(
+                        &mut ctx,
+                        &loads,
+                        None,
+                        Time::from_ns(10.0),
+                        Time::from_ns(20.0),
+                        samples,
+                        RetryPolicy::none(),
+                        |r| {
+                            records.push(r);
+                            Ok(())
+                        },
+                    )
+                    .unwrap();
+                    prop_assert_eq!(collect_stream(records), in_memory.clone(), "jobs={}", jobs);
+                }
+            }
         }
     }
 

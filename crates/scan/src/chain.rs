@@ -202,6 +202,27 @@ mod tests {
         assert!(c.shift_out(&short).is_err());
     }
 
+    #[test]
+    fn campaign_scale_chain_roundtrips() {
+        // The chip-scale shape: 256 sites × 7 bits = 1,792 flip-flops.
+        // Nothing in the chain may assume a small site count.
+        let c = chain(256);
+        assert_eq!(c.len(), 1792);
+        let codes: Vec<ThermometerCode> = (0..256)
+            .map(|i| {
+                let level = i % 8;
+                let s: String = (0..7)
+                    .map(|b| if 7 - b <= level { '1' } else { '0' })
+                    .collect();
+                code(&s)
+            })
+            .collect();
+        let frame = c.capture(&codes).unwrap();
+        assert_eq!(frame.len(), 1792);
+        assert_eq!(c.deserialize(&frame).unwrap(), codes);
+        assert_eq!(c.shift_out(&frame).unwrap().len(), 1792);
+    }
+
     proptest! {
         #[test]
         fn roundtrip_random_codes(raw in proptest::collection::vec("[01x]{7}", 1..6)) {

@@ -19,6 +19,19 @@ pub enum ScanError {
         /// Bits supplied.
         got: usize,
     },
+    /// A mesh floorplan geometry that cannot be instrumented: tile
+    /// blocks that do not evenly divide the grid, or more sites per
+    /// tile than a tile block can hold.
+    InvalidMesh {
+        /// Requested mesh rows.
+        mesh_rows: usize,
+        /// Requested mesh columns.
+        mesh_cols: usize,
+        /// Requested sensor sites per mesh tile.
+        sites_per_tile: usize,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
     /// A campaign/sampler parameter was invalid.
     InvalidConfig {
         /// The parameter name.
@@ -40,6 +53,18 @@ impl fmt::Display for ScanError {
                 write!(
                     f,
                     "scan frame of {got} bits does not match chain length {expected}"
+                )
+            }
+            ScanError::InvalidMesh {
+                mesh_rows,
+                mesh_cols,
+                sites_per_tile,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "invalid {mesh_rows}×{mesh_cols} mesh with {sites_per_tile} site(s)/tile: \
+                     {reason}"
                 )
             }
             ScanError::InvalidConfig { name, reason } => {
@@ -88,6 +113,14 @@ mod tests {
         }
         .to_string()
         .contains("14"));
+        let m = ScanError::InvalidMesh {
+            mesh_rows: 8,
+            mesh_cols: 8,
+            sites_per_tile: 99,
+            reason: "too dense".into(),
+        };
+        assert!(m.to_string().contains("8×8"));
+        assert!(m.to_string().contains("too dense"));
         let s = ScanError::from(psnt_core::SensorError::WaveformGap { at_ps: 1.0 });
         assert!(Error::source(&s).is_some());
         let p = ScanError::from(psnt_pdn::PdnError::InvalidWaveform("w".into()));

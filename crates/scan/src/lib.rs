@@ -46,6 +46,7 @@ pub mod sampler;
 
 pub use campaign::{
     Campaign, CampaignResult, DegradationSummary, ResilientCampaignResult, SiteOutcome, SiteSeries,
+    StreamRecord,
 };
 pub use chain::ScanChain;
 pub use error::ScanError;

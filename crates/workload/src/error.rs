@@ -1,0 +1,79 @@
+//! Error types for the workload engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `psnt-workload` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A workload parameter violated a constraint.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// An error bubbled up from the PDN substrate.
+    Pdn(psnt_pdn::PdnError),
+    /// An error bubbled up from the scan-chain layer.
+    Scan(psnt_scan::ScanError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { name, reason } => {
+                write!(f, "invalid workload configuration {name}: {reason}")
+            }
+            WorkloadError::Pdn(e) => write!(f, "pdn error: {e}"),
+            WorkloadError::Scan(e) => write!(f, "scan error: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Pdn(e) => Some(e),
+            WorkloadError::Scan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<psnt_pdn::PdnError> for WorkloadError {
+    fn from(e: psnt_pdn::PdnError) -> WorkloadError {
+        WorkloadError::Pdn(e)
+    }
+}
+
+impl From<psnt_scan::ScanError> for WorkloadError {
+    fn from(e: psnt_scan::ScanError) -> WorkloadError {
+        WorkloadError::Scan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let c = WorkloadError::InvalidConfig {
+            name: "cycles",
+            reason: "must be non-zero".into(),
+        };
+        assert!(c.to_string().contains("cycles"));
+        let p = WorkloadError::from(psnt_pdn::PdnError::InvalidWaveform("w".into()));
+        assert!(Error::source(&p).is_some());
+        let s = WorkloadError::from(psnt_scan::ScanError::InvalidPlacement { reason: "x".into() });
+        assert!(Error::source(&s).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<WorkloadError>();
+    }
+}

@@ -1,0 +1,326 @@
+//! Deterministic, seed-split NoC traffic generators.
+//!
+//! Each mesh tile owns an independent random stream derived from the
+//! campaign base seed via [`psnt_engine::split_seed`], so per-tile
+//! injection sequences are reproducible and **independent of how many
+//! workers generate them** — the determinism contract the rest of the
+//! workspace pins.
+//!
+//! Three patterns cover the classic NoC evaluation set:
+//!
+//! * [`TrafficPattern::Uniform`] — Bernoulli injection at a fixed rate,
+//!   uniform random destinations;
+//! * [`TrafficPattern::Bursty`] — `k`-on/`m`-off gating with a per-tile
+//!   random phase, modelling phased compute/communicate loops;
+//! * [`TrafficPattern::GaussianLinks`] — per-tile injection rates drawn
+//!   once from a Gaussian (Box–Muller over the tile's stream), in the
+//!   style of Booksim's random link-load tables (`rndlds25.txt`).
+
+use psnt_engine::split_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::WorkloadError;
+
+/// A synthetic traffic pattern over the mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Bernoulli injection: each tile injects a flit with probability
+    /// `injection_rate` every cycle, to a uniform random destination.
+    Uniform {
+        /// Per-tile per-cycle injection probability in `[0, 1]`.
+        injection_rate: f64,
+    },
+    /// `k`-on/`m`-off bursts: a tile injects (at `injection_rate`) only
+    /// during the on-phase of its `on_cycles + off_cycles` period; each
+    /// tile's phase offset is drawn from its stream so bursts
+    /// desynchronise across the mesh.
+    Bursty {
+        /// Injection probability during the on phase, in `[0, 1]`.
+        injection_rate: f64,
+        /// Burst length `k` in cycles (≥ 1).
+        on_cycles: u32,
+        /// Idle gap `m` in cycles.
+        off_cycles: u32,
+    },
+    /// Heterogeneous link loads: each tile's injection rate is drawn
+    /// once as `mean_rate + sigma·N(0,1)` (clamped to `[0, 1]`), then
+    /// held for the whole run — a Gaussian random link-switching load
+    /// à la Booksim's `rndlds25.txt` tables.
+    GaussianLinks {
+        /// Mean per-tile injection rate in `[0, 1]`.
+        mean_rate: f64,
+        /// Standard deviation of the per-tile rates (≥ 0).
+        sigma: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// Validates the pattern parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for rates outside
+    /// `[0, 1]`, a zero-length burst or a negative/non-finite sigma.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let rate_ok = |r: f64| r.is_finite() && (0.0..=1.0).contains(&r);
+        match *self {
+            TrafficPattern::Uniform { injection_rate } => {
+                if !rate_ok(injection_rate) {
+                    return Err(WorkloadError::InvalidConfig {
+                        name: "injection_rate",
+                        reason: format!("rate {injection_rate} outside [0, 1]"),
+                    });
+                }
+            }
+            TrafficPattern::Bursty {
+                injection_rate,
+                on_cycles,
+                ..
+            } => {
+                if !rate_ok(injection_rate) {
+                    return Err(WorkloadError::InvalidConfig {
+                        name: "injection_rate",
+                        reason: format!("rate {injection_rate} outside [0, 1]"),
+                    });
+                }
+                if on_cycles == 0 {
+                    return Err(WorkloadError::InvalidConfig {
+                        name: "on_cycles",
+                        reason: "burst length must be at least one cycle".into(),
+                    });
+                }
+            }
+            TrafficPattern::GaussianLinks { mean_rate, sigma } => {
+                if !rate_ok(mean_rate) {
+                    return Err(WorkloadError::InvalidConfig {
+                        name: "mean_rate",
+                        reason: format!("rate {mean_rate} outside [0, 1]"),
+                    });
+                }
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return Err(WorkloadError::InvalidConfig {
+                        name: "sigma",
+                        reason: format!("sigma {sigma} must be finite and non-negative"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One standard normal draw via Box–Muller (the vendored `rand` has no
+/// Gaussian distribution).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    Bernoulli {
+        rate: f64,
+    },
+    Bursty {
+        rate: f64,
+        period: u64,
+        on: u64,
+        phase: u64,
+    },
+}
+
+/// The per-tile traffic stream: a deterministic generator whose draws
+/// come from `split_seed(base_seed, tile)`.
+#[derive(Debug, Clone)]
+pub struct TileTraffic {
+    rng: StdRng,
+    tile: usize,
+    tiles: usize,
+    mode: Mode,
+}
+
+impl TileTraffic {
+    /// Builds tile `tile`'s stream for a validated `pattern`.
+    ///
+    /// The construction draws (burst phase, Gaussian rate) come from
+    /// the tile's own stream, so streams stay independent and
+    /// reproducible regardless of construction order.
+    pub fn new(pattern: &TrafficPattern, base_seed: u64, tile: usize, tiles: usize) -> TileTraffic {
+        let mut rng = StdRng::seed_from_u64(split_seed(base_seed, tile as u64));
+        let mode = match *pattern {
+            TrafficPattern::Uniform { injection_rate } => Mode::Bernoulli {
+                rate: injection_rate,
+            },
+            TrafficPattern::Bursty {
+                injection_rate,
+                on_cycles,
+                off_cycles,
+            } => {
+                let period = u64::from(on_cycles) + u64::from(off_cycles);
+                Mode::Bursty {
+                    rate: injection_rate,
+                    period,
+                    on: u64::from(on_cycles),
+                    phase: rng.gen_range(0..period),
+                }
+            }
+            TrafficPattern::GaussianLinks { mean_rate, sigma } => Mode::Bernoulli {
+                rate: (mean_rate + sigma * standard_normal(&mut rng)).clamp(0.0, 1.0),
+            },
+        };
+        TileTraffic {
+            rng,
+            tile,
+            tiles,
+            mode,
+        }
+    }
+
+    /// The tile's effective injection rate (after any Gaussian draw).
+    pub fn rate(&self) -> f64 {
+        match self.mode {
+            Mode::Bernoulli { rate } | Mode::Bursty { rate, .. } => rate,
+        }
+    }
+
+    /// Advances one cycle: returns the destination tile of an injected
+    /// flit, or `None` when the tile stays quiet this cycle.
+    pub fn step(&mut self, cycle: u64) -> Option<usize> {
+        let rate = match self.mode {
+            Mode::Bernoulli { rate } => rate,
+            Mode::Bursty {
+                rate,
+                period,
+                on,
+                phase,
+            } => {
+                if (cycle + phase) % period >= on {
+                    return None;
+                }
+                rate
+            }
+        };
+        if rate <= 0.0 || !self.rng.gen_bool(rate) {
+            return None;
+        }
+        if self.tiles < 2 {
+            return Some(self.tile);
+        }
+        // Uniform over the other tiles.
+        let mut dst = self.rng.gen_range(0..self.tiles - 1);
+        if dst >= self.tile {
+            dst += 1;
+        }
+        Some(dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(pattern: &TrafficPattern, seed: u64, tile: usize, cycles: u64) -> Vec<Option<usize>> {
+        let mut g = TileTraffic::new(pattern, seed, tile, 16);
+        (0..cycles).map(|c| g.step(c)).collect()
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(TrafficPattern::Uniform {
+            injection_rate: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficPattern::Bursty {
+            injection_rate: 0.5,
+            on_cycles: 0,
+            off_cycles: 3
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficPattern::GaussianLinks {
+            mean_rate: 0.2,
+            sigma: -0.1
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficPattern::Uniform {
+            injection_rate: 0.25
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_split() {
+        let p = TrafficPattern::Uniform {
+            injection_rate: 0.4,
+        };
+        assert_eq!(run(&p, 7, 3, 200), run(&p, 7, 3, 200));
+        assert_ne!(run(&p, 7, 3, 200), run(&p, 7, 4, 200));
+        assert_ne!(run(&p, 7, 3, 200), run(&p, 8, 3, 200));
+    }
+
+    #[test]
+    fn uniform_rate_is_respected() {
+        let p = TrafficPattern::Uniform {
+            injection_rate: 0.3,
+        };
+        let hits = run(&p, 11, 0, 4000).iter().flatten().count();
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed rate {rate}");
+        // Destinations never point at the source.
+        assert!(run(&p, 11, 5, 4000).iter().flatten().all(|&d| d != 5));
+    }
+
+    #[test]
+    fn bursty_respects_on_off_gating() {
+        let p = TrafficPattern::Bursty {
+            injection_rate: 1.0,
+            on_cycles: 4,
+            off_cycles: 6,
+        };
+        let seq = run(&p, 3, 2, 100);
+        let hits = seq.iter().flatten().count();
+        // rate 1.0 during exactly 4 of every 10 cycles.
+        assert_eq!(hits, 40);
+        // The on-phase is contiguous modulo the period.
+        let on_cycles: Vec<u64> = seq
+            .iter()
+            .enumerate()
+            .filter_map(|(c, d)| d.map(|_| c as u64 % 10))
+            .collect();
+        let mut distinct = on_cycles.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn gaussian_rates_vary_per_tile_but_stay_clamped() {
+        let p = TrafficPattern::GaussianLinks {
+            mean_rate: 0.25,
+            sigma: 0.15,
+        };
+        let rates: Vec<f64> = (0..64)
+            .map(|t| TileTraffic::new(&p, 42, t, 64).rate())
+            .collect();
+        assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!((mean - 0.25).abs() < 0.1, "mean rate {mean}");
+        // Not all identical — the loads are heterogeneous.
+        assert!(rates.iter().any(|&r| (r - rates[0]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn degenerate_single_tile_mesh_self_loops() {
+        let p = TrafficPattern::Uniform {
+            injection_rate: 1.0,
+        };
+        let mut g = TileTraffic::new(&p, 1, 0, 1);
+        assert_eq!(g.step(0), Some(0));
+    }
+}

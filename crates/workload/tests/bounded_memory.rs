@@ -1,0 +1,68 @@
+//! Bounded-memory gate for the streamed campaign path.
+//!
+//! Runs the full chip-scale shape — 8×8 mesh, 256 sites on a
+//! 1,600-node grid, 1,000 cycles — through [`NocWorkload::run_streamed`]
+//! and asserts the process peak RSS (`VmHWM`) stays flat. This lives in
+//! its own integration-test binary so the high-water mark measures this
+//! campaign, not whichever unit test happened to run first.
+
+use psnt_ctx::RunCtx;
+use psnt_engine::{Engine, RetryPolicy};
+use psnt_scan::campaign::StreamRecord;
+use psnt_workload::{NocWorkload, NocWorkloadConfig};
+
+/// Peak resident set size of this process in MiB, from
+/// `/proc/self/status` (`VmHWM` is reported in kB).
+#[cfg(target_os = "linux")]
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+#[test]
+fn streamed_256_site_campaign_stays_bounded() {
+    let mut cfg = NocWorkloadConfig::chip_8x8();
+    // Four measurement windows keep the gate's wall time in seconds
+    // while still sweeping all 256 sites per window.
+    cfg.measure_every = 250;
+    let workload = NocWorkload::new(cfg).unwrap();
+    assert_eq!(workload.campaign().floorplan().sites().len(), 256);
+    assert_eq!(workload.campaign().floorplan().grid().tiles(), 1600);
+
+    let mut sites = 0usize;
+    let mut frames = 0usize;
+    let mut summaries = 0usize;
+    let out = workload
+        .run_streamed(
+            &mut RunCtx::new(Engine::from_env()).with_seed(2009),
+            RetryPolicy::none(),
+            |record| {
+                match record {
+                    StreamRecord::Site { .. } => sites += 1,
+                    StreamRecord::Frame { .. } => frames += 1,
+                    StreamRecord::Summary(_) => summaries += 1,
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+    assert_eq!((sites, frames, summaries), (256, 4, 1));
+    assert_eq!(out.profile.windows.len(), 4);
+    assert!(out.profile.flits > 0);
+    assert!(
+        out.profile.worst_droop() > 0.0,
+        "workload induced no droop: {:?}",
+        out.profile.worst()
+    );
+
+    #[cfg(target_os = "linux")]
+    {
+        let peak = peak_rss_mib().expect("VmHWM available on linux");
+        assert!(
+            peak < 512.0,
+            "peak RSS {peak:.1} MiB breaks the 512 MiB streamed-campaign bound"
+        );
+    }
+}

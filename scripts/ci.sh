@@ -96,6 +96,17 @@ echo "==> fault suite under PSNT_JOBS=4"
 PSNT_JOBS=4 cargo test -q -p psnt-fault
 PSNT_JOBS=4 cargo test -q -p psn-thermometer --test fault_equiv
 
+echo "==> workload suite under PSNT_JOBS=4"
+# The chip-scale workload contract: traffic traces, delta-solve
+# chains and streamed campaigns are worker-count independent.
+PSNT_JOBS=4 cargo test -q -p psnt-workload
+
+echo "==> bounded-memory gate (streamed 256-site campaign)"
+# The streaming contract: a full 256-site campaign through the
+# bounded channel keeps peak RSS flat (VmHWM < 512 MiB, own test
+# binary so the number reflects only this campaign).
+cargo test -q --release -p psnt-workload --test bounded_memory
+
 echo "==> perf-regression gate (soft)"
 # Re-times the suites and diffs against the committed baseline. A
 # regression past the threshold only WARNS here — shared/1-vCPU CI

@@ -20,6 +20,9 @@
 //!   related-work baselines;
 //! * [`scan`] (`psnt-scan`) — multi-site placement, serial readout,
 //!   equivalent-time sampling, campaigns;
+//! * [`workload`] (`psnt-workload`) — chip-scale workload engine:
+//!   seed-split NoC-mesh traffic driving cycle-by-cycle incremental
+//!   sparse PDN solves and streamed 256+-site campaigns;
 //! * [`analysis`] (`psnt-analysis`) — statistics, ADC linearity metrics,
 //!   fidelity scoring, report tables;
 //! * [`obs`] (`psnt-obs`) — telemetry: metrics registry, structured
@@ -64,6 +67,7 @@ pub use psnt_netlist as netlist;
 pub use psnt_obs as obs;
 pub use psnt_pdn as pdn;
 pub use psnt_scan as scan;
+pub use psnt_workload as workload;
 
 /// The most common imports for working with the sensor.
 pub mod prelude {
@@ -76,7 +80,7 @@ pub mod prelude {
     pub use psnt_core::system::{Measurement, SensorConfig, SensorSystem};
     pub use psnt_core::thermometer::{CapacitorLadder, ThermometerArray};
     pub use psnt_ctx::RunCtx;
-    pub use psnt_engine::Engine;
+    pub use psnt_engine::{Engine, RetryPolicy};
     pub use psnt_fault::{Fault, FaultPlan};
     pub use psnt_obs::{Observer, RunManifest};
     pub use psnt_pdn::sources::{supply_step, SupplyNoiseBuilder};
@@ -84,4 +88,5 @@ pub mod prelude {
     pub use psnt_pdn::workload::WorkloadBuilder;
     pub use psnt_scan::campaign::Campaign;
     pub use psnt_scan::floorplan::{Floorplan, Placement};
+    pub use psnt_workload::{NocWorkload, NocWorkloadConfig, TrafficPattern};
 }
