@@ -28,6 +28,88 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| monte_carlo_yield(&mut ctx, &array, skew, &pvt, &model, 50).unwrap())
     });
 
+    // The PR-8 headline pair: 3,200 trials scalar (one bisection per
+    // element per trial) vs batched (64 trials per word through the
+    // lockstep lane kernel). Equal statistics — identical per-lane RNG
+    // streams and bit-identical reports — so the ratio is pure kernel
+    // speedup (target ≥10×, recorded in BENCH_PR8.json).
+    c.bench_function("mismatch_monte_carlo_3200_scalar", |b| {
+        use psnt_core::mismatch::{monte_carlo_yield_scalar, MismatchModel};
+        let array = ThermometerArray::paper(RailMode::Supply);
+        let model = MismatchModel::local_90nm();
+        let mut ctx = RunCtx::serial().with_seed(1);
+        b.iter(|| monte_carlo_yield_scalar(&mut ctx, &array, skew, &pvt, &model, 3200).unwrap())
+    });
+
+    c.bench_function("mismatch_monte_carlo_3200_batched", |b| {
+        use psnt_core::mismatch::{monte_carlo_yield, MismatchModel};
+        let array = ThermometerArray::paper(RailMode::Supply);
+        let model = MismatchModel::local_90nm();
+        let mut ctx = RunCtx::serial().with_seed(1);
+        b.iter(|| monte_carlo_yield(&mut ctx, &array, skew, &pvt, &model, 3200).unwrap())
+    });
+
+    // The event-kernel half of the PR-8 pair: one 64-lane batched
+    // PREPARE/SENSE measure carrying 64 distinct fault plans, vs the
+    // same 64 plans installed and measured serially on the pooled
+    // scalar simulator. Per-lane results are bit-identical (pinned by
+    // `tests/batch_equiv.rs`), so the ratio is pure kernel speedup.
+    let fault_plans_64 = || {
+        use psnt_cells::logic::Logic;
+        use psnt_fault::{Fault, FaultPlan};
+        let mut plans = Vec::with_capacity(64);
+        for i in 0..7 {
+            for value in [Logic::Zero, Logic::One] {
+                plans.push(FaultPlan::new().with(Fault::stuck_at(format!("inv{i}.out"), value)));
+                plans.push(FaultPlan::new().with(Fault::stuck_at(format!("ff{i}.q"), value)));
+            }
+        }
+        for i in 0..7 {
+            for factor in [0.5, 1.5, 2.0, 3.0] {
+                plans.push(FaultPlan::new().with(Fault::delay_scale(format!("inv{i}"), factor)));
+            }
+        }
+        plans.push(FaultPlan::new().with(Fault::stuck_at("P", Logic::Zero)));
+        plans.push(FaultPlan::new().with(Fault::stuck_at("P", Logic::One)));
+        plans.push(FaultPlan::new().with(Fault::stuck_at("CP", Logic::Zero)));
+        plans.push(FaultPlan::new().with(Fault::stuck_at("CP", Logic::One)));
+        for i in 0..4 {
+            plans.push(
+                FaultPlan::new().with(Fault::bit_upset(format!("ff{i}"), Time::from_ns(6.0))),
+            );
+        }
+        assert_eq!(plans.len(), 64);
+        plans
+    };
+
+    c.bench_function("batch_gate_eval_64_scalar", |b| {
+        use psnt_core::gate_level::GateLevelArray;
+        let array = GateLevelArray::paper().unwrap();
+        let plans = fault_plans_64();
+        let mut ctx = RunCtx::serial();
+        b.iter(|| {
+            for plan in &plans {
+                ctx.set_fault_plan(Some(plan.clone()));
+                array
+                    .measure_detailed(&mut ctx, Voltage::from_v(0.96), skew)
+                    .unwrap();
+            }
+            ctx.set_fault_plan(None);
+        })
+    });
+
+    c.bench_function("batch_gate_eval_64", |b| {
+        use psnt_core::gate_level::GateLevelArray;
+        let array = GateLevelArray::paper().unwrap();
+        let plans = fault_plans_64();
+        let mut ctx = RunCtx::serial();
+        b.iter(|| {
+            array
+                .measure_batch(&mut ctx, Voltage::from_v(0.96), skew, &plans)
+                .unwrap()
+        })
+    });
+
     c.bench_function("spectrum_dominant_400pts", |b| {
         use psnt_analysis::spectrum::dominant_frequency;
         use psnt_cells::units::Frequency;

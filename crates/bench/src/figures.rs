@@ -149,7 +149,7 @@ pub fn registry() -> Vec<Experiment> {
         ),
         (
             "fault-coverage",
-            "exhaustive single stuck-at sweep over the gate-level array",
+            "1,016-plan fault universe over the gate-level array, 64 plans/word",
             fault_coverage,
         ),
         (
@@ -832,25 +832,30 @@ pub fn overhead() -> String {
     s
 }
 
-/// XP-FAULT — exhaustive single stuck-at fault coverage of the
-/// 7-element gate-level array: every net × {SA0, SA1}, measured at
-/// three rail levels against the healthy (golden) codes. A fault is
-/// *detected* when any rail's thermometer code differs from golden (or
-/// the measure errors out); the residual is the worst
-/// bubble-corrected level error the fault leaves behind. The sweep is
-/// fully deterministic — same table on every run at any worker count.
+/// XP-FAULT — fault coverage of the 7-element gate-level array over a
+/// 1,016-plan universe (single and double stuck-ats on every net,
+/// delay scaling on every sense inverter, and stuck-at × delay
+/// crosses), measured at three rail levels against the healthy
+/// (golden) codes. The sweep runs through the 64-lane batch kernel —
+/// one word evaluates 64 fault plans per pass, so 48 batched measures
+/// replace the 3,048 scalar ones the same campaign would otherwise
+/// cost. A fault is *detected* when any rail's thermometer code
+/// differs from golden (or the measure errors out); the residual is
+/// the worst bubble-corrected level error a detected fault leaves
+/// behind. Fully deterministic — same table on every run at any
+/// worker count.
 pub fn fault_coverage(ctx: &mut RunCtx<'_>) -> String {
     use psnt_cells::logic::Logic;
     use psnt_core::gate_level::GateLevelArray;
     use psnt_fault::{Fault, FaultPlan};
+    use psnt_netlist::LANES;
 
     let array = GateLevelArray::paper().expect("paper array builds");
     let sk = skew(code011());
     let rails = [1.0, 0.96, 0.9].map(Voltage::from_v);
 
-    // One local context pools one simulator for the whole sweep; each
-    // fault is installed via the plan, measured, and replaced by the
-    // next — the golden pass runs on the same machinery with no plan.
+    // One local context pools one scalar simulator (golden pass) and
+    // one batch kernel (the whole faulted sweep).
     let mut lctx = RunCtx::new(ctx.engine().clone());
     let golden: Vec<_> = rails
         .iter()
@@ -862,64 +867,176 @@ pub fn fault_coverage(ctx: &mut RunCtx<'_>) -> String {
         .nets()
         .map(|(_, n)| n.name().to_string())
         .collect();
-    let mut t = Table::new(
-        "XP-FAULT — single stuck-at coverage, 7-element HIGH-SENSE array (code 011)",
-        &["net", "stuck", "detected", "worst level error"],
-    );
-    let mut total = 0u32;
-    let mut detected_n = 0u32;
-    let mut worst_residual = 0usize;
+    let gate_names: Vec<String> = array
+        .netlist()
+        .gates()
+        .iter()
+        .map(|g| g.name().to_string())
+        .collect();
+
+    // The fault universe, one class id per plan. Delay factors span
+    // 4× fast to 6× slow; 8 distinct factors per gate keeps the batch
+    // kernel's delay banding exact (no quantisation).
+    const CLASSES: [&str; 4] = [
+        "single stuck-at (SA0+SA1, every net)",
+        "double stuck-at (every net pair x 4 values)",
+        "delay scale (every sense inverter x 8 factors)",
+        "stuck-at x delay cross",
+    ];
+    const FACTORS: [f64; 8] = [0.25, 0.5, 0.75, 1.5, 2.0, 3.0, 4.0, 6.0];
+    let mut class_of: Vec<usize> = Vec::new();
+    let mut plans: Vec<FaultPlan> = Vec::new();
+    let push =
+        |class: usize, plan: FaultPlan, class_of: &mut Vec<usize>, plans: &mut Vec<FaultPlan>| {
+            debug_assert!(plan.batch_supported());
+            class_of.push(class);
+            plans.push(plan);
+        };
     for name in &names {
         for value in [Logic::Zero, Logic::One] {
-            total += 1;
-            lctx.set_fault_plan(Some(
+            push(
+                0,
                 FaultPlan::new().with(Fault::stuck_at(name.clone(), value)),
-            ));
+                &mut class_of,
+                &mut plans,
+            );
+        }
+    }
+    for i in 0..names.len() {
+        for j in (i + 1)..names.len() {
+            for va in [Logic::Zero, Logic::One] {
+                for vb in [Logic::Zero, Logic::One] {
+                    push(
+                        1,
+                        FaultPlan::new()
+                            .with(Fault::stuck_at(names[i].clone(), va))
+                            .with(Fault::stuck_at(names[j].clone(), vb)),
+                        &mut class_of,
+                        &mut plans,
+                    );
+                }
+            }
+        }
+    }
+    for g in &gate_names {
+        for f in FACTORS {
+            push(
+                2,
+                FaultPlan::new().with(Fault::delay_scale(g.clone(), f)),
+                &mut class_of,
+                &mut plans,
+            );
+        }
+    }
+    // Cross class: 8 deterministic stuck-at anchors (every other net,
+    // alternating polarity) x the 56 delay faults.
+    let anchors: Vec<(String, Logic)> = names
+        .iter()
+        .step_by(2)
+        .enumerate()
+        .map(|(k, n)| (n.clone(), if k % 2 == 0 { Logic::Zero } else { Logic::One }))
+        .collect();
+    for (an, av) in &anchors {
+        for g in &gate_names {
+            for f in FACTORS {
+                push(
+                    3,
+                    FaultPlan::new()
+                        .with(Fault::stuck_at(an.clone(), *av))
+                        .with(Fault::delay_scale(g.clone(), f)),
+                    &mut class_of,
+                    &mut plans,
+                );
+            }
+        }
+    }
+
+    // Sweep 64 plans per word: each chunk costs one batched measure per
+    // rail, lane `l` carrying plan `chunk_base + l`.
+    let mut totals = [0u32; 4];
+    let mut detects = [0u32; 4];
+    let mut errors = [0u32; 4];
+    let mut worst = [0usize; 4];
+    let mut batched_measures = 0usize;
+    for (ci, chunk) in plans.chunks(LANES).enumerate() {
+        let per_rail: Vec<_> = rails
+            .iter()
+            .map(|&v| {
+                batched_measures += 1;
+                array
+                    .measure_batch(&mut lctx, v, sk, chunk)
+                    .expect("batched faulted measure")
+            })
+            .collect();
+        for l in 0..chunk.len() {
+            let k = class_of[ci * LANES + l];
+            totals[k] += 1;
             let mut detected = false;
             let mut residual = 0usize;
-            let mut errored = false;
-            for (&v, gold) in rails.iter().zip(&golden) {
-                match array.measure(&mut lctx, v, sk) {
-                    Ok(code) => {
-                        if &code != gold {
+            for (lane_results, gold) in per_rail.iter().zip(&golden) {
+                match &lane_results[l] {
+                    Ok((sense, _prepare)) => {
+                        if sense != gold {
                             detected = true;
                         }
                         residual = residual.max(
-                            code.correct_bubbles()
+                            sense
+                                .correct_bubbles()
                                 .level()
                                 .abs_diff(gold.correct_bubbles().level()),
                         );
                     }
                     Err(_) => {
                         detected = true;
-                        errored = true;
+                        errors[k] += 1;
                     }
                 }
             }
             if detected {
-                detected_n += 1;
-                worst_residual = worst_residual.max(residual);
+                detects[k] += 1;
+                worst[k] = worst[k].max(residual);
             }
-            t.row([
-                name.clone(),
-                format!("SA{}", if value == Logic::One { 1 } else { 0 }),
-                match (detected, errored) {
-                    (true, true) => "yes (guarded error)".to_string(),
-                    (true, false) => "yes".to_string(),
-                    (false, _) => "NO".to_string(),
-                },
-                format!("{residual} level(s)"),
-            ]);
         }
     }
-    lctx.set_fault_plan(None);
+
+    let mut t = Table::new(
+        "XP-FAULT — fault coverage, 7-element HIGH-SENSE array (code 011), 64 plans/word",
+        &[
+            "fault class",
+            "plans",
+            "detected",
+            "coverage",
+            "worst residual",
+        ],
+    );
+    for (k, class) in CLASSES.iter().enumerate() {
+        t.row([
+            (*class).to_string(),
+            totals[k].to_string(),
+            detects[k].to_string(),
+            format!(
+                "{:.1} %",
+                f64::from(detects[k]) / f64::from(totals[k]) * 100.0
+            ),
+            format!("{} level(s)", worst[k]),
+        ]);
+    }
+    let total: u32 = totals.iter().sum();
+    let detected_n: u32 = detects.iter().sum();
+    let worst_residual = worst.iter().copied().max().unwrap_or(0);
     let mut s = t.render();
     s.push_str(&format!(
-        "faults injected: {total} | detected: {detected_n} | detection rate: {:.1} % | \
-         worst residual error among detected: {worst_residual} level(s)\n\
+        "faults injected: {total} | detected: {detected_n} | detection rate: {rate:.1} % | \
+         worst residual among detected: {worst_residual} level(s)\n\
          (three-rail signature: 1.00 V / 0.96 V / 0.90 V; a fault is silent only if every\n\
-         rail reproduces the golden thermometer code)\n",
-        f64::from(detected_n) / f64::from(total) * 100.0,
+         rail reproduces the golden thermometer code)\n\
+         batch kernel: {} plans swept as {} word-chunks x {} rails = {batched_measures} batched\n\
+         measures, versus {} scalar measures for the same campaign serially\n",
+        plans.len(),
+        plans.len().div_ceil(LANES),
+        rails.len(),
+        plans.len() * rails.len(),
+        rate = f64::from(detected_n) / f64::from(total) * 100.0,
     ));
     s
 }
@@ -1128,6 +1245,9 @@ mod tests {
         assert!(out.contains("detection rate"));
         assert!(out.contains("SA0"));
         assert!(out.contains("SA1"));
+        // The scaled campaign: ≥1,000 plans, swept 64 per word.
+        assert!(out.contains("faults injected: 1016"), "{out}");
+        assert!(out.contains("64 plans/word"));
         // The sweep is deterministic, so the rendered table is too.
         assert_eq!(out, fault_coverage(&mut RunCtx::serial()));
     }

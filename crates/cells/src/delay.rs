@@ -188,13 +188,18 @@ impl AlphaPowerDelay {
 
     /// The voltage-sensitivity kernel `g(V) = V / (V − V_th)^α` at the
     /// given operating point, or `None` without overdrive.
+    ///
+    /// Evaluated through [`crate::fastmath::powf_pos`] so the scalar
+    /// path and the batched 64-lane path execute the same float
+    /// program (the bit-identity contract of `DESIGN.md` §14); the
+    /// kernel is accurate to ~1e-13 relative on this domain.
     pub fn voltage_kernel(&self, supply: Voltage, pvt: &Pvt) -> Option<f64> {
         let vth = pvt.effective_vth(self.vth);
         let overdrive = supply - vth;
         if overdrive <= Voltage::ZERO {
             return None;
         }
-        Some(supply.volts() / overdrive.volts().powf(self.alpha))
+        Some(supply.volts() / crate::fastmath::powf_pos(overdrive.volts(), self.alpha))
     }
 }
 

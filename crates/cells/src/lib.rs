@@ -40,6 +40,7 @@
 pub mod delay;
 pub mod dff;
 pub mod error;
+pub mod fastmath;
 pub mod gates;
 pub mod latch;
 pub mod library;

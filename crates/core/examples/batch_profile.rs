@@ -1,0 +1,147 @@
+//! Ad-hoc breakdown of the batched Monte-Carlo hot path (dev tool).
+use psnt_cells::process::Pvt;
+use psnt_cells::units::Time;
+use psnt_core::element::RailMode;
+use psnt_core::lanes::{self, LaneTasks, LANES};
+use psnt_core::mismatch::{monte_carlo_yield, monte_carlo_yield_scalar, MismatchModel};
+use psnt_core::thermometer::ThermometerArray;
+use psnt_ctx::RunCtx;
+use std::time::Instant;
+
+fn main() {
+    let array = ThermometerArray::paper(RailMode::Supply);
+    let model = MismatchModel::local_90nm();
+    let pvt = Pvt::typical();
+    let skew = Time::from_ps(149.0);
+    let n = 3200;
+
+    let reps = 5;
+    let mut best_s = f64::MAX;
+    let mut best_b = f64::MAX;
+    let mut r1 = None;
+    let mut r2 = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        r1 = Some(
+            monte_carlo_yield_scalar(
+                &mut RunCtx::serial().with_seed(1),
+                &array,
+                skew,
+                &pvt,
+                &model,
+                n,
+            )
+            .unwrap(),
+        );
+        best_s = best_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        r2 = Some(
+            monte_carlo_yield(
+                &mut RunCtx::serial().with_seed(1),
+                &array,
+                skew,
+                &pvt,
+                &model,
+                n,
+            )
+            .unwrap(),
+        );
+        best_b = best_b.min(t.elapsed().as_secs_f64());
+    }
+    println!("scalar:  {:.3}ms (best of {reps})", best_s * 1e3);
+    println!("batched: {:.3}ms (best of {reps})", best_b * 1e3);
+    println!("ratio:   {:.2}x", best_s / best_b);
+    assert_eq!(r1, r2);
+
+    // Raw solve cost: 50 batches x 7 elements of 64-lane solves.
+    let mut tasks = LaneTasks {
+        n: LANES,
+        ..Default::default()
+    };
+    for l in 0..LANES {
+        tasks.ac_ps[l] = 32.0 * (0.205 + 1.75 + 0.01 * l as f64);
+        tasks.t_int_ps[l] = 0.0;
+        tasks.vth_eff_v[l] = 0.30 + 0.0001 * l as f64;
+        tasks.alpha[l] = 1.3;
+        tasks.window_ps[l] = 119.0;
+    }
+    let mut out = [0.0f64; LANES];
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..(50 * 7) {
+        lanes::solve(&tasks, std::hint::black_box(1.0), &mut out);
+        acc += out[0];
+    }
+    println!(
+        "350 solves (= n=3200 solver work): {:?} (acc {acc:.3})",
+        t.elapsed()
+    );
+
+    // Scalar solver cost at the same statistics: 3200 trials x 7 solves.
+    let t = Instant::now();
+    let mut acc2 = 0.0;
+    for i in 0..(3200 * 7) {
+        let ac = 32.0 * (0.205 + 1.75 + 0.00001 * (i % 64) as f64);
+        acc2 += lanes::solve_scalar(
+            std::hint::black_box(ac),
+            0.0,
+            0.30 + 0.0001 * (i % 64) as f64,
+            1.3,
+            119.0,
+            std::hint::black_box(1.0),
+        )
+        .unwrap();
+    }
+    println!("22400 scalar solves: {:?} (acc {acc2:.3})", t.elapsed());
+
+    // Batch-side overhead decomposition at equal statistics.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    // (a) RNG construction: one seeded StdRng per trial.
+    let t = Instant::now();
+    let mut s = 0.0f64;
+    for i in 0..3200u64 {
+        let mut r = StdRng::seed_from_u64(psnt_engine::split_seed(1, i));
+        s += r.gen_range(0.0..1.0f64);
+    }
+    println!("3200 rng seedings: {:?} (s {s:.3})", t.elapsed());
+
+    // (b) Raw uniform draws: 42 per trial (7 elements x 3 pairs).
+    let mut rngs: Vec<StdRng> = (0..64u64)
+        .map(|l| StdRng::seed_from_u64(psnt_engine::split_seed(1, l)))
+        .collect();
+    let t = Instant::now();
+    let mut s = 0.0f64;
+    for _batch in 0..50 {
+        for _elem in 0..7 {
+            for r in rngs.iter_mut() {
+                for _ in 0..3 {
+                    s += r.gen_range(f64::EPSILON..1.0f64);
+                    s += r.gen_range(0.0..1.0f64);
+                }
+            }
+        }
+    }
+    println!("134400 uniform draws: {:?} (s {s:.3})", t.elapsed());
+
+    // (c) The Box-Muller transform as the batch lane loop runs it.
+    let u: Vec<[f64; 64]> = (0..6).map(|i| [0.3 + 0.0001 * i as f64; 64]).collect();
+    let t = Instant::now();
+    let mut s = 0.0f64;
+    for _ in 0..(50 * 7) {
+        let u = std::hint::black_box(&u);
+        let mut z = [0.0f64; 64];
+        for l in 0..64 {
+            let (zd, zl, zv) = psnt_cells::fastmath::gaussian3_from_uniforms(&[
+                u[0][l], u[1][l], u[2][l], u[3][l], u[4][l], u[5][l],
+            ]);
+            z[l] = zd + zl + zv;
+        }
+        s += z[63];
+    }
+    println!(
+        "67200 batched gaussian transforms: {:?} (s {s:.3})",
+        t.elapsed()
+    );
+}

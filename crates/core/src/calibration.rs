@@ -127,10 +127,9 @@ impl ArrayCharacteristic {
 
 /// Characterises an array for one delay code at an operating point.
 ///
-/// The per-element threshold searches run on the context's engine; each
-/// element's threshold is an independent bisection keyed by its index,
-/// so the characteristic is bit-identical at any worker count (a serial
-/// context is the `jobs = 1` path of the same code). Results are served
+/// The per-element threshold searches run as one 64-lane lockstep solve
+/// (one lane per element, see `psnt_core::lanes`) — bit-identical to a
+/// serial per-element sweep at any worker count. Results are served
 /// from the array's threshold memo on repeat visits, and the memo's
 /// hit/miss deltas land in the context observer's metrics.
 ///
@@ -193,10 +192,11 @@ pub struct TrimResult {
 /// paper's unpublished internal delay-code policy.
 ///
 /// The per-delay-code characterisations run on the context's engine
-/// (one serial characterisation per code, scheduled as independent
-/// jobs). The winning code is selected by a serial fold over the
-/// ordered results (first minimum in code order), so the trim is
-/// bit-identical at any worker count; a serial context is the
+/// (one characterisation per code, scheduled as independent jobs), and
+/// each characterisation solves its element thresholds through the
+/// 64-lane lockstep kernel. The winning code is selected by a serial
+/// fold over the ordered results (first minimum in code order), so the
+/// trim is bit-identical at any worker count; a serial context is the
 /// `jobs = 1` path of this code.
 ///
 /// # Errors

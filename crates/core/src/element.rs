@@ -186,42 +186,61 @@ impl SenseElement {
         }
     }
 
+    /// The threshold search constants of this element as one lane of the
+    /// batched kernel: `(ac_ps, t_int_ps, vth_eff_v, alpha, window_ps)`
+    /// (see [`crate::lanes`]). `ac_ps` pre-associates
+    /// `A · (C_int + C_load)` exactly as the delay kernel does, so a
+    /// lane built from this tuple replays [`SenseElement::threshold`]
+    /// bit for bit.
+    pub fn lane_task(&self, skew: Time, pvt: &Pvt) -> (f64, f64, f64, f64, f64) {
+        let window = skew - self.ff.setup();
+        let vth_eff = pvt.effective_vth(self.inv.vth());
+        let ac = self.inv.a_ps_per_pf() * (self.inv.c_intrinsic() + self.load).picofarads();
+        (
+            ac,
+            self.inv.t_intrinsic().picoseconds(),
+            vth_eff.volts(),
+            self.inv.alpha(),
+            window.picoseconds(),
+        )
+    }
+
+    /// Converts an effective-supply threshold back to a rail value:
+    /// identical for HIGH-SENSE, mirrored (`VDD_nom − V*`) for LOW-SENSE.
+    pub fn rail_from_effective(&self, v_eff: Voltage, pvt: &Pvt) -> Voltage {
+        match self.mode {
+            RailMode::Supply => v_eff,
+            RailMode::Ground => pvt.nominal_vdd - v_eff,
+        }
+    }
+
     /// Solves for the rail value at the pass/fail boundary
     /// (`ds_delay == skew − t_setup`): HIGH-SENSE fails *below* the
     /// returned voltage, LOW-SENSE fails *above* it. Bisection to 10 µV.
+    ///
+    /// The search runs through [`crate::lanes::solve_scalar`] — the
+    /// scalar twin of the 64-lane lockstep kernel — so batched and
+    /// standalone thresholds agree bit for bit.
     ///
     /// # Errors
     ///
     /// Returns [`SensorError::ThresholdOutOfRange`] when the boundary is
     /// not bracketed inside the physical search range.
     pub fn threshold(&self, skew: Time, pvt: &Pvt) -> Result<Voltage, SensorError> {
-        // Search over the effective supply, then convert back to a rail
-        // value (identical for HIGH-SENSE; mirrored for LOW-SENSE).
-        let window = skew - self.ff.setup();
-        let vth = pvt.effective_vth(self.inv.vth());
-        let lo = vth + Voltage::from_mv(10.0);
-        let hi = Voltage::from_v(3.0);
-        let fails = |v: Voltage| self.inv.propagation_delay(v, self.load, pvt) > window;
-        if !fails(lo) || fails(hi) {
-            return Err(SensorError::ThresholdOutOfRange {
-                lo: lo.volts(),
-                hi: hi.volts(),
-            });
-        }
-        let (mut lo, mut hi) = (lo, hi);
-        while (hi - lo) > Voltage::from_mv(0.01) {
-            let mid = lo.lerp(hi, 0.5);
-            if fails(mid) {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        let v_eff = lo.lerp(hi, 0.5);
-        Ok(match self.mode {
-            RailMode::Supply => v_eff,
-            RailMode::Ground => pvt.nominal_vdd - v_eff,
-        })
+        let (ac_ps, t_int_ps, vth_eff_v, alpha, window_ps) = self.lane_task(skew, pvt);
+        let v_eff = crate::lanes::solve_scalar(
+            ac_ps,
+            t_int_ps,
+            vth_eff_v,
+            alpha,
+            window_ps,
+            pvt.drive_factor(),
+        )
+        .ok_or(SensorError::ThresholdOutOfRange {
+            lo: crate::lanes::lo_bound_v(vth_eff_v),
+            hi: crate::lanes::hi_bound_v(),
+        })?;
+        Ok(self.rail_from_effective(Voltage::from_v(v_eff), pvt))
     }
 }
 

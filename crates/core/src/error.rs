@@ -36,6 +36,16 @@ pub enum SensorError {
     },
     /// An error bubbled up from a substrate crate.
     Netlist(psnt_netlist::NetlistError),
+    /// A Monte-Carlo trial failed; carries the trial index so a
+    /// 10⁴-instance sweep pinpoints the offending instance instead of
+    /// dropping it (the batch and scalar paths agree on which index —
+    /// the lowest — is reported).
+    Trial {
+        /// Zero-based index of the failing trial.
+        index: usize,
+        /// The underlying per-trial error.
+        source: Box<SensorError>,
+    },
 }
 
 impl fmt::Display for SensorError {
@@ -54,6 +64,9 @@ impl fmt::Display for SensorError {
                 write!(f, "supply waveform does not cover t = {at_ps} ps")
             }
             SensorError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SensorError::Trial { index, source } => {
+                write!(f, "trial {index}: {source}")
+            }
         }
     }
 }
@@ -62,6 +75,7 @@ impl Error for SensorError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SensorError::Netlist(e) => Some(e),
+            SensorError::Trial { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -97,6 +111,13 @@ mod tests {
         assert!(SensorError::WaveformGap { at_ps: 10.0 }
             .to_string()
             .contains("10"));
+        let trial = SensorError::Trial {
+            index: 137,
+            source: Box::new(SensorError::ThresholdOutOfRange { lo: 0.5, hi: 1.5 }),
+        };
+        assert!(trial.to_string().contains("trial 137"));
+        assert!(trial.to_string().contains("0.5"));
+        assert!(Error::source(&trial).is_some());
     }
 
     #[test]

@@ -42,6 +42,8 @@ use psnt_cells::logic::{Logic, LogicVector};
 use psnt_cells::process::Pvt;
 use psnt_cells::units::{Capacitance, Time, Voltage};
 use psnt_ctx::RunCtx;
+use psnt_fault::FaultPlan;
+use psnt_netlist::batch::{BatchSimulator, LANES};
 use psnt_netlist::graph::{DomainId, NetId, Netlist};
 use psnt_netlist::sim::{Simulator, TraceMode};
 
@@ -57,6 +59,11 @@ use crate::thermometer::CapacitorLadder;
 /// into [`psnt_netlist::NetlistError::BudgetExceeded`] instead of a
 /// hang.
 const FAULTED_EVENT_BUDGET: u64 = 5_000_000;
+
+/// One lane's outcome from [`GateLevelArray::measure_batch`]: the
+/// `(sense, prepare)` code pair that lane measured, or its per-lane
+/// error (e.g. `BudgetExceeded` for an oscillating fault plan).
+pub type LaneMeasure = Result<(ThermometerCode, ThermometerCode), SensorError>;
 
 /// Installs (or clears) a context's fault plan on a pooled simulator,
 /// pairing it with the [`FAULTED_EVENT_BUDGET`] guard. Fault-free
@@ -366,6 +373,123 @@ impl GateLevelArray {
         let bits: LogicVector = self.outs.iter().rev().map(|&q| sim.value(q)).collect();
         ThermometerCode::new(bits)
     }
+
+    /// Builds a fresh 64-lane batch simulator for this array — the
+    /// bit-parallel sibling of [`GateLevelArray::make_sim`], used by
+    /// [`GateLevelArray::measure_batch`] to sweep up to [`LANES`] fault
+    /// plans per run. The context's batch pool calls this once per
+    /// array and reuses the instance across chunks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn make_batch_sim(&self) -> Result<BatchSimulator<'_>, SensorError> {
+        BatchSimulator::with_pvt(&self.netlist, self.pvt.nominal_vdd, self.pvt)
+            .map_err(SensorError::from)
+    }
+
+    /// Runs one PREPARE/SENSE measure with a **different fault plan on
+    /// each of up to [`LANES`] lanes**, in a single pass over the event
+    /// queue. Lane `i` carries `plans[i]`; the per-lane result is
+    /// exactly what [`GateLevelArray::measure_detailed`] returns for
+    /// that plan alone — `(sense, prepare)` on success, or the same
+    /// error a serial faulted measure reports (budget exceeded on an
+    /// oscillating fault). The whole-call `Err` covers batch-level
+    /// failures only: no plans, more than [`LANES`] plans, or a plan
+    /// the batch kernel rejects up front (unknown targets,
+    /// [`psnt_fault::Fault::SupplyGlitch`]).
+    ///
+    /// The batch simulator comes from the context's
+    /// [`psnt_ctx::BatchSimPool`], so a fault-coverage campaign walking
+    /// hundreds of plans amortises one kernel construction across all
+    /// its 64-plan chunks.
+    ///
+    /// # Errors
+    ///
+    /// `plans` empty or longer than [`LANES`]; invalid fault plans;
+    /// simulator construction failures.
+    pub fn measure_batch<'env>(
+        &'env self,
+        ctx: &mut RunCtx<'env>,
+        rail: Voltage,
+        skew: Time,
+        plans: &[FaultPlan],
+    ) -> Result<Vec<LaneMeasure>, SensorError> {
+        if plans.is_empty() || plans.len() > LANES {
+            return Err(SensorError::InvalidConfig {
+                name: "measure_batch",
+                reason: format!("need 1..={LANES} fault plans, got {}", plans.len()),
+            });
+        }
+        let pool = ctx.batch_pool();
+        let sim = pool.get_or_insert_with(&self.netlist, || self.make_batch_sim())?;
+        sim.set_fault_plans(plans).map_err(SensorError::from)?;
+        sim.set_event_budget(Some(FAULTED_EVENT_BUDGET));
+        sim.set_event_budget_lanes(sim.fault_lanes());
+        let result = self.measure_batch_on(sim, rail, skew, plans.len());
+        // Leave the pooled kernel fault-free for the next caller, like
+        // `apply_ctx_faults` does for the scalar pool.
+        sim.clear_fault_plans();
+        sim.set_event_budget(None);
+        result
+    }
+
+    fn measure_batch_on(
+        &self,
+        sim: &mut BatchSimulator<'_>,
+        rail: Voltage,
+        skew: Time,
+        lanes: usize,
+    ) -> Result<Vec<LaneMeasure>, SensorError> {
+        let plan = GateLevelArray::plan(skew);
+        sim.reset();
+        sim.set_domain_supply(self.noisy, rail);
+
+        // Identical stimulus to `measure_detailed_on`, broadcast to all
+        // lanes; per-lane divergence comes only from the fault plans.
+        sim.drive(self.p, Logic::One, Time::ZERO)
+            .map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::Zero, Time::ZERO)
+            .map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::One, plan.prepare_edge)
+            .map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::Zero, plan.prepare_edge + Time::from_ns(1.0))
+            .map_err(SensorError::from)?;
+        sim.drive(self.p, Logic::Zero, plan.sense_launch)
+            .map_err(SensorError::from)?;
+        sim.drive(self.cp, Logic::One, plan.sense_edge)
+            .map_err(SensorError::from)?;
+
+        sim.run_until(plan.sense_launch - Time::from_ps(1.0));
+        let prepares: Vec<ThermometerCode> = (0..lanes).map(|l| self.pack_lane(sim, l)).collect();
+        sim.run_until(plan.read_at);
+        let dead = sim.dead_lanes();
+        let stats = sim.stats().clone();
+        Ok((0..lanes)
+            .map(|l| {
+                if dead >> l & 1 == 1 {
+                    Err(SensorError::from(
+                        psnt_netlist::NetlistError::BudgetExceeded {
+                            budget: FAULTED_EVENT_BUDGET,
+                            events: stats.events[l],
+                        },
+                    ))
+                } else {
+                    Ok((self.pack_lane(sim, l), prepares[l].clone()))
+                }
+            })
+            .collect())
+    }
+
+    fn pack_lane(&self, sim: &BatchSimulator<'_>, lane: usize) -> ThermometerCode {
+        let bits: LogicVector = self
+            .outs
+            .iter()
+            .rev()
+            .map(|&q| sim.value(q, lane))
+            .collect();
+        ThermometerCode::new(bits)
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +618,48 @@ mod tests {
         // must return to the healthy code (plan cleared, budget off).
         let recovered = a.measure(&mut RunCtx::serial(), v, skew011()).unwrap();
         assert_eq!(recovered, healthy);
+    }
+
+    #[test]
+    fn measure_batch_lanes_match_serial_faulted_measures() {
+        use psnt_fault::{Fault, FaultPlan};
+        let a = GateLevelArray::paper().unwrap();
+        let sk = skew011();
+        // A mixed campaign chunk: stuck FF outputs, stuck sense-inverter
+        // outputs, a slowed sense inverter, and a healthy (empty) plan.
+        let plans = vec![
+            FaultPlan::new().with(Fault::stuck_at("ff0.q", Logic::Zero)),
+            FaultPlan::new().with(Fault::stuck_at("ff6.q", Logic::One)),
+            FaultPlan::new().with(Fault::stuck_at("inv3.out", Logic::One)),
+            FaultPlan::new().with(Fault::delay_scale("inv2", 3.0)),
+            FaultPlan::new(),
+            FaultPlan::new()
+                .with(Fault::stuck_at("inv0.out", Logic::Zero))
+                .with(Fault::delay_scale("inv5", 1.5)),
+        ];
+        let mut ctx = RunCtx::serial();
+        for rail in [1.0, 0.96, 0.9] {
+            let v = Voltage::from_v(rail);
+            let batch = a.measure_batch(&mut ctx, v, sk, &plans).unwrap();
+            assert_eq!(batch.len(), plans.len());
+            for (l, plan) in plans.iter().enumerate() {
+                let mut serial_ctx = RunCtx::serial().with_fault_plan(plan.clone());
+                let serial = a.measure_detailed(&mut serial_ctx, v, sk).unwrap();
+                let lane = batch[l].as_ref().unwrap();
+                assert_eq!(lane, &serial, "lane {l} at rail {rail}");
+            }
+        }
+    }
+
+    #[test]
+    fn measure_batch_rejects_empty_and_oversized_chunks() {
+        use psnt_fault::FaultPlan;
+        let a = GateLevelArray::paper().unwrap();
+        let mut ctx = RunCtx::serial();
+        let v = Voltage::from_v(1.0);
+        assert!(a.measure_batch(&mut ctx, v, skew011(), &[]).is_err());
+        let too_many = vec![FaultPlan::new(); LANES + 1];
+        assert!(a.measure_batch(&mut ctx, v, skew011(), &too_many).is_err());
     }
 
     #[test]

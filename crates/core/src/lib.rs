@@ -28,6 +28,8 @@
 //!   process-variation delay-code trim;
 //! * [`mismatch`] — local-mismatch Monte-Carlo (thermometer-property
 //!   yield under within-die variation);
+//! * [`lanes`] — the 64-wide lockstep threshold kernel behind the
+//!   batched Monte-Carlo (DESIGN.md §14);
 //! * [`baseline`] — the comparison systems from the paper's related work
 //!   (ring-oscillator sensor, Razor, error-probability monitor).
 //!
@@ -64,6 +66,7 @@ pub mod element;
 pub mod encoder;
 pub mod error;
 pub mod gate_level;
+pub mod lanes;
 pub mod mismatch;
 pub mod policy;
 pub mod pulsegen;
@@ -82,7 +85,7 @@ pub use element::{ElementReading, RailMode, SenseElement};
 pub use encoder::{Encoder, EncodingPolicy, OuteWord};
 pub use error::SensorError;
 pub use gate_level::{GateLevelArray, GateLevelMeasure, GateLevelPulseGen, GateLevelSystem};
-pub use mismatch::{monte_carlo_yield, MismatchModel, YieldReport};
+pub use mismatch::{monte_carlo_yield, monte_carlo_yield_scalar, MismatchModel, YieldReport};
 pub use policy::{AutoRanger, DvfsGovernor, GovernorAction, NoiseAlarm};
 pub use pulsegen::{DelayCode, PulseGenerator, PulseTiming};
 pub use system::{Measurement, SensorConfig, SensorSystem};

@@ -452,7 +452,11 @@ impl ThermometerArray {
     ///
     /// The last `(skew, pvt)` result is memoised, so repeated decodes at
     /// one operating point — the common case for a system run or scan
-    /// campaign — skip the per-element bisection searches entirely.
+    /// campaign — skip the per-element searches entirely. Misses solve
+    /// every element at once through the 64-lane lockstep kernel
+    /// ([`crate::lanes::solve`], one lane per element) — bit-identical
+    /// to the per-element [`SenseElement::threshold`] calls, which share
+    /// the same float program.
     ///
     /// # Errors
     ///
@@ -461,21 +465,60 @@ impl ThermometerArray {
         if let Some(hit) = self.memo.get(skew, pvt) {
             return Ok(hit);
         }
-        let th: Vec<Voltage> = self
-            .elements
-            .iter()
-            .map(|e| e.threshold(skew, pvt))
-            .collect::<Result<_, _>>()?;
+        let th = self.solve_thresholds(skew, pvt)?;
         self.memo.put(skew, pvt, &th);
         Ok(th)
     }
 
+    /// The memo-miss path: all elements through the lanes kernel, 64 per
+    /// solve call, lowest failing element reported exactly like the
+    /// serial per-element sweep.
+    fn solve_thresholds(&self, skew: Time, pvt: &Pvt) -> Result<Vec<Voltage>, SensorError> {
+        use crate::lanes::{self, LaneTasks, LANES};
+        let df = pvt.drive_factor();
+        let mut th = Vec::with_capacity(self.elements.len());
+        for chunk in self.elements.chunks(LANES) {
+            let mut tasks = LaneTasks {
+                n: chunk.len(),
+                ..LaneTasks::default()
+            };
+            for (l, e) in chunk.iter().enumerate() {
+                let (ac_ps, t_int_ps, vth_eff_v, alpha, window_ps) = e.lane_task(skew, pvt);
+                tasks.ac_ps[l] = ac_ps;
+                tasks.t_int_ps[l] = t_int_ps;
+                tasks.vth_eff_v[l] = vth_eff_v;
+                tasks.alpha[l] = alpha;
+                tasks.window_ps[l] = window_ps;
+            }
+            let mut out = [0.0f64; LANES];
+            let mask = if chunk.len() == LANES {
+                u64::MAX
+            } else {
+                (1u64 << chunk.len()) - 1
+            };
+            let bad = lanes::solve(&tasks, df, &mut out) & mask;
+            if bad != 0 {
+                let l = bad.trailing_zeros() as usize;
+                return Err(SensorError::ThresholdOutOfRange {
+                    lo: lanes::lo_bound_v(tasks.vth_eff_v[l]),
+                    hi: lanes::hi_bound_v(),
+                });
+            }
+            th.extend(
+                chunk
+                    .iter()
+                    .zip(&out)
+                    .map(|(e, &v)| e.rail_from_effective(Voltage::from_v(v), pvt)),
+            );
+        }
+        Ok(th)
+    }
+
     /// [`ThermometerArray::thresholds`] threaded through a [`RunCtx`]:
-    /// memo misses run the per-element bisection searches on the
-    /// context's engine (bit-identical to the serial sweep), and the
-    /// call's memo hit/miss deltas are folded into the observer's
-    /// metrics as the `thermometer.memo_hits` /
-    /// `thermometer.memo_misses` counters.
+    /// memo misses run all elements through one 64-lane lockstep solve
+    /// (bit-identical to the serial per-element sweep), and the call's
+    /// memo hit/miss deltas are folded into the observer's metrics as
+    /// the `thermometer.memo_hits` / `thermometer.memo_misses` counters.
     ///
     /// # Errors
     ///
@@ -490,9 +533,7 @@ impl ThermometerArray {
         let th = match self.memo.get(skew, pvt) {
             Some(hit) => hit,
             None => {
-                let th: Vec<Voltage> = ctx.engine().try_map(self.elements.len(), |i| {
-                    self.elements[i].threshold(skew, pvt)
-                })?;
+                let th = self.solve_thresholds(skew, pvt)?;
                 self.memo.put(skew, pvt, &th);
                 th
             }
@@ -798,6 +839,18 @@ mod tests {
             }
         }
         assert!(saw_both.0 && saw_both.1, "boundary element never flipped");
+    }
+
+    #[test]
+    fn lane_solved_thresholds_match_per_element_search() {
+        // The memo-miss path packs all elements into one 64-lane solve;
+        // it must replay the standalone per-element search bit for bit.
+        let a = array();
+        let th = a.thresholds(skew011(), &pvt()).unwrap();
+        for (e, t) in a.elements().iter().zip(&th) {
+            let alone = e.threshold(skew011(), &pvt()).unwrap();
+            assert_eq!(t.volts().to_bits(), alone.volts().to_bits());
+        }
     }
 
     #[test]

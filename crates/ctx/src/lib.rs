@@ -44,7 +44,7 @@
 
 use psnt_engine::{split_seed, Engine};
 use psnt_fault::FaultPlan;
-use psnt_netlist::{Netlist, Simulator};
+use psnt_netlist::{BatchSimulator, Netlist, Simulator};
 use psnt_obs::Observer;
 
 /// A pool of reusable [`Simulator`]s keyed by netlist identity.
@@ -106,6 +106,54 @@ impl<'env> SimPool<'env> {
     }
 }
 
+/// A pool of reusable [`BatchSimulator`]s keyed by netlist identity —
+/// the 64-lane sibling of [`SimPool`], with the same address-keying
+/// soundness argument. Batched fault-campaign sweeps reuse one batch
+/// kernel (topology, planes, banded delay cache) across chunks of 64
+/// plans instead of rebuilding it per chunk.
+#[derive(Debug, Default)]
+pub struct BatchSimPool<'env> {
+    sims: Vec<(usize, BatchSimulator<'env>)>,
+}
+
+impl<'env> BatchSimPool<'env> {
+    /// Creates an empty pool.
+    pub fn new() -> BatchSimPool<'env> {
+        BatchSimPool::default()
+    }
+
+    /// Number of distinct netlists with a pooled batch simulator.
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// True when no batch simulator has been pooled yet.
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+
+    /// Returns the pooled batch simulator for `netlist`, building it
+    /// with `build` on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error when the first construction
+    /// fails; nothing is pooled in that case.
+    pub fn get_or_insert_with<E>(
+        &mut self,
+        netlist: &'env Netlist,
+        build: impl FnOnce() -> Result<BatchSimulator<'env>, E>,
+    ) -> Result<&mut BatchSimulator<'env>, E> {
+        let key = netlist as *const Netlist as usize;
+        if let Some(ix) = self.sims.iter().position(|(k, _)| *k == key) {
+            return Ok(&mut self.sims[ix].1);
+        }
+        let sim = build()?;
+        self.sims.push((key, sim));
+        Ok(&mut self.sims.last_mut().expect("just pushed").1)
+    }
+}
+
 /// The execution context threaded through every layer of the
 /// workspace: engine + observer + simulator pool + seed policy.
 ///
@@ -119,6 +167,7 @@ pub struct RunCtx<'env> {
     observer: Option<&'env mut Observer>,
     seed: u64,
     pool: SimPool<'env>,
+    batch_pool: BatchSimPool<'env>,
     fault_plan: Option<FaultPlan>,
 }
 
@@ -142,6 +191,7 @@ impl<'env> RunCtx<'env> {
             observer: None,
             seed: 0,
             pool: SimPool::new(),
+            batch_pool: BatchSimPool::new(),
             fault_plan: None,
         }
     }
@@ -234,6 +284,13 @@ impl<'env> RunCtx<'env> {
     /// The reusable-simulator pool.
     pub fn pool(&mut self) -> &mut SimPool<'env> {
         &mut self.pool
+    }
+
+    /// The reusable **batch**-simulator pool — 64-lane kernels for
+    /// fault-campaign sweeps, pooled with the same netlist-address
+    /// keying as [`RunCtx::pool`].
+    pub fn batch_pool(&mut self) -> &mut BatchSimPool<'env> {
+        &mut self.batch_pool
     }
 
     /// Splits the context into its engine, observer and pool parts so

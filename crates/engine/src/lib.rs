@@ -66,7 +66,7 @@ pub mod pool;
 pub mod seed;
 
 pub use batch::{BatchResult, JobCtx, JobError, JobOutcome, JobSpec, RetryPolicy};
-pub use seed::split_seed;
+pub use seed::{lane_seed, split_seed};
 
 // Re-exported so seeded job closures can use `Rng` without adding the
 // vendored `rand` to their own dependency list.

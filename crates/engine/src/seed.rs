@@ -25,9 +25,32 @@ pub fn split_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the child seed for lane `lane` of batch `batch` in a
+/// `width`-lane batched job layout: `split_seed(base, batch·width + lane)`.
+///
+/// This is the seam that keeps bit-parallel batching (DESIGN.md §14)
+/// transparent to RNG streams: a batched run that packs `width` former
+/// jobs into one job gives lane `lane` of batch `batch` *exactly* the
+/// stream the unbatched job `batch·width + lane` would have drawn.
+pub fn lane_seed(base: u64, batch: u64, width: u64, lane: u64) -> u64 {
+    split_seed(base, batch * width + lane)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lane_seed_matches_unbatched_job_seed() {
+        for batch in 0..8u64 {
+            for lane in 0..64u64 {
+                assert_eq!(
+                    lane_seed(99, batch, 64, lane),
+                    split_seed(99, batch * 64 + lane)
+                );
+            }
+        }
+    }
 
     #[test]
     fn split_is_deterministic() {

@@ -128,6 +128,14 @@ impl Fault {
             dv,
         }
     }
+
+    /// True when the 64-lane batch kernel can carry this fault on a
+    /// single lane. Everything is batch-supported except
+    /// [`Fault::SupplyGlitch`]: the rail excursion retimes the *shared*
+    /// delay cache, so it cannot be confined to one lane of a word.
+    pub fn batch_supported(&self) -> bool {
+        !matches!(self, Fault::SupplyGlitch { .. })
+    }
 }
 
 /// A deterministic list of faults to inject into one run.
@@ -218,6 +226,15 @@ impl FaultPlan {
         })?;
         plan.validate()?;
         Ok(plan)
+    }
+
+    /// True when every fault in the plan is
+    /// [`Fault::batch_supported`] — the precondition for assigning the
+    /// plan to a lane of the 64-wide batch simulator. Campaign code
+    /// uses this to route supply-glitch plans to the scalar path while
+    /// everything else sweeps 64-per-word.
+    pub fn batch_supported(&self) -> bool {
+        self.faults.iter().all(Fault::batch_supported)
     }
 
     /// The sites named by [`Fault::SitePanic`] entries, for the campaign
@@ -334,6 +351,27 @@ mod tests {
         ));
         let err = bad_window.validate().unwrap_err();
         assert!(err.to_string().contains("window"));
+    }
+
+    #[test]
+    fn batch_supported_excludes_only_supply_glitches() {
+        let ok = FaultPlan::new()
+            .with(Fault::stuck_at("n", Logic::One))
+            .with(Fault::delay_scale("g", 2.0))
+            .with(Fault::bit_upset("ff0", Time::from_ns(1.0)))
+            .with(Fault::Transient {
+                probability: 0.1,
+                seed: 1,
+            })
+            .with(Fault::SitePanic { site: 0 });
+        assert!(ok.batch_supported());
+        let glitchy = ok.with(Fault::supply_glitch(
+            "vdd",
+            (Time::ZERO, Time::from_ns(1.0)),
+            Voltage::from_v(-0.1),
+        ));
+        assert!(!glitchy.batch_supported());
+        assert!(FaultPlan::new().batch_supported());
     }
 
     #[test]

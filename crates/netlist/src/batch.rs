@@ -1,0 +1,1561 @@
+//! 64-lane bit-parallel event simulation: one machine word carries one
+//! net's value across 64 independent mismatch/fault instances.
+//!
+//! The [`BatchSimulator`] replays the exact semantics of the scalar
+//! [`Simulator`](crate::sim::Simulator) — inertial delays, four-valued
+//! logic, voltage-aware timing, flip-flop setup/hold sampling, fault
+//! hooks, per-event energy accounting — for 64 *lanes* at once. Lane
+//! `l` behaves bit-for-bit like a scalar simulator carrying fault plan
+//! `l`, so a 64-plan fault campaign or a 64-instance Monte-Carlo sweep
+//! costs roughly one simulation instead of 64.
+//!
+//! # Bit-plane encoding
+//!
+//! Each net holds two `u64` planes: `def` (bit set ⇒ the lane's value
+//! is defined) and `val` (bit set ⇒ the lane's value is One), with the
+//! invariant `val ⊆ def`. `(def,val) = (1,1)` is One, `(1,0)` is Zero
+//! and `(0,0)` is X. [`Logic::Z`] has no encoding: every logic operator
+//! treats Z exactly like X, so Z collapses to X on the way in. The only
+//! observable difference is that a net can never *hold* Z — netlists
+//! with Z constants or Z stimulus are outside the equivalence contract.
+//!
+//! Gate evaluation is pure word arithmetic, e.g. for AND:
+//! `one = valₐ & val_b`, `zero = (defₐ & !valₐ) | (def_b & !val_b)`,
+//! `out = (one, one | zero)` — 64 four-valued evaluations in a handful
+//! of bitwise ops.
+//!
+//! # Event coalescing and cancellation
+//!
+//! One [`BatchEvent`] carries a lane *mask*: all lanes scheduled for the
+//! same net at the same time with the same delay fire together. The
+//! scalar kernel cancels superseded inertial events with per-net version
+//! counters; here a per-`(net, lane)` generation stamp (`gen`) plays the
+//! same role — scheduling overwrites the lane's stamp with the event's
+//! sequence number, and an arriving event only applies on lanes whose
+//! stamp still matches. This is equivalent because the scalar kernel
+//! maintains at most one live pending event per non-input net: the
+//! overwrite always hits the event it means to supersede. Primary
+//! inputs keep transport semantics (every queued stimulus edge applies),
+//! so input events skip the stamp check, exactly like the scalar kernel
+//! never bumps an input's version.
+//!
+//! # Delay banding
+//!
+//! `DelayScale` faults give lanes different gate delays, which would
+//! split every event 64 ways. Instead each gate's per-lane delay
+//! factors are grouped into at most [`MAX_DELAY_BANDS`] *bands* and one
+//! event is scheduled per (band, output edge). With ≤ 8 distinct
+//! factors on a gate the banding is exact and the kernel stays
+//! bit-identical to 64 scalar runs. With more, factors are snapped to a
+//! geometric grid between the extremes `f_min ≤ f ≤ f_max`: the grid
+//! ratio is `r = (f_max/f_min)^(1/(B−1))` with `B = 8`, so a snapped
+//! factor is within `√r` of the true one (relative error ≤ r^(1/2) − 1,
+//! e.g. ≤ 5.1 % for a 2× factor spread).
+//!
+//! # Per-lane fault support
+//!
+//! `StuckAt`, `DelayScale`, `BitUpset` and `Transient` faults install
+//! per lane; `SitePanic` is a campaign-level fault the event kernel
+//! ignores (as in the scalar kernel). `SupplyGlitch` is rejected with
+//! [`NetlistError::InvalidFault`]: it retimes every gate in a domain
+//! mid-run, which would need a delay cache per lane — glitch plans stay
+//! on the scalar kernel.
+//!
+//! # Divergences from the scalar kernel (documented, not accidental)
+//!
+//! * No trace, observer or profiling hooks — batched measurement
+//!   kernels read net values directly.
+//! * One global clock: `now` advances when *any* lane applies an event.
+//!   The only scalar construct that reads `now` is the `max(at, now)`
+//!   re-timing of a `BitUpset` scheduled in the past; upsets at or
+//!   after the stimulus they disturb (the only sensible kind) are
+//!   unaffected.
+//! * The event budget freezes individual lanes (they go *dead*, see
+//!   [`BatchSimulator::dead_lanes`]) instead of returning an error,
+//!   because per-lane failure is a mask, not a `Result`. A dead lane's
+//!   frozen state matches the scalar simulator at the moment
+//!   `try_run_until` would have returned `BudgetExceeded` — both apply
+//!   the budget-crossing event in full (including the fanout it
+//!   schedules) before stopping.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use psnt_cells::gates::GateFunction;
+use psnt_cells::logic::Logic;
+use psnt_cells::process::Pvt;
+use psnt_cells::units::{Time, Voltage};
+use psnt_fault::{Fault, FaultPlan, SplitMix64};
+
+use crate::error::NetlistError;
+use crate::graph::{DffId, DomainId, GateId, NetId, Netlist, SimTopology};
+use crate::sim::{MetastabilityMode, SimStats, MAX_GATE_INPUTS};
+
+/// Lanes per batch: one per bit of the plane word.
+pub const LANES: usize = 64;
+
+/// Maximum delay bands per gate (see the module docs for the
+/// quantization bound when a gate has more distinct delay factors).
+pub const MAX_DELAY_BANDS: usize = 8;
+
+const ALL_LANES: u64 = u64::MAX;
+
+/// Broadcast a scalar [`Logic`] value to 64 identical lanes as
+/// `(val, def)` planes. Z collapses to X.
+#[inline]
+fn logic_planes(v: Logic) -> (u64, u64) {
+    match v {
+        Logic::Zero => (0, ALL_LANES),
+        Logic::One => (ALL_LANES, ALL_LANES),
+        Logic::X | Logic::Z => (0, 0),
+    }
+}
+
+/// Read one lane of a `(val, def)` plane pair back as a [`Logic`].
+#[inline]
+fn lane_logic(val: u64, def: u64, lane: usize) -> Logic {
+    let bit = 1u64 << lane;
+    if def & bit == 0 {
+        Logic::X
+    } else if val & bit != 0 {
+        Logic::One
+    } else {
+        Logic::Zero
+    }
+}
+
+// Plane-parallel four-valued operators. Each mirrors the corresponding
+// `Logic` method lane-wise; all preserve the `val ⊆ def` invariant.
+
+#[inline]
+fn p_not(a: (u64, u64)) -> (u64, u64) {
+    (a.1 & !a.0, a.1)
+}
+
+#[inline]
+fn p_and(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+    let one = a.0 & b.0;
+    let zero = (a.1 & !a.0) | (b.1 & !b.0);
+    (one, one | zero)
+}
+
+#[inline]
+fn p_or(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+    let one = a.0 | b.0;
+    let zero = (a.1 & !a.0) & (b.1 & !b.0);
+    (one, one | zero)
+}
+
+#[inline]
+fn p_xor(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+    let def = a.1 & b.1;
+    ((a.0 ^ b.0) & def, def)
+}
+
+#[inline]
+fn p_mux(sel: (u64, u64), a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
+    let sel0 = sel.1 & !sel.0;
+    let sel1 = sel.0; // val ⊆ def, so this is "defined and One"
+    let unk = !sel.1;
+    let agree = a.1 & b.1 & !(a.0 ^ b.0);
+    let def = (sel0 & a.1) | (sel1 & b.1) | (unk & agree);
+    let val = (sel0 & a.0) | (sel1 & b.0) | (unk & agree & a.0);
+    (val, def)
+}
+
+/// 64 four-valued gate evaluations in parallel. Matches
+/// [`GateFunction::eval`] on every lane (with Z collapsed to X).
+fn eval_planes(function: GateFunction, ins: &[(u64, u64)]) -> (u64, u64) {
+    match function {
+        GateFunction::Inv => p_not(ins[0]),
+        // `Buf` is `not(not(x))`, which on planes (no Z) is the identity.
+        GateFunction::Buf => ins[0],
+        GateFunction::Nand2 => p_not(p_and(ins[0], ins[1])),
+        GateFunction::Nor2 => p_not(p_or(ins[0], ins[1])),
+        GateFunction::And2 => p_and(ins[0], ins[1]),
+        GateFunction::Or2 => p_or(ins[0], ins[1]),
+        GateFunction::Xor2 => p_xor(ins[0], ins[1]),
+        GateFunction::Xnor2 => p_not(p_xor(ins[0], ins[1])),
+        GateFunction::Nand3 => p_not(p_and(p_and(ins[0], ins[1]), ins[2])),
+        GateFunction::Nor3 => p_not(p_or(p_or(ins[0], ins[1]), ins[2])),
+        GateFunction::And3 => p_and(p_and(ins[0], ins[1]), ins[2]),
+        GateFunction::Or3 => p_or(p_or(ins[0], ins[1]), ins[2]),
+        GateFunction::Mux2 => p_mux(ins[2], ins[0], ins[1]),
+        GateFunction::Aoi21 => p_not(p_or(p_and(ins[0], ins[1]), ins[2])),
+        GateFunction::Oai21 => p_not(p_and(p_or(ins[0], ins[1]), ins[2])),
+        // `GateFunction` is non_exhaustive: fall back to 64 scalar
+        // evaluations so a future cell stays correct (if slow) here.
+        other => {
+            let arity = other.num_inputs();
+            let mut val = 0u64;
+            let mut def = 0u64;
+            for lane in 0..LANES {
+                let mut buf = [Logic::X; MAX_GATE_INPUTS];
+                for (k, p) in ins.iter().take(arity).enumerate() {
+                    buf[k] = lane_logic(p.0, p.1, lane);
+                }
+                match other.eval(&buf[..arity]) {
+                    Logic::One => {
+                        val |= 1 << lane;
+                        def |= 1 << lane;
+                    }
+                    Logic::Zero => def |= 1 << lane,
+                    _ => {}
+                }
+            }
+            (val, def)
+        }
+    }
+}
+
+/// A scheduled transition for a set of lanes of one net. `val`/`def`
+/// are full planes; only bits inside `lanes` are meaningful.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BatchEvent {
+    time: Time,
+    seq: u64,
+    net: NetId,
+    lanes: u64,
+    val: u64,
+    def: u64,
+}
+
+impl Eq for BatchEvent {}
+
+impl Ord for BatchEvent {
+    fn cmp(&self, other: &BatchEvent) -> Ordering {
+        // Min-heap via BinaryHeap<Reverse<_>>: order by (time, seq),
+        // like the scalar kernel. Per lane this preserves the scalar
+        // event order: a lane's causal chain only passes through events
+        // containing that lane, and those get strictly increasing seq.
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for BatchEvent {
+    fn partial_cmp(&self, other: &BatchEvent) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-lane run statistics: index `l` is what the scalar simulator's
+/// [`SimStats`] would read for lane `l`'s fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Events applied (net value changes) per lane.
+    pub events: [u64; LANES],
+    /// Events cancelled by inertial filtering per lane.
+    pub cancelled: [u64; LANES],
+    /// Flip-flop captures performed per lane.
+    pub ff_captures: [u64; LANES],
+    /// Captures that violated the setup/hold window per lane.
+    pub ff_violations: [u64; LANES],
+}
+
+impl Default for BatchStats {
+    fn default() -> BatchStats {
+        BatchStats {
+            events: [0; LANES],
+            cancelled: [0; LANES],
+            ff_captures: [0; LANES],
+            ff_violations: [0; LANES],
+        }
+    }
+}
+
+impl BatchStats {
+    /// One lane's statistics in the scalar [`SimStats`] shape.
+    pub fn lane(&self, lane: usize) -> SimStats {
+        SimStats {
+            events: self.events[lane],
+            cancelled: self.cancelled[lane],
+            ff_captures: self.ff_captures[lane],
+            ff_violations: self.ff_violations[lane],
+        }
+    }
+}
+
+/// Cached per-band propagation delays (the scalar kernel's `GateDelays`
+/// scaled by the band's fault factor).
+#[derive(Debug, Clone, Copy)]
+struct BandDelays {
+    rise: Time,
+    fall: Time,
+    worst: Time,
+}
+
+impl BandDelays {
+    fn scaled(self, factor: f64) -> BandDelays {
+        if factor == 1.0 {
+            return self;
+        }
+        BandDelays {
+            rise: self.rise * factor,
+            fall: self.fall * factor,
+            worst: self.worst * factor,
+        }
+    }
+}
+
+/// Groups one gate's 64 per-lane delay factors into ≤ [`MAX_DELAY_BANDS`]
+/// bands. Exact when the distinct factors fit; otherwise snapped to a
+/// geometric grid between the extremes (bound in the module docs).
+fn plan_bands(factors: &[f64]) -> (usize, [f64; MAX_DELAY_BANDS], [u64; MAX_DELAY_BANDS]) {
+    debug_assert_eq!(factors.len(), LANES);
+    let mut keys = [0u64; LANES];
+    let mut masks = [0u64; LANES];
+    let mut distinct = 0usize;
+    for (lane, f) in factors.iter().enumerate() {
+        let bits = f.to_bits();
+        let mut found = false;
+        for k in 0..distinct {
+            if keys[k] == bits {
+                masks[k] |= 1 << lane;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            keys[distinct] = bits;
+            masks[distinct] = 1 << lane;
+            distinct += 1;
+        }
+    }
+    let mut out_f = [1.0f64; MAX_DELAY_BANDS];
+    let mut out_m = [0u64; MAX_DELAY_BANDS];
+    if distinct <= MAX_DELAY_BANDS {
+        for k in 0..distinct {
+            out_f[k] = f64::from_bits(keys[k]);
+            out_m[k] = masks[k];
+        }
+        return (distinct, out_f, out_m);
+    }
+    // Quantize: geometric grid from f_min to f_max in log space.
+    let mut fmin = f64::INFINITY;
+    let mut fmax = 0.0f64;
+    for key in &keys[..distinct] {
+        let f = f64::from_bits(*key);
+        fmin = fmin.min(f);
+        fmax = fmax.max(f);
+    }
+    let step = (fmax / fmin).ln() / (MAX_DELAY_BANDS - 1) as f64;
+    for (k, slot) in out_f.iter_mut().enumerate() {
+        *slot = fmin * (step * k as f64).exp();
+    }
+    for k in 0..distinct {
+        let f = f64::from_bits(keys[k]);
+        let idx = ((f / fmin).ln() / step).round();
+        let idx = (idx.max(0.0) as usize).min(MAX_DELAY_BANDS - 1);
+        out_m[idx] |= masks[k];
+    }
+    (MAX_DELAY_BANDS, out_f, out_m)
+}
+
+/// Up to 64 `FaultPlan`s resolved against one netlist, one per lane.
+#[derive(Debug)]
+struct BatchFaultState {
+    /// Per-net lanes pinned by a stuck-at fault, plus the pinned planes.
+    stuck_mask: Vec<u64>,
+    stuck_val: Vec<u64>,
+    stuck_def: Vec<u64>,
+    /// Per-(gate, lane) delay multiplier, `gate*LANES + lane` layout.
+    delay_factor: Vec<f64>,
+    /// Whether any lane carries a `DelayScale` (skips banding when not).
+    any_delay: bool,
+    /// Single-event upsets as `(time, dff index, lane)`, sorted by time
+    /// (stable, so each lane keeps its plan order).
+    upsets: Vec<(Time, usize, usize)>,
+    next_upset: usize,
+    /// Lanes with a `Transient` fault, with per-lane probability/stream.
+    transient_mask: u64,
+    transient_p: [f64; LANES],
+    transient_seeds: [u64; LANES],
+    rngs: [SplitMix64; LANES],
+    /// Lanes whose plan is non-empty (the natural event-budget scope).
+    plan_mask: u64,
+}
+
+impl BatchFaultState {
+    fn rearm(&mut self) {
+        self.next_upset = 0;
+        for lane in 0..LANES {
+            if self.transient_mask & (1 << lane) != 0 {
+                self.rngs[lane] = SplitMix64::new(self.transient_seeds[lane]);
+            }
+        }
+    }
+}
+
+/// A 64-lane bit-parallel event simulator over a borrowed [`Netlist`].
+///
+/// See the module docs for the encoding and the equivalence contract.
+/// All lanes share one topology, one delay cache and one stimulus
+/// schedule; they diverge only through their fault plans (and, at the
+/// measurement layer, through per-lane reads of the shared waveform).
+#[derive(Debug)]
+pub struct BatchSimulator<'a> {
+    netlist: &'a Netlist,
+    topo: SimTopology,
+    /// Current value planes, `val ⊆ def` (index = net).
+    val: Vec<u64>,
+    def: Vec<u64>,
+    /// Previous value planes, updated lane-wise on each change.
+    prev_val: Vec<u64>,
+    prev_def: Vec<u64>,
+    /// Pending (scheduled, unapplied) planes and the lanes they cover.
+    pend_val: Vec<u64>,
+    pend_def: Vec<u64>,
+    pend_mask: Vec<u64>,
+    /// Per-(net, lane) generation stamp of the live scheduled event —
+    /// the batch analogue of the scalar kernel's version counters.
+    gen: Vec<u64>,
+    /// Per-(net, lane) time of the last value change.
+    last_change: Vec<Time>,
+    is_input: Vec<bool>,
+    queue: BinaryHeap<std::cmp::Reverse<BatchEvent>>,
+    now: Time,
+    seq: u64,
+    domain_supply: Vec<Voltage>,
+    pvt: Pvt,
+    /// Banded delay cache, flattened CSR: gate `g`'s bands live at
+    /// `band_off[g]..band_off[g+1]` in the three parallel arrays.
+    band_off: Vec<u32>,
+    band_delays: Vec<BandDelays>,
+    band_factors: Vec<f64>,
+    band_masks: Vec<u64>,
+    meta_mode: MetastabilityMode,
+    stats: BatchStats,
+    /// Per-lane switching energy in joules (½·C·V² per transition).
+    energy_j: [f64; LANES],
+    faults: Option<Box<BatchFaultState>>,
+    /// Applied-event ceiling per lane; exceeding lanes go dead.
+    event_budget: Option<u64>,
+    /// Lanes the budget applies to (default all; measurement kernels
+    /// narrow this to the faulted lanes, mirroring the scalar flow
+    /// that only installs a budget alongside a fault plan).
+    budget_lanes: u64,
+    /// Lanes frozen by an exhausted budget; excluded from every
+    /// subsequent event.
+    dead: u64,
+}
+
+impl<'a> BatchSimulator<'a> {
+    /// Creates a batch simulator at the typical PVT point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural validation failures from
+    /// [`Netlist::validate`].
+    pub fn new(netlist: &'a Netlist, supply: Voltage) -> Result<BatchSimulator<'a>, NetlistError> {
+        BatchSimulator::with_pvt(netlist, supply, Pvt::typical())
+    }
+
+    /// Creates a batch simulator at an explicit PVT point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural validation failures from
+    /// [`Netlist::validate`].
+    pub fn with_pvt(
+        netlist: &'a Netlist,
+        supply: Voltage,
+        pvt: Pvt,
+    ) -> Result<BatchSimulator<'a>, NetlistError> {
+        let topo = netlist.sim_topology()?;
+        let n = netlist.net_count();
+        debug_assert!(
+            netlist
+                .gates()
+                .iter()
+                .all(|g| g.inputs().len() <= MAX_GATE_INPUTS),
+            "gate fan-in exceeds the inline input buffer"
+        );
+        let mut is_input = vec![false; n];
+        for &i in netlist.inputs() {
+            is_input[i.index()] = true;
+        }
+        let mut sim = BatchSimulator {
+            netlist,
+            topo,
+            val: vec![0; n],
+            def: vec![0; n],
+            prev_val: vec![0; n],
+            prev_def: vec![0; n],
+            pend_val: vec![0; n],
+            pend_def: vec![0; n],
+            pend_mask: vec![0; n],
+            gen: vec![0; n * LANES],
+            last_change: vec![Time::from_seconds(-1.0); n * LANES],
+            is_input,
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            domain_supply: vec![supply; netlist.domains().len()],
+            pvt,
+            band_off: Vec::new(),
+            band_delays: Vec::new(),
+            band_factors: Vec::new(),
+            band_masks: Vec::new(),
+            meta_mode: MetastabilityMode::Deterministic,
+            stats: BatchStats::default(),
+            energy_j: [0.0; LANES],
+            faults: None,
+            event_budget: None,
+            budget_lanes: ALL_LANES,
+            dead: 0,
+        };
+        sim.rebuild_delay_cache();
+        sim.initialize();
+        Ok(sim)
+    }
+
+    /// Rewinds to the just-constructed state keeping every allocation,
+    /// like the scalar [`reset`](crate::sim::Simulator::reset): supplies,
+    /// PVT, metastability mode, budget and the installed fault plans are
+    /// retained; values, pending events, statistics, energy, dead lanes
+    /// and the fault schedules/streams restart.
+    pub fn reset(&mut self) {
+        self.val.fill(0);
+        self.def.fill(0);
+        self.prev_val.fill(0);
+        self.prev_def.fill(0);
+        self.pend_val.fill(0);
+        self.pend_def.fill(0);
+        self.pend_mask.fill(0);
+        self.gen.fill(0);
+        self.last_change.fill(Time::from_seconds(-1.0));
+        self.queue.clear();
+        self.now = Time::ZERO;
+        self.seq = 0;
+        self.stats = BatchStats::default();
+        self.energy_j = [0.0; LANES];
+        self.dead = 0;
+        if let Some(f) = self.faults.as_mut() {
+            f.rearm();
+        }
+        self.initialize();
+    }
+
+    /// Recomputes the banded delay cache of every gate at the current
+    /// supplies/PVT and fault factors.
+    fn rebuild_delay_cache(&mut self) {
+        let gates = self.netlist.gates();
+        self.band_off.clear();
+        self.band_delays.clear();
+        self.band_factors.clear();
+        self.band_masks.clear();
+        for (gi, g) in gates.iter().enumerate() {
+            self.band_off.push(self.band_delays.len() as u32);
+            let base = self.base_delays(g.domain(), g);
+            let mut lane_factors = [1.0f64; LANES];
+            let banded = match self.faults.as_deref() {
+                Some(f) if f.any_delay => {
+                    lane_factors.copy_from_slice(&f.delay_factor[gi * LANES..(gi + 1) * LANES]);
+                    true
+                }
+                _ => false,
+            };
+            if !banded {
+                self.band_factors.push(1.0);
+                self.band_masks.push(ALL_LANES);
+                self.band_delays.push(base);
+                continue;
+            }
+            let (nb, factors, masks) = plan_bands(&lane_factors);
+            for k in 0..nb {
+                self.band_factors.push(factors[k]);
+                self.band_masks.push(masks[k]);
+                self.band_delays.push(base.scaled(factors[k]));
+            }
+        }
+        self.band_off.push(self.band_delays.len() as u32);
+    }
+
+    /// One gate's healthy (rise, fall, worst) delays at the current
+    /// supply of `domain` — the same three arcs the scalar kernel caches.
+    fn base_delays(&self, domain: DomainId, g: &crate::graph::Gate) -> BandDelays {
+        let supply = self.domain_supply[domain.index()];
+        let load = self.topo.load(g.output());
+        BandDelays {
+            rise: g
+                .cell()
+                .propagation_delay_edge(supply, load, &self.pvt, true),
+            fall: g
+                .cell()
+                .propagation_delay_edge(supply, load, &self.pvt, false),
+            worst: g.cell().propagation_delay(supply, load, &self.pvt),
+        }
+    }
+
+    /// Refreshes the cached delays of the gates in one domain after its
+    /// supply changed. Band structure (factors, masks) is unchanged —
+    /// only the healthy base retimes.
+    fn refresh_domain_delays(&mut self, domain: DomainId) {
+        for (gi, g) in self.netlist.gates().iter().enumerate() {
+            if g.domain() != domain {
+                continue;
+            }
+            let base = self.base_delays(domain, g);
+            let b0 = self.band_off[gi] as usize;
+            let b1 = self.band_off[gi + 1] as usize;
+            for b in b0..b1 {
+                self.band_delays[b] = base.scaled(self.band_factors[b]);
+            }
+        }
+    }
+
+    /// Installs up to [`LANES`] fault plans, one per lane; lanes past
+    /// `plans.len()` (and lanes with empty plans) run healthy. Replaces
+    /// any previously installed plans; an all-empty slice is exactly
+    /// [`clear_fault_plans`](BatchSimulator::clear_fault_plans). As with
+    /// the scalar kernel, follow with [`reset`](BatchSimulator::reset)
+    /// so stuck nets pin their initial state and schedules re-arm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] for names that do not
+    /// resolve, [`NetlistError::InvalidFault`] for invalid plans, more
+    /// than [`LANES`] plans, or any `SupplyGlitch` fault (not batchable:
+    /// it would need a per-lane delay cache — run those on the scalar
+    /// kernel). The previous plans are left untouched on error.
+    pub fn set_fault_plans(&mut self, plans: &[FaultPlan]) -> Result<(), NetlistError> {
+        if plans.len() > LANES {
+            return Err(NetlistError::InvalidFault(format!(
+                "{} fault plans exceed the {LANES} lanes of one batch",
+                plans.len()
+            )));
+        }
+        if plans.iter().all(|p| p.is_empty()) {
+            self.clear_fault_plans();
+            return Ok(());
+        }
+        for plan in plans {
+            if !plan.is_empty() {
+                plan.validate()
+                    .map_err(|e| NetlistError::InvalidFault(e.to_string()))?;
+            }
+        }
+        let mut state = BatchFaultState {
+            stuck_mask: vec![0; self.netlist.net_count()],
+            stuck_val: vec![0; self.netlist.net_count()],
+            stuck_def: vec![0; self.netlist.net_count()],
+            delay_factor: vec![1.0; self.netlist.gates().len() * LANES],
+            any_delay: false,
+            upsets: Vec::new(),
+            next_upset: 0,
+            transient_mask: 0,
+            transient_p: [0.0; LANES],
+            transient_seeds: [0; LANES],
+            rngs: std::array::from_fn(|_| SplitMix64::new(0)),
+            plan_mask: 0,
+        };
+        for (lane, plan) in plans.iter().enumerate() {
+            if plan.is_empty() {
+                continue;
+            }
+            let bit = 1u64 << lane;
+            state.plan_mask |= bit;
+            for fault in &plan.faults {
+                match fault {
+                    Fault::StuckAt { net, value } => {
+                        let id = self.netlist.net_by_name(net)?;
+                        let ni = id.index();
+                        let (v, d) = logic_planes(*value);
+                        state.stuck_mask[ni] |= bit;
+                        state.stuck_val[ni] = (state.stuck_val[ni] & !bit) | (v & bit);
+                        state.stuck_def[ni] = (state.stuck_def[ni] & !bit) | (d & bit);
+                    }
+                    Fault::DelayScale { gate, factor } => {
+                        let gi = self
+                            .netlist
+                            .gates()
+                            .iter()
+                            .position(|g| g.name() == gate)
+                            .ok_or_else(|| NetlistError::UnknownNet(gate.clone()))?;
+                        state.delay_factor[gi * LANES + lane] *= factor;
+                        state.any_delay = true;
+                    }
+                    Fault::BitUpset { ff, at } => {
+                        let fi = self
+                            .netlist
+                            .dffs()
+                            .iter()
+                            .position(|d| d.name() == ff)
+                            .ok_or_else(|| NetlistError::UnknownNet(ff.clone()))?;
+                        state.upsets.push((*at, fi, lane));
+                    }
+                    Fault::SupplyGlitch { .. } => {
+                        return Err(NetlistError::InvalidFault(
+                            "supply-glitch faults are not batchable (each lane would need \
+                             its own delay cache); run glitch plans on the scalar simulator"
+                                .into(),
+                        ));
+                    }
+                    Fault::Transient { probability, seed } => {
+                        state.transient_mask |= bit;
+                        state.transient_p[lane] = *probability;
+                        state.transient_seeds[lane] = *seed;
+                        state.rngs[lane] = SplitMix64::new(*seed);
+                    }
+                    // Campaign-level fault; the event kernel ignores it.
+                    Fault::SitePanic { .. } => {}
+                }
+            }
+        }
+        // Stable sort: equal times keep (lane, plan) insertion order, so
+        // each lane sees its upsets in the scalar kernel's order.
+        state.upsets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.faults = Some(Box::new(state));
+        self.rebuild_delay_cache();
+        Ok(())
+    }
+
+    /// Removes any installed fault plans and restores the healthy delay
+    /// cache. No-op on a fault-free simulator.
+    pub fn clear_fault_plans(&mut self) {
+        if self.faults.take().is_some() {
+            self.rebuild_delay_cache();
+        }
+    }
+
+    /// Whether (non-empty) fault plans are installed.
+    pub fn has_fault_plans(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Lanes whose installed fault plan is non-empty (0 when none are).
+    pub fn fault_lanes(&self) -> u64 {
+        self.faults.as_deref().map_or(0, |f| f.plan_mask)
+    }
+
+    /// Installs (or clears) the per-lane applied-event ceiling. A lane
+    /// in [`budget lanes`](BatchSimulator::set_event_budget_lanes) that
+    /// exceeds it goes dead (see the module docs) instead of erroring.
+    pub fn set_event_budget(&mut self, budget: Option<u64>) {
+        self.event_budget = budget;
+    }
+
+    /// The installed event budget, if any.
+    pub fn event_budget(&self) -> Option<u64> {
+        self.event_budget
+    }
+
+    /// Narrows the event budget to a subset of lanes (default: all).
+    /// Measurement kernels pass [`fault_lanes`](BatchSimulator::fault_lanes)
+    /// so healthy lanes stay unguarded, mirroring the scalar flow that
+    /// only installs a budget alongside a fault plan.
+    pub fn set_event_budget_lanes(&mut self, lanes: u64) {
+        self.budget_lanes = lanes;
+    }
+
+    /// Lanes frozen by an exhausted event budget. A dead lane's state
+    /// matches the scalar simulator at its `BudgetExceeded` stop.
+    pub fn dead_lanes(&self) -> u64 {
+        self.dead
+    }
+
+    /// Selects how metastable captures are modelled (batch-wide).
+    pub fn set_metastability_mode(&mut self, mode: MetastabilityMode) {
+        self.meta_mode = mode;
+    }
+
+    /// The supply voltage powering the default (core) domain.
+    pub fn supply(&self) -> Voltage {
+        self.domain_supply[DomainId::CORE.index()]
+    }
+
+    /// Changes the supply voltage of every domain for subsequently
+    /// scheduled gate delays.
+    pub fn set_supply(&mut self, supply: Voltage) {
+        for s in &mut self.domain_supply {
+            *s = supply;
+        }
+        self.rebuild_delay_cache();
+    }
+
+    /// The supply voltage of one domain.
+    pub fn domain_supply(&self, domain: DomainId) -> Voltage {
+        self.domain_supply[domain.index()]
+    }
+
+    /// Changes one domain's supply for subsequently scheduled gate
+    /// delays (the PREPARE/SENSE rail step of a measurement run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` was not declared on the netlist.
+    pub fn set_domain_supply(&mut self, domain: DomainId, supply: Voltage) {
+        self.domain_supply[domain.index()] = supply;
+        self.refresh_domain_delays(domain);
+    }
+
+    /// Current simulation time (shared by all lanes).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Per-lane run statistics so far.
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// One lane's switching energy so far, in joules.
+    pub fn switching_energy_joules(&self, lane: usize) -> f64 {
+        self.energy_j[lane]
+    }
+
+    /// The current value of a net in one lane.
+    pub fn value(&self, net: NetId, lane: usize) -> Logic {
+        lane_logic(self.val[net.index()], self.def[net.index()], lane)
+    }
+
+    fn initialize(&mut self) {
+        // Constants and FF power-on values land in every lane, then
+        // combinational logic settles in topological order (zero-delay),
+        // exactly like the scalar kernel. Stuck-at faults pin their
+        // lanes before and during settling.
+        for &(net, value) in self.netlist.consts() {
+            let (v, d) = logic_planes(value);
+            self.val[net.index()] = v;
+            self.def[net.index()] = d;
+        }
+        for ff in self.netlist.dffs() {
+            let (v, d) = logic_planes(ff.init());
+            self.val[ff.q().index()] = v;
+            self.def[ff.q().index()] = d;
+        }
+        if let Some(f) = self.faults.as_deref() {
+            for ni in 0..self.val.len() {
+                let sm = f.stuck_mask[ni];
+                if sm != 0 {
+                    self.val[ni] = (self.val[ni] & !sm) | (f.stuck_val[ni] & sm);
+                    self.def[ni] = (self.def[ni] & !sm) | (f.stuck_def[ni] & sm);
+                }
+            }
+        }
+        for k in 0..self.topo.topo_gates().len() {
+            let gi = self.topo.topo_gates()[k];
+            let gate = &self.netlist.gates()[gi.index()];
+            let pins = self.topo.gate_inputs(gi);
+            let mut ins = [(0u64, 0u64); MAX_GATE_INPUTS];
+            for (j, &i) in pins.iter().enumerate() {
+                ins[j] = (self.val[i.index()], self.def[i.index()]);
+            }
+            let (mut v, mut d) = eval_planes(gate.cell().function(), &ins[..pins.len()]);
+            let oi = gate.output().index();
+            if let Some(f) = self.faults.as_deref() {
+                let sm = f.stuck_mask[oi];
+                if sm != 0 {
+                    v = (v & !sm) | (f.stuck_val[oi] & sm);
+                    d = (d & !sm) | (f.stuck_def[oi] & sm);
+                }
+            }
+            self.val[oi] = v;
+            self.def[oi] = d;
+        }
+        self.prev_val.copy_from_slice(&self.val);
+        self.prev_def.copy_from_slice(&self.def);
+    }
+
+    /// Drives a primary input in every lane at absolute time `at`
+    /// (transport semantics, like the scalar kernel). Z collapses to X.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotAnInput`] for non-input nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current simulation time; use
+    /// [`BatchSimulator::try_drive`] for the error instead.
+    pub fn drive(&mut self, net: NetId, value: Logic, at: Time) -> Result<(), NetlistError> {
+        match self.try_drive(net, value, at) {
+            Err(NetlistError::DriveInPast { net, at_ps, now_ps }) => {
+                panic!("cannot drive in the past: net {net:?} at {at_ps} ps < now {now_ps} ps")
+            }
+            other => other,
+        }
+    }
+
+    /// Fallible [`drive`](BatchSimulator::drive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotAnInput`] for non-input nets and
+    /// [`NetlistError::DriveInPast`] when `at` precedes the current
+    /// simulation time.
+    pub fn try_drive(&mut self, net: NetId, value: Logic, at: Time) -> Result<(), NetlistError> {
+        if !self.is_input[net.index()] {
+            return Err(NetlistError::NotAnInput(
+                self.netlist.net(net).name().to_owned(),
+            ));
+        }
+        if at < self.now {
+            return Err(NetlistError::DriveInPast {
+                net: self.netlist.net(net).name().to_owned(),
+                at_ps: at.picoseconds(),
+                now_ps: self.now.picoseconds(),
+            });
+        }
+        let (v, d) = logic_planes(value);
+        self.seq += 1;
+        self.queue.push(std::cmp::Reverse(BatchEvent {
+            time: at,
+            seq: self.seq,
+            net,
+            lanes: ALL_LANES,
+            val: v,
+            def: d,
+        }));
+        Ok(())
+    }
+
+    /// Drives a periodic clock on `net`: rising edges at
+    /// `start, start+period, …` for `cycles` cycles, 50 % duty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotAnInput`] for non-input nets.
+    pub fn drive_clock(
+        &mut self,
+        net: NetId,
+        start: Time,
+        period: Time,
+        cycles: usize,
+    ) -> Result<(), NetlistError> {
+        self.drive(net, Logic::Zero, self.now)?;
+        for k in 0..cycles {
+            let rise = start + period * k as f64;
+            self.drive(net, Logic::One, rise)?;
+            self.drive(net, Logic::Zero, rise + period / 2.0)?;
+        }
+        Ok(())
+    }
+
+    // --- BATCH HOT LOOP START ------------------------------------------
+    // CI greps this region for vector types: the per-event path must
+    // not allocate per instance — lane state lives in planes and fixed
+    // stack arrays. (Pre-sized buffers created at construction are
+    // indexed, never grown, here.)
+
+    /// Schedules one coalesced event for `lanes` of `net`, stamping each
+    /// lane's generation (the inertial-cancellation handshake) and
+    /// recording the pending planes.
+    fn schedule_lanes(&mut self, time: Time, net: NetId, lanes: u64, val: u64, def: u64) {
+        debug_assert_ne!(lanes, 0);
+        let ni = net.index();
+        self.seq += 1;
+        let mut m = lanes;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.gen[ni * LANES + l] = self.seq;
+        }
+        self.pend_mask[ni] |= lanes;
+        self.pend_val[ni] = (self.pend_val[ni] & !lanes) | (val & lanes);
+        self.pend_def[ni] = (self.pend_def[ni] & !lanes) | (def & lanes);
+        self.queue.push(std::cmp::Reverse(BatchEvent {
+            time,
+            seq: self.seq,
+            net,
+            lanes,
+            val,
+            def,
+        }));
+    }
+
+    /// Processes every event scheduled at or before `t`, then advances
+    /// the clock to `t`. Lanes that exhaust the event budget go dead
+    /// (the batch analogue of the scalar `BudgetExceeded` stop).
+    pub fn run_until(&mut self, t: Time) {
+        loop {
+            let next = self.queue.peek().map(|r| r.0.time);
+            if self.faults.is_some() {
+                let horizon = match next {
+                    Some(te) if te <= t => te,
+                    _ => t,
+                };
+                if self.inject_due_upset(Some(horizon)) {
+                    continue;
+                }
+            }
+            let Some(&std::cmp::Reverse(ev)) = self.queue.peek() else {
+                break;
+            };
+            if ev.time > t {
+                break;
+            }
+            self.queue.pop();
+            self.apply(ev);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs until the event queue drains, or `max` batch events changed
+    /// at least one lane (a divergence guard — note the guard counts
+    /// coalesced events, not per-lane changes). Returns the final time.
+    pub fn run_to_quiescence(&mut self, max: u64) -> Time {
+        let mut applied = 0;
+        loop {
+            if self.faults.is_some() {
+                let horizon = self.queue.peek().map(|r| r.0.time);
+                if self.inject_due_upset(horizon) {
+                    continue;
+                }
+            }
+            let Some(std::cmp::Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
+            if self.apply(ev) != 0 {
+                applied += 1;
+                if applied >= max {
+                    break;
+                }
+            }
+        }
+        self.now
+    }
+
+    /// Injects at most one due `BitUpset` with trigger time `<= horizon`
+    /// into its single lane. Returns whether anything was injected.
+    fn inject_due_upset(&mut self, horizon: Option<Time>) -> bool {
+        let Some(f) = self.faults.as_mut() else {
+            return false;
+        };
+        let Some(&(at, ffi, lane)) = f.upsets.get(f.next_upset) else {
+            return false;
+        };
+        if horizon.is_some_and(|h| at > h) {
+            return false;
+        }
+        f.next_upset += 1;
+        // Invert the flip-flop output once in this lane; X flips to One
+        // so the disturbance is observable (scalar semantics).
+        let q = self.netlist.dffs()[ffi].q();
+        let qi = q.index();
+        let bit = 1u64 << lane;
+        let eff = if self.pend_mask[qi] & bit != 0 {
+            lane_logic(self.pend_val[qi], self.pend_def[qi], lane)
+        } else {
+            lane_logic(self.val[qi], self.def[qi], lane)
+        };
+        let flipped = match eff {
+            Logic::One => Logic::Zero,
+            _ => Logic::One,
+        };
+        let (v, d) = logic_planes(flipped);
+        let when = at.max(self.now);
+        self.schedule_lanes(when, q, bit, v, d);
+        true
+    }
+
+    /// Applies one event: stuck rewrite, generation check, lane-wise
+    /// commit, energy/stats, fanout evaluation and FF captures — each
+    /// step mirroring the scalar `apply` order. Returns the mask of
+    /// lanes whose value changed.
+    fn apply(&mut self, ev: BatchEvent) -> u64 {
+        let ni = ev.net.index();
+        let mut mask = ev.lanes & !self.dead;
+        let mut v = ev.val;
+        let mut d = ev.def;
+        // Stuck-at interception at commit time: stuck lanes rewrite to
+        // the pinned value, which the changed-mask below then discards.
+        if let Some(f) = self.faults.as_deref() {
+            let sm = f.stuck_mask[ni];
+            if sm != 0 {
+                v = (v & !sm) | (f.stuck_val[ni] & sm);
+                d = (d & !sm) | (f.stuck_def[ni] & sm);
+            }
+        }
+        // Generation check — the inertial cancellation. Primary inputs
+        // use transport semantics and skip it (their events are never
+        // superseded), like the scalar kernel's un-bumped versions.
+        if !self.is_input[ni] {
+            let mut live = 0u64;
+            let mut m = mask;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if self.gen[ni * LANES + l] == ev.seq {
+                    live |= 1 << l;
+                } else {
+                    self.stats.cancelled[l] += 1;
+                }
+            }
+            mask = live;
+            self.pend_mask[ni] &= !live;
+        }
+        if mask == 0 {
+            return 0;
+        }
+        self.now = self.now.max(ev.time);
+        let changed = mask & ((v ^ self.val[ni]) | (d ^ self.def[ni]));
+        if changed == 0 {
+            return 0;
+        }
+        let keep = !changed;
+        let old_val = self.val[ni];
+        let old_def = self.def[ni];
+        self.prev_val[ni] = (self.prev_val[ni] & keep) | (old_val & changed);
+        self.prev_def[ni] = (self.prev_def[ni] & keep) | (old_def & changed);
+        self.val[ni] = (old_val & keep) | (v & changed);
+        self.def[ni] = (old_def & keep) | (d & changed);
+        // Dynamic energy: ½·C·V² per changed lane, charged from the
+        // driving gate's domain supply — identical per lane because
+        // supplies are batch-global (SupplyGlitch is rejected).
+        let volts = self.domain_supply[self.topo.driver_domain(ev.net).index()].volts();
+        let energy = 0.5 * self.topo.load(ev.net).farads() * volts * volts;
+        let mut newly_dead = 0u64;
+        let mut m = changed;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.last_change[ni * LANES + l] = ev.time;
+            self.stats.events[l] += 1;
+            self.energy_j[l] += energy;
+            if let Some(b) = self.event_budget {
+                if self.budget_lanes & (1 << l) != 0 && self.stats.events[l] > b {
+                    newly_dead |= 1 << l;
+                }
+            }
+        }
+        // Re-evaluate combinational fanout for the changed lanes only
+        // (scalar apply returns before fanout on a same-value event).
+        for idx in 0..self.topo.fanout(ev.net).len() {
+            let gi = self.topo.fanout(ev.net)[idx];
+            self.evaluate_gate(gi, ev.time, changed);
+        }
+        // Clock pins: lanes with a Zero→One edge sample their FFs.
+        let rising = changed & old_def & !old_val & self.def[ni] & self.val[ni];
+        if rising != 0 {
+            for idx in 0..self.topo.clk_fanout(ev.net).len() {
+                let fi = self.topo.clk_fanout(ev.net)[idx];
+                self.capture_ff(fi, ev.time, rising);
+            }
+        }
+        // Budget-crossing lanes die only after this event finished in
+        // full — the scalar kernel also applies the crossing event
+        // (fanout scheduling included) before erroring out.
+        self.dead |= newly_dead;
+        changed
+    }
+
+    /// Re-evaluates one gate for `lanes`, scheduling per (delay band,
+    /// output edge) coalesced events for lanes whose outcome differs
+    /// from the effective (pending-or-current) output.
+    fn evaluate_gate(&mut self, gi: GateId, at: Time, lanes: u64) {
+        let gate = &self.netlist.gates()[gi.index()];
+        let pins = self.topo.gate_inputs(gi);
+        let mut ins = [(0u64, 0u64); MAX_GATE_INPUTS];
+        for (k, &i) in pins.iter().enumerate() {
+            ins[k] = (self.val[i.index()], self.def[i.index()]);
+        }
+        let (nv, nd) = eval_planes(gate.cell().function(), &ins[..pins.len()]);
+        let out = gate.output();
+        let oi = out.index();
+        let pm = self.pend_mask[oi];
+        let eff_v = (self.val[oi] & !pm) | (self.pend_val[oi] & pm);
+        let eff_d = (self.def[oi] & !pm) | (self.pend_def[oi] & pm);
+        let diff = lanes & ((nv ^ eff_v) | (nd ^ eff_d));
+        if diff == 0 {
+            return;
+        }
+        // Edge-specific arcs within each delay band: rising lanes take
+        // the rise arc, falling the fall arc, unknown the worst arc.
+        let b0 = self.band_off[gi.index()] as usize;
+        let b1 = self.band_off[gi.index() + 1] as usize;
+        for b in b0..b1 {
+            let bm = self.band_masks[b] & diff;
+            if bm == 0 {
+                continue;
+            }
+            let delays = self.band_delays[b];
+            let rise = bm & nd & nv;
+            if rise != 0 {
+                self.schedule_lanes(at + delays.rise, out, rise, nv, nd);
+            }
+            let fall = bm & nd & !nv;
+            if fall != 0 {
+                self.schedule_lanes(at + delays.fall, out, fall, nv, nd);
+            }
+            let unknown = bm & !nd;
+            if unknown != 0 {
+                self.schedule_lanes(at + delays.worst, out, unknown, nv, nd);
+            }
+        }
+    }
+
+    /// Samples one flip-flop on a rising clock edge in `rising` lanes.
+    /// Each lane runs the scalar capture pipeline (arrival window,
+    /// metastability, transient flip, effective-Q compare); resulting
+    /// captures are grouped by (value, clk-to-out) into coalesced
+    /// events using fixed stack buffers.
+    fn capture_ff(&mut self, fi: DffId, edge: Time, rising: u64) {
+        let ff = &self.netlist.dffs()[fi.index()];
+        let di = ff.d().index();
+        let q = ff.q();
+        let qi = q.index();
+        let mut n_groups = 0usize;
+        let mut g_value = [Logic::X; LANES];
+        let mut g_delay = [Time::ZERO; LANES];
+        let mut g_mask = [0u64; LANES];
+        let mut m = rising;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let bit = 1u64 << l;
+            let arrival = self.last_change[di * LANES + l] - edge;
+            let d_new = lane_logic(self.val[di], self.def[di], l);
+            let d_old = lane_logic(self.prev_val[di], self.prev_def[di], l);
+            let outcome = ff.model().sample(arrival, d_new, d_old);
+            self.stats.ff_captures[l] += 1;
+            let mut value = if outcome.metastable {
+                self.stats.ff_violations[l] += 1;
+                match self.meta_mode {
+                    MetastabilityMode::Deterministic => outcome.value,
+                    MetastabilityMode::PropagateX => Logic::X,
+                }
+            } else {
+                outcome.value
+            };
+            // Transient fault: one per-lane stream draw per capture
+            // (flip or not, keeping the stream aligned with captures).
+            if let Some(f) = self.faults.as_mut() {
+                if f.transient_mask & bit != 0 && f.rngs[l].next_f64() < f.transient_p[l] {
+                    value = match value {
+                        Logic::One => Logic::Zero,
+                        Logic::Zero => Logic::One,
+                        other => other,
+                    };
+                }
+            }
+            let eff = if self.pend_mask[qi] & bit != 0 {
+                lane_logic(self.pend_val[qi], self.pend_def[qi], l)
+            } else {
+                lane_logic(self.val[qi], self.def[qi], l)
+            };
+            if value == eff {
+                continue;
+            }
+            let mut k = 0;
+            while k < n_groups {
+                if g_value[k] == value
+                    && g_delay[k].total_cmp(&outcome.clk_to_out) == Ordering::Equal
+                {
+                    break;
+                }
+                k += 1;
+            }
+            if k == n_groups {
+                g_value[k] = value;
+                g_delay[k] = outcome.clk_to_out;
+                g_mask[k] = 0;
+                n_groups += 1;
+            }
+            g_mask[k] |= bit;
+        }
+        for k in 0..n_groups {
+            let (v, d) = logic_planes(g_value[k]);
+            self.schedule_lanes(edge + g_delay[k], q, g_mask[k], v, d);
+        }
+    }
+
+    // --- BATCH HOT LOOP END --------------------------------------------
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use psnt_cells::dff::Dff;
+    use psnt_cells::gates::StdCell;
+
+    fn v(x: f64) -> Voltage {
+        Voltage::from_v(x)
+    }
+
+    #[test]
+    fn plane_ops_match_scalar_eval_exhaustively() {
+        // Every gate function, every input combination over {0, 1, X}
+        // (Z has no plane encoding; it collapses to X on entry), packed
+        // one combination per lane.
+        let functions = [
+            GateFunction::Inv,
+            GateFunction::Buf,
+            GateFunction::Nand2,
+            GateFunction::Nor2,
+            GateFunction::And2,
+            GateFunction::Or2,
+            GateFunction::Xor2,
+            GateFunction::Xnor2,
+            GateFunction::Nand3,
+            GateFunction::Nor3,
+            GateFunction::And3,
+            GateFunction::Or3,
+            GateFunction::Mux2,
+            GateFunction::Aoi21,
+            GateFunction::Oai21,
+        ];
+        let levels = [Logic::Zero, Logic::One, Logic::X];
+        for f in functions {
+            let arity = f.num_inputs();
+            let combos = 3usize.pow(arity as u32);
+            assert!(combos <= LANES);
+            let mut ins = [(0u64, 0u64); MAX_GATE_INPUTS];
+            let mut expected = [Logic::X; LANES];
+            for (c, exp) in expected.iter_mut().enumerate().take(combos) {
+                let mut key = c;
+                let mut scalar_ins = [Logic::X; MAX_GATE_INPUTS];
+                for (pin, slot) in scalar_ins.iter_mut().enumerate().take(arity) {
+                    let value = levels[key % 3];
+                    key /= 3;
+                    *slot = value;
+                    let (pv, pd) = logic_planes(value);
+                    let bit = 1u64 << c;
+                    ins[pin].0 = (ins[pin].0 & !bit) | (pv & bit);
+                    ins[pin].1 = (ins[pin].1 & !bit) | (pd & bit);
+                }
+                *exp = f.eval(&scalar_ins[..arity]);
+            }
+            let (ov, od) = eval_planes(f, &ins[..arity]);
+            assert_eq!(ov & !od, 0, "{f:?}: val ⊄ def");
+            for (c, &want) in expected.iter().enumerate().take(combos) {
+                assert_eq!(
+                    lane_logic(ov, od, c),
+                    want,
+                    "{f:?} lane {c} diverges from scalar eval"
+                );
+            }
+        }
+    }
+
+    /// A small clocked circuit: two inverter chains into an XOR, whose
+    /// output feeds a DFF clocked by a dedicated input.
+    fn clocked_netlist() -> Netlist {
+        let mut n = Netlist::new("batch_test");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let clk = n.add_input("clk");
+        let mut pa = a;
+        for i in 0..3 {
+            pa = n
+                .add_gate(format!("ia{i}"), StdCell::inverter(1.0), &[pa])
+                .unwrap();
+        }
+        let mut pb = b;
+        for i in 0..2 {
+            pb = n
+                .add_gate(format!("ib{i}"), StdCell::inverter(1.0), &[pb])
+                .unwrap();
+        }
+        let x = n.add_gate("x", StdCell::xor2(1.0), &[pa, pb]).unwrap();
+        let q = n.add_dff("ff", Dff::standard_90nm(), x, clk, Logic::Zero);
+        n.mark_output("q", q);
+        n
+    }
+
+    /// Runs the shared stimulus on a scalar simulator carrying `plan`
+    /// and on one lane of `batch`, then asserts value/stats/energy
+    /// bit-identity on every net at the end.
+    fn assert_lane_matches(n: &Netlist, batch: &BatchSimulator<'_>, lane: usize, plan: &FaultPlan) {
+        let mut sim = Simulator::new(n, v(1.0)).unwrap();
+        sim.set_fault_plan(plan).unwrap();
+        sim.reset();
+        drive_stimulus_scalar(&mut sim, n);
+        sim.run_until(Time::from_ns(40.0));
+        for (id, _net) in n.nets() {
+            assert_eq!(
+                batch.value(id, lane),
+                sim.value(id),
+                "net {:?} lane {lane}",
+                n.net(id).name()
+            );
+        }
+        assert_eq!(batch.stats().lane(lane), *sim.stats(), "stats lane {lane}");
+        assert_eq!(
+            batch.switching_energy_joules(lane).to_bits(),
+            sim.switching_energy_joules().to_bits(),
+            "energy lane {lane}"
+        );
+    }
+
+    fn drive_stimulus_scalar(sim: &mut Simulator<'_>, n: &Netlist) {
+        let a = n.net_by_name("a").unwrap();
+        let b = n.net_by_name("b").unwrap();
+        let clk = n.net_by_name("clk").unwrap();
+        sim.drive(a, Logic::Zero, Time::ZERO).unwrap();
+        sim.drive(b, Logic::One, Time::ZERO).unwrap();
+        sim.drive(a, Logic::One, Time::from_ns(4.0)).unwrap();
+        sim.drive(b, Logic::Zero, Time::from_ns(9.0)).unwrap();
+        sim.drive_clock(clk, Time::from_ns(6.0), Time::from_ns(8.0), 4)
+            .unwrap();
+    }
+
+    fn drive_stimulus_batch(sim: &mut BatchSimulator<'_>, n: &Netlist) {
+        let a = n.net_by_name("a").unwrap();
+        let b = n.net_by_name("b").unwrap();
+        let clk = n.net_by_name("clk").unwrap();
+        sim.drive(a, Logic::Zero, Time::ZERO).unwrap();
+        sim.drive(b, Logic::One, Time::ZERO).unwrap();
+        sim.drive(a, Logic::One, Time::from_ns(4.0)).unwrap();
+        sim.drive(b, Logic::Zero, Time::from_ns(9.0)).unwrap();
+        sim.drive_clock(clk, Time::from_ns(6.0), Time::from_ns(8.0), 4)
+            .unwrap();
+    }
+
+    #[test]
+    fn healthy_lanes_match_scalar_simulator() {
+        let n = clocked_netlist();
+        let mut batch = BatchSimulator::new(&n, v(1.0)).unwrap();
+        drive_stimulus_batch(&mut batch, &n);
+        batch.run_until(Time::from_ns(40.0));
+        for lane in [0, 1, 37, 63] {
+            assert_lane_matches(&n, &batch, lane, &FaultPlan::new());
+        }
+    }
+
+    #[test]
+    fn per_lane_fault_plans_match_scalar_runs() {
+        let n = clocked_netlist();
+        let plans = vec![
+            FaultPlan::new(),
+            FaultPlan::new().with(Fault::stuck_at("ia1.out", Logic::Zero)),
+            FaultPlan::new().with(Fault::stuck_at("x.out", Logic::One)),
+            FaultPlan::new().with(Fault::delay_scale("ia0", 3.0)),
+            FaultPlan::new()
+                .with(Fault::stuck_at("ib0.out", Logic::One))
+                .with(Fault::delay_scale("x", 1.7)),
+            FaultPlan::new().with(Fault::bit_upset("ff", Time::from_ns(16.0))),
+            FaultPlan::new().with(Fault::Transient {
+                probability: 0.8,
+                seed: 41,
+            }),
+        ];
+        let mut batch = BatchSimulator::new(&n, v(1.0)).unwrap();
+        batch.set_fault_plans(&plans).unwrap();
+        batch.reset();
+        drive_stimulus_batch(&mut batch, &n);
+        batch.run_until(Time::from_ns(40.0));
+        for (lane, plan) in plans.iter().enumerate() {
+            assert_lane_matches(&n, &batch, lane, plan);
+        }
+        // Lanes past the plan list run healthy.
+        assert_lane_matches(&n, &batch, 63, &FaultPlan::new());
+    }
+
+    #[test]
+    fn banding_is_exact_for_few_distinct_factors() {
+        let n = clocked_netlist();
+        // 8 distinct factors cycling over the lanes: banding stays exact.
+        let plans: Vec<FaultPlan> = (0..LANES)
+            .map(|l| FaultPlan::new().with(Fault::delay_scale("ia0", 1.0 + 0.25 * (l % 8) as f64)))
+            .collect();
+        let mut batch = BatchSimulator::new(&n, v(1.0)).unwrap();
+        batch.set_fault_plans(&plans).unwrap();
+        batch.reset();
+        drive_stimulus_batch(&mut batch, &n);
+        batch.run_until(Time::from_ns(40.0));
+        for lane in [0, 5, 7, 8, 42] {
+            assert_lane_matches(&n, &batch, lane, &plans[lane]);
+        }
+    }
+
+    #[test]
+    fn quantized_banding_respects_geometric_bound() {
+        let mut factors = [0.0f64; LANES];
+        for (l, f) in factors.iter_mut().enumerate() {
+            *f = 1.0 + 0.02 * l as f64; // 64 distinct values, spread 2.26×
+        }
+        let (nb, band_f, band_m) = plan_bands(&factors);
+        assert_eq!(nb, MAX_DELAY_BANDS);
+        let mut covered = 0u64;
+        for m in band_m.iter().take(nb) {
+            assert_eq!(covered & m, 0, "bands overlap");
+            covered |= m;
+        }
+        assert_eq!(covered, ALL_LANES);
+        let fmin: f64 = 1.0;
+        let fmax: f64 = 1.0 + 0.02 * 63.0;
+        let r = (fmax / fmin).powf(1.0 / (MAX_DELAY_BANDS - 1) as f64);
+        let bound = r.sqrt();
+        for (l, &f) in factors.iter().enumerate() {
+            let band = (0..nb)
+                .find(|&k| band_m[k] & (1 << l) != 0)
+                .expect("lane in a band");
+            let ratio = band_f[band] / f;
+            assert!(
+                ratio < bound * 1.000_001 && ratio > 1.0 / (bound * 1.000_001),
+                "lane {l}: snapped {} vs true {f} breaks the √r bound {bound}",
+                band_f[band]
+            );
+        }
+    }
+
+    #[test]
+    fn budget_deadens_only_guarded_lanes() {
+        let n = clocked_netlist();
+        let mut batch = BatchSimulator::new(&n, v(1.0)).unwrap();
+        batch.set_event_budget(Some(3));
+        batch.set_event_budget_lanes(1); // guard lane 0 only
+        drive_stimulus_batch(&mut batch, &n);
+        batch.run_until(Time::from_ns(40.0));
+        assert_eq!(batch.dead_lanes(), 1);
+        // Lane 0 froze at budget + 1 applied events (the crossing event
+        // lands in full, like the scalar BudgetExceeded stop).
+        assert_eq!(batch.stats().events[0], 4);
+        // Unguarded lanes ran to completion and still match scalar.
+        assert_lane_matches(&n, &batch, 1, &FaultPlan::new());
+    }
+
+    #[test]
+    fn supply_glitch_plans_are_rejected() {
+        let n = clocked_netlist();
+        let mut batch = BatchSimulator::new(&n, v(1.0)).unwrap();
+        let plan = FaultPlan::new().with(Fault::supply_glitch(
+            "core",
+            (Time::from_ns(1.0), Time::from_ns(2.0)),
+            Voltage::from_mv(-50.0),
+        ));
+        let err = batch.set_fault_plans(&[plan]).unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidFault(_)));
+        assert!(!batch.has_fault_plans());
+    }
+
+    #[test]
+    fn too_many_plans_are_rejected() {
+        let n = clocked_netlist();
+        let mut batch = BatchSimulator::new(&n, v(1.0)).unwrap();
+        let plans = vec![FaultPlan::new(); LANES + 1];
+        assert!(matches!(
+            batch.set_fault_plans(&plans),
+            Err(NetlistError::InvalidFault(_))
+        ));
+    }
+
+    #[test]
+    fn reset_rearms_fault_schedules_bit_identically() {
+        let n = clocked_netlist();
+        let plans = vec![
+            FaultPlan::new().with(Fault::bit_upset("ff", Time::from_ns(16.0))),
+            FaultPlan::new().with(Fault::Transient {
+                probability: 0.5,
+                seed: 7,
+            }),
+        ];
+        let mut batch = BatchSimulator::new(&n, v(1.0)).unwrap();
+        batch.set_fault_plans(&plans).unwrap();
+        batch.reset();
+        drive_stimulus_batch(&mut batch, &n);
+        batch.run_until(Time::from_ns(40.0));
+        let first: Vec<Logic> = n.nets().map(|(id, _)| batch.value(id, 0)).collect();
+        let stats = batch.stats().clone();
+        batch.reset();
+        drive_stimulus_batch(&mut batch, &n);
+        batch.run_until(Time::from_ns(40.0));
+        let second: Vec<Logic> = n.nets().map(|(id, _)| batch.value(id, 0)).collect();
+        assert_eq!(first, second);
+        assert_eq!(stats, *batch.stats());
+    }
+}

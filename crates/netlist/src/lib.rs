@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod error;
 pub mod graph;
 pub mod profile;
@@ -59,6 +60,7 @@ pub mod sim;
 pub mod sta;
 pub mod wave;
 
+pub use batch::{BatchSimulator, BatchStats, LANES};
 pub use error::NetlistError;
 pub use graph::{DffId, DffInst, DomainId, Driver, Gate, GateId, Net, NetId, Netlist};
 pub use profile::SimProfile;

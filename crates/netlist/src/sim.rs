@@ -52,7 +52,7 @@ use crate::wave::{SignalId, Trace};
 /// Upper bound on gate fan-in (library cells have ≤ 3 pins), sized so
 /// the event loop gathers inputs into a stack buffer instead of a heap
 /// allocation.
-const MAX_GATE_INPUTS: usize = 4;
+pub(crate) const MAX_GATE_INPUTS: usize = 4;
 
 /// A scheduled net transition.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -58,6 +58,26 @@ if [ -n "$print_calls" ]; then
     exit 1
 fi
 
+echo "==> batch hot-loop allocation gate"
+# The 64-lane batch kernels must not allocate per instance on their hot
+# paths. crates/core/src/lanes.rs is barred from owning `Vec<` entirely
+# (its lane state is fixed [f64; 64] planes); the event kernel's marked
+# hot region in crates/netlist/src/batch.rs (schedule/apply/evaluate/
+# capture) may index pre-sized buffers but never mention `Vec<`.
+lanes_vec=$(grep -n 'Vec<' crates/core/src/lanes.rs || true)
+if [ -n "$lanes_vec" ]; then
+    echo "Vec< in crates/core/src/lanes.rs (bit-parallel lane kernel must stay allocation-free):" >&2
+    echo "$lanes_vec" >&2
+    exit 1
+fi
+batch_hot_vec=$(sed -n '/BATCH HOT LOOP START/,/BATCH HOT LOOP END/p' \
+    crates/netlist/src/batch.rs | grep -n 'Vec<' || true)
+if [ -n "$batch_hot_vec" ]; then
+    echo "Vec< inside the batch.rs hot-loop region (between the BATCH HOT LOOP markers):" >&2
+    echo "$batch_hot_vec" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -95,6 +115,13 @@ echo "==> fault suite under PSNT_JOBS=4"
 # campaigns and bounded retries are worker-count independent.
 PSNT_JOBS=4 cargo test -q -p psnt-fault
 PSNT_JOBS=4 cargo test -q -p psn-thermometer --test fault_equiv
+
+echo "==> batch bit-identity suite under PSNT_JOBS=4"
+# The bit-parallel batching contract: every lane of the 64-wide event
+# kernel and the batched Monte-Carlo is bit-identical to the scalar
+# reference — healthy, per-lane-faulted, ragged tails, any job count.
+PSNT_JOBS=4 cargo test -q -p psnt-netlist batch
+PSNT_JOBS=4 cargo test -q -p psn-thermometer --test batch_equiv
 
 echo "==> workload suite under PSNT_JOBS=4"
 # The chip-scale workload contract: traffic traces, delta-solve

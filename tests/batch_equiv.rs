@@ -1,0 +1,320 @@
+//! Bit-identity contract of the 64-lane batch kernels.
+//!
+//! PR 8's batched paths are only allowed to exist because they are
+//! *indistinguishable* from the scalar reference:
+//!
+//! (a) a healthy `BatchSimulator` run over a random netlist matches a
+//!     scalar `Simulator` run on **every** lane — net values, per-lane
+//!     event statistics and the switching-energy bit pattern;
+//! (b) with a different fault plan installed on each lane
+//!     (`set_fault_plans`), lane `l` matches a scalar simulator running
+//!     `set_fault_plan(plans[l])` alone — stuck-ats, delay scalings,
+//!     bit upsets and seeded transients, mixed freely across lanes;
+//! (c) the batched `monte_carlo_yield` returns bit-identical
+//!     `YieldReport`s to the scalar reference implementation at
+//!     jobs ∈ {1, 4}, including ragged trial counts (n % 64 ≠ 0);
+//! (d) `GateLevelArray::measure_batch` agrees per lane with serial
+//!     faulted `measure_detailed` calls on a ragged chunk.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use psn_thermometer::cells::dff::Dff;
+use psn_thermometer::cells::gates::StdCell;
+use psn_thermometer::cells::logic::Logic;
+use psn_thermometer::cells::process::Pvt;
+use psn_thermometer::fault::{Fault, FaultPlan};
+use psn_thermometer::netlist::batch::BatchSimulator;
+use psn_thermometer::netlist::graph::{NetId, Netlist};
+use psn_thermometer::netlist::sim::Simulator;
+use psn_thermometer::prelude::*;
+use psn_thermometer::sensor::gate_level::GateLevelArray;
+use psn_thermometer::sensor::mismatch::{
+    monte_carlo_yield, monte_carlo_yield_scalar, MismatchModel,
+};
+use psn_thermometer::sensor::thermometer::ThermometerArray;
+
+/// The worker counts the equivalence contract is pinned at.
+const JOBS: [usize; 2] = [1, 4];
+
+/// A random combinational DAG with a flip-flop on every fourth gate
+/// output (same construction as the fault-equivalence suite), plus the
+/// name lists fault plans draw victims from.
+struct RandomDesign {
+    netlist: Netlist,
+    inputs: Vec<NetId>,
+    clk: NetId,
+    net_names: Vec<String>,
+    gate_names: Vec<String>,
+    ff_names: Vec<String>,
+}
+
+fn random_netlist(gate_picks: &[(u8, u8, u8, u8)], n_inputs: usize) -> RandomDesign {
+    let mut n = Netlist::new("batch-equiv");
+    let clk = n.add_input("clk");
+    let inputs: Vec<NetId> = (0..n_inputs)
+        .map(|i| n.add_input(format!("in{i}")))
+        .collect();
+    let mut nets = inputs.clone();
+    let mut interesting = Vec::new();
+    let mut net_names: Vec<String> = (0..n_inputs).map(|i| format!("in{i}")).collect();
+    let mut gate_names = Vec::new();
+    let mut ff_names = Vec::new();
+    let ff = Dff::standard_90nm();
+    for (gi, &(kind, a, b, c)) in gate_picks.iter().enumerate() {
+        let cell = match kind % 6 {
+            0 => StdCell::inverter(1.0),
+            1 => StdCell::nand2(1.0),
+            2 => StdCell::nor2(1.0),
+            3 => StdCell::xor2(1.0),
+            4 => StdCell::mux2(1.0),
+            _ => StdCell::and3(1.0),
+        };
+        let pick = |x: u8| nets[x as usize % nets.len()];
+        let ins: Vec<NetId> = match cell.num_inputs() {
+            1 => vec![pick(a)],
+            2 => vec![pick(a), pick(b)],
+            _ => vec![pick(a), pick(b), pick(c)],
+        };
+        let out = n.add_gate(format!("g{gi}"), cell, &ins).unwrap();
+        interesting.push(out);
+        net_names.push(format!("g{gi}.out"));
+        gate_names.push(format!("g{gi}"));
+        if gi % 4 == 3 {
+            let q = n.add_dff(format!("ff{gi}"), ff, out, clk, Logic::Zero);
+            interesting.push(q);
+            nets.push(q);
+            net_names.push(format!("ff{gi}.q"));
+            ff_names.push(format!("ff{gi}"));
+        }
+        nets.push(out);
+    }
+    let last = *interesting.last().unwrap();
+    n.mark_output("keep", last);
+    RandomDesign {
+        netlist: n,
+        inputs,
+        clk,
+        net_names,
+        gate_names,
+        ff_names,
+    }
+}
+
+/// Identical stimulus for the scalar and batch kernels.
+const RUN_TO: Time = Time::from_ns(50.0);
+
+fn stimulate_scalar(sim: &mut Simulator<'_>, d: &RandomDesign, bits: &[bool]) {
+    for (i, (&net, &b)) in d.inputs.iter().zip(bits).enumerate() {
+        sim.drive(net, Logic::from(b), Time::from_ps(10.0 * i as f64))
+            .unwrap();
+    }
+    sim.drive_clock(d.clk, Time::from_ns(2.0), Time::from_ns(3.0), 4)
+        .unwrap();
+    sim.run_until(RUN_TO);
+}
+
+fn stimulate_batch(sim: &mut BatchSimulator<'_>, d: &RandomDesign, bits: &[bool]) {
+    for (i, (&net, &b)) in d.inputs.iter().zip(bits).enumerate() {
+        sim.drive(net, Logic::from(b), Time::from_ps(10.0 * i as f64))
+            .unwrap();
+    }
+    sim.drive_clock(d.clk, Time::from_ns(2.0), Time::from_ns(3.0), 4)
+        .unwrap();
+    sim.run_until(RUN_TO);
+}
+
+/// Asserts lane `l` of the batch run is bit-identical to a scalar run:
+/// every net value, the per-lane statistics, and the energy bits.
+fn assert_lane_matches(
+    batch: &BatchSimulator<'_>,
+    lane: usize,
+    scalar: &Simulator<'_>,
+    d: &RandomDesign,
+) -> Result<(), TestCaseError> {
+    for (id, net) in d.netlist.nets() {
+        prop_assert_eq!(
+            batch.value(id, lane),
+            scalar.value(id),
+            "lane {} diverged on net {}",
+            lane,
+            net.name()
+        );
+    }
+    let b = batch.stats().lane(lane);
+    let s = scalar.stats();
+    prop_assert_eq!(b.events, s.events, "events, lane {}", lane);
+    prop_assert_eq!(b.cancelled, s.cancelled, "cancelled, lane {}", lane);
+    prop_assert_eq!(b.ff_captures, s.ff_captures, "captures, lane {}", lane);
+    prop_assert_eq!(
+        b.ff_violations,
+        s.ff_violations,
+        "violations, lane {}",
+        lane
+    );
+    prop_assert_eq!(
+        batch.switching_energy_joules(lane).to_bits(),
+        scalar.switching_energy_joules().to_bits(),
+        "energy bits, lane {}",
+        lane
+    );
+    Ok(())
+}
+
+/// One deterministic fault plan from a proptest draw, targeting only
+/// names that exist in the design.
+fn plan_from_draw(d: &RandomDesign, draw: (u8, u8, u8, u64)) -> FaultPlan {
+    let (kind, target, extra, seed) = draw;
+    match kind % 5 {
+        0 => FaultPlan::new(), // healthy lane riding along
+        1 => {
+            let name = &d.net_names[target as usize % d.net_names.len()];
+            let value = if extra % 2 == 0 {
+                Logic::Zero
+            } else {
+                Logic::One
+            };
+            FaultPlan::new().with(Fault::stuck_at(name.clone(), value))
+        }
+        2 => {
+            let name = &d.gate_names[target as usize % d.gate_names.len()];
+            let factor = [0.5, 1.5, 2.0, 3.0][extra as usize % 4];
+            FaultPlan::new().with(Fault::delay_scale(name.clone(), factor))
+        }
+        3 if !d.ff_names.is_empty() => {
+            let name = &d.ff_names[target as usize % d.ff_names.len()];
+            let at = Time::from_ns(3.0 + f64::from(extra % 9));
+            FaultPlan::new().with(Fault::bit_upset(name.clone(), at))
+        }
+        _ => FaultPlan::new().with(Fault::Transient {
+            probability: 0.4,
+            seed,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// (a) Healthy lanes: with no fault plans, every lane of the batch
+    /// kernel is bit-identical to the scalar kernel under the same
+    /// stimulus — sampled on lanes 0, 17 and 63.
+    #[test]
+    fn healthy_batch_lanes_match_the_scalar_kernel(
+        gate_picks in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        bits in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        let d = random_netlist(&gate_picks, 3);
+        let mut scalar = Simulator::new(&d.netlist, Voltage::from_v(1.0)).unwrap();
+        stimulate_scalar(&mut scalar, &d, &bits);
+        let mut batch = BatchSimulator::new(&d.netlist, Voltage::from_v(1.0)).unwrap();
+        stimulate_batch(&mut batch, &d, &bits);
+        for lane in [0usize, 17, 63] {
+            assert_lane_matches(&batch, lane, &scalar, &d)?;
+        }
+    }
+
+    /// (b) Per-lane fault plans: lane `l` of one batch run with
+    /// `set_fault_plans(&plans)` matches a scalar run with
+    /// `set_fault_plan(&plans[l])`, for a random mix of stuck-ats,
+    /// delay scalings, bit upsets, transients and healthy lanes —
+    /// including a reset + re-run on the same batch kernel.
+    #[test]
+    fn per_lane_fault_plans_match_serial_scalar_runs(
+        gate_picks in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 4..16),
+        bits in proptest::collection::vec(any::<bool>(), 3),
+        draws in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()), 1..12),
+    ) {
+        let d = random_netlist(&gate_picks, 3);
+        let plans: Vec<FaultPlan> = draws.iter().map(|&dr| plan_from_draw(&d, dr)).collect();
+
+        // Install-then-reset on both sides, the pooled-simulator usage
+        // pattern: reset() re-initialises with the plan active, so
+        // stuck nets are pinned from time zero in batch and scalar
+        // alike.
+        let mut batch = BatchSimulator::new(&d.netlist, Voltage::from_v(1.0)).unwrap();
+        batch.set_fault_plans(&plans).unwrap();
+        batch.reset();
+        stimulate_batch(&mut batch, &d, &bits);
+
+        let mut serial = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            let mut s = Simulator::new(&d.netlist, Voltage::from_v(1.0)).unwrap();
+            s.set_fault_plan(plan).unwrap();
+            s.reset();
+            stimulate_scalar(&mut s, &d, &bits);
+            serial.push(s);
+        }
+        for (lane, s) in serial.iter().enumerate() {
+            assert_lane_matches(&batch, lane, s, &d)?;
+        }
+
+        // reset() rearms the per-lane fault schedules and streams: the
+        // same batch kernel must reproduce the identical run.
+        batch.reset();
+        stimulate_batch(&mut batch, &d, &bits);
+        for (lane, s) in serial.iter().enumerate() {
+            assert_lane_matches(&batch, lane, s, &d)?;
+        }
+    }
+}
+
+/// (c) The batched Monte-Carlo returns bit-identical reports to the
+/// scalar reference at jobs ∈ {1, 4}, on ragged trial counts straddling
+/// the 64-lane word size.
+#[test]
+fn batched_monte_carlo_matches_scalar_at_any_worker_count() {
+    let array = ThermometerArray::paper(psn_thermometer::sensor::element::RailMode::Supply);
+    let model = MismatchModel::local_90nm();
+    let pvt = Pvt::typical();
+    let skew = Time::from_ps(149.0);
+    for trials in [1usize, 63, 64, 100, 129] {
+        let mut reports = Vec::new();
+        for jobs in JOBS {
+            let mut sctx = RunCtx::new(Engine::new(jobs)).with_seed(7);
+            let scalar =
+                monte_carlo_yield_scalar(&mut sctx, &array, skew, &pvt, &model, trials).unwrap();
+            let mut bctx = RunCtx::new(Engine::new(jobs)).with_seed(7);
+            let batched = monte_carlo_yield(&mut bctx, &array, skew, &pvt, &model, trials).unwrap();
+            assert_eq!(scalar, batched, "trials {trials}, jobs {jobs}");
+            assert_eq!(
+                scalar.mean_abs_shift.to_bits(),
+                batched.mean_abs_shift.to_bits(),
+                "mean bits, trials {trials}, jobs {jobs}"
+            );
+            assert_eq!(
+                scalar.worst_shift.to_bits(),
+                batched.worst_shift.to_bits(),
+                "worst bits, trials {trials}, jobs {jobs}"
+            );
+            reports.push(batched);
+        }
+        assert_eq!(reports[0], reports[1], "jobs-independence at {trials}");
+    }
+}
+
+/// (d) A ragged `measure_batch` chunk (5 plans, n % 64 ≠ 0) agrees per
+/// lane with serial faulted `measure_detailed` calls.
+#[test]
+fn ragged_measure_batch_matches_serial_measures() {
+    let array = GateLevelArray::paper().unwrap();
+    let skew = Time::from_ps(149.0);
+    let plans = vec![
+        FaultPlan::new().with(Fault::stuck_at("ff2.q", Logic::One)),
+        FaultPlan::new().with(Fault::delay_scale("inv4", 2.5)),
+        FaultPlan::new(),
+        FaultPlan::new().with(Fault::bit_upset("ff1", Time::from_ns(6.0))),
+        FaultPlan::new()
+            .with(Fault::stuck_at("inv6.out", Logic::Zero))
+            .with(Fault::delay_scale("inv0", 0.5)),
+    ];
+    let mut ctx = RunCtx::serial();
+    for mv in [1000.0, 930.0] {
+        let v = Voltage::from_mv(mv);
+        let batch = array.measure_batch(&mut ctx, v, skew, &plans).unwrap();
+        for (l, plan) in plans.iter().enumerate() {
+            let mut sctx = RunCtx::serial().with_fault_plan(plan.clone());
+            let serial = array.measure_detailed(&mut sctx, v, skew).unwrap();
+            assert_eq!(batch[l].as_ref().unwrap(), &serial, "lane {l} at {mv} mV");
+        }
+    }
+}
