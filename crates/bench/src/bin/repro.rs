@@ -46,6 +46,7 @@ fn canonical_id(id: &str) -> &str {
     match id {
         "scan-chain" | "scan_chain" | "xp_scan_chain" => "scan",
         "noc" | "noc_campaign" | "xp_noc_campaign" => "noc-campaign",
+        "droop" | "droop_mitigation" | "xp_droop" | "mitigation" => "droop-mitigation",
         other => other,
     }
 }

@@ -397,7 +397,11 @@ impl GateLevelArray {
     /// oscillating fault). The whole-call `Err` covers batch-level
     /// failures only: no plans, more than [`LANES`] plans, or a plan
     /// the batch kernel rejects up front (unknown targets,
-    /// [`psnt_fault::Fault::SupplyGlitch`]).
+    /// [`psnt_fault::Fault::SupplyGlitch`]). A glitch plan surfaces as
+    /// [`psnt_netlist::NetlistError::UnsupportedBatchFault`] naming
+    /// both the fault kind and the offending lane, so callers can route
+    /// exactly that plan to the scalar kernel (see
+    /// [`psnt_fault::FaultPlan::batch_supported`]).
     ///
     /// The batch simulator comes from the context's
     /// [`psnt_ctx::BatchSimPool`], so a fault-coverage campaign walking
@@ -660,6 +664,35 @@ mod tests {
         assert!(a.measure_batch(&mut ctx, v, skew011(), &[]).is_err());
         let too_many = vec![FaultPlan::new(); LANES + 1];
         assert!(a.measure_batch(&mut ctx, v, skew011(), &too_many).is_err());
+    }
+
+    #[test]
+    fn measure_batch_names_unsupported_fault_and_lane() {
+        use psnt_fault::{Fault, FaultPlan};
+        use psnt_netlist::NetlistError;
+        let a = GateLevelArray::paper().unwrap();
+        let mut ctx = RunCtx::serial();
+        let mut plans = vec![FaultPlan::new(); 4];
+        plans[3] = FaultPlan::new().with(Fault::supply_glitch(
+            "sensor",
+            (Time::from_ps(100.0), Time::from_ps(200.0)),
+            Voltage::from_mv(-40.0),
+        ));
+        assert!(!plans[3].batch_supported());
+        let err = a
+            .measure_batch(&mut ctx, Voltage::from_v(1.0), skew011(), &plans)
+            .unwrap_err();
+        let SensorError::Netlist(inner) = &err else {
+            panic!("expected a netlist error, got {err}");
+        };
+        assert_eq!(
+            inner,
+            &NetlistError::UnsupportedBatchFault {
+                fault: "supply-glitch",
+                lane: 3,
+            }
+        );
+        assert!(err.to_string().contains("lane 3"), "{err}");
     }
 
     #[test]

@@ -293,6 +293,33 @@ impl SensorSystem {
         self.package(at, hs_code, ls_code, hs_skew, ls_skew)
     }
 
+    /// Performs one measurement from *instantaneous* rail values instead
+    /// of waveform windows — the causal sensing path of the cycle-stepped
+    /// co-simulation loop. Mid-transient only the rail state up to the
+    /// current cycle exists, so the P→CP averaging window of
+    /// [`SensorSystem::measure_at`] (which spans into the next cycle's
+    /// samples) cannot be formed without peeking at the future; this
+    /// entry point holds the rails at their current values across the
+    /// sense window instead. `at` only timestamps the result. On a
+    /// constant waveform the two paths agree exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures.
+    pub fn measure_value(
+        &self,
+        vdd: Voltage,
+        gnd: Voltage,
+        at: Time,
+    ) -> Result<Measurement, SensorError> {
+        let pvt = &self.config.pvt;
+        let hs_skew = self.pg.skew(self.config.hs_code, pvt);
+        let ls_skew = self.pg.skew(self.config.ls_code, pvt);
+        let hs_code = self.hs.measure(vdd, hs_skew, pvt);
+        let ls_code = self.ls.measure(gnd, ls_skew, pvt);
+        self.package(at, hs_code, ls_code, hs_skew, ls_skew)
+    }
+
     fn window_value(&self, wave: &Waveform, at: Time, skew: Time) -> Result<Voltage, SensorError> {
         if at < wave.start() || at + skew > wave.end() {
             // Constant waveforms extend infinitely by definition.
@@ -561,6 +588,24 @@ mod tests {
         // all-errors; the 6 ps × 0.2 V spike dilutes to ~4 mV over the
         // 149 ps window, so the nominal code survives.
         assert_eq!(m.hs_code.to_string(), "0011111");
+    }
+
+    #[test]
+    fn instantaneous_measure_matches_windowed_on_constant_rails() {
+        let sys = system();
+        for (v, g) in [(1.0, 0.0), (0.93, 0.0), (1.0, 0.08), (0.9, 0.05)] {
+            let windowed = sys
+                .measure_at(
+                    &Waveform::constant(v),
+                    &Waveform::constant(g),
+                    Time::from_ns(10.0),
+                )
+                .unwrap();
+            let instant = sys
+                .measure_value(Voltage::from_v(v), Voltage::from_v(g), Time::from_ns(10.0))
+                .unwrap();
+            assert_eq!(instant, windowed, "rails ({v}, {g})");
+        }
     }
 
     #[test]

@@ -253,6 +253,15 @@ impl<'env> RunCtx<'env> {
         split_seed(self.seed, index)
     }
 
+    /// Replaces the base seed in place — the sweep-friendly twin of
+    /// [`RunCtx::with_seed`]: an experiment driver comparing policy
+    /// arms re-arms the same context (keeping its warm simulator
+    /// pools) at a fixed seed before each sub-run, so every arm sees
+    /// identical traffic.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
     /// Reborrows the observer, if one is attached. Call sites use this
     /// at each telemetry point; each call hands out a fresh short
     /// reborrow, so a single context serves many sequential stages.
@@ -370,9 +379,16 @@ mod tests {
 
     #[test]
     fn child_seeds_match_engine_seed_policy() {
-        let ctx = RunCtx::serial().with_seed(99);
+        let mut ctx = RunCtx::serial().with_seed(99);
         assert_eq!(ctx.child_seed(0), split_seed(99, 0));
         assert_eq!(ctx.child_seed(5), split_seed(99, 5));
+        // In-place re-seed matches the builder path exactly.
+        ctx.set_seed(7);
+        assert_eq!(ctx.seed(), 7);
+        assert_eq!(
+            ctx.child_seed(0),
+            RunCtx::serial().with_seed(7).child_seed(0)
+        );
         assert_ne!(ctx.child_seed(0), ctx.child_seed(1));
     }
 

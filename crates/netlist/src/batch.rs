@@ -616,10 +616,13 @@ impl<'a> BatchSimulator<'a> {
     /// # Errors
     ///
     /// Returns [`NetlistError::UnknownNet`] for names that do not
-    /// resolve, [`NetlistError::InvalidFault`] for invalid plans, more
-    /// than [`LANES`] plans, or any `SupplyGlitch` fault (not batchable:
-    /// it would need a per-lane delay cache — run those on the scalar
-    /// kernel). The previous plans are left untouched on error.
+    /// resolve, [`NetlistError::InvalidFault`] for invalid plans or more
+    /// than [`LANES`] plans, and
+    /// [`NetlistError::UnsupportedBatchFault`] — naming the fault kind
+    /// and the offending lane — for any `SupplyGlitch` fault (not
+    /// batchable: it would need a per-lane delay cache — run those on
+    /// the scalar kernel). The previous plans are left untouched on
+    /// error.
     pub fn set_fault_plans(&mut self, plans: &[FaultPlan]) -> Result<(), NetlistError> {
         if plans.len() > LANES {
             return Err(NetlistError::InvalidFault(format!(
@@ -687,11 +690,10 @@ impl<'a> BatchSimulator<'a> {
                         state.upsets.push((*at, fi, lane));
                     }
                     Fault::SupplyGlitch { .. } => {
-                        return Err(NetlistError::InvalidFault(
-                            "supply-glitch faults are not batchable (each lane would need \
-                             its own delay cache); run glitch plans on the scalar simulator"
-                                .into(),
-                        ));
+                        return Err(NetlistError::UnsupportedBatchFault {
+                            fault: "supply-glitch",
+                            lane,
+                        });
                     }
                     Fault::Transient { probability, seed } => {
                         state.transient_mask |= bit;
@@ -1513,14 +1515,33 @@ mod tests {
     fn supply_glitch_plans_are_rejected() {
         let n = clocked_netlist();
         let mut batch = BatchSimulator::new(&n, v(1.0)).unwrap();
-        let plan = FaultPlan::new().with(Fault::supply_glitch(
-            "core",
-            (Time::from_ns(1.0), Time::from_ns(2.0)),
-            Voltage::from_mv(-50.0),
-        ));
-        let err = batch.set_fault_plans(&[plan]).unwrap_err();
-        assert!(matches!(err, NetlistError::InvalidFault(_)));
+        let glitch = || {
+            FaultPlan::new().with(Fault::supply_glitch(
+                "core",
+                (Time::from_ns(1.0), Time::from_ns(2.0)),
+                Voltage::from_mv(-50.0),
+            ))
+        };
+        let err = batch.set_fault_plans(&[glitch()]).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::UnsupportedBatchFault {
+                fault: "supply-glitch",
+                lane: 0,
+            }
+        );
         assert!(!batch.has_fault_plans());
+        // The lane index names the offending plan, not the batch: a
+        // glitch hiding behind healthy lanes is reported at its lane.
+        let plans = vec![FaultPlan::new(), FaultPlan::new(), glitch()];
+        let err = batch.set_fault_plans(&plans).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::UnsupportedBatchFault {
+                fault: "supply-glitch",
+                lane: 2,
+            }
+        );
     }
 
     #[test]

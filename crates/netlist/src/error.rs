@@ -63,6 +63,16 @@ pub enum NetlistError {
     /// A fault plan failed validation or referred to an object kind the
     /// simulator cannot resolve.
     InvalidFault(String),
+    /// A fault kind the 64-lane batch kernel cannot model was installed
+    /// on a specific lane. Unlike [`InvalidFault`](NetlistError::InvalidFault)
+    /// this names both the offending fault kind and the lane so batch
+    /// campaign drivers can route that one plan to the scalar kernel.
+    UnsupportedBatchFault {
+        /// The unsupported fault kind (e.g. `"supply-glitch"`).
+        fault: &'static str,
+        /// The zero-based batch lane carrying the offending plan.
+        lane: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -110,6 +120,13 @@ impl fmt::Display for NetlistError {
                 )
             }
             NetlistError::InvalidFault(why) => write!(f, "invalid fault: {why}"),
+            NetlistError::UnsupportedBatchFault { fault, lane } => {
+                write!(
+                    f,
+                    "{fault} faults are not batchable (lane {lane}): run that \
+                     plan on the scalar simulator"
+                )
+            }
         }
     }
 }
@@ -163,6 +180,12 @@ mod tests {
         assert!(NetlistError::InvalidFault("p".into())
             .to_string()
             .contains("invalid fault"));
+        let e = NetlistError::UnsupportedBatchFault {
+            fault: "supply-glitch",
+            lane: 17,
+        };
+        assert!(e.to_string().contains("supply-glitch"));
+        assert!(e.to_string().contains("lane 17"));
     }
 
     #[test]

@@ -72,6 +72,16 @@ impl Histogram {
         self.sum
     }
 
+    /// Mean of recorded values (exact — from the running sum, not the
+    /// bucket edges), or `None` while empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
     /// Per-bucket counts (last bucket is overflow past the top bound).
     pub fn counts(&self) -> &[u64] {
         &self.counts
@@ -605,6 +615,8 @@ mod tests {
         assert_eq!(hist.counts(), &[2, 1, 1, 1]);
         assert_eq!(hist.count(), 5);
         assert!((hist.sum() - 556.5).abs() < 1e-9);
+        assert!((hist.mean().unwrap() - 556.5 / 5.0).abs() < 1e-9);
+        assert_eq!(Histogram::with_bounds(&[1.0]).mean(), None);
     }
 
     #[test]

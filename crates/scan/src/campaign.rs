@@ -179,6 +179,13 @@ pub enum StreamRecord {
     Site {
         /// Floorplan site index.
         site: usize,
+        /// The cycle-window index of each sampling instant in the
+        /// sweep: measurement `k` of a healthy series belongs to
+        /// window `windows[k]` (a degraded site covers none of them).
+        /// Site records arrive *before* any frame, so a streaming
+        /// consumer can attribute every measurement to its cycle
+        /// window without out-of-band bookkeeping.
+        windows: Vec<usize>,
         /// The site's measurement series (empty when degraded).
         series: SiteSeries,
         /// Whether the site measured or degraded.
@@ -186,7 +193,7 @@ pub enum StreamRecord {
     },
     /// One serialized scan frame.
     Frame {
-        /// Sampling-instant index.
+        /// Sampling-instant index (equal to the cycle-window index).
         index: usize,
         /// The sampling instant.
         instant: Time,
@@ -194,7 +201,12 @@ pub enum StreamRecord {
         frame: LogicVector,
     },
     /// The final degradation summary.
-    Summary(DegradationSummary),
+    Summary {
+        /// Total cycle windows the sweep covered (one per instant).
+        windows: usize,
+        /// The aggregate degradation report.
+        summary: DegradationSummary,
+    },
 }
 
 impl StreamRecord {
@@ -205,11 +217,13 @@ impl StreamRecord {
         match self {
             StreamRecord::Site {
                 site,
+                windows,
                 series,
                 outcome,
             } => {
                 let mut e = ObsEvent::new("scan", "stream_site")
                     .field("site", &(*site as u64))
+                    .field("windows", &(windows.len() as u64))
                     .field("tile", &(series.tile as u64))
                     .field("name", &series.name)
                     .field("measured", &outcome.is_measured())
@@ -227,10 +241,11 @@ impl StreamRecord {
                 .field("index", &(*index as u64))
                 .field("t_ps", &instant.picoseconds())
                 .field("bits", &(frame.len() as u64)),
-            StreamRecord::Summary(s) => ObsEvent::new("scan", "stream_summary")
-                .field("sites_degraded", &(s.sites_degraded as u64))
-                .field("dead_elements", &(s.dead_elements as u64))
-                .field("worst_code_error", &(s.worst_code_error as u64)),
+            StreamRecord::Summary { windows, summary } => ObsEvent::new("scan", "stream_summary")
+                .field("windows", &(*windows as u64))
+                .field("sites_degraded", &(summary.sites_degraded as u64))
+                .field("dead_elements", &(summary.dead_elements as u64))
+                .field("worst_code_error", &(summary.worst_code_error as u64)),
         }
     }
 }
@@ -263,6 +278,9 @@ struct SweepInputs {
     tile_supplies: Vec<Waveform>,
     tile_bounces: Option<Vec<Waveform>>,
     instants: Vec<Time>,
+    /// Cycle-window index of each instant (one sweep window per
+    /// instant), carried into every streamed `Site` record.
+    windows: Vec<usize>,
     v_nom: f64,
     /// Upper end of the solved waveform range — the campaign span's
     /// sim-time interval grows to cover it so the `grid_solve` child
@@ -583,6 +601,7 @@ impl Campaign {
         Ok(SweepInputs {
             tile_supplies,
             tile_bounces,
+            windows: (0..instants.len()).collect(),
             instants,
             v_nom: grid.v_pad().volts(),
             solve_end: end,
@@ -740,6 +759,7 @@ impl Campaign {
         Ok(SweepInputs {
             tile_supplies,
             tile_bounces,
+            windows: (0..instants.len()).collect(),
             instants,
             v_nom: grid.v_pad().volts(),
             solve_end,
@@ -986,7 +1006,10 @@ impl Campaign {
             obs.end_span(span);
         }
         let summary = out?;
-        sink(StreamRecord::Summary(summary))?;
+        sink(StreamRecord::Summary {
+            windows: samples,
+            summary,
+        })?;
         Ok(summary)
     }
 
@@ -1010,6 +1033,7 @@ impl Campaign {
         mut sink: impl FnMut(StreamRecord) -> Result<(), ScanError>,
     ) -> Result<DegradationSummary, ScanError> {
         let prep = self.rails_inputs(tile_supplies, tile_bounces, instants)?;
+        let windows = prep.instants.len();
         let campaign_span = ctx.observer().map(|o| {
             o.begin_span("campaign")
                 .attr("sites", &(self.floorplan.sites().len() as u64))
@@ -1023,7 +1047,7 @@ impl Campaign {
             obs.end_span(span);
         }
         let summary = out?;
-        sink(StreamRecord::Summary(summary))?;
+        sink(StreamRecord::Summary { windows, summary })?;
         Ok(summary)
     }
 
@@ -1233,6 +1257,7 @@ impl Campaign {
                         }
                         let record = StreamRecord::Site {
                             site,
+                            windows: prep_ref.windows.clone(),
                             series,
                             outcome: site_outcome,
                         };
@@ -1779,10 +1804,17 @@ mod tests {
             match record {
                 StreamRecord::Site {
                     site,
+                    windows,
                     series,
                     outcome,
                 } => {
                     assert_eq!(site, sites.len(), "site records out of order");
+                    // Every site carries the full per-instant window
+                    // map, available before the first frame arrives.
+                    assert_eq!(windows, (0..windows.len()).collect::<Vec<_>>());
+                    if outcome.is_measured() {
+                        assert_eq!(windows.len(), series.measurements.len());
+                    }
                     sites.push(series);
                     outcomes.push(outcome);
                 }
@@ -1795,8 +1827,12 @@ mod tests {
                     instants.push(instant);
                     frames.push(frame);
                 }
-                StreamRecord::Summary(s) => {
+                StreamRecord::Summary {
+                    windows,
+                    summary: s,
+                } => {
                     assert!(summary.is_none(), "duplicate summary record");
+                    assert_eq!(windows, frames.len(), "summary window count");
                     summary = Some(s);
                 }
             }
@@ -1847,7 +1883,7 @@ mod tests {
                 )
                 .unwrap();
             assert_eq!(summary, in_memory.summary, "jobs={jobs}");
-            assert!(matches!(records.last(), Some(StreamRecord::Summary(_))));
+            assert!(matches!(records.last(), Some(StreamRecord::Summary { .. })));
             assert_eq!(collect_stream(records), in_memory, "jobs={jobs}");
         }
     }

@@ -31,7 +31,8 @@ use psnt_scan::ScanError;
 use serde::{Deserialize, Serialize};
 
 use crate::error::WorkloadError;
-use crate::noc::{ActivityTrace, NocMesh};
+use crate::noc::NocMesh;
+use crate::stepper::CycleStepper;
 use crate::traffic::TrafficPattern;
 
 /// Full description of a workload-driven campaign.
@@ -315,18 +316,33 @@ impl NocWorkload {
         self.config.cycles / self.config.measure_every
     }
 
-    /// Generates the traffic, chains the per-cycle sparse delta solves
-    /// and collects rails + noise profile.
+    /// Grid nodes of mesh tile `tile`'s power block.
+    pub fn block_nodes(&self, tile: usize) -> &[usize] {
+        &self.block_nodes[tile]
+    }
+
+    /// The per-node load model: `idle + flit·count` spread over the
+    /// tile's block. One closure shared by the stepper and any driver
+    /// so both sides compute bit-identical currents.
+    pub(crate) fn node_load_fn(&self) -> impl Fn(u32) -> f64 {
+        let block = self.block_nodes[0].len() as f64;
+        let idle_node = self.config.idle_current.amps() / block;
+        let flit_node = self.config.flit_current.amps() / block;
+        move |count: u32| idle_node + flit_node * f64::from(count)
+    }
+
+    /// Drives the [`CycleStepper`] through the whole run with a neutral
+    /// actuation and collects rails + noise profile — the batch entry
+    /// points are thin drivers over the per-cycle core.
     fn solve_rails(&self, ctx: &mut RunCtx<'_>) -> Result<Rails, WorkloadError> {
         let cfg = &self.config;
-        let trace = ActivityTrace::generate(ctx, &self.mesh, &cfg.pattern, cfg.cycles)?;
+        let mut stepper = CycleStepper::new(self, ctx)?;
+        if let Some(obs) = ctx.observer() {
+            obs.metrics
+                .counter_add("workload.flits", stepper.planned_flits());
+        }
         let grid = self.campaign.floorplan().grid();
         let n = grid.tiles();
-        let mesh_tiles = self.mesh.tiles();
-        let block = self.block_nodes[0].len() as f64;
-        let idle_node = cfg.idle_current.amps() / block;
-        let flit_node = cfg.flit_current.amps() / block;
-        let node_load = |count: u32| idle_node + flit_node * f64::from(count);
         let v_nom = grid.v_pad().volts();
         let dt = cfg.cycle_time;
         let windows = self.windows();
@@ -338,15 +354,6 @@ impl NocWorkload {
                 .sim_interval_ps(0.0, (dt * cfg.cycles as f64).picoseconds())
         });
 
-        let mut loads = vec![0.0; n];
-        for (t, nodes) in self.block_nodes.iter().enumerate() {
-            let l = node_load(trace.count(0, t));
-            for &nd in nodes {
-                loads[nd] = l;
-            }
-        }
-        let mut sol = grid.solve_sparse(&loads)?;
-
         let site_nodes: Vec<usize> = self
             .campaign
             .floorplan()
@@ -356,61 +363,20 @@ impl NocWorkload {
             .collect();
         let mut site_points: Vec<Vec<(Time, f64)>> =
             vec![Vec::with_capacity(cfg.cycles); site_nodes.len()];
-        let mut stats: Vec<WindowStats> = (0..windows)
-            .map(|w| {
-                let centre = w * cfg.measure_every + cfg.measure_every / 2;
-                WindowStats {
-                    window: w,
-                    start_cycle: w * cfg.measure_every,
-                    instant: dt * (centre as f64 + 0.5),
-                    min_v: f64::INFINITY,
-                    worst_node: 0,
-                    mean_v: 0.0,
-                    mean_current: 0.0,
-                    events: 0,
-                }
-            })
-            .collect();
+        let mut stats = self.window_stats_shell();
 
-        let mut prev_counts = trace.cycle_counts(0).to_vec();
-        let mut changed: Vec<(usize, f64)> = Vec::new();
-        let mut delta_solves = 0u64;
         for c in 0..cfg.cycles {
-            let counts = trace.cycle_counts(c);
-            if c > 0 {
-                changed.clear();
-                for t in 0..mesh_tiles {
-                    if counts[t] != prev_counts[t] {
-                        let l = node_load(counts[t]);
-                        changed.extend(self.block_nodes[t].iter().map(|&nd| (nd, l)));
-                    }
-                }
-                prev_counts.copy_from_slice(counts);
-                if !changed.is_empty() {
-                    sol = grid.solve_delta(&sol, &changed)?;
-                    delta_solves += 1;
-                }
-            }
+            stepper.step()?;
             let t_c = dt * (c as f64 + 0.5);
             for (k, &nd) in site_nodes.iter().enumerate() {
-                site_points[k].push((t_c, sol.voltages()[nd]));
+                site_points[k].push((t_c, stepper.voltages()[nd]));
             }
-            if let Some(w) = stats.get_mut(c / cfg.measure_every) {
-                let (node, v_min) = sol.hotspot();
-                if v_min < w.min_v {
-                    w.min_v = v_min;
-                    w.worst_node = node;
-                }
-                let me = cfg.measure_every as f64;
-                w.mean_v += sol.voltages().iter().sum::<f64>() / (n as f64 * me);
-                w.mean_current += sol.loads().iter().sum::<f64>() / me;
-                w.events += counts.iter().map(|&x| u64::from(x)).sum::<u64>();
-            }
+            self.accumulate_window(&mut stats, c, &stepper, n);
         }
 
         if let Some(obs) = ctx.observer() {
             obs.metrics
-                .counter_add("workload.delta_solves", delta_solves);
+                .counter_add("workload.delta_solves", stepper.delta_solves());
             obs.metrics
                 .gauge_set_max("workload.windows", windows as f64);
         }
@@ -428,9 +394,56 @@ impl NocWorkload {
             profile: NoiseProfile {
                 v_nom,
                 windows: stats,
-                flits: trace.flits(),
+                flits: stepper.planned_flits(),
             },
         })
+    }
+
+    /// Empty per-window statistics, one per measurement window.
+    pub(crate) fn window_stats_shell(&self) -> Vec<WindowStats> {
+        let cfg = &self.config;
+        (0..self.windows())
+            .map(|w| {
+                let centre = w * cfg.measure_every + cfg.measure_every / 2;
+                WindowStats {
+                    window: w,
+                    start_cycle: w * cfg.measure_every,
+                    instant: cfg.cycle_time * (centre as f64 + 0.5),
+                    min_v: f64::INFINITY,
+                    worst_node: 0,
+                    mean_v: 0.0,
+                    mean_current: 0.0,
+                    events: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Folds the stepper's cycle-`c` grid state into its window's
+    /// statistics — the same arithmetic, in the same order, as the old
+    /// fused loop, so stepped profiles stay bit-identical.
+    pub(crate) fn accumulate_window(
+        &self,
+        stats: &mut [WindowStats],
+        c: usize,
+        stepper: &CycleStepper<'_>,
+        n: usize,
+    ) {
+        if let Some(w) = stats.get_mut(c / self.config.measure_every) {
+            let (node, v_min) = stepper.hotspot();
+            if v_min < w.min_v {
+                w.min_v = v_min;
+                w.worst_node = node;
+            }
+            let me = self.config.measure_every as f64;
+            w.mean_v += stepper.voltages().iter().sum::<f64>() / (n as f64 * me);
+            w.mean_current += stepper.solution().loads().iter().sum::<f64>() / me;
+            w.events += stepper
+                .raw_counts()
+                .iter()
+                .map(|&x| u64::from(x))
+                .sum::<u64>();
+        }
     }
 
     /// Runs the campaign in memory: traffic → per-cycle sparse solves →
@@ -595,7 +608,7 @@ mod tests {
                     instants.push(instant);
                     frames.push(frame);
                 }
-                StreamRecord::Summary(s) => summary = Some(s),
+                StreamRecord::Summary { summary: s, .. } => summary = Some(s),
             }
         }
         ResilientCampaignResult {

@@ -18,6 +18,10 @@ pub enum WorkloadError {
     Pdn(psnt_pdn::PdnError),
     /// An error bubbled up from the scan-chain layer.
     Scan(psnt_scan::ScanError),
+    /// An error bubbled up from the sensor core (co-simulation sensing).
+    Sensor(psnt_core::SensorError),
+    /// An error bubbled up from the control layer (droop mitigation).
+    Control(psnt_control::ControlError),
 }
 
 impl fmt::Display for WorkloadError {
@@ -28,6 +32,8 @@ impl fmt::Display for WorkloadError {
             }
             WorkloadError::Pdn(e) => write!(f, "pdn error: {e}"),
             WorkloadError::Scan(e) => write!(f, "scan error: {e}"),
+            WorkloadError::Sensor(e) => write!(f, "sensor error: {e}"),
+            WorkloadError::Control(e) => write!(f, "control error: {e}"),
         }
     }
 }
@@ -37,6 +43,8 @@ impl Error for WorkloadError {
         match self {
             WorkloadError::Pdn(e) => Some(e),
             WorkloadError::Scan(e) => Some(e),
+            WorkloadError::Sensor(e) => Some(e),
+            WorkloadError::Control(e) => Some(e),
             _ => None,
         }
     }
@@ -51,6 +59,18 @@ impl From<psnt_pdn::PdnError> for WorkloadError {
 impl From<psnt_scan::ScanError> for WorkloadError {
     fn from(e: psnt_scan::ScanError) -> WorkloadError {
         WorkloadError::Scan(e)
+    }
+}
+
+impl From<psnt_core::SensorError> for WorkloadError {
+    fn from(e: psnt_core::SensorError) -> WorkloadError {
+        WorkloadError::Sensor(e)
+    }
+}
+
+impl From<psnt_control::ControlError> for WorkloadError {
+    fn from(e: psnt_control::ControlError) -> WorkloadError {
+        WorkloadError::Control(e)
     }
 }
 
@@ -69,6 +89,18 @@ mod tests {
         assert!(Error::source(&p).is_some());
         let s = WorkloadError::from(psnt_scan::ScanError::InvalidPlacement { reason: "x".into() });
         assert!(Error::source(&s).is_some());
+        let n = WorkloadError::from(psnt_core::SensorError::InvalidConfig {
+            name: "clock_period",
+            reason: "y".into(),
+        });
+        assert!(n.to_string().contains("sensor error"));
+        assert!(Error::source(&n).is_some());
+        let k = WorkloadError::from(psnt_control::ControlError::InvalidConfig {
+            name: "latency",
+            reason: "z".into(),
+        });
+        assert!(k.to_string().contains("control error"));
+        assert!(Error::source(&k).is_some());
     }
 
     #[test]

@@ -11,10 +11,17 @@
 //!   (uniform Bernoulli, bursty `k`-on/`m`-off, Gaussian link loads à
 //!   la Booksim's random link-load tables);
 //! * [`noc`] — the mesh, XY routing and the per-cycle activity trace;
-//! * [`campaign`] — [`NocWorkload`]: activity → per-tile currents →
-//!   cycle-by-cycle incremental sparse PDN solves
-//!   ([`PowerGrid::solve_delta`](psnt_pdn::grid::PowerGrid::solve_delta))
-//!   → in-memory or streamed multi-site scan campaigns.
+//! * [`stepper`] — [`CycleStepper`], the cycle-stepped co-simulation
+//!   core: activity source → current map → incremental grid state
+//!   ([`PowerGrid::solve_delta`](psnt_pdn::grid::PowerGrid::solve_delta)),
+//!   with a sanctioned [`Actuation`](psnt_control::Actuation) door for
+//!   closed-loop control;
+//! * [`campaign`] — [`NocWorkload`]: the batch entry points, now thin
+//!   drivers over the stepper (bit-identical to the old fused loop) →
+//!   in-memory or streamed multi-site scan campaigns;
+//! * [`mitigated`] — [`NocWorkload::run_mitigated`], the closed loop:
+//!   per-cycle thermometer sensing → delayed codes → a
+//!   [`Mitigator`](psnt_control::Mitigator) actuating the next cycle.
 //!
 //! # Example
 //!
@@ -35,14 +42,18 @@
 
 pub mod campaign;
 pub mod error;
+pub mod mitigated;
 pub mod noc;
+pub mod stepper;
 pub mod traffic;
 
 pub use campaign::{
     NocCampaignResult, NocWorkload, NocWorkloadConfig, NoiseProfile, StreamedNocResult, WindowStats,
 };
 pub use error::WorkloadError;
+pub use mitigated::{ActuationSample, MitigatedNocResult};
 pub use noc::{ActivityTrace, NocMesh};
+pub use stepper::CycleStepper;
 pub use traffic::{TileTraffic, TrafficPattern};
 
 #[cfg(test)]

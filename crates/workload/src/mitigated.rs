@@ -1,0 +1,434 @@
+//! The closed-loop co-simulation driver: stepper + sensor + mitigator.
+//!
+//! [`NocWorkload::run_mitigated`] closes the loop the paper gestures
+//! at: every cycle, the [`CycleStepper`] advances the chip one cycle,
+//! each monitor site senses its local rail with the instantaneous
+//! [`SensorSystem::measure_value`] path (the causal sensing entry
+//! point — the windowed `measure_at` would peek into the *next*
+//! cycle's waveform), and the thermometer levels travel through a
+//! [`DelayLine`] modelling code-distribution latency before a
+//! [`Mitigator`] turns them into the [`Actuation`] the stepper honours
+//! from the following cycle.
+//!
+//! Degraded sensing never desyncs the loop: a `psnt-fault`
+//! [`SitePanic`](psnt_fault::Fault::SitePanic) on the context knocks
+//! out that site's reading for exactly one mid-run frame (cycle
+//! `cycles / 2`); the frame still ships, the affected domain reports
+//! `None`, and every built-in controller holds its previous actuation
+//! for it.
+
+use psnt_cells::units::Voltage;
+use psnt_control::{Actuation, ControlFrame, DelayLine, Mitigator, SiteReading};
+use psnt_core::SensorSystem;
+use psnt_ctx::RunCtx;
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::{NocWorkload, NoiseProfile};
+use crate::error::WorkloadError;
+use crate::stepper::CycleStepper;
+
+/// Millivolt bucket edges of the `control.droop_depth_mv` histogram.
+const DROOP_BUCKETS_MV: [f64; 6] = [10.0, 20.0, 40.0, 60.0, 80.0, 100.0];
+
+/// The actuation in force during one cycle, summarised per actuator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActuationSample {
+    /// The cycle the actuation applied to.
+    pub cycle: usize,
+    /// Domains with a clock stretch engaged (scale below 1.0).
+    pub stretched: usize,
+    /// Domains holding new traffic injections.
+    pub throttled: usize,
+    /// Domains with a supply boost engaged.
+    pub boosted: usize,
+}
+
+impl ActuationSample {
+    /// True when no actuator was engaged anywhere this cycle.
+    pub fn is_neutral(&self) -> bool {
+        self.stretched == 0 && self.throttled == 0 && self.boosted == 0
+    }
+}
+
+/// Everything a closed-loop run records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MitigatedNocResult {
+    /// The policy name, or `"open-loop"` when no mitigator ran.
+    pub policy: String,
+    /// Code-distribution latency of the run, cycles.
+    pub latency: usize,
+    /// The windowed noise profile (same shape as the batch paths).
+    pub profile: NoiseProfile,
+    /// Per-cycle droop depth below nominal at the grid hotspot, volts
+    /// (post-boost — what the logic actually sees).
+    pub droop_trace: Vec<f64>,
+    /// Per-cycle actuation summary.
+    pub actuation_trace: Vec<ActuationSample>,
+    /// Deepest per-cycle droop, volts.
+    pub worst_droop: f64,
+    /// The cycle the deepest droop occurred at.
+    pub worst_droop_cycle: usize,
+    /// Cycles that ran with any non-neutral actuation in force.
+    pub engaged_cycles: u64,
+    /// Site readings dropped by faults over the run.
+    pub degraded_readings: u64,
+    /// Peak number of flits held back by throttles at any one cycle.
+    pub deferred_peak: usize,
+}
+
+impl MitigatedNocResult {
+    /// Droop duration: cycles whose hotspot sat deeper than `depth_v`
+    /// below nominal.
+    pub fn cycles_deeper_than(&self, depth_v: f64) -> usize {
+        self.droop_trace.iter().filter(|&&d| d > depth_v).count()
+    }
+
+    /// Mean per-cycle droop depth, volts (0 for an empty trace).
+    pub fn mean_droop(&self) -> f64 {
+        if self.droop_trace.is_empty() {
+            0.0
+        } else {
+            self.droop_trace.iter().sum::<f64>() / self.droop_trace.len() as f64
+        }
+    }
+
+    /// Number of transitions between neutral and engaged actuation
+    /// over the run — the limit-cycle detector the stability tests
+    /// bound: a well-damped controller toggles at most once per burst
+    /// edge, a limit-cycling one toggles every few cycles.
+    pub fn actuation_toggles(&self) -> usize {
+        self.actuation_trace
+            .windows(2)
+            .filter(|w| w[0].is_neutral() != w[1].is_neutral())
+            .count()
+    }
+}
+
+impl NocWorkload {
+    /// Runs the workload cycle-stepped with an optional closed-loop
+    /// droop mitigator observing the thermometer codes at `latency`
+    /// cycles of code-distribution delay.
+    ///
+    /// With `mitigator: None` the loop is open and the noise profile is
+    /// **bit-identical** to [`NocWorkload::run`]'s (same seed, any
+    /// worker count) — the baseline every mitigation arm compares
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver, sensor and actuation-interface errors.
+    pub fn run_mitigated(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        mut mitigator: Option<&mut dyn Mitigator>,
+        latency: usize,
+    ) -> Result<MitigatedNocResult, WorkloadError> {
+        let cfg = self.config();
+        let tiles = self.mesh().tiles();
+        let dt = cfg.cycle_time;
+        let cycles = cfg.cycles;
+        let policy = mitigator
+            .as_ref()
+            .map_or("open-loop", |m| m.name())
+            .to_string();
+        let sensor = SensorSystem::new(cfg.sensor.clone())?;
+        let grid = self.campaign().floorplan().grid();
+        let n = grid.tiles();
+        let v_nom = grid.v_pad().volts();
+
+        // Site attribution: floorplan sites address grid nodes; the
+        // controller reasons in power domains (mesh tiles).
+        let mut node_domain = vec![0usize; n];
+        for t in 0..tiles {
+            for &nd in self.block_nodes(t) {
+                node_domain[nd] = t;
+            }
+        }
+        let site_nodes: Vec<usize> = self
+            .campaign()
+            .floorplan()
+            .sites()
+            .iter()
+            .map(|s| s.tile)
+            .collect();
+        let panicking: Vec<usize> = ctx
+            .fault_plan()
+            .map(|p| p.panicking_sites())
+            .unwrap_or_default();
+        let drop_cycle = cycles / 2;
+
+        let mut stepper = CycleStepper::new(self, ctx)?;
+        if let Some(obs) = ctx.observer() {
+            obs.metrics
+                .counter_add("workload.flits", stepper.planned_flits());
+        }
+        let mut span = ctx.observer().map(|o| {
+            o.begin_span("control_loop")
+                .attr("policy", &policy.as_str())
+                .attr("latency", &(latency as u64))
+                .attr("cycles", &(cycles as u64))
+                .sim_interval_ps(0.0, (dt * cycles as f64).picoseconds())
+        });
+
+        let mut delay = DelayLine::new(latency);
+        let mut act = Actuation::neutral(tiles);
+        let mut stats = self.window_stats_shell();
+        let mut droop_trace = Vec::with_capacity(cycles);
+        let mut actuation_trace = Vec::with_capacity(cycles);
+        let mut worst_droop = 0.0f64;
+        let mut worst_droop_cycle = 0usize;
+        let mut engaged_cycles = 0u64;
+        let mut degraded_readings = 0u64;
+        let mut deferred_peak = 0usize;
+
+        for c in 0..cycles {
+            stepper.step()?;
+            self.accumulate_window(&mut stats, c, &stepper, n);
+
+            let droop = v_nom - stepper.hotspot().1;
+            if droop > worst_droop {
+                worst_droop = droop;
+                worst_droop_cycle = c;
+            }
+            droop_trace.push(droop);
+            deferred_peak = deferred_peak.max(stepper.deferred_backlog());
+            let a = stepper.actuation();
+            if !a.is_neutral() {
+                engaged_cycles += 1;
+            }
+            actuation_trace.push(ActuationSample {
+                cycle: c,
+                stretched: (0..tiles).filter(|&t| a.stretch(t) < 1.0).count(),
+                throttled: (0..tiles).filter(|&t| a.throttled(t)).count(),
+                boosted: (0..tiles).filter(|&t| a.boost(t) > 0.0).count(),
+            });
+
+            // Sense frame → delay line → mitigator → next cycle's
+            // actuation. Sensing is per-site and instantaneous; a
+            // panicked site degrades to `None` for its one faulted
+            // frame instead of aborting the loop.
+            if let Some(m) = mitigator.as_deref_mut() {
+                let at = dt * (c as f64 + 0.5);
+                let mut readings = Vec::with_capacity(site_nodes.len());
+                for (k, &nd) in site_nodes.iter().enumerate() {
+                    let level = if c == drop_cycle && panicking.contains(&k) {
+                        degraded_readings += 1;
+                        None
+                    } else {
+                        let vdd = Voltage::from_v(stepper.voltages()[nd]);
+                        Some(
+                            sensor
+                                .measure_value(vdd, Voltage::from_v(0.0), at)?
+                                .hs_word
+                                .level,
+                        )
+                    };
+                    readings.push(SiteReading {
+                        domain: node_domain[nd],
+                        level,
+                    });
+                }
+                let frame = ControlFrame {
+                    cycle: c as u64,
+                    readings,
+                };
+                if let Some(observed) = delay.push(frame) {
+                    m.observe(&observed, &mut act);
+                    stepper.apply(&act)?;
+                }
+            }
+        }
+
+        if let Some(obs) = ctx.observer() {
+            obs.metrics
+                .counter_add("workload.delta_solves", stepper.delta_solves());
+            obs.metrics
+                .counter_add("control.engaged_cycles", engaged_cycles);
+            obs.metrics
+                .counter_add("control.degraded_readings", degraded_readings);
+            obs.metrics
+                .gauge_set_max("control.deferred_peak", deferred_peak as f64);
+            let h = obs
+                .metrics
+                .histogram("control.droop_depth_mv", &DROOP_BUCKETS_MV);
+            for &d in &droop_trace {
+                obs.metrics.record(h, d * 1000.0);
+            }
+        }
+        if let (Some(obs), Some(sp)) = (ctx.observer(), span.take()) {
+            obs.end_span(sp);
+        }
+
+        Ok(MitigatedNocResult {
+            policy,
+            latency,
+            profile: NoiseProfile {
+                v_nom,
+                windows: stats,
+                flits: stepper.planned_flits(),
+            },
+            droop_trace,
+            actuation_trace,
+            worst_droop,
+            worst_droop_cycle,
+            engaged_cycles,
+            degraded_readings,
+            deferred_peak,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::NocWorkloadConfig;
+    use crate::traffic::TrafficPattern;
+    use psnt_cells::units::Current;
+    use psnt_control::{SupplyBoost, ThresholdThrottle};
+    use psnt_engine::RetryPolicy;
+    use psnt_fault::{Fault, FaultPlan};
+
+    /// A chip whose rails sit inside the sensor's dynamic range so
+    /// thermometer levels actually move with the droop.
+    fn control_chip() -> NocWorkloadConfig {
+        let mut cfg = NocWorkloadConfig::small_2x2();
+        cfg.v_pad = Voltage::from_v(1.0);
+        cfg.flit_current = Current::from_ma(40.0);
+        cfg.pattern = TrafficPattern::Bursty {
+            injection_rate: 0.9,
+            on_cycles: 12,
+            off_cycles: 18,
+        };
+        cfg.cycles = 120;
+        cfg.measure_every = 30;
+        cfg
+    }
+
+    #[test]
+    fn open_loop_profile_is_bit_identical_to_batch() {
+        let w = NocWorkload::new(NocWorkloadConfig::small_2x2()).unwrap();
+        let batch = w
+            .run(&mut RunCtx::serial().with_seed(23), RetryPolicy::none())
+            .unwrap();
+        let open = w
+            .run_mitigated(&mut RunCtx::serial().with_seed(23), None, 0)
+            .unwrap();
+        assert_eq!(open.profile, batch.profile);
+        assert_eq!(open.policy, "open-loop");
+        assert_eq!(open.droop_trace.len(), 60);
+        assert_eq!(open.engaged_cycles, 0);
+        assert!((open.worst_droop - open.droop_trace[open.worst_droop_cycle]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn throttle_mitigation_cuts_droop_depth() {
+        let w = NocWorkload::new(control_chip()).unwrap();
+        let base = w
+            .run_mitigated(&mut RunCtx::serial().with_seed(5), None, 0)
+            .unwrap();
+        // Engage whenever any element fails (level ≤ 6 of 7), release
+        // only fully recovered rails.
+        let mut ctrl = ThresholdThrottle::new(4, 6, 7).unwrap();
+        let out = w
+            .run_mitigated(&mut RunCtx::serial().with_seed(5), Some(&mut ctrl), 0)
+            .unwrap();
+        assert!(out.engaged_cycles > 0, "controller engaged");
+        assert!(
+            out.worst_droop < base.worst_droop,
+            "throttling must shallow the droop: {} vs {}",
+            out.worst_droop,
+            base.worst_droop
+        );
+        assert!(out.deferred_peak > 0, "throttle held flits back");
+    }
+
+    #[test]
+    fn boost_mitigation_lifts_the_hotspot() {
+        let w = NocWorkload::new(control_chip()).unwrap();
+        let base = w
+            .run_mitigated(&mut RunCtx::serial().with_seed(6), None, 0)
+            .unwrap();
+        let mut ctrl = SupplyBoost::new(4, 6, 7, Voltage::from_v(0.04)).unwrap();
+        let out = w
+            .run_mitigated(&mut RunCtx::serial().with_seed(6), Some(&mut ctrl), 0)
+            .unwrap();
+        assert!(out.engaged_cycles > 0);
+        assert!(out.worst_droop < base.worst_droop);
+        // Boost defers nothing.
+        assert_eq!(out.deferred_peak, 0);
+    }
+
+    /// Observes every frame, actuates nothing — the probe the desync
+    /// test uses to watch the loop's frame stream.
+    struct NullPolicy {
+        frames: usize,
+        degraded_frames: usize,
+    }
+
+    impl Mitigator for NullPolicy {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+
+        fn observe(&mut self, frame: &ControlFrame, _act: &mut Actuation) {
+            self.frames += 1;
+            if frame.readings.iter().any(|r| r.level.is_none()) {
+                self.degraded_frames += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn site_panic_degrades_one_frame_without_desync() {
+        let w = NocWorkload::new(control_chip()).unwrap();
+        let probe = || NullPolicy {
+            frames: 0,
+            degraded_frames: 0,
+        };
+        let mut healthy_ctrl = probe();
+        let healthy = w
+            .run_mitigated(
+                &mut RunCtx::serial().with_seed(9),
+                Some(&mut healthy_ctrl),
+                2,
+            )
+            .unwrap();
+        let mut faulted_ctrl = probe();
+        let mut ctx = RunCtx::serial()
+            .with_seed(9)
+            .with_fault_plan(FaultPlan::new().with(Fault::SitePanic { site: 1 }));
+        let faulted = w
+            .run_mitigated(&mut ctx, Some(&mut faulted_ctrl), 2)
+            .unwrap();
+        assert_eq!(faulted.degraded_readings, 1, "one frame, one site");
+        assert_eq!(healthy.degraded_readings, 0);
+        // The delayed frame stream kept its 1:1 cycle mapping: same
+        // frame count, exactly one carrying a degraded reading.
+        assert_eq!(faulted_ctrl.frames, 120 - 2);
+        assert_eq!(faulted_ctrl.frames, healthy_ctrl.frames);
+        assert_eq!(faulted_ctrl.degraded_frames, 1);
+        assert_eq!(faulted.profile, healthy.profile, "loop never desynced");
+        assert_eq!(faulted.actuation_trace, healthy.actuation_trace);
+    }
+
+    #[test]
+    fn mitigated_run_emits_control_telemetry() {
+        use psnt_obs::Observer;
+        let w = NocWorkload::new(control_chip()).unwrap();
+        let mut obs = Observer::ring(4096);
+        let mut ctrl = ThresholdThrottle::new(4, 6, 7).unwrap();
+        let mut ctx = RunCtx::serial().with_seed(5).with_observer(&mut obs);
+        let out = w.run_mitigated(&mut ctx, Some(&mut ctrl), 1).unwrap();
+        drop(ctx);
+        assert_eq!(
+            obs.metrics.counter_value("control.engaged_cycles"),
+            out.engaged_cycles
+        );
+        let h = obs
+            .metrics
+            .histogram_value("control.droop_depth_mv")
+            .unwrap();
+        assert_eq!(h.count(), 120, "one droop sample per cycle");
+        assert!(h.mean().unwrap() >= 0.0);
+    }
+}

@@ -104,24 +104,8 @@ impl ActivityTrace {
         pattern: &TrafficPattern,
         cycles: usize,
     ) -> Result<ActivityTrace, WorkloadError> {
-        pattern.validate()?;
-        if cycles == 0 {
-            return Err(WorkloadError::InvalidConfig {
-                name: "cycles",
-                reason: "need at least one cycle".into(),
-            });
-        }
         let tiles = mesh.tiles();
-        let seed = ctx.seed();
-        // Phase 1 — parallel per tile: each tile's injections come from
-        // its own split stream, so the result is order- and
-        // worker-count-independent.
-        let injections: Vec<Vec<(u32, u32)>> = ctx.engine().map(tiles, |t| {
-            let mut gen = TileTraffic::new(pattern, seed, t, tiles);
-            (0..cycles as u64)
-                .filter_map(|c| gen.step(c).map(|dst| (c as u32, dst as u32)))
-                .collect()
-        });
+        let injections = ActivityTrace::plan(ctx, mesh, pattern, cycles)?;
         // Phase 2 — serial overlay: walk every flit one hop per cycle
         // along its XY route, accumulating router switching counts.
         let mut counts = vec![0u32; cycles * tiles];
@@ -147,6 +131,45 @@ impl ActivityTrace {
             counts,
             flits,
         })
+    }
+
+    /// The raw injection plan behind [`ActivityTrace::generate`] — and
+    /// the activity *source* stage of the cycle stepper: per source
+    /// tile, the `(cycle, destination)` pairs of every flit the traffic
+    /// pattern injects, in cycle order. Per-tile streams run in
+    /// parallel on the context's engine and are seed-split from
+    /// `ctx.seed()`, so the plan is bit-identical at any worker count —
+    /// which is exactly what pins the stepped and batch pipelines to
+    /// the same activity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for an invalid pattern
+    /// or zero cycles.
+    pub fn plan(
+        ctx: &mut RunCtx<'_>,
+        mesh: &NocMesh,
+        pattern: &TrafficPattern,
+        cycles: usize,
+    ) -> Result<Vec<Vec<(u32, u32)>>, WorkloadError> {
+        pattern.validate()?;
+        if cycles == 0 {
+            return Err(WorkloadError::InvalidConfig {
+                name: "cycles",
+                reason: "need at least one cycle".into(),
+            });
+        }
+        let tiles = mesh.tiles();
+        let seed = ctx.seed();
+        // Parallel per tile: each tile's injections come from its own
+        // split stream, so the result is order- and
+        // worker-count-independent.
+        Ok(ctx.engine().map(tiles, |t| {
+            let mut gen = TileTraffic::new(pattern, seed, t, tiles);
+            (0..cycles as u64)
+                .filter_map(|c| gen.step(c).map(|dst| (c as u32, dst as u32)))
+                .collect()
+        }))
     }
 
     /// Number of cycles in the trace.

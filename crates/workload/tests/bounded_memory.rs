@@ -42,7 +42,7 @@ fn streamed_256_site_campaign_stays_bounded() {
                 match record {
                     StreamRecord::Site { .. } => sites += 1,
                     StreamRecord::Frame { .. } => frames += 1,
-                    StreamRecord::Summary(_) => summaries += 1,
+                    StreamRecord::Summary { .. } => summaries += 1,
                 }
                 Ok(())
             },

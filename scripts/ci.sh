@@ -78,6 +78,18 @@ if [ -n "$batch_hot_vec" ]; then
     exit 1
 fi
 
+echo "==> sim-time purity gate (crates/control)"
+# Controllers are sim-time pure: decisions are functions of observed
+# frames and their own state, never wall-clock time. Any Instant::now
+# (or SystemTime) in the control crate breaks closed-loop determinism.
+control_clock=$(grep -rn -e 'Instant::now' -e 'SystemTime' \
+    --include='*.rs' crates/control || true)
+if [ -n "$control_clock" ]; then
+    echo "wall-clock access inside crates/control (controllers must be sim-time pure):" >&2
+    echo "$control_clock" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -127,6 +139,15 @@ echo "==> workload suite under PSNT_JOBS=4"
 # The chip-scale workload contract: traffic traces, delta-solve
 # chains and streamed campaigns are worker-count independent.
 PSNT_JOBS=4 cargo test -q -p psnt-workload
+
+echo "==> control + stepper-equivalence suites under PSNT_JOBS=4"
+# The co-simulation refactor contract: the batch entry points are
+# stepper drivers bit-identical to the fused loops they replaced, and
+# the closed control loop is stable and deterministic at every tested
+# code latency.
+PSNT_JOBS=4 cargo test -q -p psnt-control
+PSNT_JOBS=4 cargo test -q -p psn-thermometer --test stepper_equiv
+PSNT_JOBS=4 cargo test -q -p psn-thermometer --test control_loop
 
 echo "==> bounded-memory gate (streamed 256-site campaign)"
 # The streaming contract: a full 256-site campaign through the

@@ -21,8 +21,15 @@
 //! * [`scan`] (`psnt-scan`) — multi-site placement, serial readout,
 //!   equivalent-time sampling, campaigns;
 //! * [`workload`] (`psnt-workload`) — chip-scale workload engine:
-//!   seed-split NoC-mesh traffic driving cycle-by-cycle incremental
-//!   sparse PDN solves and streamed 256+-site campaigns;
+//!   seed-split NoC-mesh traffic driving a cycle-stepped co-simulation
+//!   core ([`CycleStepper`](psnt_workload::CycleStepper)) with
+//!   incremental sparse PDN solves and streamed 256+-site campaigns;
+//! * [`control`] (`psnt-control`) — closed-loop droop mitigation:
+//!   [`Mitigator`](psnt_control::Mitigator) policies (threshold clock
+//!   stretch / load throttle / supply boost, PI boost with anti-windup)
+//!   observing thermometer codes at cycle `t` and actuating cycle
+//!   `t + 1` through a sanctioned [`Actuation`](psnt_control::Actuation)
+//!   interface;
 //! * [`analysis`] (`psnt-analysis`) — statistics, ADC linearity metrics,
 //!   fidelity scoring, report tables;
 //! * [`obs`] (`psnt-obs`) — telemetry: metrics registry, structured
@@ -59,6 +66,7 @@
 
 pub use psnt_analysis as analysis;
 pub use psnt_cells as cells;
+pub use psnt_control as control;
 pub use psnt_core as sensor;
 pub use psnt_ctx as ctx;
 pub use psnt_engine as engine;
@@ -73,6 +81,7 @@ pub use psnt_workload as workload;
 pub mod prelude {
     pub use psnt_cells::process::{ProcessCorner, Pvt};
     pub use psnt_cells::units::{Capacitance, Current, Frequency, Resistance, Time, Voltage};
+    pub use psnt_control::{Actuation, Mitigator};
     pub use psnt_core::code::ThermometerCode;
     pub use psnt_core::element::{RailMode, SenseElement};
     pub use psnt_core::policy::{DvfsGovernor, GovernorAction, NoiseAlarm};
