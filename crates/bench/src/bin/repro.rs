@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [--<id> ...] [--xp <id> ...] [--jobs N] [--seed S] [--fault-plan <file.json>]
+//!       [--checkpoint <path>] [--checkpoint-every N] [--resume <path>]
 //!       [--out <dir>] [--telemetry <path.jsonl>] [--trace <path.json>] [--list]
 //! ```
 //!
@@ -18,6 +19,16 @@
 //!   Reports are bit-identical at any `N`;
 //! * `--seed S` — base seed of the context's SplitMix64 seed policy
 //!   (experiments that pin a published seed keep it regardless);
+//! * `--checkpoint <path>` / `--checkpoint-every N` / `--resume <path>`
+//!   — supervised checkpoint/resume for the long-running workload
+//!   experiments (`--noc-campaign` or `--droop-mitigation`, exactly
+//!   one of which must be selected): snapshots are written to `<path>`
+//!   atomically every `N` cycles and again the moment a cooperative
+//!   interrupt (cancellation, deadline, budget, or a harness
+//!   `CancelAt`/`DeadlineTrip` fault) trips; an interrupted run prints
+//!   a notice and exits with status 3; `--resume <path>` continues it,
+//!   and the resumed report is bit-identical, record for record, to an
+//!   uninterrupted one;
 //! * `--out <dir>` — additionally write each report to `<dir>/<id>.txt`;
 //! * `--telemetry <path>` — write a JSON-Lines telemetry stream: a run
 //!   manifest, structured events from the observer-aware experiments,
@@ -60,6 +71,7 @@ fn main() {
     let mut engine = Engine::from_env();
     let mut seed = 0u64;
     let mut fault_plan: Option<psnt_fault::FaultPlan> = None;
+    let mut ckpt = psnt_bench::CheckpointOptions::none();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -114,6 +126,27 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--checkpoint" => match iter.next() {
+                Some(path) => ckpt.checkpoint = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--checkpoint needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--checkpoint-every" => match iter.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => ckpt.every = Some(n),
+                _ => {
+                    eprintln!("--checkpoint-every needs a positive cycle count");
+                    std::process::exit(2);
+                }
+            },
+            "--resume" => match iter.next() {
+                Some(path) => ckpt.resume = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--resume needs a checkpoint file argument");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match iter.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -143,6 +176,16 @@ fn main() {
                 }
             },
         }
+    }
+
+    if ckpt.is_active()
+        && !(wanted.len() == 1 && matches!(wanted[0].as_str(), "noc-campaign" | "droop-mitigation"))
+    {
+        eprintln!(
+            "--checkpoint/--checkpoint-every/--resume apply to exactly one selected \
+             experiment, either --noc-campaign or --droop-mitigation"
+        );
+        std::process::exit(2);
     }
 
     if let Some(dir) = &out_dir {
@@ -192,6 +235,7 @@ fn main() {
     ctx.set_fault_plan(fault_plan);
 
     let mut matched = false;
+    let mut exit_code = 0;
     for (id, _desc, run) in psnt_bench::all_experiments() {
         if wanted.is_empty() || wanted.iter().any(|w| w == id) {
             matched = true;
@@ -199,7 +243,31 @@ fn main() {
             // runner traces (campaign, grid solve, sites) nests
             // underneath it in the exported tree.
             let span = ctx.observer().map(|o| o.begin_span(id));
-            let report = run(&mut ctx);
+            // The two chip-scale workload experiments honour the
+            // checkpoint flags through their supervised entry points;
+            // everything else runs through the registry unchanged.
+            let report = if ckpt.is_active() {
+                let outcome = match id {
+                    "noc-campaign" => {
+                        psnt_bench::checkpointed::noc_campaign_checkpointed(&mut ctx, &ckpt)
+                    }
+                    _ => psnt_bench::checkpointed::droop_mitigation_checkpointed(&mut ctx, &ckpt),
+                };
+                match outcome {
+                    Ok(run) => {
+                        if run.interrupted {
+                            exit_code = 3;
+                        }
+                        run.report
+                    }
+                    Err(e) => {
+                        eprintln!("{id}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                run(&mut ctx)
+            };
             if let (Some(obs), Some(span)) = (ctx.observer(), span) {
                 obs.end_span(span);
             }
@@ -235,5 +303,11 @@ fn main() {
             eprintln!("  --{id}");
         }
         std::process::exit(2);
+    }
+    if exit_code != 0 {
+        // An experiment was interrupted (notice printed above, spans
+        // and telemetry already flushed); status 3 distinguishes the
+        // cooperative stop from hard failures.
+        std::process::exit(exit_code);
     }
 }

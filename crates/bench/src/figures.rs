@@ -1055,87 +1055,22 @@ pub fn fault_coverage(ctx: &mut RunCtx<'_>) -> String {
 /// through the same sink and the map stays partial instead of the run
 /// aborting.
 pub fn noc_campaign(ctx: &mut RunCtx<'_>) -> String {
-    use psnt_scan::campaign::{SiteOutcome, StreamRecord};
-    use psnt_workload::{NocWorkload, NocWorkloadConfig};
-
-    let workload = NocWorkload::new(NocWorkloadConfig::chip_8x8()).expect("chip config");
-    let mut sites = 0usize;
-    let mut degraded = 0usize;
-    let mut deepest_level: Option<usize> = None;
-    let out = workload
-        .run_streamed(ctx, psnt_engine::RetryPolicy::none(), |record| {
-            if let StreamRecord::Site {
-                series, outcome, ..
-            } = &record
-            {
-                sites += 1;
-                match outcome {
-                    SiteOutcome::Degraded { .. } => degraded += 1,
-                    SiteOutcome::Measured => {
-                        let lvl = series.worst_level();
-                        deepest_level = Some(deepest_level.map_or(lvl, |d: usize| d.min(lvl)));
-                    }
-                }
-            }
-            Ok(())
-        })
-        .expect("noc campaign");
-
-    let profile = &out.profile;
-    let mut t = Table::new(
-        "XP-NOC — cycle-wise noise profile (8×8 mesh, 256 sites, 40×40 grid, uniform 0.25)",
-        &[
-            "window",
-            "cycles",
-            "events",
-            "I mean",
-            "V mean",
-            "V min",
-            "droop",
-            "worst node",
-        ],
-    );
-    for w in &profile.windows {
-        t.row([
-            w.window.to_string(),
-            format!(
-                "{}-{}",
-                w.start_cycle,
-                w.start_cycle + workload.config().measure_every - 1
-            ),
-            w.events.to_string(),
-            format!("{:.2} A", w.mean_current),
-            fmt_v(w.mean_v),
-            fmt_v(w.min_v),
-            format!("{:.1} mV", (profile.v_nom - w.min_v) * 1e3),
-            format!(
-                "r{}c{}",
-                w.worst_node / workload.campaign().floorplan().grid().cols(),
-                w.worst_node % workload.campaign().floorplan().grid().cols()
-            ),
-        ]);
-    }
-    let mut s = t.render();
-    s.push_str(&format!(
-        "flits injected: {} | worst droop: {:.1} mV | sites streamed: {sites} \
-         ({degraded} degraded) | deepest site level: {} | chain: {} FFs\n",
-        profile.flits,
-        profile.worst_droop() * 1e3,
-        deepest_level.map_or_else(|| "-".into(), |l| l.to_string()),
-        workload.campaign().chain().len(),
-    ));
-    s.push_str(&format!(
-        "summary: {:?} (streamed path; bit-identical to the in-memory campaign at any job count)\n",
-        out.summary
-    ));
-    s
+    // No checkpoint flags: the plain supervised run. A cooperative
+    // interrupt (e.g. a `CancelAt` harness fault) renders its notice
+    // instead of aborting the whole repro session.
+    crate::checkpointed::noc_campaign_checkpointed(
+        ctx,
+        &crate::checkpointed::CheckpointOptions::none(),
+    )
+    .expect("noc campaign")
+    .report
 }
 
 /// The bursty chip the droop-mitigation experiment runs: rails at
 /// 1.00 V (the centre of the sensor's dynamic range, so thermometer
 /// levels track the droop), heavy per-flit current, 12-on/20-off
 /// bursts.
-fn droop_chip() -> psnt_workload::NocWorkloadConfig {
+pub(crate) fn droop_chip() -> psnt_workload::NocWorkloadConfig {
     use psnt_workload::{NocWorkloadConfig, TrafficPattern};
     NocWorkloadConfig {
         mesh_rows: 8,
@@ -1166,132 +1101,15 @@ fn droop_chip() -> psnt_workload::NocWorkloadConfig {
 /// vs the open loop under bursty traffic, then a response-latency
 /// sweep (thermometer codes delayed 0–8 cycles before the controller).
 pub fn droop_mitigation(ctx: &mut RunCtx<'_>) -> String {
-    use psnt_control::{Mitigator, PiBoost, SupplyBoost, ThresholdStretch, ThresholdThrottle};
-    use psnt_workload::NocWorkload;
-
-    let cfg = droop_chip();
-    let tiles = cfg.mesh_rows * cfg.mesh_cols;
-    let workload = NocWorkload::new(cfg.clone()).expect("droop chip");
-    // Self-calibrating thresholds: engage when the droop costs at
-    // least one thermometer level off the healthy code.
-    let sensor = SensorSystem::new(cfg.sensor.clone()).expect("sensor");
-    let healthy = sensor
-        .measure_value(cfg.v_pad, Voltage::from_v(0.0), Time::ZERO)
-        .expect("healthy sense")
-        .hs_word
-        .level
-        .max(1);
-    let (engage, release) = (healthy - 1, healthy);
-
-    // Every arm re-arms the context at the same seed, so all policies
-    // see bit-identical traffic.
-    let seed = 2009;
-    ctx.set_seed(seed);
-    let base = workload.run_mitigated(ctx, None, 0).expect("open loop");
-    let duration_floor = base.worst_droop * 0.5;
-
-    let mut t = Table::new(
-        "XP-DROOP — droop mitigation under bursty traffic (8×8 mesh, 24×24 grid, \
-         0.9 × 12-on/20-off, codes at latency 1)",
-        &[
-            "policy",
-            "worst droop",
-            "mean droop",
-            "cycles > 50% base",
-            "engaged",
-            "toggles",
-            "deferred peak",
-            "reduction",
-        ],
-    );
-    let mut render_arm = |out: &psnt_workload::MitigatedNocResult| {
-        let reduction = (1.0 - out.worst_droop / base.worst_droop) * 100.0;
-        t.row([
-            out.policy.clone(),
-            format!("{:.1} mV", out.worst_droop * 1e3),
-            format!("{:.1} mV", out.mean_droop() * 1e3),
-            out.cycles_deeper_than(duration_floor).to_string(),
-            format!("{} cy", out.engaged_cycles),
-            out.actuation_toggles().to_string(),
-            out.deferred_peak.to_string(),
-            format!("{reduction:.1}%"),
-        ]);
-        reduction
-    };
-    render_arm(&base);
-
-    // Dwell longer than the 12-cycle burst on-phase: one engagement
-    // rides out the burst that triggered it instead of releasing the
-    // moment the actuation lifts its own reading.
-    let hold = 16;
-    let mut stretch = ThresholdStretch::new(tiles, engage, release, 0.25)
-        .expect("stretch")
-        .with_hold(hold);
-    let mut throttle = ThresholdThrottle::new(tiles, engage, release)
-        .expect("throttle")
-        .with_hold(hold);
-    let mut boost = SupplyBoost::new(tiles, engage, release, Voltage::from_v(0.06))
-        .expect("boost")
-        .with_hold(hold);
-    let mut pi = PiBoost::new(tiles, release as f64, 0.02, 0.01).expect("pi");
-    let arms: Vec<&mut dyn Mitigator> = vec![&mut stretch, &mut throttle, &mut boost, &mut pi];
-    let mut best: Option<(String, f64)> = None;
-    for arm in arms {
-        ctx.set_seed(seed);
-        let out = workload.run_mitigated(ctx, Some(arm), 1).expect("arm run");
-        let reduction = render_arm(&out);
-        if best.as_ref().is_none_or(|(_, b)| reduction > *b) {
-            best = Some((out.policy.clone(), reduction));
-        }
-    }
-    let mut s = t.render();
-
-    // Response-latency sweep: the same supply-boost policy with its
-    // codes delayed 0–8 cycles on the way to the controller.
-    let mut lt = Table::new(
-        "XP-DROOP — supply-boost vs code-distribution latency",
-        &[
-            "latency",
-            "worst droop",
-            "mean droop",
-            "engaged",
-            "toggles",
-            "reduction",
-        ],
-    );
-    for latency in 0..=8usize {
-        ctx.set_seed(seed);
-        let mut arm = SupplyBoost::new(tiles, engage, release, Voltage::from_v(0.06))
-            .expect("boost")
-            .with_hold(hold);
-        let out = workload
-            .run_mitigated(ctx, Some(&mut arm), latency)
-            .expect("latency run");
-        lt.row([
-            format!("{latency} cy"),
-            format!("{:.1} mV", out.worst_droop * 1e3),
-            format!("{:.1} mV", out.mean_droop() * 1e3),
-            format!("{} cy", out.engaged_cycles),
-            out.actuation_toggles().to_string(),
-            format!("{:.1}%", (1.0 - out.worst_droop / base.worst_droop) * 100.0),
-        ]);
-    }
-    s.push_str(&lt.render());
-
-    let (best_name, best_pct) = best.expect("at least one arm");
-    s.push_str(&format!(
-        "healthy level: {healthy}/7 (engage ≤ {engage}, release ≥ {release}) | \
-         open-loop worst droop: {:.1} mV\n",
-        base.worst_droop * 1e3
-    ));
-    s.push_str(&format!(
-        "best-arm worst-droop reduction: {best_pct:.1}% ({best_name})\n"
-    ));
-    s.push_str(
-        "stability: threshold hysteresis + PI anti-windup — actuation toggles stay bounded \
-         by burst edges at every latency (pinned by tests/control_loop.rs)\n",
-    );
-    s
+    // No checkpoint flags: the plain supervised sweep. A cooperative
+    // interrupt (e.g. a `CancelAt` harness fault) renders its notice
+    // instead of aborting the whole repro session.
+    crate::checkpointed::droop_mitigation_checkpointed(
+        ctx,
+        &crate::checkpointed::CheckpointOptions::none(),
+    )
+    .expect("droop sweep")
+    .report
 }
 
 #[cfg(test)]

@@ -15,8 +15,11 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod checkpointed;
 pub mod diff;
 pub mod figures;
+
+pub use checkpointed::{CheckpointOptions, CheckpointedRun};
 
 /// An experiment registry row: stable id, one-line description, and
 /// the ctx-taking runner (re-exported from [`figures`]).

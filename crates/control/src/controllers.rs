@@ -28,6 +28,28 @@ use serde::{Deserialize, Serialize};
 
 use crate::{Actuation, ControlError, ControlFrame, Mitigator, MAX_BOOST_V, MIN_STRETCH};
 
+/// Implements the [`Mitigator`] checkpoint hooks for a controller that
+/// is `Serialize + Deserialize`: the snapshot is the whole controller
+/// (configuration and mutable state), so a restored controller resumes
+/// exactly where the captured one stopped.
+macro_rules! serde_state_hooks {
+    () => {
+        fn state_snapshot(&self) -> Option<String> {
+            Some(serde::json::to_string(self))
+        }
+
+        fn restore_state(&mut self, snapshot: &str) -> bool {
+            match serde::json::from_str::<Self>(snapshot) {
+                Ok(restored) => {
+                    *self = restored;
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+    };
+}
+
 /// Validates a hysteresis band shared by the threshold controllers.
 fn validate_band(engage_below: usize, release_at: usize) -> Result<(), ControlError> {
     if release_at <= engage_below {
@@ -148,6 +170,8 @@ impl Mitigator for ThresholdStretch {
             act.set_stretch(d, if *engaged { self.scale } else { 1.0 });
         }
     }
+
+    serde_state_hooks!();
 }
 
 /// Threshold-triggered load throttle: while engaged, a domain's new
@@ -198,6 +222,8 @@ impl Mitigator for ThresholdThrottle {
             act.set_throttle(d, *engaged);
         }
     }
+
+    serde_state_hooks!();
 }
 
 /// Threshold-triggered supply boost: while engaged, the domain's rail
@@ -259,6 +285,8 @@ impl Mitigator for SupplyBoost {
             act.set_boost(d, if *engaged { self.boost_v } else { 0.0 });
         }
     }
+
+    serde_state_hooks!();
 }
 
 /// A proportional-integral supply boost with anti-windup.
@@ -367,6 +395,8 @@ impl Mitigator for PiBoost {
             act.set_boost(d, self.output[d]);
         }
     }
+
+    serde_state_hooks!();
 }
 
 #[cfg(test)]
@@ -474,6 +504,43 @@ mod tests {
         assert!((act.boost(0) - 0.060).abs() < 1e-12);
         c.observe(&frame(1, &[Some(5)]), &mut act);
         assert_eq!(act.boost(0), 0.0);
+    }
+
+    #[test]
+    fn state_snapshots_roundtrip_mid_run() {
+        // Drive each controller into a non-trivial state, snapshot,
+        // restore onto a fresh instance, and check both produce the
+        // same actuation stream afterwards.
+        let droop = frame(0, &[Some(1), Some(6)]);
+        let recover = |c| frame(c, &[Some(7), Some(7)]);
+        let mut act = Actuation::neutral(2);
+
+        let mut a = ThresholdStretch::new(2, 2, 4, 0.5).unwrap().with_hold(3);
+        a.observe(&droop, &mut act);
+        let snap = a.state_snapshot().expect("serializable policy");
+        let mut b = ThresholdStretch::new(2, 2, 4, 0.5).unwrap().with_hold(3);
+        assert!(b.restore_state(&snap));
+        assert_eq!(a, b);
+        for c in 1..6u64 {
+            let (mut aa, mut ba) = (Actuation::neutral(2), Actuation::neutral(2));
+            a.observe(&recover(c), &mut aa);
+            b.observe(&recover(c), &mut ba);
+            assert_eq!(aa, ba, "frame {c}");
+        }
+
+        let mut p = PiBoost::new(2, 5.0, 0.01, 0.05).unwrap();
+        for c in 0..10u64 {
+            p.observe(&frame(c, &[Some(0), Some(7)]), &mut act);
+        }
+        let snap = p.state_snapshot().unwrap();
+        let mut q = PiBoost::new(2, 5.0, 0.01, 0.05).unwrap();
+        assert!(q.restore_state(&snap));
+        assert_eq!(p.integral(0), q.integral(0), "integral state restored");
+
+        // Garbage payloads are refused and leave state untouched.
+        let before = q.clone();
+        assert!(!q.restore_state("not json"));
+        assert_eq!(q, before);
     }
 
     #[test]

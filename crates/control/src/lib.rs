@@ -219,6 +219,22 @@ pub trait Mitigator {
     /// [`DelayLine`] sits in front) and mutates `act`, the actuation
     /// applied to the next cycle.
     fn observe(&mut self, frame: &ControlFrame, act: &mut Actuation);
+
+    /// Serializes the controller's state for checkpointing, or `None`
+    /// (the default) when the policy does not support it — a resumed
+    /// run then restarts the controller cold, which is safe but may
+    /// diverge from the uninterrupted run until it re-converges.
+    fn state_snapshot(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state captured by [`Mitigator::state_snapshot`] on an
+    /// identically configured controller; returns `false` (the
+    /// default) when the payload is unsupported or unrecognized, in
+    /// which case the controller keeps its current state.
+    fn restore_state(&mut self, _snapshot: &str) -> bool {
+        false
+    }
 }
 
 impl fmt::Debug for dyn Mitigator + '_ {
@@ -260,6 +276,40 @@ impl DelayLine {
         } else {
             None
         }
+    }
+
+    /// The frames currently in flight, oldest first — what a
+    /// checkpoint must capture to resume the loop without a sensing
+    /// gap.
+    pub fn in_flight(&self) -> impl Iterator<Item = &ControlFrame> {
+        self.queue.iter()
+    }
+
+    /// Rebuilds a delay line with `frames` (oldest first) already in
+    /// flight, as captured by [`DelayLine::in_flight`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidConfig`] when more than
+    /// `latency` frames are supplied — a line never holds more between
+    /// pushes, so such a snapshot is corrupt.
+    pub fn with_in_flight(
+        latency: usize,
+        frames: Vec<ControlFrame>,
+    ) -> Result<DelayLine, ControlError> {
+        if frames.len() > latency {
+            return Err(ControlError::InvalidConfig {
+                name: "frames",
+                reason: format!(
+                    "{} frames in flight exceed the line's latency of {latency}",
+                    frames.len()
+                ),
+            });
+        }
+        Ok(DelayLine {
+            latency,
+            queue: frames.into(),
+        })
     }
 }
 

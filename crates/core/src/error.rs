@@ -36,6 +36,9 @@ pub enum SensorError {
     },
     /// An error bubbled up from a substrate crate.
     Netlist(psnt_netlist::NetlistError),
+    /// A supervised sweep (e.g. Monte-Carlo yield under an armed
+    /// supervisor) was stopped cooperatively before every trial ran.
+    Interrupted(psnt_sup::Interrupt),
     /// A Monte-Carlo trial failed; carries the trial index so a
     /// 10⁴-instance sweep pinpoints the offending instance instead of
     /// dropping it (the batch and scalar paths agree on which index —
@@ -64,6 +67,7 @@ impl fmt::Display for SensorError {
                 write!(f, "supply waveform does not cover t = {at_ps} ps")
             }
             SensorError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SensorError::Interrupted(reason) => write!(f, "sweep interrupted: {reason}"),
             SensorError::Trial { index, source } => {
                 write!(f, "trial {index}: {source}")
             }
@@ -83,7 +87,18 @@ impl Error for SensorError {
 
 impl From<psnt_netlist::NetlistError> for SensorError {
     fn from(e: psnt_netlist::NetlistError) -> SensorError {
-        SensorError::Netlist(e)
+        // A netlist-level interruption is the same cooperative stop —
+        // surface it as `Interrupted` so callers match one variant.
+        match e {
+            psnt_netlist::NetlistError::Interrupted(reason) => SensorError::Interrupted(reason),
+            other => SensorError::Netlist(other),
+        }
+    }
+}
+
+impl From<psnt_sup::Interrupt> for SensorError {
+    fn from(reason: psnt_sup::Interrupt) -> SensorError {
+        SensorError::Interrupted(reason)
     }
 }
 

@@ -361,7 +361,9 @@ fn run_lane_batch(
 ///
 /// Propagates threshold-search failures as [`SensorError::Trial`],
 /// carrying the failing trial's index; when several trials fail, the
-/// lowest-indexed trial's error is returned.
+/// lowest-indexed trial's error is returned. When the context's
+/// supervisor trips (cancellation, deadline, or budget) before every
+/// batch has run, returns [`SensorError::Interrupted`].
 pub fn monte_carlo_yield(
     ctx: &mut RunCtx<'_>,
     array: &ThermometerArray,
@@ -373,13 +375,15 @@ pub fn monte_carlo_yield(
     let nominal = array.thresholds_ctx(ctx, skew, pvt)?;
     let seed = ctx.seed();
     let batches = n.div_ceil(LANES);
-    let batch = ctx
-        .engine()
-        .run_batch(&JobSpec::new(batches).seed(seed), |job| {
+    let batch = ctx.engine().run_batch_supervised(
+        &JobSpec::new(batches).seed(seed),
+        ctx.supervisor(),
+        |job| {
             let b = job.index();
             let lanes_n = LANES.min(n - b * LANES);
             run_lane_batch(array, skew, pvt, model, &nominal, seed, b, lanes_n)
-        })?;
+        },
+    )?;
     if let Some(obs) = ctx.observer() {
         obs.metrics.merge(&batch.metrics);
     }
@@ -421,6 +425,8 @@ pub fn monte_carlo_yield(
 ///
 /// Propagates threshold-search failures as [`SensorError::Trial`] with
 /// the failing trial's index; the lowest-indexed trial's error wins.
+/// When the context's supervisor trips before every trial has run,
+/// returns [`SensorError::Interrupted`].
 pub fn monte_carlo_yield_scalar(
     ctx: &mut RunCtx<'_>,
     array: &ThermometerArray,
@@ -431,29 +437,33 @@ pub fn monte_carlo_yield_scalar(
 ) -> Result<YieldReport, SensorError> {
     let nominal = array.thresholds_ctx(ctx, skew, pvt)?;
     let seed = ctx.seed();
-    let batch = ctx.engine().run_batch(&JobSpec::new(n).seed(seed), |job| {
-        let mut rng = job.rng();
-        let drawn = model.perturb_array(array, &mut rng);
-        let th = drawn
-            .thresholds(skew, pvt)
-            .map_err(|e| SensorError::Trial {
-                index: job.index(),
-                source: Box::new(e),
-            })?;
-        let mut abs_sum = 0.0f64;
-        let mut worst = 0.0f64;
-        for (t, t0) in th.iter().zip(&nominal) {
-            let shift = (*t - *t0).volts().abs();
-            abs_sum += shift;
-            worst = worst.max(shift);
-        }
-        Ok::<TrialScore, SensorError>(TrialScore {
-            monotone: th.windows(2).all(|w| w[1] > w[0]),
-            abs_sum,
-            worst,
-            samples: th.len(),
-        })
-    })?;
+    let batch = ctx.engine().run_batch_supervised(
+        &JobSpec::new(n).seed(seed),
+        ctx.supervisor(),
+        |job| {
+            let mut rng = job.rng();
+            let drawn = model.perturb_array(array, &mut rng);
+            let th = drawn
+                .thresholds(skew, pvt)
+                .map_err(|e| SensorError::Trial {
+                    index: job.index(),
+                    source: Box::new(e),
+                })?;
+            let mut abs_sum = 0.0f64;
+            let mut worst = 0.0f64;
+            for (t, t0) in th.iter().zip(&nominal) {
+                let shift = (*t - *t0).volts().abs();
+                abs_sum += shift;
+                worst = worst.max(shift);
+            }
+            Ok::<TrialScore, SensorError>(TrialScore {
+                monotone: th.windows(2).all(|w| w[1] > w[0]),
+                abs_sum,
+                worst,
+                samples: th.len(),
+            })
+        },
+    )?;
     if let Some(obs) = ctx.observer() {
         obs.metrics.merge(&batch.metrics);
     }
@@ -637,6 +647,55 @@ mod tests {
         assert_eq!(a, b);
         let c = run(6);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cancelled_supervisor_interrupts_monte_carlo() {
+        let model = MismatchModel::local_90nm();
+        let token = psnt_sup::CancelToken::new();
+        token.cancel();
+        let sup = psnt_sup::Supervisor::new(token, psnt_sup::RunBudget::unlimited());
+        let mut ctx = RunCtx::serial().with_seed(5).with_supervisor(sup);
+        let err =
+            monte_carlo_yield(&mut ctx, &array(), skew(), &Pvt::typical(), &model, 30).unwrap_err();
+        assert_eq!(
+            err,
+            SensorError::Interrupted(psnt_sup::Interrupt::Cancelled)
+        );
+        let err = monte_carlo_yield_scalar(&mut ctx, &array(), skew(), &Pvt::typical(), &model, 30)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SensorError::Interrupted(psnt_sup::Interrupt::Cancelled)
+        );
+    }
+
+    #[test]
+    fn detached_supervisor_yield_is_bit_identical() {
+        let model = MismatchModel::local_90nm();
+        let baseline = monte_carlo_yield(
+            &mut RunCtx::serial().with_seed(5),
+            &array(),
+            skew(),
+            &Pvt::typical(),
+            &model,
+            30,
+        )
+        .unwrap();
+        // An explicit detached supervisor (the default) must not perturb
+        // the sweep: same trials, same fold order, same floats.
+        let supervised = monte_carlo_yield(
+            &mut RunCtx::serial()
+                .with_seed(5)
+                .with_supervisor(psnt_sup::Supervisor::detached()),
+            &array(),
+            skew(),
+            &Pvt::typical(),
+            &model,
+            30,
+        )
+        .unwrap();
+        assert_eq!(baseline, supervised);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use psnt_engine::{split_seed, Engine};
 use psnt_fault::FaultPlan;
 use psnt_netlist::{BatchSimulator, Netlist, Simulator};
 use psnt_obs::Observer;
+use psnt_sup::Supervisor;
 
 /// A pool of reusable [`Simulator`]s keyed by netlist identity.
 ///
@@ -169,6 +170,7 @@ pub struct RunCtx<'env> {
     pool: SimPool<'env>,
     batch_pool: BatchSimPool<'env>,
     fault_plan: Option<FaultPlan>,
+    supervisor: Supervisor,
 }
 
 impl Default for RunCtx<'_> {
@@ -193,6 +195,7 @@ impl<'env> RunCtx<'env> {
             pool: SimPool::new(),
             batch_pool: BatchSimPool::new(),
             fault_plan: None,
+            supervisor: Supervisor::detached(),
         }
     }
 
@@ -233,6 +236,30 @@ impl<'env> RunCtx<'env> {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> RunCtx<'env> {
         self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
         self
+    }
+
+    /// Attaches a supervisor (builder style). Every context starts
+    /// with a detached supervisor ([`Supervisor::detached`]) that
+    /// never trips, so supervised entry points are bit-identical to
+    /// the unsupervised path unless a caller installs a real token or
+    /// budget.
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> RunCtx<'env> {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Replaces the supervisor in place — the sweep-friendly twin of
+    /// [`RunCtx::with_supervisor`]: a service frontend re-arms the same
+    /// warm context with a fresh token + budget per request.
+    pub fn set_supervisor(&mut self, supervisor: Supervisor) {
+        self.supervisor = supervisor;
+    }
+
+    /// The supervisor every supervised loop checks. Clones are cheap
+    /// and share the token, event counter and forced-trip flag.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
     }
 
     /// The engine handle. Cheap to clone when a batch needs an owned
@@ -390,6 +417,21 @@ mod tests {
             RunCtx::serial().with_seed(7).child_seed(0)
         );
         assert_ne!(ctx.child_seed(0), ctx.child_seed(1));
+    }
+
+    #[test]
+    fn default_supervisor_is_detached_and_replaceable() {
+        use psnt_sup::{CancelToken, Interrupt, RunBudget, Supervisor};
+        let ctx = RunCtx::serial();
+        assert!(ctx.supervisor().check().is_ok(), "detached never trips");
+        let token = CancelToken::new();
+        let mut ctx = RunCtx::serial()
+            .with_supervisor(Supervisor::new(token.clone(), RunBudget::unlimited()));
+        token.cancel();
+        assert_eq!(ctx.supervisor().check(), Err(Interrupt::Cancelled));
+        // In-place re-arm restores a clean supervisor on the same ctx.
+        ctx.set_supervisor(Supervisor::detached());
+        assert!(ctx.supervisor().check().is_ok());
     }
 
     #[test]

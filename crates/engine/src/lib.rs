@@ -68,6 +68,10 @@ pub mod seed;
 pub use batch::{BatchResult, JobCtx, JobError, JobOutcome, JobSpec, RetryPolicy};
 pub use seed::{lane_seed, split_seed};
 
+// Re-exported so supervised call sites can name the interruption types
+// without adding `psnt-sup` to their own dependency list.
+pub use psnt_sup::{Interrupt, Supervisor};
+
 // Re-exported so seeded job closures can use `Rng` without adding the
 // vendored `rand` to their own dependency list.
 pub use rand;
@@ -137,6 +141,45 @@ impl Engine {
         F: Fn(&mut JobCtx<'_>) -> Result<R, E> + Sync,
     {
         pool::execute(self.jobs, spec, &f)
+    }
+
+    /// [`Engine::run_batch`] under a [`Supervisor`]: each worker checks
+    /// the supervisor before every chunk claim (and charges the chunk's
+    /// job count against the event budget), so cancellation, deadline
+    /// expiry and budget exhaustion stop the batch cooperatively — no
+    /// panic, no hang, no torn job.
+    ///
+    /// A trip that lands after every job already completed returns the
+    /// full `Ok` batch: supervised results, when they arrive, are
+    /// bit-identical to [`Engine::run_batch`]. A detached supervisor
+    /// ([`Supervisor::detached`]) never trips, making this a drop-in
+    /// superset of the unsupervised path.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index job error, exactly as [`Engine::run_batch`];
+    /// or `E::from(interrupt)` when supervision stopped the batch with
+    /// jobs unfinished.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any panicking job on the calling thread.
+    pub fn run_batch_supervised<R, E, F>(
+        &self,
+        spec: &JobSpec,
+        sup: &Supervisor,
+        f: F,
+    ) -> Result<BatchResult<R>, E>
+    where
+        R: Send,
+        E: Send + From<Interrupt>,
+        F: Fn(&mut JobCtx<'_>) -> Result<R, E> + Sync,
+    {
+        match pool::execute_supervised(self.jobs, spec, sup, &f) {
+            Ok(b) => Ok(b),
+            Err(pool::ExecErr::Job(e)) => Err(e),
+            Err(pool::ExecErr::Interrupted(reason)) => Err(E::from(reason)),
+        }
     }
 
     /// Runs a batch with **per-job isolation**: a panicking job becomes
@@ -269,5 +312,84 @@ mod tests {
     #[test]
     fn from_env_yields_at_least_one_worker() {
         assert!(Engine::from_env().jobs() >= 1);
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum TestError {
+        Interrupted(Interrupt),
+    }
+
+    impl From<Interrupt> for TestError {
+        fn from(i: Interrupt) -> TestError {
+            TestError::Interrupted(i)
+        }
+    }
+
+    #[test]
+    fn detached_supervised_batch_matches_unsupervised() {
+        for workers in [1, 4] {
+            let engine = Engine::new(workers);
+            let spec = JobSpec::new(64).seed(7);
+            let sup = Supervisor::detached();
+            let supervised = engine
+                .run_batch_supervised::<_, TestError, _>(&spec, &sup, |ctx| {
+                    Ok(ctx.index() as u64 ^ ctx.seed())
+                })
+                .unwrap();
+            let plain = engine
+                .run_batch::<_, std::convert::Infallible, _>(&spec, |ctx| {
+                    Ok(ctx.index() as u64 ^ ctx.seed())
+                })
+                .unwrap();
+            assert_eq!(supervised.results, plain.results, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn cancelled_supervisor_interrupts_before_any_claim() {
+        use psnt_sup::{CancelToken, RunBudget};
+        let token = CancelToken::new();
+        token.cancel();
+        let sup = Supervisor::new(token, RunBudget::unlimited());
+        let err = Engine::new(4)
+            .run_batch_supervised::<u64, TestError, _>(&JobSpec::new(100), &sup, |_| {
+                panic!("no job may run once cancelled before the batch")
+            })
+            .unwrap_err();
+        assert_eq!(err, TestError::Interrupted(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn event_budget_stops_the_claim_loop() {
+        use psnt_sup::{CancelToken, RunBudget};
+        // Serial engine, chunk 1: budget of 5 jobs trips on the 6th
+        // chunk claim at the latest.
+        let sup = Supervisor::new(CancelToken::new(), RunBudget::unlimited().events(5));
+        let err = Engine::serial()
+            .run_batch_supervised::<usize, TestError, _>(&JobSpec::new(100).chunk(1), &sup, |ctx| {
+                Ok(ctx.index())
+            })
+            .unwrap_err();
+        match err {
+            TestError::Interrupted(Interrupt::EventBudget { budget: 5, used }) => {
+                assert!(used >= 5, "trip reports events actually charged")
+            }
+            other => panic!("expected an event-budget interrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trip_after_completion_returns_the_full_batch() {
+        use psnt_sup::{CancelToken, RunBudget};
+        // Budget equal to the job count: every job is charged and runs,
+        // and the check never observes used > budget, so the supervised
+        // batch completes bit-identically to the unsupervised one.
+        let sup = Supervisor::new(CancelToken::new(), RunBudget::unlimited().events(8));
+        let batch = Engine::new(2)
+            .run_batch_supervised::<usize, TestError, _>(&JobSpec::new(8), &sup, |ctx| {
+                Ok(ctx.index() * 2)
+            })
+            .unwrap();
+        assert_eq!(batch.results, (0..8).map(|i| i * 2).collect::<Vec<_>>());
     }
 }

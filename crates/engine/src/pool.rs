@@ -34,17 +34,26 @@ use std::panic;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use psnt_obs::MetricsRegistry;
+use psnt_sup::{Interrupt, Supervisor};
 
 use crate::batch::{job_seed, BatchResult, JobCtx, JobError, JobSpec};
 
 /// One worker's private take: out-of-order `(index, result)` pairs, the
-/// lowest-index error it hit, the panic that stopped it (if any), and
-/// its metrics registry.
+/// lowest-index error it hit, the panic that stopped it (if any), the
+/// supervision trip that stopped it (if any), and its metrics registry.
 struct WorkerOutput<R, E> {
     results: Vec<(usize, R)>,
     first_error: Option<(usize, E)>,
     panicked: Option<JobError>,
+    interrupted: Option<Interrupt>,
     metrics: MetricsRegistry,
+}
+
+/// Why `execute_inner` failed: a job's own error, or a supervision
+/// trip that left unfilled job slots.
+pub(crate) enum ExecErr<E> {
+    Job(E),
+    Interrupted(Interrupt),
 }
 
 /// Sets the poison flag if the worker unwinds mid-job, so the other
@@ -68,6 +77,7 @@ fn worker_loop<R, E, F>(
     chunk: usize,
     cursor: &AtomicUsize,
     poisoned: &AtomicBool,
+    sup: Option<&Supervisor>,
     f: &F,
 ) -> WorkerOutput<R, E>
 where
@@ -83,9 +93,19 @@ where
     let mut results = Vec::new();
     let mut first_error: Option<(usize, E)> = None;
     let mut panicked: Option<JobError> = None;
+    let mut interrupted: Option<Interrupt> = None;
     'claim: loop {
         if poisoned.load(Ordering::Relaxed) {
             break;
+        }
+        // Supervision boundary: checked once per chunk claim, so the
+        // cost is amortised over the chunk and a trip never tears a
+        // job — every result the worker banked stays valid.
+        if let Some(s) = sup {
+            if let Err(reason) = s.check() {
+                interrupted = Some(reason);
+                break;
+            }
         }
         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
         if start >= spec.jobs() {
@@ -93,6 +113,9 @@ where
         }
         metrics.inc(chunks_claimed);
         let end = (start + chunk).min(spec.jobs());
+        if let Some(s) = sup {
+            s.charge_events((end - start) as u64);
+        }
         for index in start..end {
             let mut ctx = JobCtx {
                 index,
@@ -128,12 +151,50 @@ where
         results,
         first_error,
         panicked,
+        interrupted,
         metrics,
     }
 }
 
 /// Runs `spec` with up to `workers` workers and collects in job order.
 pub(crate) fn execute<R, E, F>(workers: usize, spec: &JobSpec, f: &F) -> Result<BatchResult<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(&mut JobCtx<'_>) -> Result<R, E> + Sync,
+{
+    match execute_inner(workers, spec, None, f) {
+        Ok(b) => Ok(b),
+        Err(ExecErr::Job(e)) => Err(e),
+        // Without a supervisor no worker ever records a trip.
+        Err(ExecErr::Interrupted(_)) => unreachable!("unsupervised batch cannot be interrupted"),
+    }
+}
+
+/// Runs `spec` under `sup`: workers stop claiming chunks once the
+/// supervisor trips, and a trip that left job slots unfilled surfaces
+/// as `ExecErr::Interrupted`. A trip that landed after every job
+/// completed returns the full batch normally.
+pub(crate) fn execute_supervised<R, E, F>(
+    workers: usize,
+    spec: &JobSpec,
+    sup: &Supervisor,
+    f: &F,
+) -> Result<BatchResult<R>, ExecErr<E>>
+where
+    R: Send,
+    E: Send,
+    F: Fn(&mut JobCtx<'_>) -> Result<R, E> + Sync,
+{
+    execute_inner(workers, spec, Some(sup), f)
+}
+
+fn execute_inner<R, E, F>(
+    workers: usize,
+    spec: &JobSpec,
+    sup: Option<&Supervisor>,
+    f: &F,
+) -> Result<BatchResult<R>, ExecErr<E>>
 where
     R: Send,
     E: Send,
@@ -147,13 +208,13 @@ where
 
     let outputs: Vec<WorkerOutput<R, E>> = if workers == 1 {
         // The serial path: the identical claim loop, inline.
-        vec![worker_loop(0, spec, chunk, &cursor, &poisoned, f)]
+        vec![worker_loop(0, spec, chunk, &cursor, &poisoned, sup, f)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let (cursor, poisoned) = (&cursor, &poisoned);
-                    scope.spawn(move || worker_loop(w, spec, chunk, cursor, poisoned, f))
+                    scope.spawn(move || worker_loop(w, spec, chunk, cursor, poisoned, sup, f))
                 })
                 .collect();
             handles
@@ -171,6 +232,7 @@ where
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let mut first_error: Option<(usize, E)> = None;
     let mut first_panic: Option<JobError> = None;
+    let mut interrupted: Option<Interrupt> = None;
     for out in outputs {
         metrics.merge(&out.metrics);
         for (index, r) in out.results {
@@ -186,6 +248,9 @@ where
                 first_panic = Some(je);
             }
         }
+        if let Some(reason) = out.interrupted {
+            interrupted.get_or_insert(reason);
+        }
     }
     if let Some(je) = first_panic {
         // Re-raise with the job index attached — the lowest one, so the
@@ -193,7 +258,15 @@ where
         panic::panic_any(je);
     }
     if let Some((_, e)) = first_error {
-        return Err(e);
+        return Err(ExecErr::Job(e));
+    }
+    if slots.iter().any(Option::is_none) {
+        // Unfilled slots are only legal when supervision stopped the
+        // claim loop early — anything else keeps the hard invariant
+        // below.
+        if let Some(reason) = interrupted {
+            return Err(ExecErr::Interrupted(reason));
+        }
     }
     metrics.gauge_set_max("engine.workers", workers as f64);
     Ok(BatchResult {

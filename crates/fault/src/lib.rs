@@ -96,6 +96,42 @@ pub enum Fault {
         /// Zero-based site index within the campaign's placement order.
         site: usize,
     },
+    /// Harness-level fault: a streamed campaign's record sink starts
+    /// returning errors after delivering `after_records` records —
+    /// exercises the abort path (producer joined, terminal
+    /// `StreamRecord::Aborted` emitted, partials preserved). The event
+    /// kernel ignores it; test sinks and the chaos soak harness apply
+    /// it.
+    SinkError {
+        /// Records the sink delivers successfully before failing.
+        after_records: u64,
+    },
+    /// Harness-level fault: the campaign job with global index `job`
+    /// panics on attempt `attempt` — the generalisation of
+    /// [`Fault::SitePanic`] past attempt 0, so retry policies can be
+    /// defeated deterministically (set `attempt` ≥ the policy's
+    /// max attempts − 1 to exhaust every retry). The event kernel
+    /// ignores it.
+    WorkerPanic {
+        /// Zero-based global job index within the batch.
+        job: usize,
+        /// The attempt number (0-based) on which the job panics; the
+        /// job panics on every attempt up to and including this one.
+        attempt: u32,
+    },
+    /// Harness-level fault: the run's cancellation token is cancelled
+    /// when the workload stepper reaches `cycle` — a deterministic
+    /// stand-in for an operator's Ctrl-C, so cancellation-at-a-point
+    /// is reproducible in tests. The event kernel ignores it.
+    CancelAt {
+        /// The stepper cycle at which cancellation fires.
+        cycle: u64,
+    },
+    /// Harness-level fault: the run's supervisor is force-expired at
+    /// the first supervised boundary, exercising the genuine
+    /// wall-clock-deadline path without waiting out a real deadline.
+    /// The event kernel ignores it.
+    DeadlineTrip,
 }
 
 impl Fault {
@@ -135,6 +171,21 @@ impl Fault {
     /// delay cache, so it cannot be confined to one lane of a word.
     pub fn batch_supported(&self) -> bool {
         !matches!(self, Fault::SupplyGlitch { .. })
+    }
+
+    /// True for the harness-level faults the event kernel ignores —
+    /// faults applied by the campaign/workload layers (panics, sink
+    /// errors, cancellation, deadline trips) rather than inside the
+    /// simulated die.
+    pub fn is_harness_level(&self) -> bool {
+        matches!(
+            self,
+            Fault::SitePanic { .. }
+                | Fault::SinkError { .. }
+                | Fault::WorkerPanic { .. }
+                | Fault::CancelAt { .. }
+                | Fault::DeadlineTrip
+        )
     }
 }
 
@@ -205,7 +256,13 @@ impl FaultPlan {
                         });
                     }
                 }
-                Fault::StuckAt { .. } | Fault::BitUpset { .. } | Fault::SitePanic { .. } => {}
+                Fault::StuckAt { .. }
+                | Fault::BitUpset { .. }
+                | Fault::SitePanic { .. }
+                | Fault::SinkError { .. }
+                | Fault::WorkerPanic { .. }
+                | Fault::CancelAt { .. }
+                | Fault::DeadlineTrip => {}
             }
         }
         Ok(())
@@ -247,6 +304,48 @@ impl FaultPlan {
                 _ => None,
             })
             .collect()
+    }
+
+    /// The earliest [`Fault::SinkError`] threshold in the plan, if any:
+    /// the record count after which a chaos-wrapped sink starts
+    /// failing.
+    pub fn sink_error_after(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::SinkError { after_records } => Some(*after_records),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// The `(job, attempt)` pairs named by [`Fault::WorkerPanic`]
+    /// entries, for the campaign layer: job `job` panics on attempts
+    /// `0..=attempt`.
+    pub fn worker_panics(&self) -> Vec<(usize, u32)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::WorkerPanic { job, attempt } => Some((*job, *attempt)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The earliest [`Fault::CancelAt`] cycle in the plan, if any.
+    pub fn cancel_at_cycle(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::CancelAt { cycle } => Some(*cycle),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// True when the plan carries a [`Fault::DeadlineTrip`].
+    pub fn deadline_trip(&self) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::DeadlineTrip))
     }
 }
 
@@ -328,11 +427,36 @@ mod tests {
                 probability: 0.25,
                 seed: 99,
             })
-            .with(Fault::SitePanic { site: 3 });
+            .with(Fault::SitePanic { site: 3 })
+            .with(Fault::SinkError { after_records: 12 })
+            .with(Fault::SinkError { after_records: 5 })
+            .with(Fault::WorkerPanic { job: 9, attempt: 2 })
+            .with(Fault::CancelAt { cycle: 500 })
+            .with(Fault::CancelAt { cycle: 40 })
+            .with(Fault::DeadlineTrip);
         let json = plan.to_json();
         let back = FaultPlan::from_json(&json).unwrap();
         assert_eq!(back, plan);
         assert_eq!(back.panicking_sites(), vec![3]);
+        assert_eq!(back.sink_error_after(), Some(5), "earliest threshold wins");
+        assert_eq!(back.worker_panics(), vec![(9, 2)]);
+        assert_eq!(back.cancel_at_cycle(), Some(40), "earliest cycle wins");
+        assert!(back.deadline_trip());
+    }
+
+    #[test]
+    fn harness_faults_are_classified_and_absent_by_default() {
+        assert!(Fault::SitePanic { site: 0 }.is_harness_level());
+        assert!(Fault::SinkError { after_records: 1 }.is_harness_level());
+        assert!(Fault::WorkerPanic { job: 0, attempt: 0 }.is_harness_level());
+        assert!(Fault::CancelAt { cycle: 1 }.is_harness_level());
+        assert!(Fault::DeadlineTrip.is_harness_level());
+        assert!(!Fault::stuck_at("n", Logic::Zero).is_harness_level());
+        let empty = FaultPlan::new();
+        assert_eq!(empty.sink_error_after(), None);
+        assert!(empty.worker_panics().is_empty());
+        assert_eq!(empty.cancel_at_cycle(), None);
+        assert!(!empty.deadline_trip());
     }
 
     #[test]

@@ -439,7 +439,16 @@ pub struct BatchSimulator<'a> {
     /// Lanes frozen by an exhausted budget; excluded from every
     /// subsequent event.
     dead: u64,
+    /// Cooperative supervision checked (strided) by the fallible
+    /// `try_run_*` methods; `None` (the default) keeps the hot loop
+    /// free of supervision, like the fault state.
+    supervisor: Option<psnt_sup::Supervisor>,
 }
+
+/// Coalesced events between supervision checks in the batch `try_run_*`
+/// loops (each batch event covers up to 64 lanes, so the effective
+/// per-instance stride matches the scalar kernel's).
+const BATCH_SUPERVISION_STRIDE: u64 = 1024;
 
 impl<'a> BatchSimulator<'a> {
     /// Creates a batch simulator at the typical PVT point.
@@ -505,6 +514,7 @@ impl<'a> BatchSimulator<'a> {
             event_budget: None,
             budget_lanes: ALL_LANES,
             dead: 0,
+            supervisor: None,
         };
         sim.rebuild_delay_cache();
         sim.initialize();
@@ -701,8 +711,15 @@ impl<'a> BatchSimulator<'a> {
                         state.transient_seeds[lane] = *seed;
                         state.rngs[lane] = SplitMix64::new(*seed);
                     }
-                    // Campaign-level fault; the event kernel ignores it.
-                    Fault::SitePanic { .. } => {}
+                    // Campaign/harness-level faults; the event kernel
+                    // ignores them (panics, sink errors, cancellation
+                    // and deadline trips are applied by the layers
+                    // above).
+                    Fault::SitePanic { .. }
+                    | Fault::SinkError { .. }
+                    | Fault::WorkerPanic { .. }
+                    | Fault::CancelAt { .. }
+                    | Fault::DeadlineTrip => {}
                 }
             }
         }
@@ -756,6 +773,23 @@ impl<'a> BatchSimulator<'a> {
     /// matches the scalar simulator at its `BudgetExceeded` stop.
     pub fn dead_lanes(&self) -> u64 {
         self.dead
+    }
+
+    /// Installs (or clears, with `None`) a cooperative
+    /// [`Supervisor`](psnt_sup::Supervisor), checked every
+    /// [`BATCH_SUPERVISION_STRIDE`] coalesced events by the fallible
+    /// [`try_run_until`](BatchSimulator::try_run_until) /
+    /// [`try_run_to_quiescence`](BatchSimulator::try_run_to_quiescence)
+    /// loops. A trip surfaces as [`NetlistError::Interrupted`] with the
+    /// batch kernel still usable; the infallible `run_*` methods ignore
+    /// the supervisor, exactly like the scalar kernel.
+    pub fn set_supervisor(&mut self, supervisor: Option<psnt_sup::Supervisor>) {
+        self.supervisor = supervisor;
+    }
+
+    /// The installed supervisor, if any.
+    pub fn supervisor(&self) -> Option<&psnt_sup::Supervisor> {
+        self.supervisor.as_ref()
     }
 
     /// Selects how metastable captures are modelled (batch-wide).
@@ -972,6 +1006,33 @@ impl<'a> BatchSimulator<'a> {
     /// the clock to `t`. Lanes that exhaust the event budget go dead
     /// (the batch analogue of the scalar `BudgetExceeded` stop).
     pub fn run_until(&mut self, t: Time) {
+        match self.run_until_guarded(t, None) {
+            Ok(()) => (),
+            Err(_) => unreachable!("unsupervised batch run cannot be interrupted"),
+        }
+    }
+
+    /// Supervised [`run_until`](BatchSimulator::run_until): identical
+    /// event-for-event while the installed
+    /// [supervisor](BatchSimulator::set_supervisor) holds. With no
+    /// supervisor installed it never fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Interrupted`] when the supervisor trips
+    /// at a strided check; the kernel remains usable (time holds at the
+    /// last applied event).
+    pub fn try_run_until(&mut self, t: Time) -> Result<(), NetlistError> {
+        let sup = self.supervisor.clone();
+        self.run_until_guarded(t, sup.as_ref())
+    }
+
+    fn run_until_guarded(
+        &mut self,
+        t: Time,
+        sup: Option<&psnt_sup::Supervisor>,
+    ) -> Result<(), NetlistError> {
+        let mut until_check = BATCH_SUPERVISION_STRIDE;
         loop {
             let next = self.queue.peek().map(|r| r.0.time);
             if self.faults.is_some() {
@@ -991,15 +1052,52 @@ impl<'a> BatchSimulator<'a> {
             }
             self.queue.pop();
             self.apply(ev);
+            if let Some(s) = sup {
+                until_check -= 1;
+                if until_check == 0 {
+                    until_check = BATCH_SUPERVISION_STRIDE;
+                    s.charge_events(BATCH_SUPERVISION_STRIDE);
+                    if let Err(reason) = s.check_at(self.now.picoseconds()) {
+                        return Err(NetlistError::Interrupted(reason));
+                    }
+                }
+            }
         }
         self.now = self.now.max(t);
+        Ok(())
     }
 
     /// Runs until the event queue drains, or `max` batch events changed
     /// at least one lane (a divergence guard — note the guard counts
     /// coalesced events, not per-lane changes). Returns the final time.
     pub fn run_to_quiescence(&mut self, max: u64) -> Time {
+        match self.run_quiescence_guarded(max, None) {
+            Ok(t) => t,
+            Err(_) => unreachable!("unsupervised batch run cannot be interrupted"),
+        }
+    }
+
+    /// Supervised
+    /// [`run_to_quiescence`](BatchSimulator::run_to_quiescence): same
+    /// event order, stopped cooperatively when the installed
+    /// [supervisor](BatchSimulator::set_supervisor) trips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Interrupted`] when the supervisor trips
+    /// at a strided check.
+    pub fn try_run_to_quiescence(&mut self, max: u64) -> Result<Time, NetlistError> {
+        let sup = self.supervisor.clone();
+        self.run_quiescence_guarded(max, sup.as_ref())
+    }
+
+    fn run_quiescence_guarded(
+        &mut self,
+        max: u64,
+        sup: Option<&psnt_sup::Supervisor>,
+    ) -> Result<Time, NetlistError> {
         let mut applied = 0;
+        let mut until_check = BATCH_SUPERVISION_STRIDE;
         loop {
             if self.faults.is_some() {
                 let horizon = self.queue.peek().map(|r| r.0.time);
@@ -1015,9 +1113,19 @@ impl<'a> BatchSimulator<'a> {
                 if applied >= max {
                     break;
                 }
+                if let Some(s) = sup {
+                    until_check -= 1;
+                    if until_check == 0 {
+                        until_check = BATCH_SUPERVISION_STRIDE;
+                        s.charge_events(BATCH_SUPERVISION_STRIDE);
+                        if let Err(reason) = s.check_at(self.now.picoseconds()) {
+                            return Err(NetlistError::Interrupted(reason));
+                        }
+                    }
+                }
             }
         }
-        self.now
+        Ok(self.now)
     }
 
     /// Injects at most one due `BitUpset` with trigger time `<= horizon`

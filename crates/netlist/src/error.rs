@@ -63,6 +63,13 @@ pub enum NetlistError {
     /// A fault plan failed validation or referred to an object kind the
     /// simulator cannot resolve.
     InvalidFault(String),
+    /// A supervised run (`Simulator::try_run_until` /
+    /// `try_run_to_quiescence` with a [`psnt_sup::Supervisor`]
+    /// installed) was stopped cooperatively: cancellation, a wall-clock
+    /// deadline, or a sim-time/event budget tripped at an event-loop
+    /// check. The simulator remains usable; time holds at the last
+    /// applied event.
+    Interrupted(psnt_sup::Interrupt),
     /// A fault kind the 64-lane batch kernel cannot model was installed
     /// on a specific lane. Unlike [`InvalidFault`](NetlistError::InvalidFault)
     /// this names both the offending fault kind and the lane so batch
@@ -120,6 +127,9 @@ impl fmt::Display for NetlistError {
                 )
             }
             NetlistError::InvalidFault(why) => write!(f, "invalid fault: {why}"),
+            NetlistError::Interrupted(reason) => {
+                write!(f, "simulation interrupted: {reason}")
+            }
             NetlistError::UnsupportedBatchFault { fault, lane } => {
                 write!(
                     f,
@@ -132,6 +142,12 @@ impl fmt::Display for NetlistError {
 }
 
 impl Error for NetlistError {}
+
+impl From<psnt_sup::Interrupt> for NetlistError {
+    fn from(reason: psnt_sup::Interrupt) -> NetlistError {
+        NetlistError::Interrupted(reason)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -192,7 +192,17 @@ pub struct Simulator<'a> {
     profile: Option<Box<SimProfile>>,
     /// Applied-event ceiling enforced by the `try_run_*` methods.
     event_budget: Option<u64>,
+    /// Cooperative supervision checked (strided) by the `try_run_*`
+    /// methods; `None` (the default) costs one never-taken branch per
+    /// run call, like the fault state.
+    supervisor: Option<psnt_sup::Supervisor>,
 }
+
+/// Applied events between supervision checks inside the event loops: a
+/// stride amortises the supervisor's atomics to ~0.1% of event cost
+/// while still bounding the response latency to a cancellation or
+/// deadline at a few thousand events.
+const SUPERVISION_STRIDE: u64 = 1024;
 
 /// A `FaultPlan` resolved against one netlist: names become indices and
 /// time-triggered faults become sorted schedules with replay cursors.
@@ -361,6 +371,7 @@ impl<'a> Simulator<'a> {
             faults: None,
             profile: None,
             event_budget: None,
+            supervisor: None,
         };
         sim.rebuild_delay_cache();
         sim.initialize();
@@ -540,8 +551,14 @@ impl<'a> Simulator<'a> {
                     state.transient_seed = *seed;
                     state.rng = SplitMix64::new(*seed);
                 }
-                // Campaign-level fault; the event kernel ignores it.
-                Fault::SitePanic { .. } => {}
+                // Campaign/harness-level faults; the event kernel
+                // ignores them (panics, sink errors, cancellation and
+                // deadline trips are applied by the layers above).
+                Fault::SitePanic { .. }
+                | Fault::SinkError { .. }
+                | Fault::WorkerPanic { .. }
+                | Fault::CancelAt { .. }
+                | Fault::DeadlineTrip => {}
             }
         }
         state.upsets.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -579,6 +596,25 @@ impl<'a> Simulator<'a> {
     /// The installed event budget, if any.
     pub fn event_budget(&self) -> Option<u64> {
         self.event_budget
+    }
+
+    /// Installs (or clears, with `None`) a cooperative
+    /// [`Supervisor`](psnt_sup::Supervisor), checked every
+    /// [`SUPERVISION_STRIDE`] applied events by the fallible
+    /// [`try_run_until`](Simulator::try_run_until) /
+    /// [`try_run_to_quiescence`](Simulator::try_run_to_quiescence)
+    /// loops. A trip surfaces as [`NetlistError::Interrupted`] with the
+    /// simulator still usable; the infallible `run_*` methods ignore
+    /// the supervisor (they have no error channel), exactly as they
+    /// ignore the event budget. `None` — the default — keeps the hot
+    /// loop free of supervision entirely.
+    pub fn set_supervisor(&mut self, supervisor: Option<psnt_sup::Supervisor>) {
+        self.supervisor = supervisor;
+    }
+
+    /// The installed supervisor, if any.
+    pub fn supervisor(&self) -> Option<&psnt_sup::Supervisor> {
+        self.supervisor.as_ref()
     }
 
     /// Attaches a telemetry observer for the rest of this simulator's
@@ -895,7 +931,7 @@ impl<'a> Simulator<'a> {
     /// Processes every event scheduled at or before `t`, then advances the
     /// clock to `t`. Returns the number of applied events.
     pub fn run_until(&mut self, t: Time) -> u64 {
-        match self.run_until_guarded(t, None) {
+        match self.run_until_guarded(t, None, None) {
             Ok(applied) => applied,
             Err(_) => unreachable!("unguarded run cannot exceed a budget"),
         }
@@ -911,14 +947,23 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// Returns [`NetlistError::BudgetExceeded`] when the cumulative
-    /// applied-event count passes the budget; the simulator remains
-    /// usable (time holds at the last applied event).
+    /// applied-event count passes the budget, or
+    /// [`NetlistError::Interrupted`] when an installed
+    /// [supervisor](Simulator::set_supervisor) trips; the simulator
+    /// remains usable (time holds at the last applied event).
     pub fn try_run_until(&mut self, t: Time) -> Result<u64, NetlistError> {
-        self.run_until_guarded(t, self.event_budget)
+        let sup = self.supervisor.clone();
+        self.run_until_guarded(t, self.event_budget, sup.as_ref())
     }
 
-    fn run_until_guarded(&mut self, t: Time, budget: Option<u64>) -> Result<u64, NetlistError> {
+    fn run_until_guarded(
+        &mut self,
+        t: Time,
+        budget: Option<u64>,
+        sup: Option<&psnt_sup::Supervisor>,
+    ) -> Result<u64, NetlistError> {
         let before = self.stats.events;
+        let mut until_check = SUPERVISION_STRIDE;
         loop {
             let next = self.queue.peek().map(|r| r.0.time);
             if self.faults.is_some() {
@@ -947,6 +992,17 @@ impl<'a> Simulator<'a> {
                     });
                 }
             }
+            if let Some(s) = sup {
+                until_check -= 1;
+                if until_check == 0 {
+                    until_check = SUPERVISION_STRIDE;
+                    s.charge_events(SUPERVISION_STRIDE);
+                    if let Err(reason) = s.check_at(self.now.picoseconds()) {
+                        self.promote_stats();
+                        return Err(NetlistError::Interrupted(reason));
+                    }
+                }
+            }
         }
         self.now = self.now.max(t);
         self.promote_stats();
@@ -956,7 +1012,7 @@ impl<'a> Simulator<'a> {
     /// Runs until the event queue drains (or `max` events were applied,
     /// as a divergence guard). Returns the final time.
     pub fn run_to_quiescence(&mut self, max: u64) -> Time {
-        match self.run_quiescence_guarded(max, None) {
+        match self.run_quiescence_guarded(max, None, None) {
             Ok(t) => t,
             Err(_) => unreachable!("unguarded run cannot exceed a budget"),
         }
@@ -972,17 +1028,22 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// Returns [`NetlistError::BudgetExceeded`] when the cumulative
-    /// applied-event count passes the budget.
+    /// applied-event count passes the budget, or
+    /// [`NetlistError::Interrupted`] when an installed
+    /// [supervisor](Simulator::set_supervisor) trips.
     pub fn try_run_to_quiescence(&mut self, max: u64) -> Result<Time, NetlistError> {
-        self.run_quiescence_guarded(max, self.event_budget)
+        let sup = self.supervisor.clone();
+        self.run_quiescence_guarded(max, self.event_budget, sup.as_ref())
     }
 
     fn run_quiescence_guarded(
         &mut self,
         max: u64,
         budget: Option<u64>,
+        sup: Option<&psnt_sup::Supervisor>,
     ) -> Result<Time, NetlistError> {
         let mut applied = 0;
+        let mut until_check = SUPERVISION_STRIDE;
         loop {
             if self.faults.is_some() {
                 let horizon = self.queue.peek().map(|r| r.0.time);
@@ -1006,6 +1067,17 @@ impl<'a> Simulator<'a> {
                             budget: b,
                             events: self.stats.events,
                         });
+                    }
+                }
+                if let Some(s) = sup {
+                    until_check -= 1;
+                    if until_check == 0 {
+                        until_check = SUPERVISION_STRIDE;
+                        s.charge_events(SUPERVISION_STRIDE);
+                        if let Err(reason) = s.check_at(self.now.picoseconds()) {
+                            self.promote_stats();
+                            return Err(NetlistError::Interrupted(reason));
+                        }
                     }
                 }
             }
@@ -1902,5 +1974,58 @@ mod tests {
         ok.set_event_budget(Some(1_000_000));
         ok.drive(a, Logic::One, ps(0.0)).unwrap();
         assert!(ok.try_run_to_quiescence(10_000).is_ok());
+    }
+
+    #[test]
+    fn cancelled_supervisor_interrupts_try_run() {
+        use psnt_sup::{CancelToken, RunBudget, Supervisor};
+        let (n, a) = inverter_chain(8);
+        let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+        // Enough stimulus to cross the supervision stride.
+        for k in 0..600 {
+            sim.drive(
+                a,
+                if k % 2 == 0 { Logic::One } else { Logic::Zero },
+                ps(500.0) * k as f64,
+            )
+            .unwrap();
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        sim.set_supervisor(Some(Supervisor::new(token, RunBudget::unlimited())));
+        let err = sim.try_run_until(Time::from_ns(400.0)).unwrap_err();
+        assert!(matches!(err, NetlistError::Interrupted(_)), "{err}");
+        let interrupted_at = sim.now();
+        assert!(
+            interrupted_at < Time::from_ns(400.0),
+            "trip must stop the run early"
+        );
+        // The simulator stays usable: clear the supervisor and finish.
+        sim.set_supervisor(None);
+        assert!(sim.try_run_until(Time::from_ns(400.0)).is_ok());
+        assert_eq!(sim.now(), Time::from_ns(400.0));
+    }
+
+    #[test]
+    fn detached_supervisor_is_event_identical() {
+        use psnt_sup::Supervisor;
+        let (n, a) = inverter_chain(8);
+        let run = |supervised: bool| {
+            let mut sim = Simulator::new(&n, v(1.0)).unwrap();
+            if supervised {
+                sim.set_supervisor(Some(Supervisor::detached()));
+            }
+            for k in 0..64 {
+                sim.drive(
+                    a,
+                    if k % 2 == 0 { Logic::One } else { Logic::Zero },
+                    ps(500.0) * k as f64,
+                )
+                .unwrap();
+            }
+            let applied = sim.try_run_until(Time::from_ns(40.0)).unwrap();
+            (applied, sim.stats().events)
+        };
+        assert_eq!(run(false), run(true), "detached supervision is free");
     }
 }

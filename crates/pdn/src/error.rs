@@ -34,6 +34,9 @@ pub enum PdnError {
         /// Residual at abort.
         residual: f64,
     },
+    /// A supervised solve loop (e.g. `quasi_static_transient` driven by
+    /// a context whose supervisor is armed) was stopped cooperatively.
+    Interrupted(psnt_sup::Interrupt),
     /// A windowed waveform query received an empty interval.
     EmptyInterval {
         /// Window start.
@@ -64,6 +67,9 @@ impl fmt::Display for PdnError {
             } => {
                 write!(f, "grid solver did not converge after {iterations} iterations (residual {residual:.3e})")
             }
+            PdnError::Interrupted(reason) => {
+                write!(f, "pdn solve interrupted: {reason}")
+            }
             PdnError::EmptyInterval { from, to } => {
                 write!(f, "empty waveform interval [{from}, {to}]")
             }
@@ -72,6 +78,12 @@ impl fmt::Display for PdnError {
 }
 
 impl Error for PdnError {}
+
+impl From<psnt_sup::Interrupt> for PdnError {
+    fn from(reason: psnt_sup::Interrupt) -> PdnError {
+        PdnError::Interrupted(reason)
+    }
+}
 
 #[cfg(test)]
 mod tests {

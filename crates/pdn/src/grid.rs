@@ -650,8 +650,16 @@ impl PowerGrid {
         // once so the detached path stays allocation-free.
         let mut warm_iters: Vec<usize> = Vec::new();
         let observed = ctx.has_observer();
+        // Supervision boundary: one check per solve step (each step is
+        // a full grid relaxation, so the check cost is negligible and a
+        // trip loses at most one step of work).
+        let sup = ctx.supervisor().clone();
         for k in 0..=steps {
             let t = start + dt * k as f64;
+            sup.charge_events(1);
+            if let Err(reason) = sup.check_at(t.picoseconds()) {
+                return Err(PdnError::Interrupted(reason));
+            }
             let instantaneous: Vec<f64> = loads.iter().map(|w| w.sample(t)).collect();
             let (v, iters) = self.relax(prior.as_deref(), &instantaneous)?;
             if observed && prior.is_some() {
@@ -847,6 +855,34 @@ mod tests {
         assert!(waves[4].sample(ns(100.0)) < waves[4].sample(ns(0.0)));
         // And droops more than a corner tile at the end.
         assert!(waves[4].sample(ns(100.0)) < waves[0].sample(ns(100.0)));
+    }
+
+    #[test]
+    fn transient_solve_interrupts_on_cancel_and_sim_budget() {
+        use psnt_sup::{CancelToken, Interrupt, RunBudget, Supervisor};
+        let grid = mk(2);
+        let ns = Time::from_ns;
+        let loads = vec![Waveform::constant(0.1); 4];
+        // A pre-cancelled token stops before the first step.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ctx = psnt_ctx::RunCtx::serial()
+            .with_supervisor(Supervisor::new(token, RunBudget::unlimited()));
+        let err = grid
+            .quasi_static_transient(&mut ctx, &loads, Time::ZERO, ns(100.0), ns(10.0))
+            .unwrap_err();
+        assert_eq!(err, PdnError::Interrupted(Interrupt::Cancelled));
+        // A sim-time budget stops the sweep at its horizon.
+        let budget = RunBudget::unlimited().sim_time_ps(ns(50.0).picoseconds());
+        let mut ctx =
+            psnt_ctx::RunCtx::serial().with_supervisor(Supervisor::new(CancelToken::new(), budget));
+        let err = grid
+            .quasi_static_transient(&mut ctx, &loads, Time::ZERO, ns(100.0), ns(10.0))
+            .unwrap_err();
+        assert!(
+            matches!(err, PdnError::Interrupted(Interrupt::SimTimeBudget { .. })),
+            "{err}"
+        );
     }
 
     #[test]

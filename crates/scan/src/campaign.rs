@@ -207,6 +207,18 @@ pub enum StreamRecord {
         /// The aggregate degradation report.
         summary: DegradationSummary,
     },
+    /// Terminal record of a run that stopped early — a sink failure or
+    /// a supervisor trip (cancellation, deadline, budget). Tells the
+    /// stream's consumer exactly how many site records were delivered
+    /// before the abort, so a truncated stream is always labelled,
+    /// never silently cut mid-sweep. Emitted best-effort (a sink that
+    /// is itself failing may drop it); the run still returns the error.
+    Aborted {
+        /// Site records fully delivered to the sink before the abort.
+        sites_completed: usize,
+        /// Why the run stopped (stringified sink error or interrupt).
+        reason: String,
+    },
 }
 
 impl StreamRecord {
@@ -246,6 +258,12 @@ impl StreamRecord {
                 .field("sites_degraded", &(summary.sites_degraded as u64))
                 .field("dead_elements", &(summary.dead_elements as u64))
                 .field("worst_code_error", &(summary.worst_code_error as u64)),
+            StreamRecord::Aborted {
+                sites_completed,
+                reason,
+            } => ObsEvent::new("scan", "stream_aborted")
+                .field("sites_completed", &(*sites_completed as u64))
+                .field("reason", reason),
         }
     }
 }
@@ -269,6 +287,9 @@ enum StreamMsg {
     /// A finished chunk's merged worker metrics, sent after its sites
     /// so the observer merge order is deterministic.
     Metrics(Box<psnt_obs::MetricsRegistry>),
+    /// The producer's supervisor tripped at a chunk boundary; no
+    /// further sites will arrive.
+    Interrupted(psnt_sup::Interrupt),
 }
 
 /// Everything [`Campaign::run_dual`] and [`Campaign::run_resilient`]
@@ -743,19 +764,20 @@ impl Campaign {
                 });
             }
         }
-        if instants.is_empty() {
+        // Reading the last instant doubles as the emptiness check, so
+        // there is no `expect` to go stale if the checks reorder.
+        let Some(&solve_end) = instants.last() else {
             return Err(ScanError::InvalidConfig {
                 name: "instants",
                 reason: "need at least one sampling instant".into(),
             });
-        }
+        };
         if instants.windows(2).any(|w| w[1] <= w[0]) {
             return Err(ScanError::InvalidConfig {
                 name: "instants",
                 reason: "instants must be strictly increasing".into(),
             });
         }
-        let solve_end = *instants.last().expect("non-empty");
         Ok(SweepInputs {
             tile_supplies,
             tile_bounces,
@@ -781,6 +803,10 @@ impl Campaign {
             .fault_plan()
             .map(psnt_fault::FaultPlan::panicking_sites)
             .unwrap_or_default();
+        let worker_panics = ctx
+            .fault_plan()
+            .map(psnt_fault::FaultPlan::worker_panics)
+            .unwrap_or_default();
         let measure_span = ctx.observer().map(|o| {
             o.begin_span("measure_sweep").sim_interval_ps(
                 prep.instants[0].picoseconds(),
@@ -793,6 +819,16 @@ impl Campaign {
         let batch = ctx.engine().run_batch_isolated(&spec, retry, |job| {
             if job.attempt() == 0 && panicking.contains(&job.index()) {
                 panic!("injected fault: site {} panicked", job.index());
+            }
+            if worker_panics
+                .iter()
+                .any(|&(j, a)| j == job.index() && job.attempt() <= a)
+            {
+                panic!(
+                    "injected fault: job {} panicked on attempt {}",
+                    job.index(),
+                    job.attempt()
+                );
             }
             let site = &site_defs[job.index()];
             let mut site_span = epoch.map(|e| {
@@ -973,8 +1009,13 @@ impl Campaign {
     /// Input-validation, grid-solve and chain-capture failures as
     /// [`Campaign::run_resilient`]; additionally, the first error the
     /// sink returns aborts the stream and is propagated (workers stop at
-    /// the next chunk boundary). Per-site measurement failures do
-    /// **not** abort the run — they stream as degraded records.
+    /// the next chunk boundary), and a trip of the context's supervisor
+    /// stops the sweep at the next chunk boundary with
+    /// [`ScanError::Interrupted`]. Either way the truncated stream is
+    /// closed with a best-effort terminal [`StreamRecord::Aborted`]
+    /// carrying the count of site records already delivered. Per-site
+    /// measurement failures do **not** abort the run — they stream as
+    /// degraded records.
     #[allow(clippy::too_many_arguments)]
     pub fn run_streamed(
         &self,
@@ -1070,7 +1111,11 @@ impl Campaign {
             .fault_plan()
             .map(psnt_fault::FaultPlan::panicking_sites)
             .unwrap_or_default();
-        let measure_span = ctx.observer().map(|o| {
+        let worker_panics = ctx
+            .fault_plan()
+            .map(psnt_fault::FaultPlan::worker_panics)
+            .unwrap_or_default();
+        let mut measure_span = ctx.observer().map(|o| {
             o.begin_span("measure_sweep").sim_interval_ps(
                 prep.instants[0].picoseconds(),
                 prep.instants[prep.instants.len() - 1].picoseconds(),
@@ -1081,6 +1126,7 @@ impl Campaign {
         let n_sites = site_defs.len();
         let engine = ctx.engine().clone();
         let seed = ctx.seed();
+        let sup = ctx.supervisor().clone();
 
         let unknown: ThermometerCode = ThermometerCode::new(
             (0..self.chain.bits_per_site())
@@ -1096,25 +1142,44 @@ impl Campaign {
         // per instant (a few bits each) — not the measurement series.
         let mut frame_codes: Vec<Vec<ThermometerCode>> = vec![Vec::with_capacity(n_sites); samples];
         let mut sink_result: Result<(), ScanError> = Ok(());
+        let mut trip: Option<psnt_sup::Interrupt> = None;
+        let mut sites_streamed = 0usize;
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<StreamMsg>(STREAM_CHANNEL_BOUND);
         let prep_ref = &prep;
         let quiet_ref = &quiet;
         let panicking_ref = &panicking;
+        let worker_panics_ref = &worker_panics;
+        let sup_prod = sup.clone();
         std::thread::scope(|scope| {
             // Producer: sweeps fixed-size site chunks on the engine and
             // sends each chunk's ordered outcomes. A closed channel
             // (sink failure on the consumer side) stops it at the next
-            // send.
+            // send; a supervisor trip stops it at the next chunk
+            // boundary, so an interrupted stream is always a
+            // whole-chunk prefix of the full run.
             scope.spawn(move || {
                 let mut chunk_start = 0usize;
                 while chunk_start < n_sites {
+                    if let Err(reason) = sup_prod.check() {
+                        let _ = tx.send(StreamMsg::Interrupted(reason));
+                        return;
+                    }
                     let chunk_len = STREAM_CHUNK_SITES.min(n_sites - chunk_start);
                     let spec = JobSpec::new(chunk_len).seed(seed);
                     let batch = engine.run_batch_isolated(&spec, retry, |job| {
                         let index = chunk_start + job.index();
                         if job.attempt() == 0 && panicking_ref.contains(&index) {
                             panic!("injected fault: site {index} panicked");
+                        }
+                        if worker_panics_ref
+                            .iter()
+                            .any(|&(j, a)| j == index && job.attempt() <= a)
+                        {
+                            panic!(
+                                "injected fault: job {index} panicked on attempt {}",
+                                job.attempt()
+                            );
                         }
                         let site = &site_defs[index];
                         let mut site_span = epoch.map(|e| {
@@ -1179,6 +1244,7 @@ impl Campaign {
                     {
                         return;
                     }
+                    sup_prod.charge_events(chunk_len as u64);
                     chunk_start += chunk_len;
                 }
             });
@@ -1190,6 +1256,12 @@ impl Campaign {
                         if let Some(obs) = ctx.observer() {
                             obs.metrics.merge(&m);
                         }
+                    }
+                    StreamMsg::Interrupted(reason) => {
+                        // The producer stopped itself; record why and
+                        // stop consuming (nothing else will arrive).
+                        trip = Some(reason);
+                        break;
                     }
                     StreamMsg::Site { site, outcome } => {
                         let (series, site_outcome, span) = match outcome {
@@ -1268,21 +1340,63 @@ impl Campaign {
                             // producer stops at its next send.
                             break;
                         }
+                        sites_streamed += 1;
                     }
                 }
             }
         });
-        sink_result?;
+        // The scope has joined the producer, so the site stream is
+        // final. A sink failure or a supervisor trip ends the run here:
+        // label the truncated stream with a terminal `Aborted` record
+        // (best-effort — the sink may be the failing party) instead of
+        // cutting it silently, then surface the error.
+        let abort = match (sink_result, trip) {
+            (Err(e), _) => Some(e),
+            (Ok(()), Some(reason)) => Some(ScanError::Interrupted(reason)),
+            (Ok(()), None) => None,
+        };
+        if let Some(e) = abort {
+            let _ = sink(StreamRecord::Aborted {
+                sites_completed: sites_streamed,
+                reason: e.to_string(),
+            });
+            if let (Some(obs), Some(span)) = (ctx.observer(), measure_span.take()) {
+                obs.end_span(span);
+            }
+            return Err(e);
+        }
 
+        // The frame tail is supervised and labelled the same way as
+        // the site phase: a sink failure or a trip between frames
+        // still closes the stream with a terminal `Aborted` record
+        // instead of cutting it silently.
+        let mut tail_abort: Option<ScanError> = None;
         for (k, codes) in frame_codes.iter().enumerate() {
+            if let Err(reason) = sup.check() {
+                tail_abort = Some(ScanError::Interrupted(reason));
+                break;
+            }
             let frame = self.chain.capture(codes)?;
             let dead = frame.iter().filter(|b| *b == Logic::X).count();
             summary.dead_elements = summary.dead_elements.max(dead);
-            sink(StreamRecord::Frame {
+            if let Err(e) = sink(StreamRecord::Frame {
                 index: k,
                 instant: prep.instants[k],
                 frame,
-            })?;
+            }) {
+                tail_abort = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = tail_abort {
+            let _ = sink(StreamRecord::Aborted {
+                sites_completed: sites_streamed,
+                reason: e.to_string(),
+            });
+            if let (Some(obs), Some(span)) = (ctx.observer(), measure_span) {
+                obs.end_span(span);
+            }
+            return Err(e);
         }
         if let Some(obs) = ctx.observer() {
             obs.metrics
@@ -1382,15 +1496,18 @@ fn emit_site_events(obs: &mut Observer, sites: &[SiteSeries], v_nom: f64) {
 /// diverge from the corrected reading.
 fn encoder_level_gap(code: &ThermometerCode) -> usize {
     let width = code.width();
-    let correct = Encoder::new(width, EncodingPolicy::BubbleCorrect)
-        .expect("captured codes have positive width")
+    let (Ok(correct), Ok(truncate)) = (
+        Encoder::new(width, EncodingPolicy::BubbleCorrect),
+        Encoder::new(width, EncodingPolicy::Truncate),
+    ) else {
+        // A zero-width code cannot disagree with itself; don't let a
+        // degenerate capture panic the campaign's summary accounting.
+        return 0;
+    };
+    correct
         .encode(code)
-        .level;
-    let truncate = Encoder::new(width, EncodingPolicy::Truncate)
-        .expect("captured codes have positive width")
-        .encode(code)
-        .level;
-    correct.abs_diff(truncate)
+        .level
+        .abs_diff(truncate.encode(code).level)
 }
 
 #[cfg(test)]
@@ -1835,6 +1952,9 @@ mod tests {
                     assert_eq!(windows, frames.len(), "summary window count");
                     summary = Some(s);
                 }
+                StreamRecord::Aborted { .. } => {
+                    panic!("completed stream must not carry an abort record")
+                }
             }
         }
         ResilientCampaignResult {
@@ -2068,6 +2188,7 @@ mod tests {
         let c = campaign();
         let loads = vec![Waveform::constant(0.1); 9];
         let mut delivered = 0usize;
+        let mut records = Vec::new();
         let err = c
             .run_streamed(
                 &mut RunCtx::serial(),
@@ -2077,9 +2198,11 @@ mod tests {
                 Time::from_ns(15.0),
                 2,
                 RetryPolicy::none(),
-                |_| {
+                |r| {
                     delivered += 1;
-                    if delivered == 3 {
+                    let failing = delivered == 3;
+                    records.push(r);
+                    if failing {
                         Err(ScanError::InvalidConfig {
                             name: "sink",
                             reason: "downstream full".into(),
@@ -2091,7 +2214,96 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, ScanError::InvalidConfig { name: "sink", .. }));
-        assert_eq!(delivered, 3);
+        // After the third record fails, the stream is closed with one
+        // best-effort terminal abort record naming the two site records
+        // that made it through — never a silent truncation.
+        assert_eq!(delivered, 4);
+        match records.last() {
+            Some(StreamRecord::Aborted {
+                sites_completed,
+                reason,
+            }) => {
+                assert_eq!(*sites_completed, 2);
+                assert!(reason.contains("downstream full"), "reason: {reason}");
+            }
+            other => panic!("expected terminal abort record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streamed_supervisor_trip_stops_at_chunk_boundary() {
+        use psnt_sup::{CancelToken, RunBudget, Supervisor};
+        let c = campaign();
+        let rails = vec![Waveform::constant(1.04); 9];
+        let instants = vec![Time::from_ns(5.0), Time::from_ns(20.0)];
+        // Pre-cancelled, rails already solved: the producer trips
+        // before claiming the first chunk, so zero site records stream
+        // and the run reports the interrupt plus a terminal abort
+        // record.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut records = Vec::new();
+        let err = c
+            .run_streamed_from_rails(
+                &mut RunCtx::serial()
+                    .with_supervisor(Supervisor::new(token, RunBudget::unlimited())),
+                rails.clone(),
+                None,
+                instants.clone(),
+                RetryPolicy::none(),
+                |r| {
+                    records.push(r);
+                    Ok(())
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, ScanError::Interrupted(psnt_sup::Interrupt::Cancelled));
+        assert_eq!(records.len(), 1, "only the terminal abort record");
+        assert!(matches!(
+            records.last(),
+            Some(StreamRecord::Aborted {
+                sites_completed: 0,
+                ..
+            })
+        ));
+        // Cancelling before the grid solve interrupts even earlier:
+        // the error is the same, and no records stream at all.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut early = Vec::new();
+        let err = c
+            .run_streamed(
+                &mut RunCtx::serial()
+                    .with_supervisor(Supervisor::new(token, RunBudget::unlimited())),
+                &vec![Waveform::constant(0.1); 9],
+                None,
+                Time::from_ns(5.0),
+                Time::from_ns(15.0),
+                2,
+                RetryPolicy::none(),
+                |r| {
+                    early.push(r);
+                    Ok(())
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, ScanError::Interrupted(psnt_sup::Interrupt::Cancelled));
+        assert!(early.is_empty(), "solve tripped before any record");
+        // A detached supervisor (the default) streams the full run.
+        let mut full = Vec::new();
+        c.run_streamed_from_rails(
+            &mut RunCtx::serial().with_supervisor(Supervisor::detached()),
+            rails,
+            None,
+            instants,
+            RetryPolicy::none(),
+            |r| {
+                full.push(r);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert!(matches!(full.last(), Some(StreamRecord::Summary { .. })));
     }
 
     #[test]

@@ -111,18 +111,21 @@ impl ScanChain {
                 got: frame.len(),
             });
         }
-        Ok((0..self.site_names.len())
+        (0..self.site_names.len())
             .map(|s| {
                 let bits: LogicVector = (0..self.bits_per_site)
                     .map(|b| {
                         frame
                             .get(s * self.bits_per_site + b)
-                            .expect("length checked")
+                            .ok_or(ScanError::FrameMismatch {
+                                expected: self.len(),
+                                got: frame.len(),
+                            })
                     })
-                    .collect();
-                ThermometerCode::new(bits)
+                    .collect::<Result<_, _>>()?;
+                Ok(ThermometerCode::new(bits))
             })
-            .collect())
+            .collect()
     }
 
     /// Simulates the serial shift: returns the bit presented at the scan

@@ -43,6 +43,11 @@ pub enum ScanError {
     Sensor(psnt_core::SensorError),
     /// An error bubbled up from the PDN substrate.
     Pdn(psnt_pdn::PdnError),
+    /// A supervised campaign was stopped cooperatively (cancellation,
+    /// deadline, or budget) before it completed; the stream's terminal
+    /// [`crate::campaign::StreamRecord::Aborted`] record says how far
+    /// it got.
+    Interrupted(psnt_sup::Interrupt),
 }
 
 impl fmt::Display for ScanError {
@@ -72,6 +77,7 @@ impl fmt::Display for ScanError {
             }
             ScanError::Sensor(e) => write!(f, "sensor error: {e}"),
             ScanError::Pdn(e) => write!(f, "pdn error: {e}"),
+            ScanError::Interrupted(reason) => write!(f, "campaign interrupted: {reason}"),
         }
     }
 }
@@ -88,13 +94,27 @@ impl Error for ScanError {
 
 impl From<psnt_core::SensorError> for ScanError {
     fn from(e: psnt_core::SensorError) -> ScanError {
-        ScanError::Sensor(e)
+        // Cooperative stops keep their identity across layer boundaries
+        // so every caller matches one `Interrupted` variant.
+        match e {
+            psnt_core::SensorError::Interrupted(reason) => ScanError::Interrupted(reason),
+            other => ScanError::Sensor(other),
+        }
     }
 }
 
 impl From<psnt_pdn::PdnError> for ScanError {
     fn from(e: psnt_pdn::PdnError) -> ScanError {
-        ScanError::Pdn(e)
+        match e {
+            psnt_pdn::PdnError::Interrupted(reason) => ScanError::Interrupted(reason),
+            other => ScanError::Pdn(other),
+        }
+    }
+}
+
+impl From<psnt_sup::Interrupt> for ScanError {
+    fn from(reason: psnt_sup::Interrupt) -> ScanError {
+        ScanError::Interrupted(reason)
     }
 }
 

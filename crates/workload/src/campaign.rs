@@ -30,6 +30,7 @@ use psnt_scan::floorplan::Floorplan;
 use psnt_scan::ScanError;
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{CheckpointPolicy, WorkloadCheckpoint, CHECKPOINT_VERSION};
 use crate::error::WorkloadError;
 use crate::noc::NocMesh;
 use crate::stepper::CycleStepper;
@@ -335,6 +336,28 @@ impl NocWorkload {
     /// actuation and collects rails + noise profile — the batch entry
     /// points are thin drivers over the per-cycle core.
     fn solve_rails(&self, ctx: &mut RunCtx<'_>) -> Result<Rails, WorkloadError> {
+        self.solve_rails_checkpointed(ctx, &CheckpointPolicy::none(), None)
+    }
+
+    /// The supervised, resumable cycle loop behind every batch entry
+    /// point. With a detached supervisor, no checkpoint policy and no
+    /// resume snapshot this is exactly the old unsupervised loop —
+    /// supervision costs one atomic load per cycle.
+    ///
+    /// The context's supervisor is checked once per cycle; a trip
+    /// writes a final checkpoint (when `policy.path` is set) and
+    /// surfaces as [`WorkloadError::Interrupted`]. Harness-level
+    /// faults on the context drive deterministic chaos:
+    /// [`Fault::CancelAt`](psnt_fault::Fault::CancelAt) cancels the
+    /// supervisor's token at exactly that cycle, and
+    /// [`Fault::DeadlineTrip`](psnt_fault::Fault::DeadlineTrip) trips
+    /// the wall-clock deadline at the run's midpoint.
+    fn solve_rails_checkpointed(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        policy: &CheckpointPolicy,
+        resume: Option<&WorkloadCheckpoint>,
+    ) -> Result<Rails, WorkloadError> {
         let cfg = &self.config;
         let mut stepper = CycleStepper::new(self, ctx)?;
         if let Some(obs) = ctx.observer() {
@@ -365,13 +388,68 @@ impl NocWorkload {
             vec![Vec::with_capacity(cfg.cycles); site_nodes.len()];
         let mut stats = self.window_stats_shell();
 
-        for c in 0..cfg.cycles {
+        let mut start = 0usize;
+        if let Some(ckpt) = resume {
+            start = self.restore_solve_state(
+                ctx,
+                ckpt,
+                &mut stepper,
+                &mut stats,
+                &mut site_points,
+                site_nodes.len(),
+            )?;
+        }
+
+        let sup = ctx.supervisor().clone();
+        let cancel_at = ctx.fault_plan().and_then(|p| p.cancel_at_cycle());
+        let trip_deadline_at = ctx
+            .fault_plan()
+            .is_some_and(|p| p.deadline_trip())
+            .then_some(cfg.cycles / 2);
+        let seed = ctx.seed();
+        let cadence = policy.every.or_else(|| sup.budget().checkpoint_cadence());
+        let snapshot = |stepper: &CycleStepper<'_>,
+                        stats: &[WindowStats],
+                        site_points: &[Vec<(Time, f64)>]| {
+            let done = stepper.cycle();
+            let touched = done.div_ceil(cfg.measure_every).min(windows);
+            WorkloadCheckpoint {
+                version: CHECKPOINT_VERSION,
+                seed,
+                stepper: stepper.snapshot(),
+                stats_done: stats[..touched].to_vec(),
+                site_points: site_points.to_vec(),
+            }
+        };
+
+        for c in start..cfg.cycles {
+            if cancel_at == Some(c as u64) {
+                sup.token().cancel();
+            }
+            if trip_deadline_at == Some(c) {
+                sup.force_expire();
+            }
+            if let Err(reason) = sup.check() {
+                if let Some(path) = policy.path.as_deref() {
+                    snapshot(&stepper, &stats, &site_points).save(path)?;
+                }
+                if let (Some(obs), Some(span)) = (ctx.observer(), solve_span.take()) {
+                    obs.end_span(span);
+                }
+                return Err(WorkloadError::Interrupted(reason));
+            }
+            sup.charge_events(1);
             stepper.step()?;
             let t_c = dt * (c as f64 + 0.5);
             for (k, &nd) in site_nodes.iter().enumerate() {
                 site_points[k].push((t_c, stepper.voltages()[nd]));
             }
             self.accumulate_window(&mut stats, c, &stepper, n);
+            if let (Some(every), Some(path)) = (cadence, policy.path.as_deref()) {
+                if (c as u64 + 1).is_multiple_of(every) && c + 1 < cfg.cycles {
+                    snapshot(&stepper, &stats, &site_points).save(path)?;
+                }
+            }
         }
 
         if let Some(obs) = ctx.observer() {
@@ -397,6 +475,62 @@ impl NocWorkload {
                 flits: stepper.planned_flits(),
             },
         })
+    }
+
+    /// Reinstates a solve checkpoint into a freshly planned run;
+    /// returns the cycle the loop continues from.
+    fn restore_solve_state(
+        &self,
+        ctx: &RunCtx<'_>,
+        ckpt: &WorkloadCheckpoint,
+        stepper: &mut CycleStepper<'_>,
+        stats: &mut [WindowStats],
+        site_points: &mut [Vec<(Time, f64)>],
+        sites: usize,
+    ) -> Result<usize, WorkloadError> {
+        let invalid = |reason: String| WorkloadError::InvalidConfig {
+            name: "resume",
+            reason,
+        };
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(invalid(format!(
+                "checkpoint schema version {}, this build reads {CHECKPOINT_VERSION}",
+                ckpt.version
+            )));
+        }
+        if ckpt.seed != ctx.seed() {
+            return Err(invalid(format!(
+                "checkpoint was captured under seed {}, this run uses {}",
+                ckpt.seed,
+                ctx.seed()
+            )));
+        }
+        stepper.restore(&ckpt.stepper)?;
+        let done = stepper.cycle();
+        let touched = done.div_ceil(self.config.measure_every).min(self.windows());
+        if ckpt.stats_done.len() != touched {
+            return Err(invalid(format!(
+                "{} windows captured, cycle {done} expects {touched}",
+                ckpt.stats_done.len()
+            )));
+        }
+        stats[..touched].clone_from_slice(&ckpt.stats_done);
+        if ckpt.site_points.len() != sites {
+            return Err(invalid(format!(
+                "{} site series captured, floorplan has {sites}",
+                ckpt.site_points.len()
+            )));
+        }
+        for (k, series) in ckpt.site_points.iter().enumerate() {
+            if series.len() != done {
+                return Err(invalid(format!(
+                    "site {k} captured {} rail points, cycle {done} expects {done}",
+                    series.len()
+                )));
+            }
+            site_points[k] = series.clone();
+        }
+        Ok(done)
     }
 
     /// Empty per-window statistics, one per measurement window.
@@ -490,6 +624,80 @@ impl NocWorkload {
         sink: impl FnMut(StreamRecord) -> Result<(), ScanError>,
     ) -> Result<StreamedNocResult, WorkloadError> {
         let rails = self.solve_rails(ctx)?;
+        let summary = self.campaign.run_streamed_from_rails(
+            ctx,
+            rails.tile_supplies,
+            None,
+            rails.instants,
+            retry,
+            sink,
+        )?;
+        Ok(StreamedNocResult {
+            summary,
+            profile: rails.profile,
+        })
+    }
+
+    /// [`NocWorkload::run`] under a checkpoint policy, optionally
+    /// resuming from a snapshot: the solve loop writes `policy.path`
+    /// at its cadence and on any supervisor trip, and an
+    /// interrupted-then-resumed run's result is **bit-identical** to
+    /// an uninterrupted one at any worker count.
+    ///
+    /// The resume snapshot must come from the same workload config and
+    /// seed; the scan sweep after the solve is never checkpointed — a
+    /// resumed run repeats it from the start, which changes nothing in
+    /// the output.
+    ///
+    /// # Errors
+    ///
+    /// As [`NocWorkload::run`], plus [`WorkloadError::Interrupted`]
+    /// when the context's supervisor trips (a final checkpoint is
+    /// written first when a path is configured),
+    /// [`WorkloadError::Checkpoint`] on snapshot I/O failures, and
+    /// [`WorkloadError::InvalidConfig`] for a mismatched resume
+    /// snapshot.
+    pub fn run_checkpointed(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        retry: RetryPolicy,
+        policy: &CheckpointPolicy,
+        resume: Option<&WorkloadCheckpoint>,
+    ) -> Result<NocCampaignResult, WorkloadError> {
+        let rails = self.solve_rails_checkpointed(ctx, policy, resume)?;
+        let result = self.campaign.run_resilient_from_rails(
+            ctx,
+            rails.tile_supplies,
+            None,
+            rails.instants,
+            retry,
+        )?;
+        Ok(NocCampaignResult {
+            result,
+            profile: rails.profile,
+        })
+    }
+
+    /// [`NocWorkload::run_streamed`] under a checkpoint policy,
+    /// optionally resuming from a snapshot — the streamed counterpart
+    /// of [`NocWorkload::run_checkpointed`], with the same bit-identity
+    /// contract record for record.
+    ///
+    /// # Errors
+    ///
+    /// As [`NocWorkload::run_streamed`] plus the checkpoint errors of
+    /// [`NocWorkload::run_checkpointed`]. A supervisor trip during the
+    /// sweep itself surfaces as the stream's terminal
+    /// [`StreamRecord::Aborted`] record and is not checkpointed.
+    pub fn run_streamed_checkpointed(
+        &self,
+        ctx: &mut RunCtx<'_>,
+        retry: RetryPolicy,
+        policy: &CheckpointPolicy,
+        resume: Option<&WorkloadCheckpoint>,
+        sink: impl FnMut(StreamRecord) -> Result<(), ScanError>,
+    ) -> Result<StreamedNocResult, WorkloadError> {
+        let rails = self.solve_rails_checkpointed(ctx, policy, resume)?;
         let summary = self.campaign.run_streamed_from_rails(
             ctx,
             rails.tile_supplies,
@@ -609,6 +817,7 @@ mod tests {
                     frames.push(frame);
                 }
                 StreamRecord::Summary { summary: s, .. } => summary = Some(s),
+                StreamRecord::Aborted { reason, .. } => panic!("unexpected abort: {reason}"),
             }
         }
         ResilientCampaignResult {
@@ -685,16 +894,155 @@ mod tests {
         assert_eq!(recovered.result.summary.sites_degraded, 0);
     }
 
+    fn ckpt_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("psnt-ckpt-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn cancel_at_fault_checkpoints_and_resumes_bit_identically() {
+        use psnt_sup::Interrupt;
+        let w = NocWorkload::new(NocWorkloadConfig::small_2x2()).unwrap();
+        let full = w
+            .run(&mut RunCtx::serial().with_seed(5), RetryPolicy::none())
+            .unwrap();
+        let path = ckpt_path("cancel");
+        // Cadence far past the horizon: only the trip writes.
+        let policy = CheckpointPolicy::to_path(&path, 1000);
+        let mut ctx = RunCtx::serial()
+            .with_seed(5)
+            .with_fault_plan(FaultPlan::new().with(Fault::CancelAt { cycle: 30 }));
+        let err = w
+            .run_checkpointed(&mut ctx, RetryPolicy::none(), &policy, None)
+            .unwrap_err();
+        assert_eq!(err, WorkloadError::Interrupted(Interrupt::Cancelled));
+        let ckpt = WorkloadCheckpoint::load(&path).unwrap();
+        assert_eq!(ckpt.cycle(), 30, "interrupted exactly at the faulted cycle");
+        let resumed = w
+            .run_checkpointed(
+                &mut RunCtx::serial().with_seed(5),
+                RetryPolicy::none(),
+                &CheckpointPolicy::none(),
+                Some(&ckpt),
+            )
+            .unwrap();
+        assert_eq!(resumed, full, "interrupted-then-resumed ≡ uninterrupted");
+        // A mismatched seed is refused instead of silently diverging.
+        let err = w
+            .run_checkpointed(
+                &mut RunCtx::serial().with_seed(6),
+                RetryPolicy::none(),
+                &CheckpointPolicy::none(),
+                Some(&ckpt),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            WorkloadError::InvalidConfig { name: "resume", .. }
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deadline_trip_fault_interrupts_at_midpoint_and_resumes() {
+        use psnt_sup::Interrupt;
+        let w = NocWorkload::new(NocWorkloadConfig::small_2x2()).unwrap();
+        let mut records_full = Vec::new();
+        let full = w
+            .run_streamed(
+                &mut RunCtx::serial().with_seed(7),
+                RetryPolicy::none(),
+                |r| {
+                    records_full.push(r);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        let path = ckpt_path("deadline");
+        let policy = CheckpointPolicy::to_path(&path, 1000);
+        let mut ctx = RunCtx::serial()
+            .with_seed(7)
+            .with_fault_plan(FaultPlan::new().with(Fault::DeadlineTrip));
+        let mut early = Vec::new();
+        let err = w
+            .run_streamed_checkpointed(&mut ctx, RetryPolicy::none(), &policy, None, |r| {
+                early.push(r);
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err, WorkloadError::Interrupted(Interrupt::DeadlineExpired));
+        assert!(early.is_empty(), "solve tripped before the stream started");
+        let ckpt = WorkloadCheckpoint::load(&path).unwrap();
+        assert_eq!(ckpt.cycle(), 30, "deadline trips at the run midpoint");
+        let mut records_resumed = Vec::new();
+        let resumed = w
+            .run_streamed_checkpointed(
+                &mut RunCtx::serial().with_seed(7),
+                RetryPolicy::none(),
+                &CheckpointPolicy::none(),
+                Some(&ckpt),
+                |r| {
+                    records_resumed.push(r);
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(resumed, full);
+        assert_eq!(
+            collect(records_resumed),
+            collect(records_full),
+            "record-for-record identical stream"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cadence_checkpoints_are_resumable_mid_run() {
+        let w = NocWorkload::new(NocWorkloadConfig::small_2x2()).unwrap();
+        let path = ckpt_path("cadence");
+        let policy = CheckpointPolicy::to_path(&path, 16);
+        let full = w
+            .run_checkpointed(
+                &mut RunCtx::serial().with_seed(9),
+                RetryPolicy::none(),
+                &policy,
+                None,
+            )
+            .unwrap();
+        // 60 cycles at cadence 16: snapshots at 16, 32 and 48 — the
+        // file on disk holds the last one.
+        let ckpt = WorkloadCheckpoint::load(&path).unwrap();
+        assert_eq!(ckpt.cycle(), 48);
+        let resumed = w
+            .run_checkpointed(
+                &mut RunCtx::serial().with_seed(9),
+                RetryPolicy::none(),
+                &CheckpointPolicy::none(),
+                Some(&ckpt),
+            )
+            .unwrap();
+        assert_eq!(resumed, full);
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn sink_errors_abort_the_streamed_run() {
         let w = NocWorkload::new(NocWorkloadConfig::small_2x2()).unwrap();
         let mut delivered = 0usize;
+        let mut terminal = None;
         let err = w
             .run_streamed(
                 &mut RunCtx::serial().with_seed(1),
                 RetryPolicy::none(),
-                |_| {
+                |r| {
                     delivered += 1;
+                    if let StreamRecord::Aborted {
+                        sites_completed,
+                        reason,
+                    } = r
+                    {
+                        terminal = Some((sites_completed, reason));
+                        return Ok(());
+                    }
                     if delivered == 2 {
                         Err(ScanError::InvalidConfig {
                             name: "sink",
@@ -710,7 +1058,12 @@ mod tests {
             err,
             WorkloadError::Scan(ScanError::InvalidConfig { name: "sink", .. })
         ));
-        assert_eq!(delivered, 2);
+        // The failed record plus the best-effort terminal abort marker:
+        // one site made it downstream before the sink filled up.
+        assert_eq!(delivered, 3);
+        let (sites_completed, reason) = terminal.expect("terminal abort record");
+        assert_eq!(sites_completed, 1);
+        assert!(reason.contains("full"), "{reason}");
     }
 
     #[test]

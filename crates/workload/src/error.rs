@@ -22,6 +22,17 @@ pub enum WorkloadError {
     Sensor(psnt_core::SensorError),
     /// An error bubbled up from the control layer (droop mitigation).
     Control(psnt_control::ControlError),
+    /// A supervised campaign was stopped cooperatively (cancellation,
+    /// deadline, or budget) before it completed. When the run carried a
+    /// checkpoint path, the latest snapshot on disk resumes it.
+    Interrupted(psnt_sup::Interrupt),
+    /// A checkpoint file could not be written, read, or decoded.
+    Checkpoint {
+        /// The checkpoint path involved.
+        path: String,
+        /// Explanation of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -34,6 +45,10 @@ impl fmt::Display for WorkloadError {
             WorkloadError::Scan(e) => write!(f, "scan error: {e}"),
             WorkloadError::Sensor(e) => write!(f, "sensor error: {e}"),
             WorkloadError::Control(e) => write!(f, "control error: {e}"),
+            WorkloadError::Interrupted(reason) => write!(f, "workload interrupted: {reason}"),
+            WorkloadError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {path}: {reason}")
+            }
         }
     }
 }
@@ -50,21 +65,39 @@ impl Error for WorkloadError {
     }
 }
 
+// Cooperative stops keep their identity across layer boundaries so
+// every caller matches one `Interrupted` variant, no matter how deep
+// in the stack the supervisor tripped.
 impl From<psnt_pdn::PdnError> for WorkloadError {
     fn from(e: psnt_pdn::PdnError) -> WorkloadError {
-        WorkloadError::Pdn(e)
+        match e {
+            psnt_pdn::PdnError::Interrupted(reason) => WorkloadError::Interrupted(reason),
+            other => WorkloadError::Pdn(other),
+        }
     }
 }
 
 impl From<psnt_scan::ScanError> for WorkloadError {
     fn from(e: psnt_scan::ScanError) -> WorkloadError {
-        WorkloadError::Scan(e)
+        match e {
+            psnt_scan::ScanError::Interrupted(reason) => WorkloadError::Interrupted(reason),
+            other => WorkloadError::Scan(other),
+        }
     }
 }
 
 impl From<psnt_core::SensorError> for WorkloadError {
     fn from(e: psnt_core::SensorError) -> WorkloadError {
-        WorkloadError::Sensor(e)
+        match e {
+            psnt_core::SensorError::Interrupted(reason) => WorkloadError::Interrupted(reason),
+            other => WorkloadError::Sensor(other),
+        }
+    }
+}
+
+impl From<psnt_sup::Interrupt> for WorkloadError {
+    fn from(reason: psnt_sup::Interrupt) -> WorkloadError {
+        WorkloadError::Interrupted(reason)
     }
 }
 
@@ -101,6 +134,25 @@ mod tests {
         });
         assert!(k.to_string().contains("control error"));
         assert!(Error::source(&k).is_some());
+    }
+
+    #[test]
+    fn interrupts_keep_their_identity_across_layers() {
+        use psnt_sup::Interrupt;
+        for e in [
+            WorkloadError::from(psnt_pdn::PdnError::Interrupted(Interrupt::Cancelled)),
+            WorkloadError::from(psnt_scan::ScanError::Interrupted(Interrupt::Cancelled)),
+            WorkloadError::from(psnt_core::SensorError::Interrupted(Interrupt::Cancelled)),
+            WorkloadError::from(Interrupt::Cancelled),
+        ] {
+            assert_eq!(e, WorkloadError::Interrupted(Interrupt::Cancelled));
+            assert!(e.to_string().contains("interrupted"));
+        }
+        let ck = WorkloadError::Checkpoint {
+            path: "/tmp/x.ckpt".into(),
+            reason: "short read".into(),
+        };
+        assert!(ck.to_string().contains("/tmp/x.ckpt"));
     }
 
     #[test]

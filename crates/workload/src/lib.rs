@@ -41,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod error;
 pub mod mitigated;
 pub mod noc;
@@ -50,10 +51,11 @@ pub mod traffic;
 pub use campaign::{
     NocCampaignResult, NocWorkload, NocWorkloadConfig, NoiseProfile, StreamedNocResult, WindowStats,
 };
+pub use checkpoint::{CheckpointPolicy, MitigatedCheckpoint, WorkloadCheckpoint};
 pub use error::WorkloadError;
 pub use mitigated::{ActuationSample, MitigatedNocResult};
 pub use noc::{ActivityTrace, NocMesh};
-pub use stepper::CycleStepper;
+pub use stepper::{CycleStepper, StepperSnapshot};
 pub use traffic::{TileTraffic, TrafficPattern};
 
 #[cfg(test)]

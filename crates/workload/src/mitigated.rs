@@ -24,6 +24,7 @@ use psnt_ctx::RunCtx;
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::{NocWorkload, NoiseProfile};
+use crate::checkpoint::{CheckpointPolicy, MitigatedCheckpoint, CHECKPOINT_VERSION};
 use crate::error::WorkloadError;
 use crate::stepper::CycleStepper;
 
@@ -120,8 +121,40 @@ impl NocWorkload {
     pub fn run_mitigated(
         &self,
         ctx: &mut RunCtx<'_>,
+        mitigator: Option<&mut dyn Mitigator>,
+        latency: usize,
+    ) -> Result<MitigatedNocResult, WorkloadError> {
+        self.run_mitigated_checkpointed(ctx, mitigator, latency, &CheckpointPolicy::none(), None)
+    }
+
+    /// [`NocWorkload::run_mitigated`] under a checkpoint policy,
+    /// optionally resuming from a snapshot. The closed loop snapshots
+    /// everything the driver holds — solve state, traces, the delay
+    /// line's in-flight frames and the mitigator's own state (via
+    /// [`Mitigator::state_snapshot`]) — so an interrupted-then-resumed
+    /// run is **bit-identical** to an uninterrupted one, including the
+    /// actuation trace.
+    ///
+    /// A policy whose [`Mitigator::state_snapshot`] returns `None`
+    /// resumes with its controller cold; the built-in controllers all
+    /// support snapshots.
+    ///
+    /// # Errors
+    ///
+    /// As [`NocWorkload::run_mitigated`], plus
+    /// [`WorkloadError::Interrupted`] when the context's supervisor
+    /// trips (a final checkpoint is written first when a path is
+    /// configured), [`WorkloadError::Checkpoint`] on snapshot I/O
+    /// failures, and [`WorkloadError::InvalidConfig`] when the resume
+    /// snapshot's seed, policy, latency, or geometry does not match
+    /// this run.
+    pub fn run_mitigated_checkpointed(
+        &self,
+        ctx: &mut RunCtx<'_>,
         mut mitigator: Option<&mut dyn Mitigator>,
         latency: usize,
+        ckpt_policy: &CheckpointPolicy,
+        resume: Option<&MitigatedCheckpoint>,
     ) -> Result<MitigatedNocResult, WorkloadError> {
         let cfg = self.config();
         let tiles = self.mesh().tiles();
@@ -181,7 +214,124 @@ impl NocWorkload {
         let mut degraded_readings = 0u64;
         let mut deferred_peak = 0usize;
 
-        for c in 0..cycles {
+        let me = cfg.measure_every;
+        let windows_n = self.windows();
+        let mut start = 0usize;
+        if let Some(ckpt) = resume {
+            let invalid = |reason: String| WorkloadError::InvalidConfig {
+                name: "resume",
+                reason,
+            };
+            if ckpt.version != CHECKPOINT_VERSION {
+                return Err(invalid(format!(
+                    "checkpoint schema version {}, this build reads {CHECKPOINT_VERSION}",
+                    ckpt.version
+                )));
+            }
+            if ckpt.seed != ctx.seed() {
+                return Err(invalid(format!(
+                    "checkpoint was captured under seed {}, this run uses {}",
+                    ckpt.seed,
+                    ctx.seed()
+                )));
+            }
+            if ckpt.policy != policy {
+                return Err(invalid(format!(
+                    "checkpoint ran policy {:?}, this run wires {policy:?}",
+                    ckpt.policy
+                )));
+            }
+            stepper.restore(&ckpt.stepper)?;
+            let done = stepper.cycle();
+            let touched = done.div_ceil(me).min(windows_n);
+            if ckpt.stats_done.len() != touched
+                || ckpt.droop_trace.len() != done
+                || ckpt.actuation_trace.len() != done
+            {
+                return Err(invalid(format!(
+                    "traces cover {} windows / {} cycles, cycle {done} expects {touched} / {done}",
+                    ckpt.stats_done.len(),
+                    ckpt.droop_trace.len()
+                )));
+            }
+            stats[..touched].clone_from_slice(&ckpt.stats_done);
+            droop_trace.extend_from_slice(&ckpt.droop_trace);
+            actuation_trace.extend_from_slice(&ckpt.actuation_trace);
+            worst_droop = ckpt.worst_droop;
+            worst_droop_cycle = ckpt.worst_droop_cycle;
+            engaged_cycles = ckpt.engaged_cycles;
+            degraded_readings = ckpt.degraded_readings;
+            deferred_peak = ckpt.deferred_peak;
+            delay = DelayLine::with_in_flight(latency, ckpt.in_flight.clone())?;
+            act = ckpt.act.clone();
+            if let Some(state) = &ckpt.mitigator_state {
+                let Some(m) = mitigator.as_deref_mut() else {
+                    return Err(invalid(
+                        "checkpoint carries controller state but no mitigator is wired".into(),
+                    ));
+                };
+                if !m.restore_state(state) {
+                    return Err(invalid(format!(
+                        "controller {policy:?} refused its state snapshot"
+                    )));
+                }
+            }
+            start = done;
+        }
+
+        let sup = ctx.supervisor().clone();
+        let cancel_at = ctx.fault_plan().and_then(|p| p.cancel_at_cycle());
+        let trip_deadline_at = ctx
+            .fault_plan()
+            .is_some_and(|p| p.deadline_trip())
+            .then_some(cycles / 2);
+        let seed = ctx.seed();
+        let cadence = ckpt_policy
+            .every
+            .or_else(|| sup.budget().checkpoint_cadence());
+
+        for c in start..cycles {
+            if cancel_at == Some(c as u64) {
+                sup.token().cancel();
+            }
+            if trip_deadline_at == Some(c) {
+                sup.force_expire();
+            }
+            let want_cadence_snap = cadence
+                .zip(ckpt_policy.path.as_deref())
+                .is_some_and(|(every, _)| c > start && (c as u64).is_multiple_of(every));
+            let tripped = sup.check().err();
+            if tripped.is_some() || want_cadence_snap {
+                if let Some(path) = ckpt_policy.path.as_deref() {
+                    let done = stepper.cycle();
+                    let touched = done.div_ceil(me).min(windows_n);
+                    MitigatedCheckpoint {
+                        version: CHECKPOINT_VERSION,
+                        seed,
+                        policy: policy.clone(),
+                        stepper: stepper.snapshot(),
+                        stats_done: stats[..touched].to_vec(),
+                        droop_trace: droop_trace.clone(),
+                        actuation_trace: actuation_trace.clone(),
+                        worst_droop,
+                        worst_droop_cycle,
+                        engaged_cycles,
+                        degraded_readings,
+                        deferred_peak,
+                        in_flight: delay.in_flight().cloned().collect(),
+                        act: act.clone(),
+                        mitigator_state: mitigator.as_deref().and_then(|m| m.state_snapshot()),
+                    }
+                    .save(path)?;
+                }
+                if let Some(reason) = tripped {
+                    if let (Some(obs), Some(sp)) = (ctx.observer(), span.take()) {
+                        obs.end_span(sp);
+                    }
+                    return Err(WorkloadError::Interrupted(reason));
+                }
+            }
+            sup.charge_events(1);
             stepper.step()?;
             self.accumulate_window(&mut stats, c, &stepper, n);
 
@@ -409,6 +559,66 @@ mod tests {
         assert_eq!(faulted_ctrl.degraded_frames, 1);
         assert_eq!(faulted.profile, healthy.profile, "loop never desynced");
         assert_eq!(faulted.actuation_trace, healthy.actuation_trace);
+    }
+
+    #[test]
+    fn mitigated_checkpoint_resumes_bit_identically() {
+        use psnt_sup::Interrupt;
+        let w = NocWorkload::new(control_chip()).unwrap();
+        let mk = || ThresholdThrottle::new(4, 6, 7).unwrap();
+        let mut ctrl = mk();
+        let full = w
+            .run_mitigated(&mut RunCtx::serial().with_seed(5), Some(&mut ctrl), 2)
+            .unwrap();
+        assert!(full.engaged_cycles > 0, "loop actually closed");
+        let path =
+            std::env::temp_dir().join(format!("psnt-ckpt-mitigated-{}.json", std::process::id()));
+        let mut ctrl2 = mk();
+        let mut ctx = RunCtx::serial()
+            .with_seed(5)
+            .with_fault_plan(FaultPlan::new().with(Fault::CancelAt { cycle: 70 }));
+        let err = w
+            .run_mitigated_checkpointed(
+                &mut ctx,
+                Some(&mut ctrl2),
+                2,
+                &CheckpointPolicy::to_path(&path, 1000),
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, WorkloadError::Interrupted(Interrupt::Cancelled));
+        let ckpt = MitigatedCheckpoint::load(&path).unwrap();
+        assert_eq!(ckpt.cycle(), 70);
+        assert_eq!(ckpt.policy, "threshold-throttle");
+        assert_eq!(ckpt.in_flight.len(), 2, "delay line captured in flight");
+        assert!(ckpt.mitigator_state.is_some(), "controller state captured");
+        // Resume with a COLD controller: restore_state reinstates it.
+        let mut ctrl3 = mk();
+        let resumed = w
+            .run_mitigated_checkpointed(
+                &mut RunCtx::serial().with_seed(5),
+                Some(&mut ctrl3),
+                2,
+                &CheckpointPolicy::none(),
+                Some(&ckpt),
+            )
+            .unwrap();
+        assert_eq!(resumed, full, "interrupted-then-resumed ≡ uninterrupted");
+        // Resuming without the controller the checkpoint ran is refused.
+        let err = w
+            .run_mitigated_checkpointed(
+                &mut RunCtx::serial().with_seed(5),
+                None,
+                2,
+                &CheckpointPolicy::none(),
+                Some(&ckpt),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            WorkloadError::InvalidConfig { name: "resume", .. }
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

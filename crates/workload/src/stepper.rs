@@ -34,6 +34,7 @@ use std::collections::VecDeque;
 use psnt_control::Actuation;
 use psnt_ctx::RunCtx;
 use psnt_pdn::grid::GridSolution;
+use serde::{Deserialize, Serialize};
 
 use crate::campaign::NocWorkload;
 use crate::error::WorkloadError;
@@ -44,6 +45,51 @@ use crate::noc::ActivityTrace;
 struct Flight {
     route: Vec<usize>,
     hop: usize,
+}
+
+/// A serializable image of a [`CycleStepper`]'s dynamic state.
+///
+/// The injection plan is deliberately **not** captured: it is a pure
+/// function of the run seed and workload config, so a resumed run
+/// rebuilds it through [`CycleStepper::new`] and
+/// [`CycleStepper::restore`] only reinstates the cursors into it. That
+/// keeps snapshots small (no replanning data) and makes a stale
+/// snapshot detectable — restoring against a different seed or config
+/// fails fast on the planned-flit fingerprint instead of silently
+/// diverging.
+///
+/// The grid solution is captured verbatim rather than re-solved at
+/// restore: the delta-solve chain is bit-exact only when it continues
+/// from the same floating-point state it was interrupted in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepperSnapshot {
+    cursors: Vec<usize>,
+    deferred: Vec<Vec<u32>>,
+    flights: Vec<(Vec<usize>, usize)>,
+    counts: Vec<u32>,
+    eff_counts: Vec<u32>,
+    prev_eff: Vec<u32>,
+    sol: Option<GridSolution>,
+    boosted: Vec<f64>,
+    boost_active: bool,
+    act: Actuation,
+    cycle: usize,
+    delta_solves: u64,
+    planned_flits: u64,
+    spawned_flits: u64,
+}
+
+impl StepperSnapshot {
+    /// The cycle the snapshot was taken at (the next
+    /// [`CycleStepper::step`] after restore simulates this index).
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// Flits the captured run had released into the mesh.
+    pub fn spawned_flits(&self) -> u64 {
+        self.spawned_flits
+    }
 }
 
 /// The per-cycle co-simulation engine over one [`NocWorkload`].
@@ -333,6 +379,113 @@ impl<'w> CycleStepper<'w> {
     pub fn deferred_backlog(&self) -> usize {
         self.deferred.iter().map(VecDeque::len).sum()
     }
+
+    /// Captures the stepper's dynamic state for checkpointing. The
+    /// snapshot restores onto a fresh stepper built over the **same
+    /// workload and seed** (see [`CycleStepper::restore`]).
+    pub fn snapshot(&self) -> StepperSnapshot {
+        StepperSnapshot {
+            cursors: self.cursors.clone(),
+            deferred: self
+                .deferred
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            flights: self
+                .flights
+                .iter()
+                .map(|f| (f.route.clone(), f.hop))
+                .collect(),
+            counts: self.counts.clone(),
+            eff_counts: self.eff_counts.clone(),
+            prev_eff: self.prev_eff.clone(),
+            sol: self.sol.clone(),
+            boosted: self.boosted.clone(),
+            boost_active: self.boost_active,
+            act: self.act.clone(),
+            cycle: self.cycle,
+            delta_solves: self.delta_solves,
+            planned_flits: self.planned_flits,
+            spawned_flits: self.spawned_flits,
+        }
+    }
+
+    /// Reinstates a [`StepperSnapshot`] taken from an identically
+    /// configured run, after which stepping continues bit-identically
+    /// to the uninterrupted run — the delta-solve chain picks up from
+    /// the captured floating-point state, not a fresh solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] when the snapshot does
+    /// not match this stepper's mesh geometry or traffic plan (wrong
+    /// seed, config, or a corrupted snapshot).
+    pub fn restore(&mut self, snap: &StepperSnapshot) -> Result<(), WorkloadError> {
+        let tiles = self.workload.mesh().tiles();
+        let invalid = |reason: String| WorkloadError::InvalidConfig {
+            name: "snapshot",
+            reason,
+        };
+        if snap.cursors.len() != tiles
+            || snap.deferred.len() != tiles
+            || snap.counts.len() != tiles
+            || snap.eff_counts.len() != tiles
+            || snap.prev_eff.len() != tiles
+        {
+            return Err(invalid(format!(
+                "snapshot covers {} tiles, mesh has {tiles}",
+                snap.cursors.len()
+            )));
+        }
+        if snap.planned_flits != self.planned_flits {
+            return Err(invalid(format!(
+                "snapshot plans {} flits, this run plans {} — different seed or traffic config",
+                snap.planned_flits, self.planned_flits
+            )));
+        }
+        if snap.act.domains() != tiles {
+            return Err(invalid(format!(
+                "snapshot actuation has {} domains for a {tiles}-tile mesh",
+                snap.act.domains()
+            )));
+        }
+        for (t, &cur) in snap.cursors.iter().enumerate() {
+            if cur > self.injections[t].len() {
+                return Err(invalid(format!(
+                    "cursor {cur} past tile {t}'s plan of {} injections",
+                    self.injections[t].len()
+                )));
+            }
+        }
+        if snap.flights.iter().any(|(route, hop)| *hop >= route.len()) {
+            return Err(invalid("a flight's hop is past its route".into()));
+        }
+        self.cursors.copy_from_slice(&snap.cursors);
+        self.deferred = snap
+            .deferred
+            .iter()
+            .map(|v| v.iter().copied().collect())
+            .collect();
+        self.flights = snap
+            .flights
+            .iter()
+            .map(|(route, hop)| Flight {
+                route: route.clone(),
+                hop: *hop,
+            })
+            .collect();
+        self.counts.copy_from_slice(&snap.counts);
+        self.eff_counts.copy_from_slice(&snap.eff_counts);
+        self.prev_eff.copy_from_slice(&snap.prev_eff);
+        self.sol = snap.sol.clone();
+        self.boosted = snap.boosted.clone();
+        self.boost_active = snap.boost_active;
+        self.act = snap.act.clone();
+        self.cycle = snap.cycle;
+        self.delta_solves = snap.delta_solves;
+        self.spawned_flits = snap.spawned_flits;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -465,6 +618,82 @@ mod tests {
             err,
             WorkloadError::InvalidConfig {
                 name: "actuation",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let w = stepper_workload();
+        let cycles = w.config().cycles;
+        let half = cycles / 2;
+        // Reference: run straight through, with a mid-run actuation so
+        // the snapshot carries non-trivial control state.
+        let mut act = Actuation::neutral(4);
+        act.set_stretch(1, 0.5);
+        act.set_boost(2, 0.03);
+        act.set_throttle(3, true);
+        let mut full = CycleStepper::new(&w, &mut RunCtx::serial().with_seed(41)).unwrap();
+        let mut snap = None;
+        let mut reference = Vec::new();
+        for c in 0..cycles {
+            if c == half / 2 {
+                full.apply(&act).unwrap();
+            }
+            full.step().unwrap();
+            if c + 1 == half {
+                snap = Some(full.snapshot());
+            }
+            if c >= half {
+                reference.push((full.voltages().to_vec(), full.raw_counts().to_vec()));
+            }
+        }
+        let snap = snap.unwrap();
+        assert_eq!(snap.cycle(), half);
+        // Resume: fresh stepper, same seed, restore, continue.
+        let mut resumed = CycleStepper::new(&w, &mut RunCtx::serial().with_seed(41)).unwrap();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.cycle(), half);
+        assert_eq!(resumed.actuation(), &act);
+        for (v, raw) in &reference {
+            resumed.step().unwrap();
+            assert_eq!(resumed.voltages(), &v[..], "voltages bit-identical");
+            assert_eq!(resumed.raw_counts(), &raw[..]);
+        }
+        assert_eq!(resumed.delta_solves(), full.delta_solves());
+        assert_eq!(resumed.spawned_flits(), full.spawned_flits());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let w = stepper_workload();
+        let mut s = CycleStepper::new(&w, &mut RunCtx::serial().with_seed(41)).unwrap();
+        s.step().unwrap();
+        let snap = s.snapshot();
+        // Different seed → different plan fingerprint.
+        let mut other = CycleStepper::new(&w, &mut RunCtx::serial().with_seed(42)).unwrap();
+        if other.planned_flits() != s.planned_flits() {
+            let err = other.restore(&snap).unwrap_err();
+            assert!(matches!(
+                err,
+                WorkloadError::InvalidConfig {
+                    name: "snapshot",
+                    ..
+                }
+            ));
+        }
+        // Different mesh geometry.
+        let mut cfg = NocWorkloadConfig::small_2x2();
+        cfg.mesh_rows = 4;
+        cfg.mesh_cols = 4;
+        let big = NocWorkload::new(cfg).unwrap();
+        let mut wrong = CycleStepper::new(&big, &mut RunCtx::serial().with_seed(41)).unwrap();
+        let err = wrong.restore(&snap).unwrap_err();
+        assert!(matches!(
+            err,
+            WorkloadError::InvalidConfig {
+                name: "snapshot",
                 ..
             }
         ));

@@ -43,6 +43,9 @@ fn streamed_256_site_campaign_stays_bounded() {
                     StreamRecord::Site { .. } => sites += 1,
                     StreamRecord::Frame { .. } => frames += 1,
                     StreamRecord::Summary { .. } => summaries += 1,
+                    StreamRecord::Aborted { ref reason, .. } => {
+                        panic!("unexpected abort: {reason}")
+                    }
                 }
                 Ok(())
             },

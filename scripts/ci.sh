@@ -90,6 +90,31 @@ if [ -n "$control_clock" ]; then
     exit 1
 fi
 
+echo "==> supervisor-path unwrap gate"
+# The supervision path degrades through structured errors
+# (`WorkloadError::Interrupted`, `ScanError::Interrupted`,
+# `WorkloadError::Checkpoint`) — it must never panic on the way down.
+# Non-test code in the supervision-critical files is barred from bare
+# `.unwrap()`; test modules (everything at and below the `#[cfg(test)]`
+# marker) are exempt.
+sup_unwraps=""
+for f in crates/sup/src/lib.rs crates/ctx/src/lib.rs \
+         crates/workload/src/checkpoint.rs crates/workload/src/campaign.rs \
+         crates/workload/src/mitigated.rs crates/workload/src/stepper.rs \
+         crates/scan/src/campaign.rs crates/engine/src/batch.rs \
+         crates/bench/src/checkpointed.rs; do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)/{print FILENAME ":" FNR ": " $0}' "$f")
+    if [ -n "$hits" ]; then
+        sup_unwraps="${sup_unwraps}${hits}
+"
+    fi
+done
+if [ -n "$sup_unwraps" ]; then
+    echo "bare .unwrap() in supervision-path non-test code:" >&2
+    echo "$sup_unwraps" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -148,6 +173,20 @@ echo "==> control + stepper-equivalence suites under PSNT_JOBS=4"
 PSNT_JOBS=4 cargo test -q -p psnt-control
 PSNT_JOBS=4 cargo test -q -p psn-thermometer --test stepper_equiv
 PSNT_JOBS=4 cargo test -q -p psn-thermometer --test control_loop
+
+echo "==> supervision + resume suites under PSNT_JOBS=4"
+# The supervision contract: cooperative interrupts are structured and
+# lossless, and an interrupted-then-resumed run is bit-identical to an
+# uninterrupted one at jobs ∈ {1, 4}.
+PSNT_JOBS=4 cargo test -q -p psnt-sup
+PSNT_JOBS=4 cargo test -q -p psn-thermometer --test supervision_resume
+
+echo "==> chaos soak under PSNT_JOBS=4 (hard timeout)"
+# Randomized combinations of every harness fault against the
+# supervised workload: no hangs (the timeout below makes a hang a hard
+# failure), no lost partials, clean resume. 600 s is ~50x the observed
+# wall clock of the suite.
+PSNT_JOBS=4 timeout 600 cargo test -q -p psn-thermometer --test chaos_soak
 
 echo "==> bounded-memory gate (streamed 256-site campaign)"
 # The streaming contract: a full 256-site campaign through the

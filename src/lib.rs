@@ -41,9 +41,15 @@
 //!   serde-able [`FaultPlan`](psnt_fault::FaultPlan)s of stuck-ats,
 //!   delay scalings, bit upsets, supply glitches and transients,
 //!   applied inside the event kernel;
+//! * [`sup`] (`psnt-sup`) — run supervision: cooperative
+//!   [`CancelToken`](psnt_sup::CancelToken)s, wall/sim/event
+//!   [`RunBudget`](psnt_sup::RunBudget)s and structured
+//!   [`Interrupt`](psnt_sup::Interrupt)ion, checked cheaply at every
+//!   layer's loop boundaries;
 //! * [`ctx`] (`psnt-ctx`) — the unified execution context
 //!   ([`RunCtx`](psnt_ctx::RunCtx)): engine + observer + reusable
-//!   simulator pool + seed policy, threaded through every layer.
+//!   simulator pool + seed policy + supervisor, threaded through every
+//!   layer.
 //!
 //! # Quickstart
 //!
@@ -75,6 +81,7 @@ pub use psnt_netlist as netlist;
 pub use psnt_obs as obs;
 pub use psnt_pdn as pdn;
 pub use psnt_scan as scan;
+pub use psnt_sup as sup;
 pub use psnt_workload as workload;
 
 /// The most common imports for working with the sensor.
@@ -97,5 +104,6 @@ pub mod prelude {
     pub use psnt_pdn::workload::WorkloadBuilder;
     pub use psnt_scan::campaign::Campaign;
     pub use psnt_scan::floorplan::{Floorplan, Placement};
+    pub use psnt_sup::{CancelToken, RunBudget, Supervised, Supervisor};
     pub use psnt_workload::{NocWorkload, NocWorkloadConfig, TrafficPattern};
 }

@@ -1,0 +1,203 @@
+//! Randomized chaos soak: seeded combinations of every harness-level
+//! fault — `SinkError`, `WorkerPanic`, `CancelAt`, `DeadlineTrip` —
+//! thrown at the supervised streamed workload, proving three things on
+//! every draw:
+//!
+//! * **no hangs** — every run returns (the suite also asserts a soft
+//!   wall-clock bound; `scripts/ci.sh` adds a hard `timeout` on top);
+//! * **no lost partials** — whatever reached the sink before a trip is
+//!   an exact prefix of the uninterrupted stream, closed by a terminal
+//!   labelled [`StreamRecord::Aborted`];
+//! * **clean resume** — when a checkpoint was written, resuming it on
+//!   a fresh context reproduces the uninterrupted run record for
+//!   record.
+//!
+//! The draw sequence is fixed by a seeded generator, so the soak is
+//! deterministic run to run. `PSNT_JOBS` pins the worker count (the CI
+//! soak runs it at 4); otherwise each draw picks 1 or 4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use psn_thermometer::prelude::*;
+use psn_thermometer::scan::campaign::StreamRecord;
+use psn_thermometer::scan::ScanError;
+use psn_thermometer::workload::checkpoint::CheckpointPolicy;
+use psn_thermometer::workload::{NocWorkload, WorkloadCheckpoint, WorkloadError};
+
+const ITERATIONS: usize = 12;
+
+fn soak_path(iter: usize) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("psnt-chaos-{}-{iter}.ckpt", std::process::id()))
+}
+
+#[test]
+fn randomized_chaos_soak_never_hangs_or_loses_partials() {
+    let started = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(0x50cc_2009);
+    let w = NocWorkload::new(NocWorkloadConfig::small_2x2()).unwrap();
+    let jobs_env: Option<usize> = std::env::var("PSNT_JOBS").ok().and_then(|s| s.parse().ok());
+    let retry = RetryPolicy::attempts(2);
+
+    for iter in 0..ITERATIONS {
+        let seed = rng.next_u64();
+        let jobs = jobs_env.unwrap_or(if rng.gen_bool(0.5) { 4 } else { 1 });
+
+        // The uninterrupted baseline this draw's run must be a prefix
+        // (or the whole) of.
+        let mut bctx = RunCtx::new(Engine::new(jobs)).with_seed(seed);
+        let mut baseline = Vec::new();
+        let base_out = w
+            .run_streamed(&mut bctx, retry, |r| {
+                baseline.push(r);
+                Ok(())
+            })
+            .unwrap();
+
+        // A random chaos plan: any combination of the four harness
+        // faults, including none.
+        let mut plan = FaultPlan::new();
+        if rng.gen_bool(0.5) {
+            plan = plan.with(Fault::CancelAt {
+                cycle: rng.gen_range(1u64..60),
+            });
+        }
+        if rng.gen_bool(0.35) {
+            plan = plan.with(Fault::DeadlineTrip);
+        }
+        if rng.gen_bool(0.4) {
+            plan = plan.with(Fault::SinkError {
+                after_records: rng.gen_range(1u64..10),
+            });
+        }
+        if rng.gen_bool(0.5) {
+            // Panics on attempt 0 only: the second attempt granted by
+            // `RetryPolicy::attempts(2)` recovers the site, so the
+            // stream stays bit-identical to the baseline.
+            plan = plan.with(Fault::WorkerPanic {
+                job: rng.gen_range(0..4),
+                attempt: 0,
+            });
+        }
+        let sink_after = plan.sink_error_after();
+
+        let path = soak_path(iter);
+        let _ = std::fs::remove_file(&path);
+        let policy = CheckpointPolicy {
+            path: Some(path.clone()),
+            every: Some(rng.gen_range(5u64..25)),
+        };
+        let mut ictx = RunCtx::new(Engine::new(jobs)).with_seed(seed);
+        ictx.set_fault_plan(Some(plan));
+        let mut records: Vec<StreamRecord> = Vec::new();
+        let mut fed = 0u64;
+        let out = w.run_streamed_checkpointed(&mut ictx, retry, &policy, None, |r| {
+            // The terminal abort marker is always accepted — a sink
+            // that rejected it would just lose the label.
+            if matches!(r, StreamRecord::Aborted { .. }) {
+                records.push(r);
+                return Ok(());
+            }
+            fed += 1;
+            if sink_after.is_some_and(|n| fed > n) {
+                // The failing record is rejected, not consumed — it
+                // must not count as a delivered partial.
+                return Err(ScanError::InvalidConfig {
+                    name: "sink",
+                    reason: "chaos sink failure".into(),
+                });
+            }
+            records.push(r);
+            Ok(())
+        });
+
+        match out {
+            // No fault fired (or the worker panic was retried away):
+            // the stream must be untouched.
+            Ok(out) => {
+                assert_eq!(records, baseline, "iter {iter}: clean run diverged");
+                assert_eq!(out, base_out, "iter {iter}: clean summary diverged");
+            }
+            // A cooperative trip: labelled prefix, then a clean resume
+            // from the checkpoint the interrupt wrote.
+            Err(WorkloadError::Interrupted(reason)) => {
+                let body: &[StreamRecord] = match records.split_last() {
+                    Some((
+                        StreamRecord::Aborted {
+                            sites_completed, ..
+                        },
+                        body,
+                    )) => {
+                        let sites = body
+                            .iter()
+                            .filter(|r| matches!(r, StreamRecord::Site { .. }))
+                            .count();
+                        assert_eq!(
+                            *sites_completed, sites,
+                            "iter {iter}: abort label miscounts delivered sites"
+                        );
+                        body
+                    }
+                    // A solve-phase trip streams nothing at all.
+                    _ => &records,
+                };
+                assert_eq!(
+                    body,
+                    &baseline[..body.len()],
+                    "iter {iter}: partials are not a prefix ({reason})"
+                );
+                assert!(
+                    path.exists(),
+                    "iter {iter}: interrupt ({reason}) left no checkpoint"
+                );
+                let ckpt = WorkloadCheckpoint::load(&path).unwrap();
+                let mut rctx = RunCtx::new(Engine::new(jobs)).with_seed(seed);
+                let mut resumed = Vec::new();
+                let rout = w
+                    .run_streamed_checkpointed(
+                        &mut rctx,
+                        retry,
+                        &CheckpointPolicy::none(),
+                        Some(&ckpt),
+                        |r| {
+                            resumed.push(r);
+                            Ok(())
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(resumed, baseline, "iter {iter}: resume diverged ({reason})");
+                assert_eq!(rout, base_out, "iter {iter}: resumed summary diverged");
+            }
+            // The sink itself failed: the stream is still a labelled
+            // prefix — nothing silently lost.
+            Err(_) => {
+                let (last, body) = records.split_last().expect("terminal record");
+                match last {
+                    StreamRecord::Aborted {
+                        sites_completed, ..
+                    } => {
+                        let sites = body
+                            .iter()
+                            .filter(|r| matches!(r, StreamRecord::Site { .. }))
+                            .count();
+                        assert_eq!(*sites_completed, sites, "iter {iter}: abort label");
+                    }
+                    other => panic!("iter {iter}: terminal record not Aborted: {other:?}"),
+                }
+                assert_eq!(
+                    body,
+                    &baseline[..body.len()],
+                    "iter {iter}: sink-failure partials are not a prefix"
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // Soft no-hang witness; scripts/ci.sh enforces a hard timeout on
+    // top of this.
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(300),
+        "chaos soak exceeded its soft wall-clock bound"
+    );
+}

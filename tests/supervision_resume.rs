@@ -1,0 +1,197 @@
+//! Supervision contract, property-tested: cooperative interrupts are
+//! structured and lossless, and checkpoint/resume is bit-identical.
+//!
+//! (a) A `CancelAt` harness fault at *any* cycle interrupts the solve
+//!     phase with a checkpoint; resuming on a fresh context renders a
+//!     stream and summary bit-identical, record for record, to a run
+//!     that was never interrupted — at jobs ∈ {1, 4}.
+//! (b) Cancelling the supervisor token from inside the sink at *any*
+//!     record index stops the sweep with a labelled terminal
+//!     [`StreamRecord::Aborted`]; everything delivered before it is an
+//!     exact prefix of the uninterrupted stream.
+//! (c) The closed loop: a mitigated run interrupted at any cycle
+//!     resumes (controller state restored from the snapshot) into a
+//!     result bit-identical to the uninterrupted one, at any code
+//!     latency.
+
+use proptest::prelude::*;
+use psn_thermometer::control::ThresholdThrottle;
+use psn_thermometer::prelude::*;
+use psn_thermometer::scan::campaign::StreamRecord;
+use psn_thermometer::sup::Interrupt;
+use psn_thermometer::workload::checkpoint::CheckpointPolicy;
+use psn_thermometer::workload::{
+    MitigatedCheckpoint, NocWorkload, StreamedNocResult, WorkloadCheckpoint, WorkloadError,
+};
+
+/// The worker counts the supervision contract is pinned at.
+const JOBS: [usize; 2] = [1, 4];
+
+fn ckpt_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("psnt-sup-resume-{}-{tag}.ckpt", std::process::id()))
+}
+
+/// Runs the streamed checkpointed path collecting every record.
+fn run_collect(
+    w: &NocWorkload,
+    ctx: &mut RunCtx<'_>,
+    policy: &CheckpointPolicy,
+    resume: Option<&WorkloadCheckpoint>,
+) -> (Vec<StreamRecord>, Result<StreamedNocResult, WorkloadError>) {
+    let mut records = Vec::new();
+    let out = w.run_streamed_checkpointed(ctx, RetryPolicy::none(), policy, resume, |r| {
+        records.push(r);
+        Ok(())
+    });
+    (records, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// (a) Interrupt at a random solve cycle, resume, compare — the
+    /// resumed run is record-for-record identical at jobs ∈ {1, 4}.
+    #[test]
+    fn cancel_then_resume_is_bit_identical(seed in any::<u64>(), cancel in 1u64..59) {
+        let w = NocWorkload::new(NocWorkloadConfig::small_2x2()).unwrap();
+        for jobs in JOBS {
+            let mut ctx = RunCtx::new(Engine::new(jobs)).with_seed(seed);
+            let (clean_records, clean) =
+                run_collect(&w, &mut ctx, &CheckpointPolicy::none(), None);
+            let clean = clean.unwrap();
+
+            let path = ckpt_path(&format!("cancel-{jobs}"));
+            let _ = std::fs::remove_file(&path);
+            let mut ictx = RunCtx::new(Engine::new(jobs)).with_seed(seed);
+            ictx.set_fault_plan(Some(
+                FaultPlan::new().with(Fault::CancelAt { cycle: cancel }),
+            ));
+            let policy = CheckpointPolicy {
+                path: Some(path.clone()),
+                every: None,
+            };
+            let (pre_records, err) = run_collect(&w, &mut ictx, &policy, None);
+            prop_assert!(
+                matches!(err, Err(WorkloadError::Interrupted(Interrupt::Cancelled))),
+                "expected a cancellation interrupt, got {err:?}"
+            );
+            // Solve-phase interrupt: nothing had reached the sink yet.
+            prop_assert!(pre_records.is_empty());
+            let ckpt = WorkloadCheckpoint::load(&path).unwrap();
+            prop_assert_eq!(ckpt.cycle() as u64, cancel);
+
+            // Resume on a fresh, un-faulted context.
+            let mut rctx = RunCtx::new(Engine::new(jobs)).with_seed(seed);
+            let (records, out) =
+                run_collect(&w, &mut rctx, &CheckpointPolicy::none(), Some(&ckpt));
+            prop_assert_eq!(&records, &clean_records, "record stream diverged after resume");
+            prop_assert_eq!(&out.unwrap(), &clean, "summary diverged after resume");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// (b) Cancel from inside the sink at a random record index: the
+    /// delivered records are an exact prefix of the uninterrupted
+    /// stream, closed by a terminal `Aborted` whose `sites_completed`
+    /// matches the site records actually delivered.
+    #[test]
+    fn mid_sweep_cancellation_delivers_a_labelled_prefix(
+        seed in any::<u64>(),
+        after in 1usize..8,
+    ) {
+        let w = NocWorkload::new(NocWorkloadConfig::small_2x2()).unwrap();
+        for jobs in JOBS {
+            let mut ctx = RunCtx::new(Engine::new(jobs)).with_seed(seed);
+            let (clean_records, _) =
+                run_collect(&w, &mut ctx, &CheckpointPolicy::none(), None);
+
+            let mut ictx = RunCtx::new(Engine::new(jobs)).with_seed(seed);
+            let token = ictx.supervisor().token().clone();
+            let mut records: Vec<StreamRecord> = Vec::new();
+            let out = w.run_streamed(&mut ictx, RetryPolicy::none(), |r| {
+                records.push(r);
+                if records.len() == after {
+                    token.cancel();
+                }
+                Ok(())
+            });
+            match out {
+                // The token tripped after the stream had already
+                // finished — the run completed untouched.
+                Ok(_) => prop_assert_eq!(&records, &clean_records),
+                Err(WorkloadError::Interrupted(reason)) => {
+                    prop_assert_eq!(&reason, &Interrupt::Cancelled);
+                    let (last, body) = records.split_last().expect("terminal record");
+                    match last {
+                        StreamRecord::Aborted { sites_completed, .. } => {
+                            let sites = body
+                                .iter()
+                                .filter(|r| matches!(r, StreamRecord::Site { .. }))
+                                .count();
+                            prop_assert_eq!(*sites_completed, sites);
+                        }
+                        other => prop_assert!(false, "terminal record not Aborted: {other:?}"),
+                    }
+                    prop_assert_eq!(
+                        body,
+                        &clean_records[..body.len()],
+                        "partials are not a prefix of the clean stream"
+                    );
+                }
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+        }
+    }
+
+    /// (c) The closed loop resumes bit-identically from a random
+    /// interrupt cycle at any small code latency, with the
+    /// controller's own state restored from the snapshot.
+    #[test]
+    fn mitigated_cancel_then_resume_is_bit_identical(
+        seed in any::<u64>(),
+        cancel in 1u64..59,
+        latency in 0usize..3,
+    ) {
+        let w = NocWorkload::new(NocWorkloadConfig::small_2x2()).unwrap();
+        let tiles = 4;
+
+        let mut cctx = RunCtx::serial().with_seed(seed);
+        let mut m0 = ThresholdThrottle::new(tiles, 6, 7).unwrap();
+        let clean = w.run_mitigated(&mut cctx, Some(&mut m0), latency).unwrap();
+
+        let path = ckpt_path("mitigated");
+        let _ = std::fs::remove_file(&path);
+        let mut ictx = RunCtx::serial().with_seed(seed);
+        ictx.set_fault_plan(Some(
+            FaultPlan::new().with(Fault::CancelAt { cycle: cancel }),
+        ));
+        let policy = CheckpointPolicy {
+            path: Some(path.clone()),
+            every: None,
+        };
+        let mut m1 = ThresholdThrottle::new(tiles, 6, 7).unwrap();
+        let err = w.run_mitigated_checkpointed(&mut ictx, Some(&mut m1), latency, &policy, None);
+        prop_assert!(
+            matches!(err, Err(WorkloadError::Interrupted(Interrupt::Cancelled))),
+            "expected a cancellation interrupt, got {err:?}"
+        );
+        let ckpt = MitigatedCheckpoint::load(&path).unwrap();
+        prop_assert_eq!(ckpt.cycle() as u64, cancel);
+        prop_assert!(ckpt.mitigator_state.is_some(), "controller state not captured");
+
+        // A cold controller instance: its state comes from the snapshot.
+        let mut rctx = RunCtx::serial().with_seed(seed);
+        let mut m2 = ThresholdThrottle::new(tiles, 6, 7).unwrap();
+        let out = w
+            .run_mitigated_checkpointed(
+                &mut rctx,
+                Some(&mut m2),
+                latency,
+                &CheckpointPolicy::none(),
+                Some(&ckpt),
+            )
+            .unwrap();
+        prop_assert_eq!(out, clean, "mitigated run diverged after resume");
+        let _ = std::fs::remove_file(&path);
+    }
+}
